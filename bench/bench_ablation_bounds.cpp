@@ -1,0 +1,63 @@
+// Ablation: tightness of the ARIA bounds model (DESIGN.md section 6.4).
+// For each validation-suite profile, compares the model's lower / average /
+// upper completion estimates against the SimMR-replayed makespan across a
+// range of slot allocations. The average bound is MinEDF's predictor, so
+// its error determines how often MinEDF's "minimal" allocation misses.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sched/aria_model.h"
+#include "sched/fifo.h"
+
+int main() {
+  using namespace simmr;
+  const std::uint64_t seed = bench::EnvOrDefault("SIMMR_BENCH_SEED", 42);
+  bench::PrintHeader(
+      "Ablation: ARIA bounds tightness",
+      "Model lower/avg/upper completion estimates vs SimMR-replayed\n"
+      "makespan per application and allocation. The replay should fall\n"
+      "within [lower, upper]; the average bound should track it closely.");
+
+  const auto& validation = bench::RunValidationSuiteOnce(seed);
+  sched::FifoPolicy fifo;
+
+  std::printf("%-12s %9s %10s %10s %10s %10s %9s\n", "app", "slots",
+              "lower_s", "avg_s", "upper_s", "replay_s", "avg_err%");
+  double worst_avg_err = 0.0;
+  int out_of_bounds = 0, total = 0;
+  for (const auto& profile : validation.profiles) {
+    const auto summary = sched::ProfileSummary::FromProfile(profile);
+    for (const int slots : {8, 16, 32, 64}) {
+      core::SimConfig cfg;
+      cfg.map_slots = slots;
+      cfg.reduce_slots = slots;
+      trace::WorkloadTrace w(1);
+      w[0].profile = profile;
+      const double replay =
+          core::Replay(w, fifo, cfg).jobs[0].CompletionTime();
+      const double lo =
+          EstimateCompletion(sched::LowerBound(summary), slots, slots);
+      const double up =
+          EstimateCompletion(sched::UpperBound(summary), slots, slots);
+      const double avg =
+          EstimateCompletion(sched::AverageBound(summary), slots, slots);
+      const double err = bench::ErrorPercent(avg, replay);
+      worst_avg_err = std::max(worst_avg_err, std::fabs(err));
+      ++total;
+      if (replay < lo * 0.99 || replay > up * 1.01) ++out_of_bounds;
+      std::printf("%-12s %6dx%-3d %10.1f %10.1f %10.1f %10.1f %+8.1f%%\n",
+                  profile.app_name.c_str(), slots, slots, lo, avg, up,
+                  replay, err);
+    }
+  }
+  std::printf("\nreplays outside [lower, upper]: %d of %d;  worst avg-bound "
+              "error: %.1f%%\n", out_of_bounds, total, worst_avg_err);
+  std::printf(
+      "expected: zero (or nearly zero) out-of-bounds rows; the average\n"
+      "bound tracks the replay within a few %% for long jobs and loosens\n"
+      "(to ~30%%) for short jobs at large allocations, where the upper\n"
+      "bound's constant max-terms dominate (the paper calls the average\n"
+      "'a good approximation of the job completion time').\n");
+  return 0;
+}

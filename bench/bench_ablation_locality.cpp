@@ -1,0 +1,72 @@
+// Ablation: data locality and the profile abstraction.
+//
+// SimMR deliberately does not model data placement (Section VI contrasts
+// it with MRPerf): locality effects are absorbed into profiled task
+// durations. This bench turns locality ON in the testbed emulator and
+// checks two things per application:
+//   1. the cost of locality-blind vs locality-aware assignment (what the
+//      real JobTracker's preference is worth), and
+//   2. that SimMR's replay stays accurate either way — the durations in
+//      the trace already contain whatever penalty was paid.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sched/fifo.h"
+
+namespace simmr {
+namespace {
+
+struct Row {
+  double actual = 0.0;
+  double replayed = 0.0;
+};
+
+Row RunOne(const cluster::JobSpec& spec, bool aware, std::uint64_t seed) {
+  cluster::TestbedOptions opts = bench::PaperTestbed(seed);
+  opts.config.model_locality = true;
+  opts.config.locality_aware_scheduling = aware;
+  opts.config.remote_read_mbps = 20.0;
+  const std::vector<cluster::SubmittedJob> jobs{{spec, 0.0, 0.0}};
+  const auto testbed = cluster::RunTestbed(jobs, opts);
+  Row row;
+  row.actual =
+      testbed.log.jobs()[0].finish_time - testbed.log.jobs()[0].submit_time;
+  sched::FifoPolicy fifo;
+  trace::WorkloadTrace w(1);
+  w[0].profile = trace::BuildAllProfiles(testbed.log)[0];
+  row.replayed =
+      core::Replay(w, fifo, bench::PaperSimConfig()).jobs[0].CompletionTime();
+  return row;
+}
+
+}  // namespace
+}  // namespace simmr
+
+int main() {
+  using namespace simmr;
+  const std::uint64_t seed = bench::EnvOrDefault("SIMMR_BENCH_SEED", 42);
+  bench::PrintHeader(
+      "Ablation: data locality",
+      "Testbed runs with HDFS-style replica placement and remote-read\n"
+      "penalties. Locality-aware assignment should be cheaper than blind\n"
+      "assignment, and SimMR's replay should track both (the profile\n"
+      "absorbs locality effects).");
+
+  std::printf("%-12s %12s %9s %12s %9s %11s\n", "app", "aware_s",
+              "err_%", "blind_s", "err_%", "blind_cost");
+  for (const auto& spec : cluster::ValidationSuite()) {
+    const Row aware = RunOne(spec, true, seed);
+    const Row blind = RunOne(spec, false, seed);
+    std::printf("%-12s %12.1f %+8.1f%% %12.1f %+8.1f%% %+10.1f%%\n",
+                spec.app.name.c_str(), aware.actual,
+                bench::ErrorPercent(aware.replayed, aware.actual),
+                blind.actual,
+                bench::ErrorPercent(blind.replayed, blind.actual),
+                100.0 * (blind.actual - aware.actual) / aware.actual);
+  }
+  std::printf(
+      "\nexpected: blind_cost positive for read-bound apps (misses pay\n"
+      "network reads; compute-bound maps like WikiTrends barely notice) and\n"
+      "replay errors of a few percent in both columns — locality never\nneeds to enter the simulator.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation: the minMapPercentCompleted parameter (Hadoop's reduce
+// slowstart; DESIGN.md section 6.3). Sweeps the gate fraction and reports
+// (a) the replayed completion time of a single job and (b) SimMR's replay
+// accuracy against a testbed run using the same setting. Early reduce
+// scheduling hides the shuffle behind the map stage but hoards reduce
+// slots; late scheduling serializes the first shuffle after the maps.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sched/fifo.h"
+
+namespace simmr {
+namespace {
+
+double ReplayWithSlowstart(const trace::JobProfile& profile, double gate) {
+  core::SimConfig cfg = bench::PaperSimConfig();
+  cfg.min_map_percent_completed = gate;
+  sched::FifoPolicy fifo;
+  trace::WorkloadTrace w(1);
+  w[0].profile = profile;
+  return core::Replay(w, fifo, cfg).jobs[0].CompletionTime();
+}
+
+}  // namespace
+}  // namespace simmr
+
+int main() {
+  using namespace simmr;
+  const std::uint64_t seed = bench::EnvOrDefault("SIMMR_BENCH_SEED", 42);
+  bench::PrintHeader(
+      "Ablation: reduce slowstart (minMapPercentCompleted)",
+      "How the reduce-scheduling gate shifts completion time, and how well\n"
+      "SimMR tracks the testbed when both use the same gate.");
+
+  const auto suite = cluster::ValidationSuite();
+
+  bench::PrintSection("single-job completion vs gate (SimMR replay)");
+  const auto& validation = bench::RunValidationSuiteOnce(seed);
+  std::printf("%-12s", "gate");
+  for (const auto& spec : suite) std::printf(" %11s", spec.app.name.c_str());
+  std::printf("\n");
+  for (const double gate : {0.0, 0.05, 0.25, 0.5, 0.8, 1.0}) {
+    std::printf("%-12.2f", gate);
+    for (const auto& profile : validation.profiles) {
+      std::printf(" %11.1f", ReplayWithSlowstart(profile, gate));
+    }
+    std::printf("\n");
+  }
+
+  bench::PrintSection("testbed-vs-SimMR error when both sweep the gate");
+  std::printf("%-12s %12s %12s %9s\n", "gate", "testbed_s", "simmr_s",
+              "err_%");
+  const cluster::JobSpec spec = suite[3];  // Sort: most shuffle-sensitive
+  for (const double gate : {0.05, 0.25, 0.5, 1.0}) {
+    cluster::TestbedOptions opts = bench::PaperTestbed(seed);
+    opts.config.reduce_slowstart = gate;
+    const std::vector<cluster::SubmittedJob> jobs{{spec, 0.0, 0.0}};
+    const auto testbed = cluster::RunTestbed(jobs, opts);
+    const double actual =
+        testbed.log.jobs()[0].finish_time - testbed.log.jobs()[0].submit_time;
+
+    core::SimConfig cfg = bench::PaperSimConfig();
+    cfg.min_map_percent_completed = gate;
+    sched::FifoPolicy fifo;
+    trace::WorkloadTrace w(1);
+    w[0].profile = trace::BuildAllProfiles(testbed.log)[0];
+    const double simulated =
+        core::Replay(w, fifo, cfg).jobs[0].CompletionTime();
+    std::printf("%-12.2f %12.1f %12.1f %+8.1f%%\n", gate, actual, simulated,
+                bench::ErrorPercent(simulated, actual));
+  }
+  std::printf(
+      "\nexpected: completion grows as the gate approaches 1.0 (first\n"
+      "shuffle serializes after the map stage); SimMR error stays small at\n"
+      "every setting because the profile is gate-invariant.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation: speculative execution — examining the paper's configuration
+// choice. Section IV-B: "We disabled speculation as it did not lead to
+// any significant improvements."
+//
+// We run the validation suite with speculation off and on under two
+// regimes: the paper-like homogeneous cluster (mild duration noise, where
+// the quote should hold) and a straggler-prone cluster (heterogeneous
+// nodes + heavy-tailed task noise, where speculation is known to help).
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace simmr {
+namespace {
+
+double RunSuite(bool speculation, double node_sigma, double extra_map_sigma,
+                std::uint64_t seed, double* backup_fraction) {
+  std::vector<cluster::SubmittedJob> jobs;
+  double t = 0.0;
+  int total_maps = 0;
+  for (auto spec : cluster::ValidationSuite()) {
+    spec.app.map_sigma += extra_map_sigma;
+    jobs.push_back({spec, t, 0.0});
+    t += 10000.0;
+    total_maps += spec.NumMaps(64.0);
+  }
+  cluster::TestbedOptions opts = bench::PaperTestbed(seed);
+  opts.config.speculative_execution = speculation;
+  opts.config.node_speed_sigma = node_sigma;
+  const auto result = cluster::RunTestbed(jobs, opts);
+  double sum = 0.0;
+  int attempts = 0;
+  for (const auto& j : result.log.jobs())
+    sum += j.finish_time - j.submit_time;
+  for (const auto& task : result.log.tasks()) {
+    if (task.kind == cluster::TaskKind::kMap) ++attempts;
+  }
+  if (backup_fraction != nullptr) {
+    *backup_fraction =
+        static_cast<double>(attempts - total_maps) / total_maps;
+  }
+  return sum;  // total completion seconds across the suite
+}
+
+}  // namespace
+}  // namespace simmr
+
+int main() {
+  using namespace simmr;
+  const std::uint64_t seed = bench::EnvOrDefault("SIMMR_BENCH_SEED", 42);
+  bench::PrintHeader(
+      "Ablation: speculative execution",
+      "Section IV-B disabled speculation 'as it did not lead to any\n"
+      "significant improvements'. On the paper-like homogeneous cluster\n"
+      "that should reproduce; on a straggler-prone cluster speculation\n"
+      "should win noticeably.");
+
+  std::printf("%-36s %14s %14s %9s %14s\n", "regime", "spec_off_s",
+              "spec_on_s", "gain_%", "backup_frac");
+  struct Regime {
+    const char* name;
+    double node_sigma;
+    double extra_map_sigma;
+  };
+  for (const Regime& regime :
+       {Regime{"paper-like (homogeneous, mild noise)", 0.03, 0.0},
+        Regime{"straggler-prone (hetero + heavy tail)", 0.20, 0.5}}) {
+    const double off = RunSuite(false, regime.node_sigma,
+                                regime.extra_map_sigma, seed, nullptr);
+    double backup_fraction = 0.0;
+    const double on = RunSuite(true, regime.node_sigma,
+                               regime.extra_map_sigma, seed,
+                               &backup_fraction);
+    std::printf("%-36s %14.1f %14.1f %+8.1f%% %13.1f%%\n", regime.name, off,
+                on, 100.0 * (off - on) / off, 100.0 * backup_fraction);
+  }
+  std::printf(
+      "\nexpected: negligible gain in the paper-like regime (the paper's\n"
+      "rationale for disabling it) and a clear gain with stragglers.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 3: CDFs of map, shuffle and reduce task durations for WordCount
+// under two different allocations (64x64 vs 32x32). The paper's point:
+// the distributions are nearly identical, which is what makes a profile
+// replayable under other allocations. We print both CDFs per phase plus
+// the two-sample KS distance between them.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "simcore/stats.h"
+
+namespace simmr {
+namespace {
+
+struct PhaseSamples {
+  std::vector<double> map, shuffle, reduce;
+};
+
+PhaseSamples CollectPhases(const cluster::HistoryLog& log) {
+  PhaseSamples s;
+  const double maps_done = log.jobs()[0].maps_done_time;
+  for (const auto& t : log.tasks()) {
+    if (t.kind == cluster::TaskKind::kMap) {
+      s.map.push_back(t.end - t.start);
+    } else {
+      // Typical-wave shuffles only, as in the paper's "duration of shuffle
+      // phase" panel (first-wave shuffles overlap the map stage).
+      if (t.start >= maps_done) s.shuffle.push_back(t.shuffle_end - t.start);
+      s.reduce.push_back(t.end - t.shuffle_end);
+    }
+  }
+  return s;
+}
+
+PhaseSamples RunWith(int slots, std::uint64_t seed) {
+  cluster::TestbedOptions opts = bench::PaperTestbed(seed);
+  opts.config.map_slots_per_node = 2;
+  opts.config.reduce_slots_per_node = 2;
+  opts.caps = [slots](const cluster::SubmittedJob&) {
+    return cluster::SlotCaps{slots, slots};
+  };
+  const std::vector<cluster::SubmittedJob> jobs{
+      {cluster::SectionTwoExample(), 0.0, 0.0}};
+  return CollectPhases(cluster::RunTestbed(jobs, opts).log);
+}
+
+void PrintCdfPair(const char* phase, const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  bench::PrintSection(std::string(phase) + " task duration CDF");
+  if (a.empty() || b.empty()) {
+    std::printf("(no samples)\n");
+    return;
+  }
+  const Ecdf fa(a), fb(b);
+  const double lo = std::min(fa.sorted().front(), fb.sorted().front());
+  const double hi = std::max(fa.sorted().back(), fb.sorted().back());
+  std::printf("%14s %12s %12s\n", "duration_s", "cdf_64x64", "cdf_32x32");
+  for (int i = 0; i <= 20; ++i) {
+    const double x = lo + (hi - lo) * i / 20.0;
+    std::printf("%14.2f %12.3f %12.3f\n", x, fa(x), fb(x));
+  }
+  std::printf("two-sample KS distance: %.4f (small => same distribution)\n",
+              KsTwoSample(a, b));
+}
+
+}  // namespace
+}  // namespace simmr
+
+int main() {
+  using namespace simmr;
+  const std::uint64_t seed = bench::EnvOrDefault("SIMMR_BENCH_SEED", 42);
+  bench::PrintHeader(
+      "Figure 3",
+      "CDFs of WordCount map / shuffle / reduce task durations under 64x64\n"
+      "vs 32x32 slots. The curves should nearly coincide: task durations\n"
+      "are invariant to the resource allocation.");
+
+  const auto a = RunWith(64, seed);
+  const auto b = RunWith(32, seed);
+  PrintCdfPair("map", a.map, b.map);
+  PrintCdfPair("shuffle (typical waves)", a.shuffle, b.shuffle);
+  PrintCdfPair("reduce", a.reduce, b.reduce);
+  return 0;
+}

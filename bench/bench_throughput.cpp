@@ -1,0 +1,89 @@
+// Engine-throughput microbenchmarks (google-benchmark): the paper claims
+// "SimMR can process over one million events per second" (Section I /
+// IV-E). Measures events/second of the SimMR engine on synthetic
+// workloads of increasing size, plus the event-queue primitive itself.
+#include <benchmark/benchmark.h>
+
+#include "core/simmr.h"
+#include "sched/fifo.h"
+#include "simcore/event_queue.h"
+#include "trace/synthetic_tracegen.h"
+
+namespace simmr {
+namespace {
+
+trace::WorkloadTrace MakeWorkload(int num_jobs, std::uint64_t seed) {
+  Rng rng(seed);
+  trace::WorkloadTrace workload;
+  workload.reserve(num_jobs);
+  for (int i = 0; i < num_jobs; ++i) {
+    trace::SyntheticJobSpec spec;
+    spec.app_name = "bench";
+    spec.num_maps = 100;
+    spec.num_reduces = 20;
+    spec.first_wave_size = 10;
+    spec.map_duration = std::make_shared<UniformDist>(5.0, 15.0);
+    spec.first_shuffle_duration = std::make_shared<UniformDist>(1.0, 4.0);
+    spec.typical_shuffle_duration = std::make_shared<UniformDist>(3.0, 8.0);
+    spec.reduce_duration = std::make_shared<UniformDist>(1.0, 5.0);
+    trace::TraceJob job;
+    job.profile = trace::SynthesizeProfile(spec, rng);
+    job.arrival = 20.0 * i;
+    workload.push_back(std::move(job));
+  }
+  return workload;
+}
+
+void BM_EngineReplay(benchmark::State& state) {
+  const auto workload = MakeWorkload(static_cast<int>(state.range(0)), 42);
+  core::SimConfig cfg;
+  cfg.map_slots = 64;
+  cfg.reduce_slots = 64;
+  sched::FifoPolicy fifo;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto result = core::Replay(workload, fifo, cfg);
+    events += result.events_processed;
+    benchmark::DoNotOptimize(result.makespan);
+  }
+  state.counters["events_per_second"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["events_per_replay"] =
+      static_cast<double>(events) / state.iterations();
+}
+BENCHMARK(BM_EngineReplay)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  Rng rng(7);
+  const std::size_t n = 4096;
+  for (auto _ : state) {
+    EventQueue<int> q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.Push(static_cast<double>(rng.NextBounded(1000)),
+             static_cast<int>(i));
+    }
+    while (!q.Empty()) benchmark::DoNotOptimize(q.Pop().payload);
+  }
+  state.counters["events_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * n),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_MeasureSolo(benchmark::State& state) {
+  const auto workload = MakeWorkload(20, 13);
+  std::vector<trace::JobProfile> profiles;
+  for (const auto& j : workload) profiles.push_back(j.profile);
+  core::SimConfig cfg;
+  cfg.map_slots = 64;
+  cfg.reduce_slots = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::MeasureSoloCompletions(profiles, cfg));
+  }
+}
+BENCHMARK(BM_MeasureSolo);
+
+}  // namespace
+}  // namespace simmr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Heterogeneity study — how far does the job-template abstraction stretch?
+//
+// The paper's related work (Section VI) notes that Hadoop assumes a
+// homogeneous cluster and that heterogeneity-aware simulation needed a
+// different tool (Cardona et al.). SimMR's job template records *pooled*
+// task durations with no notion of which node produced them, so node
+// heterogeneity widens the recorded distributions but should not break
+// replay accuracy — until speculation or placement effects couple
+// durations to nodes. This example sweeps node-speed heterogeneity on the
+// testbed emulator and reports, per level:
+//   - the spread of the recorded map-duration distribution,
+//   - SimMR's replay error,
+//   - what speculative execution would recover.
+#include <cstdio>
+
+#include "cluster/cluster_sim.h"
+#include "core/simmr.h"
+#include "sched/fifo.h"
+#include "simcore/stats.h"
+#include "trace/mr_profiler.h"
+
+int main() {
+  using namespace simmr;
+  std::printf(
+      "Node-heterogeneity sweep: WordCount/40GB on 64 emulated workers.\n"
+      "sigma = stddev of per-node speed factors (truncated normal).\n\n");
+  std::printf("%8s %12s %14s %12s %9s %14s\n", "sigma", "actual_s",
+              "map_cv", "simmr_s", "err_%", "spec_gain_%");
+
+  cluster::JobSpec spec = cluster::ValidationSuite()[0];  // WordCount
+  sched::FifoPolicy fifo;
+  core::SimConfig cfg;
+  cfg.map_slots = 64;
+  cfg.reduce_slots = 64;
+
+  for (const double sigma : {0.0, 0.05, 0.1, 0.2, 0.35}) {
+    cluster::TestbedOptions opts;
+    opts.seed = 31;
+    opts.config.node_speed_sigma = sigma;
+    const std::vector<cluster::SubmittedJob> jobs{{spec, 0.0, 0.0}};
+    const auto testbed = cluster::RunTestbed(jobs, opts);
+    const double actual =
+        testbed.log.jobs()[0].finish_time - testbed.log.jobs()[0].submit_time;
+
+    const auto profile = trace::BuildAllProfiles(testbed.log)[0];
+    const Summary map_summary = profile.MapSummary();
+    const double cv = map_summary.stddev / map_summary.mean;
+
+    trace::WorkloadTrace w(1);
+    w[0].profile = profile;
+    const double simulated =
+        core::Replay(w, fifo, cfg).jobs[0].CompletionTime();
+
+    // What would speculation claw back at this heterogeneity level?
+    cluster::TestbedOptions spec_opts = opts;
+    spec_opts.config.speculative_execution = true;
+    const double with_spec =
+        cluster::RunTestbed(jobs, spec_opts).log.jobs()[0].finish_time;
+
+    std::printf("%8.2f %12.1f %14.3f %12.1f %+8.1f%% %+13.1f%%\n", sigma,
+                actual, cv, simulated, 100.0 * (simulated - actual) / actual,
+                100.0 * (actual - with_spec) / actual);
+  }
+
+  std::printf(
+      "\nreading the table: the map-duration coefficient of variation\n"
+      "(map_cv) grows with heterogeneity and the straggler tail stretches\n"
+      "the job, yet the replay error stays small — the pooled template\n"
+      "absorbs node effects. The last column is the completion-time\n"
+      "reduction speculative execution would recover, i.e. the point at\n"
+      "which the paper's 'speculation disabled' choice stops being free.\n");
+  return 0;
+}

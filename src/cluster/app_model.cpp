@@ -1,0 +1,155 @@
+#include "cluster/app_model.h"
+
+#include <cmath>
+
+namespace simmr::cluster {
+
+int JobSpec::NumMaps(double block_size_mb) const {
+  return static_cast<int>(std::ceil(input_mb / block_size_mb));
+}
+
+namespace apps {
+
+AppModel WordCount() {
+  AppModel m;
+  m.name = "WordCount";
+  m.map_cost_s_per_mb = 0.29;   // tokenization dominates
+  m.map_startup_s = 1.2;
+  m.map_sigma = 0.12;
+  m.map_selectivity = 0.60;     // combiner collapses word counts
+  m.merge_cost_s_per_mb = 0.02;
+  m.reduce_cost_s_per_mb = 0.03;
+  m.reduce_startup_s = 1.0;
+  m.reduce_sigma = 0.12;
+  return m;
+}
+
+AppModel WikiTrends() {
+  AppModel m;
+  m.name = "WikiTrends";
+  m.map_cost_s_per_mb = 1.25;   // per-hour log decompression + parsing
+  m.map_startup_s = 1.5;
+  m.map_sigma = 0.18;           // compressed chunk sizes vary a lot
+  m.map_selectivity = 0.70;
+  m.merge_cost_s_per_mb = 0.04;
+  m.reduce_cost_s_per_mb = 0.05;
+  m.reduce_startup_s = 1.0;
+  m.reduce_sigma = 0.16;
+  return m;
+}
+
+AppModel Twitter() {
+  AppModel m;
+  m.name = "Twitter";
+  m.map_cost_s_per_mb = 0.42;   // edge parsing + pair emission
+  m.map_startup_s = 1.2;
+  m.map_sigma = 0.10;
+  m.map_selectivity = 1.0;
+  m.merge_cost_s_per_mb = 0.05;
+  m.reduce_cost_s_per_mb = 0.03;
+  m.reduce_startup_s = 1.0;
+  m.reduce_sigma = 0.12;
+  return m;
+}
+
+AppModel Sort() {
+  AppModel m;
+  m.name = "Sort";
+  m.map_cost_s_per_mb = 0.045;  // identity map, I/O bound
+  m.map_startup_s = 1.0;
+  m.map_sigma = 0.10;
+  m.map_selectivity = 1.0;      // every byte is shuffled
+  m.merge_cost_s_per_mb = 0.07; // external merge of full data
+  m.reduce_cost_s_per_mb = 0.05;
+  m.reduce_startup_s = 1.0;
+  m.reduce_sigma = 0.15;
+  return m;
+}
+
+AppModel Tfidf() {
+  AppModel m;
+  m.name = "TFIDF";
+  m.map_cost_s_per_mb = 0.20;   // term-vector statistics
+  m.map_startup_s = 1.0;
+  m.map_sigma = 0.14;
+  m.map_selectivity = 1.5;      // emits a score per term-document pair
+  m.merge_cost_s_per_mb = 0.08;
+  m.reduce_cost_s_per_mb = 0.02;
+  m.reduce_startup_s = 1.0;
+  m.reduce_sigma = 0.18;
+  return m;
+}
+
+AppModel Bayes() {
+  AppModel m;
+  m.name = "Bayes";
+  m.map_cost_s_per_mb = 0.58;   // feature extraction
+  m.map_startup_s = 1.2;
+  m.map_sigma = 0.13;
+  m.map_selectivity = 0.50;
+  m.merge_cost_s_per_mb = 0.03;
+  m.reduce_cost_s_per_mb = 0.05; // simple count addition (with combiner)
+  m.reduce_startup_s = 1.0;
+  m.reduce_sigma = 0.10;
+  return m;
+}
+
+}  // namespace apps
+
+namespace {
+
+JobSpec Spec(AppModel app, std::string label, double input_gb, int reduces) {
+  JobSpec spec;
+  spec.app = std::move(app);
+  spec.dataset_label = std::move(label);
+  spec.input_mb = input_gb * 1024.0;
+  spec.num_reduces = reduces;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<JobSpec> ValidationSuite() {
+  // One dataset per application, sized so the default 64-worker cluster
+  // produces completion times near Figure 5(a)'s parenthetical values.
+  return {
+      Spec(apps::WordCount(), "wiki-40GB", 40.0, 128),
+      Spec(apps::WikiTrends(), "tt-55GB", 55.0, 128),
+      Spec(apps::Twitter(), "edges-25GB", 25.0, 256),
+      Spec(apps::Sort(), "rand-16GB", 16.0, 192),
+      Spec(apps::Tfidf(), "vectors-8GB", 8.0, 128),
+      Spec(apps::Bayes(), "wiki-pages-40GB", 40.0, 128),
+  };
+}
+
+std::vector<JobSpec> FullWorkloadSuite() {
+  // Section IV-C: each application over its three dataset variants.
+  return {
+      Spec(apps::WordCount(), "wiki-32GB", 32.0, 128),
+      Spec(apps::WordCount(), "wiki-40GB", 40.0, 128),
+      Spec(apps::WordCount(), "wiki-43GB", 43.0, 128),
+      Spec(apps::WikiTrends(), "tt-45GB", 45.0, 128),
+      Spec(apps::WikiTrends(), "tt-55GB", 55.0, 128),
+      Spec(apps::WikiTrends(), "tt-60GB", 60.0, 128),
+      Spec(apps::Twitter(), "edges-12GB", 12.0, 256),
+      Spec(apps::Twitter(), "edges-18GB", 18.0, 256),
+      Spec(apps::Twitter(), "edges-25GB", 25.0, 256),
+      Spec(apps::Sort(), "rand-16GB", 16.0, 192),
+      Spec(apps::Sort(), "rand-32GB", 32.0, 192),
+      Spec(apps::Sort(), "rand-64GB", 64.0, 192),
+      Spec(apps::Tfidf(), "vectors-6GB", 6.0, 128),
+      Spec(apps::Tfidf(), "vectors-8GB", 8.0, 128),
+      Spec(apps::Tfidf(), "vectors-10GB", 10.0, 128),
+      Spec(apps::Bayes(), "wiki-pages-32GB", 32.0, 128),
+      Spec(apps::Bayes(), "wiki-pages-40GB", 40.0, 128),
+      Spec(apps::Bayes(), "wiki-pages-43GB", 43.0, 128),
+  };
+}
+
+JobSpec SectionTwoExample() {
+  // 200 map tasks (200 blocks = 12.5 GB) and 256 reduce tasks, as in the
+  // Section II WordCount walk-through.
+  return Spec(apps::WordCount(), "wiki-12.5GB", 12.5, 256);
+}
+
+}  // namespace simmr::cluster

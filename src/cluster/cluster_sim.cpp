@@ -1,0 +1,611 @@
+#include "cluster/cluster_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "cluster/testbed_scheduler.h"
+#include "simcore/distributions.h"
+#include "simcore/event_queue.h"
+#include "simcore/log.h"
+
+namespace simmr::cluster {
+namespace {
+
+enum class EventKind : std::uint8_t {
+  kJobArrival,    // a = job index in the submission list
+  kHeartbeat,     // a = node id (regular, self-rearming)
+  kOobHeartbeat,  // a = node id (out-of-band, fired on task completion)
+  kMapDataReady,  // a = job id, b = map task index (exact map end time)
+  kReduceDone,    // a = job id, b = reduce task index (exact reduce end)
+  kFetchCheck,    // b = generation stamp of the shuffle schedule
+};
+
+struct Event {
+  EventKind kind;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+};
+
+/// One attempt occupying a slot on a node. Map attempts carry their own
+/// timestamps and failure flag because speculation allows two concurrent
+/// attempts of the same map task; reduce attempts have at most one in
+/// flight, so their state stays on the ReduceTaskRt.
+struct NodeTask {
+  JobId job = kInvalidJob;
+  TaskKind kind = TaskKind::kMap;
+  TaskIndex index = kInvalidTask;
+  bool speculative = false;  // maps only
+  bool failing = false;      // maps only
+  SimTime start = 0.0;       // maps only
+  SimTime end = 0.0;         // maps only
+};
+
+struct NodeState {
+  double speed = 1.0;
+  int rack = 0;
+  int free_map_slots = 0;
+  int free_reduce_slots = 0;
+  // Attempts currently occupying slots on this node, reported on heartbeat.
+  std::vector<NodeTask> running;
+};
+
+class TestbedSim {
+ public:
+  TestbedSim(const std::vector<SubmittedJob>& submissions,
+             const TestbedOptions& options)
+      : submissions_(submissions),
+        options_(options),
+        master_rng_(options.seed),
+        shuffle_(MakeAggregateBw(options.config),
+                 MakePerFlowCap(options.config)) {
+    for (std::size_t i = 1; i < submissions_.size(); ++i) {
+      if (submissions_[i].submit_time < submissions_[i - 1].submit_time)
+        throw std::invalid_argument(
+            "RunTestbed: submissions must be sorted by submit_time");
+    }
+    for (const auto& s : submissions_) {
+      if (s.spec.input_mb <= 0.0)
+        throw std::invalid_argument("RunTestbed: job with nonpositive input");
+    }
+    failure_rng_ = master_rng_.Split("failures");
+    speculation_rng_ = master_rng_.Split("speculation");
+    switch (options_.scheduler) {
+      case SchedulerKind::kFifo:
+        scheduler_ = std::make_unique<FifoTestbedScheduler>();
+        break;
+      case SchedulerKind::kEdf:
+        scheduler_ = std::make_unique<EdfTestbedScheduler>();
+        break;
+    }
+    InitNodes();
+  }
+
+  TestbedResult Run() {
+    for (std::size_t i = 0; i < submissions_.size(); ++i) {
+      queue_.Push(submissions_[i].submit_time,
+                  Event{EventKind::kJobArrival, static_cast<std::int32_t>(i)});
+    }
+    const ClusterConfig& cfg = options_.config;
+    for (int n = 0; n < cfg.num_nodes; ++n) {
+      const SimTime stagger = cfg.heartbeat_interval *
+                              static_cast<double>(n) /
+                              static_cast<double>(cfg.num_nodes);
+      queue_.Push(stagger, Event{EventKind::kHeartbeat, n});
+    }
+
+    while (!queue_.Empty() && finished_jobs_ < submissions_.size()) {
+      auto entry = queue_.Pop();
+      now_ = entry.time;
+      ++events_processed_;
+      Dispatch(entry.payload);
+    }
+    if (finished_jobs_ < submissions_.size())
+      throw std::logic_error("TestbedSim: event queue drained early");
+
+    TestbedResult result;
+    result.log = std::move(log_);
+    result.events_processed = events_processed_;
+    result.makespan = makespan_;
+    return result;
+  }
+
+ private:
+  static double MakeAggregateBw(const ClusterConfig& cfg) {
+    // Source-side egress is the shared resource: every worker serves map
+    // output at its effective shuffle bandwidth. With one flow per reduce
+    // slot this exceeds the sum of per-flow caps, so contention only kicks
+    // in when reduce slots are oversubscribed (e.g. 2+ slots per node).
+    return cfg.num_nodes * cfg.node_bandwidth_mbps;
+  }
+
+  static double MakePerFlowCap(const ClusterConfig& cfg) {
+    // A single reduce's ingress, discounted by the expected cross-rack mix.
+    const double cross_mix = 0.5 * (1.0 + cfg.cross_rack_factor);
+    return cfg.node_bandwidth_mbps * cross_mix;
+  }
+
+  void InitNodes() {
+    const ClusterConfig& cfg = options_.config;
+    Rng node_rng = master_rng_.Split("node-speed");
+    NormalDist speed_dist(1.0, std::max(cfg.node_speed_sigma, 1e-12), 0.7);
+    nodes_.resize(cfg.num_nodes);
+    for (int n = 0; n < cfg.num_nodes; ++n) {
+      NodeState& node = nodes_[n];
+      node.speed = cfg.node_speed_sigma > 0.0 ? speed_dist.Sample(node_rng)
+                                              : 1.0;
+      node.rack = n % std::max(1, cfg.num_racks);
+      node.free_map_slots = cfg.map_slots_per_node;
+      node.free_reduce_slots = cfg.reduce_slots_per_node;
+    }
+  }
+
+  void Dispatch(const Event& ev) {
+    switch (ev.kind) {
+      case EventKind::kJobArrival:
+        OnJobArrival(ev.a);
+        break;
+      case EventKind::kHeartbeat:
+        OnHeartbeat(ev.a, /*rearm=*/true);
+        break;
+      case EventKind::kOobHeartbeat:
+        OnHeartbeat(ev.a, /*rearm=*/false);
+        break;
+      case EventKind::kMapDataReady:
+        OnMapDataReady(ev.a, ev.b);
+        break;
+      case EventKind::kReduceDone:
+        // Exact completion instant: with out-of-band heartbeats enabled the
+        // node reports immediately instead of waiting for its next beat.
+        if (options_.config.out_of_band_heartbeat) {
+          JobRuntime& job = *jobs_[ev.a];
+          queue_.Push(now_, Event{EventKind::kOobHeartbeat,
+                                  job.reduces()[ev.b].node});
+        }
+        break;
+      case EventKind::kFetchCheck:
+        OnFetchCheck(ev.b);
+        break;
+    }
+  }
+
+  void OnJobArrival(std::int32_t submission_index) {
+    const SubmittedJob& submission = submissions_[submission_index];
+    const JobId id = static_cast<JobId>(jobs_.size());
+    jobs_.push_back(std::make_unique<JobRuntime>(
+        id, submission, options_.config, master_rng_.Split("job", id)));
+    if (options_.caps) jobs_.back()->caps() = options_.caps(submission);
+    job_queue_.push_back(jobs_.back().get());
+    SIMMR_DEBUG << "t=" << now_ << " job " << id << " ("
+                << submission.spec.FullName() << ") arrived";
+  }
+
+  void OnHeartbeat(NodeId node_id, bool rearm) {
+    shuffle_.Advance(now_);
+    ProcessFetchCompletions();
+
+    ReportFinishedTasks(node_id);
+    AssignTasks(node_id);
+
+    // Hadoop TaskTrackers heartbeat for as long as the daemon runs; we stop
+    // re-arming once nothing can ever need this node again.
+    if (rearm && finished_jobs_ < submissions_.size()) {
+      queue_.Push(now_ + options_.config.heartbeat_interval,
+                  Event{EventKind::kHeartbeat, node_id});
+    }
+  }
+
+  void ReportFinishedTasks(NodeId node_id) {
+    NodeState& node = nodes_[node_id];
+    for (std::size_t i = 0; i < node.running.size();) {
+      const NodeTask entry = node.running[i];  // copy: the vector mutates
+      const JobId job_id = entry.job;
+      const TaskKind kind = entry.kind;
+      const TaskIndex index = entry.index;
+      JobRuntime& job = *jobs_[job_id];
+      bool done = false;
+      if (kind == TaskKind::kMap) {
+        MapTaskRt& m = job.maps()[index];
+        if (entry.end <= now_ + kTimeEpsilon) {
+          // Attempt outcome: a failed attempt never succeeds; a healthy
+          // attempt succeeds only if it is the first to report (with
+          // speculation, the later twin is a killed duplicate).
+          const bool winner = !entry.failing && !m.reported;
+          TaskAttemptRecord rec;
+          rec.job = job_id;
+          rec.kind = TaskKind::kMap;
+          rec.index = index;
+          rec.node = node_id;
+          rec.start = entry.start;
+          rec.shuffle_end = entry.start;
+          rec.end = entry.end;
+          rec.input_mb = m.input_mb;
+          rec.succeeded = winner;
+          log_.AddTask(rec);
+          ++node.free_map_slots;
+          --job.running_maps;
+          --m.active_attempts;
+          if (winner) {
+            m.state = TaskState::kDone;
+            m.reported = true;
+            ++job.maps_reported;
+            job.completed_map_duration_sum += entry.end - entry.start;
+            ++job.completed_map_count;
+            KillOtherMapAttempts(job_id, index, node_id);
+          } else if (!m.reported && m.active_attempts == 0) {
+            // Every attempt failed: the task goes back to pending.
+            m.state = TaskState::kPending;
+            job.RequeueMap(index);
+          }
+          done = true;
+        }
+      } else {
+        ReduceTaskRt& r = job.reduces()[index];
+        if (r.phase == ReducePhase::kMergeAndReduce &&
+            r.end <= now_ + kTimeEpsilon) {
+          TaskAttemptRecord rec;
+          rec.job = job_id;
+          rec.kind = TaskKind::kReduce;
+          rec.index = index;
+          rec.node = node_id;
+          rec.start = r.start;
+          rec.shuffle_end = r.shuffle_end;
+          rec.end = r.end;
+          rec.input_mb = r.bytes_mb;
+          rec.succeeded = !r.attempt_failing;
+          log_.AddTask(rec);
+          ++node.free_reduce_slots;
+          --job.running_reduces;
+          if (r.attempt_failing) {
+            r.attempt_failing = false;
+            r.state = TaskState::kPending;
+            r.phase = ReducePhase::kFetch;
+            r.flow = -1;
+            r.end = kTimeInfinity;
+            job.RequeueReduce(index);
+          } else {
+            r.state = TaskState::kDone;
+            r.reported = true;
+            ++job.reduces_reported;
+          }
+          done = true;
+        }
+      }
+      if (done) {
+        node.running[i] = node.running.back();
+        node.running.pop_back();
+        MaybeFinishJob(job);
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  void MaybeFinishJob(JobRuntime& job) {
+    if (job.Finished()) return;
+    if (job.maps_reported < job.num_maps() ||
+        job.reduces_reported < job.num_reduces())
+      return;
+    job.finish_time = now_;
+    makespan_ = std::max(makespan_, now_);
+    ++finished_jobs_;
+    job_queue_.erase(
+        std::find(job_queue_.begin(), job_queue_.end(), &job));
+
+    JobRecord rec;
+    rec.job = job.id();
+    rec.app_name = job.spec().app.name;
+    rec.dataset = job.spec().dataset_label;
+    rec.num_maps = job.num_maps();
+    rec.num_reduces = job.num_reduces();
+    rec.input_mb = job.spec().input_mb;
+    rec.submit_time = job.submit_time();
+    rec.launch_time = job.launch_time;
+    rec.finish_time = job.finish_time;
+    rec.maps_done_time = job.maps_done_time;
+    rec.deadline = job.deadline();
+    log_.AddJob(std::move(rec));
+    SIMMR_DEBUG << "t=" << now_ << " job " << job.id() << " finished";
+  }
+
+  /// The winning attempt kills the still-running duplicate (if any): its
+  /// entry end is pulled to `now` so its node reaps it immediately.
+  void KillOtherMapAttempts(JobId job_id, TaskIndex index,
+                            NodeId winner_node) {
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      for (NodeTask& other : nodes_[n].running) {
+        if (other.job != job_id || other.kind != TaskKind::kMap ||
+            other.index != index || other.end <= now_ + kTimeEpsilon)
+          continue;
+        other.end = now_;
+        other.failing = true;  // it will be logged as not-succeeded
+        if (static_cast<NodeId>(n) != winner_node &&
+            options_.config.out_of_band_heartbeat) {
+          queue_.Push(now_, Event{EventKind::kOobHeartbeat,
+                                  static_cast<NodeId>(n)});
+        }
+      }
+    }
+  }
+
+  void AssignTasks(NodeId node_id) {
+    NodeState& node = nodes_[node_id];
+    const ClusterConfig& cfg = options_.config;
+
+    // Hadoop 0.20 assigns at most one map and one reduce per heartbeat.
+    if (node.free_map_slots > 0) {
+      const JobId job_id = scheduler_->PickMapJob(job_queue_);
+      if (job_id != kInvalidJob) {
+        LaunchMap(*jobs_[job_id], node_id);
+      } else if (cfg.speculative_execution) {
+        TrySpeculateMap(node_id);
+      }
+    }
+    if (node.free_reduce_slots > 0) {
+      const JobId job_id =
+          scheduler_->PickReduceJob(job_queue_, cfg.reduce_slowstart);
+      if (job_id != kInvalidJob) LaunchReduce(*jobs_[job_id], node_id);
+    }
+  }
+
+  void LaunchMap(JobRuntime& job, NodeId node_id) {
+    const TaskIndex index =
+        options_.config.model_locality &&
+                options_.config.locality_aware_scheduling
+            ? job.PopPendingMapPreferLocal(node_id,
+                                           options_.config.num_racks)
+            : job.PopPendingMap();
+    MapTaskRt& m = job.maps()[index];
+    m.state = TaskState::kRunning;
+    m.node = node_id;
+    LaunchMapAttempt(job, index, node_id, /*speculative=*/false, m.noise);
+    m.start = now_;
+    m.end = node_last_attempt_end_;
+  }
+
+  /// Launches one map attempt (primary or speculative backup) on the node
+  /// and records it as a NodeTask entry. Sets node_last_attempt_end_.
+  void LaunchMapAttempt(JobRuntime& job, TaskIndex index, NodeId node_id,
+                        bool speculative, double noise) {
+    NodeState& node = nodes_[node_id];
+    MapTaskRt& m = job.maps()[index];
+    const AppModel& app = job.spec().app;
+    double duration =
+        (app.map_startup_s + m.input_mb * app.map_cost_s_per_mb * noise) /
+        node.speed +
+        MapReadPenalty(options_.config, m, node_id);
+    const bool failing = DrawFailure();
+    if (failing) {
+      // The attempt dies partway through; the slot is wasted until then.
+      duration *= failure_rng_.NextDouble(0.05, 0.95);
+    }
+    ++m.attempts;
+    ++m.active_attempts;
+    ++job.running_maps;
+    --node.free_map_slots;
+    NodeTask entry;
+    entry.job = job.id();
+    entry.kind = TaskKind::kMap;
+    entry.index = index;
+    entry.speculative = speculative;
+    entry.failing = failing;
+    entry.start = now_;
+    entry.end = now_ + duration;
+    node.running.push_back(entry);
+    node_last_attempt_end_ = entry.end;
+    if (job.launch_time < 0.0) job.launch_time = now_;
+    if (failing) {
+      if (options_.config.out_of_band_heartbeat) {
+        queue_.Push(entry.end, Event{EventKind::kOobHeartbeat, node_id});
+      }
+    } else {
+      queue_.Push(entry.end,
+                  Event{EventKind::kMapDataReady, job.id(), index});
+    }
+  }
+
+  /// Hadoop-style speculation: with a free slot and no pending maps, run a
+  /// backup attempt of the straggliest running map (planned duration above
+  /// the slowness threshold relative to the job's completed-map average).
+  void TrySpeculateMap(NodeId node_id) {
+    const ClusterConfig& cfg = options_.config;
+    JobRuntime* best_job = nullptr;
+    TaskIndex best_index = kInvalidTask;
+    double best_excess = 0.0;
+    for (const JobRuntime* job_view : job_queue_) {
+      JobRuntime& job = *jobs_[job_view->id()];
+      if (job.completed_map_count == 0) continue;  // no baseline yet
+      if (job.RunningMaps() >= job.caps().map_cap) continue;
+      const double avg = job.completed_map_duration_sum /
+                         job.completed_map_count;
+      const double threshold = cfg.speculation_slowness_threshold * avg;
+      for (TaskIndex i = 0; i < job.num_maps(); ++i) {
+        MapTaskRt& m = job.maps()[i];
+        if (m.state != TaskState::kRunning || m.reported || m.speculated ||
+            m.active_attempts != 1)
+          continue;
+        const double planned = m.end - m.start;
+        if (planned <= threshold) continue;
+        if (best_job == nullptr || planned - threshold > best_excess) {
+          best_job = &job;
+          best_index = i;
+          best_excess = planned - threshold;
+        }
+      }
+    }
+    if (best_job == nullptr) return;
+    MapTaskRt& m = best_job->maps()[best_index];
+    m.speculated = true;
+    // The backup attempt draws fresh duration noise (a straggler's noise
+    // was the problem) and runs at this node's speed.
+    const double noise = std::exp(
+        best_job->spec().app.map_sigma * speculation_rng_.NextGaussian() -
+        0.5 * best_job->spec().app.map_sigma *
+            best_job->spec().app.map_sigma);
+    LaunchMapAttempt(*best_job, best_index, node_id, /*speculative=*/true,
+                     noise);
+  }
+
+  void LaunchReduce(JobRuntime& job, NodeId node_id) {
+    NodeState& node = nodes_[node_id];
+    const TaskIndex index = job.PopPendingReduce();
+    ReduceTaskRt& r = job.reduces()[index];
+    r.state = TaskState::kRunning;
+    r.node = node_id;
+    r.start = now_;
+    ++r.attempts;
+    ++job.running_reduces;
+    --node.free_reduce_slots;
+    NodeTask entry;
+    entry.job = job.id();
+    entry.kind = TaskKind::kReduce;
+    entry.index = index;
+    node.running.push_back(entry);
+    if (job.launch_time < 0.0) job.launch_time = now_;
+
+    r.attempt_failing = DrawFailure();
+    if (r.attempt_failing) {
+      // The attempt dies during its run; approximate the point of death as
+      // a uniform fraction of the attempt's nominal span. It holds the
+      // slot but fetches nothing (its partial fetch is discarded anyway).
+      const AppModel& app = job.spec().app;
+      const double nominal = r.bytes_mb / MakePerFlowCap(options_.config) +
+                             r.bytes_mb * app.merge_cost_s_per_mb +
+                             app.reduce_startup_s +
+                             r.bytes_mb * app.reduce_cost_s_per_mb;
+      r.phase = ReducePhase::kMergeAndReduce;  // no flow to manage
+      r.end = now_ + std::max(0.1, nominal) *
+                         failure_rng_.NextDouble(0.05, 0.95);
+      r.shuffle_end = r.end;
+      if (options_.config.out_of_band_heartbeat) {
+        queue_.Push(r.end, Event{EventKind::kOobHeartbeat, node_id});
+      }
+      return;
+    }
+
+    r.phase = ReducePhase::kFetch;
+    r.end = kTimeInfinity;
+    const double available = job.produced_mb * r.frac;
+    r.flow = shuffle_.AddFlow(r.bytes_mb, available);
+    fetching_.push_back({job.id(), index});
+    ProcessFetchCompletions();  // zero-byte flows complete immediately
+    ScheduleFetchCheck();
+  }
+
+  bool DrawFailure() {
+    const double p = options_.config.task_failure_prob;
+    return p > 0.0 && failure_rng_.NextDouble() < p;
+  }
+
+  void OnMapDataReady(JobId job_id, TaskIndex map_index) {
+    JobRuntime& job = *jobs_[job_id];
+    MapTaskRt& m = job.maps()[map_index];
+    if (m.data_ready) return;  // a faster (speculative) twin already landed
+    m.data_ready = true;
+    ++job.maps_data_ready;
+    const double out_mb = m.input_mb * job.spec().app.map_selectivity;
+    job.produced_mb += out_mb;
+    if (job.AllMapsDataReady()) job.maps_done_time = now_;
+
+    shuffle_.Advance(now_);
+    for (const auto& [fj, fr] : fetching_) {
+      if (fj != job_id) continue;
+      const ReduceTaskRt& r = job.reduces()[fr];
+      shuffle_.AddAvailability(r.flow, out_mb * r.frac);
+    }
+    ProcessFetchCompletions();
+    ScheduleFetchCheck();
+    if (options_.config.out_of_band_heartbeat) {
+      queue_.Push(now_, Event{EventKind::kOobHeartbeat, m.node});
+    }
+  }
+
+  void OnFetchCheck(std::int32_t generation) {
+    if (generation != fetch_generation_) return;  // superseded schedule
+    shuffle_.Advance(now_);
+    ProcessFetchCompletions();
+    ScheduleFetchCheck();
+  }
+
+  /// Moves every completed fetch into the merge+reduce phase. Safe to call
+  /// after any shuffle_ mutation at the current time.
+  void ProcessFetchCompletions() {
+    for (std::size_t i = 0; i < fetching_.size();) {
+      const auto [job_id, index] = fetching_[i];
+      JobRuntime& job = *jobs_[job_id];
+      ReduceTaskRt& r = job.reduces()[index];
+      if (!shuffle_.IsComplete(r.flow)) {
+        ++i;
+        continue;
+      }
+      shuffle_.Retire(r.flow);
+      const AppModel& app = job.spec().app;
+      const double speed = nodes_[r.node].speed;
+      const double merge_dur =
+          r.bytes_mb * app.merge_cost_s_per_mb * r.merge_noise / speed;
+      const double reduce_dur =
+          (app.reduce_startup_s +
+           r.bytes_mb * app.reduce_cost_s_per_mb * r.reduce_noise) /
+          speed;
+      r.phase = ReducePhase::kMergeAndReduce;
+      r.shuffle_end = now_ + merge_dur;
+      r.end = r.shuffle_end + reduce_dur;
+      queue_.Push(r.end, Event{EventKind::kReduceDone, job_id, index});
+      fetching_[i] = fetching_.back();
+      fetching_.pop_back();
+    }
+  }
+
+  void ScheduleFetchCheck() {
+    ++fetch_generation_;
+    const SimTime next = shuffle_.NextEventTime();
+    if (next < kTimeInfinity) {
+      queue_.Push(std::max(next, now_),
+                  Event{EventKind::kFetchCheck, 0, fetch_generation_});
+    }
+  }
+
+  const std::vector<SubmittedJob>& submissions_;
+  const TestbedOptions& options_;
+  Rng master_rng_;
+  Rng failure_rng_{0};
+  Rng speculation_rng_{0};
+  SimTime node_last_attempt_end_ = 0.0;
+  ShuffleModel shuffle_;
+  std::unique_ptr<TestbedScheduler> scheduler_;
+  std::vector<NodeState> nodes_;
+  std::vector<std::unique_ptr<JobRuntime>> jobs_;
+  std::vector<const JobRuntime*> job_queue_;
+  std::vector<std::pair<JobId, TaskIndex>> fetching_;
+  EventQueue<Event> queue_;
+  HistoryLog log_;
+  SimTime now_ = 0.0;
+  SimTime makespan_ = 0.0;
+  std::size_t finished_jobs_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::int32_t fetch_generation_ = 0;
+};
+
+}  // namespace
+
+double MapReadPenalty(const ClusterConfig& config, const MapTaskRt& map,
+                      NodeId node) {
+  if (!config.model_locality || config.remote_read_mbps <= 0.0) return 0.0;
+  if (std::find(map.replicas.begin(), map.replicas.end(), node) !=
+      map.replicas.end())
+    return 0.0;  // node-local
+  const int racks = std::max(1, config.num_racks);
+  for (const NodeId replica : map.replicas) {
+    if (replica % racks == node % racks)
+      return map.input_mb / (2.0 * config.remote_read_mbps);  // rack-local
+  }
+  return map.input_mb / config.remote_read_mbps;  // cross-rack
+}
+
+TestbedResult RunTestbed(const std::vector<SubmittedJob>& jobs,
+                         const TestbedOptions& options) {
+  return TestbedSim(jobs, options).Run();
+}
+
+}  // namespace simmr::cluster

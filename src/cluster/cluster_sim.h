@@ -1,0 +1,60 @@
+// Node-level Hadoop testbed emulator.
+//
+// This is the repository's stand-in for the paper's 66-node physical
+// cluster (see DESIGN.md section 2). It is a discrete-event simulation at
+// TaskTracker granularity: nodes send heartbeats every 3 s, the emulated
+// JobTracker assigns at most one map and one reduce task per heartbeat
+// (Hadoop 0.20 behaviour), task completions become visible to the
+// JobTracker only on the next heartbeat of the executing node, and shuffle
+// transfers move through a contended fluid-flow bandwidth model fed
+// progressively by finishing map tasks.
+//
+// Its output is a HistoryLog — the ground truth that MRProfiler turns into
+// SimMR traces and against which SimMR/Mumak accuracy is measured.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/config.h"
+#include "cluster/history_log.h"
+#include "cluster/job.h"
+
+namespace simmr::cluster {
+
+enum class SchedulerKind { kFifo, kEdf };
+
+/// Computes per-job slot caps at submission time. Used to run the paper's
+/// "requested number of slots" FIFO variant (Section II) and MinEDF's
+/// minimal allocations (Section V) on the testbed.
+using SlotCapFn = std::function<SlotCaps(const SubmittedJob&)>;
+
+struct TestbedOptions {
+  ClusterConfig config{};
+  std::uint64_t seed = 42;
+  SchedulerKind scheduler = SchedulerKind::kFifo;
+  /// Optional per-job cap hook; unlimited caps when empty.
+  SlotCapFn caps;
+};
+
+struct TestbedResult {
+  HistoryLog log;
+  std::uint64_t events_processed = 0;
+  SimTime makespan = 0.0;  // finish time of the last job
+};
+
+/// Runs the submitted jobs to completion and returns the execution log.
+/// Jobs must be supplied in nondecreasing submit_time order.
+/// Throws std::invalid_argument on unordered submissions or empty specs.
+TestbedResult RunTestbed(const std::vector<SubmittedJob>& jobs,
+                         const TestbedOptions& options);
+
+/// Extra read time a map attempt pays when scheduled on `node`:
+/// 0 when locality modeling is off or a replica is node-local;
+/// input_mb / (2 * remote_read_mbps) for a rack-local replica;
+/// input_mb / remote_read_mbps otherwise. Exposed for tests.
+double MapReadPenalty(const ClusterConfig& config, const MapTaskRt& map,
+                      NodeId node);
+
+}  // namespace simmr::cluster

@@ -1,0 +1,96 @@
+// Cluster hardware/configuration model for the testbed emulator.
+//
+// Defaults describe the paper's testbed (Section IV-B): 66 HP DL145 G3
+// machines — 2 masters + 64 workers — in two racks on gigabit Ethernet,
+// Hadoop 0.20.2, one map slot and one reduce slot per worker, 64 MB blocks,
+// replication 3, speculation disabled.
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/time.h"
+
+namespace simmr::cluster {
+
+struct ClusterConfig {
+  /// Worker (TaskTracker) node count. Masters are not modeled as workers.
+  int num_nodes = 64;
+
+  /// Racks; nodes are assigned round-robin. Only used by the shuffle model's
+  /// cross-rack bandwidth discount.
+  int num_racks = 2;
+
+  int map_slots_per_node = 1;
+  int reduce_slots_per_node = 1;
+
+  /// TaskTracker heartbeat period (Hadoop 0.20 default: 3 s). Task
+  /// completions are observed by the JobTracker only on the next heartbeat
+  /// of the reporting node — one of the real-world effects SimMR's
+  /// task-level replay abstracts away.
+  SimDuration heartbeat_interval = 3.0;
+
+  /// HDFS block size; determines the number of map tasks per job.
+  double block_size_mb = 64.0;
+
+  /// Per-node effective shuffle service bandwidth, MB/s. Far below the GigE
+  /// line rate: shuffle fetches contend with HDFS traffic and pay for disk
+  /// seeks on both the serving and fetching side. Chosen so that with one
+  /// reduce slot per node the per-flow cap (not the aggregate) binds —
+  /// which is what makes typical shuffle durations invariant to the slot
+  /// allocation (Figure 3).
+  double node_bandwidth_mbps = 10.0;
+
+  /// Multiplier applied to flows whose endpoints are in different racks
+  /// (top-of-rack uplink oversubscription).
+  double cross_rack_factor = 0.7;
+
+  /// Fraction of a job's map tasks that must complete before its reduce
+  /// tasks become schedulable (Hadoop's
+  /// mapred.reduce.slowstart.completed.maps; 0.20 default 0.05).
+  double reduce_slowstart = 0.05;
+
+  /// When true, a TaskTracker sends an immediate extra heartbeat the moment
+  /// a task finishes (Hadoop's mapreduce.tasktracker.outofband.heartbeat),
+  /// removing the up-to-3 s completion-report latency per task wave.
+  bool out_of_band_heartbeat = true;
+
+  /// Probability that a launched task attempt fails partway through and is
+  /// re-executed (Hadoop retries failed attempts). 0 disables failure
+  /// injection. Failed attempts occupy their slot for a uniform fraction
+  /// of the attempt's nominal duration and are logged with succeeded=false.
+  double task_failure_prob = 0.0;
+
+  /// Speculative execution of straggler map tasks (the paper's testbed ran
+  /// with speculation *disabled*, hence the default). When a node has a
+  /// free map slot and no pending map exists, a backup attempt is launched
+  /// for a running map whose planned duration exceeds
+  /// speculation_slowness_threshold x the job's average completed map
+  /// duration; the first finishing attempt wins and the other is killed.
+  bool speculative_execution = false;
+  double speculation_slowness_threshold = 1.5;
+
+  /// Data-locality modeling. Each map's input block lives on `replication`
+  /// nodes; a map scheduled off its replicas pays a read-over-network
+  /// penalty of input_mb / remote_read_mbps seconds (halved when a replica
+  /// sits in the same rack). The JobTracker prefers node-local, then
+  /// rack-local pending maps, like Hadoop's FIFO scheduler. The paper's
+  /// SimMR deliberately ignores locality (its effects are absorbed into
+  /// the profiled task durations); modeling it on the testbed side lets
+  /// that abstraction be validated. Off by default.
+  bool model_locality = false;
+  int replication = 3;
+  double remote_read_mbps = 40.0;
+  /// When locality is modeled, prefer node-local then rack-local pending
+  /// maps at assignment (Hadoop's behaviour). Disable to measure what
+  /// locality-blind assignment costs.
+  bool locality_aware_scheduling = true;
+
+  /// Relative node-speed heterogeneity: each node gets a speed factor drawn
+  /// from Normal(1, node_speed_sigma), truncated at 0.7. Zero disables.
+  double node_speed_sigma = 0.03;
+
+  int TotalMapSlots() const { return num_nodes * map_slots_per_node; }
+  int TotalReduceSlots() const { return num_nodes * reduce_slots_per_node; }
+};
+
+}  // namespace simmr::cluster

@@ -1,0 +1,158 @@
+#include "cluster/history_log.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace simmr::cluster {
+namespace {
+
+constexpr const char* kMagic = "SIMMR-HISTORY-V1";
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t', pos);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(pos));
+      break;
+    }
+    fields.push_back(line.substr(pos, tab - pos));
+    pos = tab + 1;
+  }
+  return fields;
+}
+
+double ParseDouble(const std::string& s, const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(s, &consumed);
+    if (consumed != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("HistoryLog: bad ") + what + ": '" +
+                             s + "'");
+  }
+}
+
+int ParseInt(const std::string& s, const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const int v = std::stoi(s, &consumed);
+    if (consumed != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("HistoryLog: bad ") + what + ": '" +
+                             s + "'");
+  }
+}
+
+}  // namespace
+
+void HistoryLog::AddJob(JobRecord record) { jobs_.push_back(std::move(record)); }
+
+void HistoryLog::AddTask(TaskAttemptRecord record) {
+  tasks_.push_back(record);
+}
+
+std::vector<TaskAttemptRecord> HistoryLog::TasksOf(JobId job) const {
+  std::vector<TaskAttemptRecord> out;
+  for (const auto& t : tasks_) {
+    if (t.job == job) out.push_back(t);
+  }
+  return out;
+}
+
+const JobRecord& HistoryLog::JobOf(JobId job) const {
+  for (const auto& j : jobs_) {
+    if (j.job == job) return j;
+  }
+  throw std::out_of_range("HistoryLog::JobOf: unknown job id " +
+                          std::to_string(job));
+}
+
+void HistoryLog::Write(std::ostream& out) const {
+  out << kMagic << '\n';
+  out.precision(9);
+  for (const auto& j : jobs_) {
+    out << "JOB\t" << j.job << '\t' << j.app_name << '\t' << j.dataset << '\t'
+        << j.num_maps << '\t' << j.num_reduces << '\t' << j.input_mb << '\t'
+        << j.submit_time << '\t' << j.launch_time << '\t' << j.finish_time
+        << '\t' << j.maps_done_time << '\t' << j.deadline << '\n';
+  }
+  for (const auto& t : tasks_) {
+    out << "TASK\t" << t.job << '\t' << TaskKindName(t.kind) << '\t' << t.index
+        << '\t' << t.node << '\t' << t.start << '\t' << t.shuffle_end << '\t'
+        << t.end << '\t' << t.input_mb << '\t' << (t.succeeded ? 1 : 0)
+        << '\n';
+  }
+}
+
+void HistoryLog::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("HistoryLog: cannot open " + path);
+  Write(out);
+  if (!out) throw std::runtime_error("HistoryLog: write failed for " + path);
+}
+
+HistoryLog HistoryLog::Read(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic)
+    throw std::runtime_error("HistoryLog: bad or missing magic header");
+  HistoryLog log;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto f = SplitTabs(line);
+    if (f[0] == "JOB") {
+      if (f.size() != 12)
+        throw std::runtime_error("HistoryLog: JOB line needs 12 fields");
+      JobRecord j;
+      j.job = ParseInt(f[1], "job id");
+      j.app_name = f[2];
+      j.dataset = f[3];
+      j.num_maps = ParseInt(f[4], "num_maps");
+      j.num_reduces = ParseInt(f[5], "num_reduces");
+      j.input_mb = ParseDouble(f[6], "input_mb");
+      j.submit_time = ParseDouble(f[7], "submit_time");
+      j.launch_time = ParseDouble(f[8], "launch_time");
+      j.finish_time = ParseDouble(f[9], "finish_time");
+      j.maps_done_time = ParseDouble(f[10], "maps_done_time");
+      j.deadline = ParseDouble(f[11], "deadline");
+      log.AddJob(std::move(j));
+    } else if (f[0] == "TASK") {
+      if (f.size() != 10)
+        throw std::runtime_error("HistoryLog: TASK line needs 10 fields");
+      TaskAttemptRecord t;
+      t.job = ParseInt(f[1], "job id");
+      if (f[2] == "MAP") {
+        t.kind = TaskKind::kMap;
+      } else if (f[2] == "REDUCE") {
+        t.kind = TaskKind::kReduce;
+      } else {
+        throw std::runtime_error("HistoryLog: bad task kind '" + f[2] + "'");
+      }
+      t.index = ParseInt(f[3], "task index");
+      t.node = ParseInt(f[4], "node");
+      t.start = ParseDouble(f[5], "start");
+      t.shuffle_end = ParseDouble(f[6], "shuffle_end");
+      t.end = ParseDouble(f[7], "end");
+      t.input_mb = ParseDouble(f[8], "input_mb");
+      t.succeeded = ParseInt(f[9], "succeeded") != 0;
+      log.AddTask(t);
+    } else {
+      throw std::runtime_error("HistoryLog: unknown record type '" + f[0] +
+                               "'");
+    }
+  }
+  return log;
+}
+
+HistoryLog HistoryLog::ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("HistoryLog: cannot open " + path);
+  return Read(in);
+}
+
+}  // namespace simmr::cluster

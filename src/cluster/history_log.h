@@ -1,0 +1,86 @@
+// JobHistory-style structured execution log.
+//
+// The testbed emulator records one JobRecord per job and one
+// TaskAttemptRecord per executed task, mirroring the information Hadoop's
+// JobTracker history files carry (submit/launch/finish times per job;
+// start / SORT_FINISHED / finish timestamps per task attempt). MRProfiler
+// (src/trace) and the Rumen re-implementation (src/mumak) both parse this
+// log, exactly as the paper's tools parse Hadoop logs.
+//
+// The text serialization is a line-oriented, versioned, tab-separated format
+// so logs survive a file round-trip and can be inspected with standard
+// tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cluster/types.h"
+#include "simcore/time.h"
+
+namespace simmr::cluster {
+
+/// Per-job summary record.
+struct JobRecord {
+  JobId job = kInvalidJob;
+  std::string app_name;
+  std::string dataset;
+  int num_maps = 0;
+  int num_reduces = 0;
+  double input_mb = 0.0;
+  SimTime submit_time = 0.0;
+  SimTime launch_time = 0.0;   // first task assignment
+  SimTime finish_time = 0.0;   // JobTracker-observed completion
+  SimTime maps_done_time = 0.0;  // end of the map stage (last map finish)
+  double deadline = 0.0;       // absolute; 0 when none was set
+};
+
+/// Per-task-attempt record. For maps, shuffle_end == start (no shuffle
+/// phase). For reduces, [start, shuffle_end] covers the combined
+/// shuffle+sort phase and [shuffle_end, end] the reduce phase, matching the
+/// paper's phase split.
+struct TaskAttemptRecord {
+  JobId job = kInvalidJob;
+  TaskKind kind = TaskKind::kMap;
+  TaskIndex index = kInvalidTask;
+  NodeId node = -1;
+  SimTime start = 0.0;
+  SimTime shuffle_end = 0.0;
+  SimTime end = 0.0;
+  double input_mb = 0.0;  // map: split size; reduce: shuffled bytes
+  /// False for attempts that failed and were re-executed. Consumers that
+  /// model task durations (MRProfiler, Rumen) use successful attempts.
+  bool succeeded = true;
+};
+
+/// Complete execution log of one testbed run.
+class HistoryLog {
+ public:
+  void AddJob(JobRecord record);
+  void AddTask(TaskAttemptRecord record);
+
+  const std::vector<JobRecord>& jobs() const { return jobs_; }
+  const std::vector<TaskAttemptRecord>& tasks() const { return tasks_; }
+
+  /// All task records of one job, in recorded order.
+  std::vector<TaskAttemptRecord> TasksOf(JobId job) const;
+
+  /// Job record lookup; throws std::out_of_range for unknown ids.
+  const JobRecord& JobOf(JobId job) const;
+
+  /// Serializes to the versioned tab-separated text format.
+  void Write(std::ostream& out) const;
+  void WriteFile(const std::string& path) const;
+
+  /// Parses a log produced by Write. Throws std::runtime_error on malformed
+  /// input (bad magic, wrong column counts, non-numeric fields).
+  static HistoryLog Read(std::istream& in);
+  static HistoryLog ReadFile(const std::string& path);
+
+ private:
+  std::vector<JobRecord> jobs_;
+  std::vector<TaskAttemptRecord> tasks_;
+};
+
+}  // namespace simmr::cluster

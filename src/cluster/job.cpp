@@ -1,0 +1,126 @@
+#include "cluster/job.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace simmr::cluster {
+namespace {
+
+/// Lognormal multiplicative noise with mean 1: exp(sigma*z - sigma^2/2).
+double MeanOneLogNormal(Rng& rng, double sigma) {
+  if (sigma <= 0.0) return 1.0;
+  return std::exp(sigma * rng.NextGaussian() - 0.5 * sigma * sigma);
+}
+
+}  // namespace
+
+JobRuntime::JobRuntime(JobId id, const SubmittedJob& submission,
+                       const ClusterConfig& config, Rng rng)
+    : id_(id), submission_(submission) {
+  const JobSpec& spec = submission_.spec;
+  const int num_maps = std::max(1, spec.NumMaps(config.block_size_mb));
+  const int num_reduces = std::max(1, spec.num_reduces);
+
+  maps_.resize(num_maps);
+  double remaining_mb = spec.input_mb;
+  for (MapTaskRt& m : maps_) {
+    m.input_mb = std::min(config.block_size_mb, remaining_mb);
+    remaining_mb -= m.input_mb;
+    m.noise = MeanOneLogNormal(rng, spec.app.map_sigma);
+  }
+
+  // Partition-skew noise for reduce inputs, renormalized so the per-reduce
+  // bytes sum exactly to the job's intermediate data volume.
+  reduces_.resize(num_reduces);
+  const double total_intermediate = spec.IntermediateMb();
+  double weight_sum = 0.0;
+  for (ReduceTaskRt& r : reduces_) {
+    r.frac = MeanOneLogNormal(rng, 0.05);
+    weight_sum += r.frac;
+  }
+  for (ReduceTaskRt& r : reduces_) {
+    r.frac /= weight_sum;
+    r.bytes_mb = total_intermediate * r.frac;
+    r.merge_noise = MeanOneLogNormal(rng, 0.08);
+    r.reduce_noise = MeanOneLogNormal(rng, spec.app.reduce_sigma);
+  }
+
+  // HDFS-style replica placement: `replication` distinct nodes per block
+  // (or every node when the cluster is smaller than that).
+  const int replicas =
+      std::min(std::max(1, config.replication), config.num_nodes);
+  for (MapTaskRt& m : maps_) {
+    m.replicas.reserve(replicas);
+    while (static_cast<int>(m.replicas.size()) < replicas) {
+      const NodeId candidate =
+          static_cast<NodeId>(rng.NextBounded(config.num_nodes));
+      if (std::find(m.replicas.begin(), m.replicas.end(), candidate) ==
+          m.replicas.end()) {
+        m.replicas.push_back(candidate);
+      }
+    }
+  }
+
+  for (TaskIndex i = 0; i < num_maps; ++i) pending_maps_.push_back(i);
+  for (TaskIndex i = 0; i < num_reduces; ++i) pending_reduces_.push_back(i);
+}
+
+TaskIndex JobRuntime::PopPendingMapPreferLocal(NodeId node, int num_racks) {
+  if (pending_maps_.empty())
+    throw std::logic_error("PopPendingMapPreferLocal: none pending");
+  const int rack = num_racks > 0 ? node % num_racks : 0;
+  const auto take = [this](std::deque<TaskIndex>::iterator it) {
+    const TaskIndex index = *it;
+    pending_maps_.erase(it);
+    return index;
+  };
+  // Pass 1: node-local.
+  for (auto it = pending_maps_.begin(); it != pending_maps_.end(); ++it) {
+    const auto& replicas = maps_[*it].replicas;
+    if (std::find(replicas.begin(), replicas.end(), node) != replicas.end())
+      return take(it);
+  }
+  // Pass 2: rack-local.
+  if (num_racks > 0) {
+    for (auto it = pending_maps_.begin(); it != pending_maps_.end(); ++it) {
+      for (const NodeId replica : maps_[*it].replicas) {
+        if (replica % num_racks == rack) return take(it);
+      }
+    }
+  }
+  // Pass 3: anything.
+  return PopPendingMap();
+}
+
+TaskIndex JobRuntime::PopPendingMap() {
+  if (pending_maps_.empty())
+    throw std::logic_error("JobRuntime::PopPendingMap: none pending");
+  const TaskIndex index = pending_maps_.front();
+  pending_maps_.pop_front();
+  return index;
+}
+
+TaskIndex JobRuntime::PopPendingReduce() {
+  if (pending_reduces_.empty())
+    throw std::logic_error("JobRuntime::PopPendingReduce: none pending");
+  const TaskIndex index = pending_reduces_.front();
+  pending_reduces_.pop_front();
+  return index;
+}
+
+void JobRuntime::RequeueMap(TaskIndex index) {
+  pending_maps_.push_back(index);
+}
+
+void JobRuntime::RequeueReduce(TaskIndex index) {
+  pending_reduces_.push_back(index);
+}
+
+bool JobRuntime::ReduceReady(double slowstart_fraction) const {
+  const int threshold = static_cast<int>(
+      std::ceil(slowstart_fraction * static_cast<double>(num_maps())));
+  return maps_reported >= std::max(1, threshold);
+}
+
+}  // namespace simmr::cluster

@@ -1,0 +1,159 @@
+// Per-job runtime state inside the testbed emulator.
+//
+// A JobRuntime is built once per submitted job. All stochastic per-task
+// quantities (duration noise, partition skew) are precomputed at
+// construction from a job-scoped RNG stream, so a job's intrinsic behaviour
+// is a pure function of (spec, seed) and does not depend on scheduling
+// order — the property that makes cross-scheduler comparisons meaningful.
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "cluster/app_model.h"
+#include "cluster/config.h"
+#include "cluster/shuffle_model.h"
+#include "cluster/types.h"
+#include "simcore/rng.h"
+#include "simcore/time.h"
+
+namespace simmr::cluster {
+
+/// A job submission: what to run, when it arrives, and (optionally) its
+/// completion deadline (absolute simulated time; 0 means none).
+struct SubmittedJob {
+  JobSpec spec;
+  SimTime submit_time = 0.0;
+  double deadline = 0.0;
+};
+
+/// Per-job concurrent-slot caps enforced by the testbed scheduler. The
+/// paper's modified FIFO ("allocate a requested number of map/reduce slots")
+/// and the MinEDF minimal allocation are both expressed through these.
+struct SlotCaps {
+  int map_cap = std::numeric_limits<int>::max();
+  int reduce_cap = std::numeric_limits<int>::max();
+};
+
+enum class TaskState : std::uint8_t { kPending, kRunning, kDone };
+
+enum class ReducePhase : std::uint8_t { kFetch, kMergeAndReduce };
+
+// Per-attempt map state (failure flag, timestamps) lives on the node's
+// running-task entries inside the simulator, because with speculative
+// execution a map task can have two attempts in flight at once.
+struct MapTaskRt {
+  TaskState state = TaskState::kPending;
+  NodeId node = -1;         // node of the primary attempt
+  SimTime start = 0.0;      // primary attempt start
+  SimTime end = 0.0;        // primary attempt planned end
+  double input_mb = 0.0;
+  double noise = 1.0;       // precomputed multiplicative duration noise
+  bool data_ready = false;  // output written (exact end time passed)
+  bool reported = false;    // completion seen by the JobTracker (heartbeat)
+  bool speculated = false;  // a backup attempt has been launched
+  int attempts = 0;         // attempts launched so far (retries + backups)
+  int active_attempts = 0;  // attempts currently holding a slot
+  /// HDFS replica placement of the input block (distinct nodes; fewer when
+  /// the cluster is smaller than the replication factor).
+  std::vector<NodeId> replicas;
+};
+
+struct ReduceTaskRt {
+  TaskState state = TaskState::kPending;
+  ReducePhase phase = ReducePhase::kFetch;
+  NodeId node = -1;
+  FlowId flow = -1;
+  SimTime start = 0.0;
+  SimTime shuffle_end = 0.0;  // fetch complete + merge pass done
+  SimTime end = 0.0;
+  double bytes_mb = 0.0;      // shuffle input for this reduce
+  double frac = 0.0;          // bytes_mb / job total intermediate
+  double merge_noise = 1.0;
+  double reduce_noise = 1.0;
+  bool reported = false;
+  bool attempt_failing = false;  // current attempt is fated to fail
+  int attempts = 0;
+};
+
+class JobRuntime {
+ public:
+  /// Precomputes splits and noise terms. `rng` must be a job-scoped stream.
+  JobRuntime(JobId id, const SubmittedJob& submission,
+             const ClusterConfig& config, Rng rng);
+
+  JobId id() const { return id_; }
+  const JobSpec& spec() const { return submission_.spec; }
+  SimTime submit_time() const { return submission_.submit_time; }
+  double deadline() const { return submission_.deadline; }
+
+  int num_maps() const { return static_cast<int>(maps_.size()); }
+  int num_reduces() const { return static_cast<int>(reduces_.size()); }
+
+  std::vector<MapTaskRt>& maps() { return maps_; }
+  std::vector<ReduceTaskRt>& reduces() { return reduces_; }
+  const std::vector<MapTaskRt>& maps() const { return maps_; }
+  const std::vector<ReduceTaskRt>& reduces() const { return reduces_; }
+
+  SlotCaps& caps() { return caps_; }
+  const SlotCaps& caps() const { return caps_; }
+
+  // --- counters maintained by the simulator ---
+  int running_maps = 0;       // attempts currently holding a map slot
+  int running_reduces = 0;    // attempts currently holding a reduce slot
+  int maps_reported = 0;      // successful completions seen by the JT
+  int maps_data_ready = 0;    // outputs actually on disk
+  int reduces_reported = 0;
+  double produced_mb = 0.0;   // intermediate data written so far
+
+  /// Completed-map duration statistics, used by speculative execution to
+  /// spot stragglers.
+  double completed_map_duration_sum = 0.0;
+  int completed_map_count = 0;
+
+  SimTime launch_time = -1.0;
+  SimTime maps_done_time = -1.0;  // exact end of the last map task
+  SimTime finish_time = -1.0;
+
+  bool Finished() const { return finish_time >= 0.0; }
+  bool AllMapsDataReady() const { return maps_data_ready == num_maps(); }
+
+  /// Concurrent attempts currently holding a slot of each type.
+  int RunningMaps() const { return running_maps; }
+  int RunningReduces() const { return running_reduces; }
+
+  bool HasPendingMap() const { return !pending_maps_.empty(); }
+  bool HasPendingReduce() const { return !pending_reduces_.empty(); }
+
+  /// Slowstart gate: reduces become schedulable once the configured fraction
+  /// of map completions has been *reported* to the JobTracker.
+  bool ReduceReady(double slowstart_fraction) const;
+
+  /// Takes the next pending map/reduce task for launching (FIFO among the
+  /// original order; failed attempts requeue at the back, like Hadoop's
+  /// retry behaviour). Requires one pending.
+  TaskIndex PopPendingMap();
+  TaskIndex PopPendingReduce();
+
+  /// Locality-aware variant: prefers a pending map with a replica on
+  /// `node`, then one with a replica in `rack` (node % num_racks), then
+  /// the queue front — Hadoop's node-local / rack-local / any order.
+  /// Requires one pending.
+  TaskIndex PopPendingMapPreferLocal(NodeId node, int num_racks);
+
+  /// Returns a failed task to the pending queue for re-execution.
+  void RequeueMap(TaskIndex index);
+  void RequeueReduce(TaskIndex index);
+
+ private:
+  JobId id_;
+  SubmittedJob submission_;
+  SlotCaps caps_;
+  std::vector<MapTaskRt> maps_;
+  std::vector<ReduceTaskRt> reduces_;
+  std::deque<TaskIndex> pending_maps_;
+  std::deque<TaskIndex> pending_reduces_;
+};
+
+}  // namespace simmr::cluster

@@ -1,0 +1,88 @@
+#include "cluster/shuffle_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace simmr::cluster {
+
+ShuffleModel::ShuffleModel(double aggregate_bw, double per_flow_cap)
+    : aggregate_bw_(aggregate_bw), per_flow_cap_(per_flow_cap) {
+  if (aggregate_bw <= 0 || per_flow_cap <= 0)
+    throw std::invalid_argument("ShuffleModel: nonpositive bandwidth");
+}
+
+bool ShuffleModel::FlowActive(const Flow& f) const {
+  if (f.retired) return false;
+  const double fetchable = std::min(f.available_mb, f.total_mb);
+  return f.fetched_mb + 1e-9 < fetchable;
+}
+
+FlowId ShuffleModel::AddFlow(double total_mb, double available_mb) {
+  Flow f;
+  f.total_mb = std::max(total_mb, 0.0);
+  f.available_mb = std::min(std::max(available_mb, 0.0), f.total_mb);
+  flows_.push_back(f);
+  RecomputeRates();
+  return static_cast<FlowId>(flows_.size() - 1);
+}
+
+void ShuffleModel::AddAvailability(FlowId flow, double mb) {
+  Flow& f = flows_.at(flow);
+  f.available_mb = std::min(f.available_mb + mb, f.total_mb);
+  RecomputeRates();
+}
+
+void ShuffleModel::Advance(SimTime now) {
+  if (now < last_update_ - kTimeEpsilon)
+    throw std::logic_error("ShuffleModel::Advance: time moved backwards");
+  const double dt = std::max(0.0, now - last_update_);
+  if (dt > 0.0) {
+    for (Flow& f : flows_) {
+      if (!FlowActive(f)) continue;
+      const double fetchable = std::min(f.available_mb, f.total_mb);
+      f.fetched_mb = std::min(f.fetched_mb + f.rate * dt, fetchable);
+    }
+  }
+  last_update_ = now;
+  RecomputeRates();
+}
+
+void ShuffleModel::RecomputeRates() {
+  active_count_ = 0;
+  for (const Flow& f : flows_) {
+    if (FlowActive(f)) ++active_count_;
+  }
+  const double shared =
+      active_count_ > 0 ? aggregate_bw_ / active_count_ : 0.0;
+  const double rate = std::min(per_flow_cap_, shared);
+  for (Flow& f : flows_) {
+    f.rate = FlowActive(f) ? rate : 0.0;
+  }
+}
+
+bool ShuffleModel::IsComplete(FlowId flow) const {
+  const Flow& f = flows_.at(flow);
+  return f.fetched_mb + 1e-9 >= f.total_mb;
+}
+
+double ShuffleModel::FetchedMb(FlowId flow) const {
+  return flows_.at(flow).fetched_mb;
+}
+
+SimTime ShuffleModel::NextEventTime() const {
+  SimTime next = kTimeInfinity;
+  for (const Flow& f : flows_) {
+    if (!FlowActive(f) || f.rate <= 0.0) continue;
+    const double fetchable = std::min(f.available_mb, f.total_mb);
+    const double remaining = fetchable - f.fetched_mb;
+    next = std::min(next, last_update_ + remaining / f.rate);
+  }
+  return next;
+}
+
+void ShuffleModel::Retire(FlowId flow) {
+  flows_.at(flow).retired = true;
+  RecomputeRates();
+}
+
+}  // namespace simmr::cluster

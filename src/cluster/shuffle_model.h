@@ -1,0 +1,80 @@
+// Fluid-flow shuffle transfer model for the testbed emulator.
+//
+// Each reduce task in its fetch phase is one "flow" pulling intermediate
+// data that becomes available progressively as map tasks finish. A flow's
+// instantaneous rate is min(per-flow cap, aggregate bandwidth / #active
+// flows); a flow is active while it has fetched less than what is available.
+// This produces exactly the asymmetry the paper's profile format captures:
+// the first reduce wave's shuffle is stretched across the tail of the map
+// stage (availability-limited), while later waves fetch everything at full
+// rate (bandwidth-limited only).
+//
+// The model is advanced lazily: Advance(now) integrates all flows up to
+// `now`, and NextEventTime() tells the simulator when the earliest flow
+// state change (starvation or completion) will occur if nothing else
+// happens first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/time.h"
+
+namespace simmr::cluster {
+
+/// Opaque handle to a flow inside the ShuffleModel.
+using FlowId = std::int32_t;
+
+class ShuffleModel {
+ public:
+  /// aggregate_bw and per_flow_cap are in MB per simulated second.
+  ShuffleModel(double aggregate_bw, double per_flow_cap);
+
+  /// Registers a new flow needing total_mb in all, of which available_mb can
+  /// be fetched immediately. Call Advance(now) first.
+  FlowId AddFlow(double total_mb, double available_mb);
+
+  /// Increases a flow's currently fetchable bytes (a map task finished).
+  /// Call Advance(now) first. Availability is clamped to the flow total.
+  void AddAvailability(FlowId flow, double mb);
+
+  /// Integrates all flow progress from the last update time to `now` and
+  /// recomputes rates. `now` must be nondecreasing across calls.
+  void Advance(SimTime now);
+
+  /// True once the flow has fetched all of its total_mb.
+  bool IsComplete(FlowId flow) const;
+
+  /// Bytes fetched so far (as of the last Advance).
+  double FetchedMb(FlowId flow) const;
+
+  /// Earliest future time at which some flow completes or starves, or
+  /// kTimeInfinity when no flow is active. Valid after Advance.
+  SimTime NextEventTime() const;
+
+  /// Removes a completed flow from bookkeeping (its id stays valid for
+  /// IsComplete queries but it no longer consumes bandwidth).
+  void Retire(FlowId flow);
+
+  int ActiveFlowCount() const { return active_count_; }
+
+ private:
+  struct Flow {
+    double total_mb = 0.0;
+    double available_mb = 0.0;
+    double fetched_mb = 0.0;
+    double rate = 0.0;  // MB/s as of the last recompute
+    bool retired = false;
+  };
+
+  void RecomputeRates();
+  bool FlowActive(const Flow& f) const;
+
+  double aggregate_bw_;
+  double per_flow_cap_;
+  std::vector<Flow> flows_;
+  SimTime last_update_ = 0.0;
+  int active_count_ = 0;
+};
+
+}  // namespace simmr::cluster

@@ -1,0 +1,78 @@
+#include "cluster/testbed_scheduler.h"
+
+#include <algorithm>
+
+namespace simmr::cluster {
+namespace {
+
+bool MapEligible(const JobRuntime& job) {
+  return job.HasPendingMap() && job.RunningMaps() < job.caps().map_cap;
+}
+
+bool ReduceEligible(const JobRuntime& job, double slowstart) {
+  return job.HasPendingReduce() && job.ReduceReady(slowstart) &&
+         job.RunningReduces() < job.caps().reduce_cap;
+}
+
+/// Deadline key: jobs without a deadline sort after all deadlined jobs;
+/// ties broken by arrival then id for determinism.
+bool EdfBefore(const JobRuntime* a, const JobRuntime* b) {
+  const bool a_has = a->deadline() > 0.0;
+  const bool b_has = b->deadline() > 0.0;
+  if (a_has != b_has) return a_has;
+  if (a_has && a->deadline() != b->deadline())
+    return a->deadline() < b->deadline();
+  if (a->submit_time() != b->submit_time())
+    return a->submit_time() < b->submit_time();
+  return a->id() < b->id();
+}
+
+template <typename Eligible>
+JobId PickFirst(const std::vector<const JobRuntime*>& queue,
+                Eligible&& eligible) {
+  for (const JobRuntime* job : queue) {
+    if (eligible(*job)) return job->id();
+  }
+  return kInvalidJob;
+}
+
+template <typename Eligible>
+JobId PickEdf(const std::vector<const JobRuntime*>& queue,
+              Eligible&& eligible) {
+  const JobRuntime* best = nullptr;
+  for (const JobRuntime* job : queue) {
+    if (!eligible(*job)) continue;
+    if (best == nullptr || EdfBefore(job, best)) best = job;
+  }
+  return best != nullptr ? best->id() : kInvalidJob;
+}
+
+}  // namespace
+
+JobId FifoTestbedScheduler::PickMapJob(
+    const std::vector<const JobRuntime*>& job_queue) {
+  return PickFirst(job_queue, MapEligible);
+}
+
+JobId FifoTestbedScheduler::PickReduceJob(
+    const std::vector<const JobRuntime*>& job_queue,
+    double slowstart_fraction) {
+  return PickFirst(job_queue, [slowstart_fraction](const JobRuntime& j) {
+    return ReduceEligible(j, slowstart_fraction);
+  });
+}
+
+JobId EdfTestbedScheduler::PickMapJob(
+    const std::vector<const JobRuntime*>& job_queue) {
+  return PickEdf(job_queue, MapEligible);
+}
+
+JobId EdfTestbedScheduler::PickReduceJob(
+    const std::vector<const JobRuntime*>& job_queue,
+    double slowstart_fraction) {
+  return PickEdf(job_queue, [slowstart_fraction](const JobRuntime& j) {
+    return ReduceEligible(j, slowstart_fraction);
+  });
+}
+
+}  // namespace simmr::cluster

@@ -1,0 +1,52 @@
+// Job-selection policies for the testbed emulator's JobTracker.
+//
+// The testbed side mirrors the policies SimMR evaluates so Figure 5(b,c)
+// can compare testbed executions against SimMR replays under the same
+// policy. Resource *amounts* are expressed uniformly through per-job
+// SlotCaps (see job.h): FIFO/MaxEDF leave caps unlimited; MinEDF installs
+// the ARIA minimal allocation via the SlotCapFn hook at submission time
+// (wired by the caller, keeping this module independent of the scheduler
+// library).
+#pragma once
+
+#include <vector>
+
+#include "cluster/job.h"
+
+namespace simmr::cluster {
+
+/// Chooses which job's task to launch next. Implementations must respect
+/// each job's SlotCaps and the reduce slowstart gate.
+class TestbedScheduler {
+ public:
+  virtual ~TestbedScheduler() = default;
+
+  /// Picks the job whose next map task should run, or kInvalidJob.
+  /// `job_queue` holds arrived, unfinished jobs in arrival order.
+  virtual JobId PickMapJob(const std::vector<const JobRuntime*>& job_queue) = 0;
+
+  /// Picks the job whose next reduce task should run, or kInvalidJob.
+  virtual JobId PickReduceJob(
+      const std::vector<const JobRuntime*>& job_queue,
+      double slowstart_fraction) = 0;
+};
+
+/// Earliest-arrival-first (Hadoop's default FIFO).
+class FifoTestbedScheduler final : public TestbedScheduler {
+ public:
+  JobId PickMapJob(const std::vector<const JobRuntime*>& job_queue) override;
+  JobId PickReduceJob(const std::vector<const JobRuntime*>& job_queue,
+                      double slowstart_fraction) override;
+};
+
+/// Earliest-deadline-first ordering (jobs without a deadline sort last, by
+/// arrival). With unlimited caps this is the paper's MaxEDF; with ARIA caps
+/// it is MinEDF.
+class EdfTestbedScheduler final : public TestbedScheduler {
+ public:
+  JobId PickMapJob(const std::vector<const JobRuntime*>& job_queue) override;
+  JobId PickReduceJob(const std::vector<const JobRuntime*>& job_queue,
+                      double slowstart_fraction) override;
+};
+
+}  // namespace simmr::cluster

@@ -1,0 +1,21 @@
+// Shared identifier and enum types for the testbed emulator.
+#pragma once
+
+#include <cstdint>
+
+namespace simmr::cluster {
+
+using JobId = std::int32_t;
+using TaskIndex = std::int32_t;  // index within a job's map or reduce tasks
+using NodeId = std::int32_t;
+
+inline constexpr JobId kInvalidJob = -1;
+inline constexpr TaskIndex kInvalidTask = -1;
+
+enum class TaskKind : std::uint8_t { kMap, kReduce };
+
+inline const char* TaskKindName(TaskKind kind) {
+  return kind == TaskKind::kMap ? "MAP" : "REDUCE";
+}
+
+}  // namespace simmr::cluster

@@ -1,0 +1,292 @@
+#include "core/engine.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "simcore/event_queue.h"
+#include "simcore/log.h"
+
+namespace simmr::core {
+
+class SimulatorEngine::Impl {
+ public:
+  Impl(const SimConfig& config, SchedulerPolicy& policy,
+       const trace::WorkloadTrace& workload)
+      : config_(config), policy_(&policy), workload_(&workload) {
+    if (config_.map_slots <= 0 || config_.reduce_slots <= 0)
+      throw std::invalid_argument("SimulatorEngine: nonpositive slot count");
+    if (config_.min_map_percent_completed < 0.0 ||
+        config_.min_map_percent_completed > 1.0)
+      throw std::invalid_argument(
+          "SimulatorEngine: min_map_percent_completed outside [0,1]");
+    for (const auto& job : workload) {
+      const std::string error = job.profile.Validate();
+      if (!error.empty())
+        throw std::invalid_argument("SimulatorEngine: invalid profile for '" +
+                                    job.profile.app_name + "': " + error);
+    }
+  }
+
+  SimResult Run() {
+    free_map_slots_ = config_.map_slots;
+    free_reduce_slots_ = config_.reduce_slots;
+    jobs_.reserve(workload_->size());
+    for (std::size_t i = 0; i < workload_->size(); ++i) {
+      const trace::TraceJob& tj = (*workload_)[i];
+      jobs_.push_back(std::make_unique<JobState>(
+          static_cast<JobId>(i), tj.profile, tj.arrival, tj.deadline,
+          tj.solo_completion));
+      queue_.Push(tj.arrival, Event{EventType::kJobArrival,
+                                    static_cast<JobId>(i), 0});
+    }
+
+    while (!queue_.Empty()) {
+      const auto entry = queue_.Pop();
+      now_ = entry.time;
+      Dispatch(entry.payload);
+    }
+    if (completed_jobs_ != jobs_.size())
+      throw std::logic_error("SimulatorEngine: queue drained with jobs open");
+
+    result_.events_processed = queue_.TotalPushed();
+    return std::move(result_);
+  }
+
+ private:
+  void Dispatch(const Event& ev) {
+    switch (ev.type) {
+      case EventType::kJobArrival:
+        OnJobArrival(*jobs_[ev.job]);
+        break;
+      case EventType::kJobDeparture:
+        OnJobDeparture(*jobs_[ev.job]);
+        break;
+      case EventType::kMapTaskArrival:
+        AssignMapSlots();
+        break;
+      case EventType::kMapTaskDeparture:
+        OnMapTaskDeparture(*jobs_[ev.job]);
+        break;
+      case EventType::kReduceTaskArrival:
+        AssignReduceSlots();
+        break;
+      case EventType::kReduceTaskDeparture:
+        OnReduceTaskDeparture(*jobs_[ev.job]);
+        break;
+      case EventType::kMapStageDone:
+        OnMapStageDone(*jobs_[ev.job]);
+        break;
+    }
+  }
+
+  void OnJobArrival(JobState& job) {
+    job_queue_.push_back(&job);
+    // Zero-threshold gates (or jobs with no maps to gate on) open now.
+    if (job.maps_completed >=
+        job.ReduceGateThreshold(config_.min_map_percent_completed)) {
+      OpenReduceGate(job);
+    }
+    policy_->OnJobArrival(job, now_);
+    queue_.Push(now_, Event{EventType::kMapTaskArrival, job.id(), 0});
+  }
+
+  void OpenReduceGate(JobState& job) {
+    if (job.reduce_gate_open) return;
+    job.reduce_gate_open = true;
+    queue_.Push(now_, Event{EventType::kReduceTaskArrival, job.id(), 0});
+  }
+
+  void OnMapTaskDeparture(JobState& job) {
+    ++job.maps_completed;
+    ++free_map_slots_;
+    if (job.maps_completed >=
+        job.ReduceGateThreshold(config_.min_map_percent_completed)) {
+      OpenReduceGate(job);
+    }
+    if (job.MapsDone() && !job.map_stage_done_fired) {
+      job.map_stage_done_fired = true;
+      queue_.Push(now_, Event{EventType::kMapStageDone, job.id(), 0});
+    }
+    // "The slot allocation algorithm makes a new decision when a map or
+    // reduce task completes."
+    AssignMapSlots();
+  }
+
+  void OnMapStageDone(JobState& job) {
+    job.map_stage_end = now_;
+    // Patch every filler reduce: its shuffle could only finish once all
+    // intermediate data existed, so its completion is map-stage end plus
+    // the recorded non-overlapping first-shuffle portion plus its reduce
+    // phase.
+    for (const PendingFiller& filler : job.pending_fillers) {
+      const SimTime shuffle_end = now_ + filler.first_shuffle;
+      const SimTime end = shuffle_end + filler.reduce;
+      if (config_.record_tasks) {
+        result_.tasks.push_back(SimTaskRecord{
+            job.id(), SimTaskKind::kReduce, filler.start, shuffle_end, end});
+      }
+      queue_.Push(end, Event{EventType::kReduceTaskDeparture, job.id(),
+                             filler.task_index});
+    }
+    job.pending_fillers.clear();
+    // Map-only jobs (num_reduces == 0) complete with their map stage.
+    if (job.Done() && job.completion < 0.0) {
+      job.completion = now_;
+      queue_.Push(now_, Event{EventType::kJobDeparture, job.id(), 0});
+    }
+    AssignReduceSlots();
+  }
+
+  void OnReduceTaskDeparture(JobState& job) {
+    ++job.reduces_completed;
+    ++free_reduce_slots_;
+    if (job.Done() && job.completion < 0.0) {
+      job.completion = now_;
+      queue_.Push(now_, Event{EventType::kJobDeparture, job.id(), 0});
+    }
+    AssignReduceSlots();
+    // A freed reduce slot never unblocks maps, but a completed job's
+    // departure may; map reassignment happens on map departures and
+    // arrivals only, matching the narrow decision points of the paper.
+  }
+
+  void OnJobDeparture(JobState& job) {
+    ++completed_jobs_;
+    std::erase(job_queue_, &job);
+    policy_->OnJobCompletion(job, now_);
+    result_.makespan = std::max(result_.makespan, now_);
+
+    JobResult jr;
+    jr.job = job.id();
+    jr.name = job.profile().app_name +
+              (job.profile().dataset.empty() ? "" : "/" + job.profile().dataset);
+    jr.arrival = job.arrival();
+    jr.first_launch = job.first_launch;
+    jr.map_stage_end = job.map_stage_end;
+    jr.completion = job.completion;
+    jr.deadline = job.deadline();
+    result_.jobs.push_back(std::move(jr));
+  }
+
+  void AssignMapSlots() {
+    while (free_map_slots_ > 0) {
+      const JobId chosen = policy_->ChooseNextMapTask(
+          JobQueue(job_queue_.data(), job_queue_.size()));
+      if (chosen == kInvalidJob) return;
+      JobState& job = *jobs_[chosen];
+      if (!job.HasPendingMap())
+        throw std::logic_error(
+            "SchedulerPolicy returned a job with no pending map task");
+      LaunchMap(job);
+    }
+  }
+
+  void LaunchMap(JobState& job) {
+    const double duration = job.NextMapDuration();
+    ++job.maps_launched;
+    --free_map_slots_;
+    if (job.first_launch < 0.0) job.first_launch = now_;
+    if (config_.record_tasks) {
+      result_.tasks.push_back(SimTaskRecord{job.id(), SimTaskKind::kMap, now_,
+                                            now_, now_ + duration});
+    }
+    queue_.Push(now_ + duration,
+                Event{EventType::kMapTaskDeparture, job.id(),
+                      job.maps_launched - 1});
+  }
+
+  void AssignReduceSlots() {
+    for (;;) {
+      while (free_reduce_slots_ > 0) {
+        const JobId chosen = policy_->ChooseNextReduceTask(
+            JobQueue(job_queue_.data(), job_queue_.size()));
+        if (chosen == kInvalidJob) return;
+        JobState& job = *jobs_[chosen];
+        if (!job.HasPendingReduce() || !job.reduce_gate_open)
+          throw std::logic_error(
+              "SchedulerPolicy returned an ineligible job for a reduce task");
+        LaunchReduce(job);
+      }
+      if (!config_.allow_filler_preemption) return;
+      // No slot free: is anyone still waiting, and does the policy want to
+      // preempt a filler on their behalf?
+      const JobId claimant_id = policy_->ChooseNextReduceTask(
+          JobQueue(job_queue_.data(), job_queue_.size()));
+      if (claimant_id == kInvalidJob) return;
+      const JobId victim_id = policy_->ChooseReducePreemptionVictim(
+          JobQueue(job_queue_.data(), job_queue_.size()),
+          *jobs_[claimant_id]);
+      if (victim_id == kInvalidJob) return;
+      if (victim_id == claimant_id)
+        throw std::logic_error(
+            "SchedulerPolicy picked the claimant as preemption victim");
+      KillOneFiller(*jobs_[victim_id]);
+    }
+  }
+
+  /// Kills the victim's most recently launched filler reduce: the slot
+  /// frees immediately and the task returns to the pending pool (its
+  /// partial shuffle is simply re-fetched on retry, so no other state
+  /// needs repair).
+  void KillOneFiller(JobState& victim) {
+    if (victim.pending_fillers.empty())
+      throw std::logic_error(
+          "SchedulerPolicy picked a preemption victim without fillers");
+    victim.pending_fillers.pop_back();
+    --victim.reduces_launched;
+    ++free_reduce_slots_;
+  }
+
+  void LaunchReduce(JobState& job) {
+    const std::int32_t index = job.reduces_launched;
+    ++job.reduces_launched;
+    --free_reduce_slots_;
+    if (job.first_launch < 0.0) job.first_launch = now_;
+    const double reduce_duration = job.NextReduceDuration();
+
+    if (!job.MapsDone()) {
+      // Filler reduce: "we schedule a filler reduce task of infinite
+      // duration and update its duration to the first shuffle duration when
+      // all the map tasks are complete."
+      PendingFiller filler;
+      filler.task_index = index;
+      filler.start = now_;
+      filler.first_shuffle = job.NextFirstShuffleDuration();
+      filler.reduce = reduce_duration;
+      job.pending_fillers.push_back(filler);
+      return;
+    }
+
+    const double shuffle_duration = job.NextTypicalShuffleDuration();
+    const SimTime shuffle_end = now_ + shuffle_duration;
+    const SimTime end = shuffle_end + reduce_duration;
+    if (config_.record_tasks) {
+      result_.tasks.push_back(SimTaskRecord{job.id(), SimTaskKind::kReduce,
+                                            now_, shuffle_end, end});
+    }
+    queue_.Push(end, Event{EventType::kReduceTaskDeparture, job.id(), index});
+  }
+
+  SimConfig config_;
+  SchedulerPolicy* policy_;
+  const trace::WorkloadTrace* workload_;
+
+  EventQueue<Event> queue_;
+  std::vector<std::unique_ptr<JobState>> jobs_;
+  std::vector<const JobState*> job_queue_;
+  SimTime now_ = 0.0;
+  int free_map_slots_ = 0;
+  int free_reduce_slots_ = 0;
+  std::size_t completed_jobs_ = 0;
+  SimResult result_;
+};
+
+SimulatorEngine::SimulatorEngine(SimConfig config, SchedulerPolicy& policy)
+    : config_(config), policy_(&policy) {}
+
+SimResult SimulatorEngine::Run(const trace::WorkloadTrace& workload) {
+  Impl impl(config_, *policy_, workload);
+  return impl.Run();
+}
+
+}  // namespace simmr::core

@@ -1,0 +1,60 @@
+// The SimMR Simulator Engine (Section III-B).
+//
+// A task-level discrete-event simulator of the Hadoop job master. It keeps
+// a priority queue over the seven event types of events.h, tracks free map
+// and reduce slots, and makes a new slot-allocation decision whenever a
+// task completes, delegating job selection to the pluggable
+// SchedulerPolicy. Reduce tasks become schedulable for a job once
+// `min_map_percent_completed` of its maps have finished; first-wave
+// reduces are modeled as filler tasks of unknown (infinite) duration whose
+// completion is patched at MAP_STAGE_DONE to
+//     map_stage_end + first_shuffle(non-overlap) + reduce,
+// which is exactly how the paper reproduces the overlapped shuffle.
+#pragma once
+
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/scheduler.h"
+#include "trace/workload.h"
+
+namespace simmr::core {
+
+struct SimConfig {
+  /// Cluster-wide slot totals (the 66-node testbed default: 64 + 64).
+  int map_slots = 64;
+  int reduce_slots = 64;
+
+  /// Fraction of a job's maps that must complete before its reduces may be
+  /// scheduled (the paper's minMapPercentCompleted; Hadoop default 0.05).
+  double min_map_percent_completed = 0.05;
+
+  /// Record per-task timeline entries into SimResult::tasks.
+  bool record_tasks = false;
+
+  /// Allow policies to kill filler (first-wave) reduces of other jobs to
+  /// free reduce slots for more urgent work — the engine then consults
+  /// SchedulerPolicy::ChooseReducePreemptionVictim. Off by default: the
+  /// paper's schedulers never preempt (Section V-B discusses the
+  /// consequences).
+  bool allow_filler_preemption = false;
+};
+
+class SimulatorEngine {
+ public:
+  /// The policy must outlive the engine run.
+  SimulatorEngine(SimConfig config, SchedulerPolicy& policy);
+
+  /// Replays the trace to completion. Jobs may arrive in any time order
+  /// (the queue sorts them); profiles are validated first.
+  /// Throws std::invalid_argument on invalid profiles or a nonpositive slot
+  /// count, and std::logic_error if the policy returns an ineligible job.
+  SimResult Run(const trace::WorkloadTrace& workload);
+
+ private:
+  class Impl;
+  SimConfig config_;
+  SchedulerPolicy* policy_;
+};
+
+}  // namespace simmr::core

@@ -1,0 +1,51 @@
+// The SimMR engine's event vocabulary.
+//
+// Section III-B: "The simulator maintains a priority queue for seven event
+// types: job arrivals and departures, map and reduce task arrivals and
+// departures, and an event signaling the completion of the map stage. Each
+// event is a triplet (eventTime, eventType, jobId)."
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/time.h"
+
+namespace simmr::core {
+
+using JobId = std::int32_t;
+inline constexpr JobId kInvalidJob = -1;
+
+enum class EventType : std::uint8_t {
+  kJobArrival,
+  kJobDeparture,
+  kMapTaskArrival,     // a job's map tasks became schedulable
+  kMapTaskDeparture,   // one map task completed
+  kReduceTaskArrival,  // a job crossed the reduce slowstart gate
+  kReduceTaskDeparture,
+  kMapStageDone,       // all of a job's map tasks completed
+};
+
+inline constexpr int kNumEventTypes = 7;
+
+inline const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kJobArrival: return "JOB_ARRIVAL";
+    case EventType::kJobDeparture: return "JOB_DEPARTURE";
+    case EventType::kMapTaskArrival: return "MAP_TASK_ARRIVAL";
+    case EventType::kMapTaskDeparture: return "MAP_TASK_DEPARTURE";
+    case EventType::kReduceTaskArrival: return "REDUCE_TASK_ARRIVAL";
+    case EventType::kReduceTaskDeparture: return "REDUCE_TASK_DEPARTURE";
+    case EventType::kMapStageDone: return "MAP_STAGE_DONE";
+  }
+  return "?";
+}
+
+/// The paper's event triplet. `aux` carries the task index for departures
+/// (an implementation detail the triplet form leaves implicit).
+struct Event {
+  EventType type = EventType::kJobArrival;
+  JobId job = kInvalidJob;
+  std::int32_t aux = 0;
+};
+
+}  // namespace simmr::core

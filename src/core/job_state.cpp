@@ -1,0 +1,47 @@
+#include "core/job_state.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace simmr::core {
+
+double DurationPool::Next() {
+  if (!HasSamples()) throw std::logic_error("DurationPool::Next: empty pool");
+  if (cursor_ >= values_->size()) {
+    cursor_ = 0;
+    ++overflow_;
+  }
+  return (*values_)[cursor_++];
+}
+
+JobState::JobState(JobId id, const trace::JobProfile& profile, SimTime arrival,
+                   double deadline, double solo_completion)
+    : id_(id),
+      profile_(&profile),
+      arrival_(arrival),
+      deadline_(deadline),
+      solo_completion_(solo_completion),
+      map_pool_(&profile.map_durations),
+      first_shuffle_pool_(&profile.first_shuffle_durations),
+      typical_shuffle_pool_(&profile.typical_shuffle_durations),
+      reduce_pool_(&profile.reduce_durations) {}
+
+int JobState::ReduceGateThreshold(double min_map_fraction) const {
+  if (min_map_fraction <= 0.0) return 0;
+  return static_cast<int>(
+      std::ceil(min_map_fraction * static_cast<double>(num_maps())));
+}
+
+double JobState::NextFirstShuffleDuration() {
+  if (first_shuffle_pool_.HasSamples()) return first_shuffle_pool_.Next();
+  if (typical_shuffle_pool_.HasSamples()) return typical_shuffle_pool_.Next();
+  return 0.0;
+}
+
+double JobState::NextTypicalShuffleDuration() {
+  if (typical_shuffle_pool_.HasSamples()) return typical_shuffle_pool_.Next();
+  if (first_shuffle_pool_.HasSamples()) return first_shuffle_pool_.Next();
+  return 0.0;
+}
+
+}  // namespace simmr::core

@@ -1,0 +1,68 @@
+#include "core/metrics.h"
+
+#include <stdexcept>
+
+namespace simmr::core {
+
+double RelativeDeadlineExceeded(std::span<const JobResult> jobs) {
+  double total = 0.0;
+  for (const JobResult& j : jobs) {
+    if (j.MissedDeadline()) total += (j.completion - j.deadline) / j.deadline;
+  }
+  return total;
+}
+
+int MissedDeadlineCount(std::span<const JobResult> jobs) {
+  int count = 0;
+  for (const JobResult& j : jobs) {
+    if (j.MissedDeadline()) ++count;
+  }
+  return count;
+}
+
+UtilizationReport ComputeUtilization(std::span<const SimTaskRecord> tasks,
+                                     int map_slots, int reduce_slots,
+                                     SimTime makespan) {
+  if (map_slots <= 0 || reduce_slots <= 0)
+    throw std::invalid_argument("ComputeUtilization: nonpositive slots");
+  UtilizationReport report;
+  for (const SimTaskRecord& t : tasks) {
+    const double busy = t.end - t.start;
+    if (t.kind == SimTaskKind::kMap) {
+      report.map_busy_slot_seconds += busy;
+    } else {
+      report.reduce_busy_slot_seconds += busy;
+    }
+  }
+  if (makespan > 0.0) {
+    report.map_utilization =
+        report.map_busy_slot_seconds / (map_slots * makespan);
+    report.reduce_utilization =
+        report.reduce_busy_slot_seconds / (reduce_slots * makespan);
+  }
+  return report;
+}
+
+std::vector<ProgressPoint> ProgressSeries(std::span<const SimTaskRecord> tasks,
+                                          SimTime t0, SimTime t1,
+                                          SimDuration step) {
+  if (step <= 0.0)
+    throw std::invalid_argument("ProgressSeries: step must be positive");
+  std::vector<ProgressPoint> series;
+  for (SimTime t = t0; t <= t1 + kTimeEpsilon; t += step) {
+    ProgressPoint point;
+    point.time = t;
+    for (const SimTaskRecord& task : tasks) {
+      if (task.kind == SimTaskKind::kMap) {
+        if (task.start <= t && t < task.end) ++point.maps;
+      } else {
+        if (task.start <= t && t < task.shuffle_end) ++point.shuffles;
+        else if (task.shuffle_end <= t && t < task.end) ++point.reduces;
+      }
+    }
+    series.push_back(point);
+  }
+  return series;
+}
+
+}  // namespace simmr::core

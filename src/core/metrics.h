@@ -1,0 +1,89 @@
+// Simulation outputs: per-job results, task timelines, and the deadline
+// utility metric of Section V-A.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/events.h"
+#include "simcore/time.h"
+
+namespace simmr::core {
+
+/// Outcome of one replayed job.
+struct JobResult {
+  JobId job = kInvalidJob;
+  std::string name;        // app/dataset label
+  SimTime arrival = 0.0;
+  SimTime first_launch = 0.0;
+  SimTime map_stage_end = 0.0;
+  SimTime completion = 0.0;
+  double deadline = 0.0;   // absolute; 0 = none
+
+  SimDuration CompletionTime() const { return completion - arrival; }
+  bool MissedDeadline() const {
+    return deadline > 0.0 && completion > deadline;
+  }
+};
+
+enum class SimTaskKind : std::uint8_t { kMap, kReduce };
+
+/// One replayed task, with the shuffle/reduce phase boundary for reduces
+/// (shuffle_end == start for maps). This is the engine's "output log".
+struct SimTaskRecord {
+  JobId job = kInvalidJob;
+  SimTaskKind kind = SimTaskKind::kMap;
+  SimTime start = 0.0;
+  SimTime shuffle_end = 0.0;
+  SimTime end = 0.0;
+};
+
+/// Full result of one engine run.
+struct SimResult {
+  std::vector<JobResult> jobs;
+  std::vector<SimTaskRecord> tasks;  // empty unless recording was enabled
+  std::uint64_t events_processed = 0;
+  SimTime makespan = 0.0;
+};
+
+/// Section V-A's utility: the sum of relative deadline overruns,
+/// sum_{J in Theta} (T_J - D_J) / D_J over jobs J that missed. Lower is
+/// better; 0 = every deadline met. Jobs without deadlines are skipped.
+double RelativeDeadlineExceeded(std::span<const JobResult> jobs);
+
+/// Count of jobs that missed their deadline.
+int MissedDeadlineCount(std::span<const JobResult> jobs);
+
+/// Point of a task-count-over-time series (Figures 1-2): how many tasks
+/// are in the map / shuffle / reduce phase at `time`.
+struct ProgressPoint {
+  SimTime time = 0.0;
+  int maps = 0;
+  int shuffles = 0;
+  int reduces = 0;
+};
+
+/// Samples phase occupancy over [t0, t1] at `step` intervals from task
+/// records (works on both engine and testbed-derived records).
+std::vector<ProgressPoint> ProgressSeries(std::span<const SimTaskRecord> tasks,
+                                          SimTime t0, SimTime t1,
+                                          SimDuration step);
+
+/// Aggregate slot-utilization figures over a run (requires task records).
+struct UtilizationReport {
+  double map_busy_slot_seconds = 0.0;
+  double reduce_busy_slot_seconds = 0.0;
+  /// Busy fraction of the slot-time area [0, makespan] x slots; in [0, 1].
+  double map_utilization = 0.0;
+  double reduce_utilization = 0.0;
+};
+
+/// Computes utilization from task records. Throws std::invalid_argument on
+/// nonpositive slot counts; a zero makespan yields zero utilizations.
+UtilizationReport ComputeUtilization(std::span<const SimTaskRecord> tasks,
+                                     int map_slots, int reduce_slots,
+                                     SimTime makespan);
+
+}  // namespace simmr::core

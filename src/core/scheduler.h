@@ -1,0 +1,66 @@
+// The pluggable scheduling-policy interface.
+//
+// Section III-B: the engine "communicates with the scheduler policies using
+// a very narrow interface consisting of the following functions:
+// CHOOSENEXTMAPTASK(jobQ), CHOOSENEXTREDUCETASK(jobQ)" — each returns the
+// jobId whose map (or reduce) task should be executed next. Lifecycle
+// callbacks let stateful policies (MinEDF's wanted-slot tracking) maintain
+// their bookkeeping without widening the decision interface.
+#pragma once
+
+#include <span>
+
+#include "core/events.h"
+#include "core/job_state.h"
+
+namespace simmr::core {
+
+/// Arrived, unfinished jobs, in arrival order. Policies read job state
+/// through the JobState pointers; the engine owns all mutation.
+using JobQueue = std::span<const JobState* const>;
+
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  /// Human-readable policy name for reports.
+  virtual const char* Name() const = 0;
+
+  /// Called when a job joins the queue (before any task decisions for it).
+  virtual void OnJobArrival(const JobState& job, SimTime now) {
+    (void)job;
+    (void)now;
+  }
+
+  /// Called when a job departs (its last task completed).
+  virtual void OnJobCompletion(const JobState& job, SimTime now) {
+    (void)job;
+    (void)now;
+  }
+
+  /// Returns the job whose next map task should run, or kInvalidJob when no
+  /// eligible job exists. The returned job must satisfy HasPendingMap().
+  virtual JobId ChooseNextMapTask(JobQueue job_queue) = 0;
+
+  /// Returns the job whose next reduce task should run, or kInvalidJob.
+  /// The returned job must satisfy HasPendingReduce() and have its reduce
+  /// gate open (reduce_gate_open).
+  virtual JobId ChooseNextReduceTask(JobQueue job_queue) = 0;
+
+  /// Only consulted when SimConfig::allow_filler_preemption is set: the
+  /// engine found `claimant` eligible for a reduce slot but none is free,
+  /// and asks which job's most recent *filler* reduce to kill to make room
+  /// (the paper identifies non-preemptible early reduces as the cause of
+  /// its Figure 7 "bump"; killing a filler loses only re-fetchable shuffle
+  /// work, matching how Hadoop kills reduce attempts without losing map
+  /// output). The returned job must have a pending filler and must not be
+  /// the claimant; kInvalidJob declines to preempt. Default: never.
+  virtual JobId ChooseReducePreemptionVictim(JobQueue job_queue,
+                                             const JobState& claimant) {
+    (void)job_queue;
+    (void)claimant;
+    return kInvalidJob;
+  }
+};
+
+}  // namespace simmr::core

@@ -1,0 +1,96 @@
+#include "core/sim_log.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace simmr::core {
+namespace {
+
+constexpr const char* kMagic = "SIMMR-SIMLOG-V1";
+
+}  // namespace
+
+void WriteSimulationLog(std::ostream& out, const SimResult& result) {
+  out << kMagic << '\n';
+  out.precision(9);
+  out << "HEADER " << result.jobs.size() << ' ' << result.tasks.size() << ' '
+      << result.events_processed << ' ' << result.makespan << '\n';
+  for (const auto& j : result.jobs) {
+    out << "SIMJOB " << j.job << ' ' << (j.name.empty() ? "-" : j.name) << ' '
+        << j.arrival << ' ' << j.first_launch << ' ' << j.map_stage_end << ' '
+        << j.completion << ' ' << j.deadline << ' '
+        << (j.MissedDeadline() ? "MISSED" : "OK") << '\n';
+  }
+  for (const auto& t : result.tasks) {
+    out << "SIMTASK " << t.job << ' '
+        << (t.kind == SimTaskKind::kMap ? "MAP" : "REDUCE") << ' ' << t.start
+        << ' ' << t.shuffle_end << ' ' << t.end << '\n';
+  }
+}
+
+void WriteSimulationLogFile(const std::string& path, const SimResult& result) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("WriteSimulationLog: cannot open " + path);
+  WriteSimulationLog(out, result);
+  if (!out) throw std::runtime_error("WriteSimulationLog: write failed");
+}
+
+SimResult ReadSimulationLog(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic)
+    throw std::runtime_error("ReadSimulationLog: bad or missing magic");
+  SimResult result;
+  std::size_t num_jobs = 0, num_tasks = 0;
+  {
+    if (!std::getline(in, line))
+      throw std::runtime_error("ReadSimulationLog: missing header");
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag >> num_jobs >> num_tasks >> result.events_processed >>
+          result.makespan) ||
+        tag != "HEADER")
+      throw std::runtime_error("ReadSimulationLog: malformed header");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "SIMJOB") {
+      JobResult j;
+      std::string status;
+      if (!(ls >> j.job >> j.name >> j.arrival >> j.first_launch >>
+            j.map_stage_end >> j.completion >> j.deadline >> status))
+        throw std::runtime_error("ReadSimulationLog: malformed SIMJOB");
+      if (j.name == "-") j.name.clear();
+      result.jobs.push_back(std::move(j));
+    } else if (tag == "SIMTASK") {
+      SimTaskRecord t;
+      std::string kind;
+      if (!(ls >> t.job >> kind >> t.start >> t.shuffle_end >> t.end))
+        throw std::runtime_error("ReadSimulationLog: malformed SIMTASK");
+      if (kind == "MAP") {
+        t.kind = SimTaskKind::kMap;
+      } else if (kind == "REDUCE") {
+        t.kind = SimTaskKind::kReduce;
+      } else {
+        throw std::runtime_error("ReadSimulationLog: bad kind " + kind);
+      }
+      result.tasks.push_back(t);
+    } else {
+      throw std::runtime_error("ReadSimulationLog: unknown record " + tag);
+    }
+  }
+  if (result.jobs.size() != num_jobs || result.tasks.size() != num_tasks)
+    throw std::runtime_error("ReadSimulationLog: truncated log");
+  return result;
+}
+
+SimResult ReadSimulationLogFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ReadSimulationLog: cannot open " + path);
+  return ReadSimulationLog(in);
+}
+
+}  // namespace simmr::core

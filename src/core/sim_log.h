@@ -1,0 +1,28 @@
+// The engine's output log (Figure 4: the Simulator Engine "generates the
+// output log").
+//
+// A structured, line-oriented text rendering of a SimResult: one SIMJOB
+// line per job (arrival, launch, map-stage end, completion, deadline,
+// met/missed) and, when task recording was enabled, one SIMTASK line per
+// task with its phase boundaries. Round-trips through ReadSimulationLog so
+// external tooling can consume replay outputs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/metrics.h"
+
+namespace simmr::core {
+
+/// Writes the versioned output log.
+void WriteSimulationLog(std::ostream& out, const SimResult& result);
+void WriteSimulationLogFile(const std::string& path, const SimResult& result);
+
+/// Parses a log produced by WriteSimulationLog back into a SimResult
+/// (events_processed and makespan are restored from the header line).
+/// Throws std::runtime_error on malformed input.
+SimResult ReadSimulationLog(std::istream& in);
+SimResult ReadSimulationLogFile(const std::string& path);
+
+}  // namespace simmr::core

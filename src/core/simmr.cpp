@@ -1,0 +1,54 @@
+#include "core/simmr.h"
+
+#include <stdexcept>
+
+namespace simmr::core {
+namespace {
+
+/// Minimal FIFO used internally for solo-completion measurement (the sched
+/// library's FIFO lives above core in the dependency order).
+class InternalFifo final : public SchedulerPolicy {
+ public:
+  const char* Name() const override { return "internal-fifo"; }
+
+  JobId ChooseNextMapTask(JobQueue job_queue) override {
+    for (const JobState* job : job_queue) {
+      if (job->HasPendingMap()) return job->id();
+    }
+    return kInvalidJob;
+  }
+
+  JobId ChooseNextReduceTask(JobQueue job_queue) override {
+    for (const JobState* job : job_queue) {
+      if (job->HasPendingReduce() && job->reduce_gate_open) return job->id();
+    }
+    return kInvalidJob;
+  }
+};
+
+}  // namespace
+
+SimResult Replay(const trace::WorkloadTrace& workload, SchedulerPolicy& policy,
+                 const SimConfig& config) {
+  SimulatorEngine engine(config, policy);
+  return engine.Run(workload);
+}
+
+std::vector<double> MeasureSoloCompletions(
+    const std::vector<trace::JobProfile>& profiles, const SimConfig& config) {
+  std::vector<double> completions;
+  completions.reserve(profiles.size());
+  InternalFifo fifo;
+  for (const auto& profile : profiles) {
+    trace::WorkloadTrace solo(1);
+    solo[0].profile = profile;
+    solo[0].arrival = 0.0;
+    const SimResult result = Replay(solo, fifo, config);
+    if (result.jobs.size() != 1)
+      throw std::logic_error("MeasureSoloCompletions: missing job result");
+    completions.push_back(result.jobs[0].CompletionTime());
+  }
+  return completions;
+}
+
+}  // namespace simmr::core

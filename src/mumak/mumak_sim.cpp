@@ -1,0 +1,238 @@
+#include "mumak/mumak_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "simcore/event_queue.h"
+
+namespace simmr::mumak {
+namespace {
+
+enum class EventKind : std::uint8_t { kJobArrival, kHeartbeat, kOobHeartbeat };
+
+struct Event {
+  EventKind kind;
+  std::int32_t a = 0;  // job index or node id
+};
+
+struct RunningTask {
+  std::int32_t job = -1;
+  cluster::TaskKind kind = cluster::TaskKind::kMap;
+  std::int32_t index = -1;
+  SimTime end = 0.0;  // kTimeInfinity for reduces awaiting AllMapsFinished
+};
+
+struct MumakJobState {
+  const RumenJob* trace = nullptr;
+  int maps_launched = 0;
+  int maps_completed = 0;
+  int reduces_launched = 0;
+  int reduces_completed = 0;
+  SimTime all_maps_finished = -1.0;  // JobTracker-observed
+  SimTime finish = -1.0;
+
+  bool MapsDone() const { return maps_completed == trace->num_maps; }
+  bool Done() const {
+    return MapsDone() && reduces_completed == trace->num_reduces;
+  }
+  bool ReduceGateOpen(double slowstart) const {
+    const int threshold = std::max(
+        1, static_cast<int>(std::ceil(slowstart * trace->num_maps)));
+    return trace->num_maps == 0 || maps_completed >= threshold;
+  }
+};
+
+struct NodeState {
+  int free_map_slots = 0;
+  int free_reduce_slots = 0;
+  std::vector<RunningTask> running;
+};
+
+class MumakSim {
+ public:
+  MumakSim(const RumenTrace& trace, const MumakConfig& config)
+      : trace_(trace), config_(config) {
+    for (std::size_t i = 1; i < trace.jobs.size(); ++i) {
+      if (trace.jobs[i].submit_time < trace.jobs[i - 1].submit_time)
+        throw std::invalid_argument(
+            "RunMumak: jobs must be ordered by submit_time");
+    }
+    nodes_.resize(config.num_nodes);
+    for (auto& node : nodes_) {
+      node.free_map_slots = config.map_slots_per_node;
+      node.free_reduce_slots = config.reduce_slots_per_node;
+    }
+    jobs_.resize(trace.jobs.size());
+    for (std::size_t i = 0; i < trace.jobs.size(); ++i)
+      jobs_[i].trace = &trace.jobs[i];
+  }
+
+  MumakResult Run() {
+    for (std::size_t i = 0; i < trace_.jobs.size(); ++i) {
+      queue_.Push(trace_.jobs[i].submit_time,
+                  Event{EventKind::kJobArrival, static_cast<std::int32_t>(i)});
+    }
+    for (int n = 0; n < config_.num_nodes; ++n) {
+      const SimTime stagger = config_.heartbeat_interval *
+                              static_cast<double>(n) /
+                              static_cast<double>(config_.num_nodes);
+      queue_.Push(stagger, Event{EventKind::kHeartbeat, n});
+    }
+
+    while (!queue_.Empty() && finished_ < jobs_.size()) {
+      const auto entry = queue_.Pop();
+      now_ = entry.time;
+      switch (entry.payload.kind) {
+        case EventKind::kJobArrival:
+          job_queue_.push_back(entry.payload.a);
+          break;
+        case EventKind::kHeartbeat:
+          OnHeartbeat(entry.payload.a, /*rearm=*/true);
+          break;
+        case EventKind::kOobHeartbeat:
+          OnHeartbeat(entry.payload.a, /*rearm=*/false);
+          break;
+      }
+    }
+    if (finished_ < jobs_.size())
+      throw std::logic_error("MumakSim: queue drained with jobs open");
+
+    MumakResult result;
+    result.events_processed = queue_.TotalPushed();
+    for (const auto& job : jobs_) {
+      MumakJobResult jr;
+      jr.name = job.trace->name;
+      jr.submit_time = job.trace->submit_time;
+      jr.finish_time = job.finish;
+      result.jobs.push_back(std::move(jr));
+      result.makespan = std::max(result.makespan, job.finish);
+    }
+    return result;
+  }
+
+ private:
+  void OnHeartbeat(std::int32_t node_id, bool rearm) {
+    NodeState& node = nodes_[node_id];
+    ReportFinished(node);
+    AssignTasks(node, node_id);
+    if (rearm && finished_ < jobs_.size()) {
+      queue_.Push(now_ + config_.heartbeat_interval,
+                  Event{EventKind::kHeartbeat, node_id});
+    }
+  }
+
+  void ReportFinished(NodeState& node) {
+    for (std::size_t i = 0; i < node.running.size();) {
+      const RunningTask task = node.running[i];  // copy: the vector mutates
+      if (task.end > now_ + kTimeEpsilon) {
+        ++i;
+        continue;
+      }
+      MumakJobState& job = jobs_[task.job];
+      if (task.kind == cluster::TaskKind::kMap) {
+        ++job.maps_completed;
+        ++node.free_map_slots;
+        if (job.MapsDone() && job.all_maps_finished < 0.0)
+          OnAllMapsFinished(task.job);
+      } else {
+        ++job.reduces_completed;
+        ++node.free_reduce_slots;
+      }
+      node.running[i] = node.running.back();
+      node.running.pop_back();
+      if (job.Done() && job.finish < 0.0) {
+        job.finish = now_;
+        ++finished_;
+        std::erase(job_queue_, task.job);
+      }
+    }
+  }
+
+  /// Mumak's AllMapsFinished event: every already-launched reduce now gets
+  /// its completion time — all-maps time plus the reduce phase, no shuffle.
+  void OnAllMapsFinished(std::int32_t job_index) {
+    MumakJobState& job = jobs_[job_index];
+    job.all_maps_finished = now_;
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      for (RunningTask& task : nodes_[n].running) {
+        if (task.job != job_index || task.kind != cluster::TaskKind::kReduce)
+          continue;
+        if (task.end == kTimeInfinity) {
+          task.end = now_ + ReducePhase(job, task.index);
+          MaybeScheduleOob(static_cast<std::int32_t>(n), task.end);
+        }
+      }
+    }
+  }
+
+  void MaybeScheduleOob(std::int32_t node_id, SimTime end) {
+    if (config_.out_of_band_heartbeat && end < kTimeInfinity)
+      queue_.Push(end, Event{EventKind::kOobHeartbeat, node_id});
+  }
+
+  double ReducePhase(const MumakJobState& job, std::int32_t index) const {
+    const auto& reduces = job.trace->reduces;
+    if (reduces.empty()) return 0.0;
+    return reduces[index % reduces.size()].ReducePhaseDuration();
+  }
+
+  double MapDuration(const MumakJobState& job, std::int32_t index) const {
+    const auto& maps = job.trace->maps;
+    if (maps.empty()) return 0.0;
+    return maps[index % maps.size()].TotalDuration();
+  }
+
+  void AssignTasks(NodeState& node, std::int32_t node_id) {
+    // FIFO: earliest-submitted job with work. One map and one reduce per
+    // heartbeat, like the Hadoop 0.20 JobTracker Mumak embeds.
+    if (node.free_map_slots > 0) {
+      for (const std::int32_t job_index : job_queue_) {
+        MumakJobState& job = jobs_[job_index];
+        if (job.maps_launched >= job.trace->num_maps) continue;
+        const std::int32_t index = job.maps_launched++;
+        --node.free_map_slots;
+        const SimTime end = now_ + MapDuration(job, index);
+        node.running.push_back(
+            {job_index, cluster::TaskKind::kMap, index, end});
+        MaybeScheduleOob(node_id, end);
+        break;
+      }
+    }
+    if (node.free_reduce_slots > 0) {
+      for (const std::int32_t job_index : job_queue_) {
+        MumakJobState& job = jobs_[job_index];
+        if (job.reduces_launched >= job.trace->num_reduces) continue;
+        if (!job.ReduceGateOpen(config_.reduce_slowstart)) continue;
+        const std::int32_t index = job.reduces_launched++;
+        --node.free_reduce_slots;
+        // Before AllMapsFinished the reduce just occupies its slot; after,
+        // it runs for exactly the recorded reduce phase.
+        const SimTime end = job.all_maps_finished >= 0.0
+                                ? now_ + ReducePhase(job, index)
+                                : kTimeInfinity;
+        node.running.push_back(
+            {job_index, cluster::TaskKind::kReduce, index, end});
+        MaybeScheduleOob(node_id, end);
+        break;
+      }
+    }
+  }
+
+  const RumenTrace& trace_;
+  const MumakConfig& config_;
+  std::vector<MumakJobState> jobs_;
+  std::vector<NodeState> nodes_;
+  std::vector<std::int32_t> job_queue_;
+  EventQueue<Event> queue_;
+  SimTime now_ = 0.0;
+  std::size_t finished_ = 0;
+};
+
+}  // namespace
+
+MumakResult RunMumak(const RumenTrace& trace, const MumakConfig& config) {
+  return MumakSim(trace, config).Run();
+}
+
+}  // namespace simmr::mumak

@@ -1,0 +1,176 @@
+#include "mumak/rumen.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace simmr::mumak {
+namespace {
+
+constexpr const char* kMagic = "SIMMR-RUMEN-V1";
+
+RumenTaskAttempt FromRecord(const cluster::TaskAttemptRecord& rec) {
+  RumenTaskAttempt a;
+  a.kind = rec.kind;
+  a.index = rec.index;
+  a.host = "node" + std::to_string(rec.node);
+  a.start_time = rec.start;
+  a.finish_time = rec.end;
+  a.shuffle_finished = rec.shuffle_end;
+  a.sort_finished = rec.shuffle_end;  // combined shuffle+sort boundary
+  a.hdfs_bytes_read_mb = rec.input_mb;
+  // Representative record counter (Rumen reports exact Hadoop counters; a
+  // fixed record size preserves the field's role in the format).
+  a.records_processed = static_cast<std::int64_t>(rec.input_mb * 1024.0);
+  return a;
+}
+
+}  // namespace
+
+RumenTrace RumenTrace::FromHistory(const cluster::HistoryLog& log) {
+  RumenTrace trace;
+  trace.jobs.reserve(log.jobs().size());
+  for (const auto& job_record : log.jobs()) {
+    RumenJob job;
+    job.name = job_record.app_name + "/" + job_record.dataset;
+    job.submit_time = job_record.submit_time;
+    job.num_maps = job_record.num_maps;
+    job.num_reduces = job_record.num_reduces;
+    for (const auto& t : log.TasksOf(job_record.job)) {
+      if (!t.succeeded) continue;  // Mumak replays successful attempts
+      if (t.kind == cluster::TaskKind::kMap) {
+        job.maps.push_back(FromRecord(t));
+      } else {
+        job.reduces.push_back(FromRecord(t));
+      }
+    }
+    const auto by_start = [](const RumenTaskAttempt& a,
+                             const RumenTaskAttempt& b) {
+      return a.start_time < b.start_time;
+    };
+    std::stable_sort(job.maps.begin(), job.maps.end(), by_start);
+    std::stable_sort(job.reduces.begin(), job.reduces.end(), by_start);
+    trace.jobs.push_back(std::move(job));
+  }
+  return trace;
+}
+
+RumenTrace RumenTrace::FromProfiles(
+    const std::vector<trace::JobProfile>& profiles,
+    const std::vector<SimTime>& arrivals) {
+  if (profiles.size() != arrivals.size())
+    throw std::invalid_argument(
+        "RumenTrace::FromProfiles: profiles/arrivals size mismatch");
+  RumenTrace trace;
+  trace.jobs.reserve(profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const trace::JobProfile& p = profiles[i];
+    RumenJob job;
+    job.name = p.app_name + "/" + p.dataset;
+    job.submit_time = arrivals[i];
+    job.num_maps = p.num_maps;
+    job.num_reduces = p.num_reduces;
+
+    SimTime clock = arrivals[i];
+    for (int m = 0; m < p.num_maps; ++m) {
+      RumenTaskAttempt a;
+      a.kind = cluster::TaskKind::kMap;
+      a.index = m;
+      a.host = "synthetic";
+      a.start_time = clock;
+      a.finish_time =
+          clock + p.map_durations[m % p.map_durations.size()];
+      a.shuffle_finished = a.start_time;
+      a.sort_finished = a.start_time;
+      clock = a.finish_time;
+      job.maps.push_back(a);
+    }
+    const SimTime maps_end = clock;
+    // Reduce attempts: shuffle from the typical pool (first-wave samples
+    // only exist for logs parsed from real runs), then the reduce phase.
+    std::size_t sh_cursor = 0, red_cursor = 0;
+    const auto& shuffles = !p.typical_shuffle_durations.empty()
+                               ? p.typical_shuffle_durations
+                               : p.first_shuffle_durations;
+    for (int r = 0; r < p.num_reduces; ++r) {
+      RumenTaskAttempt a;
+      a.kind = cluster::TaskKind::kReduce;
+      a.index = r;
+      a.host = "synthetic";
+      a.start_time = maps_end;
+      const double shuffle =
+          shuffles.empty() ? 0.0 : shuffles[sh_cursor++ % shuffles.size()];
+      const double reduce =
+          p.reduce_durations.empty()
+              ? 0.0
+              : p.reduce_durations[red_cursor++ % p.reduce_durations.size()];
+      a.shuffle_finished = a.start_time + shuffle;
+      a.sort_finished = a.shuffle_finished;
+      a.finish_time = a.sort_finished + reduce;
+      job.reduces.push_back(a);
+    }
+    trace.jobs.push_back(std::move(job));
+  }
+  return trace;
+}
+
+void RumenTrace::Write(std::ostream& out) const {
+  out << kMagic << '\n';
+  out.precision(9);
+  for (const auto& job : jobs) {
+    out << "RJOB\t" << job.name << '\t' << job.submit_time << '\t'
+        << job.num_maps << '\t' << job.num_reduces << '\n';
+    const auto write_attempt = [&out](const RumenTaskAttempt& a) {
+      out << "RATT\t" << cluster::TaskKindName(a.kind) << '\t' << a.index
+          << '\t' << a.host << '\t' << a.start_time << '\t' << a.finish_time
+          << '\t' << a.shuffle_finished << '\t' << a.sort_finished << '\t'
+          << a.hdfs_bytes_read_mb << '\t' << a.records_processed << '\n';
+    };
+    for (const auto& a : job.maps) write_attempt(a);
+    for (const auto& a : job.reduces) write_attempt(a);
+  }
+}
+
+RumenTrace RumenTrace::Read(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic)
+    throw std::runtime_error("RumenTrace: bad or missing magic header");
+  RumenTrace trace;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "RJOB") {
+      RumenJob job;
+      if (!(ls >> job.name >> job.submit_time >> job.num_maps >>
+            job.num_reduces))
+        throw std::runtime_error("RumenTrace: malformed RJOB line");
+      trace.jobs.push_back(std::move(job));
+    } else if (tag == "RATT") {
+      if (trace.jobs.empty())
+        throw std::runtime_error("RumenTrace: attempt before any job");
+      RumenTaskAttempt a;
+      std::string kind;
+      if (!(ls >> kind >> a.index >> a.host >> a.start_time >> a.finish_time >>
+            a.shuffle_finished >> a.sort_finished >> a.hdfs_bytes_read_mb >>
+            a.records_processed))
+        throw std::runtime_error("RumenTrace: malformed RATT line");
+      if (kind == "MAP") {
+        a.kind = cluster::TaskKind::kMap;
+        trace.jobs.back().maps.push_back(a);
+      } else if (kind == "REDUCE") {
+        a.kind = cluster::TaskKind::kReduce;
+        trace.jobs.back().reduces.push_back(a);
+      } else {
+        throw std::runtime_error("RumenTrace: bad attempt kind " + kind);
+      }
+    } else {
+      throw std::runtime_error("RumenTrace: unknown record '" + tag + "'");
+    }
+  }
+  return trace;
+}
+
+}  // namespace simmr::mumak

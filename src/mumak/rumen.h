@@ -1,0 +1,68 @@
+// Rumen re-implementation: history logs -> rich per-attempt traces.
+//
+// Rumen (MAPREDUCE-751) processes Hadoop job-history logs into trace files
+// "describing the task durations, the number of bytes and records read and
+// written, etc." — over 40 properties per attempt. Our re-implementation
+// carries the subset Mumak's replay semantics actually consume (plus
+// representative byte/record counters): per-attempt start/finish times and,
+// for reduces, the shuffle/sort phase boundaries from which Mumak extracts
+// the *reduce-phase-only* duration it replays (Section IV-A).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cluster/history_log.h"
+#include "simcore/time.h"
+#include "trace/job_profile.h"
+
+namespace simmr::mumak {
+
+struct RumenTaskAttempt {
+  cluster::TaskKind kind = cluster::TaskKind::kMap;
+  std::int32_t index = 0;
+  std::string host;
+  SimTime start_time = 0.0;
+  SimTime finish_time = 0.0;
+  /// Reduce-only phase boundaries (== start_time for maps). The combined
+  /// shuffle+sort phase ends at sort_finished.
+  SimTime shuffle_finished = 0.0;
+  SimTime sort_finished = 0.0;
+  double hdfs_bytes_read_mb = 0.0;
+  std::int64_t records_processed = 0;
+
+  double TotalDuration() const { return finish_time - start_time; }
+  /// What Mumak replays for a reduce: the phase after shuffle/sort.
+  double ReducePhaseDuration() const { return finish_time - sort_finished; }
+};
+
+struct RumenJob {
+  std::string name;
+  SimTime submit_time = 0.0;
+  int num_maps = 0;
+  int num_reduces = 0;
+  std::vector<RumenTaskAttempt> maps;
+  std::vector<RumenTaskAttempt> reduces;
+};
+
+struct RumenTrace {
+  std::vector<RumenJob> jobs;
+
+  /// Extracts a trace from a testbed history log (the Rumen workflow).
+  static RumenTrace FromHistory(const cluster::HistoryLog& log);
+
+  /// Builds a trace directly from job profiles with given arrival times
+  /// (aligned by index). Timestamps are synthesized serially per job; only
+  /// durations matter to Mumak's replay. Used to feed both simulators the
+  /// identical large workload in the Figure 6 benchmark.
+  static RumenTrace FromProfiles(const std::vector<trace::JobProfile>& profiles,
+                                 const std::vector<SimTime>& arrivals);
+
+  /// Versioned tab-separated serialization (same conventions as
+  /// HistoryLog).
+  void Write(std::ostream& out) const;
+  static RumenTrace Read(std::istream& in);
+};
+
+}  // namespace simmr::mumak

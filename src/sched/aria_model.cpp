@@ -1,0 +1,129 @@
+#include "sched/aria_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace simmr::sched {
+
+ProfileSummary ProfileSummary::FromProfile(const trace::JobProfile& profile) {
+  ProfileSummary s;
+  s.num_maps = profile.num_maps;
+  s.num_reduces = profile.num_reduces;
+
+  const Summary map = profile.MapSummary();
+  s.map_avg = map.mean;
+  s.map_max = map.max;
+
+  const Summary first = profile.FirstShuffleSummary();
+  const Summary typical = profile.TypicalShuffleSummary();
+  // Fall back to the other pool when one wave is missing from the trace,
+  // mirroring JobState's duration-pool fallbacks.
+  if (first.count > 0) {
+    s.first_shuffle_avg = first.mean;
+    s.first_shuffle_max = first.max;
+  } else {
+    s.first_shuffle_avg = typical.mean;
+    s.first_shuffle_max = typical.max;
+  }
+  if (typical.count > 0) {
+    s.typical_shuffle_avg = typical.mean;
+    s.typical_shuffle_max = typical.max;
+  } else {
+    s.typical_shuffle_avg = first.mean;
+    s.typical_shuffle_max = first.max;
+  }
+
+  const Summary reduce = profile.ReduceSummary();
+  s.reduce_avg = reduce.mean;
+  s.reduce_max = reduce.max;
+  return s;
+}
+
+BoundCoefficients LowerBound(const ProfileSummary& s) {
+  BoundCoefficients c;
+  c.a = s.num_maps * s.map_avg;
+  c.b = s.num_reduces * (s.typical_shuffle_avg + s.reduce_avg);
+  // The first reduce wave replaces its typical shuffle with the recorded
+  // non-overlapping first shuffle: + Sh1_avg - Sh_typ_avg.
+  c.c = s.num_reduces > 0 ? s.first_shuffle_avg - s.typical_shuffle_avg : 0.0;
+  return c;
+}
+
+BoundCoefficients UpperBound(const ProfileSummary& s) {
+  BoundCoefficients c;
+  c.a = std::max(0, s.num_maps - 1) * s.map_avg;
+  c.b = std::max(0, s.num_reduces - 1) *
+        (s.typical_shuffle_avg + s.reduce_avg);
+  c.c = s.map_max;
+  if (s.num_reduces > 0)
+    c.c += s.first_shuffle_max + s.typical_shuffle_max + s.reduce_max;
+  return c;
+}
+
+BoundCoefficients AverageBound(const ProfileSummary& s) {
+  const BoundCoefficients lo = LowerBound(s);
+  const BoundCoefficients up = UpperBound(s);
+  return BoundCoefficients{0.5 * (lo.a + up.a), 0.5 * (lo.b + up.b),
+                           0.5 * (lo.c + up.c)};
+}
+
+double EstimateCompletion(const BoundCoefficients& coeffs, int map_slots,
+                          int reduce_slots) {
+  if (map_slots <= 0 || reduce_slots <= 0)
+    throw std::invalid_argument("EstimateCompletion: nonpositive slots");
+  return coeffs.a / map_slots + coeffs.b / reduce_slots + coeffs.c;
+}
+
+SlotAllocation MinimalSlotsForDeadline(const ProfileSummary& summary,
+                                       double deadline, int max_map_slots,
+                                       int max_reduce_slots) {
+  if (deadline <= 0.0)
+    throw std::invalid_argument("MinimalSlotsForDeadline: deadline <= 0");
+  if (max_map_slots <= 0 || max_reduce_slots <= 0)
+    throw std::invalid_argument("MinimalSlotsForDeadline: nonpositive caps");
+
+  const BoundCoefficients coeffs = AverageBound(summary);
+  SlotAllocation alloc;
+
+  const double budget = deadline - coeffs.c;
+  if (budget <= 0.0) {
+    // Even with infinite parallelism the constant terms exceed the
+    // deadline; grab everything.
+    alloc.map_slots = max_map_slots;
+    alloc.reduce_slots = max_reduce_slots;
+    alloc.feasible = false;
+    return alloc;
+  }
+
+  // Lagrange minimum of S_M + S_R on a/S_M + b/S_R = budget.
+  const double root = std::sqrt(std::max(coeffs.a * coeffs.b, 0.0));
+  double sm = coeffs.a > 0.0 ? (coeffs.a + root) / budget : 0.0;
+  double sr = coeffs.b > 0.0 ? (coeffs.b + root) / budget : 0.0;
+
+  alloc.map_slots =
+      std::clamp(static_cast<int>(std::ceil(sm - 1e-9)), 1, max_map_slots);
+  alloc.reduce_slots = summary.num_reduces > 0
+                           ? std::clamp(static_cast<int>(std::ceil(sr - 1e-9)),
+                                        1, max_reduce_slots)
+                           : 1;
+
+  // A job never benefits from more slots than tasks.
+  alloc.map_slots = std::min(alloc.map_slots, summary.num_maps);
+  if (summary.num_reduces > 0)
+    alloc.reduce_slots = std::min(alloc.reduce_slots, summary.num_reduces);
+
+  alloc.feasible = EstimateCompletion(coeffs, alloc.map_slots,
+                                      alloc.reduce_slots) <= deadline + 1e-9;
+  if (!alloc.feasible) {
+    // Ceil/clamp may have landed off the hyperbola; fall back to capacity.
+    alloc.map_slots = std::min(max_map_slots, std::max(1, summary.num_maps));
+    alloc.reduce_slots =
+        std::min(max_reduce_slots, std::max(1, summary.num_reduces));
+    alloc.feasible = EstimateCompletion(coeffs, alloc.map_slots,
+                                        alloc.reduce_slots) <= deadline + 1e-9;
+  }
+  return alloc;
+}
+
+}  // namespace simmr::sched

@@ -1,0 +1,74 @@
+// The ARIA bounds-based MapReduce performance model (Section V-A, citing
+// Verma et al., ICAC'11).
+//
+// For n tasks greedily assigned to k slots with average duration `avg` and
+// maximum `max`, the makespan is at least n*avg/k and at most
+// (n-1)*avg/k + max. Applying the bounds per phase (map; typical
+// shuffle+reduce; plus the non-overlapping first shuffle once) gives job
+// completion estimates in the Eq. 1 form
+//     T = A * N_M/S_M + B * N_R/S_R + C,
+// and the inverse problem — the minimal (S_M, S_R) meeting a deadline D —
+// has the Lagrange-multiplier closed form on the hyperbola
+// A*N_M/S_M + B*N_R/S_R = D - C:
+//     S_M = (a + sqrt(a*b)) / (D - C),  S_R = (b + sqrt(a*b)) / (D - C)
+// with a = A*N_M, b = B*N_R. MinEDF uses this to size allocations.
+#pragma once
+
+#include "trace/job_profile.h"
+
+namespace simmr::sched {
+
+/// Per-phase statistics extracted from a job profile.
+struct ProfileSummary {
+  int num_maps = 0;
+  int num_reduces = 0;
+  double map_avg = 0.0, map_max = 0.0;
+  double first_shuffle_avg = 0.0, first_shuffle_max = 0.0;
+  double typical_shuffle_avg = 0.0, typical_shuffle_max = 0.0;
+  double reduce_avg = 0.0, reduce_max = 0.0;
+
+  /// Extracts summaries; when one shuffle pool is empty its statistics fall
+  /// back to the other pool (same convention as the replay engine).
+  static ProfileSummary FromProfile(const trace::JobProfile& profile);
+};
+
+/// Eq. 1 coefficients for one bound.
+struct BoundCoefficients {
+  double a = 0.0;  // multiplies 1/S_M   (A * N_M)
+  double b = 0.0;  // multiplies 1/S_R   (B * N_R)
+  double c = 0.0;  // constant term
+};
+
+/// Lower-bound coefficients: a = N_M*M_avg, b = N_R*(Sh_avg+R_avg),
+/// c = Sh1_avg - Sh_avg (the first wave's typical-shuffle term is replaced
+/// by the recorded first shuffle).
+BoundCoefficients LowerBound(const ProfileSummary& s);
+
+/// Upper-bound coefficients from the (n-1)*avg/k + max form.
+BoundCoefficients UpperBound(const ProfileSummary& s);
+
+/// Average of lower and upper coefficients — the paper's recommended
+/// completion-time approximation.
+BoundCoefficients AverageBound(const ProfileSummary& s);
+
+/// Evaluates T = a/S_M + b/S_R + c. Slot counts must be positive.
+double EstimateCompletion(const BoundCoefficients& coeffs, int map_slots,
+                          int reduce_slots);
+
+struct SlotAllocation {
+  int map_slots = 1;
+  int reduce_slots = 1;
+  /// False when no allocation within the caps meets the deadline (the
+  /// returned allocation is then the full capacity).
+  bool feasible = true;
+};
+
+/// Solves the inverse problem for the average bound: minimal S_M + S_R
+/// with estimated completion <= deadline, clamped to [1, cap] per
+/// dimension. Deadline is relative (seconds from job start).
+/// Throws std::invalid_argument for nonpositive deadline or caps.
+SlotAllocation MinimalSlotsForDeadline(const ProfileSummary& summary,
+                                       double deadline, int max_map_slots,
+                                       int max_reduce_slots);
+
+}  // namespace simmr::sched

@@ -1,0 +1,129 @@
+#include "sched/capacity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace simmr::sched {
+
+CapacityPolicy::CapacityPolicy(int cluster_map_slots, int cluster_reduce_slots,
+                               std::vector<QueueConfig> queues,
+                               QueueClassifier classifier)
+    : cluster_map_slots_(cluster_map_slots),
+      cluster_reduce_slots_(cluster_reduce_slots),
+      classifier_(std::move(classifier)) {
+  if (cluster_map_slots <= 0 || cluster_reduce_slots <= 0)
+    throw std::invalid_argument("CapacityPolicy: nonpositive cluster slots");
+  if (queues.empty())
+    throw std::invalid_argument("CapacityPolicy: no queues configured");
+  std::set<std::string> names;
+  for (auto& config : queues) {
+    if (config.capacity <= 0.0 || config.capacity > 1.0)
+      throw std::invalid_argument("CapacityPolicy: capacity outside (0,1]");
+    if (!names.insert(config.name).second)
+      throw std::invalid_argument("CapacityPolicy: duplicate queue '" +
+                                  config.name + "'");
+    QueueState state;
+    state.config = std::move(config);
+    state.guaranteed_map_slots = std::max(
+        1, static_cast<int>(std::floor(state.config.capacity *
+                                       cluster_map_slots)));
+    state.guaranteed_reduce_slots = std::max(
+        1, static_cast<int>(std::floor(state.config.capacity *
+                                       cluster_reduce_slots)));
+    queues_.push_back(std::move(state));
+  }
+}
+
+void CapacityPolicy::OnJobArrival(const core::JobState& job, SimTime) {
+  std::size_t index = 0;
+  if (classifier_) {
+    const std::string name = classifier_(job);
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+      if (queues_[q].config.name == name) {
+        index = q;
+        break;
+      }
+    }
+  }
+  job_queue_index_[job.id()] = index;
+}
+
+void CapacityPolicy::OnJobCompletion(const core::JobState& job, SimTime) {
+  job_queue_index_.erase(job.id());
+}
+
+const std::string& CapacityPolicy::QueueOf(core::JobId job) const {
+  return queues_[job_queue_index_.at(job)].config.name;
+}
+
+template <typename Eligible, typename RunningFn>
+core::JobId CapacityPolicy::Choose(core::JobQueue job_queue,
+                                   Eligible&& eligible, RunningFn&& running,
+                                   bool map_side) {
+  // Current usage per queue.
+  std::vector<int> used(queues_.size(), 0);
+  for (const core::JobState* job : job_queue) {
+    const auto it = job_queue_index_.find(job->id());
+    if (it == job_queue_index_.end()) continue;
+    used[it->second] += running(*job);
+  }
+
+  // Pass 1: the most underserved queue still inside its guarantee.
+  // Pass 2 (elasticity): any queue with pending work, least-loaded
+  // relative to its guarantee first.
+  for (const bool enforce_guarantee : {true, false}) {
+    std::size_t best_queue = queues_.size();
+    double best_ratio = 0.0;
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+      const int guaranteed = map_side ? queues_[q].guaranteed_map_slots
+                                      : queues_[q].guaranteed_reduce_slots;
+      if (enforce_guarantee && used[q] >= guaranteed) continue;
+      // Does this queue have an eligible job at all?
+      bool has_work = false;
+      for (const core::JobState* job : job_queue) {
+        const auto it = job_queue_index_.find(job->id());
+        if (it == job_queue_index_.end() || it->second != q) continue;
+        if (eligible(*job)) {
+          has_work = true;
+          break;
+        }
+      }
+      if (!has_work) continue;
+      const double ratio = static_cast<double>(used[q]) / guaranteed;
+      if (best_queue == queues_.size() || ratio < best_ratio) {
+        best_queue = q;
+        best_ratio = ratio;
+      }
+    }
+    if (best_queue == queues_.size()) continue;
+    // FIFO within the queue (job_queue is in arrival order).
+    for (const core::JobState* job : job_queue) {
+      const auto it = job_queue_index_.find(job->id());
+      if (it == job_queue_index_.end() || it->second != best_queue) continue;
+      if (eligible(*job)) return job->id();
+    }
+  }
+  return core::kInvalidJob;
+}
+
+core::JobId CapacityPolicy::ChooseNextMapTask(core::JobQueue job_queue) {
+  return Choose(
+      job_queue,
+      [](const core::JobState& j) { return j.HasPendingMap(); },
+      [](const core::JobState& j) { return j.RunningMaps(); },
+      /*map_side=*/true);
+}
+
+core::JobId CapacityPolicy::ChooseNextReduceTask(core::JobQueue job_queue) {
+  return Choose(
+      job_queue,
+      [](const core::JobState& j) {
+        return j.HasPendingReduce() && j.reduce_gate_open;
+      },
+      [](const core::JobState& j) { return j.RunningReduces(); },
+      /*map_side=*/false);
+}
+
+}  // namespace simmr::sched

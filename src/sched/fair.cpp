@@ -1,0 +1,60 @@
+#include "sched/fair.h"
+
+#include <stdexcept>
+
+namespace simmr::sched {
+
+void FairPolicy::SetWeight(core::JobId job, double weight) {
+  if (weight <= 0.0)
+    throw std::invalid_argument("FairPolicy::SetWeight: nonpositive weight");
+  weights_[job] = weight;
+}
+
+void FairPolicy::OnJobCompletion(const core::JobState& job, SimTime) {
+  weights_.erase(job.id());
+}
+
+double FairPolicy::WeightOf(core::JobId job) const {
+  const auto it = weights_.find(job);
+  return it != weights_.end() ? it->second : 1.0;
+}
+
+core::JobId FairPolicy::ChooseNextMapTask(core::JobQueue job_queue) {
+  const core::JobState* best = nullptr;
+  double best_deficit = 0.0;
+  for (const core::JobState* job : job_queue) {
+    if (!job->HasPendingMap()) continue;
+    const double deficit = job->RunningMaps() / WeightOf(job->id());
+    const bool wins =
+        best == nullptr || deficit < best_deficit ||
+        (deficit == best_deficit &&
+         (job->arrival() < best->arrival() ||
+          (job->arrival() == best->arrival() && job->id() < best->id())));
+    if (wins) {
+      best = job;
+      best_deficit = deficit;
+    }
+  }
+  return best != nullptr ? best->id() : core::kInvalidJob;
+}
+
+core::JobId FairPolicy::ChooseNextReduceTask(core::JobQueue job_queue) {
+  const core::JobState* best = nullptr;
+  double best_deficit = 0.0;
+  for (const core::JobState* job : job_queue) {
+    if (!job->HasPendingReduce() || !job->reduce_gate_open) continue;
+    const double deficit = job->RunningReduces() / WeightOf(job->id());
+    const bool wins =
+        best == nullptr || deficit < best_deficit ||
+        (deficit == best_deficit &&
+         (job->arrival() < best->arrival() ||
+          (job->arrival() == best->arrival() && job->id() < best->id())));
+    if (wins) {
+      best = job;
+      best_deficit = deficit;
+    }
+  }
+  return best != nullptr ? best->id() : core::kInvalidJob;
+}
+
+}  // namespace simmr::sched

@@ -1,0 +1,20 @@
+#include "sched/fifo.h"
+
+namespace simmr::sched {
+
+core::JobId FifoPolicy::ChooseNextMapTask(core::JobQueue job_queue) {
+  // The engine keeps job_queue in arrival order.
+  for (const core::JobState* job : job_queue) {
+    if (job->HasPendingMap()) return job->id();
+  }
+  return core::kInvalidJob;
+}
+
+core::JobId FifoPolicy::ChooseNextReduceTask(core::JobQueue job_queue) {
+  for (const core::JobState* job : job_queue) {
+    if (job->HasPendingReduce() && job->reduce_gate_open) return job->id();
+  }
+  return core::kInvalidJob;
+}
+
+}  // namespace simmr::sched

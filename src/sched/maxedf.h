@@ -1,0 +1,22 @@
+// MaxEDF (Section V-A): Earliest-Deadline-First job ordering with greedy
+// maximum allocation — "apart from the EDF job ordering, the resource
+// allocation per job is the same as under the FIFO policy."
+#pragma once
+
+#include "core/scheduler.h"
+
+namespace simmr::sched {
+
+/// Shared EDF ordering helper: earliest positive deadline first; jobs
+/// without deadlines come after all deadlined jobs, by arrival; final tie
+/// break on id for determinism.
+bool EdfOrderBefore(const core::JobState& a, const core::JobState& b);
+
+class MaxEdfPolicy final : public core::SchedulerPolicy {
+ public:
+  const char* Name() const override { return "MaxEDF"; }
+  core::JobId ChooseNextMapTask(core::JobQueue job_queue) override;
+  core::JobId ChooseNextReduceTask(core::JobQueue job_queue) override;
+};
+
+}  // namespace simmr::sched

@@ -1,0 +1,77 @@
+#include "sched/minedf.h"
+
+#include <stdexcept>
+
+#include "sched/maxedf.h"
+
+namespace simmr::sched {
+
+MinEdfPolicy::MinEdfPolicy(int cluster_map_slots, int cluster_reduce_slots)
+    : cluster_map_slots_(cluster_map_slots),
+      cluster_reduce_slots_(cluster_reduce_slots) {
+  if (cluster_map_slots <= 0 || cluster_reduce_slots <= 0)
+    throw std::invalid_argument("MinEdfPolicy: nonpositive cluster slots");
+}
+
+void MinEdfPolicy::PresetWantedSlots(core::JobId job,
+                                     SlotAllocation allocation) {
+  preset_[job] = allocation;
+}
+
+void MinEdfPolicy::OnJobArrival(const core::JobState& job, SimTime now) {
+  if (const auto it = preset_.find(job.id()); it != preset_.end()) {
+    wanted_[job.id()] = it->second;
+    return;
+  }
+  SlotAllocation alloc;
+  if (job.deadline() > 0.0 && job.deadline() > now) {
+    alloc = MinimalSlotsForDeadline(
+        ProfileSummary::FromProfile(job.profile()), job.deadline() - now,
+        cluster_map_slots_, cluster_reduce_slots_);
+  } else {
+    // No deadline (or already past): want everything, like MaxEDF.
+    alloc.map_slots = cluster_map_slots_;
+    alloc.reduce_slots = cluster_reduce_slots_;
+    alloc.feasible = job.deadline() <= 0.0;
+  }
+  wanted_[job.id()] = alloc;
+}
+
+void MinEdfPolicy::OnJobCompletion(const core::JobState& job, SimTime) {
+  wanted_.erase(job.id());
+}
+
+core::JobId MinEdfPolicy::ChooseNextMapTask(core::JobQueue job_queue) {
+  const core::JobState* best = nullptr;
+  for (const core::JobState* job : job_queue) {
+    if (!job->HasPendingMap()) continue;
+    const auto it = wanted_.find(job->id());
+    const int cap =
+        it != wanted_.end() ? it->second.map_slots : cluster_map_slots_;
+    if (job->RunningMaps() >= cap) continue;
+    if (best == nullptr || EdfOrderBefore(*job, *best)) best = job;
+  }
+  return best != nullptr ? best->id() : core::kInvalidJob;
+}
+
+core::JobId MinEdfPolicy::ChooseNextReduceTask(core::JobQueue job_queue) {
+  const core::JobState* best = nullptr;
+  for (const core::JobState* job : job_queue) {
+    if (!job->HasPendingReduce() || !job->reduce_gate_open) continue;
+    const auto it = wanted_.find(job->id());
+    const int cap =
+        it != wanted_.end() ? it->second.reduce_slots : cluster_reduce_slots_;
+    if (job->RunningReduces() >= cap) continue;
+    if (best == nullptr || EdfOrderBefore(*job, *best)) best = job;
+  }
+  return best != nullptr ? best->id() : core::kInvalidJob;
+}
+
+SlotAllocation MinEdfPolicy::WantedSlots(core::JobId job) const {
+  const auto it = wanted_.find(job);
+  if (it == wanted_.end())
+    throw std::out_of_range("MinEdfPolicy::WantedSlots: unknown job");
+  return it->second;
+}
+
+}  // namespace simmr::sched

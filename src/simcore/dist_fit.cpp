@@ -1,0 +1,183 @@
+#include "simcore/dist_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/stats.h"
+
+namespace simmr {
+namespace {
+
+bool AllPositive(std::span<const double> sample) {
+  return std::all_of(sample.begin(), sample.end(),
+                     [](double v) { return v > 0.0; });
+}
+
+FitResult MakeResult(DistributionPtr dist, std::string family,
+                     std::span<const double> sample) {
+  FitResult r;
+  r.ks_statistic =
+      KsOneSample(sample, [&dist](double x) { return dist->Cdf(x); });
+  r.dist = std::move(dist);
+  r.family = std::move(family);
+  return r;
+}
+
+}  // namespace
+
+double Digamma(double x) {
+  // Recurrence to push x above 12, then the asymptotic expansion.
+  double result = 0.0;
+  while (x < 12.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0));
+  return result;
+}
+
+double Trigamma(double x) {
+  double result = 0.0;
+  while (x < 12.0) {
+    result += 1.0 / (x * x);
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += inv * (1.0 + 0.5 * inv +
+                   inv2 * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 / 42.0)));
+  return result;
+}
+
+std::optional<FitResult> FitNormal(std::span<const double> sample) {
+  const Summary s = Summarize(sample);
+  if (s.count < 2 || s.stddev <= 0.0) return std::nullopt;
+  return MakeResult(std::make_shared<NormalDist>(s.mean, s.stddev), "Normal",
+                    sample);
+}
+
+std::optional<FitResult> FitLogNormal(std::span<const double> sample) {
+  if (sample.size() < 2 || !AllPositive(sample)) return std::nullopt;
+  std::vector<double> logs;
+  logs.reserve(sample.size());
+  for (const double v : sample) logs.push_back(std::log(v));
+  const Summary s = Summarize(logs);
+  if (s.stddev <= 0.0) return std::nullopt;
+  return MakeResult(std::make_shared<LogNormalDist>(s.mean, s.stddev),
+                    "LogNormal", sample);
+}
+
+std::optional<FitResult> FitExponential(std::span<const double> sample) {
+  const Summary s = Summarize(sample);
+  if (s.count < 1 || s.mean <= 0.0) return std::nullopt;
+  return MakeResult(std::make_shared<ExponentialDist>(1.0 / s.mean),
+                    "Exponential", sample);
+}
+
+std::optional<FitResult> FitUniform(std::span<const double> sample) {
+  const Summary s = Summarize(sample);
+  if (s.count < 2 || s.max <= s.min) return std::nullopt;
+  return MakeResult(std::make_shared<UniformDist>(s.min, s.max), "Uniform",
+                    sample);
+}
+
+std::optional<FitResult> FitWeibull(std::span<const double> sample) {
+  if (sample.size() < 2 || !AllPositive(sample)) return std::nullopt;
+  // Newton iteration on the MLE shape equation:
+  //   g(k) = sum(x^k ln x)/sum(x^k) - 1/k - mean(ln x) = 0
+  std::vector<double> logs;
+  logs.reserve(sample.size());
+  double mean_log = 0.0;
+  for (const double v : sample) {
+    logs.push_back(std::log(v));
+    mean_log += logs.back();
+  }
+  mean_log /= static_cast<double>(sample.size());
+
+  double k = 1.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    double sxk = 0.0, sxk_lx = 0.0, sxk_lx2 = 0.0;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      const double xk = std::pow(sample[i], k);
+      sxk += xk;
+      sxk_lx += xk * logs[i];
+      sxk_lx2 += xk * logs[i] * logs[i];
+    }
+    const double g = sxk_lx / sxk - 1.0 / k - mean_log;
+    const double gp =
+        (sxk_lx2 * sxk - sxk_lx * sxk_lx) / (sxk * sxk) + 1.0 / (k * k);
+    if (gp == 0.0) break;
+    const double step = g / gp;
+    k -= step;
+    if (k <= 1e-6) k = 1e-6;
+    if (std::fabs(step) < 1e-10) break;
+  }
+  if (!std::isfinite(k) || k <= 0.0) return std::nullopt;
+  double sxk = 0.0;
+  for (const double v : sample) sxk += std::pow(v, k);
+  const double scale =
+      std::pow(sxk / static_cast<double>(sample.size()), 1.0 / k);
+  if (!std::isfinite(scale) || scale <= 0.0) return std::nullopt;
+  return MakeResult(std::make_shared<WeibullDist>(k, scale), "Weibull", sample);
+}
+
+std::optional<FitResult> FitGamma(std::span<const double> sample) {
+  if (sample.size() < 2 || !AllPositive(sample)) return std::nullopt;
+  const Summary s = Summarize(sample);
+  double mean_log = 0.0;
+  for (const double v : sample) mean_log += std::log(v);
+  mean_log /= static_cast<double>(sample.size());
+  const double log_mean = std::log(s.mean);
+  const double diff = log_mean - mean_log;  // >= 0 by Jensen
+  if (diff <= 0.0) return std::nullopt;
+
+  // Minka's generalized Newton iteration for the shape.
+  double k = (3.0 - diff + std::sqrt((diff - 3.0) * (diff - 3.0) + 24.0 * diff)) /
+             (12.0 * diff);
+  for (int iter = 0; iter < 100; ++iter) {
+    const double num = std::log(k) - Digamma(k) - diff;
+    const double den = 1.0 / k - Trigamma(k);
+    const double knew = 1.0 / (1.0 / k + num / (k * k * den));
+    if (!std::isfinite(knew) || knew <= 0.0) break;
+    const double delta = std::fabs(knew - k);
+    k = knew;
+    if (delta < 1e-10) break;
+  }
+  if (!std::isfinite(k) || k <= 0.0) return std::nullopt;
+  return MakeResult(std::make_shared<GammaDist>(k, s.mean / k), "Gamma",
+                    sample);
+}
+
+std::optional<FitResult> FitPareto(std::span<const double> sample) {
+  if (sample.size() < 2 || !AllPositive(sample)) return std::nullopt;
+  const double xm = *std::min_element(sample.begin(), sample.end());
+  double sum_log = 0.0;
+  for (const double v : sample) sum_log += std::log(v / xm);
+  if (sum_log <= 0.0) return std::nullopt;
+  const double alpha = static_cast<double>(sample.size()) / sum_log;
+  return MakeResult(std::make_shared<ParetoDist>(xm, alpha), "Pareto", sample);
+}
+
+std::vector<FitResult> FitBest(std::span<const double> sample) {
+  std::vector<FitResult> results;
+  const auto add = [&results](std::optional<FitResult> r) {
+    if (r && std::isfinite(r->ks_statistic)) results.push_back(std::move(*r));
+  };
+  add(FitLogNormal(sample));
+  add(FitNormal(sample));
+  add(FitExponential(sample));
+  add(FitUniform(sample));
+  add(FitWeibull(sample));
+  add(FitGamma(sample));
+  add(FitPareto(sample));
+  std::sort(results.begin(), results.end(),
+            [](const FitResult& a, const FitResult& b) {
+              return a.ks_statistic < b.ks_statistic;
+            });
+  return results;
+}
+
+}  // namespace simmr

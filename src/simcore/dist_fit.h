@@ -1,0 +1,61 @@
+// Distribution fitting and model selection.
+//
+// Section V-C of the paper fits ~60 candidate families to the Facebook task
+// duration CDF with StatAssist and selects LogNormal by Kolmogorov-Smirnov
+// distance. This module reproduces that workflow for a representative family
+// set: each fitter estimates parameters from a sample (MLE where tractable,
+// method of moments otherwise) and FitBest ranks families by the one-sample
+// KS statistic of the fitted model.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simcore/distributions.h"
+
+namespace simmr {
+
+/// One fitted candidate: the distribution, its family name and KS distance.
+struct FitResult {
+  DistributionPtr dist;
+  std::string family;
+  double ks_statistic = 0.0;
+};
+
+/// MLE fit of Normal(mu, sigma). Requires n >= 2 and nonzero variance.
+std::optional<FitResult> FitNormal(std::span<const double> sample);
+
+/// MLE fit of LogNormal: Normal MLE on log-samples. Requires all-positive
+/// samples, n >= 2, nonzero log-variance.
+std::optional<FitResult> FitLogNormal(std::span<const double> sample);
+
+/// MLE fit of Exponential (lambda = 1/mean). Requires positive mean.
+std::optional<FitResult> FitExponential(std::span<const double> sample);
+
+/// Min/max fit of Uniform.
+std::optional<FitResult> FitUniform(std::span<const double> sample);
+
+/// MLE fit of Weibull via Newton iteration on the shape equation.
+std::optional<FitResult> FitWeibull(std::span<const double> sample);
+
+/// MLE fit of Gamma via the Minka/Choi-Wette fixed-point iteration using
+/// digamma/trigamma.
+std::optional<FitResult> FitGamma(std::span<const double> sample);
+
+/// MLE fit of Pareto (xm = min sample, alpha = n / sum log(x/xm)).
+std::optional<FitResult> FitPareto(std::span<const double> sample);
+
+/// Fits every family that accepts the sample and returns candidates sorted
+/// by ascending KS statistic (best first). Never returns an empty vector for
+/// a sample with n >= 2 distinct positive values.
+std::vector<FitResult> FitBest(std::span<const double> sample);
+
+/// Digamma function psi(x) (derivative of lgamma), for x > 0.
+double Digamma(double x);
+
+/// Trigamma function psi'(x), for x > 0.
+double Trigamma(double x);
+
+}  // namespace simmr

@@ -1,0 +1,299 @@
+#include "simcore/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace simmr {
+namespace {
+
+std::string Format(const char* fmt, double a, double b) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return buf;
+}
+
+std::string Format1(const char* fmt, double a) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), fmt, a);
+  return buf;
+}
+
+}  // namespace
+
+double StdNormalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+std::vector<double> Distribution::SampleMany(Rng& rng, std::size_t n) const {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(Sample(rng));
+  return out;
+}
+
+DeterministicDist::DeterministicDist(double value) : value_(value) {}
+
+std::string DeterministicDist::Describe() const {
+  return Format1("Deterministic(%g)", value_);
+}
+
+UniformDist::UniformDist(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (hi < lo) throw std::invalid_argument("UniformDist: hi < lo");
+}
+
+double UniformDist::Sample(Rng& rng) const { return rng.NextDouble(lo_, hi_); }
+
+double UniformDist::Cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double UniformDist::Variance() const {
+  const double w = hi_ - lo_;
+  return w * w / 12.0;
+}
+
+std::string UniformDist::Describe() const {
+  return Format("Uniform(%g, %g)", lo_, hi_);
+}
+
+ExponentialDist::ExponentialDist(double lambda) : lambda_(lambda) {
+  if (lambda <= 0) throw std::invalid_argument("ExponentialDist: lambda <= 0");
+}
+
+double ExponentialDist::Sample(Rng& rng) const {
+  // 1 - U avoids log(0).
+  return -std::log(1.0 - rng.NextDouble()) / lambda_;
+}
+
+double ExponentialDist::Cdf(double x) const {
+  return x <= 0 ? 0.0 : 1.0 - std::exp(-lambda_ * x);
+}
+
+std::string ExponentialDist::Describe() const {
+  return Format1("Exponential(lambda=%g)", lambda_);
+}
+
+NormalDist::NormalDist(double mu, double sigma, double floor)
+    : mu_(mu), sigma_(sigma), floor_(floor) {
+  if (sigma <= 0) throw std::invalid_argument("NormalDist: sigma <= 0");
+}
+
+double NormalDist::Sample(Rng& rng) const {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const double x = mu_ + sigma_ * rng.NextGaussian();
+    if (x >= floor_) return x;
+  }
+  return floor_;  // pathological truncation; clamp rather than spin forever
+}
+
+double NormalDist::Cdf(double x) const {
+  return StdNormalCdf((x - mu_) / sigma_);
+}
+
+std::string NormalDist::Describe() const {
+  return Format("Normal(%g, %g)", mu_, sigma_);
+}
+
+LogNormalDist::LogNormalDist(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (sigma <= 0) throw std::invalid_argument("LogNormalDist: sigma <= 0");
+}
+
+double LogNormalDist::Sample(Rng& rng) const {
+  return std::exp(mu_ + sigma_ * rng.NextGaussian());
+}
+
+double LogNormalDist::Cdf(double x) const {
+  if (x <= 0) return 0.0;
+  return StdNormalCdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormalDist::Mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LogNormalDist::Variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+std::string LogNormalDist::Describe() const {
+  return Format("LogNormal(%g, %g)", mu_, sigma_);
+}
+
+WeibullDist::WeibullDist(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  if (shape <= 0 || scale <= 0)
+    throw std::invalid_argument("WeibullDist: nonpositive parameter");
+}
+
+double WeibullDist::Sample(Rng& rng) const {
+  const double u = 1.0 - rng.NextDouble();
+  return scale_ * std::pow(-std::log(u), 1.0 / shape_);
+}
+
+double WeibullDist::Cdf(double x) const {
+  if (x <= 0) return 0.0;
+  return 1.0 - std::exp(-std::pow(x / scale_, shape_));
+}
+
+double WeibullDist::Mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+double WeibullDist::Variance() const {
+  const double g1 = std::tgamma(1.0 + 1.0 / shape_);
+  const double g2 = std::tgamma(1.0 + 2.0 / shape_);
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+std::string WeibullDist::Describe() const {
+  return Format("Weibull(k=%g, lambda=%g)", shape_, scale_);
+}
+
+GammaDist::GammaDist(double shape, double scale) : shape_(shape), scale_(scale) {
+  if (shape <= 0 || scale <= 0)
+    throw std::invalid_argument("GammaDist: nonpositive parameter");
+}
+
+double GammaDist::Sample(Rng& rng) const {
+  // Marsaglia & Tsang (2000). For shape < 1, boost via U^{1/shape}.
+  double k = shape_;
+  double boost = 1.0;
+  if (k < 1.0) {
+    boost = std::pow(rng.NextDouble(), 1.0 / k);
+    k += 1.0;
+  }
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = rng.NextGaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return boost * d * v * scale_;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return boost * d * v * scale_;
+  }
+}
+
+namespace {
+
+// Regularized lower incomplete gamma P(a, x) via series / continued fraction
+// (Numerical Recipes style). Needed for GammaDist::Cdf.
+double GammaP(double a, double x) {
+  if (x <= 0.0) return 0.0;
+  const double gln = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series representation.
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      del *= x / ap;
+      sum += del;
+      if (std::fabs(del) < std::fabs(sum) * 1e-14) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - gln);
+  }
+  // Continued fraction for Q(a, x).
+  double b = x + 1.0 - a;
+  double c = 1e300;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::fabs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-14) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - gln) * h;
+  return 1.0 - q;
+}
+
+}  // namespace
+
+double GammaDist::Cdf(double x) const {
+  if (x <= 0) return 0.0;
+  return GammaP(shape_, x / scale_);
+}
+
+std::string GammaDist::Describe() const {
+  return Format("Gamma(k=%g, theta=%g)", shape_, scale_);
+}
+
+ParetoDist::ParetoDist(double xm, double alpha) : xm_(xm), alpha_(alpha) {
+  if (xm <= 0 || alpha <= 0)
+    throw std::invalid_argument("ParetoDist: nonpositive parameter");
+}
+
+double ParetoDist::Sample(Rng& rng) const {
+  const double u = 1.0 - rng.NextDouble();
+  return xm_ / std::pow(u, 1.0 / alpha_);
+}
+
+double ParetoDist::Cdf(double x) const {
+  if (x < xm_) return 0.0;
+  return 1.0 - std::pow(xm_ / x, alpha_);
+}
+
+double ParetoDist::Mean() const {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * xm_ / (alpha_ - 1.0);
+}
+
+double ParetoDist::Variance() const {
+  if (alpha_ <= 2.0) return std::numeric_limits<double>::infinity();
+  const double a = alpha_;
+  return xm_ * xm_ * a / ((a - 1.0) * (a - 1.0) * (a - 2.0));
+}
+
+std::string ParetoDist::Describe() const {
+  return Format("Pareto(xm=%g, alpha=%g)", xm_, alpha_);
+}
+
+EmpiricalDist::EmpiricalDist(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  if (sorted_.empty())
+    throw std::invalid_argument("EmpiricalDist: empty sample set");
+  std::sort(sorted_.begin(), sorted_.end());
+  double sum = 0.0;
+  for (const double v : sorted_) sum += v;
+  mean_ = sum / static_cast<double>(sorted_.size());
+  double ss = 0.0;
+  for (const double v : sorted_) ss += (v - mean_) * (v - mean_);
+  variance_ = ss / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDist::Sample(Rng& rng) const {
+  return sorted_[rng.NextBounded(sorted_.size())];
+}
+
+double EmpiricalDist::Cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDist::Mean() const { return mean_; }
+double EmpiricalDist::Variance() const { return variance_; }
+
+std::string EmpiricalDist::Describe() const {
+  return Format("Empirical(n=%g, mean=%g)", static_cast<double>(sorted_.size()),
+                mean_);
+}
+
+}  // namespace simmr

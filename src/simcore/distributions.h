@@ -1,0 +1,188 @@
+// Statistical distributions used for trace synthesis and testbed emulation.
+//
+// Each distribution exposes sampling plus (where closed forms exist) pdf,
+// cdf and quantile, so the same object serves the Synthetic TraceGen, the
+// distribution-fitting module (KS tests need cdf) and the tests (moment
+// checks need mean/variance).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simcore/rng.h"
+
+namespace simmr {
+
+/// Abstract real-valued distribution.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draws one sample using the supplied generator.
+  virtual double Sample(Rng& rng) const = 0;
+
+  /// Cumulative distribution function P(X <= x).
+  virtual double Cdf(double x) const = 0;
+
+  /// Theoretical mean.
+  virtual double Mean() const = 0;
+
+  /// Theoretical variance.
+  virtual double Variance() const = 0;
+
+  /// Human-readable name with parameters, e.g. "LogNormal(9.95, 1.68)".
+  virtual std::string Describe() const = 0;
+
+  /// Draws n samples.
+  std::vector<double> SampleMany(Rng& rng, std::size_t n) const;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+/// Point mass at `value`.
+class DeterministicDist final : public Distribution {
+ public:
+  explicit DeterministicDist(double value);
+  double Sample(Rng&) const override { return value_; }
+  double Cdf(double x) const override { return x >= value_ ? 1.0 : 0.0; }
+  double Mean() const override { return value_; }
+  double Variance() const override { return 0.0; }
+  std::string Describe() const override;
+
+ private:
+  double value_;
+};
+
+/// Uniform on [lo, hi].
+class UniformDist final : public Distribution {
+ public:
+  UniformDist(double lo, double hi);
+  double Sample(Rng& rng) const override;
+  double Cdf(double x) const override;
+  double Mean() const override { return 0.5 * (lo_ + hi_); }
+  double Variance() const override;
+  std::string Describe() const override;
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double lo_, hi_;
+};
+
+/// Exponential with rate lambda (mean 1/lambda).
+class ExponentialDist final : public Distribution {
+ public:
+  explicit ExponentialDist(double lambda);
+  double Sample(Rng& rng) const override;
+  double Cdf(double x) const override;
+  double Mean() const override { return 1.0 / lambda_; }
+  double Variance() const override { return 1.0 / (lambda_ * lambda_); }
+  std::string Describe() const override;
+  double lambda() const { return lambda_; }
+
+ private:
+  double lambda_;
+};
+
+/// Normal(mu, sigma), optionally truncated below at `floor` by resampling.
+/// Used for per-node task-duration jitter in the testbed emulator, where
+/// durations must stay positive.
+class NormalDist final : public Distribution {
+ public:
+  NormalDist(double mu, double sigma, double floor = -1e308);
+  double Sample(Rng& rng) const override;
+  double Cdf(double x) const override;  // cdf of the *untruncated* normal
+  double Mean() const override { return mu_; }
+  double Variance() const override { return sigma_ * sigma_; }
+  std::string Describe() const override;
+
+ private:
+  double mu_, sigma_, floor_;
+};
+
+/// LogNormal: ln X ~ Normal(mu, sigma). The paper's Facebook workload fits
+/// are LN(9.9511, 1.6764) for map and LN(12.375, 1.6262) for reduce task
+/// durations (in milliseconds in the original; see synthetic_tracegen).
+class LogNormalDist final : public Distribution {
+ public:
+  LogNormalDist(double mu, double sigma);
+  double Sample(Rng& rng) const override;
+  double Cdf(double x) const override;
+  double Mean() const override;
+  double Variance() const override;
+  std::string Describe() const override;
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mu_, sigma_;
+};
+
+/// Weibull(shape k, scale lambda).
+class WeibullDist final : public Distribution {
+ public:
+  WeibullDist(double shape, double scale);
+  double Sample(Rng& rng) const override;
+  double Cdf(double x) const override;
+  double Mean() const override;
+  double Variance() const override;
+  std::string Describe() const override;
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+ private:
+  double shape_, scale_;
+};
+
+/// Gamma(shape k, scale theta). Sampling uses Marsaglia-Tsang.
+class GammaDist final : public Distribution {
+ public:
+  GammaDist(double shape, double scale);
+  double Sample(Rng& rng) const override;
+  double Cdf(double x) const override;
+  double Mean() const override { return shape_ * scale_; }
+  double Variance() const override { return shape_ * scale_ * scale_; }
+  std::string Describe() const override;
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+ private:
+  double shape_, scale_;
+};
+
+/// Pareto (Lomax-free classic form): support [xm, inf), tail index alpha.
+class ParetoDist final : public Distribution {
+ public:
+  ParetoDist(double xm, double alpha);
+  double Sample(Rng& rng) const override;
+  double Cdf(double x) const override;
+  double Mean() const override;
+  double Variance() const override;
+  std::string Describe() const override;
+
+ private:
+  double xm_, alpha_;
+};
+
+/// Resamples uniformly from a fixed set of observed values. This is how a
+/// recorded profile is turned back into a generator for synthetic traces.
+class EmpiricalDist final : public Distribution {
+ public:
+  explicit EmpiricalDist(std::vector<double> samples);
+  double Sample(Rng& rng) const override;
+  double Cdf(double x) const override;
+  double Mean() const override;
+  double Variance() const override;
+  std::string Describe() const override;
+  const std::vector<double>& samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_, variance_;
+};
+
+/// Standard normal CDF (shared by NormalDist / LogNormalDist / fitters).
+double StdNormalCdf(double z);
+
+}  // namespace simmr

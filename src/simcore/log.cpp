@@ -1,0 +1,38 @@
+#include "simcore/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace simmr {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+
+LogLevel GetLogLevel() { return g_level.load(); }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace simmr

@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// Simulators are hot loops, so logging is compiled around a global level
+// check that costs one branch when disabled. Output goes to stderr; the
+// structured per-job output logs the paper describes are separate artifacts
+// (see cluster/history_log.h and core/metrics.h).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace simmr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+
+/// Current global threshold.
+LogLevel GetLogLevel();
+
+/// Emits one line ("[LEVEL] message") to stderr if level passes the filter.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace log_internal {
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace simmr
+
+#define SIMMR_LOG(level)                                  \
+  if (::simmr::GetLogLevel() > ::simmr::LogLevel::level) { \
+  } else                                                   \
+    ::simmr::log_internal::LineBuilder(::simmr::LogLevel::level)
+
+#define SIMMR_DEBUG SIMMR_LOG(kDebug)
+#define SIMMR_INFO SIMMR_LOG(kInfo)
+#define SIMMR_WARN SIMMR_LOG(kWarn)
+#define SIMMR_ERROR SIMMR_LOG(kError)

@@ -1,0 +1,60 @@
+// Thread-parallel helpers for embarrassingly parallel simulation sweeps.
+//
+// The Monte-Carlo experiments (Figures 7-8: hundreds of randomized
+// workload replays per data point) are independent by construction — each
+// replay owns its engine, policy and RNG stream — so they parallelize
+// with a simple static block partition. ParallelFor is deliberately
+// minimal: no work stealing, no shared mutable state, exceptions from
+// workers are captured and rethrown on the calling thread.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace simmr {
+
+/// Number of worker threads to use by default: the hardware concurrency,
+/// at least 1.
+inline unsigned DefaultParallelism() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Invokes fn(i) for i in [0, n) across up to `num_threads` threads.
+/// Iteration blocks are contiguous, so fn(i) may accumulate into
+/// caller-provided per-index slots (e.g. results[i]) without locking.
+/// The first exception thrown by any worker is rethrown here after all
+/// workers have joined.
+template <typename Fn>
+void ParallelFor(std::size_t n, Fn&& fn, unsigned num_threads = 0) {
+  if (n == 0) return;
+  if (num_threads == 0) num_threads = DefaultParallelism();
+  if (num_threads <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::size_t workers = std::min<std::size_t>(num_threads, n);
+  std::vector<std::exception_ptr> errors(workers);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = n * w / workers;
+    const std::size_t end = n * (w + 1) / workers;
+    threads.emplace_back([&, w, begin, end] {
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace simmr

@@ -1,0 +1,161 @@
+#include "simcore/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace simmr {
+
+Summary Summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double ss = 0.0;
+  for (const double v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(ss / static_cast<double>(s.count));
+  return s;
+}
+
+MeanCi MeanConfidenceInterval(std::span<const double> values, double z) {
+  if (values.empty())
+    throw std::invalid_argument("MeanConfidenceInterval: empty sample");
+  MeanCi ci;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  ci.mean = sum / static_cast<double>(values.size());
+  if (values.size() < 2) return ci;
+  double ss = 0.0;
+  for (const double v : values) ss += (v - ci.mean) * (v - ci.mean);
+  const double sample_stddev =
+      std::sqrt(ss / static_cast<double>(values.size() - 1));
+  ci.half_width =
+      z * sample_stddev / std::sqrt(static_cast<double>(values.size()));
+  return ci;
+}
+
+double Percentile(std::span<const double> values, double p) {
+  if (values.empty()) throw std::invalid_argument("Percentile: empty sample");
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("Percentile: p outside [0,100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+Ecdf::Ecdf(std::span<const double> values)
+    : sorted_(values.begin(), values.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::Quantile(double q) const {
+  if (sorted_.empty()) throw std::invalid_argument("Ecdf::Quantile: empty");
+  if (q <= 0.0) return sorted_.front();
+  if (q >= 1.0) return sorted_.back();
+  const std::size_t idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())) - 1);
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+std::vector<double> HistogramDensity(std::span<const double> values, double lo,
+                                     double hi, std::size_t bins) {
+  if (bins == 0) throw std::invalid_argument("HistogramDensity: zero bins");
+  if (hi <= lo) hi = lo + 1.0;  // degenerate range: single effective bin
+  std::vector<double> density(bins, 0.0);
+  if (values.empty()) return density;
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (const double v : values) {
+    auto bin = static_cast<long>((v - lo) / width);
+    bin = std::clamp(bin, 0L, static_cast<long>(bins) - 1L);
+    density[static_cast<std::size_t>(bin)] += 1.0;
+  }
+  const double n = static_cast<double>(values.size());
+  for (double& d : density) d /= n;
+  return density;
+}
+
+double KlDivergence(std::span<const double> p, std::span<const double> q,
+                    double epsilon) {
+  if (p.size() != q.size())
+    throw std::invalid_argument("KlDivergence: size mismatch");
+  // Laplace-style smoothing keeps log ratios finite on empirical histograms.
+  std::vector<double> ps(p.begin(), p.end()), qs(q.begin(), q.end());
+  double psum = 0.0, qsum = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    ps[i] += epsilon;
+    qs[i] += epsilon;
+    psum += ps[i];
+    qsum += qs[i];
+  }
+  double d = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const double pi = ps[i] / psum;
+    const double qi = qs[i] / qsum;
+    d += pi * std::log(pi / qi);
+  }
+  return d;
+}
+
+double SymmetricKlDivergence(std::span<const double> p,
+                             std::span<const double> q, double epsilon) {
+  return 0.5 * (KlDivergence(p, q, epsilon) + KlDivergence(q, p, epsilon));
+}
+
+double SampleSymmetricKl(std::span<const double> a, std::span<const double> b,
+                         std::size_t bins) {
+  if (a.empty() || b.empty())
+    throw std::invalid_argument("SampleSymmetricKl: empty sample");
+  double lo = a[0], hi = a[0];
+  for (const double v : a) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (const double v : b) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const auto pa = HistogramDensity(a, lo, hi, bins);
+  const auto pb = HistogramDensity(b, lo, hi, bins);
+  return SymmetricKlDivergence(pa, pb);
+}
+
+double KsTwoSample(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty())
+    throw std::invalid_argument("KsTwoSample: empty sample");
+  std::vector<double> sa(a.begin(), a.end()), sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t i = 0, j = 0;
+  double d = 0.0;
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    d = std::max(d, std::fabs(static_cast<double>(i) / na -
+                              static_cast<double>(j) / nb));
+  }
+  return d;
+}
+
+}  // namespace simmr

@@ -1,0 +1,105 @@
+// Descriptive statistics and distribution-distance measures.
+//
+// Implements the exact quantities the paper reports: summary statistics of
+// task-duration arrays (the ARIA model needs avg and max per phase),
+// empirical CDFs (Figure 3), the symmetric Kullback-Leibler divergence over
+// binned duration distributions (Table I), and Kolmogorov-Smirnov statistics
+// (the Facebook-fit selection in Section V-C).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace simmr {
+
+/// Five-number-ish summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;  // population standard deviation
+};
+
+/// Computes a Summary. Returns a zeroed Summary for an empty span.
+Summary Summarize(std::span<const double> values);
+
+/// Normal-approximation confidence interval of a Monte-Carlo mean.
+struct MeanCi {
+  double mean = 0.0;
+  double half_width = 0.0;  // mean +/- half_width
+};
+
+/// Mean with a z-score confidence half-width (default z = 1.96 ~ 95%).
+/// Uses the unbiased sample standard deviation; half_width is 0 for
+/// samples of size < 2. Throws std::invalid_argument on empty input.
+MeanCi MeanConfidenceInterval(std::span<const double> values,
+                              double z = 1.96);
+
+/// p-th percentile (p in [0,100]) by linear interpolation on the sorted
+/// sample. Throws std::invalid_argument on an empty sample.
+double Percentile(std::span<const double> values, double p);
+
+/// Empirical CDF of a sample: evaluation and an exportable point series.
+class Ecdf {
+ public:
+  explicit Ecdf(std::span<const double> values);
+
+  /// P(X <= x) under the empirical measure.
+  double operator()(double x) const;
+
+  /// Inverse CDF: smallest sample value v with F(v) >= q, q in (0, 1].
+  double Quantile(double q) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-width histogram over [lo, hi] used to discretize samples before
+/// computing KL divergence. Mass outside the range is clamped into the edge
+/// bins so the result is a proper probability vector.
+std::vector<double> HistogramDensity(std::span<const double> values, double lo,
+                                     double hi, std::size_t bins);
+
+/// Kullback-Leibler divergence D(P||Q) of two probability vectors of equal
+/// length. Bins where either vector is zero are smoothed with `epsilon`
+/// mass (then renormalized) so the divergence stays finite, matching the
+/// standard practice for empirical distributions.
+double KlDivergence(std::span<const double> p, std::span<const double> q,
+                    double epsilon = 1e-6);
+
+/// The paper's symmetric KL: D'(P||Q) = (D(P||Q) + D(Q||P)) / 2.
+double SymmetricKlDivergence(std::span<const double> p,
+                             std::span<const double> q,
+                             double epsilon = 1e-6);
+
+/// Convenience: symmetric KL between two raw samples, binned over the union
+/// of their ranges with `bins` equal-width bins.
+double SampleSymmetricKl(std::span<const double> a, std::span<const double> b,
+                         std::size_t bins = 50);
+
+/// Two-sample Kolmogorov-Smirnov statistic: sup_x |F_a(x) - F_b(x)|.
+double KsTwoSample(std::span<const double> a, std::span<const double> b);
+
+/// One-sample KS statistic against a model CDF evaluated via callback.
+template <typename CdfFn>
+double KsOneSample(std::span<const double> sample, CdfFn&& cdf) {
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, f - lo, hi - f});
+  }
+  return d;
+}
+
+}  // namespace simmr

@@ -1,0 +1,33 @@
+// Simulated-time primitives shared by every simulator in this repository.
+//
+// Simulated time is a double measured in seconds since the start of the
+// simulation. All simulators in this repo (the SimMR engine, the node-level
+// testbed emulator and the Mumak baseline) use the same convention so traces
+// and logs can flow between them without conversion.
+#pragma once
+
+#include <limits>
+
+namespace simmr {
+
+/// Simulated time in seconds since simulation start.
+using SimTime = double;
+
+/// Duration in seconds of simulated time.
+using SimDuration = double;
+
+/// Sentinel for "never" / "not yet known". Used, e.g., for the filler reduce
+/// task whose duration is unknown until the map stage completes.
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<double>::infinity();
+
+/// Smallest meaningful time delta; timestamps closer than this are considered
+/// equal by comparison helpers (log round-trips print 6 decimal digits).
+inline constexpr SimDuration kTimeEpsilon = 1e-6;
+
+/// True when two timestamps are equal within kTimeEpsilon.
+inline bool TimeAlmostEqual(SimTime a, SimTime b) {
+  const double diff = a > b ? a - b : b - a;
+  return diff <= kTimeEpsilon;
+}
+
+}  // namespace simmr

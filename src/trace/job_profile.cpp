@@ -1,0 +1,114 @@
+#include "trace/job_profile.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace simmr::trace {
+namespace {
+
+constexpr const char* kMagic = "SIMMR-PROFILE-V1";
+
+bool AllFiniteNonNegative(const std::vector<double>& v) {
+  for (const double x : v) {
+    if (!std::isfinite(x) || x < 0.0) return false;
+  }
+  return true;
+}
+
+void WriteArray(std::ostream& out, const char* tag,
+                const std::vector<double>& values) {
+  out << tag << ' ' << values.size();
+  for (const double v : values) out << ' ' << v;
+  out << '\n';
+}
+
+std::vector<double> ReadArray(std::istream& in, const char* tag) {
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error(std::string("JobProfile: missing array ") + tag);
+  std::istringstream ls(line);
+  std::string seen_tag;
+  std::size_t count = 0;
+  if (!(ls >> seen_tag >> count) || seen_tag != tag)
+    throw std::runtime_error(std::string("JobProfile: expected array ") + tag +
+                             ", got '" + line + "'");
+  std::vector<double> values(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(ls >> values[i]))
+      throw std::runtime_error(std::string("JobProfile: truncated array ") +
+                               tag);
+  }
+  return values;
+}
+
+}  // namespace
+
+std::string JobProfile::Validate() const {
+  if (num_maps <= 0) return "num_maps must be positive";
+  if (num_reduces < 0) return "num_reduces must be nonnegative";
+  if (map_durations.empty()) return "map duration pool is empty";
+  if (num_reduces > 0 && reduce_durations.empty())
+    return "reduce duration pool is empty";
+  if (num_reduces > 0 && first_shuffle_durations.empty() &&
+      typical_shuffle_durations.empty())
+    return "no shuffle duration samples";
+  const auto sh_count =
+      first_shuffle_durations.size() + typical_shuffle_durations.size();
+  if (sh_count > static_cast<std::size_t>(num_reduces))
+    return "more shuffle samples than reduce tasks";
+  if (!AllFiniteNonNegative(map_durations)) return "bad map duration";
+  if (!AllFiniteNonNegative(first_shuffle_durations))
+    return "bad first-shuffle duration";
+  if (!AllFiniteNonNegative(typical_shuffle_durations))
+    return "bad typical-shuffle duration";
+  if (!AllFiniteNonNegative(reduce_durations)) return "bad reduce duration";
+  return {};
+}
+
+void JobProfile::Write(std::ostream& out) const {
+  out << kMagic << '\n';
+  out.precision(9);
+  out << "app " << (app_name.empty() ? "-" : app_name) << '\n';
+  out << "dataset " << (dataset.empty() ? "-" : dataset) << '\n';
+  out << "num_maps " << num_maps << '\n';
+  out << "num_reduces " << num_reduces << '\n';
+  WriteArray(out, "map_durations", map_durations);
+  WriteArray(out, "first_shuffle_durations", first_shuffle_durations);
+  WriteArray(out, "typical_shuffle_durations", typical_shuffle_durations);
+  WriteArray(out, "reduce_durations", reduce_durations);
+}
+
+JobProfile JobProfile::Read(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic)
+    throw std::runtime_error("JobProfile: bad or missing magic header");
+  JobProfile p;
+  const auto read_field = [&in](const char* tag) {
+    std::string field_line;
+    if (!std::getline(in, field_line))
+      throw std::runtime_error(std::string("JobProfile: missing field ") +
+                               tag);
+    std::istringstream ls(field_line);
+    std::string seen_tag, value;
+    if (!(ls >> seen_tag >> value) || seen_tag != tag)
+      throw std::runtime_error(std::string("JobProfile: expected field ") +
+                               tag);
+    return value;
+  };
+  p.app_name = read_field("app");
+  if (p.app_name == "-") p.app_name.clear();
+  p.dataset = read_field("dataset");
+  if (p.dataset == "-") p.dataset.clear();
+  p.num_maps = std::stoi(read_field("num_maps"));
+  p.num_reduces = std::stoi(read_field("num_reduces"));
+  p.map_durations = ReadArray(in, "map_durations");
+  p.first_shuffle_durations = ReadArray(in, "first_shuffle_durations");
+  p.typical_shuffle_durations = ReadArray(in, "typical_shuffle_durations");
+  p.reduce_durations = ReadArray(in, "reduce_durations");
+  return p;
+}
+
+}  // namespace simmr::trace

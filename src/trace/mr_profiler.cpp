@@ -1,0 +1,69 @@
+#include "trace/mr_profiler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace simmr::trace {
+
+JobProfile BuildProfile(const cluster::HistoryLog& log, cluster::JobId job) {
+  const cluster::JobRecord& job_record = log.JobOf(job);
+  auto tasks = log.TasksOf(job);
+  if (tasks.empty())
+    throw std::runtime_error("BuildProfile: job has no task records");
+
+  // Replay pops durations in scheduling order, so sort by start time
+  // (stable on ties to keep original record order deterministic).
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [](const cluster::TaskAttemptRecord& a,
+                      const cluster::TaskAttemptRecord& b) {
+                     return a.start < b.start;
+                   });
+
+  JobProfile profile;
+  profile.app_name = job_record.app_name;
+  profile.dataset = job_record.dataset;
+  profile.num_maps = job_record.num_maps;
+  profile.num_reduces = job_record.num_reduces;
+
+  const double map_stage_end = job_record.maps_done_time;
+
+  // Reduce-phase durations of first-wave tasks must precede typical-wave
+  // ones so the replay's pools stay aligned; collect separately and concat.
+  std::vector<double> first_wave_reduce, typical_wave_reduce;
+
+  for (const auto& t : tasks) {
+    if (!t.succeeded) continue;  // failed attempts carry no valid durations
+    if (t.kind == cluster::TaskKind::kMap) {
+      profile.map_durations.push_back(t.end - t.start);
+      continue;
+    }
+    const double reduce_phase = t.end - t.shuffle_end;
+    if (t.start < map_stage_end) {
+      // First wave: record only the part of the shuffle that extends past
+      // the end of the map stage.
+      profile.first_shuffle_durations.push_back(
+          std::max(0.0, t.shuffle_end - map_stage_end));
+      first_wave_reduce.push_back(reduce_phase);
+    } else {
+      profile.typical_shuffle_durations.push_back(t.shuffle_end - t.start);
+      typical_wave_reduce.push_back(reduce_phase);
+    }
+  }
+
+  profile.reduce_durations = std::move(first_wave_reduce);
+  profile.reduce_durations.insert(profile.reduce_durations.end(),
+                                  typical_wave_reduce.begin(),
+                                  typical_wave_reduce.end());
+  return profile;
+}
+
+std::vector<JobProfile> BuildAllProfiles(const cluster::HistoryLog& log) {
+  std::vector<JobProfile> profiles;
+  profiles.reserve(log.jobs().size());
+  for (const auto& job_record : log.jobs()) {
+    profiles.push_back(BuildProfile(log, job_record.job));
+  }
+  return profiles;
+}
+
+}  // namespace simmr::trace

@@ -1,0 +1,27 @@
+// MRProfiler: JobTracker history logs -> replayable job profiles.
+//
+// Section III-A: MRProfiler "extracts the job performance metrics by
+// processing the counters and logs stored at the JobTracker at the end of
+// each job". The delicate part (Section II) is the first-wave shuffle:
+// reduce tasks launched before the map stage finished have shuffle phases
+// that overlap the map stage, so only the *non-overlapping* portion —
+// max(0, shuffle_end - map_stage_end) — is recorded, making the profile
+// invariant to the resource allocation the trace was collected under.
+#pragma once
+
+#include <vector>
+
+#include "cluster/history_log.h"
+#include "trace/job_profile.h"
+
+namespace simmr::trace {
+
+/// Builds the profile of one job from an execution log.
+/// Throws std::out_of_range for unknown job ids and std::runtime_error when
+/// the log has no tasks for the job.
+JobProfile BuildProfile(const cluster::HistoryLog& log, cluster::JobId job);
+
+/// Profiles every job present in the log, in job-record order.
+std::vector<JobProfile> BuildAllProfiles(const cluster::HistoryLog& log);
+
+}  // namespace simmr::trace

@@ -1,0 +1,82 @@
+// Synthetic TraceGen: distribution-driven profile synthesis.
+//
+// Section III-A's second trace source: "model the distributions of the
+// durations based on the statistical properties of the workloads and
+// generate synthetic traces". Two generators are provided:
+//
+//  * a generic one driven by a SyntheticJobSpec (arbitrary distributions per
+//    phase), used for what-if workloads and tests; and
+//  * the paper's Facebook-2009 workload (Section V-C): map task durations
+//    ~ LogNormal(9.9511, 1.6764) and reduce task durations
+//    ~ LogNormal(12.375, 1.6262), both in milliseconds, as fitted by the
+//    authors from Zaharia et al.'s published CDFs. Because the Facebook
+//    "reduce" duration covers shuffle + reduce, the sample is split between
+//    the shuffle and reduce phases by a documented fraction.
+#pragma once
+
+#include <vector>
+
+#include "simcore/distributions.h"
+#include "simcore/rng.h"
+#include "trace/job_profile.h"
+
+namespace simmr::trace {
+
+/// Describes how to synthesize one job's profile.
+struct SyntheticJobSpec {
+  std::string app_name = "synthetic";
+  std::string dataset;
+  int num_maps = 1;
+  int num_reduces = 1;
+  DistributionPtr map_duration;            // required
+  DistributionPtr typical_shuffle_duration;  // required when num_reduces > 0
+  DistributionPtr first_shuffle_duration;  // optional; typical used if null
+  DistributionPtr reduce_duration;         // required when num_reduces > 0
+  /// How many reduce tasks get first-wave shuffle samples (clamped to
+  /// num_reduces). The replay engine reassigns waves based on the actual
+  /// allocation anyway; this only sizes the sample pools.
+  int first_wave_size = 0;
+};
+
+/// Draws a complete profile from the spec. Throws std::invalid_argument on
+/// missing distributions or nonpositive task counts.
+JobProfile SynthesizeProfile(const SyntheticJobSpec& spec, Rng& rng);
+
+/// Parameters of the paper's Facebook-2009 workload model.
+struct FacebookWorkloadModel {
+  /// LN parameters fitted by the paper (milliseconds).
+  double map_mu = 9.9511;
+  double map_sigma = 1.6764;
+  double reduce_mu = 12.375;
+  double reduce_sigma = 1.6262;
+
+  /// Fraction of a sampled Facebook "reduce duration" attributed to the
+  /// shuffle phase (the published fit covers shuffle + reduce combined).
+  double shuffle_fraction = 0.4;
+
+  /// Caps keep a single synthetic job from exceeding what a simulated
+  /// cluster can reasonably hold (matches the job-size buckets below).
+  int max_maps = 2400;
+  int max_reduces = 384;
+};
+
+/// Job-size buckets approximating Zaharia et al. (EuroSys'10) Table 3 —
+/// most Facebook jobs are tiny, a heavy tail is huge. Each bucket is
+/// (probability, map-count range, reduce-count range).
+struct FacebookJobSizeBucket {
+  double probability;
+  int maps_lo, maps_hi;
+  int reduces_lo, reduces_hi;
+};
+
+/// The default bucket table used by SynthesizeFacebookJob.
+const std::vector<FacebookJobSizeBucket>& FacebookJobSizeBuckets();
+
+/// Draws one Facebook-like job profile.
+JobProfile SynthesizeFacebookJob(const FacebookWorkloadModel& model, Rng& rng);
+
+/// Draws a whole Facebook-like workload of `num_jobs` profiles.
+std::vector<JobProfile> SynthesizeFacebookWorkload(
+    const FacebookWorkloadModel& model, int num_jobs, Rng& rng);
+
+}  // namespace simmr::trace

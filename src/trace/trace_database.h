@@ -1,0 +1,52 @@
+// Persistent trace database.
+//
+// Section III-A: "We store job traces persistently in a Trace database (for
+// efficient lookup and storage) using a job template." This implementation
+// keeps profiles in memory behind integer ids with an app-name index, and
+// persists to a directory: an index file plus one profile file per job.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/job_profile.h"
+
+namespace simmr::trace {
+
+class TraceDatabase {
+ public:
+  using ProfileId = int;
+
+  /// Stores a profile (validated first) and returns its id.
+  /// Throws std::invalid_argument when the profile fails Validate().
+  ProfileId Put(JobProfile profile);
+
+  /// Fetches by id; throws std::out_of_range for unknown ids.
+  const JobProfile& Get(ProfileId id) const;
+
+  /// Ids of every profile whose app_name matches, in insertion order.
+  std::vector<ProfileId> FindByApp(const std::string& app_name) const;
+
+  /// Ids of all profiles, in insertion order.
+  std::vector<ProfileId> AllIds() const;
+
+  std::size_t size() const { return profiles_.size(); }
+  bool empty() const { return profiles_.empty(); }
+
+  /// Persists the database into `directory` (created if absent):
+  /// `index.tsv` plus `profile_<id>.trace` files. Overwrites existing
+  /// contents of a previous Save.
+  void Save(const std::string& directory) const;
+
+  /// Loads a database previously written by Save. Throws std::runtime_error
+  /// on missing/corrupt files.
+  static TraceDatabase Load(const std::string& directory);
+
+ private:
+  std::vector<JobProfile> profiles_;
+  std::unordered_map<std::string, std::vector<ProfileId>> by_app_;
+};
+
+}  // namespace simmr::trace

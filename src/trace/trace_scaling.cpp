@@ -1,0 +1,72 @@
+#include "trace/trace_scaling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "simcore/distributions.h"
+
+namespace simmr::trace {
+
+JobProfile ScaleProfile(const JobProfile& original, const ScalingParams& params,
+                        Rng& rng) {
+  if (params.data_factor <= 0.0 || params.reduce_factor <= 0.0)
+    throw std::invalid_argument("ScaleProfile: factors must be positive");
+  const std::string error = original.Validate();
+  if (!error.empty())
+    throw std::invalid_argument("ScaleProfile: invalid profile: " + error);
+
+  JobProfile scaled;
+  scaled.app_name = original.app_name;
+  scaled.dataset = original.dataset + "-scaled";
+  scaled.num_maps = std::max(
+      1, static_cast<int>(std::lround(original.num_maps * params.data_factor)));
+  scaled.num_reduces =
+      std::max(1, static_cast<int>(std::lround(original.num_reduces *
+                                               params.reduce_factor)));
+
+  // Per-map work is block-sized and therefore invariant: resample.
+  const EmpiricalDist map_dist(original.map_durations);
+  scaled.map_durations.reserve(scaled.num_maps);
+  for (int i = 0; i < scaled.num_maps; ++i)
+    scaled.map_durations.push_back(map_dist.Sample(rng));
+
+  // Per-reduce data volume grows by data_factor / reduce_factor; the
+  // bandwidth- and CPU-bound shuffle/reduce phases grow proportionally.
+  const double per_reduce_growth = params.data_factor / params.reduce_factor;
+
+  const auto scale_pool = [&](const std::vector<double>& source,
+                              std::size_t count, std::vector<double>& out) {
+    if (source.empty() || count == 0) return;
+    const EmpiricalDist dist(source);
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+      out.push_back(dist.Sample(rng) * per_reduce_growth);
+  };
+
+  // Keep the original first-vs-typical wave proportions.
+  const double first_share =
+      original.num_reduces > 0
+          ? static_cast<double>(original.first_shuffle_durations.size()) /
+                static_cast<double>(original.first_shuffle_durations.size() +
+                                    original.typical_shuffle_durations.size())
+          : 0.0;
+  std::size_t first_count = static_cast<std::size_t>(
+      std::lround(first_share * scaled.num_reduces));
+  if (original.first_shuffle_durations.empty()) first_count = 0;
+  std::size_t typical_count = scaled.num_reduces - first_count;
+  if (original.typical_shuffle_durations.empty()) {
+    first_count = scaled.num_reduces;
+    typical_count = 0;
+  }
+
+  scale_pool(original.first_shuffle_durations, first_count,
+             scaled.first_shuffle_durations);
+  scale_pool(original.typical_shuffle_durations, typical_count,
+             scaled.typical_shuffle_durations);
+  scale_pool(original.reduce_durations, scaled.num_reduces,
+             scaled.reduce_durations);
+  return scaled;
+}
+
+}  // namespace simmr::trace

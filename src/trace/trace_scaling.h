@@ -1,0 +1,34 @@
+// Trace scaling — the paper's stated future work (Section VII): "design a
+// trace-scaling technique where from the trace of a job execution on a
+// small dataset, we could generate a trace that represents job processing
+// of a larger dataset."
+//
+// Model: map tasks process fixed-size blocks, so growing the dataset by
+// `data_factor` multiplies the map count and leaves per-map durations
+// distribution-invariant (they are resampled from the recorded empirical
+// distribution). Intermediate data grows with the input, so each reduce
+// task's shuffle and reduce durations scale with the per-reduce data
+// volume: data_factor / reduce_factor.
+#pragma once
+
+#include "simcore/rng.h"
+#include "trace/job_profile.h"
+
+namespace simmr::trace {
+
+struct ScalingParams {
+  /// Input-data growth (2.0 = twice the data). Must be > 0.
+  double data_factor = 1.0;
+  /// Reduce-count growth. Must be > 0. 1.0 keeps N_R fixed, which
+  /// concentrates the larger intermediate data on the same reduces.
+  double reduce_factor = 1.0;
+};
+
+/// Produces the scaled profile. New map durations are resampled from the
+/// original empirical distribution; shuffle/reduce durations are resampled
+/// and then multiplied by the per-reduce data growth.
+/// Throws std::invalid_argument on nonpositive factors or invalid input.
+JobProfile ScaleProfile(const JobProfile& original, const ScalingParams& params,
+                        Rng& rng);
+
+}  // namespace simmr::trace

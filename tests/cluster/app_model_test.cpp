@@ -1,0 +1,108 @@
+#include "cluster/app_model.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace simmr::cluster {
+namespace {
+
+TEST(JobSpec, NumMapsFromBlockCount) {
+  JobSpec spec;
+  spec.input_mb = 640.0;
+  EXPECT_EQ(spec.NumMaps(64.0), 10);
+  spec.input_mb = 641.0;  // partial last block adds a map
+  EXPECT_EQ(spec.NumMaps(64.0), 11);
+  spec.input_mb = 1.0;
+  EXPECT_EQ(spec.NumMaps(64.0), 1);
+}
+
+TEST(JobSpec, IntermediateScalesWithSelectivity) {
+  JobSpec spec;
+  spec.input_mb = 1000.0;
+  spec.app.map_selectivity = 0.4;
+  EXPECT_DOUBLE_EQ(spec.IntermediateMb(), 400.0);
+}
+
+TEST(JobSpec, FullNameCombinesAppAndDataset) {
+  JobSpec spec;
+  spec.app.name = "Sort";
+  spec.dataset_label = "rand-16GB";
+  EXPECT_EQ(spec.FullName(), "Sort/rand-16GB");
+}
+
+TEST(AppCatalog, AllSixPaperApplicationsExist) {
+  const std::set<std::string> names = {
+      apps::WordCount().name, apps::WikiTrends().name, apps::Twitter().name,
+      apps::Sort().name,      apps::Tfidf().name,      apps::Bayes().name};
+  EXPECT_EQ(names.size(), 6u);
+  EXPECT_TRUE(names.contains("WordCount"));
+  EXPECT_TRUE(names.contains("Sort"));
+}
+
+TEST(AppCatalog, SortShufflesEveryByte) {
+  EXPECT_DOUBLE_EQ(apps::Sort().map_selectivity, 1.0);
+}
+
+TEST(AppCatalog, WikiTrendsHasHeaviestMaps) {
+  const double wt = apps::WikiTrends().map_cost_s_per_mb;
+  EXPECT_GT(wt, apps::WordCount().map_cost_s_per_mb);
+  EXPECT_GT(wt, apps::Sort().map_cost_s_per_mb);
+  EXPECT_GT(wt, apps::Twitter().map_cost_s_per_mb);
+  EXPECT_GT(wt, apps::Tfidf().map_cost_s_per_mb);
+  EXPECT_GT(wt, apps::Bayes().map_cost_s_per_mb);
+}
+
+TEST(AppCatalog, CostsArePositive) {
+  for (const AppModel& m :
+       {apps::WordCount(), apps::WikiTrends(), apps::Twitter(), apps::Sort(),
+        apps::Tfidf(), apps::Bayes()}) {
+    EXPECT_GT(m.map_cost_s_per_mb, 0.0) << m.name;
+    EXPECT_GT(m.map_selectivity, 0.0) << m.name;
+    EXPECT_GT(m.merge_cost_s_per_mb, 0.0) << m.name;
+    EXPECT_GT(m.reduce_cost_s_per_mb, 0.0) << m.name;
+    EXPECT_GE(m.map_startup_s, 0.0) << m.name;
+    EXPECT_GT(m.map_sigma, 0.0) << m.name;
+  }
+}
+
+TEST(Suites, ValidationSuiteHasOneJobPerApp) {
+  const auto suite = ValidationSuite();
+  ASSERT_EQ(suite.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& spec : suite) names.insert(spec.app.name);
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(Suites, FullSuiteHasThreeDatasetsPerApp) {
+  const auto suite = FullWorkloadSuite();
+  ASSERT_EQ(suite.size(), 18u);
+  std::map<std::string, int> counts;
+  for (const auto& spec : suite) ++counts[spec.app.name];
+  for (const auto& [name, count] : counts) {
+    EXPECT_EQ(count, 3) << name;
+  }
+}
+
+TEST(Suites, DatasetSizesMatchSectionFourC) {
+  // Sort runs on 16/32/64 GB of random data; Twitter on 12/18/25 GB.
+  const auto suite = FullWorkloadSuite();
+  std::set<double> sort_gb, twitter_gb;
+  for (const auto& spec : suite) {
+    if (spec.app.name == "Sort") sort_gb.insert(spec.input_mb / 1024.0);
+    if (spec.app.name == "Twitter") twitter_gb.insert(spec.input_mb / 1024.0);
+  }
+  EXPECT_EQ(sort_gb, (std::set<double>{16.0, 32.0, 64.0}));
+  EXPECT_EQ(twitter_gb, (std::set<double>{12.0, 18.0, 25.0}));
+}
+
+TEST(Suites, SectionTwoExampleHas200MapsAnd256Reduces) {
+  const JobSpec spec = SectionTwoExample();
+  EXPECT_EQ(spec.NumMaps(64.0), 200);
+  EXPECT_EQ(spec.num_reduces, 256);
+  EXPECT_EQ(spec.app.name, "WordCount");
+}
+
+}  // namespace
+}  // namespace simmr::cluster

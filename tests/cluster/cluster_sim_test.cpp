@@ -1,0 +1,248 @@
+#include "cluster/cluster_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace simmr::cluster {
+namespace {
+
+JobSpec SmallSpec(int blocks = 8, int reduces = 4) {
+  JobSpec spec;
+  spec.app = apps::WordCount();
+  spec.dataset_label = "test";
+  spec.input_mb = blocks * 64.0;
+  spec.num_reduces = reduces;
+  return spec;
+}
+
+TestbedOptions SmallOptions(int nodes = 4) {
+  TestbedOptions opts;
+  opts.config.num_nodes = nodes;
+  opts.seed = 7;
+  return opts;
+}
+
+TEST(ClusterSim, SingleJobCompletes) {
+  const std::vector<SubmittedJob> jobs{{SmallSpec(), 0.0, 0.0}};
+  const TestbedResult result = RunTestbed(jobs, SmallOptions());
+  ASSERT_EQ(result.log.jobs().size(), 1u);
+  const JobRecord& job = result.log.jobs()[0];
+  EXPECT_GT(job.finish_time, job.submit_time);
+  EXPECT_GE(job.launch_time, job.submit_time);
+  EXPECT_GT(job.maps_done_time, 0.0);
+  EXPECT_LE(job.maps_done_time, job.finish_time);
+}
+
+TEST(ClusterSim, AllTasksAreLogged) {
+  const std::vector<SubmittedJob> jobs{{SmallSpec(8, 4), 0.0, 0.0}};
+  const TestbedResult result = RunTestbed(jobs, SmallOptions());
+  int maps = 0, reduces = 0;
+  for (const auto& t : result.log.tasks()) {
+    if (t.kind == TaskKind::kMap) ++maps;
+    else ++reduces;
+  }
+  EXPECT_EQ(maps, 8);
+  EXPECT_EQ(reduces, 4);
+}
+
+TEST(ClusterSim, TaskTimestampsAreOrdered) {
+  const std::vector<SubmittedJob> jobs{{SmallSpec(), 0.0, 0.0}};
+  const TestbedResult result = RunTestbed(jobs, SmallOptions());
+  for (const auto& t : result.log.tasks()) {
+    EXPECT_LE(t.start, t.shuffle_end);
+    EXPECT_LE(t.shuffle_end, t.end);
+    if (t.kind == TaskKind::kMap) {
+      EXPECT_DOUBLE_EQ(t.start, t.shuffle_end);  // maps have no shuffle
+    }
+  }
+}
+
+TEST(ClusterSim, DeterministicAcrossRuns) {
+  const std::vector<SubmittedJob> jobs{{SmallSpec(), 0.0, 0.0},
+                                       {SmallSpec(4, 2), 10.0, 0.0}};
+  const TestbedResult a = RunTestbed(jobs, SmallOptions());
+  const TestbedResult b = RunTestbed(jobs, SmallOptions());
+  ASSERT_EQ(a.log.tasks().size(), b.log.tasks().size());
+  for (std::size_t i = 0; i < a.log.tasks().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.log.tasks()[i].start, b.log.tasks()[i].start);
+    EXPECT_DOUBLE_EQ(a.log.tasks()[i].end, b.log.tasks()[i].end);
+  }
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+TEST(ClusterSim, SeedChangesRealization) {
+  const std::vector<SubmittedJob> jobs{{SmallSpec(), 0.0, 0.0}};
+  TestbedOptions opts_a = SmallOptions();
+  TestbedOptions opts_b = SmallOptions();
+  opts_b.seed = 1234;
+  const TestbedResult a = RunTestbed(jobs, opts_a);
+  const TestbedResult b = RunTestbed(jobs, opts_b);
+  EXPECT_NE(a.log.jobs()[0].finish_time, b.log.jobs()[0].finish_time);
+}
+
+TEST(ClusterSim, MapConcurrencyBoundedBySlots) {
+  // 4 nodes x 1 map slot: at any instant at most 4 maps run.
+  const std::vector<SubmittedJob> jobs{{SmallSpec(20, 2), 0.0, 0.0}};
+  const TestbedResult result = RunTestbed(jobs, SmallOptions(4));
+  std::vector<std::pair<double, int>> deltas;
+  for (const auto& t : result.log.tasks()) {
+    if (t.kind != TaskKind::kMap) continue;
+    deltas.push_back({t.start, +1});
+    deltas.push_back({t.end, -1});
+  }
+  std::sort(deltas.begin(), deltas.end());
+  int running = 0;
+  for (const auto& [time, delta] : deltas) {
+    running += delta;
+    EXPECT_LE(running, 4);
+  }
+}
+
+TEST(ClusterSim, SlotCapFnLimitsConcurrency) {
+  TestbedOptions opts = SmallOptions(4);
+  opts.caps = [](const SubmittedJob&) { return SlotCaps{2, 1}; };
+  const std::vector<SubmittedJob> jobs{{SmallSpec(12, 3), 0.0, 0.0}};
+  const TestbedResult result = RunTestbed(jobs, opts);
+  std::vector<std::pair<double, int>> deltas;
+  for (const auto& t : result.log.tasks()) {
+    if (t.kind != TaskKind::kMap) continue;
+    deltas.push_back({t.start, +1});
+    deltas.push_back({t.end, -1});
+  }
+  std::sort(deltas.begin(), deltas.end());
+  int running = 0;
+  for (const auto& [time, delta] : deltas) {
+    running += delta;
+    EXPECT_LE(running, 2);
+  }
+}
+
+TEST(ClusterSim, FewerSlotsMeansSlowerJob) {
+  const std::vector<SubmittedJob> jobs{{SmallSpec(16, 4), 0.0, 0.0}};
+  TestbedOptions wide = SmallOptions(8);
+  TestbedOptions narrow = SmallOptions(2);
+  const double wide_t = RunTestbed(jobs, wide).log.jobs()[0].finish_time;
+  const double narrow_t = RunTestbed(jobs, narrow).log.jobs()[0].finish_time;
+  EXPECT_GT(narrow_t, wide_t * 1.5);
+}
+
+TEST(ClusterSim, FifoOrdersByArrival) {
+  // Two identical jobs: the first submitted must finish first under FIFO.
+  const std::vector<SubmittedJob> jobs{{SmallSpec(16, 4), 0.0, 0.0},
+                                       {SmallSpec(16, 4), 1.0, 0.0}};
+  const TestbedResult result = RunTestbed(jobs, SmallOptions(2));
+  ASSERT_EQ(result.log.jobs().size(), 2u);
+  const auto& j0 = result.log.JobOf(0);
+  const auto& j1 = result.log.JobOf(1);
+  EXPECT_LT(j0.finish_time, j1.finish_time);
+}
+
+TEST(ClusterSim, EdfPrefersUrgentJob) {
+  // Job 1 arrives later but has the earlier deadline; under EDF it should
+  // overtake job 0's remaining work and finish earlier than under FIFO.
+  // Three reduce slots per node so job 0's early (non-preemptible) filler
+  // reduces do not starve job 1's reduce stage.
+  std::vector<SubmittedJob> jobs{{SmallSpec(32, 4), 0.0, 10000.0},
+                                 {SmallSpec(8, 2), 5.0, 100.0}};
+  TestbedOptions edf = SmallOptions(2);
+  edf.config.reduce_slots_per_node = 3;
+  edf.scheduler = SchedulerKind::kEdf;
+  TestbedOptions fifo = SmallOptions(2);
+  fifo.config.reduce_slots_per_node = 3;
+  const double edf_t = RunTestbed(jobs, edf).log.JobOf(1).finish_time;
+  const double fifo_t = RunTestbed(jobs, fifo).log.JobOf(1).finish_time;
+  EXPECT_LT(edf_t, fifo_t);
+}
+
+TEST(ClusterSim, FirstWaveShufflesOverlapMapStage) {
+  // With slowstart 0.05, some reduces must start before the map stage ends.
+  const std::vector<SubmittedJob> jobs{{SmallSpec(16, 4), 0.0, 0.0}};
+  const TestbedResult result = RunTestbed(jobs, SmallOptions(4));
+  const double maps_done = result.log.jobs()[0].maps_done_time;
+  int overlapping = 0;
+  for (const auto& t : result.log.tasks()) {
+    if (t.kind == TaskKind::kReduce && t.start < maps_done) ++overlapping;
+  }
+  EXPECT_GT(overlapping, 0);
+  // And no reduce can finish its shuffle before the data it needs exists:
+  // a first-wave shuffle end must not precede availability of all its data.
+  for (const auto& t : result.log.tasks()) {
+    if (t.kind == TaskKind::kReduce) {
+      EXPECT_GT(t.shuffle_end, result.log.jobs()[0].launch_time);
+    }
+  }
+}
+
+TEST(ClusterSim, ShuffleEndsAfterMapStageForFullFetch) {
+  // All intermediate data exists only at maps_done; a reduce fetching the
+  // full partition cannot complete its shuffle earlier.
+  const std::vector<SubmittedJob> jobs{{SmallSpec(16, 2), 0.0, 0.0}};
+  const TestbedResult result = RunTestbed(jobs, SmallOptions(4));
+  const double maps_done = result.log.jobs()[0].maps_done_time;
+  for (const auto& t : result.log.tasks()) {
+    if (t.kind == TaskKind::kReduce && t.start < maps_done) {
+      EXPECT_GE(t.shuffle_end, maps_done - 1e-6);
+    }
+  }
+}
+
+TEST(ClusterSim, MultipleJobsAllComplete) {
+  std::vector<SubmittedJob> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back({SmallSpec(4 + i, 2), i * 3.0, 0.0});
+  }
+  const TestbedResult result = RunTestbed(jobs, SmallOptions());
+  EXPECT_EQ(result.log.jobs().size(), 5u);
+  for (const auto& j : result.log.jobs()) {
+    EXPECT_GT(j.finish_time, 0.0);
+  }
+}
+
+TEST(ClusterSim, RejectsUnsortedSubmissions) {
+  const std::vector<SubmittedJob> jobs{{SmallSpec(), 10.0, 0.0},
+                                       {SmallSpec(), 5.0, 0.0}};
+  EXPECT_THROW(RunTestbed(jobs, SmallOptions()), std::invalid_argument);
+}
+
+TEST(ClusterSim, RejectsEmptyInput) {
+  std::vector<SubmittedJob> jobs{{SmallSpec(), 0.0, 0.0}};
+  jobs[0].spec.input_mb = 0.0;
+  EXPECT_THROW(RunTestbed(jobs, SmallOptions()), std::invalid_argument);
+}
+
+TEST(ClusterSim, EmptyJobListIsFine) {
+  const TestbedResult result = RunTestbed({}, SmallOptions());
+  EXPECT_TRUE(result.log.jobs().empty());
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+}
+
+TEST(ClusterSim, HeartbeatLatencyVisibleWithoutOob) {
+  // Without out-of-band heartbeats, completions are observed later, so the
+  // same workload takes longer end-to-end.
+  const std::vector<SubmittedJob> jobs{{SmallSpec(32, 4), 0.0, 0.0}};
+  TestbedOptions with_oob = SmallOptions(2);
+  TestbedOptions without_oob = SmallOptions(2);
+  without_oob.config.out_of_band_heartbeat = false;
+  const double t_oob = RunTestbed(jobs, with_oob).log.jobs()[0].finish_time;
+  const double t_hb = RunTestbed(jobs, without_oob).log.jobs()[0].finish_time;
+  EXPECT_GT(t_hb, t_oob);
+}
+
+TEST(ClusterSim, DeadlineRecordedInLog) {
+  const std::vector<SubmittedJob> jobs{{SmallSpec(), 0.0, 500.0}};
+  const TestbedResult result = RunTestbed(jobs, SmallOptions());
+  EXPECT_DOUBLE_EQ(result.log.jobs()[0].deadline, 500.0);
+}
+
+TEST(ClusterSim, LateArrivalAfterIdlePeriodStillRuns) {
+  const std::vector<SubmittedJob> jobs{{SmallSpec(4, 2), 0.0, 0.0},
+                                       {SmallSpec(4, 2), 5000.0, 0.0}};
+  const TestbedResult result = RunTestbed(jobs, SmallOptions());
+  ASSERT_EQ(result.log.jobs().size(), 2u);
+  EXPECT_GE(result.log.JobOf(1).launch_time, 5000.0);
+}
+
+}  // namespace
+}  // namespace simmr::cluster

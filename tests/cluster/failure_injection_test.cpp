@@ -1,0 +1,123 @@
+// Failure-injection tests: Hadoop re-executes failed task attempts; the
+// testbed emulator models this and the trace pipeline must stay correct in
+// its presence (profiles built from successful attempts only).
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_sim.h"
+#include "trace/mr_profiler.h"
+
+namespace simmr::cluster {
+namespace {
+
+JobSpec SmallSpec(int blocks = 16, int reduces = 4) {
+  JobSpec spec;
+  spec.app = apps::WordCount();
+  spec.dataset_label = "test";
+  spec.input_mb = blocks * 64.0;
+  spec.num_reduces = reduces;
+  return spec;
+}
+
+TestbedOptions Options(double failure_prob, int nodes = 4) {
+  TestbedOptions opts;
+  opts.config.num_nodes = nodes;
+  opts.config.task_failure_prob = failure_prob;
+  opts.seed = 11;
+  return opts;
+}
+
+TEST(FailureInjection, ZeroProbabilityMatchesBaseline) {
+  const std::vector<SubmittedJob> jobs{{SmallSpec(), 0.0, 0.0}};
+  const auto baseline = RunTestbed(jobs, Options(0.0));
+  TestbedOptions opts = Options(0.0);
+  const auto again = RunTestbed(jobs, opts);
+  EXPECT_DOUBLE_EQ(baseline.log.jobs()[0].finish_time,
+                   again.log.jobs()[0].finish_time);
+  for (const auto& t : baseline.log.tasks()) EXPECT_TRUE(t.succeeded);
+}
+
+TEST(FailureInjection, JobsStillCompleteUnderFailures) {
+  const std::vector<SubmittedJob> jobs{{SmallSpec(), 0.0, 0.0},
+                                       {SmallSpec(8, 2), 30.0, 0.0}};
+  const auto result = RunTestbed(jobs, Options(0.15));
+  ASSERT_EQ(result.log.jobs().size(), 2u);
+  for (const auto& j : result.log.jobs()) {
+    EXPECT_GT(j.finish_time, j.submit_time);
+  }
+}
+
+TEST(FailureInjection, FailedAttemptsAreLoggedAndRetried) {
+  const std::vector<SubmittedJob> jobs{{SmallSpec(32, 8), 0.0, 0.0}};
+  const auto result = RunTestbed(jobs, Options(0.25));
+  int failed = 0, succeeded_maps = 0, succeeded_reduces = 0;
+  for (const auto& t : result.log.tasks()) {
+    if (!t.succeeded) {
+      ++failed;
+      continue;
+    }
+    if (t.kind == TaskKind::kMap) ++succeeded_maps;
+    else ++succeeded_reduces;
+  }
+  // At p=0.25 over 40 tasks, some failures are near-certain.
+  EXPECT_GT(failed, 0);
+  // Every task eventually succeeds exactly once.
+  EXPECT_EQ(succeeded_maps, 32);
+  EXPECT_EQ(succeeded_reduces, 8);
+}
+
+TEST(FailureInjection, FailuresSlowTheJobDown) {
+  const std::vector<SubmittedJob> jobs{{SmallSpec(32, 8), 0.0, 0.0}};
+  const double clean =
+      RunTestbed(jobs, Options(0.0)).log.jobs()[0].finish_time;
+  const double faulty =
+      RunTestbed(jobs, Options(0.3)).log.jobs()[0].finish_time;
+  EXPECT_GT(faulty, clean);
+}
+
+TEST(FailureInjection, FailedAttemptRecordsAreWellFormed) {
+  const std::vector<SubmittedJob> jobs{{SmallSpec(32, 8), 0.0, 0.0}};
+  const auto result = RunTestbed(jobs, Options(0.25));
+  for (const auto& t : result.log.tasks()) {
+    EXPECT_LE(t.start, t.end);
+    if (!t.succeeded) {
+      // A failed attempt dies before completing its nominal work; it must
+      // still carry consistent timestamps.
+      EXPECT_LE(t.shuffle_end, t.end + 1e-9);
+    }
+  }
+}
+
+TEST(FailureInjection, ProfilerUsesOnlySuccessfulAttempts) {
+  const std::vector<SubmittedJob> jobs{{SmallSpec(32, 8), 0.0, 0.0}};
+  const auto result = RunTestbed(jobs, Options(0.25));
+  const auto profile = trace::BuildProfile(result.log, 0);
+  EXPECT_TRUE(profile.Validate().empty()) << profile.Validate();
+  EXPECT_EQ(static_cast<int>(profile.map_durations.size()), 32);
+  EXPECT_EQ(profile.first_shuffle_durations.size() +
+                profile.typical_shuffle_durations.size(),
+            8u);
+  EXPECT_EQ(static_cast<int>(profile.reduce_durations.size()), 8);
+}
+
+TEST(FailureInjection, DeterministicGivenSeed) {
+  const std::vector<SubmittedJob> jobs{{SmallSpec(16, 4), 0.0, 0.0}};
+  const auto a = RunTestbed(jobs, Options(0.2));
+  const auto b = RunTestbed(jobs, Options(0.2));
+  EXPECT_EQ(a.log.tasks().size(), b.log.tasks().size());
+  EXPECT_DOUBLE_EQ(a.log.jobs()[0].finish_time, b.log.jobs()[0].finish_time);
+}
+
+TEST(FailureInjection, LogRoundTripPreservesSuccessFlag) {
+  const std::vector<SubmittedJob> jobs{{SmallSpec(32, 8), 0.0, 0.0}};
+  const auto result = RunTestbed(jobs, Options(0.25));
+  std::stringstream buffer;
+  result.log.Write(buffer);
+  const HistoryLog loaded = HistoryLog::Read(buffer);
+  ASSERT_EQ(loaded.tasks().size(), result.log.tasks().size());
+  for (std::size_t i = 0; i < loaded.tasks().size(); ++i) {
+    EXPECT_EQ(loaded.tasks()[i].succeeded, result.log.tasks()[i].succeeded);
+  }
+}
+
+}  // namespace
+}  // namespace simmr::cluster

@@ -1,0 +1,160 @@
+#include "cluster/history_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace simmr::cluster {
+namespace {
+
+HistoryLog MakeSampleLog() {
+  HistoryLog log;
+  JobRecord j;
+  j.job = 0;
+  j.app_name = "WordCount";
+  j.dataset = "wiki-40GB";
+  j.num_maps = 2;
+  j.num_reduces = 1;
+  j.input_mb = 128.0;
+  j.submit_time = 0.0;
+  j.launch_time = 1.5;
+  j.finish_time = 100.25;
+  j.maps_done_time = 60.125;
+  j.deadline = 0.0;
+  log.AddJob(j);
+
+  TaskAttemptRecord m;
+  m.job = 0;
+  m.kind = TaskKind::kMap;
+  m.index = 0;
+  m.node = 3;
+  m.start = 1.5;
+  m.shuffle_end = 1.5;
+  m.end = 30.75;
+  m.input_mb = 64.0;
+  log.AddTask(m);
+
+  TaskAttemptRecord r;
+  r.job = 0;
+  r.kind = TaskKind::kReduce;
+  r.index = 0;
+  r.node = 5;
+  r.start = 5.0;
+  r.shuffle_end = 70.5;
+  r.end = 100.25;
+  r.input_mb = 19.2;
+  log.AddTask(r);
+  return log;
+}
+
+TEST(HistoryLog, RoundTripThroughStream) {
+  const HistoryLog original = MakeSampleLog();
+  std::stringstream buffer;
+  original.Write(buffer);
+  const HistoryLog loaded = HistoryLog::Read(buffer);
+
+  ASSERT_EQ(loaded.jobs().size(), 1u);
+  ASSERT_EQ(loaded.tasks().size(), 2u);
+  const JobRecord& j = loaded.jobs()[0];
+  EXPECT_EQ(j.app_name, "WordCount");
+  EXPECT_EQ(j.dataset, "wiki-40GB");
+  EXPECT_EQ(j.num_maps, 2);
+  EXPECT_DOUBLE_EQ(j.finish_time, 100.25);
+  EXPECT_DOUBLE_EQ(j.maps_done_time, 60.125);
+
+  const TaskAttemptRecord& r = loaded.tasks()[1];
+  EXPECT_EQ(r.kind, TaskKind::kReduce);
+  EXPECT_EQ(r.node, 5);
+  EXPECT_DOUBLE_EQ(r.shuffle_end, 70.5);
+}
+
+TEST(HistoryLog, RoundTripThroughFile) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "simmr_histlog_test.log";
+  const HistoryLog original = MakeSampleLog();
+  original.WriteFile(path.string());
+  const HistoryLog loaded = HistoryLog::ReadFile(path.string());
+  EXPECT_EQ(loaded.jobs().size(), original.jobs().size());
+  EXPECT_EQ(loaded.tasks().size(), original.tasks().size());
+  fs::remove(path);
+}
+
+TEST(HistoryLog, TasksOfFiltersByJob) {
+  HistoryLog log = MakeSampleLog();
+  TaskAttemptRecord other;
+  other.job = 7;
+  other.kind = TaskKind::kMap;
+  log.AddTask(other);
+  EXPECT_EQ(log.TasksOf(0).size(), 2u);
+  EXPECT_EQ(log.TasksOf(7).size(), 1u);
+  EXPECT_TRUE(log.TasksOf(99).empty());
+}
+
+TEST(HistoryLog, JobOfThrowsForUnknownId) {
+  const HistoryLog log = MakeSampleLog();
+  EXPECT_NO_THROW(log.JobOf(0));
+  EXPECT_THROW(log.JobOf(42), std::out_of_range);
+}
+
+TEST(HistoryLog, ReadRejectsBadMagic) {
+  std::stringstream buffer("NOT-A-LOG\nJOB\t0");
+  EXPECT_THROW(HistoryLog::Read(buffer), std::runtime_error);
+}
+
+TEST(HistoryLog, ReadRejectsTruncatedJobLine) {
+  std::stringstream buffer("SIMMR-HISTORY-V1\nJOB\t0\tWordCount\n");
+  EXPECT_THROW(HistoryLog::Read(buffer), std::runtime_error);
+}
+
+TEST(HistoryLog, ReadRejectsBadTaskKind) {
+  std::stringstream buffer(
+      "SIMMR-HISTORY-V1\n"
+      "TASK\t0\tCOMBINE\t0\t1\t0\t0\t1\t2\t1\n");
+  EXPECT_THROW(HistoryLog::Read(buffer), std::runtime_error);
+}
+
+TEST(HistoryLog, ReadRejectsNonNumericField) {
+  std::stringstream buffer(
+      "SIMMR-HISTORY-V1\n"
+      "TASK\t0\tMAP\t0\t1\tabc\t0\t1\t2\t1\n");
+  EXPECT_THROW(HistoryLog::Read(buffer), std::runtime_error);
+}
+
+TEST(HistoryLog, ReadRejectsUnknownRecordType) {
+  std::stringstream buffer("SIMMR-HISTORY-V1\nWEIRD\tstuff\n");
+  EXPECT_THROW(HistoryLog::Read(buffer), std::runtime_error);
+}
+
+TEST(HistoryLog, ReadFileMissingThrows) {
+  EXPECT_THROW(HistoryLog::ReadFile("/nonexistent/simmr.log"),
+               std::runtime_error);
+}
+
+TEST(HistoryLog, EmptyLogRoundTrips) {
+  HistoryLog empty;
+  std::stringstream buffer;
+  empty.Write(buffer);
+  const HistoryLog loaded = HistoryLog::Read(buffer);
+  EXPECT_TRUE(loaded.jobs().empty());
+  EXPECT_TRUE(loaded.tasks().empty());
+}
+
+TEST(HistoryLog, TimestampPrecisionSurvivesRoundTrip) {
+  HistoryLog log;
+  TaskAttemptRecord t;
+  t.job = 0;
+  t.start = 12345.678901;
+  t.shuffle_end = 12345.678901;
+  t.end = 99999.123456;
+  log.AddTask(t);
+  std::stringstream buffer;
+  log.Write(buffer);
+  const HistoryLog loaded = HistoryLog::Read(buffer);
+  EXPECT_NEAR(loaded.tasks()[0].start, 12345.678901, 1e-4);
+  EXPECT_NEAR(loaded.tasks()[0].end, 99999.123456, 1e-4);
+}
+
+}  // namespace
+}  // namespace simmr::cluster

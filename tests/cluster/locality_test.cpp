@@ -1,0 +1,155 @@
+// Data-locality modeling tests: replica placement, locality-aware task
+// selection, read penalties, and the end-to-end claim that SimMR's
+// profile-based replay absorbs locality effects.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/cluster_sim.h"
+#include "core/simmr.h"
+#include "sched/fifo.h"
+#include "trace/mr_profiler.h"
+
+namespace simmr::cluster {
+namespace {
+
+ClusterConfig Config(int nodes = 8, bool locality = true) {
+  ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.model_locality = locality;
+  return cfg;
+}
+
+JobRuntime MakeJob(const ClusterConfig& cfg, int blocks = 8,
+                   std::uint64_t seed = 3) {
+  SubmittedJob submission;
+  submission.spec.app = apps::WordCount();
+  submission.spec.input_mb = blocks * 64.0;
+  submission.spec.num_reduces = 2;
+  return JobRuntime(0, submission, cfg, Rng(seed));
+}
+
+TEST(Locality, ReplicasAreDistinctAndInRange) {
+  const ClusterConfig cfg = Config(8);
+  const JobRuntime job = MakeJob(cfg, 20);
+  for (const auto& m : job.maps()) {
+    ASSERT_EQ(m.replicas.size(), 3u);
+    std::set<NodeId> unique(m.replicas.begin(), m.replicas.end());
+    EXPECT_EQ(unique.size(), 3u);
+    for (const NodeId r : m.replicas) {
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, 8);
+    }
+  }
+}
+
+TEST(Locality, TinyClusterClampsReplication) {
+  const ClusterConfig cfg = Config(2);
+  const JobRuntime job = MakeJob(cfg);
+  for (const auto& m : job.maps()) {
+    EXPECT_EQ(m.replicas.size(), 2u);
+  }
+}
+
+TEST(Locality, PenaltyZeroWhenDisabled) {
+  ClusterConfig cfg = Config(8, /*locality=*/false);
+  const JobRuntime job = MakeJob(cfg);
+  for (NodeId n = 0; n < 8; ++n) {
+    EXPECT_DOUBLE_EQ(MapReadPenalty(cfg, job.maps()[0], n), 0.0);
+  }
+}
+
+TEST(Locality, PenaltyTiersNodeRackRemote) {
+  ClusterConfig cfg = Config(8);
+  cfg.num_racks = 2;
+  cfg.remote_read_mbps = 32.0;
+  MapTaskRt m;
+  m.input_mb = 64.0;
+  m.replicas = {0, 2};  // both in rack 0 (even nodes)
+  EXPECT_DOUBLE_EQ(MapReadPenalty(cfg, m, 0), 0.0);        // node-local
+  EXPECT_DOUBLE_EQ(MapReadPenalty(cfg, m, 4), 1.0);        // rack-local: 64/(2*32)
+  EXPECT_DOUBLE_EQ(MapReadPenalty(cfg, m, 1), 2.0);        // cross-rack: 64/32
+}
+
+TEST(Locality, PreferLocalPicksNodeLocalFirst) {
+  const ClusterConfig cfg = Config(8);
+  JobRuntime job = MakeJob(cfg, 8);
+  // Find a node hosting some non-front task's replica.
+  const NodeId node = job.maps()[5].replicas[0];
+  const TaskIndex picked = job.PopPendingMapPreferLocal(node, cfg.num_racks);
+  const auto& replicas = job.maps()[picked].replicas;
+  EXPECT_NE(std::find(replicas.begin(), replicas.end(), node),
+            replicas.end());
+}
+
+TEST(Locality, PreferLocalFallsBackToFront) {
+  ClusterConfig cfg = Config(4);
+  JobRuntime job = MakeJob(cfg, 3);
+  // Strip all replicas so nothing is local anywhere: front task pops.
+  for (auto& m : job.maps()) m.replicas = {99};  // unreachable node
+  EXPECT_EQ(job.PopPendingMapPreferLocal(0, 1), 0);
+  EXPECT_EQ(job.PopPendingMapPreferLocal(0, 1), 1);
+}
+
+TEST(Locality, RunsCompleteAndSlowDownVsNoLocality) {
+  JobSpec spec;
+  spec.app = apps::WordCount();
+  spec.dataset_label = "loc";
+  spec.input_mb = 32 * 64.0;
+  spec.num_reduces = 4;
+  const std::vector<SubmittedJob> jobs{{spec, 0.0, 0.0}};
+
+  TestbedOptions off;
+  off.config = Config(8, false);
+  off.seed = 5;
+  TestbedOptions on;
+  on.config = Config(8, true);
+  on.config.remote_read_mbps = 10.0;  // make misses expensive
+  on.seed = 5;
+
+  const double t_off = RunTestbed(jobs, off).log.jobs()[0].finish_time;
+  const double t_on = RunTestbed(jobs, on).log.jobs()[0].finish_time;
+  // Penalties only ever add time.
+  EXPECT_GE(t_on, t_off - 1e-6);
+}
+
+TEST(Locality, ProfileAbsorbsLocalityEffects) {
+  // The paper's abstraction: locality shows up as longer map durations in
+  // the trace, so the replay stays accurate even though SimMR itself has
+  // no locality model.
+  JobSpec spec;
+  spec.app = apps::Sort();
+  spec.dataset_label = "loc";
+  spec.input_mb = 64 * 64.0;
+  spec.num_reduces = 16;
+  const std::vector<SubmittedJob> jobs{{spec, 0.0, 0.0}};
+  TestbedOptions opts;
+  opts.config = Config(16, true);
+  opts.config.remote_read_mbps = 20.0;
+  opts.seed = 9;
+  const auto testbed = RunTestbed(jobs, opts);
+  const double actual =
+      testbed.log.jobs()[0].finish_time - testbed.log.jobs()[0].submit_time;
+
+  core::SimConfig cfg;
+  cfg.map_slots = 16;
+  cfg.reduce_slots = 16;
+  sched::FifoPolicy fifo;
+  trace::WorkloadTrace w(1);
+  w[0].profile = trace::BuildAllProfiles(testbed.log)[0];
+  const double simulated =
+      core::Replay(w, fifo, cfg).jobs[0].CompletionTime();
+  EXPECT_NEAR(simulated, actual, actual * 0.06);
+}
+
+TEST(Locality, DeterministicReplicaPlacement) {
+  const ClusterConfig cfg = Config(8);
+  const JobRuntime a = MakeJob(cfg, 8, 11);
+  const JobRuntime b = MakeJob(cfg, 8, 11);
+  for (int i = 0; i < a.num_maps(); ++i) {
+    EXPECT_EQ(a.maps()[i].replicas, b.maps()[i].replicas);
+  }
+}
+
+}  // namespace
+}  // namespace simmr::cluster

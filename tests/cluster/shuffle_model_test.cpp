@@ -1,0 +1,132 @@
+#include "cluster/shuffle_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace simmr::cluster {
+namespace {
+
+TEST(ShuffleModel, SingleFlowRunsAtPerFlowCap) {
+  ShuffleModel m(/*aggregate=*/1000.0, /*per_flow=*/10.0);
+  const FlowId f = m.AddFlow(/*total=*/100.0, /*available=*/100.0);
+  EXPECT_DOUBLE_EQ(m.NextEventTime(), 10.0);
+  m.Advance(10.0);
+  EXPECT_TRUE(m.IsComplete(f));
+  EXPECT_DOUBLE_EQ(m.FetchedMb(f), 100.0);
+}
+
+TEST(ShuffleModel, AggregateSharedAmongFlows) {
+  // 4 flows, aggregate 20 => 5 MB/s each (below the 10 MB/s cap).
+  ShuffleModel m(20.0, 10.0);
+  for (int i = 0; i < 4; ++i) m.AddFlow(50.0, 50.0);
+  EXPECT_NEAR(m.NextEventTime(), 10.0, 1e-9);
+}
+
+TEST(ShuffleModel, CapBindsWhenAggregateAmple) {
+  ShuffleModel m(1000.0, 10.0);
+  for (int i = 0; i < 4; ++i) m.AddFlow(50.0, 50.0);
+  EXPECT_NEAR(m.NextEventTime(), 5.0, 1e-9);
+}
+
+TEST(ShuffleModel, StarvedFlowWaitsForAvailability) {
+  ShuffleModel m(1000.0, 10.0);
+  const FlowId f = m.AddFlow(/*total=*/100.0, /*available=*/30.0);
+  m.Advance(3.0);  // fetched the 30 MB available
+  EXPECT_FALSE(m.IsComplete(f));
+  EXPECT_NEAR(m.FetchedMb(f), 30.0, 1e-9);
+  // No active flow now: no next event.
+  EXPECT_TRUE(std::isinf(m.NextEventTime()));
+  // A map finishes; 70 more MB appear.
+  m.Advance(5.0);
+  m.AddAvailability(f, 70.0);
+  EXPECT_NEAR(m.NextEventTime(), 12.0, 1e-9);
+  m.Advance(12.0);
+  EXPECT_TRUE(m.IsComplete(f));
+}
+
+TEST(ShuffleModel, CompletionFreesBandwidthForOthers) {
+  // Two flows share aggregate 10 => 5 each. Flow A needs 25, B needs 100.
+  ShuffleModel m(10.0, 10.0);
+  const FlowId a = m.AddFlow(25.0, 25.0);
+  const FlowId b = m.AddFlow(100.0, 100.0);
+  m.Advance(5.0);  // A done at t=5 (25/5), B at 25 so far
+  EXPECT_TRUE(m.IsComplete(a));
+  EXPECT_FALSE(m.IsComplete(b));
+  m.Retire(a);
+  // B now runs at 10 MB/s; 75 left -> completes at t=12.5.
+  EXPECT_NEAR(m.NextEventTime(), 12.5, 1e-9);
+}
+
+TEST(ShuffleModel, ZeroByteFlowIsImmediatelyComplete) {
+  ShuffleModel m(10.0, 10.0);
+  const FlowId f = m.AddFlow(0.0, 0.0);
+  EXPECT_TRUE(m.IsComplete(f));
+}
+
+TEST(ShuffleModel, AvailabilityClampedToTotal) {
+  ShuffleModel m(10.0, 10.0);
+  const FlowId f = m.AddFlow(10.0, 5.0);
+  m.AddAvailability(f, 1000.0);
+  m.Advance(1.0);
+  EXPECT_NEAR(m.FetchedMb(f), 10.0, 1e-9);
+  EXPECT_TRUE(m.IsComplete(f));
+}
+
+TEST(ShuffleModel, AdvanceBackwardsThrows) {
+  ShuffleModel m(10.0, 10.0);
+  m.Advance(5.0);
+  EXPECT_THROW(m.Advance(4.0), std::logic_error);
+}
+
+TEST(ShuffleModel, RepeatedAdvanceSameTimeIsIdempotent) {
+  ShuffleModel m(10.0, 10.0);
+  const FlowId f = m.AddFlow(100.0, 100.0);
+  m.Advance(2.0);
+  const double fetched = m.FetchedMb(f);
+  m.Advance(2.0);
+  EXPECT_DOUBLE_EQ(m.FetchedMb(f), fetched);
+}
+
+TEST(ShuffleModel, RejectsNonpositiveBandwidth) {
+  EXPECT_THROW(ShuffleModel(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ShuffleModel(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ShuffleModel, ActiveFlowCountTracksState) {
+  ShuffleModel m(100.0, 10.0);
+  EXPECT_EQ(m.ActiveFlowCount(), 0);
+  const FlowId a = m.AddFlow(10.0, 10.0);
+  m.AddFlow(10.0, 0.0);  // starved from birth
+  EXPECT_EQ(m.ActiveFlowCount(), 1);
+  m.Advance(1.0);
+  EXPECT_TRUE(m.IsComplete(a));
+  EXPECT_EQ(m.ActiveFlowCount(), 0);
+}
+
+TEST(ShuffleModel, ConservationProperty) {
+  // Total fetched across flows never exceeds aggregate * elapsed time.
+  ShuffleModel m(30.0, 8.0);
+  std::vector<FlowId> flows;
+  for (int i = 0; i < 6; ++i) flows.push_back(m.AddFlow(40.0, 40.0));
+  for (double t = 0.5; t <= 10.0; t += 0.5) {
+    m.Advance(t);
+    double total = 0.0;
+    for (const FlowId f : flows) total += m.FetchedMb(f);
+    EXPECT_LE(total, 30.0 * t + 1e-6);
+  }
+}
+
+TEST(ShuffleModel, EqualFlowsFinishTogether) {
+  ShuffleModel m(20.0, 10.0);
+  const FlowId a = m.AddFlow(30.0, 30.0);
+  const FlowId b = m.AddFlow(30.0, 30.0);
+  const SimTime t = m.NextEventTime();
+  m.Advance(t);
+  EXPECT_TRUE(m.IsComplete(a));
+  EXPECT_TRUE(m.IsComplete(b));
+  EXPECT_NEAR(t, 3.0, 1e-9);  // 30 MB at 10 MB/s each
+}
+
+}  // namespace
+}  // namespace simmr::cluster

@@ -1,0 +1,112 @@
+// Speculative-execution tests. The paper ran its cluster with speculation
+// disabled ("it did not lead to any significant improvements"); the
+// emulator implements Hadoop's mechanism so that claim can be examined.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_sim.h"
+#include "trace/mr_profiler.h"
+
+namespace simmr::cluster {
+namespace {
+
+JobSpec StragglySpec(int blocks = 32, int reduces = 4) {
+  JobSpec spec;
+  spec.app = apps::WordCount();
+  spec.app.map_sigma = 0.6;  // heavy-tailed task durations: stragglers
+  spec.dataset_label = "straggly";
+  spec.input_mb = blocks * 64.0;
+  spec.num_reduces = reduces;
+  return spec;
+}
+
+TestbedOptions Options(bool speculation, int nodes = 8,
+                       double threshold = 1.3) {
+  TestbedOptions opts;
+  opts.config.num_nodes = nodes;
+  opts.config.speculative_execution = speculation;
+  opts.config.speculation_slowness_threshold = threshold;
+  opts.config.node_speed_sigma = 0.15;  // heterogeneous nodes
+  opts.seed = 17;
+  return opts;
+}
+
+TEST(Speculation, DisabledByDefaultProducesNoBackups) {
+  const std::vector<SubmittedJob> jobs{{StragglySpec(), 0.0, 0.0}};
+  TestbedOptions opts = Options(false);
+  const auto result = RunTestbed(jobs, opts);
+  int attempts = 0;
+  for (const auto& t : result.log.tasks()) {
+    if (t.kind == TaskKind::kMap) ++attempts;
+  }
+  EXPECT_EQ(attempts, 32);  // exactly one attempt per map
+}
+
+TEST(Speculation, BackupsLaunchForStragglers) {
+  const std::vector<SubmittedJob> jobs{{StragglySpec(), 0.0, 0.0}};
+  const auto result = RunTestbed(jobs, Options(true));
+  int map_attempts = 0, killed = 0;
+  for (const auto& t : result.log.tasks()) {
+    if (t.kind != TaskKind::kMap) continue;
+    ++map_attempts;
+    if (!t.succeeded) ++killed;
+  }
+  EXPECT_GT(map_attempts, 32);  // some tasks ran twice
+  EXPECT_EQ(map_attempts - killed, 32);  // exactly one winner per task
+}
+
+TEST(Speculation, NeverHurtsWithFreeSlots) {
+  // One job whose last map wave leaves idle slots: speculating the tail
+  // stragglers should not lengthen the job (and usually shortens it).
+  const std::vector<SubmittedJob> jobs{{StragglySpec(20, 2), 0.0, 0.0}};
+  const double off =
+      RunTestbed(jobs, Options(false)).log.jobs()[0].finish_time;
+  const double on =
+      RunTestbed(jobs, Options(true)).log.jobs()[0].finish_time;
+  EXPECT_LE(on, off + 1e-6);
+}
+
+TEST(Speculation, AllJobsCompleteWithSpeculationAndFailures) {
+  std::vector<SubmittedJob> jobs{{StragglySpec(24, 4), 0.0, 0.0},
+                                 {StragglySpec(12, 2), 20.0, 0.0}};
+  TestbedOptions opts = Options(true);
+  opts.config.task_failure_prob = 0.15;
+  const auto result = RunTestbed(jobs, opts);
+  ASSERT_EQ(result.log.jobs().size(), 2u);
+  for (const auto& j : result.log.jobs()) {
+    EXPECT_GT(j.finish_time, j.submit_time);
+  }
+}
+
+TEST(Speculation, ProfilesRemainValid) {
+  const std::vector<SubmittedJob> jobs{{StragglySpec(), 0.0, 0.0}};
+  const auto result = RunTestbed(jobs, Options(true));
+  const auto profile = trace::BuildProfile(result.log, 0);
+  EXPECT_TRUE(profile.Validate().empty()) << profile.Validate();
+  // Winners only: one duration per task.
+  EXPECT_EQ(static_cast<int>(profile.map_durations.size()), 32);
+}
+
+TEST(Speculation, DeterministicGivenSeed) {
+  const std::vector<SubmittedJob> jobs{{StragglySpec(), 0.0, 0.0}};
+  const auto a = RunTestbed(jobs, Options(true));
+  const auto b = RunTestbed(jobs, Options(true));
+  EXPECT_EQ(a.log.tasks().size(), b.log.tasks().size());
+  EXPECT_DOUBLE_EQ(a.log.jobs()[0].finish_time, b.log.jobs()[0].finish_time);
+}
+
+TEST(Speculation, HigherThresholdSpeculatesLess) {
+  const std::vector<SubmittedJob> jobs{{StragglySpec(), 0.0, 0.0}};
+  const auto eager = RunTestbed(jobs, Options(true, 8, 1.1));
+  const auto lazy = RunTestbed(jobs, Options(true, 8, 3.0));
+  const auto count_attempts = [](const TestbedResult& r) {
+    int n = 0;
+    for (const auto& t : r.log.tasks()) {
+      if (t.kind == TaskKind::kMap) ++n;
+    }
+    return n;
+  };
+  EXPECT_GE(count_attempts(eager), count_attempts(lazy));
+}
+
+}  // namespace
+}  // namespace simmr::cluster

@@ -1,0 +1,172 @@
+#include "cluster/testbed_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace simmr::cluster {
+namespace {
+
+ClusterConfig SmallConfig() {
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  return cfg;
+}
+
+std::unique_ptr<JobRuntime> MakeJob(JobId id, double submit, double deadline,
+                                    int num_maps = 4, int num_reduces = 2) {
+  SubmittedJob submission;
+  submission.spec.app.name = "test";
+  submission.spec.input_mb = num_maps * 64.0;
+  submission.spec.num_reduces = num_reduces;
+  submission.submit_time = submit;
+  submission.deadline = deadline;
+  Rng rng(id + 1);
+  return std::make_unique<JobRuntime>(id, submission, SmallConfig(),
+                                      std::move(rng));
+}
+
+TEST(FifoTestbedScheduler, PicksEarliestArrival) {
+  auto a = MakeJob(0, 0.0, 0.0);
+  auto b = MakeJob(1, 5.0, 0.0);
+  const std::vector<const JobRuntime*> queue{a.get(), b.get()};
+  FifoTestbedScheduler fifo;
+  EXPECT_EQ(fifo.PickMapJob(queue), 0);
+}
+
+TEST(FifoTestbedScheduler, SkipsJobWithoutPendingMaps) {
+  auto a = MakeJob(0, 0.0, 0.0, /*num_maps=*/1);
+  auto b = MakeJob(1, 5.0, 0.0);
+  (void)a->PopPendingMap();  // exhausted
+  const std::vector<const JobRuntime*> queue{a.get(), b.get()};
+  FifoTestbedScheduler fifo;
+  EXPECT_EQ(fifo.PickMapJob(queue), 1);
+}
+
+TEST(FifoTestbedScheduler, RespectsMapCap) {
+  auto a = MakeJob(0, 0.0, 0.0);
+  a->caps().map_cap = 2;
+  a->running_maps = 2;  // two attempts hold slots
+  const std::vector<const JobRuntime*> queue{a.get()};
+  FifoTestbedScheduler fifo;
+  EXPECT_EQ(fifo.PickMapJob(queue), kInvalidJob);
+  a->running_maps = 1;  // one slot back
+  EXPECT_EQ(fifo.PickMapJob(queue), 0);
+}
+
+TEST(FifoTestbedScheduler, ReduceGatedBySlowstart) {
+  auto a = MakeJob(0, 0.0, 0.0, /*num_maps=*/10, /*num_reduces=*/2);
+  const std::vector<const JobRuntime*> queue{a.get()};
+  FifoTestbedScheduler fifo;
+  EXPECT_EQ(fifo.PickReduceJob(queue, 0.05), kInvalidJob);
+  a->maps_reported = 1;  // ceil(0.05 * 10) = 1
+  EXPECT_EQ(fifo.PickReduceJob(queue, 0.05), 0);
+}
+
+TEST(FifoTestbedScheduler, EmptyQueueGivesInvalid) {
+  FifoTestbedScheduler fifo;
+  EXPECT_EQ(fifo.PickMapJob({}), kInvalidJob);
+  EXPECT_EQ(fifo.PickReduceJob({}, 0.05), kInvalidJob);
+}
+
+TEST(EdfTestbedScheduler, PicksEarliestDeadline) {
+  auto late = MakeJob(0, 0.0, 100.0);
+  auto early = MakeJob(1, 5.0, 50.0);
+  const std::vector<const JobRuntime*> queue{late.get(), early.get()};
+  EdfTestbedScheduler edf;
+  EXPECT_EQ(edf.PickMapJob(queue), 1);
+}
+
+TEST(EdfTestbedScheduler, DeadlinedJobsBeforeDeadlineFree) {
+  auto none = MakeJob(0, 0.0, 0.0);
+  auto some = MakeJob(1, 5.0, 500.0);
+  const std::vector<const JobRuntime*> queue{none.get(), some.get()};
+  EdfTestbedScheduler edf;
+  EXPECT_EQ(edf.PickMapJob(queue), 1);
+}
+
+TEST(EdfTestbedScheduler, TieBrokenByArrival) {
+  auto first = MakeJob(0, 0.0, 100.0);
+  auto second = MakeJob(1, 5.0, 100.0);
+  const std::vector<const JobRuntime*> queue{second.get(), first.get()};
+  EdfTestbedScheduler edf;
+  EXPECT_EQ(edf.PickMapJob(queue), 0);
+}
+
+TEST(EdfTestbedScheduler, FallsBackWhenEarliestIsCapped) {
+  auto early = MakeJob(0, 0.0, 50.0);
+  auto late = MakeJob(1, 0.0, 100.0);
+  early->caps().map_cap = 1;
+  early->running_maps = 1;
+  const std::vector<const JobRuntime*> queue{early.get(), late.get()};
+  EdfTestbedScheduler edf;
+  EXPECT_EQ(edf.PickMapJob(queue), 1);
+}
+
+TEST(JobRuntime, PrecomputedStateIsDeterministic) {
+  auto a = MakeJob(3, 0.0, 0.0, 8, 4);
+  auto b = MakeJob(3, 0.0, 0.0, 8, 4);
+  ASSERT_EQ(a->num_maps(), 8);
+  ASSERT_EQ(a->num_reduces(), 4);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(a->maps()[i].noise, b->maps()[i].noise);
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(a->reduces()[i].bytes_mb, b->reduces()[i].bytes_mb);
+  }
+}
+
+TEST(JobRuntime, ReduceBytesSumToIntermediate) {
+  auto job = MakeJob(0, 0.0, 0.0, 8, 4);
+  double total = 0.0;
+  for (const auto& r : job->reduces()) total += r.bytes_mb;
+  EXPECT_NEAR(total, job->spec().IntermediateMb(), 1e-6);
+}
+
+TEST(JobRuntime, LastBlockMayBePartial) {
+  SubmittedJob submission;
+  submission.spec.app.name = "test";
+  submission.spec.input_mb = 100.0;  // 64 + 36
+  submission.spec.num_reduces = 1;
+  JobRuntime job(0, submission, SmallConfig(), Rng(1));
+  ASSERT_EQ(job.num_maps(), 2);
+  EXPECT_DOUBLE_EQ(job.maps()[0].input_mb, 64.0);
+  EXPECT_DOUBLE_EQ(job.maps()[1].input_mb, 36.0);
+}
+
+TEST(JobRuntime, ReduceReadyThresholdCeils) {
+  auto job = MakeJob(0, 0.0, 0.0, /*num_maps=*/10, /*num_reduces=*/2);
+  EXPECT_FALSE(job->ReduceReady(0.25));
+  job->maps_reported = 2;
+  EXPECT_FALSE(job->ReduceReady(0.25));  // ceil(2.5) = 3
+  job->maps_reported = 3;
+  EXPECT_TRUE(job->ReduceReady(0.25));
+}
+
+TEST(JobRuntime, PendingQueueAndRunningCounters) {
+  auto job = MakeJob(0, 0.0, 0.0, 10, 4);
+  EXPECT_TRUE(job->HasPendingMap());
+  // Launch four attempts.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(job->PopPendingMap(), i);
+    ++job->running_maps;
+  }
+  EXPECT_EQ(job->RunningMaps(), 4);
+  EXPECT_TRUE(job->HasPendingMap());
+  for (int i = 4; i < 10; ++i) (void)job->PopPendingMap();
+  EXPECT_FALSE(job->HasPendingMap());
+  EXPECT_THROW(job->PopPendingMap(), std::logic_error);
+}
+
+TEST(JobRuntime, RequeuePutsFailedTaskAtTheBack) {
+  auto job = MakeJob(0, 0.0, 0.0, 3, 1);
+  EXPECT_EQ(job->PopPendingMap(), 0);
+  job->RequeueMap(0);  // attempt failed
+  EXPECT_EQ(job->PopPendingMap(), 1);
+  EXPECT_EQ(job->PopPendingMap(), 2);
+  EXPECT_EQ(job->PopPendingMap(), 0);  // retried last
+  EXPECT_FALSE(job->HasPendingMap());
+}
+
+}  // namespace
+}  // namespace simmr::cluster

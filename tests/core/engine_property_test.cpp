@@ -1,0 +1,143 @@
+// Randomized property tests for the SimMR engine: invariants that must
+// hold for every workload under every policy, checked across a seed sweep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/simmr.h"
+#include "sched/fair.h"
+#include "sched/fifo.h"
+#include "sched/maxedf.h"
+#include "sched/minedf.h"
+#include "trace/synthetic_tracegen.h"
+#include "trace/workload.h"
+
+namespace simmr::core {
+namespace {
+
+constexpr int kMapSlots = 12;
+constexpr int kReduceSlots = 6;
+
+trace::WorkloadTrace RandomWorkload(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<trace::JobProfile> pool;
+  const int num_profiles = 3 + static_cast<int>(rng.NextBounded(5));
+  for (int i = 0; i < num_profiles; ++i) {
+    trace::SyntheticJobSpec spec;
+    spec.app_name = "fuzz" + std::to_string(i);
+    spec.num_maps = 1 + static_cast<int>(rng.NextBounded(40));
+    spec.num_reduces = static_cast<int>(rng.NextBounded(16));
+    spec.first_wave_size = static_cast<int>(rng.NextBounded(8));
+    spec.map_duration =
+        std::make_shared<UniformDist>(0.5, 1.0 + rng.NextDouble(0, 30));
+    spec.first_shuffle_duration =
+        std::make_shared<UniformDist>(0.0, 1.0 + rng.NextDouble(0, 5));
+    spec.typical_shuffle_duration =
+        std::make_shared<UniformDist>(0.5, 1.0 + rng.NextDouble(0, 10));
+    spec.reduce_duration =
+        std::make_shared<UniformDist>(0.1, 0.5 + rng.NextDouble(0, 8));
+    pool.push_back(trace::SynthesizeProfile(spec, rng));
+  }
+  std::vector<double> solos(pool.size(), 50.0 + rng.NextDouble(0, 100));
+  trace::WorkloadParams params;
+  params.num_jobs = 4 + static_cast<int>(rng.NextBounded(12));
+  params.mean_interarrival_s = rng.NextDouble(0.0, 40.0);
+  params.deadline_factor = 1.0 + rng.NextDouble(0.0, 2.0);
+  return trace::MakeWorkload(pool, solos, params, rng);
+}
+
+std::unique_ptr<SchedulerPolicy> MakePolicy(std::uint64_t seed) {
+  switch (seed % 4) {
+    case 0: return std::make_unique<sched::FifoPolicy>();
+    case 1: return std::make_unique<sched::MaxEdfPolicy>();
+    case 2:
+      return std::make_unique<sched::MinEdfPolicy>(kMapSlots, kReduceSlots);
+    default: return std::make_unique<sched::FairPolicy>();
+  }
+}
+
+class EngineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineProperty, InvariantsHoldUnderRandomWorkloads) {
+  const std::uint64_t seed = GetParam();
+  const trace::WorkloadTrace workload = RandomWorkload(seed);
+  const auto policy = MakePolicy(seed);
+  SimConfig cfg;
+  cfg.map_slots = kMapSlots;
+  cfg.reduce_slots = kReduceSlots;
+  cfg.min_map_percent_completed = (seed % 3) * 0.45;  // 0, 0.45, 0.9
+  cfg.record_tasks = true;
+  SimulatorEngine engine(cfg, *policy);
+  const SimResult result = engine.Run(workload);
+
+  // 1. Every job completes, after its arrival, with ordered milestones.
+  ASSERT_EQ(result.jobs.size(), workload.size());
+  double latest = 0.0;
+  for (const auto& job : result.jobs) {
+    EXPECT_GE(job.first_launch, job.arrival);
+    EXPECT_GE(job.completion, job.first_launch);
+    if (workload[job.job].profile.num_reduces > 0) {
+      EXPECT_GE(job.completion, job.map_stage_end);
+    }
+    latest = std::max(latest, job.completion);
+  }
+  // 2. Makespan is the latest completion.
+  EXPECT_DOUBLE_EQ(result.makespan, latest);
+
+  // 3. Task counts match the workload; phase boundaries are ordered.
+  std::size_t expected_tasks = 0;
+  for (const auto& tj : workload) {
+    expected_tasks += tj.profile.num_maps + tj.profile.num_reduces;
+  }
+  ASSERT_EQ(result.tasks.size(), expected_tasks);
+  for (const auto& t : result.tasks) {
+    EXPECT_LE(t.start, t.shuffle_end);
+    EXPECT_LE(t.shuffle_end, t.end);
+    EXPECT_TRUE(std::isfinite(t.end));
+  }
+
+  // 4. Slot capacity is never exceeded at any instant.
+  const auto check_capacity = [&result](SimTaskKind kind, int limit) {
+    std::vector<std::pair<double, int>> deltas;
+    for (const auto& t : result.tasks) {
+      if (t.kind != kind) continue;
+      deltas.push_back({t.start, +1});
+      deltas.push_back({t.end, -1});
+    }
+    std::sort(deltas.begin(), deltas.end());
+    int running = 0;
+    for (const auto& [time, delta] : deltas) {
+      running += delta;
+      EXPECT_LE(running, limit);
+    }
+    EXPECT_EQ(running, 0);
+  };
+  check_capacity(SimTaskKind::kMap, kMapSlots);
+  check_capacity(SimTaskKind::kReduce, kReduceSlots);
+
+  // 5. Utilization is a valid fraction.
+  const auto util =
+      ComputeUtilization(result.tasks, kMapSlots, kReduceSlots,
+                         result.makespan);
+  EXPECT_GE(util.map_utilization, 0.0);
+  EXPECT_LE(util.map_utilization, 1.0 + 1e-9);
+  EXPECT_LE(util.reduce_utilization, 1.0 + 1e-9);
+
+  // 6. Replay is deterministic: same inputs, fresh policy, same outcome.
+  const auto policy2 = MakePolicy(seed);
+  SimulatorEngine engine2(cfg, *policy2);
+  const SimResult again = engine2.Run(workload);
+  ASSERT_EQ(again.jobs.size(), result.jobs.size());
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(again.jobs[i].completion, result.jobs[i].completion);
+  }
+  EXPECT_EQ(again.events_processed, result.events_processed);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, EngineProperty,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace simmr::core

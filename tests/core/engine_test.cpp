@@ -1,0 +1,315 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/simmr.h"
+#include "sched/fifo.h"
+
+namespace simmr::core {
+namespace {
+
+/// Deterministic profile: every map takes 10 s, typical shuffle 5 s, first
+/// shuffle (non-overlap) 3 s, reduce 2 s.
+trace::JobProfile UniformProfile(int num_maps, int num_reduces,
+                                 int first_wave = 0) {
+  trace::JobProfile p;
+  p.app_name = "uniform";
+  p.num_maps = num_maps;
+  p.num_reduces = num_reduces;
+  p.map_durations.assign(num_maps, 10.0);
+  p.first_shuffle_durations.assign(first_wave, 3.0);
+  p.typical_shuffle_durations.assign(num_reduces - first_wave, 5.0);
+  p.reduce_durations.assign(num_reduces, 2.0);
+  return p;
+}
+
+trace::WorkloadTrace SingleJob(const trace::JobProfile& profile,
+                               double arrival = 0.0, double deadline = 0.0) {
+  trace::WorkloadTrace w(1);
+  w[0].profile = profile;
+  w[0].arrival = arrival;
+  w[0].deadline = deadline;
+  return w;
+}
+
+SimConfig Config(int map_slots, int reduce_slots,
+                 double slowstart = 0.05) {
+  SimConfig cfg;
+  cfg.map_slots = map_slots;
+  cfg.reduce_slots = reduce_slots;
+  cfg.min_map_percent_completed = slowstart;
+  return cfg;
+}
+
+TEST(Engine, SingleWaveJobCompletionIsExact) {
+  // 4 maps on 4 slots: map stage = 10. One reduce wave of 2 (first wave,
+  // overlapping): completion = 10 + 3 + 2 = 15.
+  sched::FifoPolicy fifo;
+  const auto result =
+      Replay(SingleJob(UniformProfile(4, 2, /*first_wave=*/2)), fifo,
+             Config(4, 2));
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_NEAR(result.jobs[0].CompletionTime(), 15.0, 1e-9);
+  EXPECT_NEAR(result.jobs[0].map_stage_end, 10.0, 1e-9);
+}
+
+TEST(Engine, MapWavesSerializeOnLimitedSlots) {
+  // 8 maps on 2 slots: 4 waves of 10 s = 40 s map stage.
+  sched::FifoPolicy fifo;
+  const auto result = Replay(SingleJob(UniformProfile(8, 1, 1)), fifo,
+                             Config(2, 1));
+  EXPECT_NEAR(result.jobs[0].map_stage_end, 40.0, 1e-9);
+  // Completion: 40 + first shuffle 3 + reduce 2.
+  EXPECT_NEAR(result.jobs[0].completion, 45.0, 1e-9);
+}
+
+TEST(Engine, TypicalWavesUseFullShuffleDuration) {
+  // 2 maps serialized on 1 slot (map stage 20); 4 reduces on 2 slots. The
+  // first wave launches at t=10 (slowstart crossed) as fillers patched at
+  // map-stage end: 20 + 3 + 2 = 25. The second wave is typical: 25 + 5 + 2.
+  sched::FifoPolicy fifo;
+  const auto result = Replay(SingleJob(UniformProfile(2, 4, 2)), fifo,
+                             Config(1, 2));
+  EXPECT_NEAR(result.jobs[0].map_stage_end, 20.0, 1e-9);
+  EXPECT_NEAR(result.jobs[0].completion, 32.0, 1e-9);
+}
+
+TEST(Engine, FillerReduceOccupiesSlotUntilMapStageEnds) {
+  // One reduce slot. The first-wave reduce is scheduled early (slowstart
+  // 5% of 10 maps = 1 map done at t=10 on 1 map slot) and blocks the slot
+  // until the map stage ends at t=100.
+  sched::FifoPolicy fifo;
+  const auto result = Replay(SingleJob(UniformProfile(10, 2, 1)), fifo,
+                             Config(1, 1));
+  // Reduce wave 1: 100 + 3 + 2 = 105; wave 2 (typical): 105 + 5 + 2 = 112.
+  EXPECT_NEAR(result.jobs[0].completion, 112.0, 1e-9);
+}
+
+TEST(Engine, SlowstartGateDelaysReduces) {
+  // With min_map_percent = 1.0, no reduce may start before all maps done,
+  // so every reduce is "typical".
+  sched::FifoPolicy fifo;
+  const auto result = Replay(SingleJob(UniformProfile(4, 2, 2)), fifo,
+                             Config(4, 2, /*slowstart=*/1.0));
+  // Map stage 10; reduces use typical pool — but this profile has only
+  // first-wave samples (first_wave=2), so the typical pool falls back to
+  // first-shuffle samples: 10 + 3 + 2 = 15.
+  EXPECT_NEAR(result.jobs[0].completion, 15.0, 1e-9);
+}
+
+TEST(Engine, ZeroSlowstartSchedulesReducesAtArrival) {
+  SimConfig cfg = Config(1, 2, /*slowstart=*/0.0);
+  cfg.record_tasks = true;
+  sched::FifoPolicy fifo;
+  SimulatorEngine engine(cfg, fifo);
+  const auto result = engine.Run(SingleJob(UniformProfile(4, 2, 2)));
+  // Both reduces are fillers started at t=0.
+  int early_reduces = 0;
+  for (const auto& t : result.tasks) {
+    if (t.kind == SimTaskKind::kReduce && t.start == 0.0) ++early_reduces;
+  }
+  EXPECT_EQ(early_reduces, 2);
+}
+
+TEST(Engine, TaskRecordsHavePhaseBoundaries) {
+  SimConfig cfg = Config(2, 2);
+  cfg.record_tasks = true;
+  sched::FifoPolicy fifo;
+  SimulatorEngine engine(cfg, fifo);
+  const auto result = engine.Run(SingleJob(UniformProfile(4, 2, 2)));
+  int maps = 0, reduces = 0;
+  for (const auto& t : result.tasks) {
+    EXPECT_LE(t.start, t.shuffle_end);
+    EXPECT_LE(t.shuffle_end, t.end);
+    if (t.kind == SimTaskKind::kMap) {
+      ++maps;
+      EXPECT_DOUBLE_EQ(t.start, t.shuffle_end);
+    } else {
+      ++reduces;
+      EXPECT_LT(t.shuffle_end, t.end);
+    }
+  }
+  EXPECT_EQ(maps, 4);
+  EXPECT_EQ(reduces, 2);
+}
+
+TEST(Engine, NoTaskRecordsUnlessRequested) {
+  sched::FifoPolicy fifo;
+  const auto result =
+      Replay(SingleJob(UniformProfile(4, 2, 2)), fifo, Config(2, 2));
+  EXPECT_TRUE(result.tasks.empty());
+}
+
+TEST(Engine, MultiJobFifoOrdering) {
+  trace::WorkloadTrace w(2);
+  w[0].profile = UniformProfile(4, 1, 1);
+  w[0].arrival = 0.0;
+  w[1].profile = UniformProfile(4, 1, 1);
+  w[1].arrival = 1.0;
+  sched::FifoPolicy fifo;
+  const auto result = Replay(w, fifo, Config(2, 1));
+  ASSERT_EQ(result.jobs.size(), 2u);
+  const auto& first = *std::find_if(result.jobs.begin(), result.jobs.end(),
+                                    [](const auto& j) { return j.job == 0; });
+  const auto& second = *std::find_if(result.jobs.begin(), result.jobs.end(),
+                                     [](const auto& j) { return j.job == 1; });
+  EXPECT_LT(first.completion, second.completion);
+}
+
+TEST(Engine, SlotConservationProperty) {
+  // Replaying with task records, at no instant may more tasks run than
+  // slots exist.
+  SimConfig cfg = Config(3, 2);
+  cfg.record_tasks = true;
+  sched::FifoPolicy fifo;
+  SimulatorEngine engine(cfg, fifo);
+  trace::WorkloadTrace w;
+  for (int i = 0; i < 4; ++i) {
+    trace::TraceJob tj;
+    tj.profile = UniformProfile(6, 4, 2);
+    tj.arrival = i * 7.0;
+    w.push_back(tj);
+  }
+  const auto result = engine.Run(w);
+  std::vector<std::pair<double, int>> map_deltas, red_deltas;
+  for (const auto& t : result.tasks) {
+    auto& deltas = t.kind == SimTaskKind::kMap ? map_deltas : red_deltas;
+    deltas.push_back({t.start, +1});
+    deltas.push_back({t.end, -1});
+  }
+  const auto check = [](std::vector<std::pair<double, int>>& deltas,
+                        int limit) {
+    std::sort(deltas.begin(), deltas.end());
+    int running = 0;
+    for (const auto& [time, delta] : deltas) {
+      running += delta;
+      EXPECT_LE(running, limit);
+    }
+  };
+  check(map_deltas, 3);
+  check(red_deltas, 2);
+}
+
+TEST(Engine, EventsProcessedCountsAllSevenKinds) {
+  sched::FifoPolicy fifo;
+  const auto result =
+      Replay(SingleJob(UniformProfile(4, 2, 2)), fifo, Config(2, 2));
+  // At least: 1 job arrival + 1 map arrival + 4 map departures + 1 stage
+  // done + 1 reduce arrival + 2 reduce departures + 1 job departure.
+  EXPECT_GE(result.events_processed, 11u);
+}
+
+TEST(Engine, DeterministicReplay) {
+  trace::WorkloadTrace w;
+  for (int i = 0; i < 5; ++i) {
+    trace::TraceJob tj;
+    tj.profile = UniformProfile(6 + i, 3, 1);
+    tj.arrival = i * 3.0;
+    w.push_back(tj);
+  }
+  sched::FifoPolicy fifo_a, fifo_b;
+  const auto a = Replay(w, fifo_a, Config(4, 3));
+  const auto b = Replay(w, fifo_b, Config(4, 3));
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].completion, b.jobs[i].completion);
+  }
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+TEST(Engine, MoreSlotsNeverSlower) {
+  // Monotonicity: a single job with more slots completes no later.
+  sched::FifoPolicy fifo;
+  const trace::JobProfile p = UniformProfile(16, 8, 4);
+  double prev = 1e18;
+  for (const int slots : {1, 2, 4, 8, 16}) {
+    const auto result = Replay(SingleJob(p), fifo, Config(slots, slots));
+    EXPECT_LE(result.jobs[0].completion, prev + 1e-9) << slots;
+    prev = result.jobs[0].completion;
+  }
+}
+
+TEST(Engine, MapOnlyJobCompletesAtMapStageEnd) {
+  trace::JobProfile p;
+  p.app_name = "maponly";
+  p.num_maps = 4;
+  p.num_reduces = 0;
+  p.map_durations.assign(4, 10.0);
+  sched::FifoPolicy fifo;
+  const auto result = Replay(SingleJob(p), fifo, Config(2, 1));
+  EXPECT_NEAR(result.jobs[0].completion, 20.0, 1e-9);
+}
+
+TEST(Engine, LateArrivalWaitsForArrivalTime) {
+  sched::FifoPolicy fifo;
+  const auto result =
+      Replay(SingleJob(UniformProfile(2, 1, 1), /*arrival=*/500.0), fifo,
+             Config(2, 1));
+  EXPECT_GE(result.jobs[0].first_launch, 500.0);
+  EXPECT_NEAR(result.jobs[0].CompletionTime(), 15.0, 1e-9);
+}
+
+TEST(Engine, DurationPoolWrapsWhenReplayNeedsMoreSamples) {
+  // Profile claims 4 maps but supplies only 2 samples: the pool cycles.
+  trace::JobProfile p = UniformProfile(4, 1, 1);
+  p.map_durations = {10.0, 20.0};
+  sched::FifoPolicy fifo;
+  const auto result = Replay(SingleJob(p), fifo, Config(1, 1));
+  // Serial maps: 10+20+10+20 = 60; + 3 + 2.
+  EXPECT_NEAR(result.jobs[0].completion, 65.0, 1e-9);
+}
+
+TEST(Engine, RejectsInvalidProfile) {
+  trace::JobProfile bad = UniformProfile(2, 1, 1);
+  bad.map_durations.clear();
+  sched::FifoPolicy fifo;
+  EXPECT_THROW(Replay(SingleJob(bad), fifo, Config(1, 1)),
+               std::invalid_argument);
+}
+
+TEST(Engine, RejectsBadConfig) {
+  sched::FifoPolicy fifo;
+  EXPECT_THROW(Replay(SingleJob(UniformProfile(2, 1, 1)), fifo, Config(0, 1)),
+               std::invalid_argument);
+  SimConfig cfg = Config(1, 1);
+  cfg.min_map_percent_completed = 1.5;
+  EXPECT_THROW(Replay(SingleJob(UniformProfile(2, 1, 1)), fifo, cfg),
+               std::invalid_argument);
+}
+
+TEST(Engine, EmptyWorkloadIsFine) {
+  sched::FifoPolicy fifo;
+  const auto result = Replay({}, fifo, Config(1, 1));
+  EXPECT_TRUE(result.jobs.empty());
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+}
+
+TEST(Engine, MakespanIsLatestCompletion) {
+  trace::WorkloadTrace w(2);
+  w[0].profile = UniformProfile(2, 1, 1);
+  w[0].arrival = 0.0;
+  w[1].profile = UniformProfile(2, 1, 1);
+  w[1].arrival = 100.0;
+  sched::FifoPolicy fifo;
+  const auto result = Replay(w, fifo, Config(2, 1));
+  double latest = 0.0;
+  for (const auto& j : result.jobs) latest = std::max(latest, j.completion);
+  EXPECT_DOUBLE_EQ(result.makespan, latest);
+}
+
+TEST(MeasureSoloCompletions, MatchesDirectReplay) {
+  const std::vector<trace::JobProfile> profiles{UniformProfile(8, 2, 2),
+                                                UniformProfile(4, 4, 2)};
+  const auto solos = MeasureSoloCompletions(profiles, Config(4, 2));
+  ASSERT_EQ(solos.size(), 2u);
+  sched::FifoPolicy fifo;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto direct = Replay(SingleJob(profiles[i]), fifo, Config(4, 2));
+    EXPECT_DOUBLE_EQ(solos[i], direct.jobs[0].CompletionTime());
+  }
+}
+
+}  // namespace
+}  // namespace simmr::core

@@ -1,0 +1,120 @@
+#include "core/job_state.h"
+
+#include <gtest/gtest.h>
+
+namespace simmr::core {
+namespace {
+
+trace::JobProfile Profile() {
+  trace::JobProfile p;
+  p.num_maps = 3;
+  p.num_reduces = 2;
+  p.map_durations = {1.0, 2.0, 3.0};
+  p.first_shuffle_durations = {4.0};
+  p.typical_shuffle_durations = {5.0};
+  p.reduce_durations = {6.0, 7.0};
+  return p;
+}
+
+TEST(DurationPoolTest, IteratesInOrder) {
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  DurationPool pool(&values);
+  EXPECT_DOUBLE_EQ(pool.Next(), 1.0);
+  EXPECT_DOUBLE_EQ(pool.Next(), 2.0);
+  EXPECT_DOUBLE_EQ(pool.Next(), 3.0);
+  EXPECT_EQ(pool.overflow_count(), 0u);
+}
+
+TEST(DurationPoolTest, WrapsAndCountsOverflow) {
+  const std::vector<double> values{1.0, 2.0};
+  DurationPool pool(&values);
+  (void)pool.Next();
+  (void)pool.Next();
+  EXPECT_DOUBLE_EQ(pool.Next(), 1.0);
+  EXPECT_EQ(pool.overflow_count(), 1u);
+  (void)pool.Next();
+  EXPECT_DOUBLE_EQ(pool.Next(), 1.0);
+  EXPECT_EQ(pool.overflow_count(), 2u);
+}
+
+TEST(DurationPoolTest, EmptyPoolThrows) {
+  DurationPool pool;
+  EXPECT_FALSE(pool.HasSamples());
+  EXPECT_THROW(pool.Next(), std::logic_error);
+  const std::vector<double> empty;
+  DurationPool pool2(&empty);
+  EXPECT_THROW(pool2.Next(), std::logic_error);
+}
+
+TEST(JobStateTest, ExposesProfileAndIdentity) {
+  const trace::JobProfile p = Profile();
+  JobState job(7, p, 12.0, 99.0, 44.0);
+  EXPECT_EQ(job.id(), 7);
+  EXPECT_EQ(job.num_maps(), 3);
+  EXPECT_EQ(job.num_reduces(), 2);
+  EXPECT_DOUBLE_EQ(job.arrival(), 12.0);
+  EXPECT_DOUBLE_EQ(job.deadline(), 99.0);
+  EXPECT_DOUBLE_EQ(job.solo_completion(), 44.0);
+}
+
+TEST(JobStateTest, PendingAndRunningCounters) {
+  const trace::JobProfile p = Profile();
+  JobState job(0, p, 0.0, 0.0, 0.0);
+  EXPECT_TRUE(job.HasPendingMap());
+  job.maps_launched = 3;
+  EXPECT_FALSE(job.HasPendingMap());
+  job.maps_completed = 1;
+  EXPECT_EQ(job.RunningMaps(), 2);
+  EXPECT_FALSE(job.MapsDone());
+  job.maps_completed = 3;
+  EXPECT_TRUE(job.MapsDone());
+  EXPECT_FALSE(job.Done());
+  job.reduces_completed = 2;
+  EXPECT_TRUE(job.Done());
+}
+
+TEST(JobStateTest, GateThresholdCeilsFraction) {
+  const trace::JobProfile p = Profile();  // 3 maps
+  JobState job(0, p, 0.0, 0.0, 0.0);
+  EXPECT_EQ(job.ReduceGateThreshold(0.0), 0);
+  EXPECT_EQ(job.ReduceGateThreshold(0.05), 1);  // ceil(0.15)
+  EXPECT_EQ(job.ReduceGateThreshold(0.5), 2);   // ceil(1.5)
+  EXPECT_EQ(job.ReduceGateThreshold(1.0), 3);
+}
+
+TEST(JobStateTest, ShufflePoolFallbacks) {
+  // Only first-shuffle samples: typical draws fall back to them.
+  trace::JobProfile p = Profile();
+  p.typical_shuffle_durations.clear();
+  JobState job(0, p, 0.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(job.NextTypicalShuffleDuration(), 4.0);
+
+  // Only typical samples: first-shuffle draws fall back to them.
+  trace::JobProfile q = Profile();
+  q.first_shuffle_durations.clear();
+  JobState job2(0, q, 0.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(job2.NextFirstShuffleDuration(), 5.0);
+}
+
+TEST(JobStateTest, NoShuffleSamplesGiveZero) {
+  trace::JobProfile p = Profile();
+  p.first_shuffle_durations.clear();
+  p.typical_shuffle_durations.clear();
+  JobState job(0, p, 0.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(job.NextFirstShuffleDuration(), 0.0);
+  EXPECT_DOUBLE_EQ(job.NextTypicalShuffleDuration(), 0.0);
+}
+
+TEST(JobStateTest, DurationCursorsAreIndependent) {
+  const trace::JobProfile p = Profile();
+  JobState job(0, p, 0.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(job.NextMapDuration(), 1.0);
+  EXPECT_DOUBLE_EQ(job.NextReduceDuration(), 6.0);
+  EXPECT_DOUBLE_EQ(job.NextMapDuration(), 2.0);
+  EXPECT_DOUBLE_EQ(job.NextFirstShuffleDuration(), 4.0);
+  EXPECT_DOUBLE_EQ(job.NextReduceDuration(), 7.0);
+  EXPECT_DOUBLE_EQ(job.NextMapDuration(), 3.0);
+}
+
+}  // namespace
+}  // namespace simmr::core

@@ -1,0 +1,100 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace simmr::core {
+namespace {
+
+JobResult Job(double completion, double deadline) {
+  JobResult j;
+  j.completion = completion;
+  j.deadline = deadline;
+  return j;
+}
+
+TEST(RelativeDeadlineExceededTest, ZeroWhenAllMeet) {
+  const std::vector<JobResult> jobs{Job(50.0, 100.0), Job(99.0, 100.0)};
+  EXPECT_DOUBLE_EQ(RelativeDeadlineExceeded(jobs), 0.0);
+  EXPECT_EQ(MissedDeadlineCount(jobs), 0);
+}
+
+TEST(RelativeDeadlineExceededTest, SumsRelativeOverruns) {
+  // (150-100)/100 + (300-200)/200 = 0.5 + 0.5 = 1.0.
+  const std::vector<JobResult> jobs{Job(150.0, 100.0), Job(300.0, 200.0)};
+  EXPECT_DOUBLE_EQ(RelativeDeadlineExceeded(jobs), 1.0);
+  EXPECT_EQ(MissedDeadlineCount(jobs), 2);
+}
+
+TEST(RelativeDeadlineExceededTest, SkipsJobsWithoutDeadline) {
+  const std::vector<JobResult> jobs{Job(150.0, 0.0), Job(150.0, 100.0)};
+  EXPECT_DOUBLE_EQ(RelativeDeadlineExceeded(jobs), 0.5);
+  EXPECT_EQ(MissedDeadlineCount(jobs), 1);
+}
+
+TEST(RelativeDeadlineExceededTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(RelativeDeadlineExceeded({}), 0.0);
+}
+
+TEST(JobResultTest, CompletionTimeAndMissedDeadline) {
+  JobResult j;
+  j.arrival = 10.0;
+  j.completion = 35.0;
+  j.deadline = 30.0;
+  EXPECT_DOUBLE_EQ(j.CompletionTime(), 25.0);
+  EXPECT_TRUE(j.MissedDeadline());
+  j.deadline = 40.0;
+  EXPECT_FALSE(j.MissedDeadline());
+  j.deadline = 0.0;
+  EXPECT_FALSE(j.MissedDeadline());
+}
+
+SimTaskRecord Task(SimTaskKind kind, double start, double shuffle_end,
+                   double end) {
+  SimTaskRecord t;
+  t.kind = kind;
+  t.start = start;
+  t.shuffle_end = shuffle_end;
+  t.end = end;
+  return t;
+}
+
+TEST(ProgressSeriesTest, CountsPhasesAtSamplePoints) {
+  const std::vector<SimTaskRecord> tasks{
+      Task(SimTaskKind::kMap, 0.0, 0.0, 10.0),
+      Task(SimTaskKind::kMap, 0.0, 0.0, 20.0),
+      Task(SimTaskKind::kReduce, 5.0, 15.0, 25.0),
+  };
+  const auto series = ProgressSeries(tasks, 0.0, 30.0, 5.0);
+  ASSERT_EQ(series.size(), 7u);
+  // t=0: two maps, no reduce activity.
+  EXPECT_EQ(series[0].maps, 2);
+  EXPECT_EQ(series[0].shuffles, 0);
+  // t=5: two maps + one shuffle.
+  EXPECT_EQ(series[1].maps, 2);
+  EXPECT_EQ(series[1].shuffles, 1);
+  // t=10: first map ended (half-open interval), shuffle continues.
+  EXPECT_EQ(series[2].maps, 1);
+  EXPECT_EQ(series[2].shuffles, 1);
+  EXPECT_EQ(series[2].reduces, 0);
+  // t=15: shuffle phase over, reduce phase running.
+  EXPECT_EQ(series[3].shuffles, 0);
+  EXPECT_EQ(series[3].reduces, 1);
+  // t=25: everything done.
+  EXPECT_EQ(series[5].maps, 0);
+  EXPECT_EQ(series[5].reduces, 0);
+}
+
+TEST(ProgressSeriesTest, RejectsNonpositiveStep) {
+  EXPECT_THROW(ProgressSeries({}, 0.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(ProgressSeriesTest, EmptyTasksGiveZeroSeries) {
+  const auto series = ProgressSeries({}, 0.0, 10.0, 5.0);
+  ASSERT_EQ(series.size(), 3u);
+  for (const auto& p : series) {
+    EXPECT_EQ(p.maps + p.shuffles + p.reduces, 0);
+  }
+}
+
+}  // namespace
+}  // namespace simmr::core

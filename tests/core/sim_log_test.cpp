@@ -1,0 +1,134 @@
+#include "core/sim_log.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/simmr.h"
+#include "sched/fifo.h"
+
+namespace simmr::core {
+namespace {
+
+SimResult SampleResult() {
+  trace::JobProfile p;
+  p.app_name = "sample";
+  p.num_maps = 4;
+  p.num_reduces = 2;
+  p.map_durations.assign(4, 10.0);
+  p.first_shuffle_durations.assign(1, 3.0);
+  p.typical_shuffle_durations.assign(1, 5.0);
+  p.reduce_durations.assign(2, 2.0);
+  trace::WorkloadTrace w(1);
+  w[0].profile = p;
+  w[0].deadline = 100.0;
+  SimConfig cfg;
+  cfg.map_slots = 2;
+  cfg.reduce_slots = 2;
+  cfg.record_tasks = true;
+  sched::FifoPolicy fifo;
+  SimulatorEngine engine(cfg, fifo);
+  return engine.Run(w);
+}
+
+TEST(SimLog, RoundTripPreservesJobsAndTasks) {
+  const SimResult original = SampleResult();
+  std::stringstream buffer;
+  WriteSimulationLog(buffer, original);
+  const SimResult loaded = ReadSimulationLog(buffer);
+
+  ASSERT_EQ(loaded.jobs.size(), original.jobs.size());
+  ASSERT_EQ(loaded.tasks.size(), original.tasks.size());
+  EXPECT_EQ(loaded.events_processed, original.events_processed);
+  EXPECT_NEAR(loaded.makespan, original.makespan, 1e-6);
+  for (std::size_t i = 0; i < original.jobs.size(); ++i) {
+    EXPECT_EQ(loaded.jobs[i].job, original.jobs[i].job);
+    EXPECT_EQ(loaded.jobs[i].name, original.jobs[i].name);
+    EXPECT_NEAR(loaded.jobs[i].completion, original.jobs[i].completion, 1e-6);
+    EXPECT_NEAR(loaded.jobs[i].deadline, original.jobs[i].deadline, 1e-6);
+  }
+  for (std::size_t i = 0; i < original.tasks.size(); ++i) {
+    EXPECT_EQ(loaded.tasks[i].kind, original.tasks[i].kind);
+    EXPECT_NEAR(loaded.tasks[i].shuffle_end, original.tasks[i].shuffle_end,
+                1e-6);
+  }
+}
+
+TEST(SimLog, FileRoundTrip) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "simmr_simlog_test.log";
+  const SimResult original = SampleResult();
+  WriteSimulationLogFile(path.string(), original);
+  const SimResult loaded = ReadSimulationLogFile(path.string());
+  EXPECT_EQ(loaded.jobs.size(), original.jobs.size());
+  fs::remove(path);
+}
+
+TEST(SimLog, RejectsBadMagic) {
+  std::stringstream buffer("WRONG\n");
+  EXPECT_THROW(ReadSimulationLog(buffer), std::runtime_error);
+}
+
+TEST(SimLog, RejectsTruncatedLog) {
+  const SimResult original = SampleResult();
+  std::stringstream buffer;
+  WriteSimulationLog(buffer, original);
+  std::string text = buffer.str();
+  text.resize(text.rfind("SIMTASK"));  // drop the last task line
+  std::stringstream cut(text);
+  EXPECT_THROW(ReadSimulationLog(cut), std::runtime_error);
+}
+
+TEST(SimLog, RejectsUnknownRecord) {
+  std::stringstream buffer(
+      "SIMMR-SIMLOG-V1\nHEADER 0 0 0 0\nWHAT is this\n");
+  EXPECT_THROW(ReadSimulationLog(buffer), std::runtime_error);
+}
+
+TEST(SimLog, EmptyResultRoundTrips) {
+  SimResult empty;
+  std::stringstream buffer;
+  WriteSimulationLog(buffer, empty);
+  const SimResult loaded = ReadSimulationLog(buffer);
+  EXPECT_TRUE(loaded.jobs.empty());
+  EXPECT_TRUE(loaded.tasks.empty());
+}
+
+TEST(Utilization, ComputesBusyFractions) {
+  std::vector<SimTaskRecord> tasks;
+  // Two map tasks of 10 s each on 2 map slots over a 20 s makespan:
+  // utilization = 20 / (2 * 20) = 0.5.
+  tasks.push_back({0, SimTaskKind::kMap, 0.0, 0.0, 10.0});
+  tasks.push_back({0, SimTaskKind::kMap, 0.0, 0.0, 10.0});
+  // One reduce busy 10..20 on 1 reduce slot: utilization 0.5.
+  tasks.push_back({0, SimTaskKind::kReduce, 10.0, 15.0, 20.0});
+  const auto report = ComputeUtilization(tasks, 2, 1, 20.0);
+  EXPECT_NEAR(report.map_utilization, 0.5, 1e-12);
+  EXPECT_NEAR(report.reduce_utilization, 0.5, 1e-12);
+  EXPECT_NEAR(report.map_busy_slot_seconds, 20.0, 1e-12);
+  EXPECT_NEAR(report.reduce_busy_slot_seconds, 10.0, 1e-12);
+}
+
+TEST(Utilization, ZeroMakespanGivesZero) {
+  const auto report = ComputeUtilization({}, 2, 2, 0.0);
+  EXPECT_EQ(report.map_utilization, 0.0);
+  EXPECT_EQ(report.reduce_utilization, 0.0);
+}
+
+TEST(Utilization, RejectsBadSlotCounts) {
+  EXPECT_THROW(ComputeUtilization({}, 0, 1, 1.0), std::invalid_argument);
+  EXPECT_THROW(ComputeUtilization({}, 1, -1, 1.0), std::invalid_argument);
+}
+
+TEST(Utilization, RealReplayUtilizationIsSane) {
+  const SimResult result = SampleResult();
+  const auto report = ComputeUtilization(result.tasks, 2, 2, result.makespan);
+  EXPECT_GT(report.map_utilization, 0.0);
+  EXPECT_LE(report.map_utilization, 1.0 + 1e-9);
+  EXPECT_GT(report.reduce_utilization, 0.0);
+  EXPECT_LE(report.reduce_utilization, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace simmr::core

@@ -1,0 +1,128 @@
+// Comparative accuracy tests (the Section IV claims, scaled down): SimMR
+// replays a testbed trace within a few percent; the Mumak baseline, which
+// omits the shuffle phase, underestimates badly on shuffle-heavy jobs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/cluster_sim.h"
+#include "core/simmr.h"
+#include "mumak/mumak_sim.h"
+#include "sched/fifo.h"
+#include "trace/mr_profiler.h"
+
+namespace simmr {
+namespace {
+
+struct AccuracyRow {
+  std::string app;
+  double actual = 0.0;
+  double simmr = 0.0;
+  double mumak = 0.0;
+  double SimmrError() const { return (simmr - actual) / actual; }
+  double MumakError() const { return (mumak - actual) / actual; }
+};
+
+class AccuracyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rows_ = new std::vector<AccuracyRow>();
+    // Two shuffle-heavy apps (Sort, TFIDF) and one map-heavy (WordCount),
+    // each run alone on a 16-node testbed.
+    const auto suite = cluster::ValidationSuite();
+    for (const int idx : {0, 3, 4}) {  // WordCount, Sort, TFIDF
+      std::vector<cluster::SubmittedJob> jobs{{suite[idx], 0.0, 0.0}};
+      cluster::TestbedOptions opts;
+      opts.config.num_nodes = 16;
+      opts.seed = 99;
+      const auto testbed = cluster::RunTestbed(jobs, opts);
+      const auto& job_record = testbed.log.jobs()[0];
+
+      AccuracyRow row;
+      row.app = job_record.app_name;
+      row.actual = job_record.finish_time - job_record.submit_time;
+
+      // SimMR replay.
+      const auto profiles = trace::BuildAllProfiles(testbed.log);
+      core::SimConfig cfg;
+      cfg.map_slots = 16;
+      cfg.reduce_slots = 16;
+      sched::FifoPolicy fifo;
+      trace::WorkloadTrace w(1);
+      w[0].profile = profiles[0];
+      row.simmr = core::Replay(w, fifo, cfg).jobs[0].CompletionTime();
+
+      // Mumak replay of the Rumen conversion of the same log.
+      const auto rumen = mumak::RumenTrace::FromHistory(testbed.log);
+      mumak::MumakConfig mcfg;
+      mcfg.num_nodes = 16;
+      row.mumak = mumak::RunMumak(rumen, mcfg).jobs[0].CompletionTime();
+
+      rows_->push_back(row);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete rows_;
+    rows_ = nullptr;
+  }
+  static std::vector<AccuracyRow>* rows_;
+};
+
+std::vector<AccuracyRow>* AccuracyTest::rows_ = nullptr;
+
+TEST_F(AccuracyTest, SimmrWithinFivePercentEverywhere) {
+  for (const auto& row : *rows_) {
+    EXPECT_LT(std::fabs(row.SimmrError()), 0.05) << row.app;
+  }
+}
+
+TEST_F(AccuracyTest, MumakUnderestimatesEverywhere) {
+  for (const auto& row : *rows_) {
+    EXPECT_LT(row.MumakError(), 0.0) << row.app;
+  }
+}
+
+TEST_F(AccuracyTest, MumakErrorLargeOnShuffleHeavyApps) {
+  for (const auto& row : *rows_) {
+    if (row.app == "Sort" || row.app == "TFIDF") {
+      EXPECT_LT(row.MumakError(), -0.20) << row.app;
+    }
+  }
+}
+
+TEST_F(AccuracyTest, SimmrBeatsMumakOnEveryApp) {
+  for (const auto& row : *rows_) {
+    EXPECT_LT(std::fabs(row.SimmrError()), std::fabs(row.MumakError()))
+        << row.app;
+  }
+}
+
+TEST_F(AccuracyTest, SimmrVastlyFasterThanMumakPerEvent) {
+  // Not a wall-clock benchmark (that is bench_fig6), but the structural
+  // claim behind it: for the same job, Mumak processes far more events
+  // because it simulates TaskTrackers and heartbeats.
+  const auto suite = cluster::ValidationSuite();
+  std::vector<cluster::SubmittedJob> jobs{{suite[3], 0.0, 0.0}};
+  cluster::TestbedOptions opts;
+  opts.config.num_nodes = 16;
+  const auto testbed = cluster::RunTestbed(jobs, opts);
+
+  const auto profiles = trace::BuildAllProfiles(testbed.log);
+  core::SimConfig cfg;
+  cfg.map_slots = 16;
+  cfg.reduce_slots = 16;
+  sched::FifoPolicy fifo;
+  trace::WorkloadTrace w(1);
+  w[0].profile = profiles[0];
+  const auto sim = core::Replay(w, fifo, cfg);
+
+  mumak::MumakConfig mcfg;
+  mcfg.num_nodes = 16;
+  const auto mres =
+      mumak::RunMumak(mumak::RumenTrace::FromHistory(testbed.log), mcfg);
+
+  EXPECT_GT(mres.events_processed, 2 * sim.events_processed);
+}
+
+}  // namespace
+}  // namespace simmr

@@ -1,0 +1,120 @@
+// End-to-end pipeline tests: testbed execution -> history log (through a
+// file) -> MRProfiler -> TraceDatabase (through a directory) -> SimMR
+// replay. This is Figure 4's whole data path.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "cluster/cluster_sim.h"
+#include "core/simmr.h"
+#include "sched/fifo.h"
+#include "trace/mr_profiler.h"
+#include "trace/trace_database.h"
+
+namespace simmr {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ReplayPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // One testbed run shared by all tests in this suite (it is the slow
+    // part). A modest 16-node cluster keeps it quick.
+    cluster::JobSpec spec = cluster::ValidationSuite()[3];  // Sort
+    std::vector<cluster::SubmittedJob> jobs{{spec, 0.0, 0.0}};
+    cluster::TestbedOptions opts;
+    opts.config.num_nodes = 16;
+    opts.seed = 123;
+    result_ = new cluster::TestbedResult(cluster::RunTestbed(jobs, opts));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static cluster::TestbedResult* result_;
+};
+
+cluster::TestbedResult* ReplayPipelineTest::result_ = nullptr;
+
+TEST_F(ReplayPipelineTest, LogSurvivesFileRoundTrip) {
+  const fs::path path = fs::temp_directory_path() / "simmr_pipeline.log";
+  result_->log.WriteFile(path.string());
+  const cluster::HistoryLog loaded = cluster::HistoryLog::ReadFile(path.string());
+  EXPECT_EQ(loaded.jobs().size(), result_->log.jobs().size());
+  EXPECT_EQ(loaded.tasks().size(), result_->log.tasks().size());
+  fs::remove(path);
+}
+
+TEST_F(ReplayPipelineTest, ProfilerOutputStoresAndReloads) {
+  const fs::path dir = fs::temp_directory_path() / "simmr_pipeline_db";
+  fs::remove_all(dir);
+  trace::TraceDatabase db;
+  for (auto& profile : trace::BuildAllProfiles(result_->log)) {
+    db.Put(std::move(profile));
+  }
+  db.Save(dir.string());
+  const trace::TraceDatabase loaded = trace::TraceDatabase::Load(dir.string());
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.Get(0).app_name, "Sort");
+  fs::remove_all(dir);
+}
+
+TEST_F(ReplayPipelineTest, ReplayedCompletionWithinFivePercent) {
+  // The paper's headline accuracy claim: replaying the collected trace
+  // reproduces the original completion time within a few percent.
+  const auto profiles = trace::BuildAllProfiles(result_->log);
+  ASSERT_EQ(profiles.size(), 1u);
+
+  core::SimConfig cfg;
+  cfg.map_slots = 16;  // match the testbed run
+  cfg.reduce_slots = 16;
+  sched::FifoPolicy fifo;
+  trace::WorkloadTrace w(1);
+  w[0].profile = profiles[0];
+  const auto sim = core::Replay(w, fifo, cfg);
+
+  const auto& job = result_->log.jobs()[0];
+  const double actual = job.finish_time - job.submit_time;
+  const double simulated = sim.jobs[0].CompletionTime();
+  EXPECT_NEAR(simulated, actual, actual * 0.05)
+      << "actual=" << actual << " simulated=" << simulated;
+}
+
+TEST_F(ReplayPipelineTest, ReplayedMapStageMatches) {
+  const auto profiles = trace::BuildAllProfiles(result_->log);
+  core::SimConfig cfg;
+  cfg.map_slots = 16;
+  cfg.reduce_slots = 16;
+  sched::FifoPolicy fifo;
+  trace::WorkloadTrace w(1);
+  w[0].profile = profiles[0];
+  const auto sim = core::Replay(w, fifo, cfg);
+
+  const auto& job = result_->log.jobs()[0];
+  const double actual_map_stage = job.maps_done_time - job.submit_time;
+  EXPECT_NEAR(sim.jobs[0].map_stage_end - sim.jobs[0].arrival,
+              actual_map_stage, actual_map_stage * 0.05);
+}
+
+TEST_F(ReplayPipelineTest, ReplayUnderDifferentAllocationIsSane) {
+  // Replaying the same trace with half the reduce slots must not be faster
+  // and must still complete.
+  const auto profiles = trace::BuildAllProfiles(result_->log);
+  sched::FifoPolicy fifo;
+  trace::WorkloadTrace w(1);
+  w[0].profile = profiles[0];
+
+  core::SimConfig full;
+  full.map_slots = 16;
+  full.reduce_slots = 16;
+  core::SimConfig half;
+  half.map_slots = 8;
+  half.reduce_slots = 8;
+  const double t_full = core::Replay(w, fifo, full).jobs[0].CompletionTime();
+  const double t_half = core::Replay(w, fifo, half).jobs[0].CompletionTime();
+  EXPECT_GT(t_half, t_full);
+}
+
+}  // namespace
+}  // namespace simmr

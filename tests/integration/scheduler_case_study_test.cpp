@@ -1,0 +1,150 @@
+// Section V's case study, shrunk to test size: MinEDF vs MaxEDF over
+// deadline-bearing workloads, judged by the relative-deadline-exceeded
+// utility. The paper's qualitative findings are asserted as invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/simmr.h"
+#include "sched/maxedf.h"
+#include "sched/minedf.h"
+#include "trace/synthetic_tracegen.h"
+#include "trace/workload.h"
+
+namespace simmr {
+namespace {
+
+constexpr int kMapSlots = 32;
+constexpr int kReduceSlots = 32;
+
+core::SimConfig Config() {
+  core::SimConfig cfg;
+  cfg.map_slots = kMapSlots;
+  cfg.reduce_slots = kReduceSlots;
+  return cfg;
+}
+
+std::vector<trace::JobProfile> ProfilePool(Rng& rng) {
+  // Paper-like shapes: reduce counts at or above the cluster's reduce-slot
+  // total, so MaxEDF's early filler reduces hoard slots for the length of
+  // a job's map stage — the contention MinEDF's minimal allocations avoid.
+  std::vector<trace::JobProfile> pool;
+  for (int i = 0; i < 6; ++i) {
+    trace::SyntheticJobSpec spec;
+    spec.app_name = "app" + std::to_string(i);
+    spec.num_maps = 80 + 40 * i;
+    spec.num_reduces = 40 + 8 * i;
+    spec.first_wave_size = 16;
+    spec.map_duration = std::make_shared<UniformDist>(5.0, 15.0);
+    spec.first_shuffle_duration = std::make_shared<UniformDist>(1.0, 3.0);
+    spec.typical_shuffle_duration = std::make_shared<UniformDist>(3.0, 7.0);
+    spec.reduce_duration = std::make_shared<UniformDist>(1.0, 4.0);
+    pool.push_back(trace::SynthesizeProfile(spec, rng));
+  }
+  return pool;
+}
+
+double RunUtility(const trace::WorkloadTrace& workload, bool use_min) {
+  if (use_min) {
+    sched::MinEdfPolicy policy(kMapSlots, kReduceSlots);
+    return core::RelativeDeadlineExceeded(
+        core::Replay(workload, policy, Config()).jobs);
+  }
+  sched::MaxEdfPolicy policy;
+  return core::RelativeDeadlineExceeded(
+      core::Replay(workload, policy, Config()).jobs);
+}
+
+/// Average utility over several seeds (the paper averages 400 runs; a
+/// handful suffices for a directional test).
+std::pair<double, double> AverageUtilities(double mean_interarrival,
+                                           double deadline_factor,
+                                           int runs = 8) {
+  double min_total = 0.0, max_total = 0.0;
+  for (int seed = 0; seed < runs; ++seed) {
+    Rng rng(1000 + seed);
+    const auto pool = ProfilePool(rng);
+    const auto solos = core::MeasureSoloCompletions(pool, Config());
+    trace::WorkloadParams params;
+    params.num_jobs = 18;
+    params.mean_interarrival_s = mean_interarrival;
+    params.deadline_factor = deadline_factor;
+    const auto workload = trace::MakeWorkload(pool, solos, params, rng);
+    min_total += RunUtility(workload, /*use_min=*/true);
+    max_total += RunUtility(workload, /*use_min=*/false);
+  }
+  return {min_total / runs, max_total / runs};
+}
+
+TEST(SchedulerCaseStudy, DeadlineFactorOnePoliciesCoincide) {
+  // df = 1: MinEDF's model wants (nearly) everything, so the policies
+  // behave (nearly) identically. Allow small slack for rounding in the
+  // Lagrange allocation.
+  const auto [min_u, max_u] = AverageUtilities(50.0, 1.0, 4);
+  EXPECT_NEAR(min_u, max_u, 0.15 * std::max(1.0, max_u));
+}
+
+TEST(SchedulerCaseStudy, RelaxedDeadlinesFavorMinEdf) {
+  // df = 3 under contention: MinEDF shares the cluster and misses far
+  // fewer deadlines. At light load both policies trivially meet
+  // everything, so the gap only shows here.
+  const auto [min_u, max_u] = AverageUtilities(5.0, 3.0, 6);
+  EXPECT_LT(min_u, max_u);
+}
+
+TEST(SchedulerCaseStudy, ModeratelyRelaxedDeadlinesAlsoFavorMinEdf) {
+  // df = 1.5 (Figure 7(b)'s setting) under contention.
+  const auto [min_u, max_u] = AverageUtilities(5.0, 1.5, 6);
+  EXPECT_LT(min_u, max_u);
+}
+
+TEST(SchedulerCaseStudy, UtilityDecreasesWithSparserArrivals) {
+  // Both policies improve as the cluster empties out.
+  const auto [min_busy, max_busy] = AverageUtilities(5.0, 1.5, 4);
+  const auto [min_idle, max_idle] = AverageUtilities(5000.0, 1.5, 4);
+  EXPECT_LT(min_idle, min_busy);
+  EXPECT_LT(max_idle, max_busy);
+}
+
+TEST(SchedulerCaseStudy, VerySparseArrivalsMeetAllDeadlines) {
+  // With effectively serial arrivals and df > 1, every job gets the full
+  // cluster in time; utility collapses to ~0 under both policies.
+  const auto [min_u, max_u] = AverageUtilities(1e6, 2.0, 3);
+  EXPECT_NEAR(min_u, 0.0, 1e-9);
+  EXPECT_NEAR(max_u, 0.0, 1e-9);
+}
+
+TEST(SchedulerCaseStudy, FacebookWorkloadMinEdfWins) {
+  // Section V-C shape on the synthetic Facebook workload.
+  double min_total = 0.0, max_total = 0.0;
+  for (int seed = 0; seed < 6; ++seed) {
+    Rng rng(7000 + seed);
+    trace::FacebookWorkloadModel model;
+    auto pool = trace::SynthesizeFacebookWorkload(model, 30, rng);
+    const auto solos = core::MeasureSoloCompletions(pool, Config());
+    trace::WorkloadParams params;
+    params.num_jobs = 30;
+    params.mean_interarrival_s = 20.0;
+    params.deadline_factor = 1.5;
+    const auto workload = trace::MakeWorkload(pool, solos, params, rng);
+    min_total += RunUtility(workload, true);
+    max_total += RunUtility(workload, false);
+  }
+  EXPECT_LE(min_total, max_total);
+}
+
+TEST(SchedulerCaseStudy, UtilityIsNonnegativeAndFiniteEverywhere) {
+  for (const double df : {1.0, 1.5, 3.0}) {
+    for (const double gap : {1.0, 100.0, 10000.0}) {
+      const auto [min_u, max_u] = AverageUtilities(gap, df, 2);
+      EXPECT_GE(min_u, 0.0);
+      EXPECT_GE(max_u, 0.0);
+      EXPECT_TRUE(std::isfinite(min_u));
+      EXPECT_TRUE(std::isfinite(max_u));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simmr

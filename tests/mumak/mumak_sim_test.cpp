@@ -1,0 +1,140 @@
+#include "mumak/mumak_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace simmr::mumak {
+namespace {
+
+/// Uniform trace: num_maps maps of 10 s; reduces with 5 s shuffle+sort and
+/// 2 s reduce phase each.
+RumenTrace UniformTrace(int num_maps, int num_reduces, double submit = 0.0) {
+  trace::JobProfile p;
+  p.app_name = "uniform";
+  p.num_maps = num_maps;
+  p.num_reduces = num_reduces;
+  p.map_durations.assign(num_maps, 10.0);
+  p.typical_shuffle_durations.assign(num_reduces, 5.0);
+  p.reduce_durations.assign(num_reduces, 2.0);
+  return RumenTrace::FromProfiles({p}, {submit});
+}
+
+MumakConfig SmallConfig(int nodes = 4) {
+  MumakConfig cfg;
+  cfg.num_nodes = nodes;
+  return cfg;
+}
+
+TEST(MumakSim, SingleJobCompletes) {
+  const auto result = RunMumak(UniformTrace(8, 2), SmallConfig());
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_GT(result.jobs[0].finish_time, 0.0);
+  EXPECT_GT(result.events_processed, 0u);
+}
+
+TEST(MumakSim, OmitsShufflePhase) {
+  // 4 maps on 4 nodes finish ~10 s (+ report latency). Reduces then take
+  // only their 2 s reduce phase: the 5 s shuffle is NOT simulated, so the
+  // total must be well under map+shuffle+reduce.
+  const auto result = RunMumak(UniformTrace(4, 2), SmallConfig(4));
+  const double t = result.jobs[0].CompletionTime();
+  EXPECT_LT(t, 10.0 + 2.0 + 5.0);  // shuffle omitted
+  EXPECT_GE(t, 10.0 + 2.0 - 1e-9);
+}
+
+TEST(MumakSim, ReduceWaitsForAllMaps) {
+  // 8 maps on 2 nodes: 4 serial waves of 10 s = 40 s. Even though reduces
+  // are launched early (slowstart), they cannot finish before all maps
+  // are done plus their reduce phase.
+  const auto result = RunMumak(UniformTrace(8, 1), SmallConfig(2));
+  EXPECT_GE(result.jobs[0].CompletionTime(), 40.0 + 2.0 - 1e-9);
+}
+
+TEST(MumakSim, MultiWaveReducesOnlyPayReducePhase) {
+  // 4 reduces on 1 node (1 reduce slot) => 4 serial reduce waves. After
+  // maps finish, each wave costs only ~2 s (plus heartbeat quantization),
+  // never the 5 s shuffle.
+  MumakConfig cfg = SmallConfig(1);
+  const auto result = RunMumak(UniformTrace(1, 4), cfg);
+  const double t = result.jobs[0].CompletionTime();
+  // Map ~10; 4 reduce waves of ~2s each + up to 3s heartbeat quantization
+  // per wave boundary.
+  EXPECT_LT(t, 10.0 + 4.0 * (2.0 + 3.0) + 3.0);
+  EXPECT_GE(t, 10.0 + 4.0 * 2.0 - 1e-9);
+}
+
+TEST(MumakSim, HeartbeatsDominateEventCount) {
+  // Mumak's defining cost: events scale with nodes x simulated time, not
+  // with task count.
+  const auto few_nodes = RunMumak(UniformTrace(8, 2), SmallConfig(2));
+  const auto many_nodes = RunMumak(UniformTrace(8, 2), SmallConfig(32));
+  EXPECT_GT(many_nodes.events_processed, few_nodes.events_processed);
+}
+
+TEST(MumakSim, WithoutOobHeartbeatsTakesLonger) {
+  MumakConfig with = SmallConfig(2);
+  MumakConfig without = SmallConfig(2);
+  without.out_of_band_heartbeat = false;
+  const double t_with =
+      RunMumak(UniformTrace(8, 2), with).jobs[0].CompletionTime();
+  const double t_without =
+      RunMumak(UniformTrace(8, 2), without).jobs[0].CompletionTime();
+  EXPECT_GE(t_without, t_with);
+}
+
+TEST(MumakSim, FifoServesJobsInSubmitOrder) {
+  trace::JobProfile p;
+  p.app_name = "uniform";
+  p.num_maps = 8;
+  p.num_reduces = 1;
+  p.map_durations.assign(8, 10.0);
+  p.typical_shuffle_durations.assign(1, 5.0);
+  p.reduce_durations.assign(1, 2.0);
+  const RumenTrace trace = RumenTrace::FromProfiles({p, p}, {0.0, 1.0});
+  const auto result = RunMumak(trace, SmallConfig(2));
+  ASSERT_EQ(result.jobs.size(), 2u);
+  EXPECT_LT(result.jobs[0].finish_time, result.jobs[1].finish_time);
+}
+
+TEST(MumakSim, RejectsUnsortedJobs) {
+  trace::JobProfile p;
+  p.num_maps = 1;
+  p.num_reduces = 0;
+  p.map_durations = {1.0};
+  const RumenTrace trace = RumenTrace::FromProfiles({p, p}, {5.0, 0.0});
+  EXPECT_THROW(RunMumak(trace, SmallConfig()), std::invalid_argument);
+}
+
+TEST(MumakSim, EmptyTraceIsFine) {
+  const auto result = RunMumak(RumenTrace{}, SmallConfig());
+  EXPECT_TRUE(result.jobs.empty());
+}
+
+TEST(MumakSim, MakespanIsLatestFinish) {
+  trace::JobProfile p;
+  p.num_maps = 2;
+  p.num_reduces = 1;
+  p.map_durations = {10.0, 10.0};
+  p.typical_shuffle_durations = {5.0};
+  p.reduce_durations = {2.0};
+  const RumenTrace trace = RumenTrace::FromProfiles({p, p}, {0.0, 100.0});
+  const auto result = RunMumak(trace, SmallConfig());
+  double latest = 0.0;
+  for (const auto& j : result.jobs) latest = std::max(latest, j.finish_time);
+  EXPECT_DOUBLE_EQ(result.makespan, latest);
+}
+
+TEST(MumakSim, DeterministicAcrossRuns) {
+  const RumenTrace trace = UniformTrace(16, 4);
+  const auto a = RunMumak(trace, SmallConfig());
+  const auto b = RunMumak(trace, SmallConfig());
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].finish_time, b.jobs[i].finish_time);
+  }
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+}  // namespace
+}  // namespace simmr::mumak

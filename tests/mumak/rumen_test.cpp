@@ -1,0 +1,126 @@
+#include "mumak/rumen.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/cluster_sim.h"
+
+namespace simmr::mumak {
+namespace {
+
+cluster::HistoryLog SmallLog() {
+  using namespace cluster;
+  std::vector<SubmittedJob> jobs;
+  JobSpec spec = ValidationSuite()[4];  // TFIDF, smallest job
+  jobs.push_back({spec, 0.0, 0.0});
+  TestbedOptions opts;
+  opts.config.num_nodes = 16;
+  return RunTestbed(jobs, opts).log;
+}
+
+TEST(Rumen, FromHistoryExtractsAllAttempts) {
+  const auto log = SmallLog();
+  const RumenTrace trace = RumenTrace::FromHistory(log);
+  ASSERT_EQ(trace.jobs.size(), 1u);
+  const RumenJob& job = trace.jobs[0];
+  EXPECT_EQ(static_cast<int>(job.maps.size()), job.num_maps);
+  EXPECT_EQ(static_cast<int>(job.reduces.size()), job.num_reduces);
+}
+
+TEST(Rumen, AttemptsSortedByStartTime) {
+  const RumenTrace trace = RumenTrace::FromHistory(SmallLog());
+  const RumenJob& job = trace.jobs[0];
+  for (std::size_t i = 1; i < job.maps.size(); ++i) {
+    EXPECT_LE(job.maps[i - 1].start_time, job.maps[i].start_time);
+  }
+  for (std::size_t i = 1; i < job.reduces.size(); ++i) {
+    EXPECT_LE(job.reduces[i - 1].start_time, job.reduces[i].start_time);
+  }
+}
+
+TEST(Rumen, ReducePhaseExcludesShuffle) {
+  const RumenTrace trace = RumenTrace::FromHistory(SmallLog());
+  for (const auto& a : trace.jobs[0].reduces) {
+    EXPECT_GE(a.sort_finished, a.start_time);
+    EXPECT_GE(a.finish_time, a.sort_finished);
+    EXPECT_LT(a.ReducePhaseDuration(), a.TotalDuration());
+  }
+}
+
+TEST(Rumen, HostsAndCountersPopulated) {
+  const RumenTrace trace = RumenTrace::FromHistory(SmallLog());
+  for (const auto& a : trace.jobs[0].maps) {
+    EXPECT_FALSE(a.host.empty());
+    EXPECT_GT(a.hdfs_bytes_read_mb, 0.0);
+    EXPECT_GT(a.records_processed, 0);
+  }
+}
+
+TEST(Rumen, FromProfilesBuildsConsistentTrace) {
+  trace::JobProfile p;
+  p.app_name = "synthetic";
+  p.num_maps = 5;
+  p.num_reduces = 3;
+  p.map_durations = {1.0, 2.0, 3.0, 4.0, 5.0};
+  p.typical_shuffle_durations = {2.0, 2.5, 3.0};
+  p.reduce_durations = {1.0, 1.5, 2.0};
+  const RumenTrace trace =
+      RumenTrace::FromProfiles({p}, {10.0});
+  ASSERT_EQ(trace.jobs.size(), 1u);
+  const RumenJob& job = trace.jobs[0];
+  EXPECT_DOUBLE_EQ(job.submit_time, 10.0);
+  ASSERT_EQ(job.maps.size(), 5u);
+  ASSERT_EQ(job.reduces.size(), 3u);
+  EXPECT_DOUBLE_EQ(job.maps[0].TotalDuration(), 1.0);
+  EXPECT_DOUBLE_EQ(job.maps[4].TotalDuration(), 5.0);
+  EXPECT_DOUBLE_EQ(job.reduces[0].ReducePhaseDuration(), 1.0);
+  EXPECT_DOUBLE_EQ(job.reduces[2].ReducePhaseDuration(), 2.0);
+}
+
+TEST(Rumen, FromProfilesRejectsSizeMismatch) {
+  EXPECT_THROW(RumenTrace::FromProfiles({}, {1.0}), std::invalid_argument);
+}
+
+TEST(Rumen, RoundTripThroughStream) {
+  const RumenTrace original = RumenTrace::FromHistory(SmallLog());
+  std::stringstream buffer;
+  original.Write(buffer);
+  const RumenTrace loaded = RumenTrace::Read(buffer);
+  ASSERT_EQ(loaded.jobs.size(), original.jobs.size());
+  const RumenJob& a = original.jobs[0];
+  const RumenJob& b = loaded.jobs[0];
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.num_maps, b.num_maps);
+  ASSERT_EQ(a.maps.size(), b.maps.size());
+  for (std::size_t i = 0; i < a.maps.size(); ++i) {
+    EXPECT_NEAR(a.maps[i].start_time, b.maps[i].start_time, 1e-4);
+    EXPECT_NEAR(a.maps[i].finish_time, b.maps[i].finish_time, 1e-4);
+    EXPECT_EQ(a.maps[i].host, b.maps[i].host);
+  }
+}
+
+TEST(Rumen, ReadRejectsBadMagic) {
+  std::stringstream buffer("NOPE\n");
+  EXPECT_THROW(RumenTrace::Read(buffer), std::runtime_error);
+}
+
+TEST(Rumen, ReadRejectsAttemptBeforeJob) {
+  std::stringstream buffer(
+      "SIMMR-RUMEN-V1\nRATT\tMAP\t0\thost\t0\t1\t0\t0\t1\t2\n");
+  EXPECT_THROW(RumenTrace::Read(buffer), std::runtime_error);
+}
+
+TEST(Rumen, ReadRejectsMalformedJobLine) {
+  std::stringstream buffer("SIMMR-RUMEN-V1\nRJOB\tonlyname\n");
+  EXPECT_THROW(RumenTrace::Read(buffer), std::runtime_error);
+}
+
+TEST(Rumen, ReadRejectsBadKind) {
+  std::stringstream buffer(
+      "SIMMR-RUMEN-V1\nRJOB\tj\t0\t1\t1\nRATT\tSHUFFLE\t0\th\t0\t1\t0\t0\t1\t2\n");
+  EXPECT_THROW(RumenTrace::Read(buffer), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace simmr::mumak

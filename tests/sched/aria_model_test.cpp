@@ -1,0 +1,207 @@
+#include "sched/aria_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/simmr.h"
+#include "sched/fifo.h"
+#include "simcore/rng.h"
+#include "trace/synthetic_tracegen.h"
+
+namespace simmr::sched {
+namespace {
+
+trace::JobProfile UniformProfile(int num_maps, int num_reduces) {
+  trace::JobProfile p;
+  p.app_name = "uniform";
+  p.num_maps = num_maps;
+  p.num_reduces = num_reduces;
+  p.map_durations.assign(num_maps, 10.0);
+  p.first_shuffle_durations.assign(1, 3.0);
+  p.typical_shuffle_durations.assign(
+      std::max(0, num_reduces - 1), 5.0);
+  p.reduce_durations.assign(num_reduces, 2.0);
+  return p;
+}
+
+trace::JobProfile NoisyProfile(std::uint64_t seed) {
+  Rng rng(seed);
+  trace::SyntheticJobSpec spec;
+  spec.num_maps = 60;
+  spec.num_reduces = 16;
+  spec.first_wave_size = 8;
+  spec.map_duration = std::make_shared<UniformDist>(8.0, 14.0);
+  spec.first_shuffle_duration = std::make_shared<UniformDist>(2.0, 4.0);
+  spec.typical_shuffle_duration = std::make_shared<UniformDist>(4.0, 7.0);
+  spec.reduce_duration = std::make_shared<UniformDist>(1.0, 3.0);
+  return trace::SynthesizeProfile(spec, rng);
+}
+
+TEST(ProfileSummaryTest, ExtractsPhaseStatistics) {
+  const auto s = ProfileSummary::FromProfile(UniformProfile(10, 4));
+  EXPECT_EQ(s.num_maps, 10);
+  EXPECT_EQ(s.num_reduces, 4);
+  EXPECT_DOUBLE_EQ(s.map_avg, 10.0);
+  EXPECT_DOUBLE_EQ(s.map_max, 10.0);
+  EXPECT_DOUBLE_EQ(s.first_shuffle_avg, 3.0);
+  EXPECT_DOUBLE_EQ(s.typical_shuffle_avg, 5.0);
+  EXPECT_DOUBLE_EQ(s.reduce_avg, 2.0);
+}
+
+TEST(ProfileSummaryTest, FallsBackAcrossShufflePools) {
+  trace::JobProfile p = UniformProfile(4, 2);
+  p.typical_shuffle_durations.clear();
+  const auto s = ProfileSummary::FromProfile(p);
+  EXPECT_DOUBLE_EQ(s.typical_shuffle_avg, 3.0);  // from first pool
+
+  trace::JobProfile q = UniformProfile(4, 2);
+  q.first_shuffle_durations.clear();
+  const auto s2 = ProfileSummary::FromProfile(q);
+  EXPECT_DOUBLE_EQ(s2.first_shuffle_avg, 5.0);  // from typical pool
+}
+
+TEST(BoundsTest, LowerNeverExceedsUpper) {
+  const auto s = ProfileSummary::FromProfile(NoisyProfile(1));
+  for (const int sm : {1, 2, 5, 20, 60}) {
+    for (const int sr : {1, 2, 8, 16}) {
+      EXPECT_LE(EstimateCompletion(LowerBound(s), sm, sr),
+                EstimateCompletion(UpperBound(s), sm, sr) + 1e-9)
+          << sm << "x" << sr;
+    }
+  }
+}
+
+TEST(BoundsTest, AverageBoundBetweenBounds) {
+  const auto s = ProfileSummary::FromProfile(NoisyProfile(2));
+  const double lo = EstimateCompletion(LowerBound(s), 10, 4);
+  const double up = EstimateCompletion(UpperBound(s), 10, 4);
+  const double avg = EstimateCompletion(AverageBound(s), 10, 4);
+  EXPECT_NEAR(avg, 0.5 * (lo + up), 1e-9);
+}
+
+TEST(BoundsTest, EstimateDecreasesWithMoreSlots) {
+  const auto s = ProfileSummary::FromProfile(NoisyProfile(3));
+  const auto coeffs = AverageBound(s);
+  double prev = 1e18;
+  for (const int slots : {1, 2, 4, 8, 16, 32}) {
+    const double t = EstimateCompletion(coeffs, slots, slots);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(BoundsTest, KnownUniformJobLowerBound) {
+  // 10 maps of 10 s on 5 slots: map stage lower bound = 10*10/5 = 20.
+  // Reduce stage: 4 tasks of (5+2) on 2 slots = 14; first shuffle replaces
+  // one typical shuffle: + (3 - 5). Total = 20 + 14 - 2 = 32.
+  const auto s = ProfileSummary::FromProfile(UniformProfile(10, 4));
+  EXPECT_NEAR(EstimateCompletion(LowerBound(s), 5, 2), 32.0, 1e-9);
+}
+
+TEST(BoundsTest, SimulationWithinBounds) {
+  // Property: SimMR's replayed makespan lies within [lower, upper] bounds
+  // (the paper's motivation for using the average as predictor).
+  const trace::JobProfile p = NoisyProfile(4);
+  const auto s = ProfileSummary::FromProfile(p);
+  sched::FifoPolicy fifo;
+  for (const auto& [sm, sr] :
+       std::vector<std::pair<int, int>>{{10, 4}, {20, 8}, {60, 16}, {5, 2}}) {
+    core::SimConfig cfg;
+    cfg.map_slots = sm;
+    cfg.reduce_slots = sr;
+    trace::WorkloadTrace w(1);
+    w[0].profile = p;
+    const auto result = core::Replay(w, fifo, cfg);
+    const double t = result.jobs[0].CompletionTime();
+    // Loose tolerance: the engine's wave quantization can nudge just past
+    // the idealized lower bound.
+    EXPECT_GE(t, EstimateCompletion(LowerBound(s), sm, sr) * 0.95)
+        << sm << "x" << sr;
+    EXPECT_LE(t, EstimateCompletion(UpperBound(s), sm, sr) * 1.05)
+        << sm << "x" << sr;
+  }
+}
+
+TEST(MinimalSlots, MeetsDeadlineAccordingToModel) {
+  const auto s = ProfileSummary::FromProfile(NoisyProfile(5));
+  const auto coeffs = AverageBound(s);
+  for (const double deadline : {100.0, 200.0, 400.0, 1000.0}) {
+    const auto alloc = MinimalSlotsForDeadline(s, deadline, 64, 64);
+    if (alloc.feasible) {
+      EXPECT_LE(EstimateCompletion(coeffs, alloc.map_slots,
+                                   alloc.reduce_slots),
+                deadline + 1e-6)
+          << deadline;
+    }
+  }
+}
+
+TEST(MinimalSlots, TighterDeadlineNeedsMoreSlots) {
+  const auto s = ProfileSummary::FromProfile(NoisyProfile(6));
+  const auto tight = MinimalSlotsForDeadline(s, 120.0, 64, 64);
+  const auto loose = MinimalSlotsForDeadline(s, 600.0, 64, 64);
+  EXPECT_GE(tight.map_slots + tight.reduce_slots,
+            loose.map_slots + loose.reduce_slots);
+}
+
+TEST(MinimalSlots, MinimalityOnTheHyperbola) {
+  // Property: no allocation with one fewer total slot (distributed any way)
+  // still meets the deadline under the model.
+  const auto s = ProfileSummary::FromProfile(NoisyProfile(7));
+  const auto coeffs = AverageBound(s);
+  const double deadline = 250.0;
+  const auto alloc = MinimalSlotsForDeadline(s, deadline, 64, 64);
+  ASSERT_TRUE(alloc.feasible);
+  const int total = alloc.map_slots + alloc.reduce_slots;
+  bool any_smaller_feasible = false;
+  for (int sm = 1; sm < total - 1; ++sm) {
+    const int sr = total - 1 - sm;
+    if (sr < 1) continue;
+    if (sm > s.num_maps || sr > s.num_reduces) continue;
+    if (EstimateCompletion(coeffs, sm, sr) <= deadline) {
+      any_smaller_feasible = true;
+    }
+  }
+  EXPECT_FALSE(any_smaller_feasible);
+}
+
+TEST(MinimalSlots, InfeasibleDeadlineGrabsCapacity) {
+  const auto s = ProfileSummary::FromProfile(NoisyProfile(8));
+  // Constant terms alone exceed a 1-second deadline.
+  const auto alloc = MinimalSlotsForDeadline(s, 1.0, 64, 32);
+  EXPECT_FALSE(alloc.feasible);
+  EXPECT_EQ(alloc.map_slots, 64);
+  EXPECT_EQ(alloc.reduce_slots, 32);
+}
+
+TEST(MinimalSlots, NeverExceedsTaskCounts) {
+  const auto s = ProfileSummary::FromProfile(UniformProfile(4, 2));
+  const auto alloc = MinimalSlotsForDeadline(s, 15.1, 64, 64);
+  EXPECT_LE(alloc.map_slots, 4);
+  EXPECT_LE(alloc.reduce_slots, 2);
+}
+
+TEST(MinimalSlots, GenerousDeadlineNeedsOneSlotEach) {
+  const auto s = ProfileSummary::FromProfile(UniformProfile(4, 2));
+  // Serial execution takes ~4*10 + shuffle/reduce ~ 60 s; 1000 s is ample.
+  const auto alloc = MinimalSlotsForDeadline(s, 1000.0, 64, 64);
+  EXPECT_TRUE(alloc.feasible);
+  EXPECT_EQ(alloc.map_slots, 1);
+  EXPECT_EQ(alloc.reduce_slots, 1);
+}
+
+TEST(MinimalSlots, RejectsBadArguments) {
+  const auto s = ProfileSummary::FromProfile(UniformProfile(4, 2));
+  EXPECT_THROW(MinimalSlotsForDeadline(s, 0.0, 64, 64),
+               std::invalid_argument);
+  EXPECT_THROW(MinimalSlotsForDeadline(s, 100.0, 0, 64),
+               std::invalid_argument);
+}
+
+TEST(EstimateCompletionTest, RejectsNonpositiveSlots) {
+  const auto coeffs = AverageBound(ProfileSummary::FromProfile(
+      UniformProfile(4, 2)));
+  EXPECT_THROW(EstimateCompletion(coeffs, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace simmr::sched

@@ -1,0 +1,176 @@
+#include "simcore/dist_fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simcore/rng.h"
+
+namespace simmr {
+namespace {
+
+std::vector<double> Draw(const Distribution& d, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  return d.SampleMany(rng, n);
+}
+
+TEST(Digamma, KnownValues) {
+  // psi(1) = -gamma (Euler-Mascheroni), psi(2) = 1 - gamma.
+  const double gamma = 0.5772156649015329;
+  EXPECT_NEAR(Digamma(1.0), -gamma, 1e-9);
+  EXPECT_NEAR(Digamma(2.0), 1.0 - gamma, 1e-9);
+  EXPECT_NEAR(Digamma(0.5), -gamma - 2.0 * std::log(2.0), 1e-9);
+}
+
+TEST(Digamma, RecurrenceHolds) {
+  // psi(x+1) = psi(x) + 1/x.
+  for (const double x : {0.3, 1.7, 4.2, 11.0}) {
+    EXPECT_NEAR(Digamma(x + 1.0), Digamma(x) + 1.0 / x, 1e-10);
+  }
+}
+
+TEST(Trigamma, KnownValues) {
+  // psi'(1) = pi^2/6.
+  EXPECT_NEAR(Trigamma(1.0), M_PI * M_PI / 6.0, 1e-8);
+  // psi'(0.5) = pi^2/2.
+  EXPECT_NEAR(Trigamma(0.5), M_PI * M_PI / 2.0, 1e-8);
+}
+
+TEST(Trigamma, RecurrenceHolds) {
+  for (const double x : {0.4, 2.5, 9.0}) {
+    EXPECT_NEAR(Trigamma(x + 1.0), Trigamma(x) - 1.0 / (x * x), 1e-9);
+  }
+}
+
+TEST(FitNormal, RecoversParameters) {
+  NormalDist truth(5.0, 2.0);
+  const auto sample = Draw(truth, 50000, 1);
+  const auto fit = FitNormal(sample);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->dist->Mean(), 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(fit->dist->Variance()), 2.0, 0.1);
+  EXPECT_LT(fit->ks_statistic, 0.02);
+}
+
+TEST(FitLogNormal, RecoversFacebookFitParameters) {
+  // The paper's map-duration fit.
+  LogNormalDist truth(9.9511, 1.6764);
+  const auto sample = Draw(truth, 50000, 2);
+  const auto fit = FitLogNormal(sample);
+  ASSERT_TRUE(fit.has_value());
+  const auto* ln = dynamic_cast<const LogNormalDist*>(fit->dist.get());
+  ASSERT_NE(ln, nullptr);
+  EXPECT_NEAR(ln->mu(), 9.9511, 0.05);
+  EXPECT_NEAR(ln->sigma(), 1.6764, 0.05);
+  EXPECT_LT(fit->ks_statistic, 0.02);
+}
+
+TEST(FitLogNormal, RejectsNonpositiveSamples) {
+  const std::vector<double> bad{1.0, -2.0, 3.0};
+  EXPECT_FALSE(FitLogNormal(bad).has_value());
+}
+
+TEST(FitExponential, RecoversRate) {
+  ExponentialDist truth(0.25);
+  const auto sample = Draw(truth, 50000, 3);
+  const auto fit = FitExponential(sample);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->dist->Mean(), 4.0, 0.1);
+}
+
+TEST(FitUniform, RecoversRange) {
+  UniformDist truth(3.0, 9.0);
+  const auto sample = Draw(truth, 20000, 4);
+  const auto fit = FitUniform(sample);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->dist->Mean(), 6.0, 0.05);
+  EXPECT_LT(fit->ks_statistic, 0.02);
+}
+
+TEST(FitWeibull, RecoversShapeAndScale) {
+  WeibullDist truth(2.2, 4.0);
+  const auto sample = Draw(truth, 50000, 5);
+  const auto fit = FitWeibull(sample);
+  ASSERT_TRUE(fit.has_value());
+  const auto* w = dynamic_cast<const WeibullDist*>(fit->dist.get());
+  ASSERT_NE(w, nullptr);
+  EXPECT_NEAR(w->shape(), 2.2, 0.1);
+  EXPECT_NEAR(w->scale(), 4.0, 0.1);
+}
+
+TEST(FitGamma, RecoversShapeAndScale) {
+  GammaDist truth(3.5, 1.2);
+  const auto sample = Draw(truth, 50000, 6);
+  const auto fit = FitGamma(sample);
+  ASSERT_TRUE(fit.has_value());
+  const auto* g = dynamic_cast<const GammaDist*>(fit->dist.get());
+  ASSERT_NE(g, nullptr);
+  EXPECT_NEAR(g->shape(), 3.5, 0.15);
+  EXPECT_NEAR(g->scale(), 1.2, 0.08);
+}
+
+TEST(FitPareto, RecoversTailIndex) {
+  ParetoDist truth(2.0, 3.0);
+  const auto sample = Draw(truth, 50000, 7);
+  const auto fit = FitPareto(sample);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_LT(fit->ks_statistic, 0.02);
+}
+
+TEST(FitBest, SelectsLogNormalForFacebookLikeData) {
+  // The Section V-C workflow: LogNormal wins the KS contest on data that is
+  // actually lognormal (the Facebook duration CDF).
+  LogNormalDist truth(12.375, 1.6262);  // the paper's reduce fit
+  const auto sample = Draw(truth, 20000, 8);
+  const auto fits = FitBest(sample);
+  ASSERT_FALSE(fits.empty());
+  EXPECT_EQ(fits.front().family, "LogNormal");
+  // Ranked ascending by KS distance.
+  for (std::size_t i = 1; i < fits.size(); ++i) {
+    EXPECT_LE(fits[i - 1].ks_statistic, fits[i].ks_statistic);
+  }
+}
+
+TEST(FitBest, SelectsExponentialForExponentialData) {
+  ExponentialDist truth(1.0);
+  const auto sample = Draw(truth, 20000, 9);
+  const auto fits = FitBest(sample);
+  ASSERT_FALSE(fits.empty());
+  // Exponential, or a family containing it (Weibull/Gamma with shape~1),
+  // must be on top; the winner's KS must be tiny either way.
+  EXPECT_LT(fits.front().ks_statistic, 0.02);
+  const auto exp_it =
+      std::find_if(fits.begin(), fits.end(),
+                   [](const FitResult& f) { return f.family == "Exponential"; });
+  ASSERT_NE(exp_it, fits.end());
+  EXPECT_LT(exp_it->ks_statistic, 0.02);
+}
+
+TEST(FitBest, HandlesNegativeDataGracefully) {
+  NormalDist truth(0.0, 1.0);  // half the sample is negative
+  const auto sample = Draw(truth, 5000, 10);
+  const auto fits = FitBest(sample);
+  ASSERT_FALSE(fits.empty());
+  EXPECT_EQ(fits.front().family, "Normal");
+  for (const auto& f : fits) {
+    EXPECT_NE(f.family, "LogNormal");
+    EXPECT_NE(f.family, "Pareto");
+  }
+}
+
+TEST(FitBest, EmptySampleGivesNoFits) {
+  EXPECT_TRUE(FitBest({}).empty());
+}
+
+TEST(FitBest, ConstantSampleGivesNoCrash) {
+  const std::vector<double> constant(100, 5.0);
+  // Most families degenerate on zero variance; whatever returns must be
+  // finite and sorted.
+  const auto fits = FitBest(constant);
+  for (const auto& f : fits) {
+    EXPECT_TRUE(std::isfinite(f.ks_statistic));
+  }
+}
+
+}  // namespace
+}  // namespace simmr

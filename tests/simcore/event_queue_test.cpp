@@ -1,0 +1,123 @@
+#include "simcore/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "simcore/rng.h"
+
+namespace simmr {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.Push(3.0, 3);
+  q.Push(1.0, 1);
+  q.Push(2.0, 2);
+  EXPECT_EQ(q.Pop().payload, 1);
+  EXPECT_EQ(q.Pop().payload, 2);
+  EXPECT_EQ(q.Pop().payload, 3);
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue<std::string> q;
+  q.Push(5.0, "first");
+  q.Push(5.0, "second");
+  q.Push(5.0, "third");
+  EXPECT_EQ(q.Pop().payload, "first");
+  EXPECT_EQ(q.Pop().payload, "second");
+  EXPECT_EQ(q.Pop().payload, "third");
+}
+
+TEST(EventQueue, EmptyAndSizeTrackState) {
+  EventQueue<int> q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+  q.Push(1.0, 0);
+  EXPECT_FALSE(q.Empty());
+  EXPECT_EQ(q.Size(), 1u);
+  (void)q.Pop();
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueue, PeekTimeShowsEarliest) {
+  EventQueue<int> q;
+  q.Push(9.0, 0);
+  q.Push(4.0, 1);
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 4.0);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue<int> q;
+  EXPECT_THROW(q.Pop(), std::logic_error);
+  EXPECT_THROW(q.PeekTime(), std::logic_error);
+}
+
+TEST(EventQueue, TotalPushedCountsLifetime) {
+  EventQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.Push(i, i);
+  for (int i = 0; i < 5; ++i) (void)q.Pop();
+  EXPECT_EQ(q.TotalPushed(), 10u);
+  q.Push(0.0, 99);
+  EXPECT_EQ(q.TotalPushed(), 11u);
+}
+
+TEST(EventQueue, ClearEmptiesButKeepsSequenceMonotone) {
+  EventQueue<int> q;
+  q.Push(1.0, 1);
+  q.Clear();
+  EXPECT_TRUE(q.Empty());
+  // After Clear, ties still order by insertion across the boundary.
+  q.Push(2.0, 10);
+  q.Push(2.0, 11);
+  EXPECT_EQ(q.Pop().payload, 10);
+  EXPECT_EQ(q.Pop().payload, 11);
+}
+
+TEST(EventQueue, RandomizedOrderProperty) {
+  // Property: popping yields nondecreasing times, and equal-time runs keep
+  // insertion order.
+  EventQueue<std::pair<double, std::uint64_t>> q;
+  Rng rng(99);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = static_cast<double>(rng.NextBounded(100));
+    q.Push(t, {t, seq++});
+  }
+  double last_time = -1.0;
+  std::uint64_t last_seq_at_time = 0;
+  while (!q.Empty()) {
+    const auto e = q.Pop();
+    EXPECT_GE(e.time, last_time);
+    if (e.time == last_time) {
+      EXPECT_GT(e.payload.second, last_seq_at_time);
+    }
+    last_time = e.time;
+    last_seq_at_time = e.payload.second;
+  }
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrdering) {
+  EventQueue<int> q;
+  q.Push(10.0, 0);
+  q.Push(20.0, 1);
+  EXPECT_EQ(q.Pop().payload, 0);
+  q.Push(15.0, 2);  // scheduled from the handler of event 0
+  q.Push(12.0, 3);
+  EXPECT_EQ(q.Pop().payload, 3);
+  EXPECT_EQ(q.Pop().payload, 2);
+  EXPECT_EQ(q.Pop().payload, 1);
+}
+
+TEST(EventQueue, MovesPayloadOut) {
+  EventQueue<std::unique_ptr<int>> q;
+  q.Push(1.0, std::make_unique<int>(42));
+  auto e = q.Pop();
+  ASSERT_NE(e.payload, nullptr);
+  EXPECT_EQ(*e.payload, 42);
+}
+
+}  // namespace
+}  // namespace simmr

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "simcore/log.h"
+#include "simcore/time.h"
+
+namespace simmr {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelFilterSuppressesBelowThreshold) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  SIMMR_INFO << "should not appear";
+  SIMMR_WARN << "nor this";
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(Log, PassingLevelEmitsTaggedLine) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  SIMMR_WARN << "watch " << 42;
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[WARN]"), std::string::npos);
+  EXPECT_NE(out.find("watch 42"), std::string::npos);
+}
+
+TEST(Log, OffSilencesEverything) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  SIMMR_ERROR << "even errors";
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(Log, GetLevelRoundTrips) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+}
+
+TEST(Time, AlmostEqualWithinEpsilon) {
+  EXPECT_TRUE(TimeAlmostEqual(1.0, 1.0));
+  EXPECT_TRUE(TimeAlmostEqual(1.0, 1.0 + 0.5 * kTimeEpsilon));
+  EXPECT_FALSE(TimeAlmostEqual(1.0, 1.0 + 10.0 * kTimeEpsilon));
+  EXPECT_TRUE(TimeAlmostEqual(-5.0, -5.0));
+}
+
+TEST(Time, InfinityIsLargerThanAnyTime) {
+  EXPECT_GT(kTimeInfinity, 1e300);
+  EXPECT_FALSE(TimeAlmostEqual(kTimeInfinity, 1e300));
+}
+
+}  // namespace
+}  // namespace simmr

@@ -1,0 +1,95 @@
+#include "simcore/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/simmr.h"
+#include "sched/fifo.h"
+#include "trace/synthetic_tracegen.h"
+
+namespace simmr {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 4u, 7u}) {
+    std::vector<std::atomic<int>> visits(257);
+    ParallelFor(visits.size(), [&visits](std::size_t i) { ++visits[i]; },
+                threads);
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  bool called = false;
+  ParallelFor(0, [&called](std::size_t) { called = true; }, 4);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkIsFine) {
+  std::vector<std::atomic<int>> visits(3);
+  ParallelFor(visits.size(), [&visits](std::size_t i) { ++visits[i]; }, 64);
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, PerIndexSlotsNeedNoLocking) {
+  std::vector<double> results(1000, 0.0);
+  ParallelFor(results.size(),
+              [&results](std::size_t i) { results[i] = 2.0 * i; }, 4);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i], 2.0 * i);
+  }
+}
+
+TEST(ParallelFor, WorkerExceptionPropagates) {
+  EXPECT_THROW(
+      ParallelFor(
+          100,
+          [](std::size_t i) {
+            if (i == 57) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, DefaultParallelismIsPositive) {
+  EXPECT_GE(DefaultParallelism(), 1u);
+}
+
+TEST(ParallelFor, ParallelReplaysMatchSerialReplays) {
+  // The intended use: independent engine replays per index. Results must
+  // not depend on the thread count.
+  Rng rng(5);
+  trace::SyntheticJobSpec spec;
+  spec.num_maps = 40;
+  spec.num_reduces = 8;
+  spec.map_duration = std::make_shared<UniformDist>(5.0, 15.0);
+  spec.typical_shuffle_duration = std::make_shared<UniformDist>(3.0, 7.0);
+  spec.reduce_duration = std::make_shared<UniformDist>(1.0, 3.0);
+  std::vector<trace::JobProfile> pool;
+  for (int i = 0; i < 8; ++i) pool.push_back(trace::SynthesizeProfile(spec, rng));
+
+  const auto replay_one = [&pool](std::size_t i) {
+    trace::WorkloadTrace w(1);
+    w[0].profile = pool[i];
+    core::SimConfig cfg;
+    cfg.map_slots = 8;
+    cfg.reduce_slots = 4;
+    sched::FifoPolicy fifo;
+    return core::Replay(w, fifo, cfg).jobs[0].CompletionTime();
+  };
+
+  std::vector<double> serial(pool.size()), parallel(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) serial[i] = replay_one(i);
+  ParallelFor(pool.size(),
+              [&](std::size_t i) { parallel[i] = replay_one(i); }, 4);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i], parallel[i]);
+  }
+}
+
+}  // namespace
+}  // namespace simmr

@@ -1,0 +1,225 @@
+#include "simcore/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "simcore/distributions.h"
+#include "simcore/rng.h"
+
+namespace simmr {
+namespace {
+
+TEST(Summarize, BasicStatistics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const Summary s = Summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Summarize, EmptyGivesZeros) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, SingleElement) {
+  const std::vector<double> v{7.0};
+  const Summary s = Summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(MeanConfidenceIntervalTest, KnownSample) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const MeanCi ci = MeanConfidenceInterval(v);
+  EXPECT_DOUBLE_EQ(ci.mean, 5.0);
+  // sample stddev = sqrt(32/7) ~ 2.138; half width = 1.96 * s / sqrt(8).
+  EXPECT_NEAR(ci.half_width, 1.96 * std::sqrt(32.0 / 7.0) / std::sqrt(8.0),
+              1e-9);
+}
+
+TEST(MeanConfidenceIntervalTest, SingleSampleHasZeroWidth) {
+  const std::vector<double> v{3.0};
+  const MeanCi ci = MeanConfidenceInterval(v);
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(MeanConfidenceIntervalTest, CoversTrueMeanMostOfTheTime) {
+  // Property: ~95% of intervals built from N(10, 2) samples contain 10.
+  Rng rng(77);
+  NormalDist d(10.0, 2.0);
+  int covered = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const auto sample = d.SampleMany(rng, 40);
+    const MeanCi ci = MeanConfidenceInterval(sample);
+    if (std::fabs(ci.mean - 10.0) <= ci.half_width) ++covered;
+  }
+  EXPECT_GT(covered, trials * 0.88);
+  EXPECT_LT(covered, trials * 1.0);
+}
+
+TEST(MeanConfidenceIntervalTest, RejectsEmpty) {
+  EXPECT_THROW(MeanConfidenceInterval({}), std::invalid_argument);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 12.5), 15.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadP) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(Percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(Percentile(v, -1.0), std::invalid_argument);
+  EXPECT_THROW(Percentile(v, 101.0), std::invalid_argument);
+}
+
+TEST(EcdfTest, StepValues) {
+  const std::vector<double> v{1.0, 2.0, 2.0, 4.0};
+  const Ecdf f(v);
+  EXPECT_DOUBLE_EQ(f(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(f(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(f(3.0), 0.75);
+  EXPECT_DOUBLE_EQ(f(4.0), 1.0);
+}
+
+TEST(EcdfTest, QuantileInvertsCdf) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const Ecdf f(v);
+  EXPECT_DOUBLE_EQ(f.Quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(f.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(f.Quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(f.Quantile(0.0), 1.0);
+}
+
+TEST(HistogramDensity, SumsToOne) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 7.0, 9.0};
+  const auto h = HistogramDensity(v, 0.0, 10.0, 5);
+  double sum = 0.0;
+  for (const double d : h) sum += d;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HistogramDensity, OutOfRangeClampsToEdges) {
+  const std::vector<double> v{-100.0, 100.0};
+  const auto h = HistogramDensity(v, 0.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.front(), 0.5);
+  EXPECT_DOUBLE_EQ(h.back(), 0.5);
+}
+
+TEST(HistogramDensity, RejectsZeroBins) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(HistogramDensity(v, 0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(KlDivergenceTest, ZeroForIdenticalDistributions) {
+  const std::vector<double> p{0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-9);
+  EXPECT_NEAR(SymmetricKlDivergence(p, p), 0.0, 1e-9);
+}
+
+TEST(KlDivergenceTest, PositiveForDifferentDistributions) {
+  const std::vector<double> p{0.9, 0.1};
+  const std::vector<double> q{0.1, 0.9};
+  EXPECT_GT(KlDivergence(p, q), 0.5);
+}
+
+TEST(KlDivergenceTest, SymmetricVersionIsSymmetric) {
+  const std::vector<double> p{0.7, 0.2, 0.1};
+  const std::vector<double> q{0.2, 0.3, 0.5};
+  EXPECT_DOUBLE_EQ(SymmetricKlDivergence(p, q), SymmetricKlDivergence(q, p));
+}
+
+TEST(KlDivergenceTest, AsymmetricInGeneral) {
+  const std::vector<double> p{0.99, 0.01};
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_NE(KlDivergence(p, q), KlDivergence(q, p));
+}
+
+TEST(KlDivergenceTest, SmoothingKeepsZeroBinsFinite) {
+  const std::vector<double> p{1.0, 0.0};
+  const std::vector<double> q{0.0, 1.0};
+  const double d = KlDivergence(p, q);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_GT(d, 1.0);
+}
+
+TEST(KlDivergenceTest, RejectsSizeMismatch) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{1.0};
+  EXPECT_THROW(KlDivergence(p, q), std::invalid_argument);
+}
+
+TEST(SampleSymmetricKlTest, SameAppSmallCrossAppLarge) {
+  // The Table I property: two executions of the same distribution have
+  // small KL; different distributions have large KL.
+  Rng rng(1);
+  LogNormalDist same(2.0, 0.4);
+  LogNormalDist other(4.5, 0.4);
+  const auto run1 = same.SampleMany(rng, 4000);
+  const auto run2 = same.SampleMany(rng, 4000);
+  const auto run3 = other.SampleMany(rng, 4000);
+  const double same_kl = SampleSymmetricKl(run1, run2);
+  const double cross_kl = SampleSymmetricKl(run1, run3);
+  EXPECT_LT(same_kl, 0.5);
+  EXPECT_GT(cross_kl, 5.0);
+  EXPECT_GT(cross_kl, 10.0 * same_kl);
+}
+
+TEST(SampleSymmetricKlTest, RejectsEmpty) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(SampleSymmetricKl({}, v), std::invalid_argument);
+}
+
+TEST(KsTwoSampleTest, ZeroForIdenticalSamples) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(KsTwoSample(v, v), 0.0);
+}
+
+TEST(KsTwoSampleTest, OneForDisjointSamples) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(KsTwoSample(a, b), 1.0);
+}
+
+TEST(KsTwoSampleTest, SmallForSameDistribution) {
+  Rng rng(9);
+  NormalDist d(0.0, 1.0);
+  const auto a = d.SampleMany(rng, 5000);
+  const auto b = d.SampleMany(rng, 5000);
+  EXPECT_LT(KsTwoSample(a, b), 0.05);
+}
+
+TEST(KsOneSampleTest, MatchesGeneratingCdf) {
+  Rng rng(9);
+  ExponentialDist d(1.5);
+  const auto sample = d.SampleMany(rng, 5000);
+  const double ks = KsOneSample(sample, [&d](double x) { return d.Cdf(x); });
+  EXPECT_LT(ks, 0.03);
+}
+
+TEST(KsOneSampleTest, LargeForWrongModel) {
+  Rng rng(9);
+  ExponentialDist d(1.5);
+  const auto sample = d.SampleMany(rng, 5000);
+  UniformDist wrong(0.0, 1.0);
+  const double ks =
+      KsOneSample(sample, [&wrong](double x) { return wrong.Cdf(x); });
+  EXPECT_GT(ks, 0.2);
+}
+
+}  // namespace
+}  // namespace simmr

@@ -1,0 +1,101 @@
+#include "tool_common.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace simmr::tools {
+namespace {
+
+std::vector<FlagSpec> Specs() {
+  return {
+      {"name", "default", "a string flag"},
+      {"count", "3", "an integer flag"},
+      {"rate", "1.5", "a floating flag"},
+      {"verbose", "false", "a boolean flag", /*is_boolean=*/true},
+  };
+}
+
+std::optional<Flags> ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags::Parse(static_cast<int>(args.size()),
+                      const_cast<char**>(args.data()), "test tool", Specs());
+}
+
+TEST(Flags, DefaultsApplyWhenUnset) {
+  const auto flags = ParseArgs({});
+  ASSERT_TRUE(flags.has_value());
+  EXPECT_EQ(flags->Get("name"), "default");
+  EXPECT_EQ(flags->GetInt("count"), 3);
+  EXPECT_DOUBLE_EQ(flags->GetDouble("rate"), 1.5);
+  EXPECT_FALSE(flags->GetBool("verbose"));
+}
+
+TEST(Flags, EqualsFormParses) {
+  const auto flags = ParseArgs({"--name=alpha", "--count=7", "--rate=2.25"});
+  ASSERT_TRUE(flags.has_value());
+  EXPECT_EQ(flags->Get("name"), "alpha");
+  EXPECT_EQ(flags->GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(flags->GetDouble("rate"), 2.25);
+}
+
+TEST(Flags, SpaceFormParses) {
+  const auto flags = ParseArgs({"--name", "beta", "--count", "9"});
+  ASSERT_TRUE(flags.has_value());
+  EXPECT_EQ(flags->Get("name"), "beta");
+  EXPECT_EQ(flags->GetInt("count"), 9);
+}
+
+TEST(Flags, BareBooleanSetsTrue) {
+  const auto flags = ParseArgs({"--verbose"});
+  ASSERT_TRUE(flags.has_value());
+  EXPECT_TRUE(flags->GetBool("verbose"));
+}
+
+TEST(Flags, BooleanAcceptsExplicitValues) {
+  EXPECT_TRUE(ParseArgs({"--verbose=1"})->GetBool("verbose"));
+  EXPECT_TRUE(ParseArgs({"--verbose=yes"})->GetBool("verbose"));
+  EXPECT_FALSE(ParseArgs({"--verbose=false"})->GetBool("verbose"));
+}
+
+TEST(Flags, UnknownFlagFailsParse) {
+  EXPECT_FALSE(ParseArgs({"--nope=1"}).has_value());
+  EXPECT_TRUE(Flags::LastParseFailed());
+}
+
+TEST(Flags, PositionalArgumentFailsParse) {
+  EXPECT_FALSE(ParseArgs({"stray"}).has_value());
+  EXPECT_TRUE(Flags::LastParseFailed());
+}
+
+TEST(Flags, MissingValueFailsParse) {
+  EXPECT_FALSE(ParseArgs({"--name"}).has_value());
+  EXPECT_TRUE(Flags::LastParseFailed());
+}
+
+TEST(Flags, HelpReturnsNulloptWithoutFailure) {
+  EXPECT_FALSE(ParseArgs({"--help"}).has_value());
+  EXPECT_FALSE(Flags::LastParseFailed());
+}
+
+TEST(Flags, BadNumericValueThrowsOnAccess) {
+  const auto flags = ParseArgs({"--count=abc", "--rate=1.2.3"});
+  ASSERT_TRUE(flags.has_value());
+  EXPECT_THROW(flags->GetInt("count"), std::exception);
+  EXPECT_THROW(flags->GetDouble("rate"), std::invalid_argument);
+}
+
+TEST(Flags, UndeclaredFlagAccessThrows) {
+  const auto flags = ParseArgs({});
+  ASSERT_TRUE(flags.has_value());
+  EXPECT_THROW(flags->Get("ghost"), std::logic_error);
+}
+
+TEST(Flags, LaterValueWins) {
+  const auto flags = ParseArgs({"--name=a", "--name=b"});
+  ASSERT_TRUE(flags.has_value());
+  EXPECT_EQ(flags->Get("name"), "b");
+}
+
+}  // namespace
+}  // namespace simmr::tools

@@ -1,0 +1,134 @@
+#include "trace/mr_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_sim.h"
+
+namespace simmr::trace {
+namespace {
+
+using cluster::HistoryLog;
+using cluster::JobRecord;
+using cluster::TaskAttemptRecord;
+using cluster::TaskKind;
+
+/// Hand-built log: 2 maps ending at t=10; reduce 0 is first-wave (starts at
+/// t=2, shuffle ends t=14), reduce 1 is typical (starts t=12, shuffle ends
+/// t=17).
+HistoryLog HandLog() {
+  HistoryLog log;
+  JobRecord j;
+  j.job = 0;
+  j.app_name = "App";
+  j.dataset = "ds";
+  j.num_maps = 2;
+  j.num_reduces = 2;
+  j.maps_done_time = 10.0;
+  j.finish_time = 25.0;
+  log.AddJob(j);
+
+  TaskAttemptRecord m0{0, TaskKind::kMap, 0, 0, 0.0, 0.0, 8.0, 64.0};
+  TaskAttemptRecord m1{0, TaskKind::kMap, 1, 1, 1.0, 1.0, 10.0, 64.0};
+  TaskAttemptRecord r0{0, TaskKind::kReduce, 0, 2, 2.0, 14.0, 20.0, 10.0};
+  TaskAttemptRecord r1{0, TaskKind::kReduce, 1, 3, 12.0, 17.0, 25.0, 10.0};
+  log.AddTask(m0);
+  log.AddTask(m1);
+  log.AddTask(r0);
+  log.AddTask(r1);
+  return log;
+}
+
+TEST(MrProfiler, ExtractsMapDurations) {
+  const JobProfile p = BuildProfile(HandLog(), 0);
+  ASSERT_EQ(p.map_durations.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.map_durations[0], 8.0);
+  EXPECT_DOUBLE_EQ(p.map_durations[1], 9.0);
+}
+
+TEST(MrProfiler, FirstShuffleIsNonOverlappingPortion) {
+  const JobProfile p = BuildProfile(HandLog(), 0);
+  // Reduce 0 started before maps_done (2 < 10): first wave. Its shuffle
+  // ended at 14, so the non-overlapping portion is 14 - 10 = 4.
+  ASSERT_EQ(p.first_shuffle_durations.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.first_shuffle_durations[0], 4.0);
+}
+
+TEST(MrProfiler, TypicalShuffleIsFullDuration) {
+  const JobProfile p = BuildProfile(HandLog(), 0);
+  // Reduce 1 started at 12 >= 10: typical. Shuffle = 17 - 12 = 5.
+  ASSERT_EQ(p.typical_shuffle_durations.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.typical_shuffle_durations[0], 5.0);
+}
+
+TEST(MrProfiler, ReduceDurationsAreReducePhaseOnly) {
+  const JobProfile p = BuildProfile(HandLog(), 0);
+  // First-wave reduce phase first (20-14=6), then typical (25-17=8).
+  ASSERT_EQ(p.reduce_durations.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.reduce_durations[0], 6.0);
+  EXPECT_DOUBLE_EQ(p.reduce_durations[1], 8.0);
+}
+
+TEST(MrProfiler, FirstShuffleClampedAtZero) {
+  // A first-wave reduce whose shuffle ends exactly when maps finish (fully
+  // overlapped) records a zero non-overlapping portion.
+  HistoryLog log = HandLog();
+  TaskAttemptRecord r{0, TaskKind::kReduce, 2, 0, 1.0, 9.5, 12.0, 10.0};
+  log.AddTask(r);
+  const JobProfile p = BuildProfile(log, 0);
+  // This task starts at 1.0 and therefore sorts before the original
+  // first-wave reduce (start 2.0): it contributes entry [0].
+  ASSERT_EQ(p.first_shuffle_durations.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.first_shuffle_durations[0], 0.0);
+  EXPECT_DOUBLE_EQ(p.first_shuffle_durations[1], 4.0);
+}
+
+TEST(MrProfiler, CopiesJobMetadata) {
+  const JobProfile p = BuildProfile(HandLog(), 0);
+  EXPECT_EQ(p.app_name, "App");
+  EXPECT_EQ(p.dataset, "ds");
+  EXPECT_EQ(p.num_maps, 2);
+  EXPECT_EQ(p.num_reduces, 2);
+}
+
+TEST(MrProfiler, ThrowsForUnknownJob) {
+  EXPECT_THROW(BuildProfile(HandLog(), 99), std::out_of_range);
+}
+
+TEST(MrProfiler, ThrowsForJobWithoutTasks) {
+  HistoryLog log;
+  JobRecord j;
+  j.job = 0;
+  log.AddJob(j);
+  EXPECT_THROW(BuildProfile(log, 0), std::runtime_error);
+}
+
+TEST(MrProfiler, ProfilesFromRealTestbedRunAreValid) {
+  using namespace cluster;
+  std::vector<SubmittedJob> jobs{{ValidationSuite()[3], 0.0, 0.0}};  // Sort
+  TestbedOptions opts;
+  opts.config.num_nodes = 16;
+  const TestbedResult result = RunTestbed(jobs, opts);
+  const auto profiles = BuildAllProfiles(result.log);
+  ASSERT_EQ(profiles.size(), 1u);
+  const JobProfile& p = profiles[0];
+  EXPECT_TRUE(p.Validate().empty()) << p.Validate();
+  EXPECT_EQ(static_cast<int>(p.map_durations.size()), p.num_maps);
+  EXPECT_EQ(p.first_shuffle_durations.size() +
+                p.typical_shuffle_durations.size(),
+            static_cast<std::size_t>(p.num_reduces));
+  EXPECT_EQ(static_cast<int>(p.reduce_durations.size()), p.num_reduces);
+}
+
+TEST(MrProfiler, BuildAllProfilesCoversEveryJob) {
+  using namespace cluster;
+  std::vector<SubmittedJob> jobs;
+  JobSpec spec = ValidationSuite()[4];  // TFIDF, small
+  for (int i = 0; i < 3; ++i) jobs.push_back({spec, i * 200.0, 0.0});
+  TestbedOptions opts;
+  opts.config.num_nodes = 16;
+  const TestbedResult result = RunTestbed(jobs, opts);
+  EXPECT_EQ(BuildAllProfiles(result.log).size(), 3u);
+}
+
+}  // namespace
+}  // namespace simmr::trace

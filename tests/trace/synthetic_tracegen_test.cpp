@@ -1,0 +1,185 @@
+#include "trace/synthetic_tracegen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simcore/dist_fit.h"
+#include "simcore/stats.h"
+
+namespace simmr::trace {
+namespace {
+
+SyntheticJobSpec BasicSpec() {
+  SyntheticJobSpec spec;
+  spec.app_name = "synthetic-test";
+  spec.num_maps = 50;
+  spec.num_reduces = 10;
+  spec.map_duration = std::make_shared<UniformDist>(10.0, 20.0);
+  spec.typical_shuffle_duration = std::make_shared<UniformDist>(4.0, 6.0);
+  spec.reduce_duration = std::make_shared<UniformDist>(1.0, 3.0);
+  return spec;
+}
+
+TEST(SynthesizeProfile, PoolSizesMatchTaskCounts) {
+  Rng rng(1);
+  const JobProfile p = SynthesizeProfile(BasicSpec(), rng);
+  EXPECT_EQ(static_cast<int>(p.map_durations.size()), 50);
+  EXPECT_EQ(static_cast<int>(p.typical_shuffle_durations.size()), 10);
+  EXPECT_EQ(static_cast<int>(p.reduce_durations.size()), 10);
+  EXPECT_TRUE(p.first_shuffle_durations.empty());
+  EXPECT_TRUE(p.Validate().empty()) << p.Validate();
+}
+
+TEST(SynthesizeProfile, FirstWaveSizeSplitsShufflePools) {
+  SyntheticJobSpec spec = BasicSpec();
+  spec.first_wave_size = 4;
+  spec.first_shuffle_duration = std::make_shared<DeterministicDist>(9.0);
+  Rng rng(1);
+  const JobProfile p = SynthesizeProfile(spec, rng);
+  EXPECT_EQ(p.first_shuffle_durations.size(), 4u);
+  EXPECT_EQ(p.typical_shuffle_durations.size(), 6u);
+  for (const double d : p.first_shuffle_durations) EXPECT_DOUBLE_EQ(d, 9.0);
+}
+
+TEST(SynthesizeProfile, FirstWaveSizeClampedToReduces) {
+  SyntheticJobSpec spec = BasicSpec();
+  spec.first_wave_size = 1000;
+  Rng rng(1);
+  const JobProfile p = SynthesizeProfile(spec, rng);
+  EXPECT_EQ(p.first_shuffle_durations.size(), 10u);
+  EXPECT_TRUE(p.typical_shuffle_durations.empty());
+}
+
+TEST(SynthesizeProfile, DurationsWithinDistributionSupport) {
+  Rng rng(2);
+  const JobProfile p = SynthesizeProfile(BasicSpec(), rng);
+  for (const double d : p.map_durations) {
+    EXPECT_GE(d, 10.0);
+    EXPECT_LE(d, 20.0);
+  }
+}
+
+TEST(SynthesizeProfile, RejectsMissingDistributions) {
+  SyntheticJobSpec spec = BasicSpec();
+  spec.map_duration = nullptr;
+  Rng rng(1);
+  EXPECT_THROW(SynthesizeProfile(spec, rng), std::invalid_argument);
+
+  spec = BasicSpec();
+  spec.reduce_duration = nullptr;
+  EXPECT_THROW(SynthesizeProfile(spec, rng), std::invalid_argument);
+}
+
+TEST(SynthesizeProfile, RejectsBadTaskCounts) {
+  SyntheticJobSpec spec = BasicSpec();
+  spec.num_maps = 0;
+  Rng rng(1);
+  EXPECT_THROW(SynthesizeProfile(spec, rng), std::invalid_argument);
+  spec = BasicSpec();
+  spec.num_reduces = -1;
+  EXPECT_THROW(SynthesizeProfile(spec, rng), std::invalid_argument);
+}
+
+TEST(SynthesizeProfile, MapOnlyJobNeedsNoShuffleDists) {
+  SyntheticJobSpec spec;
+  spec.num_maps = 5;
+  spec.num_reduces = 0;
+  spec.map_duration = std::make_shared<DeterministicDist>(1.0);
+  Rng rng(1);
+  const JobProfile p = SynthesizeProfile(spec, rng);
+  EXPECT_TRUE(p.Validate().empty()) << p.Validate();
+}
+
+TEST(SynthesizeProfile, NegativeSamplesClampedToZero) {
+  SyntheticJobSpec spec = BasicSpec();
+  spec.map_duration = std::make_shared<NormalDist>(-5.0, 1.0);
+  Rng rng(1);
+  const JobProfile p = SynthesizeProfile(spec, rng);
+  for (const double d : p.map_durations) EXPECT_GE(d, 0.0);
+  EXPECT_TRUE(p.Validate().empty());
+}
+
+TEST(FacebookBuckets, ProbabilitiesSumToOne) {
+  double sum = 0.0;
+  for (const auto& b : FacebookJobSizeBuckets()) sum += b.probability;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(FacebookBuckets, RangesAreOrdered) {
+  for (const auto& b : FacebookJobSizeBuckets()) {
+    EXPECT_LE(b.maps_lo, b.maps_hi);
+    EXPECT_LE(b.reduces_lo, b.reduces_hi);
+    EXPECT_GE(b.maps_lo, 1);
+    EXPECT_GE(b.reduces_lo, 1);
+  }
+}
+
+TEST(FacebookWorkload, JobsAreValidProfiles) {
+  FacebookWorkloadModel model;
+  Rng rng(3);
+  const auto jobs = SynthesizeFacebookWorkload(model, 200, rng);
+  ASSERT_EQ(jobs.size(), 200u);
+  for (const auto& p : jobs) {
+    EXPECT_TRUE(p.Validate().empty()) << p.Validate();
+    EXPECT_LE(p.num_maps, model.max_maps);
+    EXPECT_LE(p.num_reduces, model.max_reduces);
+  }
+}
+
+TEST(FacebookWorkload, MostJobsAreTiny) {
+  // The dominant Facebook bucket is 1-2 maps (38%).
+  FacebookWorkloadModel model;
+  Rng rng(4);
+  const auto jobs = SynthesizeFacebookWorkload(model, 2000, rng);
+  int tiny = 0;
+  for (const auto& p : jobs) {
+    if (p.num_maps <= 2) ++tiny;
+  }
+  EXPECT_NEAR(static_cast<double>(tiny) / jobs.size(), 0.38, 0.05);
+}
+
+TEST(FacebookWorkload, MapDurationsFollowPaperLogNormal) {
+  // Pool all map durations from many jobs and refit: the recovered LN
+  // parameters must be close to LN(9.9511, 1.6764) (ms) = LN(mu - ln 1000)
+  // in seconds.
+  FacebookWorkloadModel model;
+  Rng rng(5);
+  const auto jobs = SynthesizeFacebookWorkload(model, 400, rng);
+  std::vector<double> durations;
+  for (const auto& p : jobs)
+    durations.insert(durations.end(), p.map_durations.begin(),
+                     p.map_durations.end());
+  ASSERT_GT(durations.size(), 5000u);
+  const auto fit = FitLogNormal(durations);
+  ASSERT_TRUE(fit.has_value());
+  const auto* ln = dynamic_cast<const LogNormalDist*>(fit->dist.get());
+  ASSERT_NE(ln, nullptr);
+  EXPECT_NEAR(ln->mu(), 9.9511 - std::log(1000.0), 0.1);
+  EXPECT_NEAR(ln->sigma(), 1.6764, 0.1);
+}
+
+TEST(FacebookWorkload, ShuffleFractionSplitsReduceDuration) {
+  FacebookWorkloadModel model;
+  model.shuffle_fraction = 0.4;
+  Rng rng(6);
+  const JobProfile p = SynthesizeFacebookJob(model, rng);
+  ASSERT_EQ(p.typical_shuffle_durations.size(), p.reduce_durations.size());
+  for (std::size_t i = 0; i < p.reduce_durations.size(); ++i) {
+    const double total =
+        p.typical_shuffle_durations[i] + p.reduce_durations[i];
+    EXPECT_NEAR(p.typical_shuffle_durations[i], 0.4 * total, 1e-9);
+  }
+}
+
+TEST(FacebookWorkload, DeterministicGivenRngSeed) {
+  FacebookWorkloadModel model;
+  Rng a(7), b(7);
+  const auto ja = SynthesizeFacebookWorkload(model, 20, a);
+  const auto jb = SynthesizeFacebookWorkload(model, 20, b);
+  ASSERT_EQ(ja.size(), jb.size());
+  for (std::size_t i = 0; i < ja.size(); ++i) EXPECT_EQ(ja[i], jb[i]);
+}
+
+}  // namespace
+}  // namespace simmr::trace

@@ -1,0 +1,128 @@
+#include "trace/trace_database.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace simmr::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+JobProfile Profile(const std::string& app, const std::string& dataset) {
+  JobProfile p;
+  p.app_name = app;
+  p.dataset = dataset;
+  p.num_maps = 2;
+  p.num_reduces = 1;
+  p.map_durations = {1.0, 2.0};
+  p.typical_shuffle_durations = {3.0};
+  p.reduce_durations = {4.0};
+  return p;
+}
+
+class TraceDatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "simmr_tracedb_test";
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(TraceDatabaseTest, PutAssignsSequentialIds) {
+  TraceDatabase db;
+  EXPECT_EQ(db.Put(Profile("A", "1")), 0);
+  EXPECT_EQ(db.Put(Profile("B", "2")), 1);
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST_F(TraceDatabaseTest, GetReturnsStoredProfile) {
+  TraceDatabase db;
+  const auto id = db.Put(Profile("Sort", "16GB"));
+  EXPECT_EQ(db.Get(id).app_name, "Sort");
+  EXPECT_EQ(db.Get(id).dataset, "16GB");
+}
+
+TEST_F(TraceDatabaseTest, GetRejectsUnknownId) {
+  TraceDatabase db;
+  EXPECT_THROW(db.Get(0), std::out_of_range);
+  db.Put(Profile("A", "1"));
+  EXPECT_THROW(db.Get(1), std::out_of_range);
+  EXPECT_THROW(db.Get(-1), std::out_of_range);
+}
+
+TEST_F(TraceDatabaseTest, PutValidatesProfile) {
+  TraceDatabase db;
+  JobProfile bad = Profile("A", "1");
+  bad.map_durations.clear();
+  EXPECT_THROW(db.Put(bad), std::invalid_argument);
+  EXPECT_TRUE(db.empty());
+}
+
+TEST_F(TraceDatabaseTest, FindByAppFiltersAndOrders) {
+  TraceDatabase db;
+  db.Put(Profile("Sort", "16GB"));
+  db.Put(Profile("WordCount", "32GB"));
+  db.Put(Profile("Sort", "32GB"));
+  const auto ids = db.FindByApp("Sort");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 0);
+  EXPECT_EQ(ids[1], 2);
+  EXPECT_TRUE(db.FindByApp("Missing").empty());
+}
+
+TEST_F(TraceDatabaseTest, AllIdsInInsertionOrder) {
+  TraceDatabase db;
+  db.Put(Profile("A", "1"));
+  db.Put(Profile("B", "2"));
+  const auto ids = db.AllIds();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 0);
+  EXPECT_EQ(ids[1], 1);
+}
+
+TEST_F(TraceDatabaseTest, SaveLoadRoundTrip) {
+  TraceDatabase db;
+  db.Put(Profile("Sort", "16GB"));
+  db.Put(Profile("WordCount", "40GB"));
+  db.Save(dir_.string());
+
+  const TraceDatabase loaded = TraceDatabase::Load(dir_.string());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.Get(0), db.Get(0));
+  EXPECT_EQ(loaded.Get(1), db.Get(1));
+  EXPECT_EQ(loaded.FindByApp("Sort").size(), 1u);
+}
+
+TEST_F(TraceDatabaseTest, SaveCreatesIndexAndProfileFiles) {
+  TraceDatabase db;
+  db.Put(Profile("A", "1"));
+  db.Save(dir_.string());
+  EXPECT_TRUE(fs::exists(dir_ / "index.tsv"));
+  EXPECT_TRUE(fs::exists(dir_ / "profile_0.trace"));
+}
+
+TEST_F(TraceDatabaseTest, LoadMissingDirectoryThrows) {
+  EXPECT_THROW(TraceDatabase::Load((dir_ / "nope").string()),
+               std::runtime_error);
+}
+
+TEST_F(TraceDatabaseTest, LoadMissingProfileFileThrows) {
+  TraceDatabase db;
+  db.Put(Profile("A", "1"));
+  db.Save(dir_.string());
+  fs::remove(dir_ / "profile_0.trace");
+  EXPECT_THROW(TraceDatabase::Load(dir_.string()), std::runtime_error);
+}
+
+TEST_F(TraceDatabaseTest, EmptyDatabaseRoundTrips) {
+  TraceDatabase db;
+  db.Save(dir_.string());
+  const TraceDatabase loaded = TraceDatabase::Load(dir_.string());
+  EXPECT_TRUE(loaded.empty());
+}
+
+}  // namespace
+}  // namespace simmr::trace

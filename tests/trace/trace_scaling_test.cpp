@@ -1,0 +1,129 @@
+#include "trace/trace_scaling.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "simcore/stats.h"
+
+namespace simmr::trace {
+namespace {
+
+JobProfile BaseProfile() {
+  JobProfile p;
+  p.app_name = "Sort";
+  p.dataset = "rand-16GB";
+  p.num_maps = 100;
+  p.num_reduces = 20;
+  p.map_durations.assign(100, 0.0);
+  for (int i = 0; i < 100; ++i) p.map_durations[i] = 10.0 + (i % 7);
+  p.first_shuffle_durations.assign(10, 4.0);
+  p.typical_shuffle_durations.assign(10, 6.0);
+  p.reduce_durations.assign(20, 2.0);
+  return p;
+}
+
+TEST(TraceScaling, DoubleDataDoublesMapCount) {
+  Rng rng(1);
+  const JobProfile scaled = ScaleProfile(BaseProfile(), {2.0, 1.0}, rng);
+  EXPECT_EQ(scaled.num_maps, 200);
+  EXPECT_EQ(scaled.num_reduces, 20);
+  EXPECT_EQ(scaled.map_durations.size(), 200u);
+  EXPECT_TRUE(scaled.Validate().empty()) << scaled.Validate();
+}
+
+TEST(TraceScaling, MapDurationDistributionInvariant) {
+  // Per-map work is block-sized: the scaled profile's map-duration mean
+  // must match the original's.
+  Rng rng(2);
+  const JobProfile base = BaseProfile();
+  const JobProfile scaled = ScaleProfile(base, {4.0, 1.0}, rng);
+  const Summary orig = base.MapSummary();
+  const Summary next = scaled.MapSummary();
+  EXPECT_NEAR(next.mean, orig.mean, 0.5);
+  EXPECT_LE(next.max, orig.max);
+  EXPECT_GE(next.min, orig.min);
+}
+
+TEST(TraceScaling, ShuffleAndReduceScaleWithPerReduceData) {
+  // data x2, reduces fixed => per-reduce volume x2 => durations x2.
+  Rng rng(3);
+  const JobProfile base = BaseProfile();
+  const JobProfile scaled = ScaleProfile(base, {2.0, 1.0}, rng);
+  EXPECT_NEAR(scaled.TypicalShuffleSummary().mean, 12.0, 1e-9);
+  EXPECT_NEAR(scaled.ReduceSummary().mean, 4.0, 1e-9);
+}
+
+TEST(TraceScaling, GrowingReducesCancelsDataGrowth) {
+  // data x2 and reduces x2 => per-reduce volume unchanged.
+  Rng rng(4);
+  const JobProfile scaled = ScaleProfile(BaseProfile(), {2.0, 2.0}, rng);
+  EXPECT_EQ(scaled.num_reduces, 40);
+  EXPECT_NEAR(scaled.TypicalShuffleSummary().mean, 6.0, 1e-9);
+  EXPECT_NEAR(scaled.ReduceSummary().mean, 2.0, 1e-9);
+}
+
+TEST(TraceScaling, DownscaleWorksToo) {
+  Rng rng(5);
+  const JobProfile scaled = ScaleProfile(BaseProfile(), {0.5, 1.0}, rng);
+  EXPECT_EQ(scaled.num_maps, 50);
+  EXPECT_NEAR(scaled.ReduceSummary().mean, 1.0, 1e-9);
+  EXPECT_TRUE(scaled.Validate().empty());
+}
+
+TEST(TraceScaling, KeepsWaveProportions) {
+  // The base has a 50/50 first/typical split; the scaled profile should
+  // keep roughly that split.
+  Rng rng(6);
+  const JobProfile scaled = ScaleProfile(BaseProfile(), {1.0, 2.0}, rng);
+  EXPECT_EQ(scaled.first_shuffle_durations.size() +
+                scaled.typical_shuffle_durations.size(),
+            static_cast<std::size_t>(scaled.num_reduces));
+  EXPECT_NEAR(static_cast<double>(scaled.first_shuffle_durations.size()) /
+                  scaled.num_reduces,
+              0.5, 0.1);
+}
+
+TEST(TraceScaling, IdentityFactorsKeepStatistics) {
+  Rng rng(7);
+  const JobProfile base = BaseProfile();
+  const JobProfile scaled = ScaleProfile(base, {1.0, 1.0}, rng);
+  EXPECT_EQ(scaled.num_maps, base.num_maps);
+  EXPECT_EQ(scaled.num_reduces, base.num_reduces);
+  EXPECT_NEAR(scaled.MapSummary().mean, base.MapSummary().mean, 0.5);
+}
+
+TEST(TraceScaling, RejectsBadFactors) {
+  Rng rng(8);
+  EXPECT_THROW(ScaleProfile(BaseProfile(), {0.0, 1.0}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(ScaleProfile(BaseProfile(), {1.0, -2.0}, rng),
+               std::invalid_argument);
+}
+
+TEST(TraceScaling, RejectsInvalidProfile) {
+  Rng rng(9);
+  JobProfile bad = BaseProfile();
+  bad.map_durations.clear();
+  EXPECT_THROW(ScaleProfile(bad, {2.0, 1.0}, rng), std::invalid_argument);
+}
+
+TEST(TraceScaling, SingleWaveProfileStaysSingleWave) {
+  Rng rng(10);
+  JobProfile base = BaseProfile();
+  base.first_shuffle_durations.clear();
+  base.typical_shuffle_durations.assign(20, 6.0);
+  const JobProfile scaled = ScaleProfile(base, {3.0, 1.0}, rng);
+  EXPECT_TRUE(scaled.first_shuffle_durations.empty());
+  EXPECT_EQ(scaled.typical_shuffle_durations.size(), 20u);
+}
+
+TEST(TraceScaling, MarksDatasetAsScaled) {
+  Rng rng(11);
+  const JobProfile scaled = ScaleProfile(BaseProfile(), {2.0, 1.0}, rng);
+  EXPECT_NE(scaled.dataset.find("scaled"), std::string::npos);
+  EXPECT_EQ(scaled.app_name, "Sort");
+}
+
+}  // namespace
+}  // namespace simmr::trace

@@ -1,0 +1,156 @@
+#include "trace/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace simmr::trace {
+namespace {
+
+JobProfile TinyProfile(const std::string& name) {
+  JobProfile p;
+  p.app_name = name;
+  p.num_maps = 1;
+  p.num_reduces = 1;
+  p.map_durations = {1.0};
+  p.typical_shuffle_durations = {1.0};
+  p.reduce_durations = {1.0};
+  return p;
+}
+
+std::vector<JobProfile> Pool(int n) {
+  std::vector<JobProfile> pool;
+  for (int i = 0; i < n; ++i) pool.push_back(TinyProfile("app" + std::to_string(i)));
+  return pool;
+}
+
+std::vector<double> Solos(int n, double value = 100.0) {
+  return std::vector<double>(n, value);
+}
+
+TEST(MakeWorkload, DefaultsToOneInstancePerPoolEntry) {
+  Rng rng(1);
+  WorkloadParams params;
+  const auto trace = MakeWorkload(Pool(5), Solos(5), params, rng);
+  EXPECT_EQ(trace.size(), 5u);
+  // Every pool entry appears exactly once (it's a permutation).
+  std::set<std::string> names;
+  for (const auto& j : trace) names.insert(j.profile.app_name);
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(MakeWorkload, ArrivalsAreNondecreasing) {
+  Rng rng(2);
+  WorkloadParams params;
+  params.num_jobs = 50;
+  params.mean_interarrival_s = 10.0;
+  const auto trace = MakeWorkload(Pool(5), Solos(5), params, rng);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+  }
+  EXPECT_DOUBLE_EQ(trace[0].arrival, 0.0);
+}
+
+TEST(MakeWorkload, MeanInterarrivalApproximatelyRespected) {
+  Rng rng(3);
+  WorkloadParams params;
+  params.num_jobs = 4000;
+  params.mean_interarrival_s = 25.0;
+  const auto trace = MakeWorkload(Pool(3), Solos(3), params, rng);
+  const double span = trace.back().arrival;
+  EXPECT_NEAR(span / (trace.size() - 1), 25.0, 2.0);
+}
+
+TEST(MakeWorkload, DeadlinesWithinFactorInterval) {
+  Rng rng(4);
+  WorkloadParams params;
+  params.num_jobs = 200;
+  params.deadline_factor = 2.5;
+  const auto trace = MakeWorkload(Pool(2), Solos(2, 60.0), params, rng);
+  for (const auto& j : trace) {
+    const double relative = j.deadline - j.arrival;
+    EXPECT_GE(relative, 60.0 - 1e-9);
+    EXPECT_LE(relative, 150.0 + 1e-9);
+    EXPECT_DOUBLE_EQ(j.solo_completion, 60.0);
+  }
+}
+
+TEST(MakeWorkload, FactorOneGivesExactSoloDeadline) {
+  Rng rng(5);
+  WorkloadParams params;
+  params.deadline_factor = 1.0;
+  const auto trace = MakeWorkload(Pool(3), Solos(3, 42.0), params, rng);
+  for (const auto& j : trace) {
+    EXPECT_NEAR(j.deadline - j.arrival, 42.0, 1e-9);
+  }
+}
+
+TEST(MakeWorkload, FactorZeroDisablesDeadlines) {
+  Rng rng(6);
+  WorkloadParams params;
+  params.deadline_factor = 0.0;
+  const auto trace = MakeWorkload(Pool(3), Solos(3), params, rng);
+  for (const auto& j : trace) EXPECT_DOUBLE_EQ(j.deadline, 0.0);
+}
+
+TEST(MakeWorkload, OversizedRequestSamplesWithReplacement) {
+  Rng rng(7);
+  WorkloadParams params;
+  params.num_jobs = 100;
+  const auto trace = MakeWorkload(Pool(3), Solos(3), params, rng);
+  EXPECT_EQ(trace.size(), 100u);
+}
+
+TEST(MakeWorkload, PermutationDiffersAcrossSeeds) {
+  WorkloadParams params;
+  Rng a(8), b(9);
+  const auto ta = MakeWorkload(Pool(10), Solos(10), params, a);
+  const auto tb = MakeWorkload(Pool(10), Solos(10), params, b);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    if (ta[i].profile.app_name != tb[i].profile.app_name) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MakeWorkload, NoPermutationKeepsPoolOrder) {
+  Rng rng(10);
+  WorkloadParams params;
+  params.permute = false;
+  params.mean_interarrival_s = 0.0;
+  const auto trace = MakeWorkload(Pool(4), Solos(4), params, rng);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].profile.app_name, "app" + std::to_string(i));
+    EXPECT_DOUBLE_EQ(trace[i].arrival, 0.0);
+  }
+}
+
+TEST(MakeWorkload, RejectsBadInputs) {
+  Rng rng(11);
+  WorkloadParams params;
+  EXPECT_THROW(MakeWorkload({}, {}, params, rng), std::invalid_argument);
+  EXPECT_THROW(MakeWorkload(Pool(2), Solos(3), params, rng),
+               std::invalid_argument);
+  params.deadline_factor = 0.5;
+  EXPECT_THROW(MakeWorkload(Pool(2), Solos(2), params, rng),
+               std::invalid_argument);
+  params.deadline_factor = 1.0;
+  params.mean_interarrival_s = -1.0;
+  EXPECT_THROW(MakeWorkload(Pool(2), Solos(2), params, rng),
+               std::invalid_argument);
+}
+
+TEST(MakeWorkload, SubsetRequestTakesPermutationPrefix) {
+  Rng rng(12);
+  WorkloadParams params;
+  params.num_jobs = 3;
+  const auto trace = MakeWorkload(Pool(10), Solos(10), params, rng);
+  EXPECT_EQ(trace.size(), 3u);
+  // No duplicates in a subset draw.
+  std::set<std::string> names;
+  for (const auto& j : trace) names.insert(j.profile.app_name);
+  EXPECT_EQ(names.size(), 3u);
+}
+
+}  // namespace
+}  // namespace simmr::trace

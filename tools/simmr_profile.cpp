@@ -1,0 +1,50 @@
+// simmr_profile: MRProfiler as a command — parse a history log into
+// replayable job templates and store them in a trace database.
+//
+//   simmr_profile --log=history.log --out-db=traces/
+#include <cstdio>
+
+#include "cluster/history_log.h"
+#include "tool_common.h"
+#include "trace/mr_profiler.h"
+#include "trace/trace_database.h"
+
+int main(int argc, char** argv) {
+  using namespace simmr;
+  const auto flags = tools::Flags::Parse(
+      argc, argv,
+      "Extracts job profiles (the paper's job templates) from a history\n"
+      "log and persists them in a trace database directory.",
+      {
+          {"log", "history.log", "input history-log path"},
+          {"out-db", "traces", "output trace-database directory"},
+      });
+  if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+
+  try {
+    const auto log = cluster::HistoryLog::ReadFile(flags->Get("log"));
+    trace::TraceDatabase db;
+    for (auto& profile : trace::BuildAllProfiles(log)) {
+      db.Put(std::move(profile));
+    }
+    db.Save(flags->Get("out-db"));
+
+    std::printf("profiled %zu jobs into %s\n", db.size(),
+                flags->Get("out-db").c_str());
+    for (const auto id : db.AllIds()) {
+      const trace::JobProfile& p = db.Get(id);
+      const auto map = p.MapSummary();
+      const auto sh = p.TypicalShuffleSummary();
+      const auto red = p.ReduceSummary();
+      std::printf(
+          "  #%-3d %-12s %-18s N_M=%-4d N_R=%-4d M(avg=%.1f,max=%.1f) "
+          "Sh(avg=%.1f) R(avg=%.1f)\n",
+          id, p.app_name.c_str(), p.dataset.c_str(), p.num_maps,
+          p.num_reduces, map.mean, map.max, sh.mean, red.mean);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

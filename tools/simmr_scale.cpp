@@ -1,0 +1,64 @@
+// simmr_scale: the trace-scaling extension (the paper's Section VII
+// future work) as a command — derive large-dataset traces from traces
+// collected on small datasets.
+//
+//   simmr_scale --db=traces --id=3 --data-factor=4 --out-db=scaled
+#include <cstdio>
+
+#include "tool_common.h"
+#include "trace/trace_database.h"
+#include "trace/trace_scaling.h"
+
+int main(int argc, char** argv) {
+  using namespace simmr;
+  const auto flags = tools::Flags::Parse(
+      argc, argv,
+      "Scales job profiles to larger (or smaller) datasets: map counts\n"
+      "grow with the data, per-reduce phase durations grow with the\n"
+      "per-reduce volume. Scales one profile (--id) or every profile in\n"
+      "the database (--id=-1).",
+      {
+          {"db", "traces", "input trace-database directory"},
+          {"out-db", "scaled_traces", "output trace-database directory"},
+          {"id", "-1", "profile id to scale (-1 = all)"},
+          {"data-factor", "2", "input-data growth factor (> 0)"},
+          {"reduce-factor", "1", "reduce-count growth factor (> 0)"},
+          {"seed", "42", "resampling seed"},
+      });
+  if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+
+  try {
+    const auto db = trace::TraceDatabase::Load(flags->Get("db"));
+    trace::ScalingParams params;
+    params.data_factor = flags->GetDouble("data-factor");
+    params.reduce_factor = flags->GetDouble("reduce-factor");
+    Rng rng(static_cast<std::uint64_t>(flags->GetInt("seed")));
+
+    std::vector<trace::TraceDatabase::ProfileId> ids;
+    const int requested = flags->GetInt("id");
+    if (requested < 0) {
+      ids = db.AllIds();
+    } else {
+      ids.push_back(requested);
+    }
+
+    trace::TraceDatabase out;
+    for (const auto id : ids) {
+      const trace::JobProfile& original = db.Get(id);
+      trace::JobProfile scaled = trace::ScaleProfile(original, params, rng);
+      std::printf("#%-3d %-12s %-20s maps %d -> %d, reduces %d -> %d\n", id,
+                  scaled.app_name.c_str(), scaled.dataset.c_str(),
+                  original.num_maps, scaled.num_maps, original.num_reduces,
+                  scaled.num_reduces);
+      out.Put(std::move(scaled));
+    }
+    out.Save(flags->Get("out-db"));
+    std::printf("wrote %zu scaled profiles (data x%.2f, reduces x%.2f) to %s\n",
+                out.size(), params.data_factor, params.reduce_factor,
+                flags->Get("out-db").c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,87 @@
+// simmr_testbed: run a workload on the Hadoop testbed emulator and write a
+// JobTracker-style history log (the repository's stand-in for collecting
+// logs from a real cluster).
+//
+//   simmr_testbed --suite=validation --out=history.log
+//   simmr_testbed --suite=full --nodes=64 --scheduler=edf --seed=7
+#include <cstdio>
+
+#include "cluster/cluster_sim.h"
+#include "tool_common.h"
+
+int main(int argc, char** argv) {
+  using namespace simmr;
+  const auto flags = tools::Flags::Parse(
+      argc, argv,
+      "Runs MapReduce jobs on the emulated 66-node cluster and writes a\n"
+      "history log consumable by simmr_profile.",
+      {
+          {"suite", "validation",
+           "job set: validation (6 apps), full (6 apps x 3 datasets), "
+           "section2 (the 200x256 WordCount)"},
+          {"out", "history.log", "output history-log path"},
+          {"nodes", "64", "worker node count"},
+          {"map-slots-per-node", "1", "map slots per worker"},
+          {"reduce-slots-per-node", "1", "reduce slots per worker"},
+          {"scheduler", "fifo", "testbed scheduler: fifo | edf"},
+          {"failure-prob", "0", "task attempt failure probability"},
+          {"gap", "10000", "submission gap between jobs, seconds"},
+          {"seed", "42", "master seed"},
+      });
+  if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+
+  try {
+    std::vector<cluster::JobSpec> specs;
+    const std::string suite = flags->Get("suite");
+    if (suite == "validation") {
+      specs = cluster::ValidationSuite();
+    } else if (suite == "full") {
+      specs = cluster::FullWorkloadSuite();
+    } else if (suite == "section2") {
+      specs = {cluster::SectionTwoExample()};
+    } else {
+      std::fprintf(stderr, "error: unknown suite '%s'\n", suite.c_str());
+      return 1;
+    }
+
+    std::vector<cluster::SubmittedJob> jobs;
+    double t = 0.0;
+    for (const auto& spec : specs) {
+      jobs.push_back({spec, t, 0.0});
+      t += flags->GetDouble("gap");
+    }
+
+    cluster::TestbedOptions opts;
+    opts.config.num_nodes = flags->GetInt("nodes");
+    opts.config.map_slots_per_node = flags->GetInt("map-slots-per-node");
+    opts.config.reduce_slots_per_node =
+        flags->GetInt("reduce-slots-per-node");
+    opts.config.task_failure_prob = flags->GetDouble("failure-prob");
+    opts.seed = static_cast<std::uint64_t>(flags->GetInt("seed"));
+    const std::string scheduler = flags->Get("scheduler");
+    if (scheduler == "edf") {
+      opts.scheduler = cluster::SchedulerKind::kEdf;
+    } else if (scheduler != "fifo") {
+      std::fprintf(stderr, "error: unknown scheduler '%s'\n",
+                   scheduler.c_str());
+      return 1;
+    }
+
+    const auto result = cluster::RunTestbed(jobs, opts);
+    result.log.WriteFile(flags->Get("out"));
+
+    std::printf("ran %zu jobs on %d nodes (%llu events); log: %s\n",
+                result.log.jobs().size(), opts.config.num_nodes,
+                static_cast<unsigned long long>(result.events_processed),
+                flags->Get("out").c_str());
+    for (const auto& job : result.log.jobs()) {
+      std::printf("  %-12s %-18s maps=%4d reduces=%4d completion=%9.1f s\n",
+                  job.app_name.c_str(), job.dataset.c_str(), job.num_maps,
+                  job.num_reduces, job.finish_time - job.submit_time);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

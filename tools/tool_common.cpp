@@ -1,0 +1,118 @@
+#include "tool_common.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace simmr::tools {
+namespace {
+
+bool g_last_parse_failed = false;
+
+void PrintUsage(const std::string& program, const std::string& description,
+                const std::vector<FlagSpec>& specs) {
+  std::fprintf(stderr, "%s\n\nusage: %s [flags]\n", description.c_str(),
+               program.c_str());
+  for (const auto& spec : specs) {
+    std::fprintf(stderr, "  --%-22s %s (default: %s)\n", spec.name.c_str(),
+                 spec.help.c_str(),
+                 spec.default_value.empty() ? "\"\""
+                                            : spec.default_value.c_str());
+  }
+}
+
+}  // namespace
+
+bool Flags::LastParseFailed() { return g_last_parse_failed; }
+
+std::optional<Flags> Flags::Parse(int argc, char** argv,
+                                  const std::string& description,
+                                  std::vector<FlagSpec> specs) {
+  g_last_parse_failed = false;
+  Flags flags;
+  for (const auto& spec : specs) flags.values_[spec.name] = spec.default_value;
+
+  const auto find_spec = [&specs](const std::string& name) -> const FlagSpec* {
+    for (const auto& spec : specs) {
+      if (spec.name == name) return &spec;
+    }
+    return nullptr;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0], description, specs);
+      return std::nullopt;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", arg.c_str());
+      PrintUsage(argv[0], description, specs);
+      g_last_parse_failed = true;
+      return std::nullopt;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    bool have_value = false;
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      have_value = true;
+    }
+    const FlagSpec* spec = find_spec(arg);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "error: unknown flag '--%s'\n", arg.c_str());
+      PrintUsage(argv[0], description, specs);
+      g_last_parse_failed = true;
+      return std::nullopt;
+    }
+    if (!have_value) {
+      if (spec->is_boolean) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "error: flag '--%s' needs a value\n",
+                     arg.c_str());
+        g_last_parse_failed = true;
+        return std::nullopt;
+      }
+    }
+    flags.values_[arg] = value;
+  }
+  return flags;
+}
+
+std::string Flags::Get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end())
+    throw std::logic_error("Flags::Get: undeclared flag " + name);
+  return it->second;
+}
+
+int Flags::GetInt(const std::string& name) const {
+  const std::string value = Get(name);
+  std::size_t consumed = 0;
+  const int parsed = std::stoi(value, &consumed);
+  if (consumed != value.size())
+    throw std::invalid_argument("flag --" + name + ": bad integer '" + value +
+                                "'");
+  return parsed;
+}
+
+double Flags::GetDouble(const std::string& name) const {
+  const std::string value = Get(name);
+  std::size_t consumed = 0;
+  const double parsed = std::stod(value, &consumed);
+  if (consumed != value.size())
+    throw std::invalid_argument("flag --" + name + ": bad number '" + value +
+                                "'");
+  return parsed;
+}
+
+bool Flags::GetBool(const std::string& name) const {
+  const std::string value = Get(name);
+  return value == "true" || value == "1" || value == "yes";
+}
+
+}  // namespace simmr::tools

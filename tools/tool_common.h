@@ -1,0 +1,43 @@
+// Minimal flag parsing shared by the command-line tools.
+//
+// Supports --key=value and --key value forms plus boolean --key. Unknown
+// flags are errors so typos fail fast. Each tool declares its flags with
+// defaults and help text; --help prints generated usage.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace simmr::tools {
+
+struct FlagSpec {
+  std::string name;        // without the leading "--"
+  std::string default_value;
+  std::string help;
+  bool is_boolean = false;
+};
+
+class Flags {
+ public:
+  /// Parses argv against the specs. On --help prints usage and returns
+  /// nullopt; on errors prints the problem + usage to stderr and returns
+  /// nullopt (caller should exit nonzero via ok()).
+  static std::optional<Flags> Parse(int argc, char** argv,
+                                    const std::string& description,
+                                    std::vector<FlagSpec> specs);
+
+  /// True when parsing failed (as opposed to --help).
+  static bool LastParseFailed();
+
+  std::string Get(const std::string& name) const;
+  int GetInt(const std::string& name) const;     // throws on non-numeric
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;   // "true"/"1" => true
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace simmr::tools
