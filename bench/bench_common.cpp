@@ -1,10 +1,33 @@
 #include "bench_common.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 
+#include "obs/telemetry.h"
+
 namespace simmr::bench {
+namespace {
+
+// Exit-telemetry state, armed by PrintHeader (bench binaries are
+// single-threaded, one exhibit per process).
+std::string g_exhibit;                              // NOLINT
+std::chrono::steady_clock::time_point g_wall_start;  // NOLINT
+std::uint64_t g_telemetry_events = 0;                // NOLINT
+
+void EmitTelemetryLine() {
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    g_wall_start)
+          .count();
+  const obs::RunTelemetry telemetry = obs::MakeRunTelemetry(
+      "bench", g_exhibit, wall_seconds, g_telemetry_events, /*jobs=*/0,
+      /*makespan_s=*/0.0);
+  std::printf("\n%s\n", telemetry.ToJson().c_str());
+}
+
+}  // namespace
 
 std::uint64_t EnvOrDefault(const char* name, std::uint64_t fallback) {
   const char* value = std::getenv(name);
@@ -19,11 +42,20 @@ std::uint64_t EnvOrDefault(const char* name, std::uint64_t fallback) {
 }
 
 void PrintHeader(const std::string& exhibit, const std::string& description) {
+  g_exhibit = exhibit;
+  g_wall_start = std::chrono::steady_clock::now();
+  static bool telemetry_registered = false;
+  if (!telemetry_registered) {
+    telemetry_registered = true;
+    std::atexit(EmitTelemetryLine);
+  }
   std::printf("================================================================\n");
   std::printf("SimMR reproduction — %s\n", exhibit.c_str());
   std::printf("%s\n", description.c_str());
   std::printf("================================================================\n\n");
 }
+
+void AddTelemetryEvents(std::uint64_t events) { g_telemetry_events += events; }
 
 void PrintSection(const std::string& title) {
   std::printf("\n--- %s ---\n", title.c_str());

@@ -23,8 +23,13 @@ namespace simmr::bench {
 /// Reads a positive integer environment knob with a default.
 std::uint64_t EnvOrDefault(const char* name, std::uint64_t fallback);
 
-/// Prints the standard header for a bench binary.
+/// Prints the standard header for a bench binary, starts the wall clock
+/// and arranges for one machine-readable RunTelemetry JSON line
+/// ("simmr.telemetry.v1", see obs/telemetry.h) on stdout at process exit.
 void PrintHeader(const std::string& exhibit, const std::string& description);
+
+/// Adds simulated events to the exit telemetry (feeds events_per_second).
+void AddTelemetryEvents(std::uint64_t events);
 
 /// Prints a section separator.
 void PrintSection(const std::string& title);

@@ -121,6 +121,7 @@ int main() {
                 simmr_wall > 0.0 ? mumak_wall / simmr_wall : 0.0,
                 static_cast<unsigned long long>(sim.events_processed),
                 static_cast<unsigned long long>(mres.events_processed));
+    bench::AddTelemetryEvents(sim.events_processed + mres.events_processed);
     if (jobs == kTotalJobs) break;
   }
   std::printf(

@@ -28,6 +28,18 @@ struct Event {
   std::int32_t b = 0;
 };
 
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kJobArrival: return "JOB_ARRIVAL";
+    case EventKind::kHeartbeat: return "HEARTBEAT";
+    case EventKind::kOobHeartbeat: return "OOB_HEARTBEAT";
+    case EventKind::kMapDataReady: return "MAP_DATA_READY";
+    case EventKind::kReduceDone: return "REDUCE_DONE";
+    case EventKind::kFetchCheck: return "FETCH_CHECK";
+  }
+  return "?";
+}
+
 /// One attempt occupying a slot on a node. Map attempts carry their own
 /// timestamps and failure flag because speculation allows two concurrent
 /// attempts of the same map task; reduce attempts have at most one in
@@ -58,6 +70,7 @@ class TestbedSim {
       : submissions_(submissions),
         options_(options),
         master_rng_(options.seed),
+        obs_(options.observer),
         shuffle_(MakeAggregateBw(options.config),
                  MakePerFlowCap(options.config)) {
     for (std::size_t i = 1; i < submissions_.size(); ++i) {
@@ -99,6 +112,9 @@ class TestbedSim {
       auto entry = queue_.Pop();
       now_ = entry.time;
       ++events_processed_;
+      if (obs_ != nullptr)
+        obs_->OnEventDequeue(now_, EventKindName(entry.payload.kind),
+                             queue_.Size());
       Dispatch(entry.payload);
     }
     if (finished_jobs_ < submissions_.size())
@@ -177,6 +193,9 @@ class TestbedSim {
         id, submission, options_.config, master_rng_.Split("job", id)));
     if (options_.caps) jobs_.back()->caps() = options_.caps(submission);
     job_queue_.push_back(jobs_.back().get());
+    if (obs_ != nullptr)
+      obs_->OnJobArrival(now_, id, submission.spec.FullName(),
+                         submission.deadline);
     SIMMR_DEBUG << "t=" << now_ << " job " << id << " ("
                 << submission.spec.FullName() << ") arrived";
   }
@@ -223,6 +242,11 @@ class TestbedSim {
           rec.input_mb = m.input_mb;
           rec.succeeded = winner;
           log_.AddTask(rec);
+          if (obs_ != nullptr)
+            obs_->OnTaskCompletion(
+                now_, job_id, obs::TaskKind::kMap, index,
+                obs::TaskTiming{entry.start, entry.start, entry.end},
+                winner);
           ++node.free_map_slots;
           --job.running_maps;
           --m.active_attempts;
@@ -255,6 +279,11 @@ class TestbedSim {
           rec.input_mb = r.bytes_mb;
           rec.succeeded = !r.attempt_failing;
           log_.AddTask(rec);
+          if (obs_ != nullptr)
+            obs_->OnTaskCompletion(
+                now_, job_id, obs::TaskKind::kReduce, index,
+                obs::TaskTiming{r.start, r.shuffle_end, r.end},
+                !r.attempt_failing);
           ++node.free_reduce_slots;
           --job.running_reduces;
           if (r.attempt_failing) {
@@ -290,6 +319,7 @@ class TestbedSim {
     job.finish_time = now_;
     makespan_ = std::max(makespan_, now_);
     ++finished_jobs_;
+    if (obs_ != nullptr) obs_->OnJobCompletion(now_, job.id());
     job_queue_.erase(
         std::find(job_queue_.begin(), job_queue_.end(), &job));
 
@@ -336,6 +366,8 @@ class TestbedSim {
     // Hadoop 0.20 assigns at most one map and one reduce per heartbeat.
     if (node.free_map_slots > 0) {
       const JobId job_id = scheduler_->PickMapJob(job_queue_);
+      if (obs_ != nullptr)
+        obs_->OnSchedulerDecision(now_, obs::TaskKind::kMap, job_id);
       if (job_id != kInvalidJob) {
         LaunchMap(*jobs_[job_id], node_id);
       } else if (cfg.speculative_execution) {
@@ -345,6 +377,8 @@ class TestbedSim {
     if (node.free_reduce_slots > 0) {
       const JobId job_id =
           scheduler_->PickReduceJob(job_queue_, cfg.reduce_slowstart);
+      if (obs_ != nullptr)
+        obs_->OnSchedulerDecision(now_, obs::TaskKind::kReduce, job_id);
       if (job_id != kInvalidJob) LaunchReduce(*jobs_[job_id], node_id);
     }
   }
@@ -394,6 +428,8 @@ class TestbedSim {
     entry.end = now_ + duration;
     node.running.push_back(entry);
     node_last_attempt_end_ = entry.end;
+    if (obs_ != nullptr)
+      obs_->OnTaskLaunch(now_, job.id(), obs::TaskKind::kMap, index);
     if (job.launch_time < 0.0) job.launch_time = now_;
     if (failing) {
       if (options_.config.out_of_band_heartbeat) {
@@ -462,6 +498,8 @@ class TestbedSim {
     entry.kind = TaskKind::kReduce;
     entry.index = index;
     node.running.push_back(entry);
+    if (obs_ != nullptr)
+      obs_->OnTaskLaunch(now_, job.id(), obs::TaskKind::kReduce, index);
     if (job.launch_time < 0.0) job.launch_time = now_;
 
     r.attempt_failing = DrawFailure();
@@ -551,6 +589,10 @@ class TestbedSim {
       r.phase = ReducePhase::kMergeAndReduce;
       r.shuffle_end = now_ + merge_dur;
       r.end = r.shuffle_end + reduce_dur;
+      // The reduce's shuffle fetch finished; it enters merge+reduce now.
+      if (obs_ != nullptr)
+        obs_->OnTaskPhaseTransition(now_, job_id, obs::TaskKind::kReduce,
+                                    index, "merge+reduce");
       queue_.Push(r.end, Event{EventKind::kReduceDone, job_id, index});
       fetching_[i] = fetching_.back();
       fetching_.pop_back();
@@ -569,6 +611,7 @@ class TestbedSim {
   const std::vector<SubmittedJob>& submissions_;
   const TestbedOptions& options_;
   Rng master_rng_;
+  obs::SimObserver* obs_;
   Rng failure_rng_{0};
   Rng speculation_rng_{0};
   SimTime node_last_attempt_end_ = 0.0;

@@ -20,6 +20,7 @@
 #include "cluster/config.h"
 #include "cluster/history_log.h"
 #include "cluster/job.h"
+#include "obs/observer.h"
 
 namespace simmr::cluster {
 
@@ -36,6 +37,9 @@ struct TestbedOptions {
   SchedulerKind scheduler = SchedulerKind::kFifo;
   /// Optional per-job cap hook; unlimited caps when empty.
   SlotCapFn caps;
+  /// Optional live-instrumentation sink (borrowed; must outlive the run).
+  /// Null by default — one branch per hook site, nothing else.
+  obs::SimObserver* observer = nullptr;
 };
 
 struct TestbedResult {

@@ -12,7 +12,10 @@ class SimulatorEngine::Impl {
  public:
   Impl(const SimConfig& config, SchedulerPolicy& policy,
        const trace::WorkloadTrace& workload)
-      : config_(config), policy_(&policy), workload_(&workload) {
+      : config_(config),
+        policy_(&policy),
+        workload_(&workload),
+        obs_(config.observer) {
     if (config_.map_slots <= 0 || config_.reduce_slots <= 0)
       throw std::invalid_argument("SimulatorEngine: nonpositive slot count");
     if (config_.min_map_percent_completed < 0.0 ||
@@ -30,6 +33,7 @@ class SimulatorEngine::Impl {
   SimResult Run() {
     free_map_slots_ = config_.map_slots;
     free_reduce_slots_ = config_.reduce_slots;
+    if (obs_ != nullptr) task_times_.resize(workload_->size());
     jobs_.reserve(workload_->size());
     for (std::size_t i = 0; i < workload_->size(); ++i) {
       const trace::TraceJob& tj = (*workload_)[i];
@@ -43,6 +47,9 @@ class SimulatorEngine::Impl {
     while (!queue_.Empty()) {
       const auto entry = queue_.Pop();
       now_ = entry.time;
+      if (obs_ != nullptr)
+        obs_->OnEventDequeue(now_, EventTypeName(entry.payload.type),
+                             queue_.Size());
       Dispatch(entry.payload);
     }
     if (completed_jobs_ != jobs_.size())
@@ -65,13 +72,13 @@ class SimulatorEngine::Impl {
         AssignMapSlots();
         break;
       case EventType::kMapTaskDeparture:
-        OnMapTaskDeparture(*jobs_[ev.job]);
+        OnMapTaskDeparture(*jobs_[ev.job], ev.aux);
         break;
       case EventType::kReduceTaskArrival:
         AssignReduceSlots();
         break;
       case EventType::kReduceTaskDeparture:
-        OnReduceTaskDeparture(*jobs_[ev.job]);
+        OnReduceTaskDeparture(*jobs_[ev.job], ev.aux);
         break;
       case EventType::kMapStageDone:
         OnMapStageDone(*jobs_[ev.job]);
@@ -81,6 +88,10 @@ class SimulatorEngine::Impl {
 
   void OnJobArrival(JobState& job) {
     job_queue_.push_back(&job);
+    if (obs_ != nullptr) {
+      obs_->OnJobArrival(now_, job.id(), job.profile().app_name,
+                         job.deadline());
+    }
     // Zero-threshold gates (or jobs with no maps to gate on) open now.
     if (job.maps_completed >=
         job.ReduceGateThreshold(config_.min_map_percent_completed)) {
@@ -96,9 +107,15 @@ class SimulatorEngine::Impl {
     queue_.Push(now_, Event{EventType::kReduceTaskArrival, job.id(), 0});
   }
 
-  void OnMapTaskDeparture(JobState& job) {
+  void OnMapTaskDeparture(JobState& job, std::int32_t index) {
     ++job.maps_completed;
     ++free_map_slots_;
+    if (obs_ != nullptr) {
+      const SimTime start = task_times_[job.id()].map_start[index];
+      obs_->OnTaskCompletion(now_, job.id(), obs::TaskKind::kMap, index,
+                             obs::TaskTiming{start, start, now_},
+                             /*succeeded=*/true);
+    }
     if (job.maps_completed >=
         job.ReduceGateThreshold(config_.min_map_percent_completed)) {
       OpenReduceGate(job);
@@ -121,6 +138,12 @@ class SimulatorEngine::Impl {
     for (const PendingFiller& filler : job.pending_fillers) {
       const SimTime shuffle_end = now_ + filler.first_shuffle;
       const SimTime end = shuffle_end + filler.reduce;
+      if (obs_ != nullptr) {
+        obs::TaskTiming& t =
+            task_times_[job.id()].reduce[filler.task_index];
+        t.shuffle_end = shuffle_end;
+        t.end = end;
+      }
       if (config_.record_tasks) {
         result_.tasks.push_back(SimTaskRecord{
             job.id(), SimTaskKind::kReduce, filler.start, shuffle_end, end});
@@ -137,9 +160,14 @@ class SimulatorEngine::Impl {
     AssignReduceSlots();
   }
 
-  void OnReduceTaskDeparture(JobState& job) {
+  void OnReduceTaskDeparture(JobState& job, std::int32_t index) {
     ++job.reduces_completed;
     ++free_reduce_slots_;
+    if (obs_ != nullptr) {
+      obs_->OnTaskCompletion(now_, job.id(), obs::TaskKind::kReduce, index,
+                             task_times_[job.id()].reduce[index],
+                             /*succeeded=*/true);
+    }
     if (job.Done() && job.completion < 0.0) {
       job.completion = now_;
       queue_.Push(now_, Event{EventType::kJobDeparture, job.id(), 0});
@@ -153,6 +181,7 @@ class SimulatorEngine::Impl {
   void OnJobDeparture(JobState& job) {
     ++completed_jobs_;
     std::erase(job_queue_, &job);
+    if (obs_ != nullptr) obs_->OnJobCompletion(now_, job.id());
     policy_->OnJobCompletion(job, now_);
     result_.makespan = std::max(result_.makespan, now_);
 
@@ -172,6 +201,8 @@ class SimulatorEngine::Impl {
     while (free_map_slots_ > 0) {
       const JobId chosen = policy_->ChooseNextMapTask(
           JobQueue(job_queue_.data(), job_queue_.size()));
+      if (obs_ != nullptr)
+        obs_->OnSchedulerDecision(now_, obs::TaskKind::kMap, chosen);
       if (chosen == kInvalidJob) return;
       JobState& job = *jobs_[chosen];
       if (!job.HasPendingMap())
@@ -186,6 +217,14 @@ class SimulatorEngine::Impl {
     ++job.maps_launched;
     --free_map_slots_;
     if (job.first_launch < 0.0) job.first_launch = now_;
+    if (obs_ != nullptr) {
+      std::vector<SimTime>& starts = task_times_[job.id()].map_start;
+      if (static_cast<std::size_t>(job.maps_launched) > starts.size())
+        starts.resize(job.maps_launched);
+      starts[job.maps_launched - 1] = now_;
+      obs_->OnTaskLaunch(now_, job.id(), obs::TaskKind::kMap,
+                         job.maps_launched - 1);
+    }
     if (config_.record_tasks) {
       result_.tasks.push_back(SimTaskRecord{job.id(), SimTaskKind::kMap, now_,
                                             now_, now_ + duration});
@@ -200,6 +239,8 @@ class SimulatorEngine::Impl {
       while (free_reduce_slots_ > 0) {
         const JobId chosen = policy_->ChooseNextReduceTask(
             JobQueue(job_queue_.data(), job_queue_.size()));
+        if (obs_ != nullptr)
+          obs_->OnSchedulerDecision(now_, obs::TaskKind::kReduce, chosen);
         if (chosen == kInvalidJob) return;
         JobState& job = *jobs_[chosen];
         if (!job.HasPendingReduce() || !job.reduce_gate_open)
@@ -232,6 +273,13 @@ class SimulatorEngine::Impl {
     if (victim.pending_fillers.empty())
       throw std::logic_error(
           "SchedulerPolicy picked a preemption victim without fillers");
+    if (obs_ != nullptr) {
+      const PendingFiller& filler = victim.pending_fillers.back();
+      obs_->OnTaskCompletion(now_, victim.id(), obs::TaskKind::kReduce,
+                             filler.task_index,
+                             obs::TaskTiming{filler.start, now_, now_},
+                             /*succeeded=*/false);
+    }
     victim.pending_fillers.pop_back();
     --victim.reduces_launched;
     ++free_reduce_slots_;
@@ -243,6 +291,15 @@ class SimulatorEngine::Impl {
     --free_reduce_slots_;
     if (job.first_launch < 0.0) job.first_launch = now_;
     const double reduce_duration = job.NextReduceDuration();
+    if (obs_ != nullptr) {
+      std::vector<obs::TaskTiming>& times = task_times_[job.id()].reduce;
+      if (static_cast<std::size_t>(job.reduces_launched) > times.size())
+        times.resize(job.reduces_launched);
+      // Filler timing is patched at MAP_STAGE_DONE; until then the phase
+      // boundary and end are unknown.
+      times[index] = obs::TaskTiming{now_, kTimeInfinity, kTimeInfinity};
+      obs_->OnTaskLaunch(now_, job.id(), obs::TaskKind::kReduce, index);
+    }
 
     if (!job.MapsDone()) {
       // Filler reduce: "we schedule a filler reduce task of infinite
@@ -260,6 +317,10 @@ class SimulatorEngine::Impl {
     const double shuffle_duration = job.NextTypicalShuffleDuration();
     const SimTime shuffle_end = now_ + shuffle_duration;
     const SimTime end = shuffle_end + reduce_duration;
+    if (obs_ != nullptr) {
+      task_times_[job.id()].reduce[index] =
+          obs::TaskTiming{now_, shuffle_end, end};
+    }
     if (config_.record_tasks) {
       result_.tasks.push_back(SimTaskRecord{job.id(), SimTaskKind::kReduce,
                                             now_, shuffle_end, end});
@@ -270,6 +331,16 @@ class SimulatorEngine::Impl {
   SimConfig config_;
   SchedulerPolicy* policy_;
   const trace::WorkloadTrace* workload_;
+  obs::SimObserver* obs_;
+
+  /// Per-job launch timing kept only when an observer is installed, so
+  /// departures can report full TaskTiming. Indexed by launch index
+  /// (stable: preempted fillers are relaunched under the same index).
+  struct JobTaskTimes {
+    std::vector<SimTime> map_start;
+    std::vector<obs::TaskTiming> reduce;
+  };
+  std::vector<JobTaskTimes> task_times_;
 
   EventQueue<Event> queue_;
   std::vector<std::unique_ptr<JobState>> jobs_;

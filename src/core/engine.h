@@ -16,6 +16,7 @@
 
 #include "core/metrics.h"
 #include "core/scheduler.h"
+#include "obs/observer.h"
 #include "trace/workload.h"
 
 namespace simmr::core {
@@ -31,6 +32,12 @@ struct SimConfig {
 
   /// Record per-task timeline entries into SimResult::tasks.
   bool record_tasks = false;
+
+  /// Optional live-instrumentation sink (borrowed; must outlive the run).
+  /// Null (the default) costs one branch per hook site and nothing else;
+  /// see src/obs/observer.h for the callback contract and
+  /// docs/OBSERVABILITY.md for the ready-made sinks.
+  obs::SimObserver* observer = nullptr;
 
   /// Allow policies to kill filler (first-wave) reduces of other jobs to
   /// free reduce slots for more urgent work — the engine then consults

@@ -39,11 +39,15 @@ std::vector<double> MeasureSoloCompletions(
   std::vector<double> completions;
   completions.reserve(profiles.size());
   InternalFifo fifo;
+  // Solo measurement is a derived quantity, not part of the observed run:
+  // suppress any installed observer so sinks see only the real replay.
+  SimConfig solo_config = config;
+  solo_config.observer = nullptr;
   for (const auto& profile : profiles) {
     trace::WorkloadTrace solo(1);
     solo[0].profile = profile;
     solo[0].arrival = 0.0;
-    const SimResult result = Replay(solo, fifo, config);
+    const SimResult result = Replay(solo, fifo, solo_config);
     if (result.jobs.size() != 1)
       throw std::logic_error("MeasureSoloCompletions: missing job result");
     completions.push_back(result.jobs[0].CompletionTime());

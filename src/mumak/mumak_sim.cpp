@@ -11,6 +11,15 @@ namespace {
 
 enum class EventKind : std::uint8_t { kJobArrival, kHeartbeat, kOobHeartbeat };
 
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kJobArrival: return "JOB_ARRIVAL";
+    case EventKind::kHeartbeat: return "HEARTBEAT";
+    case EventKind::kOobHeartbeat: return "OOB_HEARTBEAT";
+  }
+  return "?";
+}
+
 struct Event {
   EventKind kind;
   std::int32_t a = 0;  // job index or node id
@@ -20,7 +29,12 @@ struct RunningTask {
   std::int32_t job = -1;
   cluster::TaskKind kind = cluster::TaskKind::kMap;
   std::int32_t index = -1;
+  SimTime start = 0.0;
   SimTime end = 0.0;  // kTimeInfinity for reduces awaiting AllMapsFinished
+  /// For reduces: when the reduce phase began (AllMapsFinished time, or
+  /// `start` when maps were already done at launch). Mumak has no shuffle,
+  /// so this is the reported phase boundary.
+  SimTime phase_start = 0.0;
 };
 
 struct MumakJobState {
@@ -52,7 +66,7 @@ struct NodeState {
 class MumakSim {
  public:
   MumakSim(const RumenTrace& trace, const MumakConfig& config)
-      : trace_(trace), config_(config) {
+      : trace_(trace), config_(config), obs_(config.observer) {
     for (std::size_t i = 1; i < trace.jobs.size(); ++i) {
       if (trace.jobs[i].submit_time < trace.jobs[i - 1].submit_time)
         throw std::invalid_argument(
@@ -83,9 +97,16 @@ class MumakSim {
     while (!queue_.Empty() && finished_ < jobs_.size()) {
       const auto entry = queue_.Pop();
       now_ = entry.time;
+      if (obs_ != nullptr)
+        obs_->OnEventDequeue(now_, EventKindName(entry.payload.kind),
+                             queue_.Size());
       switch (entry.payload.kind) {
         case EventKind::kJobArrival:
           job_queue_.push_back(entry.payload.a);
+          if (obs_ != nullptr)
+            obs_->OnJobArrival(now_, entry.payload.a,
+                               jobs_[entry.payload.a].trace->name,
+                               /*deadline=*/0.0);
           break;
         case EventKind::kHeartbeat:
           OnHeartbeat(entry.payload.a, /*rearm=*/true);
@@ -133,11 +154,24 @@ class MumakSim {
       if (task.kind == cluster::TaskKind::kMap) {
         ++job.maps_completed;
         ++node.free_map_slots;
+        if (obs_ != nullptr)
+          obs_->OnTaskCompletion(now_, task.job, obs::TaskKind::kMap,
+                                 task.index,
+                                 obs::TaskTiming{task.start, task.start,
+                                                 task.end},
+                                 /*succeeded=*/true);
         if (job.MapsDone() && job.all_maps_finished < 0.0)
           OnAllMapsFinished(task.job);
       } else {
         ++job.reduces_completed;
         ++node.free_reduce_slots;
+        if (obs_ != nullptr)
+          obs_->OnTaskCompletion(
+              now_, task.job, obs::TaskKind::kReduce, task.index,
+              obs::TaskTiming{task.start,
+                              std::max(task.start, task.phase_start),
+                              task.end},
+              /*succeeded=*/true);
       }
       node.running[i] = node.running.back();
       node.running.pop_back();
@@ -145,6 +179,7 @@ class MumakSim {
         job.finish = now_;
         ++finished_;
         std::erase(job_queue_, task.job);
+        if (obs_ != nullptr) obs_->OnJobCompletion(now_, task.job);
       }
     }
   }
@@ -160,6 +195,10 @@ class MumakSim {
           continue;
         if (task.end == kTimeInfinity) {
           task.end = now_ + ReducePhase(job, task.index);
+          task.phase_start = now_;
+          if (obs_ != nullptr)
+            obs_->OnTaskPhaseTransition(now_, job_index, obs::TaskKind::kReduce,
+                                        task.index, "reduce");
           MaybeScheduleOob(static_cast<std::int32_t>(n), task.end);
         }
       }
@@ -194,7 +233,11 @@ class MumakSim {
         --node.free_map_slots;
         const SimTime end = now_ + MapDuration(job, index);
         node.running.push_back(
-            {job_index, cluster::TaskKind::kMap, index, end});
+            {job_index, cluster::TaskKind::kMap, index, now_, end, now_});
+        if (obs_ != nullptr) {
+          obs_->OnSchedulerDecision(now_, obs::TaskKind::kMap, job_index);
+          obs_->OnTaskLaunch(now_, job_index, obs::TaskKind::kMap, index);
+        }
         MaybeScheduleOob(node_id, end);
         break;
       }
@@ -212,7 +255,11 @@ class MumakSim {
                                 ? now_ + ReducePhase(job, index)
                                 : kTimeInfinity;
         node.running.push_back(
-            {job_index, cluster::TaskKind::kReduce, index, end});
+            {job_index, cluster::TaskKind::kReduce, index, now_, end, now_});
+        if (obs_ != nullptr) {
+          obs_->OnSchedulerDecision(now_, obs::TaskKind::kReduce, job_index);
+          obs_->OnTaskLaunch(now_, job_index, obs::TaskKind::kReduce, index);
+        }
         MaybeScheduleOob(node_id, end);
         break;
       }
@@ -227,6 +274,7 @@ class MumakSim {
   EventQueue<Event> queue_;
   SimTime now_ = 0.0;
   std::size_t finished_ = 0;
+  obs::SimObserver* obs_;
 };
 
 }  // namespace

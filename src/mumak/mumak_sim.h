@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "mumak/rumen.h"
+#include "obs/observer.h"
 #include "simcore/time.h"
 
 namespace simmr::mumak {
@@ -40,6 +41,9 @@ struct MumakConfig {
   /// emulator's configuration so completion-report latency does not differ
   /// between the simulators being compared.
   bool out_of_band_heartbeat = true;
+  /// Optional live-instrumentation sink (borrowed; must outlive the run).
+  /// Null by default — one branch per hook site, nothing else.
+  obs::SimObserver* observer = nullptr;
 };
 
 struct MumakJobResult {

@@ -1,0 +1,52 @@
+// Tiny JSON emission helpers shared by the observability writers.
+//
+// The exporters in this directory emit JSON (Chrome trace events, metric
+// snapshots, run telemetry) without a serialization dependency; these
+// helpers keep escaping and numeric formatting consistent across them.
+#pragma once
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <string_view>
+
+namespace simmr::obs {
+
+/// Escapes a string for inclusion inside a JSON double-quoted literal
+/// (quotes, backslashes and control characters).
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Formats a double as a JSON number: finite values with enough digits to
+/// round-trip, non-finite values (not representable in JSON) as strings.
+inline std::string JsonNumber(double value) {
+  if (value != value) return "\"NaN\"";
+  if (value == std::numeric_limits<double>::infinity()) return "\"+Inf\"";
+  if (value == -std::numeric_limits<double>::infinity()) return "\"-Inf\"";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+}  // namespace simmr::obs

@@ -1,0 +1,243 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace simmr::obs {
+namespace {
+
+/// Renders a label set as {k1="v1",k2="v2"} (empty string when no labels).
+/// `extra` appends one more label, used for histogram `le` buckets.
+std::string PrometheusLabels(const LabelSet& labels,
+                             const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + value + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ",";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
+std::string JsonLabels(const LabelSet& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Prometheus prints bucket bounds without trailing zeros.
+std::string BoundText(double bound) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%g", bound);
+  return buf;
+}
+
+std::string U64Text(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size(), 0) {}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  if (it == bounds_.end()) {
+    ++overflow_;
+  } else {
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  }
+  ++total_count_;
+  sum_ += value;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::Register(const std::string& name,
+                                                  const std::string& help,
+                                                  LabelSet labels,
+                                                  Type type) {
+  if (name.empty())
+    throw std::invalid_argument("MetricsRegistry: empty metric name");
+  for (const Entry& entry : entries_) {
+    if (entry.name != name) continue;
+    if (entry.type != type)
+      throw std::invalid_argument("MetricsRegistry: metric '" + name +
+                                  "' re-registered with a different type");
+    if (entry.labels == labels)
+      throw std::invalid_argument("MetricsRegistry: duplicate metric '" +
+                                  name + "' with identical labels");
+  }
+  Entry entry;
+  entry.name = name;
+  entry.help = help;
+  entry.labels = std::move(labels);
+  entry.type = type;
+  entries_.push_back(std::move(entry));
+  return entries_.back();
+}
+
+Counter& MetricsRegistry::AddCounter(const std::string& name,
+                                     const std::string& help,
+                                     LabelSet labels) {
+  Entry& entry = Register(name, help, std::move(labels), Type::kCounter);
+  entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::AddGauge(const std::string& name,
+                                 const std::string& help, LabelSet labels) {
+  Entry& entry = Register(name, help, std::move(labels), Type::kGauge);
+  entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::AddHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds,
+                                         LabelSet labels) {
+  if (bounds.empty())
+    throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                "' needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] <= bounds[i - 1])
+      throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                  "' bounds must be strictly increasing");
+  }
+  Entry& entry = Register(name, help, std::move(labels), Type::kHistogram);
+  entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *entry.histogram;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::string out;
+  const std::string* last_family = nullptr;
+  for (const Entry& entry : entries_) {
+    // One HELP/TYPE block per family. Same-named entries are registered
+    // contiguously in practice; re-emitting the block for a non-contiguous
+    // repeat would be invalid Prometheus, so suppress any repeat.
+    const bool family_seen = [&] {
+      for (const Entry& prior : entries_) {
+        if (&prior == &entry) return false;
+        if (prior.name == entry.name) return true;
+      }
+      return false;
+    }();
+    if (!family_seen && (last_family == nullptr ||
+                         *last_family != entry.name)) {
+      const char* type_name = entry.type == Type::kCounter ? "counter"
+                              : entry.type == Type::kGauge ? "gauge"
+                                                           : "histogram";
+      out += "# HELP " + entry.name + " " + entry.help + "\n";
+      out += "# TYPE " + entry.name + " " + std::string(type_name) + "\n";
+    }
+    last_family = &entry.name;
+
+    const std::string labels = PrometheusLabels(entry.labels);
+    switch (entry.type) {
+      case Type::kCounter:
+        out += entry.name + labels + " " + U64Text(entry.counter->Value()) +
+               "\n";
+        break;
+      case Type::kGauge: {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.12g", entry.gauge->Value());
+        out += entry.name + labels + " " + buf + "\n";
+        break;
+      }
+      case Type::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bucket_bounds().size(); ++i) {
+          cumulative += h.bucket_counts()[i];
+          out += entry.name + "_bucket" +
+                 PrometheusLabels(entry.labels,
+                                  "le=\"" + BoundText(h.bucket_bounds()[i]) +
+                                      "\"") +
+                 " " + U64Text(cumulative) + "\n";
+        }
+        out += entry.name + "_bucket" +
+               PrometheusLabels(entry.labels, "le=\"+Inf\"") + " " +
+               U64Text(h.TotalCount()) + "\n";
+        out += entry.name + "_sum" + labels + " " + JsonNumber(h.Sum()) +
+               "\n";
+        out += entry.name + "_count" + labels + " " +
+               U64Text(h.TotalCount()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::Json() const {
+  std::string out = "{\"schema\":\"simmr.metrics.v1\",\"metrics\":[";
+  bool first = true;
+  for (const Entry& entry : entries_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(entry.name) + "\",\"labels\":" +
+           JsonLabels(entry.labels);
+    switch (entry.type) {
+      case Type::kCounter:
+        out += ",\"type\":\"counter\",\"value\":" +
+               U64Text(entry.counter->Value());
+        break;
+      case Type::kGauge:
+        out += ",\"type\":\"gauge\",\"value\":" +
+               JsonNumber(entry.gauge->Value());
+        break;
+      case Type::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out += ",\"type\":\"histogram\",\"buckets\":[";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bucket_bounds().size(); ++i) {
+          cumulative += h.bucket_counts()[i];
+          if (i > 0) out += ",";
+          out += "{\"le\":" + JsonNumber(h.bucket_bounds()[i]) +
+                 ",\"count\":" + U64Text(cumulative) + "}";
+        }
+        if (!h.bucket_bounds().empty()) out += ",";
+        out += "{\"le\":\"+Inf\",\"count\":" + U64Text(h.TotalCount()) +
+               "}]";
+        out += ",\"sum\":" + JsonNumber(h.Sum()) +
+               ",\"count\":" + U64Text(h.TotalCount());
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void MetricsRegistry::WriteFile(const std::string& path, bool as_json) const {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("MetricsRegistry: cannot write " + path);
+  out << (as_json ? Json() : PrometheusText());
+  if (as_json) out << "\n";
+  if (!out)
+    throw std::runtime_error("MetricsRegistry: write failed for " + path);
+}
+
+}  // namespace simmr::obs

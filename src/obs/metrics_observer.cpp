@@ -1,0 +1,127 @@
+#include "obs/metrics_observer.h"
+
+namespace simmr::obs {
+namespace {
+
+/// Completed-task duration buckets, seconds of simulated time. Spans the
+/// paper's workloads: sub-second synthetic tasks up to hour-long reduces.
+const std::vector<double> kTaskDurationBounds = {
+    0.5, 1, 2, 5, 10, 30, 60, 120, 300, 600, 1800, 3600};
+
+std::size_t KindIndex(TaskKind kind) {
+  return kind == TaskKind::kMap ? 0 : 1;
+}
+
+}  // namespace
+
+MetricsObserver::MetricsObserver(MetricsRegistry& registry)
+    : registry_(&registry) {
+  jobs_arrived_ = &registry.AddCounter("simmr_jobs_arrived_total",
+                                       "Jobs that entered the simulator");
+  jobs_completed_ = &registry.AddCounter("simmr_jobs_completed_total",
+                                         "Jobs that ran to completion");
+  for (const TaskKind kind : {TaskKind::kMap, TaskKind::kReduce}) {
+    const std::size_t k = KindIndex(kind);
+    const LabelSet labels = {{"kind", TaskKindName(kind)}};
+    tasks_launched_[k] = &registry.AddCounter(
+        "simmr_tasks_launched_total", "Task attempts launched", labels);
+    tasks_completed_[k] = &registry.AddCounter(
+        "simmr_tasks_completed_total", "Task attempts finished", labels);
+    task_failures_[k] = &registry.AddCounter(
+        "simmr_task_failures_total", "Failed or killed task attempts",
+        labels);
+    slots_busy_[k] = &registry.AddGauge(
+        "simmr_slots_busy", "Slots currently occupied by a task attempt",
+        labels);
+    slots_busy_peak_[k] = &registry.AddGauge(
+        "simmr_slots_busy_peak", "High-water mark of simmr_slots_busy",
+        labels);
+    decisions_chosen_[k] = &registry.AddCounter(
+        "simmr_scheduler_decisions_total",
+        "Scheduling-policy consultations by outcome",
+        {{"kind", TaskKindName(kind)}, {"outcome", "chosen"}});
+    decisions_idle_[k] = &registry.AddCounter(
+        "simmr_scheduler_decisions_total",
+        "Scheduling-policy consultations by outcome",
+        {{"kind", TaskKindName(kind)}, {"outcome", "idle"}});
+    task_duration_[k] = &registry.AddHistogram(
+        "simmr_task_duration_seconds",
+        "Completed task duration, simulated seconds", kTaskDurationBounds,
+        labels);
+  }
+  queue_depth_ = &registry.AddGauge(
+      "simmr_event_queue_depth", "Pending events after the last dequeue");
+  queue_depth_peak_ = &registry.AddGauge(
+      "simmr_event_queue_depth_peak",
+      "High-water mark of simmr_event_queue_depth");
+  wall_seconds_ = &registry.AddGauge(
+      "simmr_wall_seconds", "Host wall-clock time of the run (SetWallStats)");
+  wall_events_per_second_ = &registry.AddGauge(
+      "simmr_wall_events_per_second",
+      "Dequeued events per host wall-clock second (SetWallStats)");
+}
+
+void MetricsObserver::SetWallStats(double wall_seconds) {
+  wall_seconds_->Set(wall_seconds);
+  wall_events_per_second_->Set(
+      wall_seconds > 0.0 ? static_cast<double>(events_dequeued_) / wall_seconds
+                         : 0.0);
+}
+
+void MetricsObserver::OnEventDequeue(SimTime, const char* event_type,
+                                     std::size_t queue_depth) {
+  ++events_dequeued_;
+  Counter*& counter = per_event_type_[event_type];
+  if (counter == nullptr) {
+    counter = &registry_->AddCounter("simmr_events_dequeued_total",
+                                     "Events popped off the simulator queue",
+                                     {{"type", event_type}});
+  }
+  counter->Increment();
+  queue_depth_->Set(static_cast<double>(queue_depth));
+  if (queue_depth > peak_queue_depth_) {
+    peak_queue_depth_ = queue_depth;
+    queue_depth_peak_->Set(static_cast<double>(queue_depth));
+  }
+}
+
+void MetricsObserver::OnJobArrival(SimTime, std::int32_t, std::string_view,
+                                   double) {
+  jobs_arrived_->Increment();
+}
+
+void MetricsObserver::OnJobCompletion(SimTime, std::int32_t) {
+  jobs_completed_->Increment();
+}
+
+void MetricsObserver::OnTaskLaunch(SimTime, std::int32_t, TaskKind kind,
+                                   std::int32_t) {
+  const std::size_t k = KindIndex(kind);
+  tasks_launched_[k]->Increment();
+  slots_busy_now_[k] += 1.0;
+  slots_busy_[k]->Set(slots_busy_now_[k]);
+  if (slots_busy_now_[k] > slots_busy_high_[k]) {
+    slots_busy_high_[k] = slots_busy_now_[k];
+    slots_busy_peak_[k]->Set(slots_busy_high_[k]);
+  }
+}
+
+void MetricsObserver::OnTaskCompletion(SimTime, std::int32_t, TaskKind kind,
+                                       std::int32_t,
+                                       const TaskTiming& timing,
+                                       bool succeeded) {
+  const std::size_t k = KindIndex(kind);
+  tasks_completed_[k]->Increment();
+  if (!succeeded) task_failures_[k]->Increment();
+  slots_busy_now_[k] -= 1.0;
+  slots_busy_[k]->Set(slots_busy_now_[k]);
+  task_duration_[k]->Observe(timing.end - timing.start);
+}
+
+void MetricsObserver::OnSchedulerDecision(SimTime, TaskKind kind,
+                                          std::int32_t chosen_job) {
+  const std::size_t k = KindIndex(kind);
+  (chosen_job >= 0 ? decisions_chosen_[k] : decisions_idle_[k])->Increment();
+}
+
+}  // namespace simmr::obs

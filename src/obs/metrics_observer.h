@@ -1,0 +1,88 @@
+// The standard simulator metric set, fed from SimObserver callbacks.
+//
+// Install one of these (usually via MulticastObserver) to get live
+// counters, gauges and histograms for a run:
+//
+//   simmr_events_dequeued_total{type=...}   events popped, per event kind
+//   simmr_event_queue_depth                 pending events after last pop
+//   simmr_event_queue_depth_peak            high-water mark of the above
+//   simmr_jobs_arrived_total / simmr_jobs_completed_total
+//   simmr_tasks_launched_total{kind=...} / simmr_tasks_completed_total{...}
+//   simmr_task_failures_total{kind=...}     failed/killed attempts
+//   simmr_slots_busy{kind=...}              currently occupied slots
+//   simmr_slots_busy_peak{kind=...}         high-water mark of the above
+//   simmr_scheduler_decisions_total{kind=...,outcome=chosen|idle}
+//   simmr_task_duration_seconds{kind=...}   completed-task duration histogram
+//   simmr_wall_seconds, simmr_wall_events_per_second  (via SetWallStats)
+//
+// Metric names and semantics are documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "obs/observer.h"
+
+namespace simmr::obs {
+
+class MetricsObserver final : public SimObserver {
+ public:
+  /// Registers the standard metric set into `registry`, which must outlive
+  /// this observer. One observer per registry: registering twice would
+  /// collide on metric names.
+  explicit MetricsObserver(MetricsRegistry& registry);
+
+  /// Records host-side run statistics after the simulation finishes:
+  /// simmr_wall_seconds and simmr_wall_events_per_second (derived from the
+  /// dequeued-event total).
+  void SetWallStats(double wall_seconds);
+
+  /// High-water mark of the event-queue depth seen so far.
+  std::uint64_t peak_queue_depth() const { return peak_queue_depth_; }
+  /// Total events dequeued so far.
+  std::uint64_t events_dequeued() const { return events_dequeued_; }
+
+  void OnEventDequeue(SimTime now, const char* event_type,
+                      std::size_t queue_depth) override;
+  void OnJobArrival(SimTime now, std::int32_t job, std::string_view name,
+                    double deadline) override;
+  void OnJobCompletion(SimTime now, std::int32_t job) override;
+  void OnTaskLaunch(SimTime now, std::int32_t job, TaskKind kind,
+                    std::int32_t index) override;
+  void OnTaskCompletion(SimTime now, std::int32_t job, TaskKind kind,
+                        std::int32_t index, const TaskTiming& timing,
+                        bool succeeded) override;
+  void OnSchedulerDecision(SimTime now, TaskKind kind,
+                           std::int32_t chosen_job) override;
+
+ private:
+  MetricsRegistry* registry_;
+
+  Counter* jobs_arrived_;
+  Counter* jobs_completed_;
+  Counter* tasks_launched_[2];
+  Counter* tasks_completed_[2];
+  Counter* task_failures_[2];
+  Gauge* slots_busy_[2];
+  Gauge* slots_busy_peak_[2];
+  double slots_busy_now_[2] = {0.0, 0.0};
+  double slots_busy_high_[2] = {0.0, 0.0};
+  Counter* decisions_chosen_[2];
+  Counter* decisions_idle_[2];
+  Histogram* task_duration_[2];
+  Gauge* queue_depth_;
+  Gauge* queue_depth_peak_;
+  Gauge* wall_seconds_;
+  Gauge* wall_events_per_second_;
+
+  std::uint64_t events_dequeued_ = 0;
+  std::uint64_t peak_queue_depth_ = 0;
+
+  /// Per-event-type counters, created lazily (event vocabularies differ
+  /// between the simulators). Keyed by the static string's address — hook
+  /// sites pass string literals, so identity is stable within a run.
+  std::unordered_map<const void*, Counter*> per_event_type_;
+};
+
+}  // namespace simmr::obs

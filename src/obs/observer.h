@@ -1,0 +1,155 @@
+// Live instrumentation hooks for the simulators.
+//
+// Every simulator in this repository (the SimMR engine, the node-level
+// testbed emulator and the Mumak baseline) accepts an optional SimObserver
+// through its config. The default is null: the hot loops pay exactly one
+// predictable branch per hook site and no virtual dispatch. When an
+// observer is installed it sees the run as a time-ordered callback stream —
+// the substrate for the metrics registry (metrics_observer.h), the
+// Perfetto trace exporter (trace_export.h) and any user-defined sink.
+//
+// Ordering contract: within one run, the `now` argument of successive
+// callbacks is nondecreasing (callbacks fire as the simulator processes its
+// event queue). tests/obs/observer_order_test.cpp asserts this for all
+// three simulators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "simcore/time.h"
+
+namespace simmr::obs {
+
+/// Task family, shared vocabulary across the simulators.
+enum class TaskKind : std::uint8_t { kMap, kReduce };
+
+inline const char* TaskKindName(TaskKind kind) {
+  return kind == TaskKind::kMap ? "map" : "reduce";
+}
+
+/// Resolved timing of one finished task attempt. For maps
+/// `shuffle_end == start`; for reduces `[start, shuffle_end]` is the
+/// shuffle (fetch+merge) phase and `[shuffle_end, end]` the reduce phase —
+/// the same convention as SimTaskRecord and the history-log format.
+struct TaskTiming {
+  SimTime start = 0.0;
+  SimTime shuffle_end = 0.0;
+  SimTime end = 0.0;
+};
+
+/// Observer interface. Every callback has an empty inline default so
+/// subclasses override only what they need. `job` ids are per-run dense
+/// indices (the same ids the simulators report in their results); a
+/// negative job id in OnSchedulerDecision means the policy declined.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  /// One event popped off the simulator's queue. `event_type` is a static
+  /// string naming the simulator-specific event kind; `queue_depth` is the
+  /// number of events still pending after the pop.
+  virtual void OnEventDequeue(SimTime now, const char* event_type,
+                              std::size_t queue_depth) {
+    (void)now, (void)event_type, (void)queue_depth;
+  }
+
+  /// A job entered the simulator. `deadline` is absolute (0 = none).
+  virtual void OnJobArrival(SimTime now, std::int32_t job,
+                            std::string_view name, double deadline) {
+    (void)now, (void)job, (void)name, (void)deadline;
+  }
+
+  virtual void OnJobCompletion(SimTime now, std::int32_t job) {
+    (void)now, (void)job;
+  }
+
+  /// A task attempt started occupying a slot.
+  virtual void OnTaskLaunch(SimTime now, std::int32_t job, TaskKind kind,
+                            std::int32_t index) {
+    (void)now, (void)job, (void)kind, (void)index;
+  }
+
+  /// A running task crossed a phase boundary (e.g. a reduce finished its
+  /// shuffle fetch and entered merge+reduce). `phase` is the static name
+  /// of the phase being entered. The SimMR engine resolves phase
+  /// boundaries analytically and carries them in OnTaskCompletion's
+  /// TaskTiming instead; the node-level simulators fire this live.
+  virtual void OnTaskPhaseTransition(SimTime now, std::int32_t job,
+                                     TaskKind kind, std::int32_t index,
+                                     const char* phase) {
+    (void)now, (void)job, (void)kind, (void)index, (void)phase;
+  }
+
+  /// A task attempt finished (its completion became visible to the job
+  /// master). `succeeded` is false for failed or killed attempts.
+  virtual void OnTaskCompletion(SimTime now, std::int32_t job, TaskKind kind,
+                                std::int32_t index, const TaskTiming& timing,
+                                bool succeeded) {
+    (void)now, (void)job, (void)kind, (void)index, (void)timing,
+        (void)succeeded;
+  }
+
+  /// The scheduling policy was consulted for a slot of the given kind.
+  /// `chosen_job` is the selected job, or negative when the policy left
+  /// the slot idle.
+  virtual void OnSchedulerDecision(SimTime now, TaskKind kind,
+                                   std::int32_t chosen_job) {
+    (void)now, (void)kind, (void)chosen_job;
+  }
+};
+
+/// Fans every callback out to several sinks, in registration order.
+/// Sinks are borrowed; they must outlive the simulation run.
+class MulticastObserver final : public SimObserver {
+ public:
+  MulticastObserver() = default;
+
+  /// Registers a sink. Null pointers are ignored so callers can pass
+  /// optionally-constructed observers without branching.
+  void Add(SimObserver* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+
+  bool Empty() const { return sinks_.empty(); }
+
+  void OnEventDequeue(SimTime now, const char* event_type,
+                      std::size_t queue_depth) override {
+    for (SimObserver* s : sinks_) s->OnEventDequeue(now, event_type,
+                                                    queue_depth);
+  }
+  void OnJobArrival(SimTime now, std::int32_t job, std::string_view name,
+                    double deadline) override {
+    for (SimObserver* s : sinks_) s->OnJobArrival(now, job, name, deadline);
+  }
+  void OnJobCompletion(SimTime now, std::int32_t job) override {
+    for (SimObserver* s : sinks_) s->OnJobCompletion(now, job);
+  }
+  void OnTaskLaunch(SimTime now, std::int32_t job, TaskKind kind,
+                    std::int32_t index) override {
+    for (SimObserver* s : sinks_) s->OnTaskLaunch(now, job, kind, index);
+  }
+  void OnTaskPhaseTransition(SimTime now, std::int32_t job, TaskKind kind,
+                             std::int32_t index, const char* phase) override {
+    for (SimObserver* s : sinks_)
+      s->OnTaskPhaseTransition(now, job, kind, index, phase);
+  }
+  void OnTaskCompletion(SimTime now, std::int32_t job, TaskKind kind,
+                        std::int32_t index, const TaskTiming& timing,
+                        bool succeeded) override {
+    for (SimObserver* s : sinks_)
+      s->OnTaskCompletion(now, job, kind, index, timing, succeeded);
+  }
+  void OnSchedulerDecision(SimTime now, TaskKind kind,
+                           std::int32_t chosen_job) override {
+    for (SimObserver* s : sinks_) s->OnSchedulerDecision(now, kind,
+                                                         chosen_job);
+  }
+
+ private:
+  std::vector<SimObserver*> sinks_;
+};
+
+}  // namespace simmr::obs

@@ -1,0 +1,71 @@
+#include "obs/telemetry.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace simmr::obs {
+
+std::string RunTelemetry::ToJson() const {
+  std::string out = "{\"schema\":\"simmr.telemetry.v1\"";
+  out += ",\"tool\":\"" + JsonEscape(tool) + "\"";
+  out += ",\"scenario\":\"" + JsonEscape(scenario) + "\"";
+  out += ",\"wall_seconds\":" + JsonNumber(wall_seconds);
+  out += ",\"wall_ms\":" + JsonNumber(wall_seconds * 1e3);
+  out += ",\"events_processed\":" + std::to_string(events_processed);
+  out += ",\"events_per_second\":" + JsonNumber(events_per_second);
+  out += ",\"peak_queue_depth\":" + std::to_string(peak_queue_depth);
+  out += ",\"jobs\":" + std::to_string(jobs);
+  out += ",\"makespan_s\":" + JsonNumber(makespan_s);
+  out += ",\"max_rss_kb\":" + std::to_string(max_rss_kb);
+  out += "}";
+  return out;
+}
+
+RunTelemetry MakeRunTelemetry(const std::string& tool,
+                              const std::string& scenario,
+                              double wall_seconds, std::uint64_t events,
+                              std::uint64_t jobs, double makespan_s,
+                              std::uint64_t peak_queue_depth) {
+  RunTelemetry t;
+  t.tool = tool;
+  t.scenario = scenario;
+  t.wall_seconds = wall_seconds;
+  t.events_processed = events;
+  t.events_per_second =
+      wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds : 0.0;
+  t.peak_queue_depth = peak_queue_depth;
+  t.jobs = jobs;
+  t.makespan_s = makespan_s;
+  t.max_rss_kb = QueryMaxRssKb();
+  return t;
+}
+
+long QueryMaxRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return -1;
+#if defined(__APPLE__)
+  return usage.ru_maxrss / 1024;  // macOS reports bytes
+#else
+  return usage.ru_maxrss;  // Linux reports KiB
+#endif
+#else
+  return -1;
+#endif
+}
+
+void WriteTelemetryFile(const std::string& path,
+                        const RunTelemetry& telemetry) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("telemetry: cannot write " + path);
+  out << telemetry.ToJson() << "\n";
+  if (!out) throw std::runtime_error("telemetry: write failed for " + path);
+}
+
+}  // namespace simmr::obs

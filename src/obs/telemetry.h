@@ -1,0 +1,50 @@
+// Run telemetry: the stable machine-readable performance summary emitted
+// by the tools (via --telemetry-out) and the bench binaries, and the
+// schema bench/ uses to populate BENCH_*.json.
+//
+// One run = one JSON object ("simmr.telemetry.v1"):
+//   {"schema":"simmr.telemetry.v1","tool":...,"scenario":...,
+//    "wall_seconds":...,"wall_ms":...,"events_processed":...,
+//    "events_per_second":...,"peak_queue_depth":...,"jobs":...,
+//    "makespan_s":...,"max_rss_kb":...}
+// Fields that were not measured are 0 (peak_queue_depth, jobs, makespan_s)
+// or -1 (max_rss_kb when the platform cannot report it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace simmr::obs {
+
+struct RunTelemetry {
+  std::string tool;      // producing binary, e.g. "simmr_replay"
+  std::string scenario;  // free-form run label, e.g. "policy=fifo jobs=20"
+  double wall_seconds = 0.0;
+  std::uint64_t events_processed = 0;
+  double events_per_second = 0.0;
+  std::uint64_t peak_queue_depth = 0;
+  std::uint64_t jobs = 0;
+  double makespan_s = 0.0;   // simulated seconds
+  long max_rss_kb = -1;      // process high-water RSS; -1 when unknown
+
+  /// One-line JSON object (no trailing newline).
+  std::string ToJson() const;
+};
+
+/// Assembles a RunTelemetry, deriving events_per_second from
+/// (events, wall_seconds) and filling max_rss_kb from the OS.
+RunTelemetry MakeRunTelemetry(const std::string& tool,
+                              const std::string& scenario,
+                              double wall_seconds, std::uint64_t events,
+                              std::uint64_t jobs, double makespan_s,
+                              std::uint64_t peak_queue_depth = 0);
+
+/// Process peak resident set size in KiB, or -1 when unavailable.
+long QueryMaxRssKb();
+
+/// Writes `telemetry.ToJson()` plus a newline to `path`.
+/// Throws std::runtime_error on I/O failure.
+void WriteTelemetryFile(const std::string& path,
+                        const RunTelemetry& telemetry);
+
+}  // namespace simmr::obs

@@ -1,0 +1,239 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "obs/json.h"
+
+namespace simmr::obs {
+namespace {
+
+// Thread-id layout inside the single trace process: a jobs track, a lane
+// block per task kind, and a counter track (counters are per-process, the
+// tid is ignored by viewers but kept distinct for tidiness).
+constexpr std::int64_t kJobsTid = 1;
+constexpr std::int64_t kMapLaneBase = 1000;
+constexpr std::int64_t kReduceLaneBase = 100000;
+constexpr int kPid = 1;
+
+std::int64_t LaneBase(TaskKind kind) {
+  return kind == TaskKind::kMap ? kMapLaneBase : kReduceLaneBase;
+}
+
+double ToUs(SimTime t) { return t * 1e6; }
+
+std::string TaskLabel(std::int32_t job, TaskKind kind, std::int32_t index) {
+  return std::string(TaskKindName(kind)) + " " + std::to_string(job) + "." +
+         std::to_string(index);
+}
+
+}  // namespace
+
+TraceExporter::TraceExporter() : TraceExporter(Options{}) {}
+
+TraceExporter::TraceExporter(Options options)
+    : options_(std::move(options)) {}
+
+std::int64_t TraceExporter::AcquireLane(TaskKind kind) {
+  std::vector<bool>& busy = lane_busy_[kind == TaskKind::kMap ? 0 : 1];
+  for (std::size_t i = 0; i < busy.size(); ++i) {
+    if (!busy[i]) {
+      busy[i] = true;
+      return LaneBase(kind) + static_cast<std::int64_t>(i);
+    }
+  }
+  busy.push_back(true);
+  return LaneBase(kind) + static_cast<std::int64_t>(busy.size()) - 1;
+}
+
+void TraceExporter::ReleaseLane(TaskKind kind, std::int64_t tid) {
+  std::vector<bool>& busy = lane_busy_[kind == TaskKind::kMap ? 0 : 1];
+  const std::size_t lane = static_cast<std::size_t>(tid - LaneBase(kind));
+  if (lane < busy.size()) busy[lane] = false;
+}
+
+void TraceExporter::OnEventDequeue(SimTime now, const char*,
+                                   std::size_t queue_depth) {
+  if (options_.queue_depth_sample_period == 0) return;
+  if (++dequeues_since_sample_ < options_.queue_depth_sample_period) return;
+  dequeues_since_sample_ = 0;
+  TraceEvent ev;
+  ev.name = "event_queue_depth";
+  ev.category = "queue";
+  ev.phase = 'C';
+  ev.ts_us = ToUs(now);
+  ev.tid = 0;
+  ev.args_json = "{\"depth\":" + std::to_string(queue_depth) + "}";
+  events_.push_back(std::move(ev));
+}
+
+void TraceExporter::OnJobArrival(SimTime now, std::int32_t job,
+                                 std::string_view name, double deadline) {
+  job_name_by_id_[job] = std::string(name);
+  TraceEvent ev;
+  ev.name = "job " + std::to_string(job) + " arrival";
+  ev.category = "job";
+  ev.phase = 'i';
+  ev.ts_us = ToUs(now);
+  ev.tid = kJobsTid;
+  ev.args_json = "{\"job\":" + std::to_string(job) + ",\"name\":\"" +
+                 JsonEscape(name) + "\"}";
+  events_.push_back(std::move(ev));
+  if (deadline > 0.0) {
+    TraceEvent dl;
+    dl.name = "job " + std::to_string(job) + " deadline";
+    dl.category = "deadline";
+    dl.phase = 'i';
+    dl.ts_us = ToUs(deadline);
+    dl.tid = kJobsTid;
+    dl.args_json = "{\"job\":" + std::to_string(job) + "}";
+    events_.push_back(std::move(dl));
+  }
+}
+
+void TraceExporter::OnJobCompletion(SimTime now, std::int32_t job) {
+  TraceEvent ev;
+  ev.name = "job " + std::to_string(job) + " completion";
+  ev.category = "job";
+  ev.phase = 'i';
+  ev.ts_us = ToUs(now);
+  ev.tid = kJobsTid;
+  const auto it = job_name_by_id_.find(job);
+  ev.args_json = "{\"job\":" + std::to_string(job) + ",\"name\":\"" +
+                 JsonEscape(it == job_name_by_id_.end() ? "" : it->second) +
+                 "\"}";
+  events_.push_back(std::move(ev));
+}
+
+void TraceExporter::OnTaskLaunch(SimTime, std::int32_t job, TaskKind kind,
+                                 std::int32_t index) {
+  const std::int64_t tid = AcquireLane(kind);
+  inflight_[{job, static_cast<int>(kind), index}].push_back(tid);
+}
+
+void TraceExporter::OnTaskCompletion(SimTime, std::int32_t job, TaskKind kind,
+                                     std::int32_t index,
+                                     const TaskTiming& timing,
+                                     bool succeeded) {
+  const auto key = std::make_tuple(job, static_cast<int>(kind), index);
+  std::int64_t tid;
+  const auto it = inflight_.find(key);
+  if (it != inflight_.end() && !it->second.empty()) {
+    // FIFO among concurrent attempts of the same task: the earliest launch
+    // completes first in every simulator here.
+    tid = it->second.front();
+    it->second.erase(it->second.begin());
+    if (it->second.empty()) inflight_.erase(it);
+  } else {
+    // Completion without a matching launch (observer installed mid-run):
+    // still render the slice on a fresh lane.
+    tid = AcquireLane(kind);
+  }
+  EmitTask(tid, job, kind, index, timing, succeeded);
+  ReleaseLane(kind, tid);
+}
+
+void TraceExporter::EmitTask(std::int64_t tid, std::int32_t job,
+                             TaskKind kind, std::int32_t index,
+                             const TaskTiming& timing, bool succeeded) {
+  const std::string args = "{\"job\":" + std::to_string(job) +
+                           ",\"index\":" + std::to_string(index) +
+                           ",\"succeeded\":" +
+                           (succeeded ? "true" : "false") + "}";
+  TraceEvent ev;
+  ev.name = TaskLabel(job, kind, index);
+  ev.category = succeeded ? TaskKindName(kind) : "failed";
+  ev.phase = 'X';
+  ev.ts_us = ToUs(timing.start);
+  ev.dur_us = ToUs(std::max(0.0, timing.end - timing.start));
+  ev.tid = tid;
+  ev.args_json = args;
+  events_.push_back(std::move(ev));
+
+  // Nested shuffle/reduce slices when the phase boundary falls strictly
+  // inside the task (reduces only; maps have shuffle_end == start).
+  if (kind == TaskKind::kReduce && timing.shuffle_end > timing.start &&
+      timing.shuffle_end < timing.end) {
+    TraceEvent shuffle;
+    shuffle.name = "shuffle";
+    shuffle.category = "phase";
+    shuffle.phase = 'X';
+    shuffle.ts_us = ToUs(timing.start);
+    shuffle.dur_us = ToUs(timing.shuffle_end - timing.start);
+    shuffle.tid = tid;
+    events_.push_back(std::move(shuffle));
+    TraceEvent reduce;
+    reduce.name = "reduce";
+    reduce.category = "phase";
+    reduce.phase = 'X';
+    reduce.ts_us = ToUs(timing.shuffle_end);
+    reduce.dur_us = ToUs(timing.end - timing.shuffle_end);
+    reduce.tid = tid;
+    events_.push_back(std::move(reduce));
+  }
+}
+
+std::string TraceExporter::ToJson() const {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto append = [&out, &first](const std::string& obj) {
+    if (!first) out += ",";
+    first = false;
+    out += obj;
+  };
+
+  // Metadata: process name, then one thread_name per track actually used,
+  // sorted so the viewer shows jobs, then map slots, then reduce slots.
+  append("{\"ph\":\"M\",\"pid\":" + std::to_string(kPid) +
+         ",\"name\":\"process_name\",\"args\":{\"name\":\"" +
+         JsonEscape(options_.process_name) + "\"}}");
+  const auto thread_meta = [&](std::int64_t tid, const std::string& name,
+                               std::int64_t sort_index) {
+    append("{\"ph\":\"M\",\"pid\":" + std::to_string(kPid) +
+           ",\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           JsonEscape(name) + "\"}}");
+    append("{\"ph\":\"M\",\"pid\":" + std::to_string(kPid) +
+           ",\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" +
+           std::to_string(sort_index) + "}}");
+  };
+  thread_meta(kJobsTid, "jobs", 0);
+  for (std::size_t i = 0; i < lane_busy_[0].size(); ++i) {
+    thread_meta(kMapLaneBase + static_cast<std::int64_t>(i),
+                "map slot " + std::to_string(i),
+                10 + static_cast<std::int64_t>(i));
+  }
+  for (std::size_t i = 0; i < lane_busy_[1].size(); ++i) {
+    thread_meta(kReduceLaneBase + static_cast<std::int64_t>(i),
+                "reduce slot " + std::to_string(i),
+                100000 + static_cast<std::int64_t>(i));
+  }
+
+  for (const TraceEvent& ev : events_) {
+    std::string obj = "{\"name\":\"" + JsonEscape(ev.name) +
+                      "\",\"cat\":\"" + ev.category + "\",\"ph\":\"" +
+                      ev.phase + "\",\"ts\":" + JsonNumber(ev.ts_us) +
+                      ",\"pid\":" + std::to_string(kPid) +
+                      ",\"tid\":" + std::to_string(ev.tid);
+    if (ev.phase == 'X') obj += ",\"dur\":" + JsonNumber(ev.dur_us);
+    if (ev.phase == 'i') obj += ",\"s\":\"t\"";
+    if (!ev.args_json.empty()) obj += ",\"args\":" + ev.args_json;
+    obj += "}";
+    append(obj);
+  }
+  out += "]}";
+  return out;
+}
+
+void TraceExporter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("TraceExporter: cannot write " + path);
+  out << ToJson() << "\n";
+  if (!out)
+    throw std::runtime_error("TraceExporter: write failed for " + path);
+}
+
+}  // namespace simmr::obs

@@ -1,0 +1,95 @@
+// Chrome/Perfetto trace_event JSON exporter.
+//
+// A SimObserver that renders a simulation run in the Trace Event Format
+// consumed by Perfetto (https://ui.perfetto.dev) and chrome://tracing:
+//
+//   - map and reduce slots appear as tracks ("map slot N" / "reduce slot
+//     N"): each task attempt is a duration slice on the lowest free lane
+//     of its kind, so the lane count equals peak slot occupancy;
+//   - reduce slices nest a shuffle slice and a reduce slice when the phase
+//     boundary is known (TaskTiming.shuffle_end strictly inside the task);
+//   - job arrivals, completions and deadlines are instant events on a
+//     "jobs" track;
+//   - event-queue depth is sampled as a counter track.
+//
+// Timestamps are simulated microseconds (Trace Event ts unit); one
+// simulated second = 1e6 ts. Write the result with WriteFile() and open it
+// directly in the Perfetto UI. Schema details: docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/observer.h"
+
+namespace simmr::obs {
+
+class TraceExporter final : public SimObserver {
+ public:
+  struct Options {
+    /// Process name shown in the trace viewer.
+    std::string process_name = "simmr";
+    /// Emit an event_queue_depth counter sample every N dequeues
+    /// (0 disables the counter track).
+    std::size_t queue_depth_sample_period = 256;
+  };
+
+  TraceExporter();
+  explicit TraceExporter(Options options);
+
+  /// Number of trace events accumulated so far (excluding metadata).
+  std::size_t event_count() const { return events_.size(); }
+
+  /// Serializes the accumulated run as a Trace Event Format JSON object.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`. Throws std::runtime_error on I/O failure.
+  void WriteFile(const std::string& path) const;
+
+  void OnEventDequeue(SimTime now, const char* event_type,
+                      std::size_t queue_depth) override;
+  void OnJobArrival(SimTime now, std::int32_t job, std::string_view name,
+                    double deadline) override;
+  void OnJobCompletion(SimTime now, std::int32_t job) override;
+  void OnTaskLaunch(SimTime now, std::int32_t job, TaskKind kind,
+                    std::int32_t index) override;
+  void OnTaskCompletion(SimTime now, std::int32_t job, TaskKind kind,
+                        std::int32_t index, const TaskTiming& timing,
+                        bool succeeded) override;
+
+ private:
+  struct TraceEvent {
+    std::string name;
+    const char* category = "sim";
+    char phase = 'X';     // X = complete, i = instant, C = counter
+    double ts_us = 0.0;
+    double dur_us = 0.0;  // complete events only
+    std::int64_t tid = 0;
+    std::string args_json;  // "" = no args
+  };
+
+  std::int64_t AcquireLane(TaskKind kind);
+  void ReleaseLane(TaskKind kind, std::int64_t tid);
+  void EmitTask(std::int64_t tid, std::int32_t job, TaskKind kind,
+                std::int32_t index, const TaskTiming& timing, bool succeeded);
+
+  Options options_;
+  std::vector<TraceEvent> events_;
+
+  // Lane (thread-id) allocation per kind. Lanes are tids offset by a
+  // per-kind base; the lowest free lane is always reused so tracks map
+  // 1:1 onto slots.
+  std::vector<bool> lane_busy_[2];
+  // In-flight task attempt -> lane. Keyed by (job, kind, index); a vector
+  // value absorbs concurrent attempts of the same task (speculation).
+  std::map<std::tuple<std::int32_t, int, std::int32_t>,
+           std::vector<std::int64_t>>
+      inflight_;
+
+  std::size_t dequeues_since_sample_ = 0;
+  std::map<std::int32_t, std::string> job_name_by_id_;
+};
+
+}  // namespace simmr::obs

@@ -1,0 +1,224 @@
+// Cross-simulator contract tests: callbacks fire in event-time order, the
+// multicast fan-out preserves that stream, and the standard metric set
+// agrees with the simulators' own result counters.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cluster/app_model.h"
+#include "cluster/cluster_sim.h"
+#include "core/simmr.h"
+#include "mumak/mumak_sim.h"
+#include "obs/metrics.h"
+#include "obs/metrics_observer.h"
+#include "obs/observer.h"
+#include "sched/fifo.h"
+
+namespace simmr::obs {
+namespace {
+
+/// Records every callback as (now, kind-tag) and tracks whether `now` ever
+/// went backwards.
+class RecordingObserver final : public SimObserver {
+ public:
+  struct Call {
+    double now;
+    std::string what;
+  };
+
+  std::vector<Call> calls;
+  bool ordered = true;
+
+  int dequeues = 0;
+  int arrivals = 0;
+  int job_completions = 0;
+  int launches = 0;
+  int phase_transitions = 0;
+  int completions = 0;
+  int decisions = 0;
+
+  void OnEventDequeue(SimTime now, const char* type, std::size_t) override {
+    Note(now, std::string("dequeue:") + type);
+    ++dequeues;
+  }
+  void OnJobArrival(SimTime now, std::int32_t, std::string_view,
+                    double) override {
+    Note(now, "arrival");
+    ++arrivals;
+  }
+  void OnJobCompletion(SimTime now, std::int32_t) override {
+    Note(now, "job_done");
+    ++job_completions;
+  }
+  void OnTaskLaunch(SimTime now, std::int32_t, TaskKind,
+                    std::int32_t) override {
+    Note(now, "launch");
+    ++launches;
+  }
+  void OnTaskPhaseTransition(SimTime now, std::int32_t, TaskKind,
+                             std::int32_t, const char*) override {
+    Note(now, "phase");
+    ++phase_transitions;
+  }
+  void OnTaskCompletion(SimTime now, std::int32_t, TaskKind, std::int32_t,
+                        const TaskTiming&, bool) override {
+    Note(now, "task_done");
+    ++completions;
+  }
+  void OnSchedulerDecision(SimTime now, TaskKind, std::int32_t) override {
+    Note(now, "decision");
+    ++decisions;
+  }
+
+ private:
+  void Note(double now, std::string what) {
+    if (now + 1e-9 < last_) ordered = false;
+    last_ = std::max(last_, now);
+    calls.push_back({now, std::move(what)});
+  }
+
+  double last_ = -std::numeric_limits<double>::infinity();
+};
+
+trace::WorkloadTrace EngineWorkload() {
+  trace::JobProfile p;
+  p.app_name = "uniform";
+  p.num_maps = 6;
+  p.num_reduces = 2;
+  p.map_durations.assign(6, 10.0);
+  p.first_shuffle_durations.assign(2, 3.0);
+  p.reduce_durations.assign(2, 2.0);
+  trace::WorkloadTrace w(2);
+  w[0].profile = p;
+  w[1].profile = p;
+  w[1].arrival = 5.0;
+  return w;
+}
+
+TEST(ObserverOrder, EngineCallbacksAreTimeOrdered) {
+  RecordingObserver rec;
+  core::SimConfig cfg;
+  cfg.map_slots = 2;
+  cfg.reduce_slots = 2;
+  cfg.observer = &rec;
+  sched::FifoPolicy fifo;
+  const auto result = core::Replay(EngineWorkload(), fifo, cfg);
+
+  EXPECT_TRUE(rec.ordered);
+  EXPECT_EQ(rec.arrivals, 2);
+  EXPECT_EQ(rec.job_completions, 2);
+  // Every launch eventually completes (fillers are relaunched under the
+  // same index and reported once at departure).
+  EXPECT_EQ(rec.launches, rec.completions);
+  EXPECT_GE(rec.launches, 2 * (6 + 2));
+  EXPECT_GT(rec.decisions, 0);
+  // The engine drains its queue, so dequeues == pushes.
+  EXPECT_EQ(static_cast<std::uint64_t>(rec.dequeues),
+            result.events_processed);
+}
+
+TEST(ObserverOrder, TestbedCallbacksAreTimeOrdered) {
+  cluster::JobSpec spec;
+  spec.app = cluster::apps::WordCount();
+  spec.dataset_label = "test";
+  spec.input_mb = 8 * 64.0;
+  spec.num_reduces = 4;
+  const std::vector<cluster::SubmittedJob> jobs{{spec, 0.0, 0.0},
+                                                {spec, 30.0, 0.0}};
+  RecordingObserver rec;
+  cluster::TestbedOptions opts;
+  opts.config.num_nodes = 4;
+  opts.seed = 7;
+  opts.observer = &rec;
+  const auto result = cluster::RunTestbed(jobs, opts);
+
+  EXPECT_TRUE(rec.ordered);
+  EXPECT_EQ(rec.arrivals, 2);
+  EXPECT_EQ(rec.job_completions, 2);
+  EXPECT_GE(rec.launches, 2 * (8 + 4));
+  EXPECT_EQ(rec.launches, rec.completions);
+  // Reduces report entering merge+reduce when their fetches complete.
+  EXPECT_GT(rec.phase_transitions, 0);
+  EXPECT_GT(rec.dequeues, 0);
+}
+
+TEST(ObserverOrder, MumakCallbacksAreTimeOrdered) {
+  trace::JobProfile p;
+  p.app_name = "uniform";
+  p.num_maps = 8;
+  p.num_reduces = 2;
+  p.map_durations.assign(8, 10.0);
+  p.typical_shuffle_durations.assign(2, 5.0);
+  p.reduce_durations.assign(2, 2.0);
+  const auto trace = mumak::RumenTrace::FromProfiles({p}, {0.0});
+
+  RecordingObserver rec;
+  mumak::MumakConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.observer = &rec;
+  const auto result = mumak::RunMumak(trace, cfg);
+
+  EXPECT_TRUE(rec.ordered);
+  EXPECT_EQ(rec.arrivals, 1);
+  EXPECT_EQ(rec.job_completions, 1);
+  EXPECT_EQ(rec.launches, 8 + 2);
+  EXPECT_EQ(rec.completions, 8 + 2);
+  // Reduces launched before all maps finished report the phase boundary.
+  EXPECT_GT(rec.phase_transitions, 0);
+  EXPECT_GT(rec.dequeues, 0);
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+TEST(ObserverOrder, MulticastForwardsToEverySinkInOrder) {
+  RecordingObserver a, b;
+  MulticastObserver multicast;
+  multicast.Add(&a);
+  multicast.Add(nullptr);  // ignored
+  multicast.Add(&b);
+  EXPECT_FALSE(multicast.Empty());
+
+  core::SimConfig cfg;
+  cfg.map_slots = 2;
+  cfg.reduce_slots = 2;
+  cfg.observer = &multicast;
+  sched::FifoPolicy fifo;
+  core::Replay(EngineWorkload(), fifo, cfg);
+
+  ASSERT_EQ(a.calls.size(), b.calls.size());
+  ASSERT_GT(a.calls.size(), 0u);
+  for (std::size_t i = 0; i < a.calls.size(); ++i) {
+    EXPECT_EQ(a.calls[i].now, b.calls[i].now);
+    EXPECT_EQ(a.calls[i].what, b.calls[i].what);
+  }
+}
+
+TEST(ObserverOrder, MetricsObserverAgreesWithEngineResult) {
+  MetricsRegistry registry;
+  MetricsObserver metrics(registry);
+  core::SimConfig cfg;
+  cfg.map_slots = 2;
+  cfg.reduce_slots = 2;
+  cfg.observer = &metrics;
+  sched::FifoPolicy fifo;
+  const auto result = core::Replay(EngineWorkload(), fifo, cfg);
+
+  EXPECT_EQ(metrics.events_dequeued(), result.events_processed);
+  EXPECT_GT(metrics.peak_queue_depth(), 0u);
+
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("simmr_jobs_arrived_total 2\n"), std::string::npos);
+  EXPECT_NE(text.find("simmr_jobs_completed_total 2\n"), std::string::npos);
+  EXPECT_NE(text.find("simmr_tasks_completed_total{kind=\"map\"} 12\n"),
+            std::string::npos);
+  // All slots released by the end of the run.
+  EXPECT_NE(text.find("simmr_slots_busy{kind=\"map\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("simmr_slots_busy{kind=\"reduce\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("simmr_events_dequeued_total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simmr::obs

@@ -1,0 +1,155 @@
+#include "obs/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/simmr.h"
+#include "sched/fifo.h"
+
+namespace simmr::obs {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(TraceExporter, GoldenSingleJobTrace) {
+  TraceExporter t;
+  t.OnJobArrival(0.0, 0, "sort", 100.0);
+  t.OnTaskLaunch(0.0, 0, TaskKind::kMap, 0);
+  t.OnTaskCompletion(10.0, 0, TaskKind::kMap, 0,
+                     TaskTiming{0.0, 0.0, 10.0}, true);
+  t.OnTaskLaunch(10.0, 0, TaskKind::kReduce, 0);
+  t.OnTaskCompletion(20.0, 0, TaskKind::kReduce, 0,
+                     TaskTiming{10.0, 16.0, 20.0}, true);
+  t.OnJobCompletion(20.0, 0);
+
+  // Instants (arrival, deadline, completion) + map slice + reduce slice
+  // with its two nested phase slices.
+  EXPECT_EQ(t.event_count(), 7u);
+
+  const std::string json = t.ToJson();
+  EXPECT_EQ(json.substr(0, 41),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{\"");
+  EXPECT_EQ(json.back(), '}');
+
+  // Map slice: full 10 s on the first map lane, microsecond timestamps.
+  EXPECT_TRUE(Contains(
+      json, "{\"name\":\"map 0.0\",\"cat\":\"map\",\"ph\":\"X\",\"ts\":0,"
+            "\"pid\":1,\"tid\":1000,\"dur\":10000000,"
+            "\"args\":{\"job\":0,\"index\":0,\"succeeded\":true}}"));
+  // Reduce slice with nested shuffle/reduce phases at the 16 s boundary.
+  EXPECT_TRUE(Contains(json, "\"name\":\"reduce 0.0\""));
+  EXPECT_TRUE(Contains(
+      json, "{\"name\":\"shuffle\",\"cat\":\"phase\",\"ph\":\"X\","
+            "\"ts\":10000000,\"pid\":1,\"tid\":100000,\"dur\":6000000}"));
+  EXPECT_TRUE(Contains(
+      json, "{\"name\":\"reduce\",\"cat\":\"phase\",\"ph\":\"X\","
+            "\"ts\":16000000,\"pid\":1,\"tid\":100000,\"dur\":4000000}"));
+  // Instant events carry scope "t"; the deadline lands at its absolute time.
+  EXPECT_TRUE(Contains(json, "\"name\":\"job 0 arrival\""));
+  EXPECT_TRUE(Contains(
+      json, "{\"name\":\"job 0 deadline\",\"cat\":\"deadline\","
+            "\"ph\":\"i\",\"ts\":100000000,\"pid\":1,\"tid\":1,"
+            "\"s\":\"t\",\"args\":{\"job\":0}}"));
+  EXPECT_TRUE(Contains(json, "\"name\":\"job 0 completion\""));
+  // Track metadata for the used lanes.
+  EXPECT_TRUE(Contains(json, "\"args\":{\"name\":\"simmr\"}"));
+  EXPECT_TRUE(Contains(json, "\"args\":{\"name\":\"jobs\"}"));
+  EXPECT_TRUE(Contains(json, "\"args\":{\"name\":\"map slot 0\"}"));
+  EXPECT_TRUE(Contains(json, "\"args\":{\"name\":\"reduce slot 0\"}"));
+}
+
+TEST(TraceExporter, SequentialTasksReuseTheirLane) {
+  TraceExporter t;
+  t.OnTaskLaunch(0.0, 0, TaskKind::kMap, 0);
+  t.OnTaskCompletion(5.0, 0, TaskKind::kMap, 0, TaskTiming{0.0, 0.0, 5.0},
+                     true);
+  t.OnTaskLaunch(5.0, 0, TaskKind::kMap, 1);
+  t.OnTaskCompletion(9.0, 0, TaskKind::kMap, 1, TaskTiming{5.0, 5.0, 9.0},
+                     true);
+  const std::string json = t.ToJson();
+  EXPECT_TRUE(Contains(json, "\"tid\":1000"));
+  EXPECT_FALSE(Contains(json, "\"tid\":1001"));
+}
+
+TEST(TraceExporter, ConcurrentTasksGetDistinctLanes) {
+  TraceExporter t;
+  t.OnTaskLaunch(0.0, 0, TaskKind::kMap, 0);
+  t.OnTaskLaunch(0.0, 0, TaskKind::kMap, 1);
+  t.OnTaskCompletion(5.0, 0, TaskKind::kMap, 0, TaskTiming{0.0, 0.0, 5.0},
+                     true);
+  t.OnTaskCompletion(6.0, 0, TaskKind::kMap, 1, TaskTiming{0.0, 0.0, 6.0},
+                     true);
+  const std::string json = t.ToJson();
+  EXPECT_TRUE(Contains(json, "\"tid\":1000"));
+  EXPECT_TRUE(Contains(json, "\"tid\":1001"));
+  EXPECT_TRUE(Contains(json, "\"args\":{\"name\":\"map slot 1\"}"));
+}
+
+TEST(TraceExporter, CompletionWithoutLaunchStillRenders) {
+  TraceExporter t;
+  t.OnTaskCompletion(5.0, 2, TaskKind::kReduce, 3, TaskTiming{1.0, 1.0, 5.0},
+                     true);
+  EXPECT_EQ(t.event_count(), 1u);
+  EXPECT_TRUE(Contains(t.ToJson(), "\"name\":\"reduce 2.3\""));
+}
+
+TEST(TraceExporter, FailedAttemptsAreCategorizedFailed) {
+  TraceExporter t;
+  t.OnTaskLaunch(0.0, 0, TaskKind::kMap, 0);
+  t.OnTaskCompletion(5.0, 0, TaskKind::kMap, 0, TaskTiming{0.0, 0.0, 5.0},
+                     false);
+  EXPECT_TRUE(Contains(t.ToJson(), "\"cat\":\"failed\""));
+}
+
+TEST(TraceExporter, SamplesQueueDepthCounters) {
+  TraceExporter::Options options;
+  options.queue_depth_sample_period = 2;
+  TraceExporter t(options);
+  for (int i = 0; i < 5; ++i) t.OnEventDequeue(i * 1.0, "EV", 7);
+  // Dequeues 2 and 4 hit the period.
+  EXPECT_EQ(t.event_count(), 2u);
+  EXPECT_TRUE(Contains(t.ToJson(),
+                       "\"ph\":\"C\",\"ts\":1000000,\"pid\":1,\"tid\":0,"
+                       "\"args\":{\"depth\":7}"));
+}
+
+/// End-to-end: drive the exporter from a real engine replay and sanity-check
+/// the shape of the result.
+TEST(TraceExporter, EngineReplayProducesConsistentTrace) {
+  trace::JobProfile p;
+  p.app_name = "uniform";
+  p.num_maps = 4;
+  p.num_reduces = 2;
+  p.map_durations.assign(4, 10.0);
+  p.first_shuffle_durations.assign(2, 3.0);
+  p.reduce_durations.assign(2, 2.0);
+  trace::WorkloadTrace w(1);
+  w[0].profile = p;
+
+  TraceExporter t;
+  core::SimConfig cfg;
+  cfg.map_slots = 2;
+  cfg.reduce_slots = 2;
+  cfg.observer = &t;
+  sched::FifoPolicy fifo;
+  const auto result = core::Replay(w, fifo, cfg);
+  ASSERT_EQ(result.jobs.size(), 1u);
+
+  const std::string json = t.ToJson();
+  EXPECT_TRUE(Contains(json, "\"traceEvents\":["));
+  // All 4 maps and 2 reduces appear as slices.
+  for (int i = 0; i < 4; ++i)
+    EXPECT_TRUE(Contains(json, "\"name\":\"map 0." + std::to_string(i)));
+  for (int i = 0; i < 2; ++i)
+    EXPECT_TRUE(Contains(json, "\"name\":\"reduce 0." + std::to_string(i)));
+  // 2 map slots -> exactly lanes 1000 and 1001, never a third.
+  EXPECT_TRUE(Contains(json, "\"tid\":1001"));
+  EXPECT_FALSE(Contains(json, "\"tid\":1002"));
+  EXPECT_TRUE(Contains(json, "\"name\":\"job 0 completion\""));
+}
+
+}  // namespace
+}  // namespace simmr::obs

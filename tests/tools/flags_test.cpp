@@ -97,5 +97,41 @@ TEST(Flags, LaterValueWins) {
   EXPECT_EQ(flags->Get("name"), "b");
 }
 
+TEST(LogLevel, ParsesEveryLevelName) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_FALSE(ParseLogLevel("loud").has_value());
+  EXPECT_FALSE(ParseLogLevel("").has_value());
+  EXPECT_FALSE(ParseLogLevel("Info").has_value());  // case-sensitive
+}
+
+TEST(LogLevel, ApplyLogLevelSetsGlobalThreshold) {
+  const LogLevel saved = GetLogLevel();
+  std::vector<const char*> args{"prog", "--log-level=error"};
+  const auto flags =
+      Flags::Parse(static_cast<int>(args.size()),
+                   const_cast<char**>(args.data()), "test tool",
+                   {LogLevelFlag()});
+  ASSERT_TRUE(flags.has_value());
+  EXPECT_TRUE(ApplyLogLevel(*flags));
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(saved);
+}
+
+TEST(LogLevel, ApplyLogLevelRejectsUnknownName) {
+  const LogLevel saved = GetLogLevel();
+  std::vector<const char*> args{"prog", "--log-level=loud"};
+  const auto flags =
+      Flags::Parse(static_cast<int>(args.size()),
+                   const_cast<char**>(args.data()), "test tool",
+                   {LogLevelFlag()});
+  ASSERT_TRUE(flags.has_value());
+  EXPECT_FALSE(ApplyLogLevel(*flags));
+  EXPECT_EQ(GetLogLevel(), saved);  // unchanged on failure
+}
+
 }  // namespace
 }  // namespace simmr::tools

@@ -4,12 +4,17 @@
 //
 //   simmr_testbed --suite=validation --out=history.log
 //   simmr_compare --log=history.log
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "cluster/history_log.h"
 #include "core/simmr.h"
 #include "mumak/mumak_sim.h"
+#include "obs/metrics.h"
+#include "obs/metrics_observer.h"
+#include "obs/telemetry.h"
 #include "sched/fifo.h"
 #include "tool_common.h"
 #include "trace/mr_profiler.h"
@@ -26,8 +31,11 @@ int main(int argc, char** argv) {
           {"map-slots", "64", "cluster map slots for the replay"},
           {"reduce-slots", "64", "cluster reduce slots for the replay"},
           {"mumak-nodes", "64", "node count for the Mumak baseline"},
+          {"telemetry-out", "", "optional run-telemetry JSON path"},
+          tools::LogLevelFlag(),
       });
   if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+  if (!tools::ApplyLogLevel(*flags)) return 1;
 
   try {
     const auto log = cluster::HistoryLog::ReadFile(flags->Get("log"));
@@ -44,6 +52,18 @@ int main(int argc, char** argv) {
     mumak::MumakConfig mcfg;
     mcfg.num_nodes = flags->GetInt("mumak-nodes");
     sched::FifoPolicy fifo;
+
+    // One metrics observer across every SimMR and Mumak replay, so the
+    // telemetry reports the combined event workload of the comparison.
+    const std::string telemetry_out = flags->Get("telemetry-out");
+    obs::MetricsRegistry registry;
+    std::unique_ptr<obs::MetricsObserver> metrics_obs;
+    if (!telemetry_out.empty()) {
+      metrics_obs = std::make_unique<obs::MetricsObserver>(registry);
+      cfg.observer = metrics_obs.get();
+      mcfg.observer = metrics_obs.get();
+    }
+    const auto wall_start = std::chrono::steady_clock::now();
 
     std::printf("%-12s %-18s %10s %10s %8s %10s %8s\n", "app", "dataset",
                 "actual_s", "simmr_s", "err_%", "mumak_s", "err_%");
@@ -81,6 +101,23 @@ int main(int argc, char** argv) {
         simmr_abs / n, simmr_max, mumak_abs / n, mumak_max);
     std::printf("paper reference: SimMR <=2.7%% avg / 6.6%% max; Mumak 37%% "
                 "avg / 51.7%% max.\n");
+
+    if (!telemetry_out.empty()) {
+      const double wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count();
+      metrics_obs->SetWallStats(wall_seconds);
+      const std::string scenario =
+          "jobs=" + std::to_string(profiles.size()) + " mumak-nodes=" +
+          std::to_string(mcfg.num_nodes);
+      obs::RunTelemetry telemetry = obs::MakeRunTelemetry(
+          "simmr_compare", scenario, wall_seconds,
+          metrics_obs->events_dequeued(), profiles.size(), /*makespan_s=*/0.0,
+          metrics_obs->peak_queue_depth());
+      obs::WriteTelemetryFile(telemetry_out, telemetry);
+      std::printf("telemetry written to %s\n", telemetry_out.c_str());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -18,8 +18,10 @@ int main(int argc, char** argv) {
       {
           {"log", "history.log", "input history-log path"},
           {"out-db", "traces", "output trace-database directory"},
+          tools::LogLevelFlag(),
       });
   if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+  if (!tools::ApplyLogLevel(*flags)) return 1;
 
   try {
     const auto log = cluster::HistoryLog::ReadFile(flags->Get("log"));

@@ -4,11 +4,19 @@
 //   simmr_replay --db=traces/ --policy=minedf --deadline-factor=1.5
 //   simmr_replay --db=traces/ --policy=fair --mean-interarrival=100
 //                --out-log=replay.log
+//   simmr_replay --db=traces/ --trace-out=t.json --metrics-out=m.txt
+//                --telemetry-out=r.json
+#include <chrono>
 #include <cstdio>
 #include <memory>
 
 #include "core/sim_log.h"
 #include "core/simmr.h"
+#include "obs/metrics.h"
+#include "obs/metrics_observer.h"
+#include "obs/observer.h"
+#include "obs/telemetry.h"
+#include "obs/trace_export.h"
 #include "sched/capacity.h"
 #include "sched/fair.h"
 #include "sched/fifo.h"
@@ -36,8 +44,14 @@ int main(int argc, char** argv) {
           {"slowstart", "0.05", "minMapPercentCompleted gate"},
           {"seed", "42", "workload randomization seed"},
           {"out-log", "", "optional simulation output-log path"},
+          {"trace-out", "", "optional Perfetto/Chrome trace JSON path"},
+          {"metrics-out", "",
+           "optional metrics path (.json = JSON, else Prometheus text)"},
+          {"telemetry-out", "", "optional run-telemetry JSON path"},
+          tools::LogLevelFlag(),
       });
   if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+  if (!tools::ApplyLogLevel(*flags)) return 1;
 
   try {
     const auto db = trace::TraceDatabase::Load(flags->Get("db"));
@@ -83,7 +97,31 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    // Observability sinks, attached only when requested so the default run
+    // keeps the engine's no-observer fast path.
+    const std::string trace_out = flags->Get("trace-out");
+    const std::string metrics_out = flags->Get("metrics-out");
+    const std::string telemetry_out = flags->Get("telemetry-out");
+    obs::MetricsRegistry registry;
+    std::unique_ptr<obs::MetricsObserver> metrics_obs;
+    std::unique_ptr<obs::TraceExporter> trace_obs;
+    obs::MulticastObserver multicast;
+    if (!metrics_out.empty() || !telemetry_out.empty()) {
+      metrics_obs = std::make_unique<obs::MetricsObserver>(registry);
+      multicast.Add(metrics_obs.get());
+    }
+    if (!trace_out.empty()) {
+      trace_obs = std::make_unique<obs::TraceExporter>();
+      multicast.Add(trace_obs.get());
+    }
+    if (!multicast.Empty()) cfg.observer = &multicast;
+
+    const auto wall_start = std::chrono::steady_clock::now();
     const auto result = core::Replay(workload, *policy, cfg);
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
 
     std::printf("%-20s %10s %10s %12s %10s %6s\n", "job", "arrival_s",
                 "finish_s", "completion_s", "deadline_s", "met?");
@@ -113,6 +151,31 @@ int main(int argc, char** argv) {
       core::WriteSimulationLogFile(flags->Get("out-log"), result);
       std::printf("simulation log written to %s\n",
                   flags->Get("out-log").c_str());
+    }
+
+    if (metrics_obs != nullptr) metrics_obs->SetWallStats(wall_seconds);
+    if (!metrics_out.empty()) {
+      const bool as_json = metrics_out.size() >= 5 &&
+                           metrics_out.compare(metrics_out.size() - 5, 5,
+                                               ".json") == 0;
+      registry.WriteFile(metrics_out, as_json);
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+    }
+    if (trace_obs != nullptr) {
+      trace_obs->WriteFile(trace_out);
+      std::printf("trace written to %s (%zu events)\n", trace_out.c_str(),
+                  trace_obs->event_count());
+    }
+    if (!telemetry_out.empty()) {
+      const std::string scenario = "policy=" + std::string(policy->Name()) +
+                                   " jobs=" +
+                                   std::to_string(result.jobs.size());
+      obs::RunTelemetry telemetry = obs::MakeRunTelemetry(
+          "simmr_replay", scenario, wall_seconds, result.events_processed,
+          result.jobs.size(), result.makespan,
+          metrics_obs != nullptr ? metrics_obs->peak_queue_depth() : 0);
+      obs::WriteTelemetryFile(telemetry_out, telemetry);
+      std::printf("telemetry written to %s\n", telemetry_out.c_str());
     }
     return 0;
   } catch (const std::exception& e) {

@@ -24,8 +24,10 @@ int main(int argc, char** argv) {
           {"data-factor", "2", "input-data growth factor (> 0)"},
           {"reduce-factor", "1", "reduce-count growth factor (> 0)"},
           {"seed", "42", "resampling seed"},
+          tools::LogLevelFlag(),
       });
   if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+  if (!tools::ApplyLogLevel(*flags)) return 1;
 
   try {
     const auto db = trace::TraceDatabase::Load(flags->Get("db"));

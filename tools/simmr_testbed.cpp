@@ -27,8 +27,10 @@ int main(int argc, char** argv) {
           {"failure-prob", "0", "task attempt failure probability"},
           {"gap", "10000", "submission gap between jobs, seconds"},
           {"seed", "42", "master seed"},
+          tools::LogLevelFlag(),
       });
   if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+  if (!tools::ApplyLogLevel(*flags)) return 1;
 
   try {
     std::vector<cluster::JobSpec> specs;

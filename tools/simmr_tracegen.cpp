@@ -30,8 +30,10 @@ int main(int argc, char** argv) {
           {"shuffle-max", "8", "uniform model: max shuffle duration, s"},
           {"reduce-min", "1", "uniform model: min reduce duration, s"},
           {"reduce-max", "4", "uniform model: max reduce duration, s"},
+          tools::LogLevelFlag(),
       });
   if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+  if (!tools::ApplyLogLevel(*flags)) return 1;
 
   try {
     Rng rng(static_cast<std::uint64_t>(flags->GetInt("seed")));

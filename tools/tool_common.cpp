@@ -115,4 +115,31 @@ bool Flags::GetBool(const std::string& name) const {
   return value == "true" || value == "1" || value == "yes";
 }
 
+FlagSpec LogLevelFlag() {
+  return {"log-level", "warn", "debug | info | warn | error | off"};
+}
+
+std::optional<simmr::LogLevel> ParseLogLevel(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+bool ApplyLogLevel(const Flags& flags) {
+  const std::string value = flags.Get("log-level");
+  const auto level = ParseLogLevel(value);
+  if (!level) {
+    std::fprintf(stderr,
+                 "error: flag --log-level: unknown level '%s' "
+                 "(want debug|info|warn|error|off)\n",
+                 value.c_str());
+    return false;
+  }
+  simmr::SetLogLevel(*level);
+  return true;
+}
+
 }  // namespace simmr::tools

@@ -8,7 +8,10 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "simcore/log.h"
 
 namespace simmr::tools {
 
@@ -39,5 +42,16 @@ class Flags {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// The shared --log-level flag. Every tool should include this spec and
+/// call ApplyLogLevel right after parsing.
+FlagSpec LogLevelFlag();
+
+/// Parses "debug" | "info" | "warn" | "error" | "off" (case-sensitive).
+std::optional<simmr::LogLevel> ParseLogLevel(std::string_view name);
+
+/// Applies the parsed --log-level to the global logger. Returns false and
+/// prints to stderr when the value is not a recognized level name.
+bool ApplyLogLevel(const Flags& flags);
 
 }  // namespace simmr::tools
