@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/simmr.h"
+#include "obs/event_log.h"
 #include "sched/fifo.h"
 #include "simcore/event_queue.h"
 #include "trace/synthetic_tracegen.h"
@@ -52,6 +53,33 @@ void BM_EngineReplay(benchmark::State& state) {
       static_cast<double>(events) / state.iterations();
 }
 BENCHMARK(BM_EngineReplay)->Arg(10)->Arg(100)->Arg(1000);
+
+// Same replay with the durable event log attached. Compare
+// events_per_second against BM_EngineReplay at the same arg for a rough
+// read; the authoritative overhead number comes from
+// bench_eventlog_overhead, which interleaves the arms and reports medians
+// (see docs/OBSERVABILITY.md for current measurements and the budget).
+void BM_EngineReplayWithEventLog(benchmark::State& state) {
+  const auto workload = MakeWorkload(static_cast<int>(state.range(0)), 42);
+  core::SimConfig cfg;
+  cfg.map_slots = 64;
+  cfg.reduce_slots = 64;
+  sched::FifoPolicy fifo;
+  obs::EventLogObserver observer;
+  cfg.observer = &observer;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    observer.Clear();  // measure steady-state recording, not reallocation
+    const auto result = core::Replay(workload, fifo, cfg);
+    events += result.events_processed;
+    benchmark::DoNotOptimize(result.makespan);
+  }
+  state.counters["events_per_second"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["recorded_events"] =
+      static_cast<double>(observer.event_count());
+}
+BENCHMARK(BM_EngineReplayWithEventLog)->Arg(10)->Arg(100)->Arg(1000);
 
 void BM_EventQueuePushPop(benchmark::State& state) {
   Rng rng(7);

@@ -1,0 +1,78 @@
+#!/bin/sh
+# Runs every bench binary and aggregates their telemetry into one JSON
+# document.
+#
+# Each bench binary prints its exhibit as text and ends with one
+# machine-readable "simmr.telemetry.v1" line (see bench_common.cpp). This
+# harness runs them all, keeps the full text output per binary, and folds
+# the telemetry lines into BENCH_<tag>.json:
+#
+#   {"schema":"simmr.benchsuite.v1","tag":"...","runs":[<telemetry>, ...]}
+#
+# Usage: bench/run_benches.sh [tag]
+#   tag             output label (default: local)
+# Environment:
+#   BUILD_DIR       build tree holding bench/ binaries (default: build)
+#   OUT_DIR         where logs and BENCH_<tag>.json land (default:
+#                   $BUILD_DIR/bench_results)
+#   SIMMR_BENCH_RUNS / SIMMR_BENCH_SEED pass through to the binaries.
+set -eu
+
+TAG="${1:-local}"
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${OUT_DIR:-$BUILD_DIR/bench_results}"
+BENCH_DIR="$BUILD_DIR/bench"
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "error: $BENCH_DIR not found (configure and build first)" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+OUT_JSON="$OUT_DIR/BENCH_${TAG}.json"
+TELEMETRY_TMP="$OUT_DIR/.telemetry_lines.$$"
+: > "$TELEMETRY_TMP"
+trap 'rm -f "$TELEMETRY_TMP"' EXIT
+
+ran=0
+failed=0
+for bin in "$BENCH_DIR"/*; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name=$(basename "$bin")
+  log="$OUT_DIR/$name.txt"
+  printf '== %s\n' "$name"
+  # google-benchmark binaries do not emit telemetry; give them their
+  # tabular format but keep going on either kind.
+  if "$bin" > "$log" 2>&1; then
+    ran=$((ran + 1))
+  else
+    failed=$((failed + 1))
+    printf '   FAILED (exit %s), log kept at %s\n' "$?" "$log" >&2
+    continue
+  fi
+  # The telemetry line is the last simmr.telemetry.v1 object on stdout.
+  line=$(grep '"schema":"simmr.telemetry.v1"' "$log" | tail -n 1 || true)
+  if [ -n "$line" ]; then
+    printf '%s\n' "$line" >> "$TELEMETRY_TMP"
+  fi
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "error: no bench binaries ran from $BENCH_DIR" >&2
+  exit 1
+fi
+
+{
+  printf '{"schema":"simmr.benchsuite.v1","tag":"%s","binaries_run":%d,"binaries_failed":%d,"runs":[' \
+    "$TAG" "$ran" "$failed"
+  first=1
+  while IFS= read -r line; do
+    [ "$first" -eq 1 ] || printf ','
+    first=0
+    printf '\n%s' "$line"
+  done < "$TELEMETRY_TMP"
+  printf '\n]}\n'
+} > "$OUT_JSON"
+
+echo "wrote $OUT_JSON ($(grep -c simmr.telemetry.v1 "$OUT_JSON" || true) telemetry records, $failed failures)"
+[ "$failed" -eq 0 ]

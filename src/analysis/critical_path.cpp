@@ -1,0 +1,112 @@
+#include "analysis/critical_path.h"
+
+#include <algorithm>
+#include <map>
+
+namespace simmr::analysis {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Splits one attempt into path segments, earliest first.
+void AppendSegments(const JobRun& job, const TaskExec& t,
+                    std::vector<CriticalStep>& out) {
+  if (t.kind == obs::TaskKind::kMap) {
+    out.push_back({t.kind, t.index, "map", t.timing.start, t.timing.end, 0.0});
+    return;
+  }
+  const bool first_wave = t.timing.start + kEps < job.map_stage_end;
+  if (first_wave) {
+    // The slot is held from launch, but until MAP_STAGE_DONE the shuffle
+    // only overlaps the map stage; the patched-in tail is the task's own
+    // critical contribution.
+    const double patch_point = std::min(job.map_stage_end, t.timing.shuffle_end);
+    out.push_back(
+        {t.kind, t.index, "filler", t.timing.start, patch_point, 0.0});
+    if (t.timing.shuffle_end > patch_point + kEps)
+      out.push_back({t.kind, t.index, "first-shuffle", patch_point,
+                     t.timing.shuffle_end, 0.0});
+  } else if (t.timing.shuffle_end > t.timing.start + kEps) {
+    out.push_back({t.kind, t.index, "shuffle", t.timing.start,
+                   t.timing.shuffle_end, 0.0});
+  }
+  if (t.timing.end > t.timing.shuffle_end + kEps ||
+      out.empty())  // degenerate zero-length reduce still gets one segment
+    out.push_back({t.kind, t.index, "reduce", t.timing.shuffle_end,
+                   t.timing.end, 0.0});
+}
+
+}  // namespace
+
+CriticalPath ExtractCriticalPath(const JobRun& job) {
+  CriticalPath path;
+  path.job = job.id;
+  path.name = job.name;
+  path.arrival = job.arrival;
+  path.completion = job.completion;
+  if (!job.completed) return path;
+
+  std::vector<const TaskExec*> done;
+  for (const TaskExec& t : job.tasks) {
+    if (t.succeeded) done.push_back(&t);
+  }
+  if (done.empty()) return path;
+
+  // Terminal task: the one whose end bounds the completion (latest end;
+  // ties broken toward reduces, then higher index, for determinism).
+  const auto better_terminal = [](const TaskExec* a, const TaskExec* b) {
+    if (a->timing.end != b->timing.end) return a->timing.end > b->timing.end;
+    const bool a_reduce = a->kind == obs::TaskKind::kReduce;
+    const bool b_reduce = b->kind == obs::TaskKind::kReduce;
+    if (a_reduce != b_reduce) return a_reduce;
+    return a->index > b->index;
+  };
+  const TaskExec* terminal = done.front();
+  for (const TaskExec* t : done) {
+    if (better_terminal(t, terminal)) terminal = t;
+  }
+
+  // Walk back: predecessor = latest-ending task finishing <= current start.
+  std::vector<const TaskExec*> chain{terminal};
+  const TaskExec* current = terminal;
+  while (current->timing.start > job.arrival + kEps) {
+    const TaskExec* pred = nullptr;
+    for (const TaskExec* t : done) {
+      if (t == current) continue;
+      if (t->timing.end > current->timing.start + kEps) continue;
+      if (pred == nullptr || t->timing.end > pred->timing.end) pred = t;
+    }
+    if (pred == nullptr) break;
+    chain.push_back(pred);
+    current = pred;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  double enabled_at = job.arrival;
+  for (const TaskExec* t : chain) {
+    std::vector<CriticalStep> segments;
+    AppendSegments(job, *t, segments);
+    segments.front().wait_before =
+        std::max(0.0, segments.front().start - enabled_at);
+    for (CriticalStep& step : segments) path.steps.push_back(step);
+    enabled_at = t->timing.end;
+  }
+
+  std::map<std::string, double> per_phase;
+  for (const CriticalStep& step : path.steps) {
+    path.work_seconds += step.Duration();
+    path.wait_seconds += step.wait_before;
+    per_phase[step.phase] += step.Duration();
+  }
+  double best = -1.0;
+  for (const CriticalStep& step : path.steps) {
+    const double total = per_phase[step.phase];
+    if (total > best) {
+      best = total;
+      path.bounding_phase = step.phase;
+    }
+  }
+  return path;
+}
+
+}  // namespace simmr::analysis

@@ -1,0 +1,58 @@
+// Critical-path extraction: which task chain bounded a job's completion.
+//
+// Starting from the task whose end equals the job's completion, walks
+// backwards through the job's successful attempts: each step's predecessor
+// is the latest-ending task that finished no later than the step started
+// (in a slot-limited simulation that task is what freed the slot or
+// produced the data the step waited on). Reduce attempts are split into
+// their phase segments, including the filler patch point: a first-wave
+// reduce contributes a `filler` segment (occupying a slot while the maps
+// run), then the non-overlapping `first-shuffle` segment that the engine
+// patches in at MAP_STAGE_DONE, then its `reduce` segment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/run_record.h"
+
+namespace simmr::analysis {
+
+/// One segment of the critical path, in chronological order.
+struct CriticalStep {
+  obs::TaskKind kind = obs::TaskKind::kMap;
+  std::int32_t index = 0;
+  /// "map" | "filler" | "first-shuffle" | "shuffle" | "reduce".
+  const char* phase = "map";
+  double start = 0.0;
+  double end = 0.0;
+  /// Idle gap between the enabling event (predecessor task end, or job
+  /// arrival for the first step) and this segment's start: time spent
+  /// waiting for a slot, not doing work.
+  double wait_before = 0.0;
+
+  double Duration() const { return end - start; }
+};
+
+struct CriticalPath {
+  std::int32_t job = -1;
+  std::string name;
+  double arrival = 0.0;
+  double completion = 0.0;
+
+  std::vector<CriticalStep> steps;
+
+  /// Decomposition of completion - arrival along the path.
+  double work_seconds = 0.0;  // sum of segment durations
+  double wait_seconds = 0.0;  // sum of wait_before gaps
+  /// Phase label with the largest summed duration on the path — what
+  /// bounded this job.
+  const char* bounding_phase = "";
+};
+
+/// Extracts the critical path of a completed job. Jobs that never
+/// completed (truncated log) or ran no successful tasks yield an empty
+/// `steps` vector.
+CriticalPath ExtractCriticalPath(const JobRun& job);
+
+}  // namespace simmr::analysis

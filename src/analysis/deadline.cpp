@@ -1,0 +1,96 @@
+#include "analysis/deadline.h"
+
+#include <algorithm>
+
+#include "sched/aria_model.h"
+
+namespace simmr::analysis {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Observed per-phase statistics in the shape the ARIA model consumes.
+sched::ProfileSummary ObservedSummary(const JobRun& job) {
+  sched::ProfileSummary s;
+  double first_sum = 0.0, typical_sum = 0.0;
+  int first_n = 0, typical_n = 0;
+  double reduce_sum = 0.0;
+  for (const TaskExec& t : job.tasks) {
+    if (!t.succeeded) continue;
+    if (t.kind == obs::TaskKind::kMap) {
+      ++s.num_maps;
+      const double d = t.timing.end - t.timing.start;
+      s.map_avg += d;  // sum for now, averaged below
+      s.map_max = std::max(s.map_max, d);
+      continue;
+    }
+    ++s.num_reduces;
+    const double reduce = t.timing.end - t.timing.shuffle_end;
+    reduce_sum += reduce;
+    s.reduce_max = std::max(s.reduce_max, reduce);
+    if (t.timing.start + kEps < job.map_stage_end) {
+      const double d = std::max(0.0, t.timing.shuffle_end - job.map_stage_end);
+      first_sum += d;
+      ++first_n;
+      s.first_shuffle_max = std::max(s.first_shuffle_max, d);
+    } else {
+      const double d = t.timing.shuffle_end - t.timing.start;
+      typical_sum += d;
+      ++typical_n;
+      s.typical_shuffle_max = std::max(s.typical_shuffle_max, d);
+    }
+  }
+  if (s.num_maps > 0) s.map_avg /= s.num_maps;
+  if (first_n > 0) s.first_shuffle_avg = first_sum / first_n;
+  if (typical_n > 0) s.typical_shuffle_avg = typical_sum / typical_n;
+  if (s.num_reduces > 0) s.reduce_avg = reduce_sum / s.num_reduces;
+  // Same fallback convention as the replay engine: an empty shuffle pool
+  // borrows the other pool's statistics.
+  if (first_n == 0) {
+    s.first_shuffle_avg = s.typical_shuffle_avg;
+    s.first_shuffle_max = s.typical_shuffle_max;
+  }
+  if (typical_n == 0) {
+    s.typical_shuffle_avg = s.first_shuffle_avg;
+    s.typical_shuffle_max = s.first_shuffle_max;
+  }
+  return s;
+}
+
+}  // namespace
+
+DeadlineReport AttributeDeadlineMisses(const RunRecord& record) {
+  DeadlineReport report;
+  for (const JobRun& job : record.jobs) {
+    if (job.deadline <= 0.0) continue;
+    ++report.jobs_with_deadline;
+    if (!job.MissedDeadline()) continue;
+    ++report.missed;
+
+    DeadlineMiss miss;
+    miss.job = job.id;
+    miss.name = job.name;
+    miss.arrival = job.arrival;
+    miss.deadline = job.deadline;
+    miss.completion = job.completion;
+    miss.gap = job.completion - job.deadline;
+    miss.allowed = job.deadline - job.arrival;
+    miss.scheduling_delay = std::max(0.0, job.first_start - job.arrival);
+    miss.observed_map_slots = PeakConcurrency(job.tasks, obs::TaskKind::kMap);
+    miss.observed_reduce_slots =
+        PeakConcurrency(job.tasks, obs::TaskKind::kReduce);
+
+    const sched::ProfileSummary summary = ObservedSummary(job);
+    const int k_map = std::max(1, miss.observed_map_slots);
+    const int k_reduce = std::max(1, miss.observed_reduce_slots);
+    miss.lower_bound = sched::EstimateCompletion(sched::LowerBound(summary),
+                                                 k_map, k_reduce);
+    miss.upper_bound = sched::EstimateCompletion(sched::UpperBound(summary),
+                                                 k_map, k_reduce);
+    miss.infeasible = miss.lower_bound > miss.allowed;
+    report.misses.push_back(std::move(miss));
+  }
+  return report;
+}
+
+}  // namespace simmr::analysis

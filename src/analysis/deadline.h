@@ -1,0 +1,55 @@
+// Deadline-miss attribution via the ARIA bounds (Verma et al., ICAC'11).
+//
+// For each job that missed its deadline, rebuilds a per-phase profile from
+// the attempts the run actually executed and evaluates the ARIA makespan
+// bounds at the parallelism the job actually got (observed peak busy
+// slots k): lower = n*avg/k per phase, upper = (n-1)*avg/k + max. That
+// separates the two causes of a miss:
+//   - infeasible: even the lower bound exceeds the allowed time — no
+//     schedule at that parallelism could have met the deadline (the job
+//     needed more slots);
+//   - contention/ordering: the lower bound fits, so the miss came from
+//     scheduling delay, slot contention or unlucky task ordering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/run_record.h"
+
+namespace simmr::analysis {
+
+struct DeadlineMiss {
+  std::int32_t job = -1;
+  std::string name;
+  double arrival = 0.0;
+  double deadline = 0.0;    // absolute
+  double completion = 0.0;  // absolute
+  double gap = 0.0;         // completion - deadline, > 0
+
+  double allowed = 0.0;     // deadline - arrival (relative budget)
+  /// Delay before the job's first task started (slot wait at arrival).
+  double scheduling_delay = 0.0;
+
+  /// Parallelism the job actually achieved (peak busy slots).
+  int observed_map_slots = 0;
+  int observed_reduce_slots = 0;
+
+  /// ARIA completion-time estimates (relative, seconds) at the observed
+  /// parallelism.
+  double lower_bound = 0.0;
+  double upper_bound = 0.0;
+  /// True when lower_bound > allowed: the deadline was unreachable at the
+  /// parallelism the job got.
+  bool infeasible = false;
+};
+
+struct DeadlineReport {
+  int jobs_with_deadline = 0;
+  int missed = 0;
+  std::vector<DeadlineMiss> misses;  // in job-id order
+};
+
+DeadlineReport AttributeDeadlineMisses(const RunRecord& record);
+
+}  // namespace simmr::analysis

@@ -1,0 +1,63 @@
+#include "analysis/phases.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace simmr::analysis {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+int Waves(int tasks, int peak) {
+  if (tasks <= 0 || peak <= 0) return 0;
+  return (tasks + peak - 1) / peak;
+}
+
+}  // namespace
+
+PhaseBreakdown ComputePhaseBreakdown(const JobRun& job) {
+  PhaseBreakdown b;
+  double first_map_start = std::numeric_limits<double>::infinity();
+  for (const TaskExec& t : job.tasks) {
+    if (!t.succeeded) continue;
+    if (t.kind == obs::TaskKind::kMap) {
+      ++b.num_maps;
+      const double d = t.timing.end - t.timing.start;
+      b.map_total += d;
+      b.map_max = std::max(b.map_max, d);
+      first_map_start = std::min(first_map_start, t.timing.start);
+      continue;
+    }
+    ++b.num_reduces;
+    const double reduce = t.timing.end - t.timing.shuffle_end;
+    b.reduce_total += reduce;
+    b.reduce_max = std::max(b.reduce_max, reduce);
+    if (t.timing.start + kEps < job.map_stage_end) {
+      // First-wave (filler) reduce: only the shuffle tail past the end of
+      // the map stage is the task's own cost; the rest overlapped the maps.
+      ++b.first_wave_reduces;
+      b.first_shuffle_total +=
+          std::max(0.0, t.timing.shuffle_end - job.map_stage_end);
+    } else {
+      ++b.typical_reduces;
+      b.typical_shuffle_total += t.timing.shuffle_end - t.timing.start;
+    }
+  }
+
+  if (b.num_maps > 0) {
+    b.map_avg = b.map_total / b.num_maps;
+    b.map_stage_span = job.map_stage_end - first_map_start;
+  }
+  if (b.num_reduces > 0) {
+    b.shuffle_avg = b.ShuffleTotal() / b.num_reduces;
+    b.reduce_avg = b.reduce_total / b.num_reduces;
+  }
+  b.peak_maps = PeakConcurrency(job.tasks, obs::TaskKind::kMap);
+  b.peak_reduces = PeakConcurrency(job.tasks, obs::TaskKind::kReduce);
+  b.map_waves = Waves(b.num_maps, b.peak_maps);
+  b.reduce_waves = Waves(b.num_reduces, b.peak_reduces);
+  return b;
+}
+
+}  // namespace simmr::analysis

@@ -1,0 +1,49 @@
+// Per-job phase breakdown: where a job's time went.
+//
+// Splits a reconstructed job into the paper's four phase pools — map tasks,
+// the non-overlapping first-wave shuffle, typical-wave shuffles and reduce
+// phases — and derives wave counts from observed peak concurrency. A reduce
+// attempt that started before the job's map stage ended is a first-wave
+// (filler) reduce: its shuffle could only complete once all intermediate
+// data existed, so only the portion past map_stage_end counts (the engine's
+// filler patch; Section III-B of the paper).
+#pragma once
+
+#include "analysis/run_record.h"
+
+namespace simmr::analysis {
+
+struct PhaseBreakdown {
+  int num_maps = 0;           // successful map attempts
+  int num_reduces = 0;        // successful reduce attempts
+  int first_wave_reduces = 0; // started before map_stage_end
+  int typical_reduces = 0;
+
+  // Total simulated seconds per phase pool, over successful attempts.
+  double map_total = 0.0;
+  double first_shuffle_total = 0.0;   // non-overlapping portions only
+  double typical_shuffle_total = 0.0;
+  double reduce_total = 0.0;          // reduce phases ([shuffle_end, end])
+
+  // Per-attempt statistics.
+  double map_avg = 0.0, map_max = 0.0;
+  double shuffle_avg = 0.0;  // over all reduces: attributed shuffle seconds
+  double reduce_avg = 0.0, reduce_max = 0.0;
+
+  // Observed parallelism and the wave counts it implies
+  // (waves = ceil(tasks / peak)).
+  int peak_maps = 0, peak_reduces = 0;
+  int map_waves = 0, reduce_waves = 0;
+
+  /// Span of the map stage: first map start to map_stage_end (0 when the
+  /// job ran no maps).
+  double map_stage_span = 0.0;
+
+  double ShuffleTotal() const {
+    return first_shuffle_total + typical_shuffle_total;
+  }
+};
+
+PhaseBreakdown ComputePhaseBreakdown(const JobRun& job);
+
+}  // namespace simmr::analysis

@@ -1,0 +1,452 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/critical_path.h"
+#include "analysis/deadline.h"
+#include "analysis/phases.h"
+#include "core/metrics.h"
+#include "obs/json.h"
+
+namespace simmr::analysis {
+namespace {
+
+using obs::JsonEscape;
+using obs::JsonNumber;
+
+std::string Num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string Fmt(const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+bool Selected(const AnalyzeOptions& opt, const JobRun& job) {
+  return opt.job < 0 || opt.job == job.id;
+}
+
+/// All attempts of the run in one vector, for run-wide peak concurrency.
+std::vector<TaskExec> AllTasks(const RunRecord& record) {
+  std::vector<TaskExec> all;
+  for (const JobRun& job : record.jobs)
+    all.insert(all.end(), job.tasks.begin(), job.tasks.end());
+  return all;
+}
+
+std::string HeaderLine(const RunRecord& record) {
+  std::string out = "== run";
+  if (!record.header.tool.empty()) out += ": " + record.header.tool;
+  if (!record.header.scenario.empty())
+    out += " scenario=" + record.header.scenario;
+  if (!record.header.simulator.empty())
+    out += " simulator=" + record.header.simulator;
+  out += " ==\n";
+  return out;
+}
+
+std::string HeaderJson(const RunRecord& record) {
+  return "\"tool\":\"" + JsonEscape(record.header.tool) +
+         "\",\"scenario\":\"" + JsonEscape(record.header.scenario) +
+         "\",\"simulator\":\"" + JsonEscape(record.header.simulator) + "\"";
+}
+
+std::string BreakdownJson(const PhaseBreakdown& b) {
+  std::string out = "{";
+  out += "\"maps\":" + std::to_string(b.num_maps);
+  out += ",\"reduces\":" + std::to_string(b.num_reduces);
+  out += ",\"first_wave_reduces\":" + std::to_string(b.first_wave_reduces);
+  out += ",\"map_total\":" + JsonNumber(b.map_total);
+  out += ",\"first_shuffle_total\":" + JsonNumber(b.first_shuffle_total);
+  out += ",\"typical_shuffle_total\":" + JsonNumber(b.typical_shuffle_total);
+  out += ",\"reduce_total\":" + JsonNumber(b.reduce_total);
+  out += ",\"map_avg\":" + JsonNumber(b.map_avg);
+  out += ",\"map_max\":" + JsonNumber(b.map_max);
+  out += ",\"shuffle_avg\":" + JsonNumber(b.shuffle_avg);
+  out += ",\"reduce_avg\":" + JsonNumber(b.reduce_avg);
+  out += ",\"reduce_max\":" + JsonNumber(b.reduce_max);
+  out += ",\"peak_maps\":" + std::to_string(b.peak_maps);
+  out += ",\"peak_reduces\":" + std::to_string(b.peak_reduces);
+  out += ",\"map_waves\":" + std::to_string(b.map_waves);
+  out += ",\"reduce_waves\":" + std::to_string(b.reduce_waves);
+  out += ",\"map_stage_span\":" + JsonNumber(b.map_stage_span);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string RenderReport(const RunRecord& record, const AnalyzeOptions& opt) {
+  const DeadlineReport deadlines = AttributeDeadlineMisses(record);
+  int completed = 0;
+  for (const JobRun& job : record.jobs) completed += job.completed ? 1 : 0;
+
+  if (opt.json) {
+    std::string out = "{\"schema\":\"simmr.analysis.v1\",\"kind\":\"report\",";
+    out += HeaderJson(record);
+    out += ",\"jobs\":" + std::to_string(record.jobs.size());
+    out += ",\"completed\":" + std::to_string(completed);
+    out += ",\"makespan\":" + JsonNumber(record.makespan);
+    out += ",\"dequeues\":" + std::to_string(record.dequeues);
+    out += ",\"peak_queue_depth\":" + std::to_string(record.peak_queue_depth);
+    out += ",\"decisions\":{\"map_chosen\":" +
+           std::to_string(record.decisions_chosen[0]) +
+           ",\"map_idle\":" + std::to_string(record.decisions_idle[0]) +
+           ",\"reduce_chosen\":" + std::to_string(record.decisions_chosen[1]) +
+           ",\"reduce_idle\":" + std::to_string(record.decisions_idle[1]) + "}";
+    out += ",\"job_details\":[";
+    bool first = true;
+    for (const JobRun& job : record.jobs) {
+      if (!Selected(opt, job)) continue;
+      if (!first) out += ",";
+      first = false;
+      const PhaseBreakdown b = ComputePhaseBreakdown(job);
+      out += "{\"job\":" + std::to_string(job.id);
+      out += ",\"name\":\"" + JsonEscape(job.name) + "\"";
+      out += ",\"arrival\":" + JsonNumber(job.arrival);
+      out += ",\"completed\":" + std::string(job.completed ? "true" : "false");
+      if (job.completed) {
+        out += ",\"completion\":" + JsonNumber(job.completion);
+        out += ",\"completion_time\":" + JsonNumber(job.CompletionTime());
+      }
+      out += ",\"deadline\":" + JsonNumber(job.deadline);
+      out += ",\"missed_deadline\":" +
+             std::string(job.MissedDeadline() ? "true" : "false");
+      out += ",\"launches\":{\"map\":" + std::to_string(job.launches[0]) +
+             ",\"reduce\":" + std::to_string(job.launches[1]) + "}";
+      out += ",\"kills\":{\"map\":" + std::to_string(job.kills[0]) +
+             ",\"reduce\":" + std::to_string(job.kills[1]) + "}";
+      out += ",\"phases\":" + BreakdownJson(b);
+      out += "}";
+    }
+    out += "],\"deadline\":{\"with_deadline\":" +
+           std::to_string(deadlines.jobs_with_deadline) +
+           ",\"missed\":" + std::to_string(deadlines.missed) + ",\"misses\":[";
+    first = true;
+    for (const DeadlineMiss& miss : deadlines.misses) {
+      if (opt.job >= 0 && opt.job != miss.job) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "{\"job\":" + std::to_string(miss.job);
+      out += ",\"name\":\"" + JsonEscape(miss.name) + "\"";
+      out += ",\"gap\":" + JsonNumber(miss.gap);
+      out += ",\"allowed\":" + JsonNumber(miss.allowed);
+      out += ",\"scheduling_delay\":" + JsonNumber(miss.scheduling_delay);
+      out += ",\"observed_map_slots\":" +
+             std::to_string(miss.observed_map_slots);
+      out += ",\"observed_reduce_slots\":" +
+             std::to_string(miss.observed_reduce_slots);
+      out += ",\"lower_bound\":" + JsonNumber(miss.lower_bound);
+      out += ",\"upper_bound\":" + JsonNumber(miss.upper_bound);
+      out += ",\"infeasible\":" +
+             std::string(miss.infeasible ? "true" : "false");
+      out += "}";
+    }
+    out += "]}}";
+    return out;
+  }
+
+  std::string out = HeaderLine(record);
+  out += Fmt("jobs: %zu (completed %d, deadline misses %d/%d)  makespan: %s\n",
+             record.jobs.size(), completed, deadlines.missed,
+             deadlines.jobs_with_deadline, Num(record.makespan).c_str());
+  out += Fmt("events: dequeues=%llu peak_queue_depth=%llu\n",
+             static_cast<unsigned long long>(record.dequeues),
+             static_cast<unsigned long long>(record.peak_queue_depth));
+  out += Fmt(
+      "decisions: map chosen=%llu idle=%llu | reduce chosen=%llu idle=%llu\n",
+      static_cast<unsigned long long>(record.decisions_chosen[0]),
+      static_cast<unsigned long long>(record.decisions_idle[0]),
+      static_cast<unsigned long long>(record.decisions_chosen[1]),
+      static_cast<unsigned long long>(record.decisions_idle[1]));
+
+  for (const JobRun& job : record.jobs) {
+    if (!Selected(opt, job)) continue;
+    const PhaseBreakdown b = ComputePhaseBreakdown(job);
+    out += Fmt("\njob %d '%s' arrival=%s", job.id, job.name.c_str(),
+               Num(job.arrival).c_str());
+    if (job.completed) {
+      out += Fmt(" completion=%s (relative %s)", Num(job.completion).c_str(),
+                 Num(job.CompletionTime()).c_str());
+    } else {
+      out += " [incomplete: log ends before completion]";
+    }
+    if (job.deadline > 0.0) {
+      out += Fmt(" deadline=%s [%s]", Num(job.deadline).c_str(),
+                 job.MissedDeadline() ? "MISSED" : "met");
+    }
+    out += "\n";
+    out += Fmt(
+        "  maps:    %d attempts, avg %ss max %ss, peak %d slots, %d wave(s), "
+        "stage span %ss\n",
+        b.num_maps, Num(b.map_avg).c_str(), Num(b.map_max).c_str(),
+        b.peak_maps, b.map_waves, Num(b.map_stage_span).c_str());
+    out += Fmt(
+        "  reduces: %d attempts (%d first-wave), shuffle avg %ss, reduce avg "
+        "%ss max %ss, peak %d slots, %d wave(s)\n",
+        b.num_reduces, b.first_wave_reduces, Num(b.shuffle_avg).c_str(),
+        Num(b.reduce_avg).c_str(), Num(b.reduce_max).c_str(), b.peak_reduces,
+        b.reduce_waves);
+    out += Fmt(
+        "  phase totals: map %ss | first-shuffle %ss | typical-shuffle %ss | "
+        "reduce %ss\n",
+        Num(b.map_total).c_str(), Num(b.first_shuffle_total).c_str(),
+        Num(b.typical_shuffle_total).c_str(), Num(b.reduce_total).c_str());
+    if (job.kills[0] + job.kills[1] > 0) {
+      out += Fmt("  kills: map %llu, reduce %llu (launches: map %llu, reduce "
+                 "%llu)\n",
+                 static_cast<unsigned long long>(job.kills[0]),
+                 static_cast<unsigned long long>(job.kills[1]),
+                 static_cast<unsigned long long>(job.launches[0]),
+                 static_cast<unsigned long long>(job.launches[1]));
+    }
+  }
+
+  if (deadlines.missed > 0) {
+    out += "\ndeadline misses:\n";
+    for (const DeadlineMiss& miss : deadlines.misses) {
+      if (opt.job >= 0 && opt.job != miss.job) continue;
+      out += Fmt("  job %d '%s': missed by %ss (allowed %ss, took %ss)\n",
+                 miss.job, miss.name.c_str(), Num(miss.gap).c_str(),
+                 Num(miss.allowed).c_str(),
+                 Num(miss.completion - miss.arrival).c_str());
+      out += Fmt("    scheduling delay %ss; observed slots: %d map, %d "
+                 "reduce\n",
+                 Num(miss.scheduling_delay).c_str(), miss.observed_map_slots,
+                 miss.observed_reduce_slots);
+      out += Fmt("    ARIA bounds at that parallelism: [%s, %s] -> %s\n",
+                 Num(miss.lower_bound).c_str(), Num(miss.upper_bound).c_str(),
+                 miss.infeasible
+                     ? "infeasible: no schedule at this parallelism could "
+                       "meet the deadline"
+                     : "feasible: miss came from contention/ordering");
+    }
+  }
+  return out;
+}
+
+std::string RenderCriticalPath(const RunRecord& record,
+                               const AnalyzeOptions& opt) {
+  if (opt.json) {
+    std::string out =
+        "{\"schema\":\"simmr.analysis.v1\",\"kind\":\"critical-path\",";
+    out += HeaderJson(record);
+    out += ",\"jobs\":[";
+    bool first = true;
+    for (const JobRun& job : record.jobs) {
+      if (!Selected(opt, job)) continue;
+      if (!first) out += ",";
+      first = false;
+      const CriticalPath path = ExtractCriticalPath(job);
+      out += "{\"job\":" + std::to_string(path.job);
+      out += ",\"name\":\"" + JsonEscape(path.name) + "\"";
+      out += ",\"completion_time\":" +
+             JsonNumber(path.completion - path.arrival);
+      out += ",\"work_seconds\":" + JsonNumber(path.work_seconds);
+      out += ",\"wait_seconds\":" + JsonNumber(path.wait_seconds);
+      out += ",\"bounding_phase\":\"" + JsonEscape(path.bounding_phase) + "\"";
+      out += ",\"steps\":[";
+      for (std::size_t i = 0; i < path.steps.size(); ++i) {
+        const CriticalStep& step = path.steps[i];
+        if (i > 0) out += ",";
+        out += "{\"kind\":\"" + std::string(obs::TaskKindName(step.kind)) +
+               "\"";
+        out += ",\"index\":" + std::to_string(step.index);
+        out += ",\"phase\":\"" + std::string(step.phase) + "\"";
+        out += ",\"start\":" + JsonNumber(step.start);
+        out += ",\"end\":" + JsonNumber(step.end);
+        out += ",\"wait_before\":" + JsonNumber(step.wait_before);
+        out += "}";
+      }
+      out += "]}";
+    }
+    out += "]}";
+    return out;
+  }
+
+  std::string out = HeaderLine(record);
+  for (const JobRun& job : record.jobs) {
+    if (!Selected(opt, job)) continue;
+    const CriticalPath path = ExtractCriticalPath(job);
+    out += Fmt("\njob %d '%s':", path.job, path.name.c_str());
+    if (path.steps.empty()) {
+      out += " no critical path (job incomplete or ran no tasks)\n";
+      continue;
+    }
+    out += Fmt(" completion %ss = work %ss + wait %ss, bounded by %s\n",
+               Num(path.completion - path.arrival).c_str(),
+               Num(path.work_seconds).c_str(), Num(path.wait_seconds).c_str(),
+               path.bounding_phase);
+    for (const CriticalStep& step : path.steps) {
+      out += Fmt("  %-13s %s[%d]  %s -> %s  (%ss", step.phase,
+                 obs::TaskKindName(step.kind), step.index,
+                 Num(step.start).c_str(), Num(step.end).c_str(),
+                 Num(step.Duration()).c_str());
+      if (step.wait_before > 0.0)
+        out += Fmt(", waited %ss", Num(step.wait_before).c_str());
+      out += ")\n";
+    }
+  }
+  return out;
+}
+
+std::string RenderUtilization(const RunRecord& record,
+                              const AnalyzeOptions& opt) {
+  const std::vector<TaskExec> all = AllTasks(record);
+  const int peak_maps = PeakConcurrency(all, obs::TaskKind::kMap);
+  const int peak_reduces = PeakConcurrency(all, obs::TaskKind::kReduce);
+  const int map_slots = opt.map_slots > 0 ? opt.map_slots
+                                          : std::max(1, peak_maps);
+  const int reduce_slots = opt.reduce_slots > 0 ? opt.reduce_slots
+                                                : std::max(1, peak_reduces);
+  const std::vector<core::SimTaskRecord> tasks = ToSimTaskRecords(record);
+  const core::UtilizationReport util = core::ComputeUtilization(
+      tasks, map_slots, reduce_slots, record.makespan);
+
+  double step = opt.step;
+  if (step <= 0.0)
+    step = record.makespan > 0.0 ? record.makespan / 20.0 : 1.0;
+  const std::vector<core::ProgressPoint> series =
+      core::ProgressSeries(tasks, 0.0, record.makespan, step);
+
+  if (opt.json) {
+    std::string out =
+        "{\"schema\":\"simmr.analysis.v1\",\"kind\":\"utilization\",";
+    out += HeaderJson(record);
+    out += ",\"map_slots\":" + std::to_string(map_slots);
+    out += ",\"reduce_slots\":" + std::to_string(reduce_slots);
+    out += ",\"observed_peak_maps\":" + std::to_string(peak_maps);
+    out += ",\"observed_peak_reduces\":" + std::to_string(peak_reduces);
+    out += ",\"makespan\":" + JsonNumber(record.makespan);
+    out += ",\"map_utilization\":" + JsonNumber(util.map_utilization);
+    out += ",\"reduce_utilization\":" + JsonNumber(util.reduce_utilization);
+    out += ",\"map_busy_slot_seconds\":" +
+           JsonNumber(util.map_busy_slot_seconds);
+    out += ",\"reduce_busy_slot_seconds\":" +
+           JsonNumber(util.reduce_busy_slot_seconds);
+    out += ",\"step\":" + JsonNumber(step);
+    out += ",\"timeline\":[";
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const core::ProgressPoint& p = series[i];
+      if (i > 0) out += ",";
+      out += "{\"t\":" + JsonNumber(p.time) +
+             ",\"maps\":" + std::to_string(p.maps) +
+             ",\"shuffles\":" + std::to_string(p.shuffles) +
+             ",\"reduces\":" + std::to_string(p.reduces) + "}";
+    }
+    out += "]}";
+    return out;
+  }
+
+  std::string out = HeaderLine(record);
+  out += Fmt("slots: map=%d%s reduce=%d%s\n", map_slots,
+             opt.map_slots > 0 ? "" : " (observed peak)", reduce_slots,
+             opt.reduce_slots > 0 ? "" : " (observed peak)");
+  out += Fmt("map utilization    %s (busy %s slot-seconds)\n",
+             Num(util.map_utilization).c_str(),
+             Num(util.map_busy_slot_seconds).c_str());
+  out += Fmt("reduce utilization %s (busy %s slot-seconds)\n",
+             Num(util.reduce_utilization).c_str(),
+             Num(util.reduce_busy_slot_seconds).c_str());
+  out += Fmt("timeline (step %ss):\n", Num(step).c_str());
+  for (const core::ProgressPoint& p : series) {
+    out += Fmt("  t=%-10s maps=%-4d shuffles=%-4d reduces=%-4d\n",
+               Num(p.time).c_str(), p.maps, p.shuffles, p.reduces);
+  }
+  return out;
+}
+
+std::string RenderDiff(const RunDiff& diff, const AnalyzeOptions& opt) {
+  if (opt.json) {
+    std::string out = "{\"schema\":\"simmr.analysis.v1\",\"kind\":\"diff\"";
+    out += ",\"identical\":" + std::string(diff.identical ? "true" : "false");
+    if (!diff.identical) {
+      out += ",\"first_divergence\":\"" + JsonEscape(diff.first_divergence) +
+             "\"";
+      out += ",\"first_divergence_time\":" +
+             JsonNumber(diff.first_divergence_time);
+    }
+    out += ",\"max_abs_completion_delta\":" +
+           JsonNumber(diff.max_abs_completion_delta);
+    out += ",\"mean_abs_completion_delta\":" +
+           JsonNumber(diff.mean_abs_completion_delta);
+    out += ",\"only_in_a\":[";
+    for (std::size_t i = 0; i < diff.only_in_a.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + JsonEscape(diff.only_in_a[i]) + "\"";
+    }
+    out += "],\"only_in_b\":[";
+    for (std::size_t i = 0; i < diff.only_in_b.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + JsonEscape(diff.only_in_b[i]) + "\"";
+    }
+    out += "],\"jobs\":[";
+    for (std::size_t i = 0; i < diff.jobs.size(); ++i) {
+      const JobDelta& d = diff.jobs[i];
+      if (i > 0) out += ",";
+      out += "{\"name\":\"" + JsonEscape(d.name) + "\"";
+      out += ",\"job_a\":" + std::to_string(d.job_a);
+      out += ",\"job_b\":" + std::to_string(d.job_b);
+      out += ",\"completion_a\":" + JsonNumber(d.completion_a);
+      out += ",\"completion_b\":" + JsonNumber(d.completion_b);
+      out += ",\"completion_delta\":" + JsonNumber(d.completion_delta);
+      out += ",\"map_delta\":" + JsonNumber(d.map_delta);
+      out += ",\"shuffle_delta\":" + JsonNumber(d.shuffle_delta);
+      out += ",\"reduce_delta\":" + JsonNumber(d.reduce_delta);
+      out += ",\"dominant_phase\":\"" + std::string(d.dominant_phase) + "\"";
+      out += "}";
+    }
+    out += "]}";
+    return out;
+  }
+
+  std::string out;
+  if (diff.identical) {
+    out += "runs are identical (bit-exact arrivals, attempts and "
+           "completions)\n";
+  } else {
+    out += Fmt("runs differ; first divergence at t=%s:\n  %s\n",
+               Num(diff.first_divergence_time).c_str(),
+               diff.first_divergence.c_str());
+  }
+  out += Fmt("jobs: %zu aligned, %zu only in a, %zu only in b\n",
+             diff.jobs.size(), diff.only_in_a.size(), diff.only_in_b.size());
+  for (const std::string& name : diff.only_in_a)
+    out += "  only in a: '" + name + "'\n";
+  for (const std::string& name : diff.only_in_b)
+    out += "  only in b: '" + name + "'\n";
+  if (!diff.jobs.empty()) {
+    out += Fmt("completion deltas (b - a): max |delta|=%ss mean "
+               "|delta|=%ss\n",
+               Num(diff.max_abs_completion_delta).c_str(),
+               Num(diff.mean_abs_completion_delta).c_str());
+  }
+  for (const JobDelta& d : diff.jobs) {
+    out += Fmt("\njob '%s' (a#%d / b#%d): completion a=%ss b=%ss delta=%ss  "
+               "dominant phase: %s\n",
+               d.name.c_str(), d.job_a, d.job_b, Num(d.completion_a).c_str(),
+               Num(d.completion_b).c_str(), Num(d.completion_delta).c_str(),
+               d.dominant_phase);
+    out += Fmt("  per-attempt avgs: map a=%ss b=%ss (%s%s) | shuffle a=%ss "
+               "b=%ss (%s%s) | reduce a=%ss b=%ss (%s%s)\n",
+               Num(d.map_avg_a).c_str(), Num(d.map_avg_b).c_str(),
+               d.map_delta >= 0 ? "+" : "", Num(d.map_delta).c_str(),
+               Num(d.shuffle_avg_a).c_str(), Num(d.shuffle_avg_b).c_str(),
+               d.shuffle_delta >= 0 ? "+" : "", Num(d.shuffle_delta).c_str(),
+               Num(d.reduce_avg_a).c_str(), Num(d.reduce_avg_b).c_str(),
+               d.reduce_delta >= 0 ? "+" : "", Num(d.reduce_delta).c_str());
+  }
+  return out;
+}
+
+}  // namespace simmr::analysis

@@ -1,0 +1,45 @@
+// Renderers for the simmr_analyze subcommands.
+//
+// Each Render* function turns analysis results into either a fixed-width
+// human-readable text report or a single machine-readable JSON document
+// (schema "simmr.analysis.v1"). The renderers are pure string builders so
+// tests can lock the output format without touching a filesystem.
+#pragma once
+
+#include <string>
+
+#include "analysis/run_diff.h"
+#include "analysis/run_record.h"
+
+namespace simmr::analysis {
+
+struct AnalyzeOptions {
+  /// Slot counts for the utilization report. 0 = infer from the observed
+  /// peak concurrency across the run (the log does not record the cluster
+  /// configuration).
+  int map_slots = 0;
+  int reduce_slots = 0;
+  /// Sampling step of the utilization timeline; 0 = makespan / 20.
+  double step = 0.0;
+  /// Emit JSON instead of the human-readable table.
+  bool json = false;
+  /// Restrict per-job sections to this job id (-1 = all jobs).
+  std::int32_t job = -1;
+};
+
+/// `report`: run summary, per-job phase breakdown, deadline-miss
+/// attribution.
+std::string RenderReport(const RunRecord& record, const AnalyzeOptions& opt);
+
+/// `critical-path`: per-job critical-path chains.
+std::string RenderCriticalPath(const RunRecord& record,
+                               const AnalyzeOptions& opt);
+
+/// `utilization`: slot utilization and a phase-occupancy timeline.
+std::string RenderUtilization(const RunRecord& record,
+                              const AnalyzeOptions& opt);
+
+/// `diff`: structural diff of two runs.
+std::string RenderDiff(const RunDiff& diff, const AnalyzeOptions& opt);
+
+}  // namespace simmr::analysis

@@ -1,0 +1,240 @@
+#include "analysis/run_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+
+#include "analysis/phases.h"
+
+namespace simmr::analysis {
+namespace {
+
+std::string Num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Alignment key: job name plus per-name occurrence (duplicate names are
+/// common when a workload replays one profile many times), or the id for
+/// nameless jobs.
+std::vector<std::pair<std::string, const JobRun*>> AlignmentKeys(
+    const RunRecord& record) {
+  std::map<std::string, int> seen;
+  std::vector<std::pair<std::string, const JobRun*>> keys;
+  for (const JobRun& job : record.jobs) {
+    std::string base = job.name;
+    if (base.empty()) {
+      base = "job#";
+      base += std::to_string(job.id);
+    }
+    const int occurrence = seen[base]++;
+    if (occurrence > 0) {
+      base += '@';
+      base += std::to_string(occurrence);
+    }
+    keys.emplace_back(std::move(base), &job);
+  }
+  return keys;
+}
+
+/// A candidate first-divergence point.
+struct Divergence {
+  double time = std::numeric_limits<double>::infinity();
+  std::string what;
+};
+
+void Consider(Divergence& earliest, double time, std::string what) {
+  if (time < earliest.time) {
+    earliest.time = time;
+    earliest.what = std::move(what);
+  }
+}
+
+/// Tasks in a canonical order for structural comparison.
+std::vector<const TaskExec*> CanonicalTasks(const JobRun& job) {
+  std::vector<const TaskExec*> tasks;
+  for (const TaskExec& t : job.tasks) tasks.push_back(&t);
+  std::sort(tasks.begin(), tasks.end(),
+            [](const TaskExec* x, const TaskExec* y) {
+              if (x->kind != y->kind) return x->kind < y->kind;
+              if (x->index != y->index) return x->index < y->index;
+              return x->timing.start < y->timing.start;
+            });
+  return tasks;
+}
+
+void DiffJobPair(const std::string& key, const JobRun& ja, const JobRun& jb,
+                 Divergence& earliest) {
+  if (ja.arrival != jb.arrival)
+    Consider(earliest, std::min(ja.arrival, jb.arrival),
+             "job '" + key + "' arrival differs: a=" + Num(ja.arrival) +
+                 " b=" + Num(jb.arrival));
+  if (ja.deadline != jb.deadline)
+    Consider(earliest, std::min(ja.arrival, jb.arrival),
+             "job '" + key + "' deadline differs: a=" + Num(ja.deadline) +
+                 " b=" + Num(jb.deadline));
+
+  const auto ta = CanonicalTasks(ja);
+  const auto tb = CanonicalTasks(jb);
+  const std::size_t common = std::min(ta.size(), tb.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    const TaskExec& x = *ta[i];
+    const TaskExec& y = *tb[i];
+    const std::string label = std::string("job '") + key + "' " +
+                              obs::TaskKindName(x.kind) + "[" +
+                              std::to_string(x.index) + "]";
+    if (x.kind != y.kind || x.index != y.index) {
+      Consider(earliest, std::min(x.timing.start, y.timing.start),
+               "job '" + key + "' task sets differ: a has " +
+                   obs::TaskKindName(x.kind) + "[" + std::to_string(x.index) +
+                   "], b has " + obs::TaskKindName(y.kind) + "[" +
+                   std::to_string(y.index) + "]");
+      return;  // further positional comparison is meaningless
+    }
+    if (x.timing.start != y.timing.start) {
+      Consider(earliest, std::min(x.timing.start, y.timing.start),
+               label + " start differs: a=" + Num(x.timing.start) +
+                   " b=" + Num(y.timing.start));
+    } else if (x.timing.shuffle_end != y.timing.shuffle_end) {
+      Consider(earliest, std::min(x.timing.shuffle_end, y.timing.shuffle_end),
+               label + " shuffle_end differs: a=" + Num(x.timing.shuffle_end) +
+                   " b=" + Num(y.timing.shuffle_end));
+    } else if (x.timing.end != y.timing.end) {
+      Consider(earliest, std::min(x.timing.end, y.timing.end),
+               label + " end differs: a=" + Num(x.timing.end) +
+                   " b=" + Num(y.timing.end));
+    } else if (x.succeeded != y.succeeded) {
+      Consider(earliest, x.timing.end,
+               label + " outcome differs: a " +
+                   (x.succeeded ? "succeeded" : "was killed") + ", b " +
+                   (y.succeeded ? "succeeded" : "was killed"));
+    }
+  }
+  if (ta.size() != tb.size()) {
+    const auto& longer = ta.size() > tb.size() ? ta : tb;
+    Consider(earliest, longer[common]->timing.start,
+             "job '" + key + "' attempt counts differ: a=" +
+                 std::to_string(ta.size()) + " b=" +
+                 std::to_string(tb.size()));
+  }
+  if (ja.completed && jb.completed && ja.completion != jb.completion)
+    Consider(earliest, std::min(ja.completion, jb.completion),
+             "job '" + key + "' completion differs: a=" + Num(ja.completion) +
+                 " b=" + Num(jb.completion));
+  if (ja.completed != jb.completed)
+    Consider(earliest, ja.completed ? ja.completion : jb.completion,
+             "job '" + key + "' completed in only one run");
+}
+
+}  // namespace
+
+RunDiff DiffRuns(const RunRecord& a, const RunRecord& b) {
+  RunDiff diff;
+  const auto keys_a = AlignmentKeys(a);
+  const auto keys_b = AlignmentKeys(b);
+  std::map<std::string, const JobRun*> index_b;
+  for (const auto& [key, job] : keys_b) index_b.emplace(key, job);
+
+  // Pass 1: align by name key. Pass 2: jobs the names left unmatched align
+  // by id — different tools label the same job differently (app vs
+  // app/dataset), and ids are stable within one comparison pipeline.
+  std::vector<std::pair<std::string, std::pair<const JobRun*, const JobRun*>>>
+      aligned;
+  std::vector<std::pair<std::string, const JobRun*>> unmatched_a;
+  for (const auto& [key, ja] : keys_a) {
+    const auto it = index_b.find(key);
+    if (it == index_b.end()) {
+      unmatched_a.emplace_back(key, ja);
+      continue;
+    }
+    aligned.push_back({key, {ja, it->second}});
+    index_b.erase(it);
+  }
+  std::map<std::int32_t, const JobRun*> by_id_b;
+  for (const auto& [key, jb] : index_b) by_id_b.emplace(jb->id, jb);
+
+  Divergence earliest;
+  double abs_delta_sum = 0.0;
+
+  for (const auto& [key, ja] : unmatched_a) {
+    const auto it = by_id_b.find(ja->id);
+    if (it == by_id_b.end()) {
+      diff.only_in_a.push_back(key);
+      Consider(earliest, ja->arrival, "job '" + key + "' only in run a");
+      continue;
+    }
+    aligned.push_back({key, {ja, it->second}});
+    by_id_b.erase(it);
+  }
+  // Whatever neither pass matched is b-only.
+  for (const auto& [key, jb] : index_b) {
+    bool taken = false;
+    for (const auto& [akey, pair] : aligned) taken |= pair.second == jb;
+    if (taken) continue;
+    diff.only_in_b.push_back(key);
+    Consider(earliest, jb->arrival, "job '" + key + "' only in run b");
+  }
+  std::sort(aligned.begin(), aligned.end(),
+            [](const auto& x, const auto& y) {
+              return x.second.first->id < y.second.first->id;
+            });
+
+  for (const auto& [key, pair] : aligned) {
+    const JobRun* ja = pair.first;
+    const JobRun& jb = *pair.second;
+    DiffJobPair(key, *ja, jb, earliest);
+
+    JobDelta delta;
+    delta.name = key;
+    delta.job_a = ja->id;
+    delta.job_b = jb.id;
+    delta.completion_a = ja->CompletionTime();
+    delta.completion_b = jb.CompletionTime();
+    delta.completion_delta = delta.completion_b - delta.completion_a;
+
+    const PhaseBreakdown pa = ComputePhaseBreakdown(*ja);
+    const PhaseBreakdown pb = ComputePhaseBreakdown(jb);
+    delta.map_avg_a = pa.map_avg;
+    delta.map_avg_b = pb.map_avg;
+    delta.shuffle_avg_a = pa.shuffle_avg;
+    delta.shuffle_avg_b = pb.shuffle_avg;
+    delta.reduce_avg_a = pa.reduce_avg;
+    delta.reduce_avg_b = pb.reduce_avg;
+    delta.map_delta = pb.map_avg - pa.map_avg;
+    delta.shuffle_delta = pb.shuffle_avg - pa.shuffle_avg;
+    delta.reduce_delta = pb.reduce_avg - pa.reduce_avg;
+    const double m = std::fabs(delta.map_delta);
+    const double s = std::fabs(delta.shuffle_delta);
+    const double r = std::fabs(delta.reduce_delta);
+    constexpr double kNoise = 1e-9;
+    if (m < kNoise && s < kNoise && r < kNoise) {
+      delta.dominant_phase = "none";
+    } else if (s >= m && s >= r) {
+      delta.dominant_phase = "shuffle";
+    } else if (m >= r) {
+      delta.dominant_phase = "map";
+    } else {
+      delta.dominant_phase = "reduce";
+    }
+
+    diff.max_abs_completion_delta = std::max(
+        diff.max_abs_completion_delta, std::fabs(delta.completion_delta));
+    abs_delta_sum += std::fabs(delta.completion_delta);
+    diff.jobs.push_back(std::move(delta));
+  }
+
+  if (!diff.jobs.empty())
+    diff.mean_abs_completion_delta =
+        abs_delta_sum / static_cast<double>(diff.jobs.size());
+  diff.identical = !std::isfinite(earliest.time) ? true : false;
+  if (!diff.identical) {
+    diff.first_divergence = earliest.what;
+    diff.first_divergence_time = earliest.time;
+  }
+  return diff;
+}
+
+}  // namespace simmr::analysis

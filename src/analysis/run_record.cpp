@@ -1,0 +1,156 @@
+#include "analysis/run_record.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace simmr::analysis {
+namespace {
+
+std::size_t KindIndex(obs::TaskKind kind) {
+  return kind == obs::TaskKind::kMap ? 0 : 1;
+}
+
+}  // namespace
+
+std::size_t JobRun::SucceededCount(obs::TaskKind kind) const {
+  std::size_t n = 0;
+  for (const TaskExec& t : tasks) {
+    if (t.kind == kind && t.succeeded) ++n;
+  }
+  return n;
+}
+
+RunRecord RunRecord::FromLog(const obs::EventLog& log) {
+  RunRecord record;
+  record.header = log.header;
+
+  std::unordered_map<std::int32_t, std::size_t> slot_by_id;
+  const auto job_of = [&](std::int32_t id,
+                          const obs::LogEvent& ev) -> JobRun& {
+    const auto it = slot_by_id.find(id);
+    if (it == slot_by_id.end())
+      throw std::runtime_error(
+          "event log: " + std::string(obs::LogEventKindName(ev.kind)) +
+          " for job " + std::to_string(id) + " before its arrival");
+    return record.jobs[it->second];
+  };
+
+  for (const obs::LogEvent& ev : log.events) {
+    record.makespan = std::max(record.makespan, ev.t);
+    switch (ev.kind) {
+      case obs::LogEvent::Kind::kDequeue:
+        ++record.dequeues;
+        record.peak_queue_depth =
+            std::max(record.peak_queue_depth, ev.queue_depth);
+        break;
+      case obs::LogEvent::Kind::kJobArrival: {
+        if (slot_by_id.count(ev.job) != 0)
+          throw std::runtime_error("event log: duplicate arrival of job " +
+                                   std::to_string(ev.job));
+        slot_by_id.emplace(ev.job, record.jobs.size());
+        JobRun job;
+        job.id = ev.job;
+        job.name = ev.name;
+        job.arrival = ev.t;
+        job.first_start = std::numeric_limits<double>::infinity();
+        job.deadline = ev.deadline;
+        record.jobs.push_back(std::move(job));
+        break;
+      }
+      case obs::LogEvent::Kind::kJobCompletion: {
+        JobRun& job = job_of(ev.job, ev);
+        job.completion = ev.t;
+        job.completed = true;
+        break;
+      }
+      case obs::LogEvent::Kind::kTaskLaunch:
+        ++job_of(ev.job, ev).launches[KindIndex(ev.task_kind)];
+        break;
+      case obs::LogEvent::Kind::kPhaseTransition:
+        // Phase boundaries are carried in each attempt's TaskTiming at
+        // completion; the live transition only confirms liveness.
+        job_of(ev.job, ev);
+        break;
+      case obs::LogEvent::Kind::kTaskCompletion: {
+        JobRun& job = job_of(ev.job, ev);
+        TaskExec exec;
+        exec.kind = ev.task_kind;
+        exec.index = ev.index;
+        exec.timing = ev.timing;
+        exec.reported = ev.t;
+        exec.succeeded = ev.succeeded;
+        if (!ev.succeeded) {
+          ++job.kills[KindIndex(ev.task_kind)];
+        } else {
+          if (ev.task_kind == obs::TaskKind::kMap)
+            job.map_stage_end = std::max(job.map_stage_end, ev.timing.end);
+          job.first_start = std::min(job.first_start, ev.timing.start);
+        }
+        job.tasks.push_back(exec);
+        break;
+      }
+      case obs::LogEvent::Kind::kSchedulerDecision:
+        ++(ev.job >= 0 ? record.decisions_chosen
+                       : record.decisions_idle)[KindIndex(ev.task_kind)];
+        break;
+    }
+  }
+
+  for (JobRun& job : record.jobs) {
+    if (!std::isfinite(job.first_start)) job.first_start = job.arrival;
+  }
+  std::sort(record.jobs.begin(), record.jobs.end(),
+            [](const JobRun& a, const JobRun& b) { return a.id < b.id; });
+  return record;
+}
+
+RunRecord RunRecord::Load(const std::string& path) {
+  return FromLog(obs::ReadEventLogFile(path));
+}
+
+const JobRun* RunRecord::FindJob(std::int32_t id) const {
+  for (const JobRun& job : jobs) {
+    if (job.id == id) return &job;
+  }
+  return nullptr;
+}
+
+std::vector<core::SimTaskRecord> ToSimTaskRecords(const RunRecord& record) {
+  std::vector<core::SimTaskRecord> out;
+  for (const JobRun& job : record.jobs) {
+    for (const TaskExec& t : job.tasks) {
+      if (!t.succeeded) continue;
+      core::SimTaskRecord rec;
+      rec.job = job.id;
+      rec.kind = t.kind == obs::TaskKind::kMap ? core::SimTaskKind::kMap
+                                               : core::SimTaskKind::kReduce;
+      rec.start = t.timing.start;
+      rec.shuffle_end = t.timing.shuffle_end;
+      rec.end = t.timing.end;
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+int PeakConcurrency(const std::vector<TaskExec>& tasks, obs::TaskKind kind) {
+  std::vector<std::pair<double, int>> edges;
+  for (const TaskExec& t : tasks) {
+    if (t.kind != kind || !t.succeeded) continue;
+    if (t.timing.end <= t.timing.start) continue;
+    edges.emplace_back(t.timing.start, +1);
+    edges.emplace_back(t.timing.end, -1);
+  }
+  std::sort(edges.begin(), edges.end());
+  int depth = 0, peak = 0;
+  for (const auto& [time, delta] : edges) {
+    depth += delta;
+    peak = std::max(peak, depth);
+  }
+  return peak;
+}
+
+}  // namespace simmr::analysis

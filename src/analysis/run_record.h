@@ -1,0 +1,96 @@
+// Offline run reconstruction from a durable event log.
+//
+// A RunRecord is the analysis-side view of one simulation run: the
+// "simmr.eventlog.v1" callback stream folded into per-job execution
+// histories (arrival, deadline, completion, every task attempt with its
+// phase boundaries) plus run-wide counters. It is the input to everything
+// else in src/analysis/ — phase breakdowns, critical paths, deadline-miss
+// attribution, utilization timelines and run diffs — and to the
+// simmr_analyze tool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "obs/event_log.h"
+
+namespace simmr::analysis {
+
+/// One finished task attempt (successful or killed).
+struct TaskExec {
+  obs::TaskKind kind = obs::TaskKind::kMap;
+  std::int32_t index = 0;
+  obs::TaskTiming timing{};
+  /// Simulation time of the completion callback (when the attempt's end
+  /// became visible to the job master; >= timing.end is not guaranteed for
+  /// killed attempts).
+  double reported = 0.0;
+  bool succeeded = true;
+};
+
+/// Execution history of one job, reconstructed from its events.
+struct JobRun {
+  std::int32_t id = -1;
+  std::string name;
+  double arrival = 0.0;
+  double deadline = 0.0;    // absolute; 0 = none
+  double completion = -1.0; // absolute; < 0 when the log ends mid-job
+  bool completed = false;
+
+  /// Finished attempts in completion order (includes killed attempts with
+  /// succeeded=false; a killed attempt's task reappears later under the
+  /// same index when it was relaunched).
+  std::vector<TaskExec> tasks;
+
+  std::uint64_t launches[2] = {0, 0};  // [map, reduce] attempt launches
+  std::uint64_t kills[2] = {0, 0};     // failed/killed attempts
+
+  /// End of the map stage: max end over successful map attempts (0 for
+  /// map-less jobs).
+  double map_stage_end = 0.0;
+  /// Earliest successful task start (first_launch), or `arrival` when the
+  /// job ran no tasks.
+  double first_start = 0.0;
+
+  double CompletionTime() const { return completion - arrival; }
+  bool MissedDeadline() const {
+    return deadline > 0.0 && completed && completion > deadline;
+  }
+  std::size_t SucceededCount(obs::TaskKind kind) const;
+};
+
+/// One reconstructed run.
+struct RunRecord {
+  obs::EventLogHeader header;
+  std::vector<JobRun> jobs;  // ordered by job id
+
+  std::uint64_t dequeues = 0;
+  std::uint64_t peak_queue_depth = 0;
+  std::uint64_t decisions_chosen[2] = {0, 0};  // [map, reduce]
+  std::uint64_t decisions_idle[2] = {0, 0};
+  /// Latest timestamp observed anywhere in the log.
+  double makespan = 0.0;
+
+  /// Folds a parsed event log into per-job histories. Tolerates truncated
+  /// logs (jobs without completion events stay `completed == false`);
+  /// throws std::runtime_error on task/job events for jobs that never
+  /// arrived.
+  static RunRecord FromLog(const obs::EventLog& log);
+
+  /// ReadEventLogFile + FromLog.
+  static RunRecord Load(const std::string& path);
+
+  const JobRun* FindJob(std::int32_t id) const;
+};
+
+/// Successful attempts of every job as engine-style task records — the
+/// bridge to core::ProgressSeries / core::ComputeUtilization.
+std::vector<core::SimTaskRecord> ToSimTaskRecords(const RunRecord& record);
+
+/// Peak concurrent tasks of `kind` across the given attempts (successful
+/// ones only), by start/end sweep. Returns 0 for no tasks.
+int PeakConcurrency(const std::vector<TaskExec>& tasks, obs::TaskKind kind);
+
+}  // namespace simmr::analysis

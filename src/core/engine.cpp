@@ -3,19 +3,28 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/event_log.h"
 #include "simcore/event_queue.h"
 #include "simcore/log.h"
 
 namespace simmr::core {
+namespace {
 
-class SimulatorEngine::Impl {
+/// The engine body, templated on the concrete observer type. The generic
+/// instantiation (TObs = obs::SimObserver) calls hooks virtually as
+/// before; Run() also instantiates against final observer classes on the
+/// hot recording path (EventLogObserver) so every hook call devirtualizes
+/// and inlines — with half a million callbacks per thousand-job replay,
+/// the indirect-call tax alone is ~15% of engine wall-clock.
+template <class TObs>
+class EngineImpl {
  public:
-  Impl(const SimConfig& config, SchedulerPolicy& policy,
-       const trace::WorkloadTrace& workload)
+  EngineImpl(const SimConfig& config, SchedulerPolicy& policy,
+             const trace::WorkloadTrace& workload, TObs* obs)
       : config_(config),
         policy_(&policy),
         workload_(&workload),
-        obs_(config.observer) {
+        obs_(obs) {
     if (config_.map_slots <= 0 || config_.reduce_slots <= 0)
       throw std::invalid_argument("SimulatorEngine: nonpositive slot count");
     if (config_.min_map_percent_completed < 0.0 ||
@@ -89,6 +98,11 @@ class SimulatorEngine::Impl {
   void OnJobArrival(JobState& job) {
     job_queue_.push_back(&job);
     if (obs_ != nullptr) {
+      // Size the timing tables up front so the per-launch path below is a
+      // plain store (kills in preemptive runs relaunch under the same
+      // index, so these never need to regrow).
+      task_times_[job.id()].map_start.resize(job.num_maps());
+      task_times_[job.id()].reduce.resize(job.num_reduces());
       obs_->OnJobArrival(now_, job.id(), job.profile().app_name,
                          job.deadline());
     }
@@ -218,10 +232,7 @@ class SimulatorEngine::Impl {
     --free_map_slots_;
     if (job.first_launch < 0.0) job.first_launch = now_;
     if (obs_ != nullptr) {
-      std::vector<SimTime>& starts = task_times_[job.id()].map_start;
-      if (static_cast<std::size_t>(job.maps_launched) > starts.size())
-        starts.resize(job.maps_launched);
-      starts[job.maps_launched - 1] = now_;
+      task_times_[job.id()].map_start[job.maps_launched - 1] = now_;
       obs_->OnTaskLaunch(now_, job.id(), obs::TaskKind::kMap,
                          job.maps_launched - 1);
     }
@@ -292,12 +303,10 @@ class SimulatorEngine::Impl {
     if (job.first_launch < 0.0) job.first_launch = now_;
     const double reduce_duration = job.NextReduceDuration();
     if (obs_ != nullptr) {
-      std::vector<obs::TaskTiming>& times = task_times_[job.id()].reduce;
-      if (static_cast<std::size_t>(job.reduces_launched) > times.size())
-        times.resize(job.reduces_launched);
       // Filler timing is patched at MAP_STAGE_DONE; until then the phase
       // boundary and end are unknown.
-      times[index] = obs::TaskTiming{now_, kTimeInfinity, kTimeInfinity};
+      task_times_[job.id()].reduce[index] =
+          obs::TaskTiming{now_, kTimeInfinity, kTimeInfinity};
       obs_->OnTaskLaunch(now_, job.id(), obs::TaskKind::kReduce, index);
     }
 
@@ -331,7 +340,7 @@ class SimulatorEngine::Impl {
   SimConfig config_;
   SchedulerPolicy* policy_;
   const trace::WorkloadTrace* workload_;
-  obs::SimObserver* obs_;
+  TObs* obs_;
 
   /// Per-job launch timing kept only when an observer is installed, so
   /// departures can report full TaskTiming. Indexed by launch index
@@ -352,11 +361,23 @@ class SimulatorEngine::Impl {
   SimResult result_;
 };
 
+}  // namespace
+
 SimulatorEngine::SimulatorEngine(SimConfig config, SchedulerPolicy& policy)
     : config_(config), policy_(&policy) {}
 
 SimResult SimulatorEngine::Run(const trace::WorkloadTrace& workload) {
-  Impl impl(config_, *policy_, workload);
+  // Devirtualize the recording hot path: a bare EventLogObserver (the
+  // common --event-log-out wiring) gets the engine instantiated against
+  // its concrete type, so its inline 48-byte appends compile straight into
+  // the hook sites. Anything else — multicast fan-outs included — takes
+  // the generic virtual-dispatch engine.
+  if (auto* log = dynamic_cast<obs::EventLogObserver*>(config_.observer)) {
+    EngineImpl<obs::EventLogObserver> impl(config_, *policy_, workload, log);
+    return impl.Run();
+  }
+  EngineImpl<obs::SimObserver> impl(config_, *policy_, workload,
+                                    config_.observer);
   return impl.Run();
 }
 

@@ -59,7 +59,6 @@ class SimulatorEngine {
   SimResult Run(const trace::WorkloadTrace& workload);
 
  private:
-  class Impl;
   SimConfig config_;
   SchedulerPolicy* policy_;
 };

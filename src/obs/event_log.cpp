@@ -1,0 +1,433 @@
+#include "obs/event_log.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "obs/json.h"
+
+namespace simmr::obs {
+namespace {
+
+const char* const kSchema = "simmr.eventlog.v1";
+
+}  // namespace
+
+bool LogEvent::operator==(const LogEvent& other) const {
+  if (kind != other.kind || t != other.t || job != other.job ||
+      task_kind != other.task_kind || index != other.index)
+    return false;
+  // Only the union variant selected by `kind` holds defined data.
+  switch (kind) {
+    case Kind::kDequeue:
+      return std::strcmp(detail, other.detail) == 0 &&
+             queue_depth == other.queue_depth;
+    case Kind::kJobArrival:
+      return std::strcmp(name, other.name) == 0 &&
+             deadline == other.deadline;
+    case Kind::kPhaseTransition:
+      return std::strcmp(detail, other.detail) == 0;
+    case Kind::kTaskCompletion:
+      return timing.start == other.timing.start &&
+             timing.shuffle_end == other.timing.shuffle_end &&
+             timing.end == other.timing.end && succeeded == other.succeeded;
+    case Kind::kJobCompletion:
+    case Kind::kTaskLaunch:
+    case Kind::kSchedulerDecision:
+      return true;
+  }
+  return true;
+}
+
+const char* LogEventKindName(LogEvent::Kind kind) {
+  switch (kind) {
+    case LogEvent::Kind::kDequeue: return "dequeue";
+    case LogEvent::Kind::kJobArrival: return "job_arrival";
+    case LogEvent::Kind::kJobCompletion: return "job_done";
+    case LogEvent::Kind::kTaskLaunch: return "launch";
+    case LogEvent::Kind::kPhaseTransition: return "phase";
+    case LogEvent::Kind::kTaskCompletion: return "task_done";
+    case LogEvent::Kind::kSchedulerDecision: return "decision";
+  }
+  return "?";
+}
+
+const char* EventLog::Intern(std::string_view s) {
+  if (arena_ == nullptr)
+    arena_ = std::make_shared<std::vector<std::unique_ptr<std::string>>>();
+  for (const auto& owned : *arena_) {
+    if (*owned == s) return owned->c_str();
+  }
+  arena_->push_back(std::make_unique<std::string>(s));
+  return arena_->back()->c_str();
+}
+
+std::string ExactJsonNumber(double value) {
+  if (std::isnan(value)) return "\"NaN\"";
+  if (value == std::numeric_limits<double>::infinity()) return "\"+Inf\"";
+  if (value == -std::numeric_limits<double>::infinity()) return "\"-Inf\"";
+  char buf[40];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+void EventLogObserver::Clear() {
+  events_.clear();
+  names_.clear();
+  completed_[0] = completed_[1] = 0;
+  killed_[0] = killed_[1] = 0;
+}
+
+const char* EventLogObserver::InternName(std::string_view s) {
+  return names_.emplace(s).first->c_str();
+}
+
+namespace {
+
+void AppendHeaderLine(std::string& out, const EventLogHeader& header) {
+  out += "{\"schema\":\"";
+  out += kSchema;
+  out += "\",\"tool\":\"";
+  out += JsonEscape(header.tool);
+  out += "\",\"scenario\":\"";
+  out += JsonEscape(header.scenario);
+  out += "\",\"simulator\":\"";
+  out += JsonEscape(header.simulator);
+  out += "\"}\n";
+}
+
+void AppendEventLine(std::string& out, const LogEvent& ev) {
+  out += "{\"k\":\"";
+  out += LogEventKindName(ev.kind);
+  out += "\",\"t\":";
+  out += ExactJsonNumber(ev.t);
+  switch (ev.kind) {
+    case LogEvent::Kind::kDequeue:
+      out += ",\"type\":\"";
+      out += JsonEscape(ev.detail);
+      out += "\",\"depth\":";
+      out += std::to_string(ev.queue_depth);
+      break;
+    case LogEvent::Kind::kJobArrival:
+      out += ",\"job\":";
+      out += std::to_string(ev.job);
+      out += ",\"name\":\"";
+      out += JsonEscape(ev.name);
+      out += "\",\"deadline\":";
+      out += ExactJsonNumber(ev.deadline);
+      break;
+    case LogEvent::Kind::kJobCompletion:
+      out += ",\"job\":";
+      out += std::to_string(ev.job);
+      break;
+    case LogEvent::Kind::kTaskLaunch:
+      out += ",\"job\":";
+      out += std::to_string(ev.job);
+      out += ",\"kind\":\"";
+      out += TaskKindName(ev.task_kind);
+      out += "\",\"index\":";
+      out += std::to_string(ev.index);
+      break;
+    case LogEvent::Kind::kPhaseTransition:
+      out += ",\"job\":";
+      out += std::to_string(ev.job);
+      out += ",\"kind\":\"";
+      out += TaskKindName(ev.task_kind);
+      out += "\",\"index\":";
+      out += std::to_string(ev.index);
+      out += ",\"phase\":\"";
+      out += JsonEscape(ev.detail);
+      out += "\"";
+      break;
+    case LogEvent::Kind::kTaskCompletion:
+      out += ",\"job\":";
+      out += std::to_string(ev.job);
+      out += ",\"kind\":\"";
+      out += TaskKindName(ev.task_kind);
+      out += "\",\"index\":";
+      out += std::to_string(ev.index);
+      out += ",\"start\":";
+      out += ExactJsonNumber(ev.timing.start);
+      out += ",\"shuffle_end\":";
+      out += ExactJsonNumber(ev.timing.shuffle_end);
+      out += ",\"end\":";
+      out += ExactJsonNumber(ev.timing.end);
+      out += ",\"ok\":";
+      out += ev.succeeded ? "true" : "false";
+      break;
+    case LogEvent::Kind::kSchedulerDecision:
+      out += ",\"kind\":\"";
+      out += TaskKindName(ev.task_kind);
+      out += "\",\"job\":";
+      out += std::to_string(ev.job);
+      break;
+  }
+  out += "}\n";
+}
+
+}  // namespace
+
+std::string EventLogObserver::ToJsonl(const EventLogHeader& header) const {
+  std::string out;
+  out.reserve(64 + events_.size() * 72);
+  AppendHeaderLine(out, header);
+  for (const LogEvent& ev : events_) AppendEventLine(out, ev);
+  return out;
+}
+
+void EventLogObserver::WriteFile(const std::string& path,
+                                 const EventLogHeader& header) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  const std::string body = ToJsonl(header);
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  if (!out) throw std::runtime_error("failed writing " + path);
+}
+
+std::string SerializeEventLog(const EventLog& log) {
+  std::string out;
+  out.reserve(64 + log.events.size() * 72);
+  AppendHeaderLine(out, log.header);
+  for (const LogEvent& ev : log.events) AppendEventLine(out, ev);
+  return out;
+}
+
+namespace {
+
+/// Minimal parser for the flat one-line JSON objects this format emits:
+/// string, number, true/false values only. Strict about structure so
+/// corrupt logs fail loudly, tolerant about key order.
+class FlatJsonLine {
+ public:
+  FlatJsonLine(const std::string& line, std::size_t line_no) {
+    const char* p = line.c_str();
+    SkipWs(p);
+    Expect(p, '{', line_no);
+    SkipWs(p);
+    if (*p == '}') return;
+    for (;;) {
+      const std::string key = ParseString(p, line_no);
+      SkipWs(p);
+      Expect(p, ':', line_no);
+      SkipWs(p);
+      Value v;
+      if (*p == '"') {
+        v.is_string = true;
+        v.text = ParseString(p, line_no);
+      } else if (std::strncmp(p, "true", 4) == 0) {
+        v.number = 1.0;
+        p += 4;
+      } else if (std::strncmp(p, "false", 5) == 0) {
+        v.number = 0.0;
+        p += 5;
+      } else {
+        char* end = nullptr;
+        v.number = std::strtod(p, &end);
+        if (end == p) Fail(line_no, "expected a value");
+        p = end;
+      }
+      values_.emplace(std::move(key), std::move(v));
+      SkipWs(p);
+      if (*p == ',') {
+        ++p;
+        SkipWs(p);
+        continue;
+      }
+      Expect(p, '}', line_no);
+      break;
+    }
+    line_no_ = line_no;
+  }
+
+  std::string GetString(const char* key) const {
+    const Value& v = Find(key);
+    if (!v.is_string) Fail(line_no_, std::string(key) + " is not a string");
+    return v.text;
+  }
+
+  double GetNumber(const char* key) const {
+    const Value& v = Find(key);
+    if (!v.is_string) return v.number;
+    // Non-finite doubles are serialized as quoted strings.
+    if (v.text == "NaN") return std::numeric_limits<double>::quiet_NaN();
+    if (v.text == "+Inf") return std::numeric_limits<double>::infinity();
+    if (v.text == "-Inf") return -std::numeric_limits<double>::infinity();
+    Fail(line_no_, std::string(key) + " is not a number");
+    return 0.0;
+  }
+
+  bool GetBool(const char* key) const { return GetNumber(key) != 0.0; }
+
+  bool Has(const char* key) const { return values_.count(key) != 0; }
+
+ private:
+  struct Value {
+    bool is_string = false;
+    std::string text;
+    double number = 0.0;
+  };
+
+  [[noreturn]] static void Fail(std::size_t line_no, const std::string& what) {
+    throw std::runtime_error("event log line " + std::to_string(line_no) +
+                             ": " + what);
+  }
+
+  static void SkipWs(const char*& p) {
+    while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
+  }
+
+  static void Expect(const char*& p, char c, std::size_t line_no) {
+    if (*p != c) Fail(line_no, std::string("expected '") + c + "'");
+    ++p;
+  }
+
+  static std::string ParseString(const char*& p, std::size_t line_no) {
+    Expect(p, '"', line_no);
+    std::string out;
+    while (*p != '"') {
+      if (*p == '\0') Fail(line_no, "unterminated string");
+      if (*p == '\\') {
+        ++p;
+        switch (*p) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              ++p;
+              const char c = *p;
+              code <<= 4;
+              if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+              else if (c >= 'a' && c <= 'f')
+                code |= static_cast<unsigned>(c - 'a' + 10);
+              else if (c >= 'A' && c <= 'F')
+                code |= static_cast<unsigned>(c - 'A' + 10);
+              else
+                Fail(line_no, "bad \\u escape");
+            }
+            // The writer only escapes control characters this way.
+            out += static_cast<char>(code);
+            break;
+          }
+          default: Fail(line_no, "bad escape");
+        }
+        ++p;
+      } else {
+        out += *p;
+        ++p;
+      }
+    }
+    ++p;
+    return out;
+  }
+
+  const Value& Find(const char* key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end())
+      Fail(line_no_, std::string("missing key '") + key + "'");
+    return it->second;
+  }
+
+  std::unordered_map<std::string, Value> values_;
+  std::size_t line_no_ = 0;
+};
+
+TaskKind ParseTaskKind(const std::string& name, std::size_t line_no) {
+  if (name == "map") return TaskKind::kMap;
+  if (name == "reduce") return TaskKind::kReduce;
+  throw std::runtime_error("event log line " + std::to_string(line_no) +
+                           ": unknown task kind '" + name + "'");
+}
+
+}  // namespace
+
+EventLog ParseEventLog(std::istream& in) {
+  EventLog log;
+  std::string line;
+  std::size_t line_no = 0;
+
+  if (!std::getline(in, line))
+    throw std::runtime_error("event log: empty input");
+  ++line_no;
+  {
+    const FlatJsonLine header(line, line_no);
+    const std::string schema = header.GetString("schema");
+    if (schema != kSchema)
+      throw std::runtime_error("event log: unsupported schema '" + schema +
+                               "' (want " + kSchema + ")");
+    log.header.tool = header.GetString("tool");
+    log.header.scenario = header.GetString("scenario");
+    log.header.simulator = header.GetString("simulator");
+  }
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const FlatJsonLine obj(line, line_no);
+    const std::string k = obj.GetString("k");
+    LogEvent ev;
+    ev.t = obj.GetNumber("t");
+    if (k == "dequeue") {
+      ev.kind = LogEvent::Kind::kDequeue;
+      ev.detail = log.Intern(obj.GetString("type"));
+      ev.queue_depth = static_cast<std::uint64_t>(obj.GetNumber("depth"));
+    } else if (k == "job_arrival") {
+      ev.kind = LogEvent::Kind::kJobArrival;
+      ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
+      ev.name = log.Intern(obj.GetString("name"));
+      ev.deadline = obj.GetNumber("deadline");
+    } else if (k == "job_done") {
+      ev.kind = LogEvent::Kind::kJobCompletion;
+      ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
+    } else if (k == "launch") {
+      ev.kind = LogEvent::Kind::kTaskLaunch;
+      ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
+      ev.task_kind = ParseTaskKind(obj.GetString("kind"), line_no);
+      ev.index = static_cast<std::int32_t>(obj.GetNumber("index"));
+    } else if (k == "phase") {
+      ev.kind = LogEvent::Kind::kPhaseTransition;
+      ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
+      ev.task_kind = ParseTaskKind(obj.GetString("kind"), line_no);
+      ev.index = static_cast<std::int32_t>(obj.GetNumber("index"));
+      ev.detail = log.Intern(obj.GetString("phase"));
+    } else if (k == "task_done") {
+      ev.kind = LogEvent::Kind::kTaskCompletion;
+      ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
+      ev.task_kind = ParseTaskKind(obj.GetString("kind"), line_no);
+      ev.index = static_cast<std::int32_t>(obj.GetNumber("index"));
+      ev.timing.start = obj.GetNumber("start");
+      ev.timing.shuffle_end = obj.GetNumber("shuffle_end");
+      ev.timing.end = obj.GetNumber("end");
+      ev.succeeded = obj.GetBool("ok");
+    } else if (k == "decision") {
+      ev.kind = LogEvent::Kind::kSchedulerDecision;
+      ev.task_kind = ParseTaskKind(obj.GetString("kind"), line_no);
+      ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
+    } else {
+      throw std::runtime_error("event log line " + std::to_string(line_no) +
+                               ": unknown event kind '" + k + "'");
+    }
+    log.events.push_back(std::move(ev));
+  }
+  return log;
+}
+
+EventLog ReadEventLogFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return ParseEventLog(in);
+}
+
+}  // namespace simmr::obs

@@ -1,0 +1,126 @@
+// Critical-path extraction tests: chain walking, the filler patch-point
+// segmentation and wait attribution.
+#include "analysis/critical_path.h"
+
+#include <gtest/gtest.h>
+
+namespace simmr::analysis {
+namespace {
+
+using obs::TaskKind;
+
+TaskExec Task(TaskKind kind, std::int32_t index, double start,
+              double shuffle_end, double end, bool ok = true) {
+  TaskExec t;
+  t.kind = kind;
+  t.index = index;
+  t.timing = {start, shuffle_end, end};
+  t.reported = end;
+  t.succeeded = ok;
+  return t;
+}
+
+TEST(CriticalPath, WalksBackFromLatestTask) {
+  // map0 [0,10], map1 [0,8]; reduce0 starts when map0's slot frees.
+  JobRun job;
+  job.id = 1;
+  job.name = "chain";
+  job.arrival = 0.0;
+  job.map_stage_end = 10.0;
+  job.completion = 20.0;
+  job.completed = true;
+  job.tasks = {
+      Task(TaskKind::kMap, 0, 0.0, 0.0, 10.0),
+      Task(TaskKind::kMap, 1, 0.0, 0.0, 8.0),
+      Task(TaskKind::kReduce, 0, 10.0, 16.0, 20.0),
+  };
+  const CriticalPath path = ExtractCriticalPath(job);
+  ASSERT_EQ(path.steps.size(), 3u);  // map + shuffle + reduce segments
+  EXPECT_STREQ(path.steps[0].phase, "map");
+  EXPECT_EQ(path.steps[0].index, 0);  // map0, not the shorter map1
+  EXPECT_STREQ(path.steps[1].phase, "shuffle");
+  EXPECT_DOUBLE_EQ(path.steps[1].start, 10.0);
+  EXPECT_DOUBLE_EQ(path.steps[1].end, 16.0);
+  EXPECT_STREQ(path.steps[2].phase, "reduce");
+  EXPECT_DOUBLE_EQ(path.work_seconds, 20.0);
+  EXPECT_DOUBLE_EQ(path.wait_seconds, 0.0);
+  EXPECT_STREQ(path.bounding_phase, "map");
+}
+
+TEST(CriticalPath, FillerReduceSplitsAtPatchPoint) {
+  // First-wave reduce launched at t=0 alongside the maps: filler until the
+  // map stage ends at 12, patched-in shuffle tail to 15, reduce to 17.
+  JobRun job;
+  job.arrival = 0.0;
+  job.map_stage_end = 12.0;
+  job.completion = 17.0;
+  job.completed = true;
+  job.tasks = {
+      Task(TaskKind::kMap, 0, 0.0, 0.0, 12.0),
+      Task(TaskKind::kReduce, 0, 0.0, 15.0, 17.0),
+  };
+  const CriticalPath path = ExtractCriticalPath(job);
+  ASSERT_EQ(path.steps.size(), 3u);
+  EXPECT_STREQ(path.steps[0].phase, "filler");
+  EXPECT_DOUBLE_EQ(path.steps[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(path.steps[0].end, 12.0);
+  EXPECT_STREQ(path.steps[1].phase, "first-shuffle");
+  EXPECT_DOUBLE_EQ(path.steps[1].start, 12.0);
+  EXPECT_DOUBLE_EQ(path.steps[1].end, 15.0);
+  EXPECT_STREQ(path.steps[2].phase, "reduce");
+}
+
+TEST(CriticalPath, AttributesSlotWait) {
+  // Job arrives at 5 but its only task starts at 9: 4s of slot wait.
+  JobRun job;
+  job.arrival = 5.0;
+  job.map_stage_end = 14.0;
+  job.completion = 14.0;
+  job.completed = true;
+  job.tasks = {Task(TaskKind::kMap, 0, 9.0, 9.0, 14.0)};
+  const CriticalPath path = ExtractCriticalPath(job);
+  ASSERT_EQ(path.steps.size(), 1u);
+  EXPECT_DOUBLE_EQ(path.steps[0].wait_before, 4.0);
+  EXPECT_DOUBLE_EQ(path.wait_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(path.work_seconds, 5.0);
+}
+
+TEST(CriticalPath, SkipsKilledAttempts) {
+  JobRun job;
+  job.arrival = 0.0;
+  job.map_stage_end = 10.0;
+  job.completion = 10.0;
+  job.completed = true;
+  job.tasks = {
+      Task(TaskKind::kMap, 0, 0.0, 0.0, 9.5, /*ok=*/false),
+      Task(TaskKind::kMap, 0, 0.0, 0.0, 10.0),
+  };
+  const CriticalPath path = ExtractCriticalPath(job);
+  ASSERT_EQ(path.steps.size(), 1u);
+  EXPECT_DOUBLE_EQ(path.steps[0].end, 10.0);
+}
+
+TEST(CriticalPath, IncompleteJobYieldsNoSteps) {
+  JobRun job;
+  job.completed = false;
+  job.tasks = {Task(TaskKind::kMap, 0, 0.0, 0.0, 5.0)};
+  EXPECT_TRUE(ExtractCriticalPath(job).steps.empty());
+}
+
+TEST(CriticalPath, TerminalTieBreaksTowardReduce) {
+  JobRun job;
+  job.arrival = 0.0;
+  job.map_stage_end = 10.0;
+  job.completion = 10.0;
+  job.completed = true;
+  job.tasks = {
+      Task(TaskKind::kMap, 3, 0.0, 0.0, 10.0),
+      Task(TaskKind::kReduce, 1, 0.0, 10.0, 10.0),
+  };
+  const CriticalPath path = ExtractCriticalPath(job);
+  ASSERT_FALSE(path.steps.empty());
+  EXPECT_EQ(path.steps.back().kind, TaskKind::kReduce);
+}
+
+}  // namespace
+}  // namespace simmr::analysis

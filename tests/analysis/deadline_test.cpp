@@ -1,0 +1,118 @@
+// Deadline-miss attribution tests: miss detection and the ARIA
+// feasible-vs-infeasible verdict at observed parallelism.
+#include "analysis/deadline.h"
+
+#include <gtest/gtest.h>
+
+namespace simmr::analysis {
+namespace {
+
+using obs::TaskKind;
+
+TaskExec Task(TaskKind kind, std::int32_t index, double start,
+              double shuffle_end, double end) {
+  TaskExec t;
+  t.kind = kind;
+  t.index = index;
+  t.timing = {start, shuffle_end, end};
+  t.reported = end;
+  return t;
+}
+
+/// `n` sequential maps of `dur` seconds each on one slot, then one reduce.
+JobRun SerialJob(int n, double dur, double deadline, double arrival = 0.0) {
+  JobRun job;
+  job.id = 0;
+  job.name = "serial";
+  job.arrival = arrival;
+  job.deadline = deadline;
+  double t = arrival;
+  for (int i = 0; i < n; ++i) {
+    job.tasks.push_back(Task(TaskKind::kMap, i, t, t, t + dur));
+    t += dur;
+  }
+  job.map_stage_end = t;
+  job.tasks.push_back(Task(TaskKind::kReduce, 0, t, t + 1.0, t + 2.0));
+  job.first_start = arrival;
+  job.completion = t + 2.0;
+  job.completed = true;
+  job.launches[0] = static_cast<std::uint64_t>(n);
+  job.launches[1] = 1;
+  return job;
+}
+
+TEST(Deadline, MetDeadlinesProduceNoMisses) {
+  RunRecord record;
+  record.jobs.push_back(SerialJob(2, 10.0, /*deadline=*/100.0));
+  const DeadlineReport report = AttributeDeadlineMisses(record);
+  EXPECT_EQ(report.jobs_with_deadline, 1);
+  EXPECT_EQ(report.missed, 0);
+  EXPECT_TRUE(report.misses.empty());
+}
+
+TEST(Deadline, JobsWithoutDeadlineAreIgnored) {
+  RunRecord record;
+  record.jobs.push_back(SerialJob(2, 10.0, /*deadline=*/0.0));
+  const DeadlineReport report = AttributeDeadlineMisses(record);
+  EXPECT_EQ(report.jobs_with_deadline, 0);
+  EXPECT_EQ(report.missed, 0);
+}
+
+TEST(Deadline, InfeasibleMissWhenLowerBoundExceedsBudget) {
+  // 8 maps of 10s ran strictly serially (observed parallelism 1), so even
+  // the ARIA lower bound is ~80s — far past the 20s budget. No schedule at
+  // one slot could have met this deadline.
+  RunRecord record;
+  record.jobs.push_back(SerialJob(8, 10.0, /*deadline=*/20.0));
+  const DeadlineReport report = AttributeDeadlineMisses(record);
+  ASSERT_EQ(report.misses.size(), 1u);
+  const DeadlineMiss& miss = report.misses[0];
+  EXPECT_EQ(miss.job, 0);
+  EXPECT_DOUBLE_EQ(miss.allowed, 20.0);
+  EXPECT_DOUBLE_EQ(miss.gap, miss.completion - 20.0);
+  EXPECT_EQ(miss.observed_map_slots, 1);
+  EXPECT_GT(miss.lower_bound, miss.allowed);
+  EXPECT_TRUE(miss.infeasible);
+  EXPECT_GE(miss.upper_bound, miss.lower_bound);
+}
+
+TEST(Deadline, ContentionMissWhenWorkFitsTheBudget) {
+  // One 10s map + 2s reduce arriving at t=0 with a 30s deadline, but the
+  // map only started at t=20 (slot contention): the work itself fits.
+  JobRun job;
+  job.id = 2;
+  job.name = "starved";
+  job.arrival = 0.0;
+  job.deadline = 30.0;
+  job.tasks = {
+      Task(TaskKind::kMap, 0, 20.0, 20.0, 30.0),
+      Task(TaskKind::kReduce, 0, 30.0, 31.0, 32.0),
+  };
+  job.map_stage_end = 30.0;
+  job.first_start = 20.0;
+  job.completion = 32.0;
+  job.completed = true;
+  RunRecord record;
+  record.jobs.push_back(std::move(job));
+
+  const DeadlineReport report = AttributeDeadlineMisses(record);
+  ASSERT_EQ(report.misses.size(), 1u);
+  const DeadlineMiss& miss = report.misses[0];
+  EXPECT_DOUBLE_EQ(miss.scheduling_delay, 20.0);
+  EXPECT_LE(miss.lower_bound, miss.allowed);
+  EXPECT_FALSE(miss.infeasible);
+}
+
+TEST(Deadline, IncompleteJobsDoNotCountAsMisses) {
+  JobRun job = SerialJob(4, 10.0, /*deadline=*/5.0);
+  job.completed = false;
+  job.completion = -1.0;
+  RunRecord record;
+  record.jobs.push_back(std::move(job));
+  const DeadlineReport report = AttributeDeadlineMisses(record);
+  EXPECT_EQ(report.jobs_with_deadline, 1);
+  EXPECT_EQ(report.missed, 0);
+}
+
+}  // namespace
+}  // namespace simmr::analysis

@@ -1,0 +1,112 @@
+// Phase-breakdown tests: map/shuffle/reduce attribution, the first-wave
+// filler rule, and wave counts from observed concurrency.
+#include "analysis/phases.h"
+
+#include <gtest/gtest.h>
+
+namespace simmr::analysis {
+namespace {
+
+using obs::TaskKind;
+
+TaskExec Task(TaskKind kind, std::int32_t index, double start,
+              double shuffle_end, double end, bool ok = true) {
+  TaskExec t;
+  t.kind = kind;
+  t.index = index;
+  t.timing = {start, shuffle_end, end};
+  t.reported = end;
+  t.succeeded = ok;
+  return t;
+}
+
+/// 2 maps then 2 reduces: reduce 0 is a first-wave filler launched at t=0,
+/// reduce 1 a typical-wave reduce launched after the map stage.
+JobRun TwoWaveJob() {
+  JobRun job;
+  job.id = 0;
+  job.name = "two-wave";
+  job.arrival = 0.0;
+  job.tasks = {
+      Task(TaskKind::kMap, 0, 0.0, 0.0, 10.0),
+      Task(TaskKind::kMap, 1, 0.0, 0.0, 12.0),
+      // Filler: occupies a slot from t=0; shuffle runs [12, 15] after the
+      // map stage ends, reduce phase [15, 17].
+      Task(TaskKind::kReduce, 0, 0.0, 15.0, 17.0),
+      // Typical wave: starts after map_stage_end; shuffle [17, 22],
+      // reduce [22, 24].
+      Task(TaskKind::kReduce, 1, 17.0, 22.0, 24.0),
+  };
+  job.launches[0] = 2;
+  job.launches[1] = 2;
+  job.map_stage_end = 12.0;
+  job.first_start = 0.0;
+  job.completion = 24.0;
+  job.completed = true;
+  return job;
+}
+
+TEST(Phases, SplitsFirstWaveFromTypical) {
+  const PhaseBreakdown pb = ComputePhaseBreakdown(TwoWaveJob());
+  EXPECT_EQ(pb.num_maps, 2);
+  EXPECT_EQ(pb.num_reduces, 2);
+  EXPECT_EQ(pb.first_wave_reduces, 1);
+  EXPECT_EQ(pb.typical_reduces, 1);
+
+  EXPECT_DOUBLE_EQ(pb.map_total, 22.0);
+  // First-wave shuffle counts only past map_stage_end: 15 - 12 = 3.
+  EXPECT_DOUBLE_EQ(pb.first_shuffle_total, 3.0);
+  EXPECT_DOUBLE_EQ(pb.typical_shuffle_total, 5.0);
+  EXPECT_DOUBLE_EQ(pb.reduce_total, 4.0);
+
+  EXPECT_DOUBLE_EQ(pb.map_avg, 11.0);
+  EXPECT_DOUBLE_EQ(pb.map_max, 12.0);
+  EXPECT_DOUBLE_EQ(pb.shuffle_avg, 4.0);   // (3 + 5) / 2
+  EXPECT_DOUBLE_EQ(pb.reduce_avg, 2.0);
+  EXPECT_DOUBLE_EQ(pb.reduce_max, 2.0);
+  EXPECT_DOUBLE_EQ(pb.map_stage_span, 12.0);
+}
+
+TEST(Phases, WaveCountsFromPeakConcurrency) {
+  const PhaseBreakdown pb = ComputePhaseBreakdown(TwoWaveJob());
+  // Both maps overlap -> peak 2 -> one wave. Reduces do not overlap ->
+  // peak 1 -> two waves.
+  EXPECT_EQ(pb.peak_maps, 2);
+  EXPECT_EQ(pb.map_waves, 1);
+  EXPECT_EQ(pb.peak_reduces, 1);
+  EXPECT_EQ(pb.reduce_waves, 2);
+}
+
+TEST(Phases, KilledAttemptsDoNotContribute) {
+  JobRun job = TwoWaveJob();
+  job.tasks.push_back(
+      Task(TaskKind::kReduce, 0, 0.0, 5.0, 5.0, /*ok=*/false));
+  job.kills[1] = 1;
+  const PhaseBreakdown pb = ComputePhaseBreakdown(job);
+  EXPECT_EQ(pb.num_reduces, 2);
+  EXPECT_DOUBLE_EQ(pb.reduce_total, 4.0);
+}
+
+TEST(Phases, MapOnlyJob) {
+  JobRun job;
+  job.tasks = {Task(TaskKind::kMap, 0, 0.0, 0.0, 4.0)};
+  job.map_stage_end = 4.0;
+  const PhaseBreakdown pb = ComputePhaseBreakdown(job);
+  EXPECT_EQ(pb.num_maps, 1);
+  EXPECT_EQ(pb.num_reduces, 0);
+  EXPECT_DOUBLE_EQ(pb.shuffle_avg, 0.0);
+  EXPECT_DOUBLE_EQ(pb.reduce_avg, 0.0);
+  EXPECT_EQ(pb.reduce_waves, 0);
+}
+
+TEST(Phases, EmptyJobIsAllZero) {
+  const PhaseBreakdown pb = ComputePhaseBreakdown(JobRun{});
+  EXPECT_EQ(pb.num_maps, 0);
+  EXPECT_EQ(pb.num_reduces, 0);
+  EXPECT_DOUBLE_EQ(pb.map_total, 0.0);
+  EXPECT_DOUBLE_EQ(pb.ShuffleTotal(), 0.0);
+  EXPECT_EQ(pb.map_waves, 0);
+}
+
+}  // namespace
+}  // namespace simmr::analysis

@@ -1,0 +1,151 @@
+// Run-diff tests: identity, first-divergence ordering, name and id
+// alignment, and phase attribution of completion deltas.
+#include "analysis/run_diff.h"
+
+#include <gtest/gtest.h>
+
+namespace simmr::analysis {
+namespace {
+
+using obs::TaskKind;
+
+TaskExec Task(TaskKind kind, std::int32_t index, double start,
+              double shuffle_end, double end) {
+  TaskExec t;
+  t.kind = kind;
+  t.index = index;
+  t.timing = {start, shuffle_end, end};
+  t.reported = end;
+  return t;
+}
+
+JobRun SimpleJob(std::int32_t id, const std::string& name,
+                 double map_end = 10.0, double shuffle_end = 16.0,
+                 double end = 20.0) {
+  JobRun job;
+  job.id = id;
+  job.name = name;
+  job.arrival = 0.0;
+  job.tasks = {
+      Task(TaskKind::kMap, 0, 0.0, 0.0, map_end),
+      Task(TaskKind::kReduce, 0, map_end, shuffle_end, end),
+  };
+  job.map_stage_end = map_end;
+  job.first_start = 0.0;
+  job.completion = end;
+  job.completed = true;
+  job.launches[0] = 1;
+  job.launches[1] = 1;
+  return job;
+}
+
+TEST(RunDiff, IdenticalRunsAreIdentical) {
+  RunRecord a, b;
+  a.jobs = {SimpleJob(0, "wc"), SimpleJob(1, "sort")};
+  b.jobs = {SimpleJob(0, "wc"), SimpleJob(1, "sort")};
+  const RunDiff diff = DiffRuns(a, b);
+  EXPECT_TRUE(diff.identical);
+  EXPECT_TRUE(diff.first_divergence.empty());
+  ASSERT_EQ(diff.jobs.size(), 2u);
+  EXPECT_DOUBLE_EQ(diff.max_abs_completion_delta, 0.0);
+  EXPECT_STREQ(diff.jobs[0].dominant_phase, "none");
+}
+
+TEST(RunDiff, ReportsEarliestDivergence) {
+  RunRecord a, b;
+  a.jobs = {SimpleJob(0, "wc"), SimpleJob(1, "sort")};
+  b.jobs = {SimpleJob(0, "wc"), SimpleJob(1, "sort")};
+  // Late divergence in job 0 (reduce end 20 -> 21), early one in job 1
+  // (map end 10 -> 9): the earlier one must win regardless of job order.
+  b.jobs[0].tasks[1].timing.end = 21.0;
+  b.jobs[0].completion = 21.0;
+  b.jobs[1].tasks[0].timing.end = 9.0;
+  b.jobs[1].map_stage_end = 9.0;
+  const RunDiff diff = DiffRuns(a, b);
+  ASSERT_FALSE(diff.identical);
+  EXPECT_NE(diff.first_divergence.find("sort"), std::string::npos)
+      << diff.first_divergence;
+  EXPECT_NE(diff.first_divergence.find("map[0] end differs"),
+            std::string::npos)
+      << diff.first_divergence;
+  EXPECT_DOUBLE_EQ(diff.first_divergence_time, 9.0);
+}
+
+TEST(RunDiff, ShuffleDeltaDominates) {
+  // Run b has no shuffle model (the Mumak case): shuffle_end == start of
+  // the reduce phase. The per-job delta must blame "shuffle".
+  RunRecord a, b;
+  a.jobs = {SimpleJob(0, "wc", 10.0, /*shuffle_end=*/16.0, /*end=*/20.0)};
+  b.jobs = {SimpleJob(0, "wc", 10.0, /*shuffle_end=*/10.0, /*end=*/14.0)};
+  const RunDiff diff = DiffRuns(a, b);
+  ASSERT_EQ(diff.jobs.size(), 1u);
+  const JobDelta& delta = diff.jobs[0];
+  EXPECT_STREQ(delta.dominant_phase, "shuffle");
+  EXPECT_DOUBLE_EQ(delta.shuffle_avg_a, 6.0);
+  EXPECT_DOUBLE_EQ(delta.shuffle_avg_b, 0.0);
+  EXPECT_DOUBLE_EQ(delta.shuffle_delta, -6.0);
+  EXPECT_DOUBLE_EQ(delta.completion_delta, -6.0);
+  EXPECT_DOUBLE_EQ(diff.max_abs_completion_delta, 6.0);
+  EXPECT_DOUBLE_EQ(diff.mean_abs_completion_delta, 6.0);
+}
+
+TEST(RunDiff, DuplicateNamesAlignByOccurrence) {
+  RunRecord a, b;
+  a.jobs = {SimpleJob(0, "wc"), SimpleJob(1, "wc", 10.0, 16.0, 25.0)};
+  b.jobs = {SimpleJob(0, "wc"), SimpleJob(1, "wc", 10.0, 16.0, 25.0)};
+  const RunDiff diff = DiffRuns(a, b);
+  EXPECT_TRUE(diff.identical);
+  ASSERT_EQ(diff.jobs.size(), 2u);
+  EXPECT_EQ(diff.jobs[1].name, "wc@1");
+}
+
+TEST(RunDiff, RenamedJobsFallBackToIdAlignment) {
+  // Different tools label the same job differently; ids still match.
+  RunRecord a, b;
+  a.jobs = {SimpleJob(0, "WordCount")};
+  b.jobs = {SimpleJob(0, "WordCount/wiki-40GB")};
+  const RunDiff diff = DiffRuns(a, b);
+  EXPECT_TRUE(diff.identical);
+  ASSERT_EQ(diff.jobs.size(), 1u);
+  EXPECT_TRUE(diff.only_in_a.empty());
+  EXPECT_TRUE(diff.only_in_b.empty());
+}
+
+TEST(RunDiff, UnmatchedJobsAreReported) {
+  RunRecord a, b;
+  a.jobs = {SimpleJob(0, "wc"), SimpleJob(1, "extra-a")};
+  b.jobs = {SimpleJob(0, "wc"), SimpleJob(5, "extra-b")};
+  const RunDiff diff = DiffRuns(a, b);
+  ASSERT_FALSE(diff.identical);
+  ASSERT_EQ(diff.only_in_a.size(), 1u);
+  EXPECT_EQ(diff.only_in_a[0], "extra-a");
+  ASSERT_EQ(diff.only_in_b.size(), 1u);
+  EXPECT_EQ(diff.only_in_b[0], "extra-b");
+  EXPECT_EQ(diff.jobs.size(), 1u);
+}
+
+TEST(RunDiff, MissingTaskAttemptIsDivergence) {
+  RunRecord a, b;
+  a.jobs = {SimpleJob(0, "wc")};
+  b.jobs = {SimpleJob(0, "wc")};
+  b.jobs[0].tasks.push_back(Task(TaskKind::kReduce, 1, 20.0, 24.0, 26.0));
+  const RunDiff diff = DiffRuns(a, b);
+  ASSERT_FALSE(diff.identical);
+  EXPECT_NE(diff.first_divergence.find("attempt counts differ"),
+            std::string::npos)
+      << diff.first_divergence;
+}
+
+TEST(RunDiff, KilledVsSucceededIsDivergence) {
+  RunRecord a, b;
+  a.jobs = {SimpleJob(0, "wc")};
+  b.jobs = {SimpleJob(0, "wc")};
+  b.jobs[0].tasks[1].succeeded = false;
+  const RunDiff diff = DiffRuns(a, b);
+  ASSERT_FALSE(diff.identical);
+  EXPECT_NE(diff.first_divergence.find("outcome differs"), std::string::npos)
+      << diff.first_divergence;
+}
+
+}  // namespace
+}  // namespace simmr::analysis

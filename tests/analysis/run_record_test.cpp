@@ -1,0 +1,221 @@
+// RunRecord reconstruction tests: folding an event stream into per-job
+// histories, truncation tolerance, error paths and the core-metrics bridge.
+#include "analysis/run_record.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/simmr.h"
+#include "obs/event_log.h"
+#include "sched/fifo.h"
+
+namespace simmr::analysis {
+namespace {
+
+using obs::EventLog;
+using obs::LogEvent;
+using obs::TaskKind;
+using obs::TaskTiming;
+
+LogEvent Arrival(double t, std::int32_t job, const char* name,
+                 double deadline = 0.0) {
+  LogEvent ev;
+  ev.kind = LogEvent::Kind::kJobArrival;
+  ev.t = t;
+  ev.job = job;
+  ev.name = name;
+  ev.deadline = deadline;
+  return ev;
+}
+
+LogEvent Launch(double t, std::int32_t job, TaskKind kind,
+                std::int32_t index) {
+  LogEvent ev;
+  ev.kind = LogEvent::Kind::kTaskLaunch;
+  ev.t = t;
+  ev.job = job;
+  ev.task_kind = kind;
+  ev.index = index;
+  return ev;
+}
+
+LogEvent Done(double t, std::int32_t job, TaskKind kind, std::int32_t index,
+              TaskTiming timing, bool succeeded = true) {
+  LogEvent ev;
+  ev.kind = LogEvent::Kind::kTaskCompletion;
+  ev.t = t;
+  ev.job = job;
+  ev.task_kind = kind;
+  ev.index = index;
+  ev.timing = timing;
+  ev.succeeded = succeeded;
+  return ev;
+}
+
+LogEvent JobDone(double t, std::int32_t job) {
+  LogEvent ev;
+  ev.kind = LogEvent::Kind::kJobCompletion;
+  ev.t = t;
+  ev.job = job;
+  return ev;
+}
+
+TEST(RunRecord, FoldsJobHistory) {
+  EventLog log;
+  log.header = {"test", "unit", "simmr"};
+  log.events = {
+      Arrival(0.0, 0, "job-a", 100.0),
+      Launch(0.0, 0, TaskKind::kMap, 0),
+      Launch(0.0, 0, TaskKind::kReduce, 0),  // filler
+      Done(10.0, 0, TaskKind::kMap, 0, {0.0, 0.0, 10.0}),
+      Done(18.0, 0, TaskKind::kReduce, 0, {0.0, 15.0, 18.0}),
+      JobDone(18.0, 0),
+  };
+  const RunRecord record = RunRecord::FromLog(log);
+
+  ASSERT_EQ(record.jobs.size(), 1u);
+  const JobRun& job = record.jobs[0];
+  EXPECT_EQ(job.id, 0);
+  EXPECT_EQ(job.name, "job-a");
+  EXPECT_EQ(job.arrival, 0.0);
+  EXPECT_EQ(job.deadline, 100.0);
+  EXPECT_TRUE(job.completed);
+  EXPECT_EQ(job.completion, 18.0);
+  EXPECT_EQ(job.map_stage_end, 10.0);
+  EXPECT_EQ(job.first_start, 0.0);
+  EXPECT_EQ(job.launches[0], 1u);
+  EXPECT_EQ(job.launches[1], 1u);
+  EXPECT_EQ(job.kills[0], 0u);
+  EXPECT_EQ(job.kills[1], 0u);
+  ASSERT_EQ(job.tasks.size(), 2u);
+  EXPECT_EQ(record.makespan, 18.0);
+  EXPECT_FALSE(job.MissedDeadline());
+}
+
+TEST(RunRecord, KilledAttemptsAreTrackedButNotTimed) {
+  EventLog log;
+  log.events = {
+      Arrival(0.0, 0, "victim"),
+      Launch(0.0, 0, TaskKind::kReduce, 0),
+      Done(5.0, 0, TaskKind::kReduce, 0, {0.0, 5.0, 5.0},
+           /*succeeded=*/false),
+      Launch(6.0, 0, TaskKind::kReduce, 0),
+      Done(12.0, 0, TaskKind::kReduce, 0, {6.0, 10.0, 12.0}),
+      JobDone(12.0, 0),
+  };
+  const RunRecord record = RunRecord::FromLog(log);
+  const JobRun& job = record.jobs[0];
+  EXPECT_EQ(job.kills[1], 1u);
+  EXPECT_EQ(job.launches[1], 2u);
+  EXPECT_EQ(job.SucceededCount(TaskKind::kReduce), 1u);
+  // first_start comes from the successful attempt, not the killed one.
+  EXPECT_EQ(job.first_start, 6.0);
+  ASSERT_EQ(job.tasks.size(), 2u);
+  EXPECT_FALSE(job.tasks[0].succeeded);
+  EXPECT_TRUE(job.tasks[1].succeeded);
+}
+
+TEST(RunRecord, TruncatedLogLeavesJobIncomplete) {
+  EventLog log;
+  log.events = {
+      Arrival(0.0, 0, "cut-short"),
+      Launch(0.0, 0, TaskKind::kMap, 0),
+  };
+  const RunRecord record = RunRecord::FromLog(log);
+  ASSERT_EQ(record.jobs.size(), 1u);
+  EXPECT_FALSE(record.jobs[0].completed);
+  EXPECT_LT(record.jobs[0].completion, 0.0);
+  // No successful task: first_start falls back to arrival.
+  EXPECT_EQ(record.jobs[0].first_start, 0.0);
+}
+
+TEST(RunRecord, ThrowsOnEventsBeforeArrival) {
+  EventLog log;
+  log.events = {Launch(0.0, 7, TaskKind::kMap, 0)};
+  EXPECT_THROW(RunRecord::FromLog(log), std::runtime_error);
+}
+
+TEST(RunRecord, ThrowsOnDuplicateArrival) {
+  EventLog log;
+  log.events = {Arrival(0.0, 0, "a"), Arrival(1.0, 0, "b")};
+  EXPECT_THROW(RunRecord::FromLog(log), std::runtime_error);
+}
+
+TEST(RunRecord, PeakConcurrencyCountsOverlaps) {
+  std::vector<TaskExec> tasks;
+  const auto add = [&tasks](double start, double end, bool ok = true) {
+    TaskExec t;
+    t.kind = TaskKind::kMap;
+    t.timing = {start, start, end};
+    t.succeeded = ok;
+    tasks.push_back(t);
+  };
+  add(0.0, 10.0);
+  add(2.0, 8.0);
+  add(3.0, 5.0);
+  add(10.0, 12.0);
+  add(1.0, 9.0, /*ok=*/false);  // killed: not counted
+  EXPECT_EQ(PeakConcurrency(tasks, TaskKind::kMap), 3);
+  EXPECT_EQ(PeakConcurrency(tasks, TaskKind::kReduce), 0);
+}
+
+TEST(RunRecord, BridgesToCoreTaskRecords) {
+  EventLog log;
+  log.events = {
+      Arrival(0.0, 3, "bridge"),
+      Done(10.0, 3, TaskKind::kMap, 0, {0.0, 0.0, 10.0}),
+      Done(20.0, 3, TaskKind::kReduce, 1, {10.0, 16.0, 20.0}),
+      Done(15.0, 3, TaskKind::kReduce, 2, {10.0, 12.0, 15.0},
+           /*succeeded=*/false),
+      JobDone(20.0, 3),
+  };
+  const auto records = ToSimTaskRecords(RunRecord::FromLog(log));
+  ASSERT_EQ(records.size(), 2u);  // killed attempt excluded
+  EXPECT_EQ(records[0].job, 3);
+  EXPECT_EQ(records[0].kind, core::SimTaskKind::kMap);
+  EXPECT_EQ(records[1].kind, core::SimTaskKind::kReduce);
+  EXPECT_EQ(records[1].shuffle_end, 16.0);
+}
+
+TEST(RunRecord, EngineRunSurvivesLoadCycle) {
+  // End to end: engine -> observer -> JSONL -> parse -> RunRecord matches
+  // the engine's own result bit for bit.
+  trace::JobProfile p;
+  p.app_name = "uniform";
+  p.num_maps = 6;
+  p.num_reduces = 2;
+  p.map_durations.assign(6, 10.0);
+  p.first_shuffle_durations.assign(1, 3.0);
+  p.typical_shuffle_durations.assign(1, 5.0);
+  p.reduce_durations.assign(2, 2.0);
+  trace::WorkloadTrace w(2);
+  w[0].profile = p;
+  w[1].profile = p;
+  w[1].arrival = 7.0;
+
+  obs::EventLogObserver observer;
+  core::SimConfig cfg;
+  cfg.map_slots = 2;
+  cfg.reduce_slots = 2;
+  cfg.observer = &observer;
+  sched::FifoPolicy fifo;
+  const core::SimResult result = core::Replay(w, fifo, cfg);
+
+  std::istringstream in(observer.ToJsonl({"test", "cycle", "simmr"}));
+  const RunRecord record = RunRecord::FromLog(obs::ParseEventLog(in));
+
+  ASSERT_EQ(record.jobs.size(), result.jobs.size());
+  for (const core::JobResult& expected : result.jobs) {
+    const JobRun* job = record.FindJob(static_cast<std::int32_t>(expected.job));
+    ASSERT_NE(job, nullptr);
+    EXPECT_EQ(job->arrival, expected.arrival);
+    EXPECT_EQ(job->completion, expected.completion);  // bit-exact
+    EXPECT_EQ(job->map_stage_end, expected.map_stage_end);
+    EXPECT_EQ(job->first_start, expected.first_launch);
+  }
+  EXPECT_EQ(record.makespan, result.makespan);
+}
+
+}  // namespace
+}  // namespace simmr::analysis

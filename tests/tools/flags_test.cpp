@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iterator>
 #include <vector>
 
 namespace simmr::tools {
@@ -131,6 +133,77 @@ TEST(LogLevel, ApplyLogLevelRejectsUnknownName) {
   ASSERT_TRUE(flags.has_value());
   EXPECT_FALSE(ApplyLogLevel(*flags));
   EXPECT_EQ(GetLogLevel(), saved);  // unchanged on failure
+}
+
+std::optional<Flags> ParseObsArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags::Parse(static_cast<int>(args.size()),
+                      const_cast<char**>(args.data()), "test tool",
+                      ObservabilityFlagSpecs());
+}
+
+TEST(ObservabilitySinks, SharedSpecsCoverEveryOutputFlag) {
+  const auto specs = ObservabilityFlagSpecs();
+  const auto has = [&specs](const std::string& name) {
+    for (const FlagSpec& spec : specs) {
+      if (spec.name == name) return spec.default_value.empty();
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("trace-out"));
+  EXPECT_TRUE(has("metrics-out"));
+  EXPECT_TRUE(has("telemetry-out"));
+  EXPECT_TRUE(has("event-log-out"));
+}
+
+TEST(ObservabilitySinks, NoFlagsMeansNullObserver) {
+  const auto flags = ParseObsArgs({});
+  ASSERT_TRUE(flags.has_value());
+  ObservabilitySinks sinks;
+  sinks.Init(*flags);
+  // Null observer keeps the engine on its zero-cost path.
+  EXPECT_EQ(sinks.observer(), nullptr);
+}
+
+TEST(ObservabilitySinks, RequestedOutputsAreWritten) {
+  const std::string dir = ::testing::TempDir();
+  const std::string metrics_path = dir + "/sinks_metrics.txt";
+  const std::string event_log_path = dir + "/sinks_events.jsonl";
+  const std::string metrics_flag = "--metrics-out=" + metrics_path;
+  const std::string event_log_flag = "--event-log-out=" + event_log_path;
+  const auto flags =
+      ParseObsArgs({metrics_flag.c_str(), event_log_flag.c_str()});
+  ASSERT_TRUE(flags.has_value());
+
+  ObservabilitySinks sinks;
+  sinks.Init(*flags);
+  ASSERT_NE(sinks.observer(), nullptr);
+  ASSERT_NE(sinks.metrics(), nullptr);
+  ASSERT_NE(sinks.event_log(), nullptr);
+  sinks.observer()->OnJobArrival(0.0, 0, "unit-job", 0.0);
+  sinks.observer()->OnJobCompletion(5.0, 0);
+
+  RunSummary summary;
+  summary.tool = "flags_test";
+  summary.scenario = "unit";
+  summary.simulator = "simmr";
+  summary.wall_seconds = 0.001;
+  summary.events_processed = 2;
+  summary.jobs = 1;
+  summary.makespan = 5.0;
+  sinks.Write(summary);
+
+  const obs::EventLog log = obs::ReadEventLogFile(event_log_path);
+  EXPECT_EQ(log.header.tool, "flags_test");
+  EXPECT_EQ(log.header.simulator, "simmr");
+  ASSERT_EQ(log.events.size(), 2u);
+  EXPECT_EQ(log.events[0].kind, obs::LogEvent::Kind::kJobArrival);
+
+  std::ifstream metrics(metrics_path);
+  ASSERT_TRUE(metrics.good());
+  const std::string text((std::istreambuf_iterator<char>(metrics)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("simmr_jobs_completed_total 1"), std::string::npos);
 }
 
 }  // namespace

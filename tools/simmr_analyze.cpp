@@ -1,0 +1,152 @@
+// simmr_analyze: offline analysis of durable event logs
+// (simmr.eventlog.v1, written by --event-log-out).
+//
+//   simmr_analyze report --log=run.jsonl
+//   simmr_analyze critical-path --log=run.jsonl --job=2
+//   simmr_analyze utilization --log=run.jsonl --map-slots=16
+//   simmr_analyze diff --a=run.simmr.jsonl --b=run.mumak.jsonl --json
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/report.h"
+#include "analysis/run_diff.h"
+#include "analysis/run_record.h"
+#include "tool_common.h"
+
+namespace {
+
+void PrintTopUsage() {
+  std::fprintf(
+      stderr,
+      "usage: simmr_analyze <subcommand> [flags]\n\n"
+      "subcommands:\n"
+      "  report         run summary, per-job phase breakdown and\n"
+      "                 deadline-miss attribution\n"
+      "  critical-path  the task chain that bounded each job's completion\n"
+      "  utilization    slot utilization and a phase-occupancy timeline\n"
+      "  diff           structural diff of two runs (first divergence,\n"
+      "                 per-job completion deltas, dominant phase)\n\n"
+      "run 'simmr_analyze <subcommand> --help' for the subcommand's flags.\n");
+}
+
+simmr::tools::FlagSpec JsonFlag() {
+  return {"json", "false", "emit JSON instead of the text report", true};
+}
+
+simmr::analysis::AnalyzeOptions OptionsFrom(const simmr::tools::Flags& flags,
+                                            bool with_slots) {
+  simmr::analysis::AnalyzeOptions opt;
+  opt.json = flags.GetBool("json");
+  if (with_slots) {
+    opt.map_slots = flags.GetInt("map-slots");
+    opt.reduce_slots = flags.GetInt("reduce-slots");
+    opt.step = flags.GetDouble("step");
+  } else {
+    opt.job = flags.GetInt("job");
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace simmr;
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0) {
+    PrintTopUsage();
+    return argc < 2 ? 1 : 0;
+  }
+  const std::string sub = argv[1];
+  // The subcommand becomes argv[0] of the shifted vector, so --help prints
+  // it as the program name.
+  argc -= 1;
+  argv += 1;
+
+  try {
+    if (sub == "report" || sub == "critical-path") {
+      const auto flags = tools::Flags::Parse(
+          argc, argv,
+          sub == "report"
+              ? "Summarizes one event log: per-job phase breakdown, wave\n"
+                "counts and deadline-miss attribution via the ARIA bounds."
+              : "Extracts each job's critical path: the chain of task phase\n"
+                "segments that bounded its completion.",
+          {
+              {"log", "run.jsonl", "input event-log path"},
+              {"job", "-1", "restrict to this job id (-1 = all)"},
+              JsonFlag(),
+              tools::LogLevelFlag(),
+          });
+      if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+      if (!tools::ApplyLogLevel(*flags)) return 1;
+      const auto record = analysis::RunRecord::Load(flags->Get("log"));
+      const auto opt = OptionsFrom(*flags, /*with_slots=*/false);
+      std::fputs(sub == "report"
+                     ? analysis::RenderReport(record, opt).c_str()
+                     : analysis::RenderCriticalPath(record, opt).c_str(),
+                 stdout);
+      if (opt.json) std::fputc('\n', stdout);
+      return 0;
+    }
+
+    if (sub == "utilization") {
+      const auto flags = tools::Flags::Parse(
+          argc, argv,
+          "Reports slot utilization and a phase-occupancy timeline for one\n"
+          "event log. Slot counts default to the observed peak concurrency\n"
+          "(the log does not record the cluster configuration).",
+          {
+              {"log", "run.jsonl", "input event-log path"},
+              {"map-slots", "0", "map slots (0 = observed peak)"},
+              {"reduce-slots", "0", "reduce slots (0 = observed peak)"},
+              {"step", "0", "timeline sampling step, s (0 = makespan/20)"},
+              JsonFlag(),
+              tools::LogLevelFlag(),
+          });
+      if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+      if (!tools::ApplyLogLevel(*flags)) return 1;
+      const auto record = analysis::RunRecord::Load(flags->Get("log"));
+      const auto opt = OptionsFrom(*flags, /*with_slots=*/true);
+      std::fputs(analysis::RenderUtilization(record, opt).c_str(), stdout);
+      if (opt.json) std::fputc('\n', stdout);
+      return 0;
+    }
+
+    if (sub == "diff") {
+      const auto flags = tools::Flags::Parse(
+          argc, argv,
+          "Structurally diffs two event logs: aligns jobs, reports the\n"
+          "first divergence and attributes per-job completion deltas to\n"
+          "map/shuffle/reduce via per-attempt averages. Exits 0 when the\n"
+          "runs are identical, 3 when they differ.",
+          {
+              {"a", "", "first event-log path (baseline)"},
+              {"b", "", "second event-log path"},
+              JsonFlag(),
+              tools::LogLevelFlag(),
+          });
+      if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+      if (!tools::ApplyLogLevel(*flags)) return 1;
+      if (flags->Get("a").empty() || flags->Get("b").empty()) {
+        std::fprintf(stderr, "error: diff needs both --a and --b\n");
+        return 1;
+      }
+      const auto record_a = analysis::RunRecord::Load(flags->Get("a"));
+      const auto record_b = analysis::RunRecord::Load(flags->Get("b"));
+      const auto diff = analysis::DiffRuns(record_a, record_b);
+      analysis::AnalyzeOptions opt;
+      opt.json = flags->GetBool("json");
+      std::fputs(analysis::RenderDiff(diff, opt).c_str(), stdout);
+      if (opt.json) std::fputc('\n', stdout);
+      return diff.identical ? 0 : 3;
+    }
+
+    std::fprintf(stderr, "error: unknown subcommand '%s'\n\n", sub.c_str());
+    PrintTopUsage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -7,11 +7,13 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 
 #include "cluster/history_log.h"
 #include "core/simmr.h"
 #include "mumak/mumak_sim.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/metrics_observer.h"
 #include "obs/telemetry.h"
@@ -31,7 +33,12 @@ int main(int argc, char** argv) {
           {"map-slots", "64", "cluster map slots for the replay"},
           {"reduce-slots", "64", "cluster reduce slots for the replay"},
           {"mumak-nodes", "64", "node count for the Mumak baseline"},
-          {"telemetry-out", "", "optional run-telemetry JSON path"},
+          {"telemetry-out", "",
+           "optional run-telemetry JSON path (aggregate + per-simulator "
+           "breakdown)"},
+          {"event-log-out", "",
+           "optional event-log path prefix; writes <prefix>.simmr.jsonl and "
+           "<prefix>.mumak.jsonl"},
           tools::LogLevelFlag(),
       });
   if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
@@ -53,15 +60,30 @@ int main(int argc, char** argv) {
     mcfg.num_nodes = flags->GetInt("mumak-nodes");
     sched::FifoPolicy fifo;
 
-    // One metrics observer across every SimMR and Mumak replay, so the
-    // telemetry reports the combined event workload of the comparison.
+    // One observer stack per simulator: summing SimMR and Mumak events into
+    // one blob would hide which side produced them, so the telemetry keeps
+    // per-simulator metrics and reports both a breakdown and the aggregate.
     const std::string telemetry_out = flags->Get("telemetry-out");
-    obs::MetricsRegistry registry;
-    std::unique_ptr<obs::MetricsObserver> metrics_obs;
+    const std::string event_log_out = flags->Get("event-log-out");
+    obs::MetricsRegistry simmr_registry, mumak_registry;
+    std::unique_ptr<obs::MetricsObserver> simmr_metrics, mumak_metrics;
+    std::unique_ptr<obs::EventLogObserver> simmr_log, mumak_log;
+    obs::MulticastObserver simmr_multicast, mumak_multicast;
     if (!telemetry_out.empty()) {
-      metrics_obs = std::make_unique<obs::MetricsObserver>(registry);
-      cfg.observer = metrics_obs.get();
-      mcfg.observer = metrics_obs.get();
+      simmr_metrics = std::make_unique<obs::MetricsObserver>(simmr_registry);
+      mumak_metrics = std::make_unique<obs::MetricsObserver>(mumak_registry);
+      simmr_multicast.Add(simmr_metrics.get());
+      mumak_multicast.Add(mumak_metrics.get());
+    }
+    if (!event_log_out.empty()) {
+      simmr_log = std::make_unique<obs::EventLogObserver>();
+      mumak_log = std::make_unique<obs::EventLogObserver>();
+      simmr_multicast.Add(simmr_log.get());
+      mumak_multicast.Add(mumak_log.get());
+    }
+    if (!simmr_multicast.Empty()) {
+      cfg.observer = &simmr_multicast;
+      mcfg.observer = &mumak_multicast;
     }
     const auto wall_start = std::chrono::steady_clock::now();
 
@@ -72,6 +94,13 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < profiles.size(); ++i) {
       const auto& job_record = log.jobs()[i];
       const double actual = job_record.finish_time - job_record.submit_time;
+
+      // Each iteration replays one job at id 0 / time 0; the offset keeps
+      // the combined event logs' job ids aligned with the history log.
+      if (simmr_log != nullptr) {
+        simmr_log->set_job_id_offset(static_cast<std::int32_t>(i));
+        mumak_log->set_job_id_offset(static_cast<std::int32_t>(i));
+      }
 
       trace::WorkloadTrace w(1);
       w[0].profile = profiles[i];
@@ -102,21 +131,52 @@ int main(int argc, char** argv) {
     std::printf("paper reference: SimMR <=2.7%% avg / 6.6%% max; Mumak 37%% "
                 "avg / 51.7%% max.\n");
 
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    const std::string scenario =
+        "jobs=" + std::to_string(profiles.size()) + " mumak-nodes=" +
+        std::to_string(mcfg.num_nodes);
+
     if (!telemetry_out.empty()) {
-      const double wall_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        wall_start)
-              .count();
-      metrics_obs->SetWallStats(wall_seconds);
-      const std::string scenario =
-          "jobs=" + std::to_string(profiles.size()) + " mumak-nodes=" +
-          std::to_string(mcfg.num_nodes);
-      obs::RunTelemetry telemetry = obs::MakeRunTelemetry(
+      simmr_metrics->SetWallStats(wall_seconds);
+      // Aggregate across both simulators, plus a per-simulator breakdown so
+      // the combined event count is attributable (one blob would hide which
+      // side produced the events).
+      const obs::RunTelemetry simmr_t = obs::MakeRunTelemetry(
+          "simmr_compare/simmr", scenario, wall_seconds,
+          simmr_metrics->events_dequeued(), profiles.size(),
+          /*makespan_s=*/0.0, simmr_metrics->peak_queue_depth());
+      const obs::RunTelemetry mumak_t = obs::MakeRunTelemetry(
+          "simmr_compare/mumak", scenario, wall_seconds,
+          mumak_metrics->events_dequeued(), profiles.size(),
+          /*makespan_s=*/0.0, mumak_metrics->peak_queue_depth());
+      const obs::RunTelemetry aggregate = obs::MakeRunTelemetry(
           "simmr_compare", scenario, wall_seconds,
-          metrics_obs->events_dequeued(), profiles.size(), /*makespan_s=*/0.0,
-          metrics_obs->peak_queue_depth());
-      obs::WriteTelemetryFile(telemetry_out, telemetry);
+          simmr_metrics->events_dequeued() + mumak_metrics->events_dequeued(),
+          profiles.size(), /*makespan_s=*/0.0,
+          std::max(simmr_metrics->peak_queue_depth(),
+                   mumak_metrics->peak_queue_depth()));
+      // One JSON document: the aggregate object with a "breakdown" array.
+      std::string json = aggregate.ToJson();
+      json.pop_back();  // drop closing '}'
+      json += ",\"breakdown\":[" + simmr_t.ToJson() + "," + mumak_t.ToJson() +
+              "]}";
+      std::ofstream out(telemetry_out);
+      if (!out) throw std::runtime_error("cannot open " + telemetry_out);
+      out << json << "\n";
       std::printf("telemetry written to %s\n", telemetry_out.c_str());
+    }
+    if (!event_log_out.empty()) {
+      simmr_log->WriteFile(event_log_out + ".simmr.jsonl",
+                           {"simmr_compare", scenario, "simmr"});
+      mumak_log->WriteFile(event_log_out + ".mumak.jsonl",
+                           {"simmr_compare", scenario, "mumak"});
+      std::printf("event logs written to %s.{simmr,mumak}.jsonl (%zu + %zu "
+                  "events)\n",
+                  event_log_out.c_str(), simmr_log->event_count(),
+                  mumak_log->event_count());
     }
     return 0;
   } catch (const std::exception& e) {

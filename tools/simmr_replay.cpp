@@ -5,18 +5,13 @@
 //   simmr_replay --db=traces/ --policy=fair --mean-interarrival=100
 //                --out-log=replay.log
 //   simmr_replay --db=traces/ --trace-out=t.json --metrics-out=m.txt
-//                --telemetry-out=r.json
+//                --telemetry-out=r.json --event-log-out=run.jsonl
 #include <chrono>
 #include <cstdio>
 #include <memory>
 
 #include "core/sim_log.h"
 #include "core/simmr.h"
-#include "obs/metrics.h"
-#include "obs/metrics_observer.h"
-#include "obs/observer.h"
-#include "obs/telemetry.h"
-#include "obs/trace_export.h"
 #include "sched/capacity.h"
 #include "sched/fair.h"
 #include "sched/fifo.h"
@@ -28,12 +23,7 @@
 
 int main(int argc, char** argv) {
   using namespace simmr;
-  const auto flags = tools::Flags::Parse(
-      argc, argv,
-      "Replays a trace-database workload in the SimMR engine under a\n"
-      "pluggable scheduling policy and reports per-job completions, the\n"
-      "deadline utility and slot utilization.",
-      {
+  std::vector<tools::FlagSpec> specs = {
           {"db", "traces", "trace-database directory"},
           {"policy", "fifo", "fifo | maxedf | minedf | fair | capacity"},
           {"map-slots", "64", "cluster map slots"},
@@ -44,12 +34,15 @@ int main(int argc, char** argv) {
           {"slowstart", "0.05", "minMapPercentCompleted gate"},
           {"seed", "42", "workload randomization seed"},
           {"out-log", "", "optional simulation output-log path"},
-          {"trace-out", "", "optional Perfetto/Chrome trace JSON path"},
-          {"metrics-out", "",
-           "optional metrics path (.json = JSON, else Prometheus text)"},
-          {"telemetry-out", "", "optional run-telemetry JSON path"},
           tools::LogLevelFlag(),
-      });
+      };
+  for (auto& spec : tools::ObservabilityFlagSpecs()) specs.push_back(spec);
+  const auto flags = tools::Flags::Parse(
+      argc, argv,
+      "Replays a trace-database workload in the SimMR engine under a\n"
+      "pluggable scheduling policy and reports per-job completions, the\n"
+      "deadline utility and slot utilization.",
+      std::move(specs));
   if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
   if (!tools::ApplyLogLevel(*flags)) return 1;
 
@@ -99,22 +92,9 @@ int main(int argc, char** argv) {
 
     // Observability sinks, attached only when requested so the default run
     // keeps the engine's no-observer fast path.
-    const std::string trace_out = flags->Get("trace-out");
-    const std::string metrics_out = flags->Get("metrics-out");
-    const std::string telemetry_out = flags->Get("telemetry-out");
-    obs::MetricsRegistry registry;
-    std::unique_ptr<obs::MetricsObserver> metrics_obs;
-    std::unique_ptr<obs::TraceExporter> trace_obs;
-    obs::MulticastObserver multicast;
-    if (!metrics_out.empty() || !telemetry_out.empty()) {
-      metrics_obs = std::make_unique<obs::MetricsObserver>(registry);
-      multicast.Add(metrics_obs.get());
-    }
-    if (!trace_out.empty()) {
-      trace_obs = std::make_unique<obs::TraceExporter>();
-      multicast.Add(trace_obs.get());
-    }
-    if (!multicast.Empty()) cfg.observer = &multicast;
+    tools::ObservabilitySinks sinks;
+    sinks.Init(*flags);
+    cfg.observer = sinks.observer();
 
     const auto wall_start = std::chrono::steady_clock::now();
     const auto result = core::Replay(workload, *policy, cfg);
@@ -153,30 +133,16 @@ int main(int argc, char** argv) {
                   flags->Get("out-log").c_str());
     }
 
-    if (metrics_obs != nullptr) metrics_obs->SetWallStats(wall_seconds);
-    if (!metrics_out.empty()) {
-      const bool as_json = metrics_out.size() >= 5 &&
-                           metrics_out.compare(metrics_out.size() - 5, 5,
-                                               ".json") == 0;
-      registry.WriteFile(metrics_out, as_json);
-      std::printf("metrics written to %s\n", metrics_out.c_str());
-    }
-    if (trace_obs != nullptr) {
-      trace_obs->WriteFile(trace_out);
-      std::printf("trace written to %s (%zu events)\n", trace_out.c_str(),
-                  trace_obs->event_count());
-    }
-    if (!telemetry_out.empty()) {
-      const std::string scenario = "policy=" + std::string(policy->Name()) +
-                                   " jobs=" +
-                                   std::to_string(result.jobs.size());
-      obs::RunTelemetry telemetry = obs::MakeRunTelemetry(
-          "simmr_replay", scenario, wall_seconds, result.events_processed,
-          result.jobs.size(), result.makespan,
-          metrics_obs != nullptr ? metrics_obs->peak_queue_depth() : 0);
-      obs::WriteTelemetryFile(telemetry_out, telemetry);
-      std::printf("telemetry written to %s\n", telemetry_out.c_str());
-    }
+    tools::RunSummary summary;
+    summary.tool = "simmr_replay";
+    summary.scenario = "policy=" + std::string(policy->Name()) +
+                       " jobs=" + std::to_string(result.jobs.size());
+    summary.simulator = "simmr";
+    summary.wall_seconds = wall_seconds;
+    summary.events_processed = result.events_processed;
+    summary.jobs = result.jobs.size();
+    summary.makespan = result.makespan;
+    sinks.Write(summary);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

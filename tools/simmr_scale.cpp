@@ -3,6 +3,7 @@
 // collected on small datasets.
 //
 //   simmr_scale --db=traces --id=3 --data-factor=4 --out-db=scaled
+#include <chrono>
 #include <cstdio>
 
 #include "tool_common.h"
@@ -11,25 +12,35 @@
 
 int main(int argc, char** argv) {
   using namespace simmr;
+  std::vector<tools::FlagSpec> specs = {
+      {"db", "traces", "input trace-database directory"},
+      {"out-db", "scaled_traces", "output trace-database directory"},
+      {"id", "-1", "profile id to scale (-1 = all)"},
+      {"data-factor", "2", "input-data growth factor (> 0)"},
+      {"reduce-factor", "1", "reduce-count growth factor (> 0)"},
+      {"seed", "42", "resampling seed"},
+      tools::LogLevelFlag(),
+  };
+  // simmr_scale runs no simulation, so --trace-out / --event-log-out yield
+  // empty (but valid) documents; --telemetry-out records wall time and the
+  // profile count. Accepted anyway so scripted pipelines can pass one flag
+  // set to every tool.
+  for (auto& spec : tools::ObservabilityFlagSpecs()) specs.push_back(spec);
   const auto flags = tools::Flags::Parse(
       argc, argv,
       "Scales job profiles to larger (or smaller) datasets: map counts\n"
       "grow with the data, per-reduce phase durations grow with the\n"
       "per-reduce volume. Scales one profile (--id) or every profile in\n"
       "the database (--id=-1).",
-      {
-          {"db", "traces", "input trace-database directory"},
-          {"out-db", "scaled_traces", "output trace-database directory"},
-          {"id", "-1", "profile id to scale (-1 = all)"},
-          {"data-factor", "2", "input-data growth factor (> 0)"},
-          {"reduce-factor", "1", "reduce-count growth factor (> 0)"},
-          {"seed", "42", "resampling seed"},
-          tools::LogLevelFlag(),
-      });
+      std::move(specs));
   if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
   if (!tools::ApplyLogLevel(*flags)) return 1;
 
   try {
+    tools::ObservabilitySinks sinks;
+    sinks.Init(*flags);
+    const auto wall_start = std::chrono::steady_clock::now();
+
     const auto db = trace::TraceDatabase::Load(flags->Get("db"));
     trace::ScalingParams params;
     params.data_factor = flags->GetDouble("data-factor");
@@ -58,6 +69,18 @@ int main(int argc, char** argv) {
     std::printf("wrote %zu scaled profiles (data x%.2f, reduces x%.2f) to %s\n",
                 out.size(), params.data_factor, params.reduce_factor,
                 flags->Get("out-db").c_str());
+
+    tools::RunSummary summary;
+    summary.tool = "simmr_scale";
+    summary.scenario =
+        "data-factor=" + flags->Get("data-factor") +
+        " reduce-factor=" + flags->Get("reduce-factor");
+    summary.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    summary.jobs = out.size();
+    sinks.Write(summary);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

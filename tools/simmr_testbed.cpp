@@ -4,6 +4,8 @@
 //
 //   simmr_testbed --suite=validation --out=history.log
 //   simmr_testbed --suite=full --nodes=64 --scheduler=edf --seed=7
+//   simmr_testbed --suite=validation --event-log-out=run.jsonl
+#include <chrono>
 #include <cstdio>
 
 #include "cluster/cluster_sim.h"
@@ -11,24 +13,26 @@
 
 int main(int argc, char** argv) {
   using namespace simmr;
+  std::vector<tools::FlagSpec> flag_specs = {
+      {"suite", "validation",
+       "job set: validation (6 apps), full (6 apps x 3 datasets), "
+       "section2 (the 200x256 WordCount)"},
+      {"out", "history.log", "output history-log path"},
+      {"nodes", "64", "worker node count"},
+      {"map-slots-per-node", "1", "map slots per worker"},
+      {"reduce-slots-per-node", "1", "reduce slots per worker"},
+      {"scheduler", "fifo", "testbed scheduler: fifo | edf"},
+      {"failure-prob", "0", "task attempt failure probability"},
+      {"gap", "10000", "submission gap between jobs, seconds"},
+      {"seed", "42", "master seed"},
+      tools::LogLevelFlag(),
+  };
+  for (auto& spec : tools::ObservabilityFlagSpecs()) flag_specs.push_back(spec);
   const auto flags = tools::Flags::Parse(
       argc, argv,
       "Runs MapReduce jobs on the emulated 66-node cluster and writes a\n"
       "history log consumable by simmr_profile.",
-      {
-          {"suite", "validation",
-           "job set: validation (6 apps), full (6 apps x 3 datasets), "
-           "section2 (the 200x256 WordCount)"},
-          {"out", "history.log", "output history-log path"},
-          {"nodes", "64", "worker node count"},
-          {"map-slots-per-node", "1", "map slots per worker"},
-          {"reduce-slots-per-node", "1", "reduce slots per worker"},
-          {"scheduler", "fifo", "testbed scheduler: fifo | edf"},
-          {"failure-prob", "0", "task attempt failure probability"},
-          {"gap", "10000", "submission gap between jobs, seconds"},
-          {"seed", "42", "master seed"},
-          tools::LogLevelFlag(),
-      });
+      std::move(flag_specs));
   if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
   if (!tools::ApplyLogLevel(*flags)) return 1;
 
@@ -69,7 +73,16 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    tools::ObservabilitySinks sinks;
+    sinks.Init(*flags);
+    opts.observer = sinks.observer();
+
+    const auto wall_start = std::chrono::steady_clock::now();
     const auto result = cluster::RunTestbed(jobs, opts);
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
     result.log.WriteFile(flags->Get("out"));
 
     std::printf("ran %zu jobs on %d nodes (%llu events); log: %s\n",
@@ -81,6 +94,17 @@ int main(int argc, char** argv) {
                   job.app_name.c_str(), job.dataset.c_str(), job.num_maps,
                   job.num_reduces, job.finish_time - job.submit_time);
     }
+
+    tools::RunSummary summary;
+    summary.tool = "simmr_testbed";
+    summary.scenario = "suite=" + suite +
+                       " nodes=" + std::to_string(opts.config.num_nodes);
+    summary.simulator = "testbed";
+    summary.wall_seconds = wall_seconds;
+    summary.events_processed = result.events_processed;
+    summary.jobs = result.log.jobs().size();
+    summary.makespan = result.makespan;
+    sinks.Write(summary);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/telemetry.h"
+
 namespace simmr::tools {
 namespace {
 
@@ -126,6 +128,66 @@ std::optional<simmr::LogLevel> ParseLogLevel(std::string_view name) {
   if (name == "error") return LogLevel::kError;
   if (name == "off") return LogLevel::kOff;
   return std::nullopt;
+}
+
+std::vector<FlagSpec> ObservabilityFlagSpecs() {
+  return {
+      {"trace-out", "", "optional Perfetto/Chrome trace JSON path"},
+      {"metrics-out", "",
+       "optional metrics path (.json = JSON, else Prometheus text)"},
+      {"telemetry-out", "", "optional run-telemetry JSON path"},
+      {"event-log-out", "",
+       "optional durable event-log path (simmr.eventlog.v1 JSONL)"},
+  };
+}
+
+void ObservabilitySinks::Init(const Flags& flags) {
+  trace_out_ = flags.Get("trace-out");
+  metrics_out_ = flags.Get("metrics-out");
+  telemetry_out_ = flags.Get("telemetry-out");
+  event_log_out_ = flags.Get("event-log-out");
+  if (!metrics_out_.empty() || !telemetry_out_.empty()) {
+    metrics_ = std::make_unique<obs::MetricsObserver>(registry_);
+    multicast_.Add(metrics_.get());
+  }
+  if (!trace_out_.empty()) {
+    trace_ = std::make_unique<obs::TraceExporter>();
+    multicast_.Add(trace_.get());
+  }
+  if (!event_log_out_.empty()) {
+    event_log_ = std::make_unique<obs::EventLogObserver>();
+    multicast_.Add(event_log_.get());
+  }
+}
+
+void ObservabilitySinks::Write(const RunSummary& summary) {
+  if (metrics_ != nullptr) metrics_->SetWallStats(summary.wall_seconds);
+  if (!metrics_out_.empty()) {
+    const bool as_json =
+        metrics_out_.size() >= 5 &&
+        metrics_out_.compare(metrics_out_.size() - 5, 5, ".json") == 0;
+    registry_.WriteFile(metrics_out_, as_json);
+    std::printf("metrics written to %s\n", metrics_out_.c_str());
+  }
+  if (trace_ != nullptr) {
+    trace_->WriteFile(trace_out_);
+    std::printf("trace written to %s (%zu events)\n", trace_out_.c_str(),
+                trace_->event_count());
+  }
+  if (event_log_ != nullptr) {
+    event_log_->WriteFile(event_log_out_, {summary.tool, summary.scenario,
+                                           summary.simulator});
+    std::printf("event log written to %s (%zu events)\n",
+                event_log_out_.c_str(), event_log_->event_count());
+  }
+  if (!telemetry_out_.empty()) {
+    const obs::RunTelemetry telemetry = obs::MakeRunTelemetry(
+        summary.tool, summary.scenario, summary.wall_seconds,
+        summary.events_processed, summary.jobs, summary.makespan,
+        metrics_ != nullptr ? metrics_->peak_queue_depth() : 0);
+    obs::WriteTelemetryFile(telemetry_out_, telemetry);
+    std::printf("telemetry written to %s\n", telemetry_out_.c_str());
+  }
 }
 
 bool ApplyLogLevel(const Flags& flags) {

@@ -5,12 +5,18 @@
 // defaults and help text; --help prints generated usage.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/metrics_observer.h"
+#include "obs/trace_export.h"
 #include "simcore/log.h"
 
 namespace simmr::tools {
@@ -53,5 +59,59 @@ std::optional<simmr::LogLevel> ParseLogLevel(std::string_view name);
 /// Applies the parsed --log-level to the global logger. Returns false and
 /// prints to stderr when the value is not a recognized level name.
 bool ApplyLogLevel(const Flags& flags);
+
+/// The shared observability output flags: --trace-out, --metrics-out,
+/// --telemetry-out and --event-log-out. Tools append these to their spec
+/// list and hand the parsed flags to ObservabilitySinks::Init.
+std::vector<FlagSpec> ObservabilityFlagSpecs();
+
+/// Facts about a finished run that the sinks need at write-out time.
+struct RunSummary {
+  std::string tool;       // producing binary, e.g. "simmr_replay"
+  std::string scenario;   // free-form run label, e.g. "policy=fifo jobs=6"
+  std::string simulator;  // "simmr" | "testbed" | "mumak" | ""
+  double wall_seconds = 0.0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t jobs = 0;
+  double makespan = 0.0;
+};
+
+/// Owns the observer stack a tool attaches when any observability output
+/// was requested: a MetricsObserver (for --metrics-out / --telemetry-out),
+/// a TraceExporter (--trace-out) and an EventLogObserver (--event-log-out)
+/// fanned out through one MulticastObserver. When no output flag is set,
+/// observer() is nullptr and the simulators keep their no-observer fast
+/// path. Not movable: the registry is referenced by the metrics observer.
+class ObservabilitySinks {
+ public:
+  ObservabilitySinks() = default;
+  ObservabilitySinks(const ObservabilitySinks&) = delete;
+  ObservabilitySinks& operator=(const ObservabilitySinks&) = delete;
+
+  /// Reads the ObservabilityFlagSpecs values and builds the requested
+  /// observers.
+  void Init(const Flags& flags);
+
+  /// The observer to attach, or nullptr when nothing was requested.
+  obs::SimObserver* observer() {
+    return multicast_.Empty() ? nullptr : &multicast_;
+  }
+
+  obs::MetricsObserver* metrics() { return metrics_.get(); }
+  obs::EventLogObserver* event_log() { return event_log_.get(); }
+
+  /// Writes every requested output file and prints one
+  /// "<kind> written to <path>" line per file to stdout.
+  /// Throws std::runtime_error on I/O failure.
+  void Write(const RunSummary& summary);
+
+ private:
+  std::string trace_out_, metrics_out_, telemetry_out_, event_log_out_;
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<obs::MetricsObserver> metrics_;
+  std::unique_ptr<obs::TraceExporter> trace_;
+  std::unique_ptr<obs::EventLogObserver> event_log_;
+  obs::MulticastObserver multicast_;
+};
 
 }  // namespace simmr::tools
