@@ -1,0 +1,112 @@
+// Sweep throughput: parallel-replay scaling of the SimSession layer.
+//
+// Runs the same batch of Monte-Carlo replay sessions (the simmr_sweep
+// workload) at 1, 2, 4 and 8 worker threads and reports sessions/s and
+// speedup vs the single-threaded run. Because every session's RNG stream
+// is split from the master seed by session index, the per-session results
+// must be bit-identical at every thread count — the bench verifies that
+// before it reports any throughput number. Expected shape on an idle
+// multi-core host: near-linear scaling up to the physical core count
+// (sessions share nothing but the read-only profile pool).
+//
+//   SIMMR_BENCH_SWEEP_SESSIONS - sessions per thread-count (default 64)
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "backend/session.h"
+#include "bench_common.h"
+#include "core/simmr.h"
+#include "simcore/parallel.h"
+#include "simcore/rng.h"
+
+int main() {
+  using namespace simmr;
+  using Clock = std::chrono::steady_clock;
+  const std::uint64_t seed = bench::EnvOrDefault("SIMMR_BENCH_SEED", 42);
+  const std::size_t kSessions = static_cast<std::size_t>(
+      bench::EnvOrDefault("SIMMR_BENCH_SWEEP_SESSIONS", 64));
+
+  bench::PrintHeader(
+      "Sweep throughput",
+      "Parallel Monte-Carlo replay scaling: the same session batch at 1,\n"
+      "2, 4 and 8 worker threads. Sessions are independent (split RNG\n"
+      "streams, shared read-only pool), so expect near-linear speedup up\n"
+      "to the physical core count.");
+
+  // The paper's validation workload as the profile pool, with measured
+  // solo completions so the sessions exercise deadline assembly too.
+  const auto& validation = bench::RunValidationSuiteOnce(seed);
+  auto pool = std::make_shared<std::vector<trace::JobProfile>>(
+      validation.profiles);
+  auto solos = std::make_shared<std::vector<double>>(
+      core::MeasureSoloCompletions(*pool, bench::PaperSimConfig()));
+  const backend::SimSession session(pool, solos);
+
+  const Rng master(seed);
+  std::vector<std::uint64_t> events(kSessions, 0);
+  const auto run_batch = [&](unsigned threads,
+                             std::vector<double>& makespans) {
+    makespans.assign(kSessions, 0.0);
+    ParallelFor(
+        kSessions,
+        [&](std::size_t i) {
+          backend::ReplaySpec spec;
+          spec.policy = "minedf";
+          spec.map_slots = 64;
+          spec.reduce_slots = 64;
+          spec.deadline_factor = 1.5;
+          spec.seed = master.Split("bench-sweep", i)();
+          const backend::RunResult result = session.Replay(spec);
+          makespans[i] = result.makespan;
+          events[i] = result.events_processed;
+        },
+        threads);
+  };
+
+  bench::PrintSection("sessions/s by worker threads");
+  std::printf("%8s %10s %12s %10s %10s\n", "threads", "sessions", "wall_s",
+              "sess/s", "speedup");
+
+  const unsigned kThreadCounts[] = {1, 2, 4, 8};
+  std::vector<double> baseline_makespans;
+  double baseline_wall = 0.0;
+  std::vector<double> rows_wall, rows_rate, rows_speedup;
+  bool identical = true;
+  std::uint64_t total_events = 0;
+  for (const unsigned threads : kThreadCounts) {
+    std::vector<double> makespans;
+    const auto start = Clock::now();
+    run_batch(threads, makespans);
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (threads == 1) {
+      baseline_makespans = makespans;
+      baseline_wall = wall;
+    } else if (makespans != baseline_makespans) {
+      identical = false;
+    }
+    const double rate =
+        wall > 0.0 ? static_cast<double>(kSessions) / wall : 0.0;
+    const double speedup = wall > 0.0 ? baseline_wall / wall : 0.0;
+    rows_wall.push_back(wall);
+    rows_rate.push_back(rate);
+    rows_speedup.push_back(speedup);
+    std::printf("%8u %10zu %12.3f %10.1f %9.2fx\n", threads, kSessions, wall,
+                rate, speedup);
+    for (const std::uint64_t e : events) total_events += e;
+  }
+  bench::AddTelemetryEvents(total_events);
+
+  std::printf("\nper-session results identical across thread counts: %s\n",
+              identical ? "yes" : "NO (determinism violated)");
+  std::printf("hardware concurrency: %u\n", DefaultParallelism());
+
+  bench::PrintSection("CSV");
+  std::printf("threads,sessions,wall_s,sessions_per_s,speedup\n");
+  for (std::size_t i = 0; i < std::size(kThreadCounts); ++i) {
+    std::printf("%u,%zu,%.4f,%.2f,%.3f\n", kThreadCounts[i], kSessions,
+                rows_wall[i], rows_rate[i], rows_speedup[i]);
+  }
+  return identical ? 0 : 1;
+}

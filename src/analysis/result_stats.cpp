@@ -1,0 +1,50 @@
+#include "analysis/result_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace simmr::analysis {
+
+ResultSummary Summarize(const backend::RunResult& result, int map_slots,
+                        int reduce_slots) {
+  ResultSummary summary;
+  summary.jobs = result.jobs.size();
+  summary.events_processed = result.events_processed;
+  summary.makespan = result.makespan;
+  summary.deadline_utility = backend::RelativeDeadlineExceeded(result.jobs);
+  summary.missed_deadlines = backend::MissedDeadlineCount(result.jobs);
+  for (const backend::JobOutcome& job : result.jobs) {
+    const double completion = job.CompletionTime();
+    summary.mean_completion_s += completion;
+    summary.max_completion_s = std::max(summary.max_completion_s, completion);
+  }
+  if (!result.jobs.empty())
+    summary.mean_completion_s /= static_cast<double>(result.jobs.size());
+  if (!result.tasks.empty()) {
+    summary.utilization = core::ComputeUtilization(
+        result.tasks, map_slots, reduce_slots, result.makespan);
+  }
+  return summary;
+}
+
+void AccuracyStats::Add(double actual, double predicted) {
+  if (actual == 0.0)
+    throw std::invalid_argument("AccuracyStats: zero actual completion");
+  errors_pct.push_back(100.0 * (predicted - actual) / actual);
+}
+
+double AccuracyStats::AvgAbsError() const {
+  if (errors_pct.empty()) return 0.0;
+  double total = 0.0;
+  for (const double e : errors_pct) total += std::fabs(e);
+  return total / static_cast<double>(errors_pct.size());
+}
+
+double AccuracyStats::MaxAbsError() const {
+  double worst = 0.0;
+  for (const double e : errors_pct) worst = std::max(worst, std::fabs(e));
+  return worst;
+}
+
+}  // namespace simmr::analysis

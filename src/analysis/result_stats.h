@@ -1,0 +1,49 @@
+// Summary statistics over unified RunResults.
+//
+// The analysis layer's entry point for in-process results (as opposed to
+// run_record.h, which folds durable event logs): whatever simulator
+// produced a backend::RunResult, Summarize() reduces it to the metrics the
+// tools print — completion statistics, the Section V-A deadline utility,
+// slot utilization — and AccuracyStats accumulates the paper's Figure 5
+// per-job percent-error comparison between a simulator and ground truth.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "backend/run_result.h"
+#include "core/metrics.h"
+
+namespace simmr::analysis {
+
+/// One RunResult reduced to reportable numbers.
+struct ResultSummary {
+  std::size_t jobs = 0;
+  std::uint64_t events_processed = 0;
+  double makespan = 0.0;
+  double deadline_utility = 0.0;  // sum of relative overruns; 0 = all met
+  int missed_deadlines = 0;
+  double mean_completion_s = 0.0;
+  double max_completion_s = 0.0;
+  /// Zeroed when the result carries no task records.
+  core::UtilizationReport utilization;
+};
+
+/// Reduces `result` against the cluster size it ran on (slot counts are
+/// needed for utilization; pass the run's configuration).
+ResultSummary Summarize(const backend::RunResult& result, int map_slots,
+                        int reduce_slots);
+
+/// Per-job percent error of one simulator against ground truth, Figure 5
+/// style: err% = 100 * (predicted - actual) / actual.
+struct AccuracyStats {
+  std::vector<double> errors_pct;  // signed, one per job, insertion order
+
+  void Add(double actual, double predicted);
+  double AvgAbsError() const;
+  double MaxAbsError() const;
+};
+
+}  // namespace simmr::analysis

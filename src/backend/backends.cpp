@@ -1,0 +1,35 @@
+#include "backend/backends.h"
+
+#include <utility>
+
+#include "core/simmr.h"
+
+namespace simmr::backend {
+
+SimmrBackend::SimmrBackend(core::SimConfig config,
+                           core::SchedulerPolicy& policy,
+                           trace::WorkloadTrace workload)
+    : config_(std::move(config)),
+      policy_(&policy),
+      workload_(std::move(workload)) {}
+
+RunResult SimmrBackend::Run() {
+  return FromSimResult(core::Replay(workload_, *policy_, config_));
+}
+
+TestbedBackend::TestbedBackend(std::vector<cluster::SubmittedJob> jobs,
+                               cluster::TestbedOptions options)
+    : jobs_(std::move(jobs)), options_(std::move(options)) {}
+
+RunResult TestbedBackend::Run() {
+  return FromTestbedResult(cluster::RunTestbed(jobs_, options_));
+}
+
+MumakBackend::MumakBackend(mumak::RumenTrace trace, mumak::MumakConfig config)
+    : trace_(std::move(trace)), config_(config) {}
+
+RunResult MumakBackend::Run() {
+  return FromMumakResult(mumak::RunMumak(trace_, config_));
+}
+
+}  // namespace simmr::backend

@@ -1,0 +1,75 @@
+// SimBackend: one interface in front of the three simulators.
+//
+// A backend owns everything one run needs — configuration, workload, and a
+// borrowed observer — and produces the unified RunResult. Tools and
+// benchmarks that compare simulators (simmr_compare, the Figure 5/6
+// pipelines) construct the backends they want and treat them uniformly
+// from there, instead of hand-wiring each simulator's config/run/result
+// triple.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "backend/run_result.h"
+#include "cluster/cluster_sim.h"
+#include "core/engine.h"
+#include "mumak/mumak_sim.h"
+#include "mumak/rumen.h"
+#include "trace/workload.h"
+
+namespace simmr::backend {
+
+class SimBackend {
+ public:
+  virtual ~SimBackend() = default;
+  /// Stable simulator tag: "simmr" | "testbed" | "mumak". Matches the
+  /// RunResult::simulator its Run() returns, and the `simulator` field of
+  /// event-log headers.
+  virtual const char* name() const = 0;
+  /// Executes the configured run. Repeatable: each call is an independent
+  /// simulation of the same configuration.
+  virtual RunResult Run() = 0;
+};
+
+/// The task-level SimMR engine. The policy is borrowed (engine runs mutate
+/// policy state, so each concurrent backend needs its own instance).
+class SimmrBackend final : public SimBackend {
+ public:
+  SimmrBackend(core::SimConfig config, core::SchedulerPolicy& policy,
+               trace::WorkloadTrace workload);
+  const char* name() const override { return "simmr"; }
+  RunResult Run() override;
+
+ private:
+  core::SimConfig config_;
+  core::SchedulerPolicy* policy_;
+  trace::WorkloadTrace workload_;
+};
+
+/// The node-level testbed emulator.
+class TestbedBackend final : public SimBackend {
+ public:
+  TestbedBackend(std::vector<cluster::SubmittedJob> jobs,
+                 cluster::TestbedOptions options);
+  const char* name() const override { return "testbed"; }
+  RunResult Run() override;
+
+ private:
+  std::vector<cluster::SubmittedJob> jobs_;
+  cluster::TestbedOptions options_;
+};
+
+/// The Mumak baseline (heartbeat-driven, FIFO, no shuffle model).
+class MumakBackend final : public SimBackend {
+ public:
+  MumakBackend(mumak::RumenTrace trace, mumak::MumakConfig config);
+  const char* name() const override { return "mumak"; }
+  RunResult Run() override;
+
+ private:
+  mumak::RumenTrace trace_;
+  mumak::MumakConfig config_;
+};
+
+}  // namespace simmr::backend

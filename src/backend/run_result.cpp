@@ -1,0 +1,117 @@
+#include "backend/run_result.h"
+
+#include <utility>
+
+namespace simmr::backend {
+
+RunResult FromSimResult(core::SimResult result) {
+  RunResult out;
+  out.simulator = "simmr";
+  out.jobs.reserve(result.jobs.size());
+  for (auto& job : result.jobs) {
+    JobOutcome jo;
+    jo.job = job.job;
+    jo.name = std::move(job.name);
+    jo.submit = job.arrival;
+    jo.first_launch = job.first_launch;
+    jo.map_stage_end = job.map_stage_end;
+    jo.finish = job.completion;
+    jo.deadline = job.deadline;
+    out.jobs.push_back(std::move(jo));
+  }
+  out.tasks = std::move(result.tasks);
+  out.events_processed = result.events_processed;
+  out.makespan = result.makespan;
+  return out;
+}
+
+RunResult FromTestbedResult(cluster::TestbedResult result) {
+  RunResult out;
+  out.simulator = "testbed";
+  out.jobs.reserve(result.log.jobs().size());
+  for (const cluster::JobRecord& job : result.log.jobs()) {
+    JobOutcome jo;
+    jo.job = job.job;
+    jo.name = job.app_name + (job.dataset.empty() ? "" : "/" + job.dataset);
+    jo.submit = job.submit_time;
+    jo.first_launch = job.launch_time;
+    jo.map_stage_end = job.maps_done_time;
+    jo.finish = job.finish_time;
+    jo.deadline = job.deadline;
+    out.jobs.push_back(std::move(jo));
+  }
+  // Successful attempts projected onto the engine's task-record shape so
+  // progress/utilization analyses work on testbed runs too; the attempts'
+  // node ids, input sizes and failures stay available via `history`.
+  out.tasks.reserve(result.log.tasks().size());
+  for (const cluster::TaskAttemptRecord& task : result.log.tasks()) {
+    if (!task.succeeded) continue;
+    out.tasks.push_back(core::SimTaskRecord{
+        task.job,
+        task.kind == cluster::TaskKind::kMap ? core::SimTaskKind::kMap
+                                             : core::SimTaskKind::kReduce,
+        task.start, task.shuffle_end, task.end});
+  }
+  out.events_processed = result.events_processed;
+  out.makespan = result.makespan;
+  out.history =
+      std::make_shared<const cluster::HistoryLog>(std::move(result.log));
+  return out;
+}
+
+RunResult FromMumakResult(mumak::MumakResult result) {
+  RunResult out;
+  out.simulator = "mumak";
+  out.jobs.reserve(result.jobs.size());
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    mumak::MumakJobResult& job = result.jobs[i];
+    JobOutcome jo;
+    jo.job = static_cast<std::int32_t>(i);
+    jo.name = std::move(job.name);
+    jo.submit = job.submit_time;
+    jo.finish = job.finish_time;
+    out.jobs.push_back(std::move(jo));
+  }
+  out.events_processed = result.events_processed;
+  out.makespan = result.makespan;
+  return out;
+}
+
+core::SimResult ToSimResult(const RunResult& result) {
+  core::SimResult out;
+  out.jobs.reserve(result.jobs.size());
+  for (const JobOutcome& jo : result.jobs) {
+    core::JobResult job;
+    job.job = jo.job;
+    job.name = jo.name;
+    job.arrival = jo.submit;
+    job.first_launch = jo.first_launch;
+    job.map_stage_end = jo.map_stage_end;
+    job.completion = jo.finish;
+    job.deadline = jo.deadline;
+    out.jobs.push_back(std::move(job));
+  }
+  out.tasks = result.tasks;
+  out.events_processed = result.events_processed;
+  out.makespan = result.makespan;
+  return out;
+}
+
+double RelativeDeadlineExceeded(std::span<const JobOutcome> jobs) {
+  double utility = 0.0;
+  for (const JobOutcome& job : jobs) {
+    if (job.MissedDeadline())
+      utility += (job.finish - job.deadline) / job.deadline;
+  }
+  return utility;
+}
+
+int MissedDeadlineCount(std::span<const JobOutcome> jobs) {
+  int missed = 0;
+  for (const JobOutcome& job : jobs) {
+    if (job.MissedDeadline()) ++missed;
+  }
+  return missed;
+}
+
+}  // namespace simmr::backend

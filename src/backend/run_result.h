@@ -1,0 +1,74 @@
+// The unified simulation result.
+//
+// The three simulators historically returned three incompatible structs
+// (core::SimResult, cluster::TestbedResult, mumak::MumakResult), forcing
+// every consumer — the analysis layer, simmr_compare, the benchmarks — to
+// hand-convert each one. RunResult is the common shape they all adapt to,
+// losslessly: per-job outcomes in one vocabulary, task records where the
+// simulator produces them, and the full testbed HistoryLog retained so no
+// node-level detail is dropped in the adaptation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_sim.h"
+#include "cluster/history_log.h"
+#include "core/metrics.h"
+#include "mumak/mumak_sim.h"
+#include "simcore/time.h"
+
+namespace simmr::backend {
+
+/// Outcome of one simulated job, in simulator-neutral terms. Timestamps a
+/// simulator does not model are -1 (Mumak reports neither first launch nor
+/// the map-stage boundary per job).
+struct JobOutcome {
+  std::int32_t job = -1;
+  std::string name;               // app[/dataset] label
+  SimTime submit = 0.0;           // arrival/submission time
+  SimTime first_launch = -1.0;    // first task assignment; -1 = unknown
+  SimTime map_stage_end = -1.0;   // end of the map stage; -1 = unknown
+  SimTime finish = 0.0;           // completion time (absolute)
+  double deadline = 0.0;          // absolute; 0 = none
+
+  SimDuration CompletionTime() const { return finish - submit; }
+  bool MissedDeadline() const { return deadline > 0.0 && finish > deadline; }
+};
+
+/// What one simulator run produced, whoever ran it.
+struct RunResult {
+  std::string simulator;          // "simmr" | "testbed" | "mumak"
+  std::vector<JobOutcome> jobs;
+  /// Task-level timeline when the simulator records one: the SimMR
+  /// engine's output log (record_tasks), or the testbed's successful
+  /// attempts projected to the same shape. Empty for Mumak.
+  std::vector<core::SimTaskRecord> tasks;
+  std::uint64_t events_processed = 0;
+  SimTime makespan = 0.0;
+  /// The testbed's full execution log (node ids, attempts, failures,
+  /// per-job input sizes) — everything the JobOutcome projection does not
+  /// carry, so the adaptation is lossless. Null for the other simulators.
+  std::shared_ptr<const cluster::HistoryLog> history;
+};
+
+/// Adapters from the legacy result structs. Each keeps every field of its
+/// source recoverable from the RunResult.
+RunResult FromSimResult(core::SimResult result);
+RunResult FromTestbedResult(cluster::TestbedResult result);
+RunResult FromMumakResult(mumak::MumakResult result);
+
+/// Inverse of FromSimResult — reconstructs the engine-native result, e.g.
+/// for core::WriteSimulationLogFile. Exact for RunResults that came from
+/// the SimMR engine (the adaptation is lossless).
+core::SimResult ToSimResult(const RunResult& result);
+
+/// Section V-A's deadline utility and miss count over unified outcomes
+/// (same definitions as the core::JobResult overloads).
+double RelativeDeadlineExceeded(std::span<const JobOutcome> jobs);
+int MissedDeadlineCount(std::span<const JobOutcome> jobs);
+
+}  // namespace simmr::backend

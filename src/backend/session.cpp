@@ -1,0 +1,87 @@
+#include "backend/session.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "backend/backends.h"
+#include "core/simmr.h"
+#include "sched/capacity.h"
+#include "sched/fair.h"
+#include "sched/fifo.h"
+#include "sched/maxedf.h"
+#include "sched/minedf.h"
+#include "trace/trace_database.h"
+
+namespace simmr::backend {
+
+std::unique_ptr<core::SchedulerPolicy> MakePolicy(const std::string& name,
+                                                  int map_slots,
+                                                  int reduce_slots) {
+  if (name == "fifo") return std::make_unique<sched::FifoPolicy>();
+  if (name == "maxedf") return std::make_unique<sched::MaxEdfPolicy>();
+  if (name == "minedf")
+    return std::make_unique<sched::MinEdfPolicy>(map_slots, reduce_slots);
+  if (name == "fair") return std::make_unique<sched::FairPolicy>();
+  if (name == "capacity")
+    return std::make_unique<sched::CapacityPolicy>(
+        map_slots, reduce_slots,
+        std::vector<sched::QueueConfig>{{"default", 1.0}});
+  throw std::invalid_argument("unknown policy '" + name + "'");
+}
+
+SimSession::SimSession(
+    std::shared_ptr<const std::vector<trace::JobProfile>> pool,
+    std::shared_ptr<const std::vector<double>> solo_completions)
+    : pool_(std::move(pool)), solos_(std::move(solo_completions)) {
+  if (pool_ == nullptr || pool_->empty())
+    throw std::invalid_argument("SimSession: empty profile pool");
+  if (solos_ == nullptr)
+    solos_ = std::make_shared<const std::vector<double>>();
+  if (!solos_->empty() && solos_->size() != pool_->size())
+    throw std::invalid_argument(
+        "SimSession: solo completions misaligned with the pool");
+}
+
+SimSession SimSession::FromDatabase(const std::string& db_dir,
+                                    const core::SimConfig& solo_config) {
+  const auto db = trace::TraceDatabase::Load(db_dir);
+  if (db.empty())
+    throw std::invalid_argument("SimSession: trace database '" + db_dir +
+                                "' is empty");
+  auto pool = std::make_shared<std::vector<trace::JobProfile>>();
+  for (const auto id : db.AllIds()) pool->push_back(db.Get(id));
+  auto solos = std::make_shared<std::vector<double>>(
+      core::MeasureSoloCompletions(*pool, solo_config));
+  return SimSession(std::move(pool), std::move(solos));
+}
+
+RunResult SimSession::Replay(const ReplaySpec& spec) const {
+  if (spec.deadline_factor > 0.0 && solos_->empty())
+    throw std::invalid_argument(
+        "SimSession::Replay: deadline_factor needs solo completions");
+
+  trace::WorkloadParams params;
+  params.num_jobs = spec.num_jobs;
+  params.mean_interarrival_s =
+      spec.mean_interarrival_s * spec.arrival_scale;
+  params.deadline_factor = spec.deadline_factor;
+  Rng rng(spec.seed);
+  trace::WorkloadTrace workload =
+      solos_->empty()
+          ? trace::MakeWorkload(*pool_, std::vector<double>(pool_->size()),
+                                params, rng)
+          : trace::MakeWorkload(*pool_, *solos_, params, rng);
+
+  core::SimConfig config;
+  config.map_slots = spec.map_slots;
+  config.reduce_slots = spec.reduce_slots;
+  config.min_map_percent_completed = spec.slowstart;
+  config.record_tasks = spec.record_tasks;
+  config.observer = spec.observer;
+
+  const auto policy =
+      MakePolicy(spec.policy, spec.map_slots, spec.reduce_slots);
+  return SimmrBackend(config, *policy, std::move(workload)).Run();
+}
+
+}  // namespace simmr::backend

@@ -1,0 +1,84 @@
+// SimSession: the run-spec layer over the SimMR engine.
+//
+// Every replay-style consumer (simmr_replay, simmr_sweep, the Monte-Carlo
+// benchmarks) used to repeat the same wiring: load a profile pool, measure
+// solo completion times, assemble a workload, build the policy from its
+// name, attach observers, run the engine. SimSession owns the shared,
+// immutable inputs (the pool and its solo completions) and turns one
+// ReplaySpec into one RunResult. Sessions are safe to share across threads
+// as long as each Replay() call gets its own spec — everything the run
+// mutates (policy, engine, RNG) is local to the call, which is what makes
+// simmr_sweep's ParallelFor over specs race-free.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/run_result.h"
+#include "core/engine.h"
+#include "obs/observer.h"
+#include "trace/job_profile.h"
+#include "trace/workload.h"
+
+namespace simmr::backend {
+
+/// Builds a scheduler policy from its CLI name: fifo | maxedf | minedf |
+/// fair | capacity. The slot counts parameterize the policies that need
+/// the cluster size (MinEDF's ARIA allocations, Capacity's queue shares).
+/// Throws std::invalid_argument on an unknown name.
+std::unique_ptr<core::SchedulerPolicy> MakePolicy(const std::string& name,
+                                                  int map_slots,
+                                                  int reduce_slots);
+
+/// Everything that varies between replays of one profile pool.
+struct ReplaySpec {
+  std::string policy = "fifo";
+  int map_slots = 64;
+  int reduce_slots = 64;
+  double slowstart = 0.05;        // minMapPercentCompleted gate
+  bool record_tasks = false;
+  /// Workload assembly (Section V-B): job count (0 = one instance of each
+  /// pool entry), exponential inter-arrival mean scaled by arrival_scale,
+  /// deadlines in [T_J, deadline_factor * T_J] when deadline_factor >= 1.
+  int num_jobs = 0;
+  double mean_interarrival_s = 100.0;
+  double arrival_scale = 1.0;
+  double deadline_factor = 0.0;
+  std::uint64_t seed = 42;
+  /// Borrowed live-instrumentation sink; null keeps the engine's
+  /// no-observer fast path.
+  obs::SimObserver* observer = nullptr;
+};
+
+class SimSession {
+ public:
+  /// Takes the shared inputs: the profile pool and its solo completion
+  /// times (T_J, aligned by index; empty disables deadline assembly and
+  /// requires deadline_factor == 0 in every spec).
+  SimSession(std::shared_ptr<const std::vector<trace::JobProfile>> pool,
+             std::shared_ptr<const std::vector<double>> solo_completions);
+
+  /// Convenience: loads every profile of a trace database and measures
+  /// solo completions under `solo_config`'s cluster (the standard T_J
+  /// definition: the job alone with all slots). Throws on an empty
+  /// database.
+  static SimSession FromDatabase(const std::string& db_dir,
+                                 const core::SimConfig& solo_config);
+
+  const std::vector<trace::JobProfile>& pool() const { return *pool_; }
+  const std::vector<double>& solo_completions() const { return *solos_; }
+
+  /// One full replay: assemble the workload from the spec's seed and
+  /// arrival/deadline parameters, build the policy, run the engine, adapt
+  /// to RunResult. Const and reentrant — concurrent calls on one session
+  /// are safe.
+  RunResult Replay(const ReplaySpec& spec) const;
+
+ private:
+  std::shared_ptr<const std::vector<trace::JobProfile>> pool_;
+  std::shared_ptr<const std::vector<double>> solos_;
+};
+
+}  // namespace simmr::backend

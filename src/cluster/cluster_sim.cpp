@@ -7,38 +7,29 @@
 
 #include "cluster/testbed_scheduler.h"
 #include "simcore/distributions.h"
-#include "simcore/event_queue.h"
+#include "simcore/event_names.h"
 #include "simcore/log.h"
+#include "simcore/sim_kernel.h"
 
 namespace simmr::cluster {
 namespace {
 
-enum class EventKind : std::uint8_t {
-  kJobArrival,    // a = job index in the submission list
-  kHeartbeat,     // a = node id (regular, self-rearming)
-  kOobHeartbeat,  // a = node id (out-of-band, fired on task completion)
-  kMapDataReady,  // a = job id, b = map task index (exact map end time)
-  kReduceDone,    // a = job id, b = reduce task index (exact reduce end)
-  kFetchCheck,    // b = generation stamp of the shuffle schedule
-};
+// The testbed's event vocabulary is drawn straight from the canonical
+// simmr::SimEventKind table, so its dequeue names match the other
+// simulators' durable logs by construction. Operand use per kind:
+//   kJobArrival    a = job index in the submission list
+//   kHeartbeat     a = node id (regular, self-rearming)
+//   kOobHeartbeat  a = node id (out-of-band, fired on task completion)
+//   kMapDataReady  a = job id, b = map task index (exact map end time)
+//   kReduceDone    a = job id, b = reduce task index (exact reduce end)
+//   kFetchCheck    b = generation stamp of the shuffle schedule
+using EventKind = SimEventKind;
 
 struct Event {
   EventKind kind;
   std::int32_t a = 0;
   std::int32_t b = 0;
 };
-
-const char* EventKindName(EventKind kind) {
-  switch (kind) {
-    case EventKind::kJobArrival: return "JOB_ARRIVAL";
-    case EventKind::kHeartbeat: return "HEARTBEAT";
-    case EventKind::kOobHeartbeat: return "OOB_HEARTBEAT";
-    case EventKind::kMapDataReady: return "MAP_DATA_READY";
-    case EventKind::kReduceDone: return "REDUCE_DONE";
-    case EventKind::kFetchCheck: return "FETCH_CHECK";
-  }
-  return "?";
-}
 
 /// One attempt occupying a slot on a node. Map attempts carry their own
 /// timestamps and failure flag because speculation allows two concurrent
@@ -57,8 +48,7 @@ struct NodeTask {
 struct NodeState {
   double speed = 1.0;
   int rack = 0;
-  int free_map_slots = 0;
-  int free_reduce_slots = 0;
+  SlotPool slots;
   // Attempts currently occupying slots on this node, reported on heartbeat.
   std::vector<NodeTask> running;
 };
@@ -97,7 +87,7 @@ class TestbedSim {
 
   TestbedResult Run() {
     for (std::size_t i = 0; i < submissions_.size(); ++i) {
-      queue_.Push(submissions_[i].submit_time,
+      kernel_.Schedule(submissions_[i].submit_time,
                   Event{EventKind::kJobArrival, static_cast<std::int32_t>(i)});
     }
     const ClusterConfig& cfg = options_.config;
@@ -105,27 +95,24 @@ class TestbedSim {
       const SimTime stagger = cfg.heartbeat_interval *
                               static_cast<double>(n) /
                               static_cast<double>(cfg.num_nodes);
-      queue_.Push(stagger, Event{EventKind::kHeartbeat, n});
+      kernel_.Schedule(stagger, Event{EventKind::kHeartbeat, n});
     }
 
-    while (!queue_.Empty() && finished_jobs_ < submissions_.size()) {
-      auto entry = queue_.Pop();
-      now_ = entry.time;
-      ++events_processed_;
-      if (obs_ != nullptr)
-        obs_->OnEventDequeue(now_, EventKindName(entry.payload.kind),
-                             queue_.Size());
-      Dispatch(entry.payload);
-    }
+    kernel_.DrainUntil(
+        [this] { return finished_jobs_ >= submissions_.size(); }, obs_,
+        [](const Event& ev) { return SimEventKindName(ev.kind); },
+        [this](const Event& ev) { Dispatch(ev); });
     if (finished_jobs_ < submissions_.size())
       throw std::logic_error("TestbedSim: event queue drained early");
 
     TestbedResult result;
     result.log = std::move(log_);
-    result.events_processed = events_processed_;
+    result.events_processed = kernel_.Dequeued();
     result.makespan = makespan_;
     return result;
   }
+
+  SimTime now() const { return kernel_.now(); }
 
  private:
   static double MakeAggregateBw(const ClusterConfig& cfg) {
@@ -152,8 +139,8 @@ class TestbedSim {
       node.speed = cfg.node_speed_sigma > 0.0 ? speed_dist.Sample(node_rng)
                                               : 1.0;
       node.rack = n % std::max(1, cfg.num_racks);
-      node.free_map_slots = cfg.map_slots_per_node;
-      node.free_reduce_slots = cfg.reduce_slots_per_node;
+      node.slots.free_maps = cfg.map_slots_per_node;
+      node.slots.free_reduces = cfg.reduce_slots_per_node;
     }
   }
 
@@ -176,7 +163,7 @@ class TestbedSim {
         // node reports immediately instead of waiting for its next beat.
         if (options_.config.out_of_band_heartbeat) {
           JobRuntime& job = *jobs_[ev.a];
-          queue_.Push(now_, Event{EventKind::kOobHeartbeat,
+          kernel_.Schedule(now(), Event{EventKind::kOobHeartbeat,
                                   job.reduces()[ev.b].node});
         }
         break;
@@ -194,14 +181,14 @@ class TestbedSim {
     if (options_.caps) jobs_.back()->caps() = options_.caps(submission);
     job_queue_.push_back(jobs_.back().get());
     if (obs_ != nullptr)
-      obs_->OnJobArrival(now_, id, submission.spec.FullName(),
+      obs_->OnJobArrival(now(), id, submission.spec.FullName(),
                          submission.deadline);
-    SIMMR_DEBUG << "t=" << now_ << " job " << id << " ("
+    SIMMR_DEBUG << "t=" << now() << " job " << id << " ("
                 << submission.spec.FullName() << ") arrived";
   }
 
   void OnHeartbeat(NodeId node_id, bool rearm) {
-    shuffle_.Advance(now_);
+    shuffle_.Advance(now());
     ProcessFetchCompletions();
 
     ReportFinishedTasks(node_id);
@@ -210,7 +197,7 @@ class TestbedSim {
     // Hadoop TaskTrackers heartbeat for as long as the daemon runs; we stop
     // re-arming once nothing can ever need this node again.
     if (rearm && finished_jobs_ < submissions_.size()) {
-      queue_.Push(now_ + options_.config.heartbeat_interval,
+      kernel_.Schedule(now() + options_.config.heartbeat_interval,
                   Event{EventKind::kHeartbeat, node_id});
     }
   }
@@ -226,7 +213,7 @@ class TestbedSim {
       bool done = false;
       if (kind == TaskKind::kMap) {
         MapTaskRt& m = job.maps()[index];
-        if (entry.end <= now_ + kTimeEpsilon) {
+        if (entry.end <= now() + kTimeEpsilon) {
           // Attempt outcome: a failed attempt never succeeds; a healthy
           // attempt succeeds only if it is the first to report (with
           // speculation, the later twin is a killed duplicate).
@@ -244,10 +231,10 @@ class TestbedSim {
           log_.AddTask(rec);
           if (obs_ != nullptr)
             obs_->OnTaskCompletion(
-                now_, job_id, obs::TaskKind::kMap, index,
+                now(), job_id, obs::TaskKind::kMap, index,
                 obs::TaskTiming{entry.start, entry.start, entry.end},
                 winner);
-          ++node.free_map_slots;
+          ++node.slots.free_maps;
           --job.running_maps;
           --m.active_attempts;
           if (winner) {
@@ -267,7 +254,7 @@ class TestbedSim {
       } else {
         ReduceTaskRt& r = job.reduces()[index];
         if (r.phase == ReducePhase::kMergeAndReduce &&
-            r.end <= now_ + kTimeEpsilon) {
+            r.end <= now() + kTimeEpsilon) {
           TaskAttemptRecord rec;
           rec.job = job_id;
           rec.kind = TaskKind::kReduce;
@@ -281,10 +268,10 @@ class TestbedSim {
           log_.AddTask(rec);
           if (obs_ != nullptr)
             obs_->OnTaskCompletion(
-                now_, job_id, obs::TaskKind::kReduce, index,
+                now(), job_id, obs::TaskKind::kReduce, index,
                 obs::TaskTiming{r.start, r.shuffle_end, r.end},
                 !r.attempt_failing);
-          ++node.free_reduce_slots;
+          ++node.slots.free_reduces;
           --job.running_reduces;
           if (r.attempt_failing) {
             r.attempt_failing = false;
@@ -316,10 +303,10 @@ class TestbedSim {
     if (job.maps_reported < job.num_maps() ||
         job.reduces_reported < job.num_reduces())
       return;
-    job.finish_time = now_;
-    makespan_ = std::max(makespan_, now_);
+    job.finish_time = now();
+    makespan_ = std::max(makespan_, now());
     ++finished_jobs_;
-    if (obs_ != nullptr) obs_->OnJobCompletion(now_, job.id());
+    if (obs_ != nullptr) obs_->OnJobCompletion(now(), job.id());
     job_queue_.erase(
         std::find(job_queue_.begin(), job_queue_.end(), &job));
 
@@ -336,7 +323,7 @@ class TestbedSim {
     rec.maps_done_time = job.maps_done_time;
     rec.deadline = job.deadline();
     log_.AddJob(std::move(rec));
-    SIMMR_DEBUG << "t=" << now_ << " job " << job.id() << " finished";
+    SIMMR_DEBUG << "t=" << now() << " job " << job.id() << " finished";
   }
 
   /// The winning attempt kills the still-running duplicate (if any): its
@@ -346,13 +333,13 @@ class TestbedSim {
     for (std::size_t n = 0; n < nodes_.size(); ++n) {
       for (NodeTask& other : nodes_[n].running) {
         if (other.job != job_id || other.kind != TaskKind::kMap ||
-            other.index != index || other.end <= now_ + kTimeEpsilon)
+            other.index != index || other.end <= now() + kTimeEpsilon)
           continue;
-        other.end = now_;
+        other.end = now();
         other.failing = true;  // it will be logged as not-succeeded
         if (static_cast<NodeId>(n) != winner_node &&
             options_.config.out_of_band_heartbeat) {
-          queue_.Push(now_, Event{EventKind::kOobHeartbeat,
+          kernel_.Schedule(now(), Event{EventKind::kOobHeartbeat,
                                   static_cast<NodeId>(n)});
         }
       }
@@ -364,21 +351,21 @@ class TestbedSim {
     const ClusterConfig& cfg = options_.config;
 
     // Hadoop 0.20 assigns at most one map and one reduce per heartbeat.
-    if (node.free_map_slots > 0) {
+    if (node.slots.free_maps > 0) {
       const JobId job_id = scheduler_->PickMapJob(job_queue_);
       if (obs_ != nullptr)
-        obs_->OnSchedulerDecision(now_, obs::TaskKind::kMap, job_id);
+        obs_->OnSchedulerDecision(now(), obs::TaskKind::kMap, job_id);
       if (job_id != kInvalidJob) {
         LaunchMap(*jobs_[job_id], node_id);
       } else if (cfg.speculative_execution) {
         TrySpeculateMap(node_id);
       }
     }
-    if (node.free_reduce_slots > 0) {
+    if (node.slots.free_reduces > 0) {
       const JobId job_id =
           scheduler_->PickReduceJob(job_queue_, cfg.reduce_slowstart);
       if (obs_ != nullptr)
-        obs_->OnSchedulerDecision(now_, obs::TaskKind::kReduce, job_id);
+        obs_->OnSchedulerDecision(now(), obs::TaskKind::kReduce, job_id);
       if (job_id != kInvalidJob) LaunchReduce(*jobs_[job_id], node_id);
     }
   }
@@ -394,7 +381,7 @@ class TestbedSim {
     m.state = TaskState::kRunning;
     m.node = node_id;
     LaunchMapAttempt(job, index, node_id, /*speculative=*/false, m.noise);
-    m.start = now_;
+    m.start = now();
     m.end = node_last_attempt_end_;
   }
 
@@ -417,26 +404,26 @@ class TestbedSim {
     ++m.attempts;
     ++m.active_attempts;
     ++job.running_maps;
-    --node.free_map_slots;
+    --node.slots.free_maps;
     NodeTask entry;
     entry.job = job.id();
     entry.kind = TaskKind::kMap;
     entry.index = index;
     entry.speculative = speculative;
     entry.failing = failing;
-    entry.start = now_;
-    entry.end = now_ + duration;
+    entry.start = now();
+    entry.end = now() + duration;
     node.running.push_back(entry);
     node_last_attempt_end_ = entry.end;
     if (obs_ != nullptr)
-      obs_->OnTaskLaunch(now_, job.id(), obs::TaskKind::kMap, index);
-    if (job.launch_time < 0.0) job.launch_time = now_;
+      obs_->OnTaskLaunch(now(), job.id(), obs::TaskKind::kMap, index);
+    if (job.launch_time < 0.0) job.launch_time = now();
     if (failing) {
       if (options_.config.out_of_band_heartbeat) {
-        queue_.Push(entry.end, Event{EventKind::kOobHeartbeat, node_id});
+        kernel_.Schedule(entry.end, Event{EventKind::kOobHeartbeat, node_id});
       }
     } else {
-      queue_.Push(entry.end,
+      kernel_.Schedule(entry.end,
                   Event{EventKind::kMapDataReady, job.id(), index});
     }
   }
@@ -489,18 +476,18 @@ class TestbedSim {
     ReduceTaskRt& r = job.reduces()[index];
     r.state = TaskState::kRunning;
     r.node = node_id;
-    r.start = now_;
+    r.start = now();
     ++r.attempts;
     ++job.running_reduces;
-    --node.free_reduce_slots;
+    --node.slots.free_reduces;
     NodeTask entry;
     entry.job = job.id();
     entry.kind = TaskKind::kReduce;
     entry.index = index;
     node.running.push_back(entry);
     if (obs_ != nullptr)
-      obs_->OnTaskLaunch(now_, job.id(), obs::TaskKind::kReduce, index);
-    if (job.launch_time < 0.0) job.launch_time = now_;
+      obs_->OnTaskLaunch(now(), job.id(), obs::TaskKind::kReduce, index);
+    if (job.launch_time < 0.0) job.launch_time = now();
 
     r.attempt_failing = DrawFailure();
     if (r.attempt_failing) {
@@ -513,11 +500,11 @@ class TestbedSim {
                              app.reduce_startup_s +
                              r.bytes_mb * app.reduce_cost_s_per_mb;
       r.phase = ReducePhase::kMergeAndReduce;  // no flow to manage
-      r.end = now_ + std::max(0.1, nominal) *
+      r.end = now() + std::max(0.1, nominal) *
                          failure_rng_.NextDouble(0.05, 0.95);
       r.shuffle_end = r.end;
       if (options_.config.out_of_band_heartbeat) {
-        queue_.Push(r.end, Event{EventKind::kOobHeartbeat, node_id});
+        kernel_.Schedule(r.end, Event{EventKind::kOobHeartbeat, node_id});
       }
       return;
     }
@@ -544,9 +531,9 @@ class TestbedSim {
     ++job.maps_data_ready;
     const double out_mb = m.input_mb * job.spec().app.map_selectivity;
     job.produced_mb += out_mb;
-    if (job.AllMapsDataReady()) job.maps_done_time = now_;
+    if (job.AllMapsDataReady()) job.maps_done_time = now();
 
-    shuffle_.Advance(now_);
+    shuffle_.Advance(now());
     for (const auto& [fj, fr] : fetching_) {
       if (fj != job_id) continue;
       const ReduceTaskRt& r = job.reduces()[fr];
@@ -555,13 +542,13 @@ class TestbedSim {
     ProcessFetchCompletions();
     ScheduleFetchCheck();
     if (options_.config.out_of_band_heartbeat) {
-      queue_.Push(now_, Event{EventKind::kOobHeartbeat, m.node});
+      kernel_.Schedule(now(), Event{EventKind::kOobHeartbeat, m.node});
     }
   }
 
   void OnFetchCheck(std::int32_t generation) {
     if (generation != fetch_generation_) return;  // superseded schedule
-    shuffle_.Advance(now_);
+    shuffle_.Advance(now());
     ProcessFetchCompletions();
     ScheduleFetchCheck();
   }
@@ -587,13 +574,13 @@ class TestbedSim {
            r.bytes_mb * app.reduce_cost_s_per_mb * r.reduce_noise) /
           speed;
       r.phase = ReducePhase::kMergeAndReduce;
-      r.shuffle_end = now_ + merge_dur;
+      r.shuffle_end = now() + merge_dur;
       r.end = r.shuffle_end + reduce_dur;
       // The reduce's shuffle fetch finished; it enters merge+reduce now.
       if (obs_ != nullptr)
-        obs_->OnTaskPhaseTransition(now_, job_id, obs::TaskKind::kReduce,
+        obs_->OnTaskPhaseTransition(now(), job_id, obs::TaskKind::kReduce,
                                     index, "merge+reduce");
-      queue_.Push(r.end, Event{EventKind::kReduceDone, job_id, index});
+      kernel_.Schedule(r.end, Event{EventKind::kReduceDone, job_id, index});
       fetching_[i] = fetching_.back();
       fetching_.pop_back();
     }
@@ -603,7 +590,7 @@ class TestbedSim {
     ++fetch_generation_;
     const SimTime next = shuffle_.NextEventTime();
     if (next < kTimeInfinity) {
-      queue_.Push(std::max(next, now_),
+      kernel_.Schedule(std::max(next, now()),
                   Event{EventKind::kFetchCheck, 0, fetch_generation_});
     }
   }
@@ -621,12 +608,10 @@ class TestbedSim {
   std::vector<std::unique_ptr<JobRuntime>> jobs_;
   std::vector<const JobRuntime*> job_queue_;
   std::vector<std::pair<JobId, TaskIndex>> fetching_;
-  EventQueue<Event> queue_;
+  SimKernel<Event> kernel_;
   HistoryLog log_;
-  SimTime now_ = 0.0;
   SimTime makespan_ = 0.0;
   std::size_t finished_jobs_ = 0;
-  std::uint64_t events_processed_ = 0;
   std::int32_t fetch_generation_ = 0;
 };
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simcore/sim_kernel.h"
+
 namespace simmr::cluster {
 namespace {
 
@@ -118,9 +120,7 @@ void JobRuntime::RequeueReduce(TaskIndex index) {
 }
 
 bool JobRuntime::ReduceReady(double slowstart_fraction) const {
-  const int threshold = static_cast<int>(
-      std::ceil(slowstart_fraction * static_cast<double>(num_maps())));
-  return maps_reported >= std::max(1, threshold);
+  return maps_reported >= ReduceGateThreshold(num_maps(), slowstart_fraction);
 }
 
 }  // namespace simmr::cluster

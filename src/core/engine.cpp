@@ -4,8 +4,8 @@
 #include <stdexcept>
 
 #include "obs/event_log.h"
-#include "simcore/event_queue.h"
 #include "simcore/log.h"
+#include "simcore/sim_kernel.h"
 
 namespace simmr::core {
 namespace {
@@ -40,8 +40,8 @@ class EngineImpl {
   }
 
   SimResult Run() {
-    free_map_slots_ = config_.map_slots;
-    free_reduce_slots_ = config_.reduce_slots;
+    slots_.free_maps = config_.map_slots;
+    slots_.free_reduces = config_.reduce_slots;
     if (obs_ != nullptr) task_times_.resize(workload_->size());
     jobs_.reserve(workload_->size());
     for (std::size_t i = 0; i < workload_->size(); ++i) {
@@ -49,26 +49,23 @@ class EngineImpl {
       jobs_.push_back(std::make_unique<JobState>(
           static_cast<JobId>(i), tj.profile, tj.arrival, tj.deadline,
           tj.solo_completion));
-      queue_.Push(tj.arrival, Event{EventType::kJobArrival,
-                                    static_cast<JobId>(i), 0});
+      kernel_.Schedule(tj.arrival, Event{EventType::kJobArrival,
+                                         static_cast<JobId>(i), 0});
     }
 
-    while (!queue_.Empty()) {
-      const auto entry = queue_.Pop();
-      now_ = entry.time;
-      if (obs_ != nullptr)
-        obs_->OnEventDequeue(now_, EventTypeName(entry.payload.type),
-                             queue_.Size());
-      Dispatch(entry.payload);
-    }
+    kernel_.Drain(
+        obs_, [](const Event& ev) { return EventTypeName(ev.type); },
+        [this](const Event& ev) { Dispatch(ev); });
     if (completed_jobs_ != jobs_.size())
       throw std::logic_error("SimulatorEngine: queue drained with jobs open");
 
-    result_.events_processed = queue_.TotalPushed();
+    result_.events_processed = kernel_.TotalScheduled();
     return std::move(result_);
   }
 
  private:
+  SimTime now() const { return kernel_.now(); }
+
   void Dispatch(const Event& ev) {
     switch (ev.type) {
       case EventType::kJobArrival:
@@ -103,7 +100,7 @@ class EngineImpl {
       // index, so these never need to regrow).
       task_times_[job.id()].map_start.resize(job.num_maps());
       task_times_[job.id()].reduce.resize(job.num_reduces());
-      obs_->OnJobArrival(now_, job.id(), job.profile().app_name,
+      obs_->OnJobArrival(now(), job.id(), job.profile().app_name,
                          job.deadline());
     }
     // Zero-threshold gates (or jobs with no maps to gate on) open now.
@@ -111,23 +108,24 @@ class EngineImpl {
         job.ReduceGateThreshold(config_.min_map_percent_completed)) {
       OpenReduceGate(job);
     }
-    policy_->OnJobArrival(job, now_);
-    queue_.Push(now_, Event{EventType::kMapTaskArrival, job.id(), 0});
+    policy_->OnJobArrival(job, now());
+    kernel_.Schedule(now(), Event{EventType::kMapTaskArrival, job.id(), 0});
   }
 
   void OpenReduceGate(JobState& job) {
     if (job.reduce_gate_open) return;
     job.reduce_gate_open = true;
-    queue_.Push(now_, Event{EventType::kReduceTaskArrival, job.id(), 0});
+    kernel_.Schedule(now(),
+                     Event{EventType::kReduceTaskArrival, job.id(), 0});
   }
 
   void OnMapTaskDeparture(JobState& job, std::int32_t index) {
     ++job.maps_completed;
-    ++free_map_slots_;
+    ++slots_.free_maps;
     if (obs_ != nullptr) {
       const SimTime start = task_times_[job.id()].map_start[index];
-      obs_->OnTaskCompletion(now_, job.id(), obs::TaskKind::kMap, index,
-                             obs::TaskTiming{start, start, now_},
+      obs_->OnTaskCompletion(now(), job.id(), obs::TaskKind::kMap, index,
+                             obs::TaskTiming{start, start, now()},
                              /*succeeded=*/true);
     }
     if (job.maps_completed >=
@@ -136,7 +134,7 @@ class EngineImpl {
     }
     if (job.MapsDone() && !job.map_stage_done_fired) {
       job.map_stage_done_fired = true;
-      queue_.Push(now_, Event{EventType::kMapStageDone, job.id(), 0});
+      kernel_.Schedule(now(), Event{EventType::kMapStageDone, job.id(), 0});
     }
     // "The slot allocation algorithm makes a new decision when a map or
     // reduce task completes."
@@ -144,13 +142,13 @@ class EngineImpl {
   }
 
   void OnMapStageDone(JobState& job) {
-    job.map_stage_end = now_;
+    job.map_stage_end = now();
     // Patch every filler reduce: its shuffle could only finish once all
     // intermediate data existed, so its completion is map-stage end plus
     // the recorded non-overlapping first-shuffle portion plus its reduce
     // phase.
     for (const PendingFiller& filler : job.pending_fillers) {
-      const SimTime shuffle_end = now_ + filler.first_shuffle;
+      const SimTime shuffle_end = now() + filler.first_shuffle;
       const SimTime end = shuffle_end + filler.reduce;
       if (obs_ != nullptr) {
         obs::TaskTiming& t =
@@ -162,29 +160,29 @@ class EngineImpl {
         result_.tasks.push_back(SimTaskRecord{
             job.id(), SimTaskKind::kReduce, filler.start, shuffle_end, end});
       }
-      queue_.Push(end, Event{EventType::kReduceTaskDeparture, job.id(),
-                             filler.task_index});
+      kernel_.Schedule(end, Event{EventType::kReduceTaskDeparture, job.id(),
+                                  filler.task_index});
     }
     job.pending_fillers.clear();
     // Map-only jobs (num_reduces == 0) complete with their map stage.
     if (job.Done() && job.completion < 0.0) {
-      job.completion = now_;
-      queue_.Push(now_, Event{EventType::kJobDeparture, job.id(), 0});
+      job.completion = now();
+      kernel_.Schedule(now(), Event{EventType::kJobDeparture, job.id(), 0});
     }
     AssignReduceSlots();
   }
 
   void OnReduceTaskDeparture(JobState& job, std::int32_t index) {
     ++job.reduces_completed;
-    ++free_reduce_slots_;
+    ++slots_.free_reduces;
     if (obs_ != nullptr) {
-      obs_->OnTaskCompletion(now_, job.id(), obs::TaskKind::kReduce, index,
+      obs_->OnTaskCompletion(now(), job.id(), obs::TaskKind::kReduce, index,
                              task_times_[job.id()].reduce[index],
                              /*succeeded=*/true);
     }
     if (job.Done() && job.completion < 0.0) {
-      job.completion = now_;
-      queue_.Push(now_, Event{EventType::kJobDeparture, job.id(), 0});
+      job.completion = now();
+      kernel_.Schedule(now(), Event{EventType::kJobDeparture, job.id(), 0});
     }
     AssignReduceSlots();
     // A freed reduce slot never unblocks maps, but a completed job's
@@ -195,9 +193,9 @@ class EngineImpl {
   void OnJobDeparture(JobState& job) {
     ++completed_jobs_;
     std::erase(job_queue_, &job);
-    if (obs_ != nullptr) obs_->OnJobCompletion(now_, job.id());
-    policy_->OnJobCompletion(job, now_);
-    result_.makespan = std::max(result_.makespan, now_);
+    if (obs_ != nullptr) obs_->OnJobCompletion(now(), job.id());
+    policy_->OnJobCompletion(job, now());
+    result_.makespan = std::max(result_.makespan, now());
 
     JobResult jr;
     jr.job = job.id();
@@ -212,11 +210,11 @@ class EngineImpl {
   }
 
   void AssignMapSlots() {
-    while (free_map_slots_ > 0) {
+    while (slots_.free_maps > 0) {
       const JobId chosen = policy_->ChooseNextMapTask(
           JobQueue(job_queue_.data(), job_queue_.size()));
       if (obs_ != nullptr)
-        obs_->OnSchedulerDecision(now_, obs::TaskKind::kMap, chosen);
+        obs_->OnSchedulerDecision(now(), obs::TaskKind::kMap, chosen);
       if (chosen == kInvalidJob) return;
       JobState& job = *jobs_[chosen];
       if (!job.HasPendingMap())
@@ -229,29 +227,29 @@ class EngineImpl {
   void LaunchMap(JobState& job) {
     const double duration = job.NextMapDuration();
     ++job.maps_launched;
-    --free_map_slots_;
-    if (job.first_launch < 0.0) job.first_launch = now_;
+    --slots_.free_maps;
+    if (job.first_launch < 0.0) job.first_launch = now();
     if (obs_ != nullptr) {
-      task_times_[job.id()].map_start[job.maps_launched - 1] = now_;
-      obs_->OnTaskLaunch(now_, job.id(), obs::TaskKind::kMap,
+      task_times_[job.id()].map_start[job.maps_launched - 1] = now();
+      obs_->OnTaskLaunch(now(), job.id(), obs::TaskKind::kMap,
                          job.maps_launched - 1);
     }
     if (config_.record_tasks) {
-      result_.tasks.push_back(SimTaskRecord{job.id(), SimTaskKind::kMap, now_,
-                                            now_, now_ + duration});
+      result_.tasks.push_back(SimTaskRecord{job.id(), SimTaskKind::kMap,
+                                            now(), now(), now() + duration});
     }
-    queue_.Push(now_ + duration,
-                Event{EventType::kMapTaskDeparture, job.id(),
-                      job.maps_launched - 1});
+    kernel_.Schedule(now() + duration,
+                     Event{EventType::kMapTaskDeparture, job.id(),
+                           job.maps_launched - 1});
   }
 
   void AssignReduceSlots() {
     for (;;) {
-      while (free_reduce_slots_ > 0) {
+      while (slots_.free_reduces > 0) {
         const JobId chosen = policy_->ChooseNextReduceTask(
             JobQueue(job_queue_.data(), job_queue_.size()));
         if (obs_ != nullptr)
-          obs_->OnSchedulerDecision(now_, obs::TaskKind::kReduce, chosen);
+          obs_->OnSchedulerDecision(now(), obs::TaskKind::kReduce, chosen);
         if (chosen == kInvalidJob) return;
         JobState& job = *jobs_[chosen];
         if (!job.HasPendingReduce() || !job.reduce_gate_open)
@@ -286,28 +284,28 @@ class EngineImpl {
           "SchedulerPolicy picked a preemption victim without fillers");
     if (obs_ != nullptr) {
       const PendingFiller& filler = victim.pending_fillers.back();
-      obs_->OnTaskCompletion(now_, victim.id(), obs::TaskKind::kReduce,
+      obs_->OnTaskCompletion(now(), victim.id(), obs::TaskKind::kReduce,
                              filler.task_index,
-                             obs::TaskTiming{filler.start, now_, now_},
+                             obs::TaskTiming{filler.start, now(), now()},
                              /*succeeded=*/false);
     }
     victim.pending_fillers.pop_back();
     --victim.reduces_launched;
-    ++free_reduce_slots_;
+    ++slots_.free_reduces;
   }
 
   void LaunchReduce(JobState& job) {
     const std::int32_t index = job.reduces_launched;
     ++job.reduces_launched;
-    --free_reduce_slots_;
-    if (job.first_launch < 0.0) job.first_launch = now_;
+    --slots_.free_reduces;
+    if (job.first_launch < 0.0) job.first_launch = now();
     const double reduce_duration = job.NextReduceDuration();
     if (obs_ != nullptr) {
       // Filler timing is patched at MAP_STAGE_DONE; until then the phase
       // boundary and end are unknown.
       task_times_[job.id()].reduce[index] =
-          obs::TaskTiming{now_, kTimeInfinity, kTimeInfinity};
-      obs_->OnTaskLaunch(now_, job.id(), obs::TaskKind::kReduce, index);
+          obs::TaskTiming{now(), kTimeInfinity, kTimeInfinity};
+      obs_->OnTaskLaunch(now(), job.id(), obs::TaskKind::kReduce, index);
     }
 
     if (!job.MapsDone()) {
@@ -316,7 +314,7 @@ class EngineImpl {
       // all the map tasks are complete."
       PendingFiller filler;
       filler.task_index = index;
-      filler.start = now_;
+      filler.start = now();
       filler.first_shuffle = job.NextFirstShuffleDuration();
       filler.reduce = reduce_duration;
       job.pending_fillers.push_back(filler);
@@ -324,17 +322,18 @@ class EngineImpl {
     }
 
     const double shuffle_duration = job.NextTypicalShuffleDuration();
-    const SimTime shuffle_end = now_ + shuffle_duration;
+    const SimTime shuffle_end = now() + shuffle_duration;
     const SimTime end = shuffle_end + reduce_duration;
     if (obs_ != nullptr) {
       task_times_[job.id()].reduce[index] =
-          obs::TaskTiming{now_, shuffle_end, end};
+          obs::TaskTiming{now(), shuffle_end, end};
     }
     if (config_.record_tasks) {
       result_.tasks.push_back(SimTaskRecord{job.id(), SimTaskKind::kReduce,
-                                            now_, shuffle_end, end});
+                                            now(), shuffle_end, end});
     }
-    queue_.Push(end, Event{EventType::kReduceTaskDeparture, job.id(), index});
+    kernel_.Schedule(end,
+                     Event{EventType::kReduceTaskDeparture, job.id(), index});
   }
 
   SimConfig config_;
@@ -351,12 +350,10 @@ class EngineImpl {
   };
   std::vector<JobTaskTimes> task_times_;
 
-  EventQueue<Event> queue_;
+  SimKernel<Event> kernel_;
   std::vector<std::unique_ptr<JobState>> jobs_;
   std::vector<const JobState*> job_queue_;
-  SimTime now_ = 0.0;
-  int free_map_slots_ = 0;
-  int free_reduce_slots_ = 0;
+  SlotPool slots_;
   std::size_t completed_jobs_ = 0;
   SimResult result_;
 };

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "simcore/event_names.h"
 #include "simcore/time.h"
 
 namespace simmr::core {
@@ -15,6 +16,9 @@ namespace simmr::core {
 using JobId = std::int32_t;
 inline constexpr JobId kInvalidJob = -1;
 
+/// The engine's seven event types, declared in the same order as the first
+/// seven entries of the canonical simmr::SimEventKind vocabulary so the
+/// static_cast in EventTypeName is the identity mapping.
 enum class EventType : std::uint8_t {
   kJobArrival,
   kJobDeparture,
@@ -27,17 +31,12 @@ enum class EventType : std::uint8_t {
 
 inline constexpr int kNumEventTypes = 7;
 
+static_assert(static_cast<int>(EventType::kMapStageDone) ==
+                  static_cast<int>(SimEventKind::kMapStageDone),
+              "EventType must mirror the leading SimEventKind entries");
+
 inline const char* EventTypeName(EventType type) {
-  switch (type) {
-    case EventType::kJobArrival: return "JOB_ARRIVAL";
-    case EventType::kJobDeparture: return "JOB_DEPARTURE";
-    case EventType::kMapTaskArrival: return "MAP_TASK_ARRIVAL";
-    case EventType::kMapTaskDeparture: return "MAP_TASK_DEPARTURE";
-    case EventType::kReduceTaskArrival: return "REDUCE_TASK_ARRIVAL";
-    case EventType::kReduceTaskDeparture: return "REDUCE_TASK_DEPARTURE";
-    case EventType::kMapStageDone: return "MAP_STAGE_DONE";
-  }
-  return "?";
+  return SimEventKindName(static_cast<SimEventKind>(type));
 }
 
 /// The paper's event triplet. `aux` carries the task index for departures

@@ -4,21 +4,16 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "simcore/event_queue.h"
+#include "simcore/event_names.h"
+#include "simcore/sim_kernel.h"
 
 namespace simmr::mumak {
 namespace {
 
-enum class EventKind : std::uint8_t { kJobArrival, kHeartbeat, kOobHeartbeat };
-
-const char* EventKindName(EventKind kind) {
-  switch (kind) {
-    case EventKind::kJobArrival: return "JOB_ARRIVAL";
-    case EventKind::kHeartbeat: return "HEARTBEAT";
-    case EventKind::kOobHeartbeat: return "OOB_HEARTBEAT";
-  }
-  return "?";
-}
+// Mumak's vocabulary is the heartbeat-driven subset of the canonical
+// simmr::SimEventKind table (kJobArrival / kHeartbeat / kOobHeartbeat), so
+// its dequeue names match the other simulators' logs by construction.
+using EventKind = SimEventKind;
 
 struct Event {
   EventKind kind;
@@ -51,15 +46,13 @@ struct MumakJobState {
     return MapsDone() && reduces_completed == trace->num_reduces;
   }
   bool ReduceGateOpen(double slowstart) const {
-    const int threshold = std::max(
-        1, static_cast<int>(std::ceil(slowstart * trace->num_maps)));
-    return trace->num_maps == 0 || maps_completed >= threshold;
+    return trace->num_maps == 0 ||
+           maps_completed >= ReduceGateThreshold(trace->num_maps, slowstart);
   }
 };
 
 struct NodeState {
-  int free_map_slots = 0;
-  int free_reduce_slots = 0;
+  SlotPool slots;
   std::vector<RunningTask> running;
 };
 
@@ -74,8 +67,8 @@ class MumakSim {
     }
     nodes_.resize(config.num_nodes);
     for (auto& node : nodes_) {
-      node.free_map_slots = config.map_slots_per_node;
-      node.free_reduce_slots = config.reduce_slots_per_node;
+      node.slots.free_maps = config.map_slots_per_node;
+      node.slots.free_reduces = config.reduce_slots_per_node;
     }
     jobs_.resize(trace.jobs.size());
     for (std::size_t i = 0; i < trace.jobs.size(); ++i)
@@ -84,43 +77,25 @@ class MumakSim {
 
   MumakResult Run() {
     for (std::size_t i = 0; i < trace_.jobs.size(); ++i) {
-      queue_.Push(trace_.jobs[i].submit_time,
+      kernel_.Schedule(trace_.jobs[i].submit_time,
                   Event{EventKind::kJobArrival, static_cast<std::int32_t>(i)});
     }
     for (int n = 0; n < config_.num_nodes; ++n) {
       const SimTime stagger = config_.heartbeat_interval *
                               static_cast<double>(n) /
                               static_cast<double>(config_.num_nodes);
-      queue_.Push(stagger, Event{EventKind::kHeartbeat, n});
+      kernel_.Schedule(stagger, Event{EventKind::kHeartbeat, n});
     }
 
-    while (!queue_.Empty() && finished_ < jobs_.size()) {
-      const auto entry = queue_.Pop();
-      now_ = entry.time;
-      if (obs_ != nullptr)
-        obs_->OnEventDequeue(now_, EventKindName(entry.payload.kind),
-                             queue_.Size());
-      switch (entry.payload.kind) {
-        case EventKind::kJobArrival:
-          job_queue_.push_back(entry.payload.a);
-          if (obs_ != nullptr)
-            obs_->OnJobArrival(now_, entry.payload.a,
-                               jobs_[entry.payload.a].trace->name,
-                               /*deadline=*/0.0);
-          break;
-        case EventKind::kHeartbeat:
-          OnHeartbeat(entry.payload.a, /*rearm=*/true);
-          break;
-        case EventKind::kOobHeartbeat:
-          OnHeartbeat(entry.payload.a, /*rearm=*/false);
-          break;
-      }
-    }
+    kernel_.DrainUntil(
+        [this] { return finished_ >= jobs_.size(); }, obs_,
+        [](const Event& ev) { return SimEventKindName(ev.kind); },
+        [this](const Event& ev) { Dispatch(ev); });
     if (finished_ < jobs_.size())
       throw std::logic_error("MumakSim: queue drained with jobs open");
 
     MumakResult result;
-    result.events_processed = queue_.TotalPushed();
+    result.events_processed = kernel_.TotalScheduled();
     for (const auto& job : jobs_) {
       MumakJobResult jr;
       jr.name = job.trace->name;
@@ -133,12 +108,33 @@ class MumakSim {
   }
 
  private:
+  SimTime now() const { return kernel_.now(); }
+
+  void Dispatch(const Event& ev) {
+    switch (ev.kind) {
+      case EventKind::kJobArrival:
+        job_queue_.push_back(ev.a);
+        if (obs_ != nullptr)
+          obs_->OnJobArrival(now(), ev.a, jobs_[ev.a].trace->name,
+                             /*deadline=*/0.0);
+        break;
+      case EventKind::kHeartbeat:
+        OnHeartbeat(ev.a, /*rearm=*/true);
+        break;
+      case EventKind::kOobHeartbeat:
+        OnHeartbeat(ev.a, /*rearm=*/false);
+        break;
+      default:
+        break;
+    }
+  }
+
   void OnHeartbeat(std::int32_t node_id, bool rearm) {
     NodeState& node = nodes_[node_id];
     ReportFinished(node);
     AssignTasks(node, node_id);
     if (rearm && finished_ < jobs_.size()) {
-      queue_.Push(now_ + config_.heartbeat_interval,
+      kernel_.Schedule(now() + config_.heartbeat_interval,
                   Event{EventKind::kHeartbeat, node_id});
     }
   }
@@ -146,16 +142,16 @@ class MumakSim {
   void ReportFinished(NodeState& node) {
     for (std::size_t i = 0; i < node.running.size();) {
       const RunningTask task = node.running[i];  // copy: the vector mutates
-      if (task.end > now_ + kTimeEpsilon) {
+      if (task.end > now() + kTimeEpsilon) {
         ++i;
         continue;
       }
       MumakJobState& job = jobs_[task.job];
       if (task.kind == cluster::TaskKind::kMap) {
         ++job.maps_completed;
-        ++node.free_map_slots;
+        ++node.slots.free_maps;
         if (obs_ != nullptr)
-          obs_->OnTaskCompletion(now_, task.job, obs::TaskKind::kMap,
+          obs_->OnTaskCompletion(now(), task.job, obs::TaskKind::kMap,
                                  task.index,
                                  obs::TaskTiming{task.start, task.start,
                                                  task.end},
@@ -164,10 +160,10 @@ class MumakSim {
           OnAllMapsFinished(task.job);
       } else {
         ++job.reduces_completed;
-        ++node.free_reduce_slots;
+        ++node.slots.free_reduces;
         if (obs_ != nullptr)
           obs_->OnTaskCompletion(
-              now_, task.job, obs::TaskKind::kReduce, task.index,
+              now(), task.job, obs::TaskKind::kReduce, task.index,
               obs::TaskTiming{task.start,
                               std::max(task.start, task.phase_start),
                               task.end},
@@ -176,10 +172,10 @@ class MumakSim {
       node.running[i] = node.running.back();
       node.running.pop_back();
       if (job.Done() && job.finish < 0.0) {
-        job.finish = now_;
+        job.finish = now();
         ++finished_;
         std::erase(job_queue_, task.job);
-        if (obs_ != nullptr) obs_->OnJobCompletion(now_, task.job);
+        if (obs_ != nullptr) obs_->OnJobCompletion(now(), task.job);
       }
     }
   }
@@ -188,16 +184,16 @@ class MumakSim {
   /// its completion time — all-maps time plus the reduce phase, no shuffle.
   void OnAllMapsFinished(std::int32_t job_index) {
     MumakJobState& job = jobs_[job_index];
-    job.all_maps_finished = now_;
+    job.all_maps_finished = now();
     for (std::size_t n = 0; n < nodes_.size(); ++n) {
       for (RunningTask& task : nodes_[n].running) {
         if (task.job != job_index || task.kind != cluster::TaskKind::kReduce)
           continue;
         if (task.end == kTimeInfinity) {
-          task.end = now_ + ReducePhase(job, task.index);
-          task.phase_start = now_;
+          task.end = now() + ReducePhase(job, task.index);
+          task.phase_start = now();
           if (obs_ != nullptr)
-            obs_->OnTaskPhaseTransition(now_, job_index, obs::TaskKind::kReduce,
+            obs_->OnTaskPhaseTransition(now(), job_index, obs::TaskKind::kReduce,
                                         task.index, "reduce");
           MaybeScheduleOob(static_cast<std::int32_t>(n), task.end);
         }
@@ -207,7 +203,7 @@ class MumakSim {
 
   void MaybeScheduleOob(std::int32_t node_id, SimTime end) {
     if (config_.out_of_band_heartbeat && end < kTimeInfinity)
-      queue_.Push(end, Event{EventKind::kOobHeartbeat, node_id});
+      kernel_.Schedule(end, Event{EventKind::kOobHeartbeat, node_id});
   }
 
   double ReducePhase(const MumakJobState& job, std::int32_t index) const {
@@ -225,40 +221,40 @@ class MumakSim {
   void AssignTasks(NodeState& node, std::int32_t node_id) {
     // FIFO: earliest-submitted job with work. One map and one reduce per
     // heartbeat, like the Hadoop 0.20 JobTracker Mumak embeds.
-    if (node.free_map_slots > 0) {
+    if (node.slots.free_maps > 0) {
       for (const std::int32_t job_index : job_queue_) {
         MumakJobState& job = jobs_[job_index];
         if (job.maps_launched >= job.trace->num_maps) continue;
         const std::int32_t index = job.maps_launched++;
-        --node.free_map_slots;
-        const SimTime end = now_ + MapDuration(job, index);
+        --node.slots.free_maps;
+        const SimTime end = now() + MapDuration(job, index);
         node.running.push_back(
-            {job_index, cluster::TaskKind::kMap, index, now_, end, now_});
+            {job_index, cluster::TaskKind::kMap, index, now(), end, now()});
         if (obs_ != nullptr) {
-          obs_->OnSchedulerDecision(now_, obs::TaskKind::kMap, job_index);
-          obs_->OnTaskLaunch(now_, job_index, obs::TaskKind::kMap, index);
+          obs_->OnSchedulerDecision(now(), obs::TaskKind::kMap, job_index);
+          obs_->OnTaskLaunch(now(), job_index, obs::TaskKind::kMap, index);
         }
         MaybeScheduleOob(node_id, end);
         break;
       }
     }
-    if (node.free_reduce_slots > 0) {
+    if (node.slots.free_reduces > 0) {
       for (const std::int32_t job_index : job_queue_) {
         MumakJobState& job = jobs_[job_index];
         if (job.reduces_launched >= job.trace->num_reduces) continue;
         if (!job.ReduceGateOpen(config_.reduce_slowstart)) continue;
         const std::int32_t index = job.reduces_launched++;
-        --node.free_reduce_slots;
+        --node.slots.free_reduces;
         // Before AllMapsFinished the reduce just occupies its slot; after,
         // it runs for exactly the recorded reduce phase.
         const SimTime end = job.all_maps_finished >= 0.0
-                                ? now_ + ReducePhase(job, index)
+                                ? now() + ReducePhase(job, index)
                                 : kTimeInfinity;
         node.running.push_back(
-            {job_index, cluster::TaskKind::kReduce, index, now_, end, now_});
+            {job_index, cluster::TaskKind::kReduce, index, now(), end, now()});
         if (obs_ != nullptr) {
-          obs_->OnSchedulerDecision(now_, obs::TaskKind::kReduce, job_index);
-          obs_->OnTaskLaunch(now_, job_index, obs::TaskKind::kReduce, index);
+          obs_->OnSchedulerDecision(now(), obs::TaskKind::kReduce, job_index);
+          obs_->OnTaskLaunch(now(), job_index, obs::TaskKind::kReduce, index);
         }
         MaybeScheduleOob(node_id, end);
         break;
@@ -271,8 +267,7 @@ class MumakSim {
   std::vector<MumakJobState> jobs_;
   std::vector<NodeState> nodes_;
   std::vector<std::int32_t> job_queue_;
-  EventQueue<Event> queue_;
-  SimTime now_ = 0.0;
+  SimKernel<Event> kernel_;
   std::size_t finished_ = 0;
   obs::SimObserver* obs_;
 };

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -45,17 +46,32 @@ bool LogEvent::operator==(const LogEvent& other) const {
   return true;
 }
 
+namespace {
+
+/// The record-kind wire vocabulary, indexed by LogEvent::Kind. Both the
+/// writer (LogEventKindName) and the parser (ParseLogEventKind) read this
+/// one table, so the names cannot drift apart.
+constexpr const char* kLogEventKindNames[] = {
+    "dequeue", "job_arrival", "job_done",  "launch",
+    "phase",   "task_done",   "decision",
+};
+constexpr int kNumLogEventKinds =
+    static_cast<int>(LogEvent::Kind::kSchedulerDecision) + 1;
+static_assert(std::size(kLogEventKindNames) == kNumLogEventKinds);
+
+}  // namespace
+
 const char* LogEventKindName(LogEvent::Kind kind) {
-  switch (kind) {
-    case LogEvent::Kind::kDequeue: return "dequeue";
-    case LogEvent::Kind::kJobArrival: return "job_arrival";
-    case LogEvent::Kind::kJobCompletion: return "job_done";
-    case LogEvent::Kind::kTaskLaunch: return "launch";
-    case LogEvent::Kind::kPhaseTransition: return "phase";
-    case LogEvent::Kind::kTaskCompletion: return "task_done";
-    case LogEvent::Kind::kSchedulerDecision: return "decision";
+  const auto index = static_cast<std::uint8_t>(kind);
+  if (index >= kNumLogEventKinds) return "?";
+  return kLogEventKindNames[index];
+}
+
+std::optional<LogEvent::Kind> ParseLogEventKind(std::string_view name) {
+  for (int i = 0; i < kNumLogEventKinds; ++i) {
+    if (name == kLogEventKindNames[i]) return static_cast<LogEvent::Kind>(i);
   }
-  return "?";
+  return std::nullopt;
 }
 
 const char* EventLog::Intern(std::string_view s) {
@@ -377,47 +393,51 @@ EventLog ParseEventLog(std::istream& in) {
     if (line.empty()) continue;
     const FlatJsonLine obj(line, line_no);
     const std::string k = obj.GetString("k");
-    LogEvent ev;
-    ev.t = obj.GetNumber("t");
-    if (k == "dequeue") {
-      ev.kind = LogEvent::Kind::kDequeue;
-      ev.detail = log.Intern(obj.GetString("type"));
-      ev.queue_depth = static_cast<std::uint64_t>(obj.GetNumber("depth"));
-    } else if (k == "job_arrival") {
-      ev.kind = LogEvent::Kind::kJobArrival;
-      ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
-      ev.name = log.Intern(obj.GetString("name"));
-      ev.deadline = obj.GetNumber("deadline");
-    } else if (k == "job_done") {
-      ev.kind = LogEvent::Kind::kJobCompletion;
-      ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
-    } else if (k == "launch") {
-      ev.kind = LogEvent::Kind::kTaskLaunch;
-      ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
-      ev.task_kind = ParseTaskKind(obj.GetString("kind"), line_no);
-      ev.index = static_cast<std::int32_t>(obj.GetNumber("index"));
-    } else if (k == "phase") {
-      ev.kind = LogEvent::Kind::kPhaseTransition;
-      ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
-      ev.task_kind = ParseTaskKind(obj.GetString("kind"), line_no);
-      ev.index = static_cast<std::int32_t>(obj.GetNumber("index"));
-      ev.detail = log.Intern(obj.GetString("phase"));
-    } else if (k == "task_done") {
-      ev.kind = LogEvent::Kind::kTaskCompletion;
-      ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
-      ev.task_kind = ParseTaskKind(obj.GetString("kind"), line_no);
-      ev.index = static_cast<std::int32_t>(obj.GetNumber("index"));
-      ev.timing.start = obj.GetNumber("start");
-      ev.timing.shuffle_end = obj.GetNumber("shuffle_end");
-      ev.timing.end = obj.GetNumber("end");
-      ev.succeeded = obj.GetBool("ok");
-    } else if (k == "decision") {
-      ev.kind = LogEvent::Kind::kSchedulerDecision;
-      ev.task_kind = ParseTaskKind(obj.GetString("kind"), line_no);
-      ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
-    } else {
+    const std::optional<LogEvent::Kind> kind = ParseLogEventKind(k);
+    if (!kind) {
       throw std::runtime_error("event log line " + std::to_string(line_no) +
                                ": unknown event kind '" + k + "'");
+    }
+    LogEvent ev;
+    ev.kind = *kind;
+    ev.t = obj.GetNumber("t");
+    switch (*kind) {
+      case LogEvent::Kind::kDequeue:
+        ev.detail = log.Intern(obj.GetString("type"));
+        ev.queue_depth = static_cast<std::uint64_t>(obj.GetNumber("depth"));
+        break;
+      case LogEvent::Kind::kJobArrival:
+        ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
+        ev.name = log.Intern(obj.GetString("name"));
+        ev.deadline = obj.GetNumber("deadline");
+        break;
+      case LogEvent::Kind::kJobCompletion:
+        ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
+        break;
+      case LogEvent::Kind::kTaskLaunch:
+        ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
+        ev.task_kind = ParseTaskKind(obj.GetString("kind"), line_no);
+        ev.index = static_cast<std::int32_t>(obj.GetNumber("index"));
+        break;
+      case LogEvent::Kind::kPhaseTransition:
+        ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
+        ev.task_kind = ParseTaskKind(obj.GetString("kind"), line_no);
+        ev.index = static_cast<std::int32_t>(obj.GetNumber("index"));
+        ev.detail = log.Intern(obj.GetString("phase"));
+        break;
+      case LogEvent::Kind::kTaskCompletion:
+        ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
+        ev.task_kind = ParseTaskKind(obj.GetString("kind"), line_no);
+        ev.index = static_cast<std::int32_t>(obj.GetNumber("index"));
+        ev.timing.start = obj.GetNumber("start");
+        ev.timing.shuffle_end = obj.GetNumber("shuffle_end");
+        ev.timing.end = obj.GetNumber("end");
+        ev.succeeded = obj.GetBool("ok");
+        break;
+      case LogEvent::Kind::kSchedulerDecision:
+        ev.task_kind = ParseTaskKind(obj.GetString("kind"), line_no);
+        ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
+        break;
     }
     log.events.push_back(std::move(ev));
   }

@@ -14,7 +14,9 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -72,6 +74,10 @@ struct LogEvent {
 
 /// Wire name of a LogEvent::Kind ("dequeue", "job_arrival", ...).
 const char* LogEventKindName(LogEvent::Kind kind);
+
+/// Inverse of LogEventKindName (the parser's single source of truth for
+/// record kinds); nullopt for unknown names.
+std::optional<LogEvent::Kind> ParseLogEventKind(std::string_view name);
 
 /// Run-level metadata carried in the header line.
 struct EventLogHeader {

@@ -1,0 +1,37 @@
+#include "simcore/event_names.h"
+
+namespace simmr {
+namespace {
+
+/// Indexed by the enum's underlying value; keep in declaration order.
+constexpr const char* kNames[kNumSimEventKinds] = {
+    "JOB_ARRIVAL",
+    "JOB_DEPARTURE",
+    "MAP_TASK_ARRIVAL",
+    "MAP_TASK_DEPARTURE",
+    "REDUCE_TASK_ARRIVAL",
+    "REDUCE_TASK_DEPARTURE",
+    "MAP_STAGE_DONE",
+    "HEARTBEAT",
+    "OOB_HEARTBEAT",
+    "MAP_DATA_READY",
+    "REDUCE_DONE",
+    "FETCH_CHECK",
+};
+
+}  // namespace
+
+const char* SimEventKindName(SimEventKind kind) {
+  const auto index = static_cast<std::uint8_t>(kind);
+  if (index >= kNumSimEventKinds) return "?";
+  return kNames[index];
+}
+
+std::optional<SimEventKind> ParseSimEventKind(std::string_view name) {
+  for (int i = 0; i < kNumSimEventKinds; ++i) {
+    if (name == kNames[i]) return static_cast<SimEventKind>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace simmr

@@ -1,0 +1,47 @@
+// The canonical simulator event-kind vocabulary.
+//
+// Every simulator in this repository names the events it dequeues when an
+// observer is attached, and those names are persisted verbatim in durable
+// event logs ("simmr.eventlog.v1" dequeue records). The name table used to
+// be repeated in core/, cluster/ and mumak/; it lives here once so the
+// wire names cannot drift between producers, and so log readers
+// (obs/event_log.cpp, src/analysis/) can map a recorded name back to its
+// kind. SimEventKind is the union of all three simulators' vocabularies:
+// the SimMR engine uses the first seven kinds (see core/events.h), the
+// testbed emulator and Mumak the heartbeat-driven ones.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace simmr {
+
+enum class SimEventKind : std::uint8_t {
+  // SimMR engine (Section III-B's seven event types).
+  kJobArrival,
+  kJobDeparture,
+  kMapTaskArrival,
+  kMapTaskDeparture,
+  kReduceTaskArrival,
+  kReduceTaskDeparture,
+  kMapStageDone,
+  // Testbed emulator / Mumak (heartbeat-driven simulators).
+  kHeartbeat,
+  kOobHeartbeat,
+  kMapDataReady,
+  kReduceDone,
+  kFetchCheck,
+};
+
+inline constexpr int kNumSimEventKinds = 12;
+
+/// Wire name of a kind ("JOB_ARRIVAL", "HEARTBEAT", ...). The returned
+/// pointer is a static string, so hook sites may keep it without copying.
+const char* SimEventKindName(SimEventKind kind);
+
+/// Inverse of SimEventKindName; nullopt for unknown names. Round-trips:
+/// ParseSimEventKind(SimEventKindName(k)) == k for every kind.
+std::optional<SimEventKind> ParseSimEventKind(std::string_view name);
+
+}  // namespace simmr

@@ -1,0 +1,81 @@
+// Summarize() and AccuracyStats over unified RunResults.
+#include "analysis/result_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace simmr::analysis {
+namespace {
+
+backend::RunResult TwoJobResult() {
+  backend::RunResult result;
+  result.simulator = "simmr";
+  result.events_processed = 123;
+  result.makespan = 200.0;
+  backend::JobOutcome a;
+  a.job = 0;
+  a.submit = 0.0;
+  a.finish = 150.0;
+  a.deadline = 100.0;  // missed by 50%
+  backend::JobOutcome b;
+  b.job = 1;
+  b.submit = 50.0;
+  b.finish = 100.0;
+  b.deadline = 120.0;  // met
+  result.jobs = {a, b};
+  return result;
+}
+
+TEST(Summarize, ReducesJobsToSummaryMetrics) {
+  const ResultSummary s = Summarize(TwoJobResult(), 4, 2);
+  EXPECT_EQ(s.jobs, 2u);
+  EXPECT_EQ(s.events_processed, 123u);
+  EXPECT_DOUBLE_EQ(s.makespan, 200.0);
+  EXPECT_DOUBLE_EQ(s.deadline_utility, 0.5);
+  EXPECT_EQ(s.missed_deadlines, 1);
+  EXPECT_DOUBLE_EQ(s.mean_completion_s, (150.0 + 50.0) / 2.0);
+  EXPECT_DOUBLE_EQ(s.max_completion_s, 150.0);
+  // No task records -> utilization stays zeroed.
+  EXPECT_DOUBLE_EQ(s.utilization.map_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(s.utilization.reduce_utilization, 0.0);
+}
+
+TEST(Summarize, ComputesUtilizationFromTaskRecords) {
+  backend::RunResult result = TwoJobResult();
+  // One map busy for the full makespan on a 1+1 slot cluster: 100% map
+  // utilization, 0% reduce.
+  result.tasks.push_back(
+      core::SimTaskRecord{0, core::SimTaskKind::kMap, 0.0, 0.0, 200.0});
+  const ResultSummary s = Summarize(result, 1, 1);
+  EXPECT_DOUBLE_EQ(s.utilization.map_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(s.utilization.reduce_utilization, 0.0);
+}
+
+TEST(Summarize, EmptyResultIsAllZeros) {
+  const ResultSummary s = Summarize(backend::RunResult{}, 4, 2);
+  EXPECT_EQ(s.jobs, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_completion_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.deadline_utility, 0.0);
+}
+
+TEST(AccuracyStats, SignedErrorsAndAbsAggregates) {
+  AccuracyStats stats;
+  stats.Add(100.0, 110.0);  // +10%
+  stats.Add(100.0, 80.0);   // -20%
+  ASSERT_EQ(stats.errors_pct.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.errors_pct[0], 10.0);
+  EXPECT_DOUBLE_EQ(stats.errors_pct[1], -20.0);
+  EXPECT_DOUBLE_EQ(stats.AvgAbsError(), 15.0);
+  EXPECT_DOUBLE_EQ(stats.MaxAbsError(), 20.0);
+}
+
+TEST(AccuracyStats, EmptyIsZeroAndZeroActualThrows) {
+  AccuracyStats stats;
+  EXPECT_DOUBLE_EQ(stats.AvgAbsError(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.MaxAbsError(), 0.0);
+  EXPECT_THROW(stats.Add(0.0, 10.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace simmr::analysis

@@ -339,5 +339,25 @@ TEST(EventLog, RecordIsTriviallyCopyable) {
   static_assert(std::is_trivially_copyable_v<LogEvent>);
 }
 
+TEST(LogEventKind, NameParseRoundTripsEveryKind) {
+  // The writer's names and the parser's names come from one table; a kind
+  // added without a name (or vice versa) fails here.
+  const int num_kinds = static_cast<int>(LogEvent::Kind::kSchedulerDecision);
+  for (int i = 0; i <= num_kinds; ++i) {
+    const auto kind = static_cast<LogEvent::Kind>(i);
+    const char* name = LogEventKindName(kind);
+    ASSERT_STRNE(name, "?") << "kind " << i;
+    const auto parsed = ParseLogEventKind(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, kind) << name;
+  }
+}
+
+TEST(LogEventKind, UnknownNameParsesToNullopt) {
+  EXPECT_FALSE(ParseLogEventKind("").has_value());
+  EXPECT_FALSE(ParseLogEventKind("no_such_kind").has_value());
+  EXPECT_FALSE(ParseLogEventKind("DEQUEUE").has_value());  // wrong case
+}
+
 }  // namespace
 }  // namespace simmr::obs

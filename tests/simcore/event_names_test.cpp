@@ -1,0 +1,66 @@
+#include "simcore/event_names.h"
+
+#include <gtest/gtest.h>
+
+#include "core/events.h"
+
+namespace simmr {
+namespace {
+
+TEST(SimEventKind, NameParseRoundTripsEveryKind) {
+  for (int i = 0; i < kNumSimEventKinds; ++i) {
+    const auto kind = static_cast<SimEventKind>(i);
+    const char* name = SimEventKindName(kind);
+    ASSERT_STRNE(name, "?") << "kind " << i << " has no name";
+    const auto parsed = ParseSimEventKind(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, kind) << name;
+  }
+}
+
+TEST(SimEventKind, NamesAreUnique) {
+  for (int a = 0; a < kNumSimEventKinds; ++a) {
+    for (int b = a + 1; b < kNumSimEventKinds; ++b) {
+      EXPECT_STRNE(SimEventKindName(static_cast<SimEventKind>(a)),
+                   SimEventKindName(static_cast<SimEventKind>(b)));
+    }
+  }
+}
+
+TEST(SimEventKind, UnknownNameParsesToNullopt) {
+  EXPECT_FALSE(ParseSimEventKind("").has_value());
+  EXPECT_FALSE(ParseSimEventKind("NOT_AN_EVENT").has_value());
+  EXPECT_FALSE(ParseSimEventKind("job_arrival").has_value());  // wrong case
+  EXPECT_FALSE(ParseSimEventKind("JOB_ARRIVAL ").has_value());
+}
+
+TEST(SimEventKind, OutOfRangeKindNamesToQuestionMark) {
+  EXPECT_STREQ(SimEventKindName(static_cast<SimEventKind>(200)), "?");
+}
+
+TEST(SimEventKind, EngineEventTypeNamesComeFromTheSharedTable) {
+  // core::EventType mirrors the first seven SimEventKind entries, so the
+  // engine's names must be the shared vocabulary verbatim.
+  EXPECT_STREQ(core::EventTypeName(core::EventType::kJobArrival),
+               "JOB_ARRIVAL");
+  EXPECT_STREQ(core::EventTypeName(core::EventType::kJobDeparture),
+               "JOB_DEPARTURE");
+  EXPECT_STREQ(core::EventTypeName(core::EventType::kMapTaskArrival),
+               "MAP_TASK_ARRIVAL");
+  EXPECT_STREQ(core::EventTypeName(core::EventType::kMapTaskDeparture),
+               "MAP_TASK_DEPARTURE");
+  EXPECT_STREQ(core::EventTypeName(core::EventType::kReduceTaskArrival),
+               "REDUCE_TASK_ARRIVAL");
+  EXPECT_STREQ(core::EventTypeName(core::EventType::kReduceTaskDeparture),
+               "REDUCE_TASK_DEPARTURE");
+  EXPECT_STREQ(core::EventTypeName(core::EventType::kMapStageDone),
+               "MAP_STAGE_DONE");
+  for (int i = 0; i <= static_cast<int>(core::EventType::kMapStageDone);
+       ++i) {
+    EXPECT_STREQ(core::EventTypeName(static_cast<core::EventType>(i)),
+                 SimEventKindName(static_cast<SimEventKind>(i)));
+  }
+}
+
+}  // namespace
+}  // namespace simmr

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/simmr.h"
@@ -44,6 +45,35 @@ TEST(ParallelFor, PerIndexSlotsNeedNoLocking) {
   }
 }
 
+TEST(ParallelFor, SingleThreadFastPathRunsOnCallingThread) {
+  // num_threads <= 1 must not spawn: tools use it to keep observer stacks
+  // (which are not thread-safe) on the calling thread.
+  const std::thread::id caller = std::this_thread::get_id();
+  std::size_t calls = 0;
+  ParallelFor(
+      16,
+      [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ++calls;
+      },
+      1);
+  EXPECT_EQ(calls, 16u);
+}
+
+TEST(ParallelFor, SingleItemRunsOnCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  bool called = false;
+  ParallelFor(
+      1,
+      [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        called = true;
+      },
+      8);
+  EXPECT_TRUE(called);
+}
+
 TEST(ParallelFor, WorkerExceptionPropagates) {
   EXPECT_THROW(
       ParallelFor(
@@ -53,6 +83,38 @@ TEST(ParallelFor, WorkerExceptionPropagates) {
           },
           4),
       std::runtime_error);
+}
+
+TEST(ParallelFor, ExceptionMessageAndRemainingWorkSurvive) {
+  // A throwing index stops only its own block; every worker joins before
+  // the first captured exception is rethrown with its message intact.
+  std::vector<std::atomic<int>> visits(64);
+  try {
+    ParallelFor(
+        visits.size(),
+        [&visits](std::size_t i) {
+          if (i == 0) throw std::runtime_error("boom at 0");
+          ++visits[i];
+        },
+        4);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 0");
+  }
+  // The other workers' blocks ran to completion (block 0 stopped at the
+  // throw, so indices past the first block are all visited).
+  int visited = 0;
+  for (const auto& v : visits) visited += v.load();
+  EXPECT_GE(visited, static_cast<int>(visits.size()) * 3 / 4);
+}
+
+TEST(ParallelFor, SingleThreadExceptionPropagates) {
+  // The fast path must rethrow directly too.
+  EXPECT_THROW(
+      ParallelFor(
+          4, [](std::size_t i) { if (i == 2) throw std::logic_error("x"); },
+          1),
+      std::logic_error);
 }
 
 TEST(ParallelFor, DefaultParallelismIsPositive) {

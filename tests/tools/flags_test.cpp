@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <iterator>
 #include <vector>
+
+#include "simcore/parallel.h"
 
 namespace simmr::tools {
 namespace {
@@ -15,6 +18,8 @@ std::vector<FlagSpec> Specs() {
       {"count", "3", "an integer flag"},
       {"rate", "1.5", "a floating flag"},
       {"verbose", "false", "a boolean flag", /*is_boolean=*/true},
+      {"threads", "0", "worker threads", /*is_boolean=*/false,
+       /*short_name=*/"j"},
   };
 }
 
@@ -97,6 +102,96 @@ TEST(Flags, LaterValueWins) {
   const auto flags = ParseArgs({"--name=a", "--name=b"});
   ASSERT_TRUE(flags.has_value());
   EXPECT_EQ(flags->Get("name"), "b");
+}
+
+TEST(Flags, ShortAliasParsesBothForms) {
+  EXPECT_EQ(ParseArgs({"-j", "4"})->GetInt("threads"), 4);
+  EXPECT_EQ(ParseArgs({"-j=8"})->GetInt("threads"), 8);
+  // The alias stores under the canonical long name, so the long form and
+  // later-value-wins behave as usual.
+  EXPECT_EQ(ParseArgs({"-j", "4", "--threads=2"})->GetInt("threads"), 2);
+}
+
+TEST(Flags, UnknownShortFlagFailsParse) {
+  EXPECT_FALSE(ParseArgs({"-q", "4"}).has_value());
+  EXPECT_TRUE(Flags::LastParseFailed());
+}
+
+TEST(Flags, ShortAliasMissingValueFailsParse) {
+  EXPECT_FALSE(ParseArgs({"-j"}).has_value());
+  EXPECT_TRUE(Flags::LastParseFailed());
+}
+
+// RAII save/restore for the SIMMR_THREADS environment variable.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("SIMMR_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv("SIMMR_THREADS", value, 1);
+    } else {
+      ::unsetenv("SIMMR_THREADS");
+    }
+  }
+  ~ScopedThreadsEnv() {
+    if (had_old_) {
+      ::setenv("SIMMR_THREADS", old_.c_str(), 1);
+    } else {
+      ::unsetenv("SIMMR_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+std::optional<Flags> ParseThreadsArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags::Parse(static_cast<int>(args.size()),
+                      const_cast<char**>(args.data()), "test tool",
+                      {ThreadsFlag()});
+}
+
+TEST(ResolveThreads, ExplicitFlagWinsOverEnvironment) {
+  const ScopedThreadsEnv env("6");
+  EXPECT_EQ(ResolveThreads(*ParseThreadsArgs({"--threads=3"})), 3);
+  EXPECT_EQ(ResolveThreads(*ParseThreadsArgs({"-j", "5"})), 5);
+}
+
+TEST(ResolveThreads, EnvironmentWinsOverAutoDetect) {
+  const ScopedThreadsEnv env("6");
+  EXPECT_EQ(ResolveThreads(*ParseThreadsArgs({})), 6);
+}
+
+TEST(ResolveThreads, AutoDetectWithoutFlagOrEnvironment) {
+  const ScopedThreadsEnv env(nullptr);
+  EXPECT_EQ(ResolveThreads(*ParseThreadsArgs({})),
+            static_cast<int>(DefaultParallelism()));
+}
+
+TEST(ResolveThreads, NonPositiveEnvironmentFallsThrough) {
+  const ScopedThreadsEnv env("0");
+  EXPECT_EQ(ResolveThreads(*ParseThreadsArgs({})),
+            static_cast<int>(DefaultParallelism()));
+  const ScopedThreadsEnv junk("lots");
+  EXPECT_EQ(ResolveThreads(*ParseThreadsArgs({})),
+            static_cast<int>(DefaultParallelism()));
+}
+
+TEST(ResolveThreads, NegativeFlagThrows) {
+  EXPECT_THROW(ResolveThreads(*ParseThreadsArgs({"--threads=-2"})),
+               std::invalid_argument);
+}
+
+TEST(ThreadsFlag, SharedSpecHasTheShortAlias) {
+  const FlagSpec spec = ThreadsFlag();
+  EXPECT_EQ(spec.name, "threads");
+  EXPECT_EQ(spec.short_name, "j");
+  EXPECT_EQ(spec.default_value, "0");
+  EXPECT_FALSE(spec.is_boolean);
 }
 
 TEST(LogLevel, ParsesEveryLevelName) {

@@ -5,13 +5,13 @@
 //   simmr_testbed --suite=validation --out=history.log
 //   simmr_compare --log=history.log
 #include <chrono>
-#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 
+#include "analysis/result_stats.h"
+#include "backend/backends.h"
 #include "cluster/history_log.h"
-#include "core/simmr.h"
 #include "mumak/mumak_sim.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
@@ -23,24 +23,29 @@
 
 int main(int argc, char** argv) {
   using namespace simmr;
+  // Flag parity: --telemetry-out / --event-log-out are the shared specs
+  // from tool_common (compare treats the event-log path as a prefix, see
+  // the description).
+  std::vector<tools::FlagSpec> specs = {
+      {"log", "history.log", "input history-log path"},
+      {"map-slots", "64", "cluster map slots for the replay"},
+      {"reduce-slots", "64", "cluster reduce slots for the replay"},
+      {"mumak-nodes", "64", "node count for the Mumak baseline"},
+      tools::LogLevelFlag(),
+  };
+  for (auto& spec : tools::ObservabilityFlagSpecs()) {
+    if (spec.name == "telemetry-out" || spec.name == "event-log-out")
+      specs.push_back(spec);
+  }
   const auto flags = tools::Flags::Parse(
       argc, argv,
       "Replays each job of a history log in SimMR and in the Mumak\n"
       "baseline (FIFO) and reports completion-time accuracy against the\n"
-      "log's ground truth — the paper's Figure 5(a) methodology.",
-      {
-          {"log", "history.log", "input history-log path"},
-          {"map-slots", "64", "cluster map slots for the replay"},
-          {"reduce-slots", "64", "cluster reduce slots for the replay"},
-          {"mumak-nodes", "64", "node count for the Mumak baseline"},
-          {"telemetry-out", "",
-           "optional run-telemetry JSON path (aggregate + per-simulator "
-           "breakdown)"},
-          {"event-log-out", "",
-           "optional event-log path prefix; writes <prefix>.simmr.jsonl and "
-           "<prefix>.mumak.jsonl"},
-          tools::LogLevelFlag(),
-      });
+      "log's ground truth — the paper's Figure 5(a) methodology.\n"
+      "Telemetry carries an aggregate plus a per-simulator breakdown;\n"
+      "--event-log-out is a prefix, writing <prefix>.simmr.jsonl and\n"
+      "<prefix>.mumak.jsonl.",
+      std::move(specs));
   if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
   if (!tools::ApplyLogLevel(*flags)) return 1;
 
@@ -89,8 +94,7 @@ int main(int argc, char** argv) {
 
     std::printf("%-12s %-18s %10s %10s %8s %10s %8s\n", "app", "dataset",
                 "actual_s", "simmr_s", "err_%", "mumak_s", "err_%");
-    double simmr_abs = 0.0, simmr_max = 0.0, mumak_abs = 0.0,
-           mumak_max = 0.0;
+    analysis::AccuracyStats simmr_acc, mumak_acc;
     for (std::size_t i = 0; i < profiles.size(); ++i) {
       const auto& job_record = log.jobs()[i];
       const double actual = job_record.finish_time - job_record.submit_time;
@@ -102,32 +106,34 @@ int main(int argc, char** argv) {
         mumak_log->set_job_id_offset(static_cast<std::int32_t>(i));
       }
 
+      // Both replays flow through the unified RunResult: each simulator's
+      // backend adapts its native result, and the accuracy statistics only
+      // ever see simulator-neutral JobOutcomes.
       trace::WorkloadTrace w(1);
       w[0].profile = profiles[i];
-      const double simmr_t =
-          core::Replay(w, fifo, cfg).jobs[0].CompletionTime();
+      const backend::RunResult simmr_result =
+          backend::SimmrBackend(cfg, fifo, std::move(w)).Run();
+      const double simmr_t = simmr_result.jobs[0].CompletionTime();
 
       mumak::RumenTrace one;
       one.jobs.push_back(rumen.jobs[i]);
       one.jobs[0].submit_time = 0.0;
-      const double mumak_t =
-          mumak::RunMumak(one, mcfg).jobs[0].CompletionTime();
+      const backend::RunResult mumak_result =
+          backend::MumakBackend(std::move(one), mcfg).Run();
+      const double mumak_t = mumak_result.jobs[0].CompletionTime();
 
-      const double se = 100.0 * (simmr_t - actual) / actual;
-      const double me = 100.0 * (mumak_t - actual) / actual;
-      simmr_abs += std::fabs(se);
-      simmr_max = std::max(simmr_max, std::fabs(se));
-      mumak_abs += std::fabs(me);
-      mumak_max = std::max(mumak_max, std::fabs(me));
+      simmr_acc.Add(actual, simmr_t);
+      mumak_acc.Add(actual, mumak_t);
       std::printf("%-12s %-18s %10.1f %10.1f %+7.1f%% %10.1f %+7.1f%%\n",
                   job_record.app_name.c_str(), job_record.dataset.c_str(),
-                  actual, simmr_t, se, mumak_t, me);
+                  actual, simmr_t, simmr_acc.errors_pct.back(), mumak_t,
+                  mumak_acc.errors_pct.back());
     }
-    const double n = static_cast<double>(profiles.size());
     std::printf(
         "\nSimMR |error|: avg %.1f%%, max %.1f%%   "
         "Mumak |error|: avg %.1f%%, max %.1f%%\n",
-        simmr_abs / n, simmr_max, mumak_abs / n, mumak_max);
+        simmr_acc.AvgAbsError(), simmr_acc.MaxAbsError(),
+        mumak_acc.AvgAbsError(), mumak_acc.MaxAbsError());
     std::printf("paper reference: SimMR <=2.7%% avg / 6.6%% max; Mumak 37%% "
                 "avg / 51.7%% max.\n");
 

@@ -10,16 +10,10 @@
 #include <cstdio>
 #include <memory>
 
+#include "analysis/result_stats.h"
+#include "backend/session.h"
 #include "core/sim_log.h"
-#include "core/simmr.h"
-#include "sched/capacity.h"
-#include "sched/fair.h"
-#include "sched/fifo.h"
-#include "sched/maxedf.h"
-#include "sched/minedf.h"
 #include "tool_common.h"
-#include "trace/trace_database.h"
-#include "trace/workload.h"
 
 int main(int argc, char** argv) {
   using namespace simmr;
@@ -47,57 +41,37 @@ int main(int argc, char** argv) {
   if (!tools::ApplyLogLevel(*flags)) return 1;
 
   try {
-    const auto db = trace::TraceDatabase::Load(flags->Get("db"));
-    if (db.empty()) {
-      std::fprintf(stderr, "error: trace database is empty\n");
-      return 1;
-    }
-    std::vector<trace::JobProfile> pool;
-    for (const auto id : db.AllIds()) pool.push_back(db.Get(id));
+    backend::ReplaySpec spec;
+    spec.policy = flags->Get("policy");
+    spec.map_slots = flags->GetInt("map-slots");
+    spec.reduce_slots = flags->GetInt("reduce-slots");
+    spec.slowstart = flags->GetDouble("slowstart");
+    spec.record_tasks = true;
+    spec.num_jobs = flags->GetInt("jobs");
+    spec.mean_interarrival_s = flags->GetDouble("mean-interarrival");
+    spec.deadline_factor = flags->GetDouble("deadline-factor");
+    spec.seed = static_cast<std::uint64_t>(flags->GetInt("seed"));
 
-    core::SimConfig cfg;
-    cfg.map_slots = flags->GetInt("map-slots");
-    cfg.reduce_slots = flags->GetInt("reduce-slots");
-    cfg.min_map_percent_completed = flags->GetDouble("slowstart");
-    cfg.record_tasks = true;
+    // Resolve the policy up front: its display name labels the report, and
+    // an unknown --policy fails before the solo-completion measurement.
+    const auto policy =
+        backend::MakePolicy(spec.policy, spec.map_slots, spec.reduce_slots);
 
-    const auto solos = core::MeasureSoloCompletions(pool, cfg);
-    trace::WorkloadParams params;
-    params.num_jobs = flags->GetInt("jobs");
-    params.mean_interarrival_s = flags->GetDouble("mean-interarrival");
-    params.deadline_factor = flags->GetDouble("deadline-factor");
-    Rng rng(static_cast<std::uint64_t>(flags->GetInt("seed")));
-    const auto workload = trace::MakeWorkload(pool, solos, params, rng);
-
-    const std::string policy_name = flags->Get("policy");
-    std::unique_ptr<core::SchedulerPolicy> policy;
-    if (policy_name == "fifo") {
-      policy = std::make_unique<sched::FifoPolicy>();
-    } else if (policy_name == "maxedf") {
-      policy = std::make_unique<sched::MaxEdfPolicy>();
-    } else if (policy_name == "minedf") {
-      policy = std::make_unique<sched::MinEdfPolicy>(cfg.map_slots,
-                                                     cfg.reduce_slots);
-    } else if (policy_name == "fair") {
-      policy = std::make_unique<sched::FairPolicy>();
-    } else if (policy_name == "capacity") {
-      policy = std::make_unique<sched::CapacityPolicy>(
-          cfg.map_slots, cfg.reduce_slots,
-          std::vector<sched::QueueConfig>{{"default", 1.0}});
-    } else {
-      std::fprintf(stderr, "error: unknown policy '%s'\n",
-                   policy_name.c_str());
-      return 1;
-    }
+    core::SimConfig solo_cfg;
+    solo_cfg.map_slots = spec.map_slots;
+    solo_cfg.reduce_slots = spec.reduce_slots;
+    solo_cfg.min_map_percent_completed = spec.slowstart;
+    const auto session =
+        backend::SimSession::FromDatabase(flags->Get("db"), solo_cfg);
 
     // Observability sinks, attached only when requested so the default run
     // keeps the engine's no-observer fast path.
     tools::ObservabilitySinks sinks;
     sinks.Init(*flags);
-    cfg.observer = sinks.observer();
+    spec.observer = sinks.observer();
 
     const auto wall_start = std::chrono::steady_clock::now();
-    const auto result = core::Replay(workload, *policy, cfg);
+    const backend::RunResult result = session.Replay(spec);
     const double wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
@@ -107,28 +81,28 @@ int main(int argc, char** argv) {
                 "finish_s", "completion_s", "deadline_s", "met?");
     for (const auto& job : result.jobs) {
       std::printf("%-20s %10.1f %10.1f %12.1f %10.1f %6s\n",
-                  job.name.c_str(), job.arrival, job.completion,
+                  job.name.c_str(), job.submit, job.finish,
                   job.CompletionTime(), job.deadline,
                   job.deadline <= 0.0 ? "-"
                   : job.MissedDeadline() ? "NO"
                                           : "yes");
     }
 
-    const auto util = core::ComputeUtilization(result.tasks, cfg.map_slots,
-                                               cfg.reduce_slots,
-                                               result.makespan);
+    const analysis::ResultSummary stats =
+        analysis::Summarize(result, spec.map_slots, spec.reduce_slots);
     std::printf(
         "\npolicy=%s jobs=%zu makespan=%.1f s events=%llu\n"
         "deadline utility=%.3f missed=%d\n"
         "slot utilization: map %.1f%%, reduce %.1f%%\n",
-        policy->Name(), result.jobs.size(), result.makespan,
-        static_cast<unsigned long long>(result.events_processed),
-        core::RelativeDeadlineExceeded(result.jobs),
-        core::MissedDeadlineCount(result.jobs),
-        100.0 * util.map_utilization, 100.0 * util.reduce_utilization);
+        policy->Name(), stats.jobs, stats.makespan,
+        static_cast<unsigned long long>(stats.events_processed),
+        stats.deadline_utility, stats.missed_deadlines,
+        100.0 * stats.utilization.map_utilization,
+        100.0 * stats.utilization.reduce_utilization);
 
     if (!flags->Get("out-log").empty()) {
-      core::WriteSimulationLogFile(flags->Get("out-log"), result);
+      core::WriteSimulationLogFile(flags->Get("out-log"),
+                                   backend::ToSimResult(result));
       std::printf("simulation log written to %s\n",
                   flags->Get("out-log").c_str());
     }

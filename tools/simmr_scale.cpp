@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "simcore/parallel.h"
 #include "tool_common.h"
 #include "trace/trace_database.h"
 #include "trace/trace_scaling.h"
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
       {"data-factor", "2", "input-data growth factor (> 0)"},
       {"reduce-factor", "1", "reduce-count growth factor (> 0)"},
       {"seed", "42", "resampling seed"},
+      tools::ThreadsFlag(),
       tools::LogLevelFlag(),
   };
   // simmr_scale runs no simulation, so --trace-out / --event-log-out yield
@@ -45,7 +47,7 @@ int main(int argc, char** argv) {
     trace::ScalingParams params;
     params.data_factor = flags->GetDouble("data-factor");
     params.reduce_factor = flags->GetDouble("reduce-factor");
-    Rng rng(static_cast<std::uint64_t>(flags->GetInt("seed")));
+    const Rng master(static_cast<std::uint64_t>(flags->GetInt("seed")));
 
     std::vector<trace::TraceDatabase::ProfileId> ids;
     const int requested = flags->GetInt("id");
@@ -55,15 +57,28 @@ int main(int argc, char** argv) {
       ids.push_back(requested);
     }
 
+    // Profiles are resampled in parallel (--threads/-j). Each profile gets
+    // its own RNG stream split from the master seed by profile id, so the
+    // output database is deterministic for a given seed regardless of
+    // thread count or which --id subset is scaled.
+    std::vector<trace::JobProfile> scaled(ids.size());
+    ParallelFor(
+        ids.size(),
+        [&](std::size_t i) {
+          Rng rng = master.Split("scale", static_cast<std::uint64_t>(ids[i]));
+          scaled[i] = trace::ScaleProfile(db.Get(ids[i]), params, rng);
+        },
+        static_cast<unsigned>(tools::ResolveThreads(*flags)));
+
     trace::TraceDatabase out;
-    for (const auto id : ids) {
-      const trace::JobProfile& original = db.Get(id);
-      trace::JobProfile scaled = trace::ScaleProfile(original, params, rng);
-      std::printf("#%-3d %-12s %-20s maps %d -> %d, reduces %d -> %d\n", id,
-                  scaled.app_name.c_str(), scaled.dataset.c_str(),
-                  original.num_maps, scaled.num_maps, original.num_reduces,
-                  scaled.num_reduces);
-      out.Put(std::move(scaled));
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const trace::JobProfile& original = db.Get(ids[i]);
+      std::printf("#%-3d %-12s %-20s maps %d -> %d, reduces %d -> %d\n",
+                  ids[i], scaled[i].app_name.c_str(),
+                  scaled[i].dataset.c_str(), original.num_maps,
+                  scaled[i].num_maps, original.num_reduces,
+                  scaled[i].num_reduces);
+      out.Put(std::move(scaled[i]));
     }
     out.Save(flags->Get("out-db"));
     std::printf("wrote %zu scaled profiles (data x%.2f, reduces x%.2f) to %s\n",

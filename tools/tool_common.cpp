@@ -1,9 +1,11 @@
 #include "tool_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "obs/telemetry.h"
+#include "simcore/parallel.h"
 
 namespace simmr::tools {
 namespace {
@@ -15,7 +17,10 @@ void PrintUsage(const std::string& program, const std::string& description,
   std::fprintf(stderr, "%s\n\nusage: %s [flags]\n", description.c_str(),
                program.c_str());
   for (const auto& spec : specs) {
-    std::fprintf(stderr, "  --%-22s %s (default: %s)\n", spec.name.c_str(),
+    const std::string label =
+        spec.short_name.empty() ? spec.name
+                                : spec.name + ", -" + spec.short_name;
+    std::fprintf(stderr, "  --%-22s %s (default: %s)\n", label.c_str(),
                  spec.help.c_str(),
                  spec.default_value.empty() ? "\"\""
                                             : spec.default_value.c_str());
@@ -46,13 +51,15 @@ std::optional<Flags> Flags::Parse(int argc, char** argv,
       PrintUsage(argv[0], description, specs);
       return std::nullopt;
     }
-    if (arg.rfind("--", 0) != 0) {
+    const bool is_long = arg.rfind("--", 0) == 0;
+    const bool is_short = !is_long && arg.rfind("-", 0) == 0;
+    if (!is_long && !is_short) {
       std::fprintf(stderr, "error: unexpected argument '%s'\n", arg.c_str());
       PrintUsage(argv[0], description, specs);
       g_last_parse_failed = true;
       return std::nullopt;
     }
-    arg = arg.substr(2);
+    arg = arg.substr(is_long ? 2 : 1);
     std::string value;
     const std::size_t eq = arg.find('=');
     bool have_value = false;
@@ -61,13 +68,23 @@ std::optional<Flags> Flags::Parse(int argc, char** argv,
       arg = arg.substr(0, eq);
       have_value = true;
     }
-    const FlagSpec* spec = find_spec(arg);
+    const FlagSpec* spec = nullptr;
+    if (is_long) {
+      spec = find_spec(arg);
+    } else {
+      for (const auto& candidate : specs) {
+        if (!candidate.short_name.empty() && candidate.short_name == arg)
+          spec = &candidate;
+      }
+    }
     if (spec == nullptr) {
-      std::fprintf(stderr, "error: unknown flag '--%s'\n", arg.c_str());
+      std::fprintf(stderr, "error: unknown flag '%s%s'\n",
+                   is_long ? "--" : "-", arg.c_str());
       PrintUsage(argv[0], description, specs);
       g_last_parse_failed = true;
       return std::nullopt;
     }
+    arg = spec->name;  // aliases store under the canonical long name
     if (!have_value) {
       if (spec->is_boolean) {
         value = "true";
@@ -139,6 +156,25 @@ std::vector<FlagSpec> ObservabilityFlagSpecs() {
       {"event-log-out", "",
        "optional durable event-log path (simmr.eventlog.v1 JSONL)"},
   };
+}
+
+FlagSpec ThreadsFlag() {
+  return {"threads", "0",
+          "worker threads for parallel phases (0 = auto: SIMMR_THREADS env "
+          "var, else hardware concurrency)",
+          /*is_boolean=*/false, /*short_name=*/"j"};
+}
+
+int ResolveThreads(const Flags& flags) {
+  const int requested = flags.GetInt("threads");
+  if (requested < 0)
+    throw std::invalid_argument("flag --threads: negative thread count");
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("SIMMR_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return DefaultParallelism();
 }
 
 void ObservabilitySinks::Init(const Flags& flags) {

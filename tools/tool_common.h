@@ -26,6 +26,9 @@ struct FlagSpec {
   std::string default_value;
   std::string help;
   bool is_boolean = false;
+  /// Optional single-character alias, matched as "-x value" / "-x=value"
+  /// (e.g. "j" lets --threads also parse as -j). Empty = no alias.
+  std::string short_name = {};
 };
 
 class Flags {
@@ -64,6 +67,16 @@ bool ApplyLogLevel(const Flags& flags);
 /// --telemetry-out and --event-log-out. Tools append these to their spec
 /// list and hand the parsed flags to ObservabilitySinks::Init.
 std::vector<FlagSpec> ObservabilityFlagSpecs();
+
+/// The shared --threads/-j flag for tools with ParallelFor phases.
+/// Default "0" = auto-detect (see ResolveThreads).
+FlagSpec ThreadsFlag();
+
+/// Worker-thread count for a tool's parallel phases, by precedence:
+/// an explicit --threads/-j value > 0; else a positive SIMMR_THREADS
+/// environment variable; else simmr::DefaultParallelism(). Throws
+/// std::invalid_argument on a negative flag value.
+int ResolveThreads(const Flags& flags);
 
 /// Facts about a finished run that the sinks need at write-out time.
 struct RunSummary {
