@@ -1,0 +1,167 @@
+// Invariant-checking overhead bench (release acceptance gate for the
+// correctness subsystem of docs/TESTING.md).
+//
+// Measures the wall-clock cost check::InvariantObserver adds to a replay,
+// against two baselines run interleaved with it (A/B/C per round, medians
+// over SIMMR_BENCH_RUNS rounds, so thermal drift and frequency steps hit
+// all arms alike):
+//   bare       - no observer attached (the un-instrumented engine)
+//   noop       - an observer whose callbacks do nothing: the price of the
+//                hook plumbing alone, paid by any attached sink
+//   invariant  - InvariantObserver validating the full callback stream
+//                (clock, slot conservation, task lifecycle, shuffle
+//                causality, job accounting) plus FinishRun()
+//
+// Two scenarios bound the answer: a synthetic FIFO replay is the worst
+// case (the baseline engine does the least work per event), and a
+// MinEDF-with-deadlines replay is the realistic ARIA-style case. The
+// checker's hot path is a few hash-map probes per callback, so expect it
+// to cost more than the event log's in-place store; the number here is
+// the price of running the fuzzer's whole invariant battery live.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "check/invariant_observer.h"
+#include "sched/fifo.h"
+#include "sched/minedf.h"
+#include "trace/synthetic_tracegen.h"
+
+namespace simmr::bench {
+namespace {
+
+struct NoopObserver final : obs::SimObserver {
+  void OnEventDequeue(SimTime, const char*, std::size_t) override {}
+  void OnJobArrival(SimTime, std::int32_t, std::string_view,
+                    double) override {}
+  void OnJobCompletion(SimTime, std::int32_t) override {}
+  void OnTaskLaunch(SimTime, std::int32_t, obs::TaskKind,
+                    std::int32_t) override {}
+  void OnTaskPhaseTransition(SimTime, std::int32_t, obs::TaskKind,
+                             std::int32_t, const char*) override {}
+  void OnTaskCompletion(SimTime, std::int32_t, obs::TaskKind, std::int32_t,
+                        const obs::TaskTiming&, bool) override {}
+  void OnSchedulerDecision(SimTime, obs::TaskKind, std::int32_t) override {}
+};
+
+trace::WorkloadTrace MakeWorkload(int num_jobs, std::uint64_t seed,
+                                  bool deadlines) {
+  Rng rng(seed);
+  trace::WorkloadTrace workload;
+  for (int i = 0; i < num_jobs; ++i) {
+    trace::SyntheticJobSpec spec;
+    spec.app_name = "bench";
+    spec.num_maps = 100;
+    spec.num_reduces = 20;
+    spec.first_wave_size = 10;
+    spec.map_duration = std::make_shared<UniformDist>(5.0, 15.0);
+    spec.first_shuffle_duration = std::make_shared<UniformDist>(1.0, 4.0);
+    spec.typical_shuffle_duration = std::make_shared<UniformDist>(3.0, 8.0);
+    spec.reduce_duration = std::make_shared<UniformDist>(1.0, 5.0);
+    trace::TraceJob job;
+    job.profile = trace::SynthesizeProfile(spec, rng);
+    job.arrival = 20.0 * i;
+    if (deadlines) job.deadline = job.arrival + 400.0 + rng.NextBounded(400);
+    workload.push_back(std::move(job));
+  }
+  return workload;
+}
+
+double ReplayOnceMs(const core::SimConfig& cfg, const trace::WorkloadTrace& w,
+                    core::SchedulerPolicy& policy,
+                    check::InvariantObserver* checker) {
+  if (checker != nullptr) checker->Reset();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = core::Replay(w, policy, cfg);
+  if (checker != nullptr) checker->FinishRun();
+  const auto t1 = std::chrono::steady_clock::now();
+  AddTelemetryEvents(result.events_processed);
+  if (checker != nullptr && !checker->ok()) {
+    // The bench doubles as a sanity gate: a violation here is an engine
+    // bug, not a measurement artifact.
+    std::fprintf(stderr, "invariant violations during bench:\n%s\n",
+                 checker->Report().c_str());
+    std::exit(1);
+  }
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+template <class MakePolicy>
+void Scenario(const char* label, const trace::WorkloadTrace& workload,
+              int rounds, MakePolicy make_policy) {
+  core::SimConfig bare;
+  bare.map_slots = 64;
+  bare.reduce_slots = 64;
+  NoopObserver noop_sink;
+  check::InvariantOptions opts;
+  opts.map_slots = bare.map_slots;
+  opts.reduce_slots = bare.reduce_slots;
+  opts.strictness = check::Strictness::kExact;
+  check::InvariantObserver checker(opts);
+  core::SimConfig noop = bare;
+  noop.observer = &noop_sink;
+  core::SimConfig checked = bare;
+  checked.observer = &checker;
+
+  std::vector<double> t_bare, t_noop, t_check;
+  for (int i = 0; i < rounds; ++i) {
+    {
+      auto p = make_policy();
+      t_bare.push_back(ReplayOnceMs(bare, workload, *p, nullptr));
+    }
+    {
+      auto p = make_policy();
+      t_noop.push_back(ReplayOnceMs(noop, workload, *p, nullptr));
+    }
+    {
+      auto p = make_policy();
+      t_check.push_back(ReplayOnceMs(checked, workload, *p, &checker));
+    }
+  }
+  const double b = Median(t_bare);
+  const double n = Median(t_noop);
+  const double c = Median(t_check);
+  PrintSection(label);
+  std::printf("  bare engine        %8.2f ms\n", b);
+  std::printf("  noop observer      %8.2f ms  (+%.1f%% hook plumbing)\n", n,
+              100.0 * (n - b) / b);
+  std::printf(
+      "  invariant checker  %8.2f ms  (+%.1f%% total, +%.1f%% checking "
+      "alone, %llu callbacks)\n",
+      c, 100.0 * (c - b) / b, 100.0 * (c - n) / b,
+      static_cast<unsigned long long>(checker.callbacks_seen()));
+}
+
+int Main() {
+  PrintHeader("invariant-overhead",
+              "Interleaved checking overhead of check::InvariantObserver "
+              "(full invariant battery) vs bare and noop-observer replays");
+  const int rounds =
+      static_cast<int>(EnvOrDefault("SIMMR_BENCH_RUNS", 30));
+  const std::uint64_t seed = EnvOrDefault("SIMMR_BENCH_SEED", 42);
+
+  const auto fifo_workload = MakeWorkload(1000, seed, /*deadlines=*/false);
+  Scenario("fifo/synthetic 1000 jobs (worst case: lightest baseline)",
+           fifo_workload, rounds,
+           [] { return std::make_unique<sched::FifoPolicy>(); });
+
+  const auto edf_workload = MakeWorkload(1000, seed, /*deadlines=*/true);
+  Scenario("minedf/deadlines 1000 jobs (realistic ARIA-style run)",
+           edf_workload, rounds,
+           [] { return std::make_unique<sched::MinEdfPolicy>(64, 64); });
+  return 0;
+}
+
+}  // namespace
+}  // namespace simmr::bench
+
+int main() { return simmr::bench::Main(); }

@@ -1,0 +1,154 @@
+// Invariant-checking observer: a standing correctness subsystem.
+//
+// SimMR's headline claim is accuracy, so every perf/scale refactor must be
+// provably behavior-preserving. The golden files catch end-result drift;
+// InvariantObserver catches *internal* inconsistency as it happens, by
+// validating the live SimObserver callback stream of any simulator against
+// the invariants every legal run must satisfy:
+//
+//  * monotonic clock — callback `now` values never go backwards;
+//  * slot-accounting conservation — 0 <= busy map/reduce slots <= the
+//    configured totals at every instant, and every occupied slot is
+//    released by the end of the run;
+//  * task lifecycle legality — tasks belong to an arrived job, launch
+//    before they complete, never complete twice, and only relaunch after a
+//    failed/killed attempt;
+//  * shuffle-model causality — a first-wave (filler) reduce's shuffle can
+//    only end at or after its job's map stage completes (the paper's
+//    non-overlapping first-shuffle model), later waves shuffle after their
+//    own launch, and every successful reduce carries finite, ordered phase
+//    boundaries (the filler was patched exactly once at MAP_STAGE_DONE);
+//  * job completion accounting — a job completes exactly once, after all
+//    of its launched tasks, at exactly the departure time of its last task
+//    (exact mode), and every arrived job has completed by end of run.
+//
+// The observer is pluggable anywhere a SimObserver goes: engine runs,
+// testbed/Mumak runs (use Strictness::kCausal — their job master learns of
+// completions on heartbeats, so job completion lags the last task), replay
+// sessions and the simmr_fuzz differential driver. It never throws from a
+// callback; violations are collected and queried after the run so a fuzzer
+// can shrink the offending trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/observer.h"
+
+namespace simmr::check {
+
+/// How strictly timing invariants are enforced.
+enum class Strictness : std::uint8_t {
+  /// The SimMR engine's contract: completion callbacks fire at the task's
+  /// departure time, job completion equals the max task departure, and the
+  /// filler-reduce shuffle causality of the paper's model must hold.
+  kExact,
+  /// Node-level simulators (testbed, Mumak): completions become visible on
+  /// heartbeats, so `now` may trail TaskTiming::end and job completion may
+  /// trail the last task; speculative execution may run concurrent
+  /// attempts of one task index. Clock, slot and lifecycle conservation
+  /// still apply.
+  kCausal,
+};
+
+struct InvariantOptions {
+  /// Cluster-wide slot totals; 0 disables the corresponding ceiling check
+  /// (occupancy conservation is always checked).
+  int map_slots = 0;
+  int reduce_slots = 0;
+  Strictness strictness = Strictness::kExact;
+  /// Absolute slack for all time comparisons.
+  double time_tolerance = 1e-9;
+  /// Recording stops after this many violations (the stream stays
+  /// consistent; this only bounds report size on badly broken runs).
+  std::size_t max_violations = 64;
+};
+
+/// One detected inconsistency.
+struct Violation {
+  std::string invariant;  // stable id, e.g. "slot-conservation"
+  std::string detail;     // human-readable specifics
+  SimTime at = 0.0;       // callback time of detection
+  std::int32_t job = -1;  // offending job, or -1
+};
+
+/// Formats violations one per line ("[invariant] t=... job=...: detail").
+std::string FormatViolations(const std::vector<Violation>& violations);
+
+class InvariantObserver final : public obs::SimObserver {
+ public:
+  explicit InvariantObserver(InvariantOptions options = {});
+
+  // SimObserver hooks.
+  void OnEventDequeue(SimTime now, const char* event_type,
+                      std::size_t queue_depth) override;
+  void OnJobArrival(SimTime now, std::int32_t job, std::string_view name,
+                    double deadline) override;
+  void OnJobCompletion(SimTime now, std::int32_t job) override;
+  void OnTaskLaunch(SimTime now, std::int32_t job, obs::TaskKind kind,
+                    std::int32_t index) override;
+  void OnTaskPhaseTransition(SimTime now, std::int32_t job,
+                             obs::TaskKind kind, std::int32_t index,
+                             const char* phase) override;
+  void OnTaskCompletion(SimTime now, std::int32_t job, obs::TaskKind kind,
+                        std::int32_t index, const obs::TaskTiming& timing,
+                        bool succeeded) override;
+  void OnSchedulerDecision(SimTime now, obs::TaskKind kind,
+                           std::int32_t chosen_job) override;
+
+  /// End-of-run invariants: all occupied slots released, every arrived job
+  /// completed. Call once after the simulator returns; idempotent per run.
+  void FinishRun();
+
+  /// Resets all state (violations included) for a fresh run.
+  void Reset();
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::string Report() const { return FormatViolations(violations_); }
+
+  /// Total callbacks seen (all kinds), for coverage assertions.
+  std::uint64_t callbacks_seen() const { return callbacks_seen_; }
+
+ private:
+  struct TaskState {
+    int running = 0;       // concurrent attempts (kCausal may exceed 1)
+    bool completed = false;
+    // Successful completion record, for end-of-job causality checks.
+    obs::TaskTiming timing{};
+  };
+
+  struct JobState {
+    bool arrived = false;
+    bool completed = false;
+    SimTime arrival = 0.0;
+    SimTime completion = 0.0;
+    SimTime max_departure = -1.0;  // max successful TaskTiming::end
+    int running_tasks = 0;
+    std::unordered_map<std::int32_t, TaskState> maps;
+    std::unordered_map<std::int32_t, TaskState> reduces;
+  };
+
+  void Violate(std::string invariant, SimTime at, std::int32_t job,
+               std::string detail);
+  void CheckClock(SimTime now, const char* where);
+  /// Looks the job up, flagging task/job events against unknown or
+  /// already-completed jobs. Returns nullptr when the job cannot be
+  /// tracked (the violation is already recorded).
+  JobState* RequireOpenJob(SimTime now, std::int32_t job, const char* what);
+  void CheckJobCausality(SimTime now, std::int32_t job, JobState& state);
+
+  InvariantOptions options_;
+  std::vector<Violation> violations_;
+  std::unordered_map<std::int32_t, JobState> jobs_;
+  double last_now_ = 0.0;
+  bool saw_callback_ = false;
+  bool finished_ = false;
+  std::uint64_t callbacks_seen_ = 0;
+  int busy_maps_ = 0;
+  int busy_reduces_ = 0;
+};
+
+}  // namespace simmr::check

@@ -1,0 +1,73 @@
+#include "check/oracles.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/simmr.h"
+#include "sched/aria_model.h"
+#include "sched/fifo.h"
+
+namespace simmr::check {
+
+SoloBoundsResult CheckSoloAriaBounds(const trace::JobProfile& profile,
+                                     const SoloBoundsOptions& options) {
+  const std::string error = profile.Validate();
+  if (!error.empty())
+    throw std::invalid_argument("CheckSoloAriaBounds: invalid profile: " +
+                                error);
+
+  core::SimConfig config;
+  config.map_slots = options.map_slots;
+  config.reduce_slots = options.reduce_slots;
+  config.min_map_percent_completed = options.slowstart;
+  sched::FifoPolicy fifo;
+  trace::WorkloadTrace solo(1);
+  solo[0].profile = profile;
+  const core::SimResult run = core::Replay(solo, fifo, config);
+
+  const auto summary = sched::ProfileSummary::FromProfile(profile);
+  // The replay's wave structure need not match the trace's: with a single
+  // map (or simultaneous map completions) the slowstart gate only opens
+  // once the map stage is already done, so no reduce ever pays the
+  // recorded first-wave shuffle — the lower bound's correction term
+  // (Sh1_avg - Sh_typ_avg) would then overcharge. Clamp it to the
+  // direction that is a valid lower bound for every wave structure; the
+  // upper bound keeps its Sh1_max term (always a valid ceiling).
+  sched::BoundCoefficients lower = sched::LowerBound(summary);
+  lower.c = std::min(lower.c, 0.0);
+  SoloBoundsResult result;
+  result.lower = sched::EstimateCompletion(lower, options.map_slots,
+                                           options.reduce_slots);
+  result.upper = sched::EstimateCompletion(sched::UpperBound(summary),
+                                           options.map_slots,
+                                           options.reduce_slots);
+  result.simulated = run.jobs.at(0).CompletionTime();
+  const double lo =
+      result.lower * (1.0 - options.rel_tolerance) - options.abs_tolerance;
+  const double hi =
+      result.upper * (1.0 + options.rel_tolerance) + options.abs_tolerance;
+  result.within = result.simulated >= lo && result.simulated <= hi;
+  return result;
+}
+
+std::vector<Violation> VerifySoloAriaBounds(
+    const std::vector<trace::JobProfile>& pool,
+    const SoloBoundsOptions& options) {
+  std::vector<Violation> violations;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const SoloBoundsResult r = CheckSoloAriaBounds(pool[i], options);
+    if (r.within) continue;
+    char detail[256];
+    std::snprintf(detail, sizeof(detail),
+                  "solo completion %.9g outside ARIA bounds [%.9g, %.9g] "
+                  "at %dx%d slots (profile '%s')",
+                  r.simulated, r.lower, r.upper, options.map_slots,
+                  options.reduce_slots, pool[i].app_name.c_str());
+    violations.push_back(Violation{"aria-bounds", detail, r.simulated,
+                                   static_cast<std::int32_t>(i)});
+  }
+  return violations;
+}
+
+}  // namespace simmr::check

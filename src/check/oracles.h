@@ -1,0 +1,50 @@
+// Analytic oracles: model-derived facts every correct run must satisfy.
+//
+// The ARIA bounds model (sched/aria_model) predicts that a job running
+// alone on a dedicated (S_M, S_R) allocation completes within
+// [lower, upper] makespan bounds — the property the paper leans on to make
+// MinEDF's allocations trustworthy, and one the replay engine must
+// preserve through every refactor. VerifySoloAriaBounds replays each
+// profile solo under FIFO and flags completions outside the (tolerance-
+// widened) bounds. simmr_fuzz runs it on every generated pool; the sched
+// test suite pins the tolerance on known profiles.
+#pragma once
+
+#include <vector>
+
+#include "check/invariant_observer.h"
+#include "trace/job_profile.h"
+
+namespace simmr::check {
+
+struct SoloBoundsOptions {
+  int map_slots = 16;
+  int reduce_slots = 16;
+  double slowstart = 0.05;
+  /// Bounds are widened by rel_tolerance (multiplicative) plus
+  /// abs_tolerance (additive): the engine's wave quantization can nudge a
+  /// completion just past the idealized lower bound.
+  double rel_tolerance = 0.05;
+  double abs_tolerance = 1e-6;
+};
+
+/// One job's bounds check, for reporting.
+struct SoloBoundsResult {
+  double lower = 0.0;      // model lower bound, unwidened
+  double upper = 0.0;      // model upper bound, unwidened
+  double simulated = 0.0;  // solo FIFO completion time
+  bool within = true;
+};
+
+/// Replays `profile` alone under FIFO and checks the ARIA bounds.
+/// Throws std::invalid_argument when the profile fails validation.
+SoloBoundsResult CheckSoloAriaBounds(const trace::JobProfile& profile,
+                                     const SoloBoundsOptions& options = {});
+
+/// Runs CheckSoloAriaBounds over a pool; one Violation per out-of-bounds
+/// job (invariant id "aria-bounds", `job` = pool index).
+std::vector<Violation> VerifySoloAriaBounds(
+    const std::vector<trace::JobProfile>& pool,
+    const SoloBoundsOptions& options = {});
+
+}  // namespace simmr::check

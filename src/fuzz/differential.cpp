@@ -1,0 +1,89 @@
+#include "fuzz/differential.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace simmr::fuzz {
+namespace {
+
+bool TimesAgree(double a, double b, const CompareOptions& options) {
+  if (a == b) return true;  // covers exact mode and shared infinities
+  const double diff = std::fabs(a - b);
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= options.abs_tolerance + options.rel_tolerance * scale;
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<check::Violation> CompareRunResults(
+    const backend::RunResult& a, const backend::RunResult& b,
+    const std::string& label, const CompareOptions& options) {
+  std::vector<check::Violation> out;
+  const auto differ = [&out, &label](std::int32_t job, std::string detail) {
+    out.push_back({"differential", label + ": " + std::move(detail), 0.0,
+                   job});
+  };
+  const auto time_field = [&](std::int32_t job, const char* field, double va,
+                              double vb) {
+    if (!TimesAgree(va, vb, options))
+      differ(job, std::string(field) + " " + Num(va) + " vs " + Num(vb));
+  };
+
+  if (a.jobs.size() != b.jobs.size()) {
+    differ(-1, "job count " + std::to_string(a.jobs.size()) + " vs " +
+                   std::to_string(b.jobs.size()));
+    return out;  // per-job comparison is meaningless past this point
+  }
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const auto& ja = a.jobs[i];
+    const auto& jb = b.jobs[i];
+    if (ja.job != jb.job) {
+      differ(ja.job, "job id order " + std::to_string(ja.job) + " vs " +
+                         std::to_string(jb.job));
+      continue;
+    }
+    if (ja.name != jb.name)
+      differ(ja.job, "name '" + ja.name + "' vs '" + jb.name + "'");
+    time_field(ja.job, "submit", ja.submit, jb.submit);
+    time_field(ja.job, "finish", ja.finish, jb.finish);
+    time_field(ja.job, "deadline", ja.deadline, jb.deadline);
+    if (options.compare_stage_times) {
+      time_field(ja.job, "first_launch", ja.first_launch, jb.first_launch);
+      time_field(ja.job, "map_stage_end", ja.map_stage_end,
+                 jb.map_stage_end);
+    }
+  }
+
+  time_field(-1, "makespan", a.makespan, b.makespan);
+  if (options.compare_events && a.events_processed != b.events_processed)
+    differ(-1, "events_processed " + std::to_string(a.events_processed) +
+                   " vs " + std::to_string(b.events_processed));
+
+  if (options.compare_tasks && !a.tasks.empty() && !b.tasks.empty()) {
+    if (a.tasks.size() != b.tasks.size()) {
+      differ(-1, "task count " + std::to_string(a.tasks.size()) + " vs " +
+                     std::to_string(b.tasks.size()));
+      return out;
+    }
+    for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+      const auto& ta = a.tasks[i];
+      const auto& tb = b.tasks[i];
+      if (ta.job != tb.job || ta.kind != tb.kind) {
+        differ(ta.job, "task " + std::to_string(i) + " identity mismatch");
+        continue;
+      }
+      time_field(ta.job, "task start", ta.start, tb.start);
+      time_field(ta.job, "task shuffle_end", ta.shuffle_end, tb.shuffle_end);
+      time_field(ta.job, "task end", ta.end, tb.end);
+    }
+  }
+  return out;
+}
+
+}  // namespace simmr::fuzz

@@ -1,0 +1,41 @@
+// Differential comparison of RunResults.
+//
+// The fuzzer's second weapon (after the invariant observer): run the same
+// workload through two configurations whose semantics must agree — the
+// same spec twice, observer attached vs detached, task recording on vs
+// off, serial vs parallel replication — and flag any divergence. Exact
+// comparisons demand bit-identical doubles (the engine is deterministic,
+// so anything less is a bug); tolerant comparisons (testbed replay vs
+// direct emulation) allow the modeling error the paper quantifies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "backend/run_result.h"
+#include "check/invariant_observer.h"
+
+namespace simmr::fuzz {
+
+struct CompareOptions {
+  /// Relative + absolute slack for every time comparison. Both zero (the
+  /// default) demands bit-identical values.
+  double rel_tolerance = 0.0;
+  double abs_tolerance = 0.0;
+  /// Compare events_processed (only meaningful for same-simulator runs).
+  bool compare_events = true;
+  /// Compare task records when both results carry them.
+  bool compare_tasks = true;
+  /// Compare per-job intermediate timestamps (first_launch/map_stage_end)
+  /// in addition to submit/finish.
+  bool compare_stage_times = true;
+};
+
+/// Compares two results field by field. Every divergence becomes one
+/// Violation with invariant id "differential" and `detail` prefixed by
+/// `label` (e.g. "observer-on/off"). Empty result = the runs agree.
+std::vector<check::Violation> CompareRunResults(
+    const backend::RunResult& a, const backend::RunResult& b,
+    const std::string& label, const CompareOptions& options = {});
+
+}  // namespace simmr::fuzz

@@ -1,0 +1,121 @@
+// Seeded stream corruption, for testing the invariant checker itself.
+//
+// FaultInjectingObserver sits between a simulator and a downstream
+// observer (normally check::InvariantObserver) and corrupts the callback
+// stream in one precisely-controlled way — the moral equivalent of an
+// engine bug like an off-by-one slot release, without patching the engine.
+// simmr_fuzz --self-test uses it to prove, on every run, that the detector
+// catches each corruption class and that the shrinker reduces the
+// offending trace to a minimal reproducer. Faults trigger on callback
+// ordinals, so a given (workload, spec, fault) triple misbehaves
+// identically on every replay.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/observer.h"
+
+namespace simmr::fuzz {
+
+enum class FaultMode : std::uint8_t {
+  kNone,
+  /// Swallow the Nth successful task completion: its slot is never
+  /// released and its job never balances (slot-conservation +
+  /// job-accounting).
+  kDropCompletion,
+  /// Deliver the Nth successful task completion twice (task-lifecycle
+  /// double-completion, slot released twice).
+  kDoubleCompletion,
+  /// Report the Nth callback 1000 s in the past (monotonic-clock).
+  kClockSkew,
+  /// Duplicate the Nth task launch (lifecycle relaunch-while-running and,
+  /// on tight clusters, slot oversubscription).
+  kPhantomLaunch,
+};
+
+/// Wire name for reports and CLI parsing ("drop-completion", ...).
+constexpr const char* FaultModeName(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kNone: return "none";
+    case FaultMode::kDropCompletion: return "drop-completion";
+    case FaultMode::kDoubleCompletion: return "double-completion";
+    case FaultMode::kClockSkew: return "clock-skew";
+    case FaultMode::kPhantomLaunch: return "phantom-launch";
+  }
+  return "none";
+}
+
+struct FaultSpec {
+  FaultMode mode = FaultMode::kNone;
+  /// 1-based ordinal of the matching callback the fault fires on.
+  std::uint64_t trigger = 1;
+};
+
+class FaultInjectingObserver final : public obs::SimObserver {
+ public:
+  FaultInjectingObserver(FaultSpec spec, obs::SimObserver* inner)
+      : spec_(spec), inner_(inner) {}
+
+  bool fired() const { return fired_; }
+
+  void OnEventDequeue(SimTime now, const char* event_type,
+                      std::size_t queue_depth) override {
+    inner_->OnEventDequeue(Skew(now), event_type, queue_depth);
+  }
+  void OnJobArrival(SimTime now, std::int32_t job, std::string_view name,
+                    double deadline) override {
+    inner_->OnJobArrival(Skew(now), job, name, deadline);
+  }
+  void OnJobCompletion(SimTime now, std::int32_t job) override {
+    inner_->OnJobCompletion(Skew(now), job);
+  }
+  void OnTaskLaunch(SimTime now, std::int32_t job, obs::TaskKind kind,
+                    std::int32_t index) override {
+    if (spec_.mode == FaultMode::kPhantomLaunch && Arm()) {
+      inner_->OnTaskLaunch(now, job, kind, index);  // the phantom copy
+    }
+    inner_->OnTaskLaunch(Skew(now), job, kind, index);
+  }
+  void OnTaskPhaseTransition(SimTime now, std::int32_t job,
+                             obs::TaskKind kind, std::int32_t index,
+                             const char* phase) override {
+    inner_->OnTaskPhaseTransition(Skew(now), job, kind, index, phase);
+  }
+  void OnTaskCompletion(SimTime now, std::int32_t job, obs::TaskKind kind,
+                        std::int32_t index, const obs::TaskTiming& timing,
+                        bool succeeded) override {
+    if (succeeded && spec_.mode == FaultMode::kDropCompletion && Arm())
+      return;  // the slot release vanishes
+    if (succeeded && spec_.mode == FaultMode::kDoubleCompletion && Arm())
+      inner_->OnTaskCompletion(now, job, kind, index, timing, succeeded);
+    inner_->OnTaskCompletion(Skew(now), job, kind, index, timing, succeeded);
+  }
+  void OnSchedulerDecision(SimTime now, obs::TaskKind kind,
+                           std::int32_t chosen_job) override {
+    inner_->OnSchedulerDecision(Skew(now), kind, chosen_job);
+  }
+
+ private:
+  /// Counts a matching callback; true exactly once, on the trigger-th.
+  bool Arm() {
+    if (fired_) return false;
+    if (++matching_ != spec_.trigger) return false;
+    fired_ = true;
+    return true;
+  }
+
+  /// For kClockSkew: warps the trigger-th callback (of any kind) back in
+  /// time; identity otherwise.
+  SimTime Skew(SimTime now) {
+    if (spec_.mode != FaultMode::kClockSkew) return now;
+    return Arm() ? now - 1000.0 : now;
+  }
+
+  FaultSpec spec_;
+  obs::SimObserver* inner_;
+  std::uint64_t matching_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace simmr::fuzz

@@ -1,0 +1,146 @@
+#include "fuzz/harness.h"
+
+#include <memory>
+#include <utility>
+
+#include "core/simmr.h"
+#include "fuzz/differential.h"
+#include "mumak/mumak_sim.h"
+#include "mumak/rumen.h"
+#include "simcore/parallel.h"
+#include "simcore/time.h"
+
+namespace simmr::fuzz {
+namespace {
+
+void Append(std::vector<check::Violation>& into,
+            std::vector<check::Violation> from) {
+  for (auto& v : from) into.push_back(std::move(v));
+}
+
+void AppendPrefixed(std::vector<check::Violation>& into,
+                    const std::vector<check::Violation>& from,
+                    const char* prefix) {
+  for (const auto& v : from) {
+    check::Violation copy = v;
+    copy.detail = std::string(prefix) + copy.detail;
+    into.push_back(std::move(copy));
+  }
+}
+
+}  // namespace
+
+BatteryResult RunCheckBattery(const std::vector<trace::JobProfile>& pool,
+                              const backend::ReplaySpec& spec,
+                              const BatteryOptions& options) {
+  auto pool_ptr =
+      std::make_shared<const std::vector<trace::JobProfile>>(pool);
+  std::shared_ptr<const std::vector<double>> solos;
+  if (spec.deadline_factor > 0.0) {
+    // T_J under the standard solo configuration (the whole default
+    // cluster), as everywhere else deadlines are assembled.
+    solos = std::make_shared<const std::vector<double>>(
+        core::MeasureSoloCompletions(pool, core::SimConfig{}));
+  } else {
+    solos = std::make_shared<const std::vector<double>>();
+  }
+  const backend::SimSession session(pool_ptr, solos);
+
+  BatteryResult result;
+
+  // Layer 1: exact-mode invariants over the observed engine run,
+  // optionally corrupted by the injected fault.
+  check::InvariantOptions inv_options;
+  inv_options.map_slots = spec.map_slots;
+  inv_options.reduce_slots = spec.reduce_slots;
+  inv_options.strictness = check::Strictness::kExact;
+  check::InvariantObserver invariants(inv_options);
+  FaultInjectingObserver faulty(options.fault, &invariants);
+
+  backend::ReplaySpec observed = spec;
+  observed.observer = options.fault.mode == FaultMode::kNone
+                          ? static_cast<obs::SimObserver*>(&invariants)
+                          : &faulty;
+  const backend::RunResult base = session.Replay(observed);
+  invariants.FinishRun();
+  result.callbacks_seen = invariants.callbacks_seen();
+  Append(result.violations, invariants.violations());
+
+  // Layer 2: differential re-runs. The fault only corrupts the observer
+  // stream, never the simulation, so the observed result is still the
+  // honest baseline.
+  if (options.run_differentials) {
+    backend::ReplaySpec plain = spec;
+    plain.observer = nullptr;
+    const backend::RunResult detached = session.Replay(plain);
+    Append(result.violations,
+           CompareRunResults(base, detached, "observer-on/off"));
+    const backend::RunResult again = session.Replay(plain);
+    Append(result.violations,
+           CompareRunResults(detached, again, "determinism"));
+
+    backend::ReplaySpec toggled = plain;
+    toggled.record_tasks = !plain.record_tasks;
+    const backend::RunResult recorded = session.Replay(toggled);
+    CompareOptions no_tasks;
+    no_tasks.compare_tasks = false;  // one side has no records by design
+    Append(result.violations, CompareRunResults(detached, recorded,
+                                                "record-tasks-on/off",
+                                                no_tasks));
+  }
+
+  // Concurrent replays of the same spec must match the serial run
+  // bit-for-bit; any divergence means shared mutable state leaked into
+  // SimSession::Replay.
+  if (options.run_thread_differential) {
+    backend::ReplaySpec plain = spec;
+    plain.observer = nullptr;
+    const backend::RunResult serial = session.Replay(plain);
+    constexpr std::size_t kConcurrent = 3;
+    std::vector<backend::RunResult> parallel(kConcurrent);
+    ParallelFor(
+        kConcurrent, [&](std::size_t i) { parallel[i] = session.Replay(plain); },
+        kConcurrent);
+    for (std::size_t i = 0; i < kConcurrent; ++i) {
+      Append(result.violations,
+             CompareRunResults(serial, parallel[i],
+                               "serial/parallel[" + std::to_string(i) + "]"));
+    }
+  }
+
+  // Layer 3: the same pool through Mumak under causal-mode invariants —
+  // heartbeat visibility lags, but clock/slot/lifecycle laws still bind.
+  if (options.run_mumak) {
+    mumak::MumakConfig mumak_config;
+    check::InvariantOptions causal;
+    causal.strictness = check::Strictness::kCausal;
+    // Mumak harvests completions within kTimeEpsilon of a heartbeat (so
+    // boundary-coincident ends don't slip a full period to rounding), which
+    // lets timing.end exceed the callback time by up to that epsilon. The
+    // checker must not be stricter than the simulator's own quantization —
+    // the fuzzer's tiny-duration archetype found exactly this.
+    causal.time_tolerance = kTimeEpsilon;
+    causal.map_slots =
+        mumak_config.num_nodes * mumak_config.map_slots_per_node;
+    causal.reduce_slots =
+        mumak_config.num_nodes * mumak_config.reduce_slots_per_node;
+    check::InvariantObserver mumak_invariants(causal);
+    mumak_config.observer = &mumak_invariants;
+    const std::vector<SimTime> arrivals(pool.size(), 0.0);
+    mumak::RunMumak(mumak::RumenTrace::FromProfiles(pool, arrivals),
+                    mumak_config);
+    mumak_invariants.FinishRun();
+    AppendPrefixed(result.violations, mumak_invariants.violations(),
+                   "mumak: ");
+  }
+
+  // Layer 4: the ARIA analytic oracle over every profile in the pool.
+  if (options.run_aria_oracle) {
+    Append(result.violations,
+           check::VerifySoloAriaBounds(pool, options.aria));
+  }
+
+  return result;
+}
+
+}  // namespace simmr::fuzz

@@ -1,0 +1,61 @@
+// The per-case check battery: everything simmr_fuzz asserts about one
+// (profile pool, replay spec) draw.
+//
+// One battery run layers every checking mechanism the repo has onto a
+// single fuzzed case:
+//   1. an exact-mode InvariantObserver over the engine replay (optionally
+//      behind a FaultInjectingObserver, for --self-test);
+//   2. differential replays whose results must agree bit-for-bit with the
+//      observed run — same spec re-run, observer detached, task recording
+//      toggled, and concurrent ParallelFor replays vs the serial run;
+//   3. a Mumak replay of the same pool under a causal-mode observer (the
+//      node-level code paths see the adversarial corners too);
+//   4. the ARIA analytic oracle over every profile in the pool.
+// Violations from all layers are pooled; the caller (fuzz loop, shrinker
+// predicate, corpus replay) only needs `ok()`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "backend/session.h"
+#include "check/invariant_observer.h"
+#include "check/oracles.h"
+#include "fuzz/fault_injection.h"
+#include "trace/job_profile.h"
+
+namespace simmr::fuzz {
+
+struct BatteryOptions {
+  /// Injected stream corruption (self-test mode); kNone = clean run.
+  FaultSpec fault;
+  /// Differential re-runs (layer 2). Cheap: each is one more engine pass.
+  bool run_differentials = true;
+  /// Concurrent replays of the same spec via ParallelFor must be
+  /// bit-identical to the serial run (SimSession's thread-safety contract,
+  /// the property simmr_sweep's thread-invariance rests on).
+  bool run_thread_differential = true;
+  /// Mumak causal-mode pass (layer 3).
+  bool run_mumak = true;
+  /// ARIA solo-bounds oracle (layer 4); costs one solo replay per profile.
+  bool run_aria_oracle = true;
+  check::SoloBoundsOptions aria;
+};
+
+struct BatteryResult {
+  std::vector<check::Violation> violations;
+  /// Callbacks the primary invariant observer saw (coverage assertion:
+  /// a run that emits nothing checks nothing).
+  std::uint64_t callbacks_seen = 0;
+  bool ok() const { return violations.empty(); }
+};
+
+/// Runs the full battery on one case. The spec's observer field is
+/// ignored (the battery wires its own). Throws only on structurally
+/// invalid input (empty pool, invalid profile, unknown policy) — engine
+/// misbehavior is reported through violations, never exceptions.
+BatteryResult RunCheckBattery(const std::vector<trace::JobProfile>& pool,
+                              const backend::ReplaySpec& spec,
+                              const BatteryOptions& options = {});
+
+}  // namespace simmr::fuzz

@@ -1,0 +1,126 @@
+#include "fuzz/repro.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace simmr::fuzz {
+namespace {
+
+constexpr const char* kMagic = "simmr.repro.v1";
+
+FaultMode ParseFaultMode(const std::string& name) {
+  for (const FaultMode mode :
+       {FaultMode::kNone, FaultMode::kDropCompletion,
+        FaultMode::kDoubleCompletion, FaultMode::kClockSkew,
+        FaultMode::kPhantomLaunch}) {
+    if (name == FaultModeName(mode)) return mode;
+  }
+  throw std::runtime_error("reproducer: unknown fault mode '" + name + "'");
+}
+
+/// Reads "key value..." asserting the key; returns the value part.
+std::string ReadField(std::istream& in, const char* key) {
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error(std::string("reproducer: missing field ") + key);
+  const auto space = line.find(' ');
+  const std::string seen = line.substr(0, space);
+  if (seen != key)
+    throw std::runtime_error(std::string("reproducer: expected field ") +
+                             key + ", got '" + line + "'");
+  return space == std::string::npos ? std::string() : line.substr(space + 1);
+}
+
+double ParseDouble(const std::string& s, const char* key) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("reproducer: bad number for ") +
+                             key + ": '" + s + "'");
+  }
+}
+
+}  // namespace
+
+void WriteReproducer(std::ostream& out, const Reproducer& repro) {
+  out << kMagic << '\n';
+  out.precision(17);
+  out << "master_seed " << repro.master_seed << '\n';
+  out << "fault " << FaultModeName(repro.fault.mode) << ' '
+      << repro.fault.trigger << '\n';
+  out << "policy " << repro.spec.policy << '\n';
+  out << "map_slots " << repro.spec.map_slots << '\n';
+  out << "reduce_slots " << repro.spec.reduce_slots << '\n';
+  out << "slowstart " << repro.spec.slowstart << '\n';
+  out << "record_tasks " << (repro.spec.record_tasks ? 1 : 0) << '\n';
+  out << "num_jobs " << repro.spec.num_jobs << '\n';
+  out << "mean_interarrival_s " << repro.spec.mean_interarrival_s << '\n';
+  out << "arrival_scale " << repro.spec.arrival_scale << '\n';
+  out << "deadline_factor " << repro.spec.deadline_factor << '\n';
+  out << "engine_seed " << repro.spec.seed << '\n';
+  // The note is single-line by construction; flatten just in case.
+  std::string note = repro.note;
+  for (char& c : note)
+    if (c == '\n' || c == '\r') c = ' ';
+  out << "note " << note << '\n';
+  out << "jobs " << repro.pool.size() << '\n';
+  for (const auto& profile : repro.pool) profile.Write(out);
+}
+
+Reproducer ReadReproducer(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic)
+    throw std::runtime_error("reproducer: bad or missing version line");
+  Reproducer repro;
+  repro.master_seed = std::stoull(ReadField(in, "master_seed"));
+  {
+    std::istringstream fs(ReadField(in, "fault"));
+    std::string mode;
+    if (!(fs >> mode >> repro.fault.trigger))
+      throw std::runtime_error("reproducer: malformed fault line");
+    repro.fault.mode = ParseFaultMode(mode);
+  }
+  repro.spec.policy = ReadField(in, "policy");
+  repro.spec.map_slots = std::stoi(ReadField(in, "map_slots"));
+  repro.spec.reduce_slots = std::stoi(ReadField(in, "reduce_slots"));
+  repro.spec.slowstart = ParseDouble(ReadField(in, "slowstart"), "slowstart");
+  repro.spec.record_tasks = ReadField(in, "record_tasks") != "0";
+  repro.spec.num_jobs = std::stoi(ReadField(in, "num_jobs"));
+  repro.spec.mean_interarrival_s =
+      ParseDouble(ReadField(in, "mean_interarrival_s"), "mean_interarrival_s");
+  repro.spec.arrival_scale =
+      ParseDouble(ReadField(in, "arrival_scale"), "arrival_scale");
+  repro.spec.deadline_factor =
+      ParseDouble(ReadField(in, "deadline_factor"), "deadline_factor");
+  repro.spec.seed = std::stoull(ReadField(in, "engine_seed"));
+  repro.note = ReadField(in, "note");
+  const int num_jobs = std::stoi(ReadField(in, "jobs"));
+  if (num_jobs < 0)
+    throw std::runtime_error("reproducer: negative job count");
+  repro.pool.reserve(static_cast<std::size_t>(num_jobs));
+  for (int i = 0; i < num_jobs; ++i)
+    repro.pool.push_back(trace::JobProfile::Read(in));
+  return repro;
+}
+
+void WriteReproducerFile(const std::string& path, const Reproducer& repro) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("reproducer: cannot open " + path);
+  WriteReproducer(out, repro);
+  out.flush();
+  if (!out) throw std::runtime_error("reproducer: write failed for " + path);
+}
+
+Reproducer ReadReproducerFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("reproducer: cannot open " + path);
+  return ReadReproducer(in);
+}
+
+}  // namespace simmr::fuzz

@@ -1,0 +1,47 @@
+// simmr.repro.v1: a self-contained, replayable failure reproducer.
+//
+// When simmr_fuzz finds a violated invariant it writes one of these next
+// to the event log: the (shrunk) profile pool embedded as JobProfile text
+// blocks, the exact ReplaySpec, the master seed the case was drawn from,
+// and the injected fault (self-test mode only). Doubles are serialized at
+// max_digits10, so `simmr_fuzz --replay file.repro` re-runs the identical
+// workload bit-for-bit — the contract that makes committed reproducers in
+// tests/corpus/ meaningful regression tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "backend/session.h"
+#include "fuzz/fault_injection.h"
+#include "trace/job_profile.h"
+
+namespace simmr::fuzz {
+
+struct Reproducer {
+  /// The fuzzer master seed the case was drawn from (provenance).
+  std::uint64_t master_seed = 0;
+  /// Injected corruption, if any (self-test reproducers).
+  FaultSpec fault;
+  /// The replay configuration. `observer` is never serialized.
+  backend::ReplaySpec spec;
+  /// The (possibly shrunk) profile pool.
+  std::vector<trace::JobProfile> pool;
+  /// First violation the case triggered, for the reader ("[clock] ...").
+  std::string note;
+};
+
+/// Writes the versioned text form (round-trips bit-exactly).
+void WriteReproducer(std::ostream& out, const Reproducer& repro);
+
+/// Parses a reproducer. Throws std::runtime_error on malformed input,
+/// including an unknown version line.
+Reproducer ReadReproducer(std::istream& in);
+
+/// File wrappers; WriteReproducerFile throws std::runtime_error when the
+/// path cannot be opened.
+void WriteReproducerFile(const std::string& path, const Reproducer& repro);
+Reproducer ReadReproducerFile(const std::string& path);
+
+}  // namespace simmr::fuzz

@@ -1,0 +1,156 @@
+#include "fuzz/shrinker.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace simmr::fuzz {
+namespace {
+
+/// Candidate with maps halved; false when already minimal (1 map).
+bool HalveMaps(trace::JobProfile& profile) {
+  if (profile.map_durations.size() <= 1) return false;
+  profile.map_durations.resize((profile.map_durations.size() + 1) / 2);
+  profile.num_maps = static_cast<int>(profile.map_durations.size());
+  return true;
+}
+
+/// Candidate with reduces halved (dropped entirely from 1); false when
+/// there are none left.
+bool HalveReduces(trace::JobProfile& profile) {
+  if (profile.num_reduces <= 0) return false;
+  const int new_reduces = profile.num_reduces / 2;
+  profile.num_reduces = new_reduces;
+  if (new_reduces == 0) {
+    profile.first_shuffle_durations.clear();
+    profile.typical_shuffle_durations.clear();
+    profile.reduce_durations.clear();
+    return true;
+  }
+  const auto cap = [](std::vector<double>& v, std::size_t n) {
+    if (v.size() > n) v.resize(n);
+  };
+  cap(profile.first_shuffle_durations,
+      static_cast<std::size_t>(new_reduces));
+  cap(profile.typical_shuffle_durations,
+      static_cast<std::size_t>(new_reduces) -
+          profile.first_shuffle_durations.size());
+  cap(profile.reduce_durations, static_cast<std::size_t>(new_reduces));
+  // Validate() wants at least one shuffle sample and one reduce sample.
+  if (profile.first_shuffle_durations.empty() &&
+      profile.typical_shuffle_durations.empty())
+    profile.typical_shuffle_durations.push_back(0.0);
+  if (profile.reduce_durations.empty())
+    profile.reduce_durations.push_back(0.0);
+  return true;
+}
+
+/// Candidate with every duration zeroed; false when already all-zero.
+bool ZeroDurations(trace::JobProfile& profile) {
+  bool changed = false;
+  for (auto* arr :
+       {&profile.map_durations, &profile.first_shuffle_durations,
+        &profile.typical_shuffle_durations, &profile.reduce_durations}) {
+    for (double& d : *arr) {
+      if (d != 0.0) {
+        d = 0.0;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkFailure(std::vector<trace::JobProfile> pool,
+                           backend::ReplaySpec spec,
+                           const FailurePredicate& fails) {
+  ShrinkResult result;
+  result.probes = 1;
+  if (!fails(pool, spec)) {  // nothing to minimize
+    result.pool = std::move(pool);
+    result.spec = spec;
+    return result;
+  }
+
+  const auto try_case = [&](const std::vector<trace::JobProfile>& p,
+                            const backend::ReplaySpec& s) {
+    for (const auto& profile : p) {
+      if (!profile.Validate().empty()) return false;  // never probe illegal
+    }
+    ++result.probes;
+    return fails(p, s);
+  };
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    ++result.rounds;
+
+    // Drop whole jobs, largest chunks first (ddmin flavor).
+    for (std::size_t chunk = std::max<std::size_t>(pool.size() / 2, 1);
+         chunk >= 1 && pool.size() > 1; chunk /= 2) {
+      for (std::size_t at = 0; at + chunk <= pool.size() && pool.size() > 1;) {
+        const std::size_t take = std::min(chunk, pool.size() - 1);
+        std::vector<trace::JobProfile> candidate = pool;
+        candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(at),
+                        candidate.begin() +
+                            static_cast<std::ptrdiff_t>(at + take));
+        if (try_case(candidate, spec)) {
+          pool = std::move(candidate);
+          progressed = true;  // retry the same position
+        } else {
+          ++at;
+        }
+      }
+      if (chunk == 1) break;
+    }
+
+    // Per-job structural reductions.
+    for (std::size_t j = 0; j < pool.size(); ++j) {
+      for (const auto mutate : {&HalveMaps, &HalveReduces, &ZeroDurations}) {
+        for (;;) {  // apply each reduction to its own fixpoint
+          std::vector<trace::JobProfile> candidate = pool;
+          if (!mutate(candidate[j])) break;
+          if (!try_case(candidate, spec)) break;
+          pool = std::move(candidate);
+          progressed = true;
+        }
+      }
+    }
+
+    // Spec simplifications (each independently reversible).
+    const auto try_spec = [&](backend::ReplaySpec candidate) {
+      if (try_case(pool, candidate)) {
+        spec = candidate;
+        progressed = true;
+      }
+    };
+    if (spec.num_jobs != 0) {
+      backend::ReplaySpec s = spec;
+      s.num_jobs = 0;  // one instance of each pool entry
+      try_spec(s);
+    }
+    if (spec.mean_interarrival_s != 0.0) {
+      backend::ReplaySpec s = spec;
+      s.mean_interarrival_s = 0.0;
+      try_spec(s);
+    }
+    if (spec.deadline_factor != 0.0) {
+      backend::ReplaySpec s = spec;
+      s.deadline_factor = 0.0;
+      try_spec(s);
+    }
+    if (spec.record_tasks) {
+      backend::ReplaySpec s = spec;
+      s.record_tasks = false;
+      try_spec(s);
+    }
+  }
+
+  result.pool = std::move(pool);
+  result.spec = spec;
+  return result;
+}
+
+}  // namespace simmr::fuzz

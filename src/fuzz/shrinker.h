@@ -1,0 +1,42 @@
+// Trace shrinking: delta-debug a failing case to a minimal reproducer.
+//
+// Given a (pool, spec) the FailurePredicate rejects, ShrinkFailure greedily
+// applies semantics-preserving reductions — drop whole jobs (largest chunks
+// first, ddmin-style), halve per-job task arrays, zero out durations,
+// simplify the replay spec (no resampling, no arrival gaps, no deadlines) —
+// keeping each reduction only if the failure survives, and iterates to a
+// fixpoint. Every candidate pool still passes JobProfile::Validate(), so
+// the shrunk case is always a legal input. The result is what lands in a
+// reproducer file: typically one or two tiny jobs instead of a 6-job
+// lognormal forest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "backend/session.h"
+#include "trace/job_profile.h"
+
+namespace simmr::fuzz {
+
+/// True when the case still fails (the property being minimized).
+using FailurePredicate = std::function<bool(
+    const std::vector<trace::JobProfile>&, const backend::ReplaySpec&)>;
+
+struct ShrinkResult {
+  std::vector<trace::JobProfile> pool;
+  backend::ReplaySpec spec;
+  /// Fixpoint iterations and predicate evaluations spent.
+  int rounds = 0;
+  std::uint64_t probes = 0;
+};
+
+/// Minimizes a failing case. `fails(pool, spec)` must be true on entry
+/// (returns the input unchanged otherwise, with probes == 1). The
+/// predicate must be deterministic for the shrink to make sense.
+ShrinkResult ShrinkFailure(std::vector<trace::JobProfile> pool,
+                           backend::ReplaySpec spec,
+                           const FailurePredicate& fails);
+
+}  // namespace simmr::fuzz

@@ -1,0 +1,184 @@
+#include "fuzz/trace_fuzzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "simcore/distributions.h"
+#include "trace/synthetic_tracegen.h"
+
+namespace simmr::fuzz {
+namespace {
+
+/// The generation corners. Each produces one validated profile.
+enum class Archetype : int {
+  kLogNormal = 0,   // generic: LN durations, mixed waves
+  kUniform,         // generic: uniform durations
+  kZeroReduce,      // map-only job (num_reduces == 0)
+  kSingleTask,      // 1 map, 1 reduce
+  kSingleWave,      // reduces <= slots in any sane config; first-wave only
+  kMassiveSkew,     // one straggler map dominates the stage
+  kZeroDurations,   // everything takes 0 s
+  kTinyDurations,   // sub-millisecond tasks (ordering stress)
+  kArchetypeCount,
+};
+
+constexpr int kBenignArchetypes = 2;  // kLogNormal, kUniform
+
+trace::JobProfile MakeProfile(Archetype kind, const FuzzConfig& config,
+                              int job_index, Rng& rng) {
+  const int max_maps = std::max(1, config.max_maps);
+  const int max_reduces = std::max(1, config.max_reduces);
+
+  trace::SyntheticJobSpec spec;
+  spec.app_name = "fuzz";
+  spec.num_maps = 1 + static_cast<int>(rng.NextBounded(
+                          static_cast<std::uint64_t>(max_maps)));
+  spec.num_reduces = static_cast<int>(
+      rng.NextBounded(static_cast<std::uint64_t>(max_reduces) + 1));
+  spec.first_wave_size = spec.num_reduces == 0
+                             ? 0
+                             : 1 + static_cast<int>(rng.NextBounded(
+                                       static_cast<std::uint64_t>(
+                                           spec.num_reduces)));
+
+  switch (kind) {
+    case Archetype::kLogNormal: {
+      spec.app_name = "fuzz-lognormal";
+      // Seconds-scale LN bodies with a heavy-ish tail.
+      spec.map_duration = std::make_shared<LogNormalDist>(
+          rng.NextDouble(1.0, 4.0), rng.NextDouble(0.3, 1.2));
+      spec.typical_shuffle_duration = std::make_shared<LogNormalDist>(
+          rng.NextDouble(0.5, 3.0), rng.NextDouble(0.3, 1.0));
+      spec.first_shuffle_duration = std::make_shared<LogNormalDist>(
+          rng.NextDouble(0.0, 2.0), rng.NextDouble(0.3, 1.0));
+      spec.reduce_duration = std::make_shared<LogNormalDist>(
+          rng.NextDouble(1.0, 4.0), rng.NextDouble(0.3, 1.2));
+      break;
+    }
+    case Archetype::kUniform: {
+      spec.app_name = "fuzz-uniform";
+      const double hi = rng.NextDouble(1.0, 120.0);
+      spec.map_duration = std::make_shared<UniformDist>(0.1, hi);
+      spec.typical_shuffle_duration =
+          std::make_shared<UniformDist>(0.1, 0.5 * hi);
+      spec.reduce_duration = std::make_shared<UniformDist>(0.1, hi);
+      break;
+    }
+    case Archetype::kZeroReduce: {
+      spec.app_name = "fuzz-zero-reduce";
+      spec.num_reduces = 0;
+      spec.first_wave_size = 0;
+      spec.map_duration = std::make_shared<LogNormalDist>(
+          rng.NextDouble(1.0, 3.5), rng.NextDouble(0.3, 1.0));
+      break;
+    }
+    case Archetype::kSingleTask: {
+      spec.app_name = "fuzz-single-task";
+      spec.num_maps = 1;
+      spec.num_reduces = 1;
+      spec.first_wave_size = 1;
+      spec.map_duration =
+          std::make_shared<DeterministicDist>(rng.NextDouble(0.0, 60.0));
+      spec.typical_shuffle_duration =
+          std::make_shared<DeterministicDist>(rng.NextDouble(0.0, 30.0));
+      spec.reduce_duration =
+          std::make_shared<DeterministicDist>(rng.NextDouble(0.0, 60.0));
+      break;
+    }
+    case Archetype::kSingleWave: {
+      spec.app_name = "fuzz-single-wave";
+      spec.num_reduces =
+          1 + static_cast<int>(rng.NextBounded(
+                  static_cast<std::uint64_t>(std::min(max_reduces, 4))));
+      spec.first_wave_size = spec.num_reduces;  // every reduce is a filler
+      spec.map_duration = std::make_shared<UniformDist>(1.0, 20.0);
+      spec.typical_shuffle_duration =
+          std::make_shared<UniformDist>(0.5, 10.0);
+      spec.first_shuffle_duration = std::make_shared<UniformDist>(0.1, 5.0);
+      spec.reduce_duration = std::make_shared<UniformDist>(1.0, 20.0);
+      break;
+    }
+    case Archetype::kMassiveSkew: {
+      spec.app_name = "fuzz-skew";
+      // Pareto alpha near 1: one map can dominate the whole stage.
+      spec.map_duration =
+          std::make_shared<ParetoDist>(1.0, rng.NextDouble(1.05, 1.5));
+      spec.typical_shuffle_duration =
+          std::make_shared<ParetoDist>(0.5, rng.NextDouble(1.1, 2.0));
+      spec.reduce_duration =
+          std::make_shared<ParetoDist>(1.0, rng.NextDouble(1.05, 1.5));
+      break;
+    }
+    case Archetype::kZeroDurations: {
+      spec.app_name = "fuzz-zero-durations";
+      spec.map_duration = std::make_shared<DeterministicDist>(0.0);
+      spec.typical_shuffle_duration =
+          std::make_shared<DeterministicDist>(0.0);
+      spec.reduce_duration = std::make_shared<DeterministicDist>(0.0);
+      break;
+    }
+    case Archetype::kTinyDurations: {
+      spec.app_name = "fuzz-tiny-durations";
+      spec.map_duration = std::make_shared<UniformDist>(0.0, 1e-3);
+      spec.typical_shuffle_duration =
+          std::make_shared<UniformDist>(0.0, 1e-3);
+      spec.reduce_duration = std::make_shared<UniformDist>(0.0, 1e-3);
+      break;
+    }
+    case Archetype::kArchetypeCount:
+      break;
+  }
+  spec.dataset = "job" + std::to_string(job_index);
+  return trace::SynthesizeProfile(spec, rng);
+}
+
+}  // namespace
+
+std::vector<trace::JobProfile> FuzzProfilePool(const FuzzConfig& config,
+                                               Rng& rng) {
+  const int lo = std::max(1, config.min_jobs);
+  const int hi = std::max(lo, config.max_jobs);
+  const int num_jobs =
+      lo + static_cast<int>(
+               rng.NextBounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  const int archetypes =
+      config.adversarial ? static_cast<int>(Archetype::kArchetypeCount)
+                         : kBenignArchetypes;
+
+  std::vector<trace::JobProfile> pool;
+  pool.reserve(static_cast<std::size_t>(num_jobs));
+  for (int j = 0; j < num_jobs; ++j) {
+    const auto kind = static_cast<Archetype>(
+        rng.NextBounded(static_cast<std::uint64_t>(archetypes)));
+    pool.push_back(MakeProfile(kind, config, j, rng));
+  }
+  return pool;
+}
+
+backend::ReplaySpec FuzzReplaySpec(const FuzzConfig& config,
+                                   std::size_t pool_size, Rng& rng) {
+  (void)config;
+  backend::ReplaySpec spec;
+  static constexpr const char* kPolicies[] = {"fifo", "maxedf", "minedf",
+                                              "fair", "capacity"};
+  spec.policy = kPolicies[rng.NextBounded(5)];
+  spec.map_slots = 1 + static_cast<int>(rng.NextBounded(64));
+  spec.reduce_slots = 1 + static_cast<int>(rng.NextBounded(64));
+  static constexpr double kSlowstarts[] = {0.0, 0.05, 0.5, 1.0};
+  spec.slowstart = kSlowstarts[rng.NextBounded(4)];
+  // 0 = one instance of each pool entry; otherwise resample up to 2x pool.
+  spec.num_jobs =
+      rng.NextBounded(2) == 0
+          ? 0
+          : 1 + static_cast<int>(rng.NextBounded(2 * pool_size + 1));
+  static constexpr double kInterarrivals[] = {0.0, 10.0, 100.0};
+  spec.mean_interarrival_s = kInterarrivals[rng.NextBounded(3)];
+  static constexpr double kDeadlineFactors[] = {0.0, 0.0, 1.0, 1.5, 3.0};
+  spec.deadline_factor = kDeadlineFactors[rng.NextBounded(5)];
+  spec.seed = rng();
+  return spec;
+}
+
+}  // namespace simmr::fuzz

@@ -1,0 +1,41 @@
+// Randomized workload generation for the differential fuzzer.
+//
+// Pools are drawn through the same SyntheticTraceGen machinery the paper's
+// Section V-C workloads use, then steered toward the corners where
+// simulator bugs live: zero-reduce (map-only) jobs, single-task jobs,
+// single-wave reduce stages, massively skewed task durations, zero and
+// near-zero durations, and plain LogNormal/uniform mixes. Everything is a
+// pure function of the supplied Rng, so a pool regenerates bit-identically
+// from (seed, config) — the property the shrinker and reproducers rely on.
+#pragma once
+
+#include <vector>
+
+#include "backend/session.h"
+#include "simcore/rng.h"
+#include "trace/job_profile.h"
+
+namespace simmr::fuzz {
+
+struct FuzzConfig {
+  int min_jobs = 1;
+  int max_jobs = 6;
+  int max_maps = 48;
+  int max_reduces = 12;
+  /// Include the adversarial archetypes (zero durations, massive skew,
+  /// zero-reduce, single-wave). Off = plain LogNormal/uniform jobs only.
+  bool adversarial = true;
+};
+
+/// Draws one randomized profile pool. Every returned profile passes
+/// JobProfile::Validate().
+std::vector<trace::JobProfile> FuzzProfilePool(const FuzzConfig& config,
+                                               Rng& rng);
+
+/// Draws one randomized replay spec (policy, slots, slowstart, arrivals,
+/// deadlines, engine seed) for a pool of `pool_size` profiles. The
+/// returned spec carries no observer.
+backend::ReplaySpec FuzzReplaySpec(const FuzzConfig& config,
+                                   std::size_t pool_size, Rng& rng);
+
+}  // namespace simmr::fuzz

@@ -70,7 +70,10 @@ std::string JobProfile::Validate() const {
 
 void JobProfile::Write(std::ostream& out) const {
   out << kMagic << '\n';
-  out.precision(9);
+  // max_digits10: doubles survive a write/read round trip bit-exactly,
+  // which replayable reproducers (simmr_fuzz) and the database round-trip
+  // tests depend on.
+  out.precision(17);
   out << "app " << (app_name.empty() ? "-" : app_name) << '\n';
   out << "dataset " << (dataset.empty() ? "-" : dataset) << '\n';
   out << "num_maps " << num_maps << '\n';

@@ -1,0 +1,345 @@
+#include "check/invariant_observer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "cluster/app_model.h"
+#include "cluster/cluster_sim.h"
+#include "core/simmr.h"
+#include "fuzz/fault_injection.h"
+#include "mumak/mumak_sim.h"
+#include "mumak/rumen.h"
+#include "sched/fifo.h"
+#include "trace/job_profile.h"
+#include "trace/workload.h"
+
+namespace simmr::check {
+namespace {
+
+trace::JobProfile SmallProfile() {
+  trace::JobProfile p;
+  p.app_name = "uniform";
+  p.dataset = "unit";
+  p.num_maps = 6;
+  p.num_reduces = 2;
+  p.map_durations.assign(6, 10.0);
+  p.first_shuffle_durations.assign(1, 3.0);
+  p.typical_shuffle_durations.assign(1, 1.0);
+  p.reduce_durations.assign(2, 2.0);
+  return p;
+}
+
+trace::WorkloadTrace SmallWorkload() {
+  trace::WorkloadTrace w(2);
+  w[0].profile = SmallProfile();
+  w[1].profile = SmallProfile();
+  w[1].arrival = 5.0;
+  return w;
+}
+
+core::SimResult RunEngine(obs::SimObserver* observer, int map_slots = 2,
+                          int reduce_slots = 2) {
+  core::SimConfig cfg;
+  cfg.map_slots = map_slots;
+  cfg.reduce_slots = reduce_slots;
+  cfg.observer = observer;
+  sched::FifoPolicy fifo;
+  return core::Replay(SmallWorkload(), fifo, cfg);
+}
+
+bool HasInvariant(const std::vector<Violation>& violations,
+                  const std::string& id) {
+  return std::any_of(violations.begin(), violations.end(),
+                     [&](const Violation& v) { return v.invariant == id; });
+}
+
+TEST(InvariantObserver, CleanEngineRunHasNoViolations) {
+  InvariantOptions options;
+  options.map_slots = 2;
+  options.reduce_slots = 2;
+  InvariantObserver inv(options);
+  RunEngine(&inv);
+  inv.FinishRun();
+  EXPECT_TRUE(inv.ok()) << inv.Report();
+  EXPECT_GT(inv.callbacks_seen(), 0u);
+}
+
+TEST(InvariantObserver, ResetAllowsReuseAcrossRuns) {
+  InvariantOptions options;
+  options.map_slots = 2;
+  options.reduce_slots = 2;
+  InvariantObserver inv(options);
+  RunEngine(&inv);
+  inv.FinishRun();
+  ASSERT_TRUE(inv.ok()) << inv.Report();
+  const std::uint64_t first = inv.callbacks_seen();
+
+  inv.Reset();
+  EXPECT_EQ(inv.callbacks_seen(), 0u);
+  RunEngine(&inv);
+  inv.FinishRun();
+  EXPECT_TRUE(inv.ok()) << inv.Report();
+  EXPECT_EQ(inv.callbacks_seen(), first);
+}
+
+TEST(InvariantObserver, DroppedCompletionIsCaught) {
+  InvariantOptions options;
+  options.map_slots = 2;
+  options.reduce_slots = 2;
+  InvariantObserver inv(options);
+  fuzz::FaultInjectingObserver faulty(
+      {fuzz::FaultMode::kDropCompletion, 3}, &inv);
+  RunEngine(&faulty);
+  inv.FinishRun();
+  ASSERT_TRUE(faulty.fired());
+  EXPECT_FALSE(inv.ok());
+  // The swallowed completion leaves its slot occupied forever.
+  EXPECT_TRUE(HasInvariant(inv.violations(), "slot-conservation"))
+      << inv.Report();
+}
+
+TEST(InvariantObserver, DoubleCompletionIsCaught) {
+  InvariantOptions options;
+  options.map_slots = 2;
+  options.reduce_slots = 2;
+  InvariantObserver inv(options);
+  fuzz::FaultInjectingObserver faulty(
+      {fuzz::FaultMode::kDoubleCompletion, 2}, &inv);
+  RunEngine(&faulty);
+  inv.FinishRun();
+  ASSERT_TRUE(faulty.fired());
+  EXPECT_TRUE(HasInvariant(inv.violations(), "task-lifecycle"))
+      << inv.Report();
+}
+
+TEST(InvariantObserver, ClockSkewOnFirstCallbackIsCaught) {
+  // The very first callback has no reference point for the backwards
+  // check; the negative-time rule must still flag it (runs start at t=0).
+  InvariantObserver inv;
+  fuzz::FaultInjectingObserver faulty({fuzz::FaultMode::kClockSkew, 1},
+                                      &inv);
+  RunEngine(&faulty);
+  inv.FinishRun();
+  ASSERT_TRUE(faulty.fired());
+  EXPECT_TRUE(HasInvariant(inv.violations(), "monotonic-clock"))
+      << inv.Report();
+}
+
+TEST(InvariantObserver, ClockSkewMidRunIsCaught) {
+  InvariantObserver inv;
+  fuzz::FaultInjectingObserver faulty({fuzz::FaultMode::kClockSkew, 40},
+                                      &inv);
+  RunEngine(&faulty);
+  inv.FinishRun();
+  ASSERT_TRUE(faulty.fired());
+  EXPECT_TRUE(HasInvariant(inv.violations(), "monotonic-clock"))
+      << inv.Report();
+}
+
+TEST(InvariantObserver, PhantomLaunchIsCaught) {
+  InvariantOptions options;
+  options.map_slots = 2;
+  options.reduce_slots = 2;
+  InvariantObserver inv(options);
+  fuzz::FaultInjectingObserver faulty(
+      {fuzz::FaultMode::kPhantomLaunch, 1}, &inv);
+  RunEngine(&faulty);
+  inv.FinishRun();
+  ASSERT_TRUE(faulty.fired());
+  EXPECT_FALSE(inv.ok());
+  EXPECT_TRUE(HasInvariant(inv.violations(), "task-lifecycle") ||
+              HasInvariant(inv.violations(), "slot-conservation"))
+      << inv.Report();
+}
+
+TEST(InvariantObserver, TestbedRunPassesUnderCausalMode) {
+  cluster::JobSpec spec;
+  spec.app = cluster::apps::WordCount();
+  spec.dataset_label = "unit";
+  spec.input_mb = 8 * 64.0;
+  spec.num_reduces = 4;
+  const std::vector<cluster::SubmittedJob> jobs{{spec, 0.0, 0.0},
+                                                {spec, 30.0, 0.0}};
+  InvariantOptions options;
+  options.strictness = Strictness::kCausal;
+  InvariantObserver inv(options);
+  cluster::TestbedOptions opts;
+  opts.config.num_nodes = 4;
+  opts.seed = 7;
+  opts.observer = &inv;
+  cluster::RunTestbed(jobs, opts);
+  inv.FinishRun();
+  EXPECT_TRUE(inv.ok()) << inv.Report();
+  EXPECT_GT(inv.callbacks_seen(), 0u);
+}
+
+TEST(InvariantObserver, MumakRunPassesUnderCausalMode) {
+  const std::vector<trace::JobProfile> pool{SmallProfile()};
+  const std::vector<SimTime> arrivals{0.0};
+  mumak::MumakConfig config;
+  InvariantOptions options;
+  options.strictness = Strictness::kCausal;
+  options.map_slots = config.num_nodes * config.map_slots_per_node;
+  options.reduce_slots = config.num_nodes * config.reduce_slots_per_node;
+  InvariantObserver inv(options);
+  config.observer = &inv;
+  mumak::RunMumak(mumak::RumenTrace::FromProfiles(pool, arrivals), config);
+  inv.FinishRun();
+  EXPECT_TRUE(inv.ok()) << inv.Report();
+  EXPECT_GT(inv.callbacks_seen(), 0u);
+}
+
+// Targeted micro-tests driving the observer hooks directly: each exercises
+// one rule in isolation, with a hand-built callback stream.
+
+TEST(InvariantObserver, FlagsNegativeTime) {
+  InvariantObserver inv;
+  inv.OnEventDequeue(-1.0, "X", 0);
+  EXPECT_TRUE(HasInvariant(inv.violations(), "monotonic-clock"));
+}
+
+TEST(InvariantObserver, FlagsBackwardsClock) {
+  InvariantObserver inv;
+  inv.OnEventDequeue(10.0, "X", 0);
+  inv.OnEventDequeue(9.0, "X", 0);
+  EXPECT_TRUE(HasInvariant(inv.violations(), "monotonic-clock"));
+}
+
+TEST(InvariantObserver, FlagsNaNTime) {
+  InvariantObserver inv;
+  inv.OnEventDequeue(std::nan(""), "X", 0);
+  EXPECT_TRUE(HasInvariant(inv.violations(), "monotonic-clock"));
+}
+
+TEST(InvariantObserver, FlagsDoubleArrival) {
+  InvariantObserver inv;
+  inv.OnJobArrival(0.0, 1, "job", 0.0);
+  inv.OnJobArrival(1.0, 1, "job", 0.0);
+  EXPECT_TRUE(HasInvariant(inv.violations(), "task-lifecycle"));
+}
+
+TEST(InvariantObserver, FlagsLaunchForUnknownJob) {
+  InvariantObserver inv;
+  inv.OnTaskLaunch(0.0, 9, obs::TaskKind::kMap, 0);
+  EXPECT_TRUE(HasInvariant(inv.violations(), "task-lifecycle"));
+}
+
+TEST(InvariantObserver, FlagsCompletionWithoutLaunch) {
+  InvariantObserver inv;
+  inv.OnJobArrival(0.0, 1, "job", 0.0);
+  inv.OnTaskCompletion(5.0, 1, obs::TaskKind::kMap, 0, {0.0, 0.0, 5.0},
+                       true);
+  EXPECT_TRUE(HasInvariant(inv.violations(), "task-lifecycle"));
+  EXPECT_TRUE(HasInvariant(inv.violations(), "slot-conservation"));
+}
+
+TEST(InvariantObserver, FlagsSlotOversubscription) {
+  InvariantOptions options;
+  options.map_slots = 1;
+  InvariantObserver inv(options);
+  inv.OnJobArrival(0.0, 1, "job", 0.0);
+  inv.OnTaskLaunch(0.0, 1, obs::TaskKind::kMap, 0);
+  inv.OnTaskLaunch(0.0, 1, obs::TaskKind::kMap, 1);
+  EXPECT_TRUE(HasInvariant(inv.violations(), "slot-conservation"));
+}
+
+TEST(InvariantObserver, FlagsUnpatchedFillerTiming) {
+  InvariantObserver inv;
+  inv.OnJobArrival(0.0, 1, "job", 0.0);
+  inv.OnTaskLaunch(0.0, 1, obs::TaskKind::kReduce, 0);
+  // An unpatched filler carries the infinite placeholder duration.
+  const double inf = std::numeric_limits<double>::infinity();
+  inv.OnTaskCompletion(10.0, 1, obs::TaskKind::kReduce, 0,
+                       {0.0, inf, inf}, true);
+  EXPECT_TRUE(HasInvariant(inv.violations(), "shuffle-causality"));
+}
+
+TEST(InvariantObserver, FlagsFirstWaveShuffleEndingBeforeMapStage) {
+  InvariantObserver inv;
+  inv.OnJobArrival(0.0, 1, "job", 0.0);
+  inv.OnTaskLaunch(0.0, 1, obs::TaskKind::kMap, 0);
+  inv.OnTaskLaunch(0.0, 1, obs::TaskKind::kReduce, 0);
+  // The reduce launched during the map stage (first wave) but its shuffle
+  // "finished" before the map stage did — illegal under the paper's
+  // non-overlapping first-shuffle model.
+  inv.OnTaskCompletion(8.0, 1, obs::TaskKind::kReduce, 0, {0.0, 4.0, 8.0},
+                       true);
+  inv.OnTaskCompletion(10.0, 1, obs::TaskKind::kMap, 0, {0.0, 0.0, 10.0},
+                       true);
+  inv.OnJobCompletion(10.0, 1);
+  EXPECT_TRUE(HasInvariant(inv.violations(), "shuffle-causality"))
+      << inv.Report();
+}
+
+TEST(InvariantObserver, FlagsJobCompletionBeforeLastDeparture) {
+  InvariantObserver inv;
+  inv.OnJobArrival(0.0, 1, "job", 0.0);
+  inv.OnTaskLaunch(0.0, 1, obs::TaskKind::kMap, 0);
+  inv.OnTaskCompletion(10.0, 1, obs::TaskKind::kMap, 0, {0.0, 0.0, 10.0},
+                       true);
+  inv.OnJobCompletion(8.0, 1);  // backwards clock AND bad accounting
+  EXPECT_TRUE(HasInvariant(inv.violations(), "job-accounting"));
+}
+
+TEST(InvariantObserver, FinishRunFlagsUnfinishedJob) {
+  InvariantObserver inv;
+  inv.OnJobArrival(0.0, 1, "job", 0.0);
+  inv.FinishRun();
+  EXPECT_TRUE(HasInvariant(inv.violations(), "job-accounting"));
+}
+
+TEST(InvariantObserver, FinishRunFlagsOccupiedSlots) {
+  InvariantObserver inv;
+  inv.OnJobArrival(0.0, 1, "job", 0.0);
+  inv.OnTaskLaunch(0.0, 1, obs::TaskKind::kMap, 0);
+  inv.FinishRun();
+  EXPECT_TRUE(HasInvariant(inv.violations(), "slot-conservation"));
+}
+
+TEST(InvariantObserver, FinishRunIsIdempotent) {
+  InvariantObserver inv;
+  inv.OnJobArrival(0.0, 1, "job", 0.0);
+  inv.FinishRun();
+  const std::size_t count = inv.violations().size();
+  inv.FinishRun();
+  EXPECT_EQ(inv.violations().size(), count);
+}
+
+TEST(InvariantObserver, MaxViolationsBoundsTheReport) {
+  InvariantOptions options;
+  options.max_violations = 3;
+  InvariantObserver inv(options);
+  for (int i = 0; i < 10; ++i) inv.OnEventDequeue(-1.0, "X", 0);
+  EXPECT_EQ(inv.violations().size(), 3u);
+}
+
+TEST(InvariantObserver, CausalModeToleratesHeartbeatLag) {
+  InvariantOptions options;
+  options.strictness = Strictness::kCausal;
+  InvariantObserver inv(options);
+  inv.OnJobArrival(0.0, 1, "job", 0.0);
+  inv.OnTaskLaunch(0.0, 1, obs::TaskKind::kMap, 0);
+  // Visible 3 s after the task actually ended (next heartbeat) — legal.
+  inv.OnTaskCompletion(13.0, 1, obs::TaskKind::kMap, 0, {0.0, 0.0, 10.0},
+                       true);
+  inv.OnJobCompletion(16.0, 1);
+  inv.FinishRun();
+  EXPECT_TRUE(inv.ok()) << inv.Report();
+}
+
+TEST(FormatViolations, OnePerLineWithInvariantAndJob) {
+  std::vector<Violation> vs;
+  vs.push_back({"monotonic-clock", "went backwards", 3.5, -1});
+  vs.push_back({"job-accounting", "never completed", 9.0, 4});
+  const std::string report = FormatViolations(vs);
+  EXPECT_NE(report.find("[monotonic-clock] t=3.5"), std::string::npos);
+  EXPECT_NE(report.find("[job-accounting] t=9 job=4"), std::string::npos);
+  EXPECT_EQ(std::count(report.begin(), report.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace simmr::check

@@ -1,0 +1,109 @@
+#include "check/oracles.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "trace/job_profile.h"
+
+namespace simmr::check {
+namespace {
+
+trace::JobProfile UniformProfile() {
+  trace::JobProfile p;
+  p.app_name = "uniform";
+  p.dataset = "oracle";
+  p.num_maps = 32;
+  p.num_reduces = 8;
+  p.map_durations.assign(32, 10.0);
+  p.first_shuffle_durations.assign(2, 3.0);
+  p.typical_shuffle_durations.assign(6, 1.0);
+  p.reduce_durations.assign(8, 2.0);
+  return p;
+}
+
+TEST(SoloAriaBounds, UniformProfileFallsWithinBounds) {
+  const SoloBoundsResult r = CheckSoloAriaBounds(UniformProfile());
+  EXPECT_LE(r.lower, r.upper);
+  EXPECT_TRUE(r.within) << r.simulated << " outside [" << r.lower << ", "
+                        << r.upper << "]";
+  EXPECT_GT(r.simulated, 0.0);
+}
+
+TEST(SoloAriaBounds, HoldsAcrossSlotConfigurations) {
+  for (const int slots : {1, 4, 16, 64}) {
+    SoloBoundsOptions options;
+    options.map_slots = slots;
+    options.reduce_slots = slots;
+    const SoloBoundsResult r = CheckSoloAriaBounds(UniformProfile(), options);
+    EXPECT_TRUE(r.within)
+        << "at " << slots << "x" << slots << " slots: " << r.simulated
+        << " outside [" << r.lower << ", " << r.upper << "]";
+  }
+}
+
+TEST(SoloAriaBounds, SingleMapSkewProfileStaysAboveLowerBound) {
+  // Regression for a fuzzer find (seed 12345, case 43): with a single map
+  // the slowstart gate only opens once the map stage is done, so no reduce
+  // ever pays the recorded first-wave shuffle. The lower bound must not
+  // charge the (large, positive) first-shuffle correction unconditionally.
+  trace::JobProfile p;
+  p.app_name = "fuzz-skew";
+  p.dataset = "regression";
+  p.num_maps = 1;
+  p.num_reduces = 2;
+  p.map_durations = {1.584278534330871};
+  p.first_shuffle_durations = {5.9386992994495396};
+  p.typical_shuffle_durations = {0.86704888618407205};
+  p.reduce_durations = {1.5738384347605978, 2.5081061374475939};
+
+  const SoloBoundsResult r = CheckSoloAriaBounds(p);
+  EXPECT_TRUE(r.within) << r.simulated << " outside [" << r.lower << ", "
+                        << r.upper << "]";
+}
+
+TEST(SoloAriaBounds, MapOnlyJobIsSupported) {
+  trace::JobProfile p;
+  p.app_name = "map-only";
+  p.dataset = "oracle";
+  p.num_maps = 8;
+  p.num_reduces = 0;
+  p.map_durations.assign(8, 5.0);
+  const SoloBoundsResult r = CheckSoloAriaBounds(p);
+  EXPECT_LE(r.lower, r.upper);
+  EXPECT_TRUE(r.within) << r.simulated << " outside [" << r.lower << ", "
+                        << r.upper << "]";
+}
+
+TEST(SoloAriaBounds, InvalidProfileThrows) {
+  trace::JobProfile p;
+  p.app_name = "broken";
+  p.num_maps = 4;
+  p.num_reduces = 0;
+  // map_durations left empty: fails JobProfile::Validate().
+  EXPECT_THROW(CheckSoloAriaBounds(p), std::invalid_argument);
+}
+
+TEST(VerifySoloAriaBounds, CleanPoolProducesNoViolations) {
+  const std::vector<trace::JobProfile> pool{UniformProfile(),
+                                            UniformProfile()};
+  EXPECT_TRUE(VerifySoloAriaBounds(pool).empty());
+}
+
+TEST(VerifySoloAriaBounds, ImpossibleToleranceFlagsEveryJob) {
+  // Shrink the band to a point the simulation cannot hit: negative
+  // relative tolerance narrows [lower, upper] until it excludes the
+  // simulated completion, proving the oracle actually fires.
+  SoloBoundsOptions options;
+  options.rel_tolerance = -0.99;
+  options.abs_tolerance = 0.0;
+  const std::vector<trace::JobProfile> pool{UniformProfile()};
+  const auto violations = VerifySoloAriaBounds(pool, options);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].invariant, "aria-bounds");
+  EXPECT_EQ(violations[0].job, 0);
+}
+
+}  // namespace
+}  // namespace simmr::check

@@ -1,0 +1,148 @@
+#include "fuzz/differential.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "backend/run_result.h"
+
+namespace simmr::fuzz {
+namespace {
+
+backend::RunResult SampleResult() {
+  backend::RunResult r;
+  r.simulator = "simmr";
+  r.events_processed = 120;
+  r.makespan = 42.5;
+  backend::JobOutcome j0;
+  j0.job = 0;
+  j0.name = "alpha/one";
+  j0.submit = 0.0;
+  j0.first_launch = 0.0;
+  j0.map_stage_end = 20.0;
+  j0.finish = 40.0;
+  backend::JobOutcome j1 = j0;
+  j1.job = 1;
+  j1.name = "beta/two";
+  j1.submit = 5.0;
+  j1.finish = 42.5;
+  j1.deadline = 60.0;
+  r.jobs = {j0, j1};
+  core::SimTaskRecord t;
+  t.job = 0;
+  t.kind = core::SimTaskKind::kMap;
+  t.start = 0.0;
+  t.shuffle_end = 0.0;
+  t.end = 10.0;
+  r.tasks = {t};
+  return r;
+}
+
+TEST(CompareRunResults, IdenticalResultsAgree) {
+  const auto a = SampleResult();
+  const auto b = SampleResult();
+  EXPECT_TRUE(CompareRunResults(a, b, "same").empty());
+}
+
+TEST(CompareRunResults, FlagsMakespanDrift) {
+  const auto a = SampleResult();
+  auto b = SampleResult();
+  b.makespan += 1e-9;  // exact mode: even an ulp-scale drift is a bug
+  const auto violations = CompareRunResults(a, b, "drift");
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].invariant, "differential");
+  EXPECT_NE(violations[0].detail.find("drift"), std::string::npos);
+  EXPECT_NE(violations[0].detail.find("makespan"), std::string::npos);
+}
+
+TEST(CompareRunResults, FlagsJobCountMismatchAndStops) {
+  const auto a = SampleResult();
+  auto b = SampleResult();
+  b.jobs.pop_back();
+  b.makespan = 0.0;
+  const auto violations = CompareRunResults(a, b, "count");
+  // Per-job and aggregate comparison is meaningless once the counts
+  // differ, so exactly one violation comes back.
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].detail.find("job count"), std::string::npos);
+}
+
+TEST(CompareRunResults, FlagsPerJobFinishWithJobId) {
+  const auto a = SampleResult();
+  auto b = SampleResult();
+  b.jobs[1].finish += 0.5;
+  const auto violations = CompareRunResults(a, b, "job");
+  ASSERT_FALSE(violations.empty());
+  EXPECT_TRUE(std::any_of(violations.begin(), violations.end(),
+                          [](const check::Violation& v) {
+                            return v.job == 1 &&
+                                   v.detail.find("finish") !=
+                                       std::string::npos;
+                          }));
+}
+
+TEST(CompareRunResults, ToleranceAbsorbsModelingError) {
+  const auto a = SampleResult();
+  auto b = SampleResult();
+  b.makespan *= 1.04;  // 4% off
+  b.jobs[0].finish *= 1.04;
+  b.jobs[1].finish *= 1.04;
+  CompareOptions options;
+  options.rel_tolerance = 0.05;
+  options.compare_events = false;
+  const auto violations = CompareRunResults(a, b, "tolerant", options);
+  EXPECT_TRUE(violations.empty()) << check::FormatViolations(violations);
+}
+
+TEST(CompareRunResults, EventCountCheckCanBeDisabled) {
+  const auto a = SampleResult();
+  auto b = SampleResult();
+  b.events_processed += 7;
+  EXPECT_FALSE(CompareRunResults(a, b, "ev").empty());
+  CompareOptions options;
+  options.compare_events = false;
+  EXPECT_TRUE(CompareRunResults(a, b, "ev", options).empty());
+}
+
+TEST(CompareRunResults, TaskComparisonSkipsWhenOneSideEmpty) {
+  const auto a = SampleResult();
+  auto b = SampleResult();
+  b.tasks.clear();  // record_tasks off on one side: not a divergence
+  EXPECT_TRUE(CompareRunResults(a, b, "tasks").empty());
+}
+
+TEST(CompareRunResults, FlagsTaskTimingDrift) {
+  const auto a = SampleResult();
+  auto b = SampleResult();
+  b.tasks[0].end += 1.0;
+  const auto violations = CompareRunResults(a, b, "tasks");
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].detail.find("task end"), std::string::npos);
+
+  CompareOptions options;
+  options.compare_tasks = false;
+  EXPECT_TRUE(CompareRunResults(a, b, "tasks", options).empty());
+}
+
+TEST(CompareRunResults, StageTimeCheckCanBeDisabled) {
+  const auto a = SampleResult();
+  auto b = SampleResult();
+  b.jobs[0].map_stage_end += 2.0;
+  EXPECT_FALSE(CompareRunResults(a, b, "stage").empty());
+  CompareOptions options;
+  options.compare_stage_times = false;
+  EXPECT_TRUE(CompareRunResults(a, b, "stage", options).empty());
+}
+
+TEST(CompareRunResults, SharedInfinitiesAgree) {
+  // Unknown timestamps (-1) and shared infinities must not trip the
+  // tolerance math.
+  auto a = SampleResult();
+  auto b = SampleResult();
+  a.jobs[0].first_launch = -1.0;
+  b.jobs[0].first_launch = -1.0;
+  EXPECT_TRUE(CompareRunResults(a, b, "inf").empty());
+}
+
+}  // namespace
+}  // namespace simmr::fuzz

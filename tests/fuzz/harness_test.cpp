@@ -1,0 +1,115 @@
+#include "fuzz/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "check/invariant_observer.h"
+#include "trace/job_profile.h"
+
+namespace simmr::fuzz {
+namespace {
+
+std::vector<trace::JobProfile> SmallPool() {
+  trace::JobProfile p;
+  p.app_name = "battery";
+  p.dataset = "unit";
+  p.num_maps = 8;
+  p.num_reduces = 3;
+  p.map_durations.assign(8, 10.0);
+  p.first_shuffle_durations.assign(1, 3.0);
+  p.typical_shuffle_durations.assign(2, 1.0);
+  p.reduce_durations.assign(3, 2.0);
+  return {p, p};
+}
+
+backend::ReplaySpec SmallSpec() {
+  backend::ReplaySpec spec;
+  spec.policy = "fifo";
+  spec.map_slots = 4;
+  spec.reduce_slots = 2;
+  spec.seed = 42;
+  return spec;
+}
+
+TEST(RunCheckBattery, CleanCasePassesEveryLayer) {
+  const BatteryResult result = RunCheckBattery(SmallPool(), SmallSpec());
+  EXPECT_TRUE(result.ok()) << check::FormatViolations(result.violations);
+  EXPECT_GT(result.callbacks_seen, 0u);
+}
+
+TEST(RunCheckBattery, IsDeterministic) {
+  const BatteryResult a = RunCheckBattery(SmallPool(), SmallSpec());
+  const BatteryResult b = RunCheckBattery(SmallPool(), SmallSpec());
+  EXPECT_EQ(a.callbacks_seen, b.callbacks_seen);
+  EXPECT_EQ(check::FormatViolations(a.violations),
+            check::FormatViolations(b.violations));
+}
+
+TEST(RunCheckBattery, EveryFaultClassIsCaught) {
+  for (const FaultMode mode :
+       {FaultMode::kDropCompletion, FaultMode::kDoubleCompletion,
+        FaultMode::kClockSkew, FaultMode::kPhantomLaunch}) {
+    BatteryOptions options;
+    options.fault = {mode, 2};
+    // The fault corrupts only the observer stream; the differential and
+    // oracle layers would (correctly) see nothing wrong, so the invariant
+    // layer alone must convict.
+    options.run_differentials = false;
+    options.run_thread_differential = false;
+    options.run_mumak = false;
+    options.run_aria_oracle = false;
+    const BatteryResult result =
+        RunCheckBattery(SmallPool(), SmallSpec(), options);
+    EXPECT_FALSE(result.ok())
+        << FaultModeName(mode) << " slipped past the invariant layer";
+  }
+}
+
+TEST(RunCheckBattery, FaultReportsSurviveFullBattery) {
+  BatteryOptions options;
+  options.fault = {FaultMode::kDropCompletion, 1};
+  const BatteryResult result =
+      RunCheckBattery(SmallPool(), SmallSpec(), options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(RunCheckBattery, LayersCanBeDisabledIndependently) {
+  BatteryOptions options;
+  options.run_differentials = false;
+  options.run_thread_differential = false;
+  options.run_mumak = false;
+  options.run_aria_oracle = false;
+  const BatteryResult result =
+      RunCheckBattery(SmallPool(), SmallSpec(), options);
+  EXPECT_TRUE(result.ok()) << check::FormatViolations(result.violations);
+  EXPECT_GT(result.callbacks_seen, 0u);
+}
+
+TEST(RunCheckBattery, DeadlineSpecExercisesSoloMeasurement) {
+  backend::ReplaySpec spec = SmallSpec();
+  spec.deadline_factor = 2.0;
+  spec.policy = "maxedf";
+  const BatteryResult result = RunCheckBattery(SmallPool(), spec);
+  EXPECT_TRUE(result.ok()) << check::FormatViolations(result.violations);
+}
+
+TEST(RunCheckBattery, UnknownPolicyThrows) {
+  backend::ReplaySpec spec = SmallSpec();
+  spec.policy = "round-robin";
+  EXPECT_THROW(RunCheckBattery(SmallPool(), spec), std::invalid_argument);
+}
+
+TEST(RunCheckBattery, SuppliedObserverIsIgnored) {
+  // The battery wires its own observers; a stray one in the spec must not
+  // double-report or corrupt the differential baselines.
+  check::InvariantObserver stray;
+  backend::ReplaySpec spec = SmallSpec();
+  spec.observer = &stray;
+  const BatteryResult result = RunCheckBattery(SmallPool(), spec);
+  EXPECT_TRUE(result.ok()) << check::FormatViolations(result.violations);
+}
+
+}  // namespace
+}  // namespace simmr::fuzz

@@ -1,0 +1,126 @@
+#include "fuzz/shrinker.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "trace/job_profile.h"
+
+namespace simmr::fuzz {
+namespace {
+
+trace::JobProfile Profile(const std::string& app, int maps, int reduces,
+                          double dur = 10.0) {
+  trace::JobProfile p;
+  p.app_name = app;
+  p.dataset = "shrink";
+  p.num_maps = maps;
+  p.num_reduces = reduces;
+  p.map_durations.assign(static_cast<std::size_t>(maps), dur);
+  if (reduces > 0) {
+    p.first_shuffle_durations.assign(1, dur);
+    p.typical_shuffle_durations.assign(static_cast<std::size_t>(reduces - 1),
+                                       dur);
+    p.reduce_durations.assign(static_cast<std::size_t>(reduces), dur);
+  }
+  return p;
+}
+
+TEST(ShrinkFailure, DropsIrrelevantJobs) {
+  // The "failure" only needs the one bad job; everything else must go.
+  std::vector<trace::JobProfile> pool;
+  for (int i = 0; i < 8; ++i) pool.push_back(Profile("filler", 16, 4));
+  pool.insert(pool.begin() + 3, Profile("bad", 16, 4));
+
+  const auto fails = [](const std::vector<trace::JobProfile>& p,
+                        const backend::ReplaySpec&) {
+    for (const auto& job : p)
+      if (job.app_name == "bad") return true;
+    return false;
+  };
+  const ShrinkResult shrunk = ShrinkFailure(pool, backend::ReplaySpec{},
+                                            fails);
+  ASSERT_EQ(shrunk.pool.size(), 1u);
+  EXPECT_EQ(shrunk.pool[0].app_name, "bad");
+  EXPECT_TRUE(fails(shrunk.pool, shrunk.spec));
+  EXPECT_GT(shrunk.probes, 1u);
+}
+
+TEST(ShrinkFailure, HalvesTaskArrays) {
+  std::vector<trace::JobProfile> pool{Profile("bad", 48, 12)};
+  const auto fails = [](const std::vector<trace::JobProfile>& p,
+                        const backend::ReplaySpec&) {
+    return !p.empty() && p[0].app_name == "bad";
+  };
+  const ShrinkResult shrunk = ShrinkFailure(pool, backend::ReplaySpec{},
+                                            fails);
+  ASSERT_EQ(shrunk.pool.size(), 1u);
+  // Task counts shrink to the minimum that still fails (the predicate
+  // only cares about the name, so: one map, zero reduces).
+  EXPECT_LE(shrunk.pool[0].num_maps, 2);
+  EXPECT_LE(shrunk.pool[0].num_reduces, 1);
+  EXPECT_EQ(shrunk.pool[0].Validate(), "");
+}
+
+TEST(ShrinkFailure, EveryCandidateStaysValid) {
+  std::vector<trace::JobProfile> pool{Profile("a", 20, 6),
+                                      Profile("b", 32, 8)};
+  std::uint64_t invalid = 0;
+  const auto fails = [&invalid](const std::vector<trace::JobProfile>& p,
+                                const backend::ReplaySpec&) {
+    for (const auto& job : p)
+      if (!job.Validate().empty()) ++invalid;
+    return p.size() >= 2;  // fails while both jobs survive
+  };
+  const ShrinkResult shrunk = ShrinkFailure(pool, backend::ReplaySpec{},
+                                            fails);
+  EXPECT_EQ(invalid, 0u);
+  EXPECT_EQ(shrunk.pool.size(), 2u);
+  for (const auto& job : shrunk.pool) EXPECT_EQ(job.Validate(), "");
+}
+
+TEST(ShrinkFailure, SimplifiesTheReplaySpec) {
+  std::vector<trace::JobProfile> pool{Profile("bad", 8, 2)};
+  backend::ReplaySpec spec;
+  spec.num_jobs = 12;
+  spec.mean_interarrival_s = 100.0;
+  spec.deadline_factor = 3.0;
+  const auto fails = [](const std::vector<trace::JobProfile>& p,
+                        const backend::ReplaySpec&) {
+    return !p.empty() && p[0].app_name == "bad";
+  };
+  const ShrinkResult shrunk = ShrinkFailure(pool, spec, fails);
+  // The failure does not depend on the workload-assembly knobs, so they
+  // collapse to their simplest settings.
+  EXPECT_EQ(shrunk.spec.num_jobs, 0);
+  EXPECT_EQ(shrunk.spec.mean_interarrival_s, 0.0);
+  EXPECT_EQ(shrunk.spec.deadline_factor, 0.0);
+}
+
+TEST(ShrinkFailure, NonFailingInputReturnsUnchanged) {
+  const std::vector<trace::JobProfile> pool{Profile("a", 8, 2),
+                                            Profile("b", 4, 1)};
+  const auto never = [](const std::vector<trace::JobProfile>&,
+                        const backend::ReplaySpec&) { return false; };
+  const ShrinkResult shrunk = ShrinkFailure(pool, backend::ReplaySpec{},
+                                            never);
+  EXPECT_EQ(shrunk.pool.size(), pool.size());
+  EXPECT_EQ(shrunk.probes, 1u);
+  EXPECT_EQ(shrunk.rounds, 0);
+}
+
+TEST(ShrinkFailure, ZeroesDurationsWhenIrrelevant) {
+  std::vector<trace::JobProfile> pool{Profile("bad", 4, 2, 37.5)};
+  const auto fails = [](const std::vector<trace::JobProfile>& p,
+                        const backend::ReplaySpec&) {
+    return !p.empty() && p[0].app_name == "bad";
+  };
+  const ShrinkResult shrunk = ShrinkFailure(pool, backend::ReplaySpec{},
+                                            fails);
+  ASSERT_FALSE(shrunk.pool.empty());
+  for (const double d : shrunk.pool[0].map_durations) EXPECT_EQ(d, 0.0);
+}
+
+}  // namespace
+}  // namespace simmr::fuzz

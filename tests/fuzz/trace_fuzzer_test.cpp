@@ -1,0 +1,118 @@
+#include "fuzz/trace_fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "simcore/rng.h"
+#include "trace/job_profile.h"
+
+namespace simmr::fuzz {
+namespace {
+
+TEST(FuzzProfilePool, EveryDrawValidates) {
+  const FuzzConfig config;
+  Rng master(7);
+  for (int i = 0; i < 200; ++i) {
+    Rng rng = master.Split("pool", static_cast<std::uint64_t>(i));
+    const auto pool = FuzzProfilePool(config, rng);
+    ASSERT_FALSE(pool.empty());
+    ASSERT_LE(pool.size(), static_cast<std::size_t>(config.max_jobs));
+    for (const auto& p : pool) {
+      EXPECT_EQ(p.Validate(), "") << "case " << i << " profile " << p.app_name;
+      EXPECT_GE(p.num_maps, 1);
+      EXPECT_LE(p.num_maps, config.max_maps);
+      EXPECT_LE(p.num_reduces, config.max_reduces);
+    }
+  }
+}
+
+TEST(FuzzProfilePool, RegeneratesBitIdenticallyFromEqualSeeds) {
+  const FuzzConfig config;
+  for (const std::uint64_t seed : {1ULL, 42ULL, 0xDEADBEEFULL}) {
+    Rng a(seed);
+    Rng b(seed);
+    const auto pool_a = FuzzProfilePool(config, a);
+    const auto pool_b = FuzzProfilePool(config, b);
+    ASSERT_EQ(pool_a.size(), pool_b.size());
+    for (std::size_t i = 0; i < pool_a.size(); ++i)
+      EXPECT_EQ(pool_a[i], pool_b[i]) << "seed " << seed << " job " << i;
+  }
+}
+
+TEST(FuzzProfilePool, BenignModeAvoidsAdversarialCorners) {
+  FuzzConfig config;
+  config.adversarial = false;
+  Rng master(11);
+  for (int i = 0; i < 100; ++i) {
+    Rng rng = master.Split("benign", static_cast<std::uint64_t>(i));
+    for (const auto& p : FuzzProfilePool(config, rng)) {
+      for (const double d : p.map_durations) EXPECT_GT(d, 0.0);
+      for (const double d : p.reduce_durations) EXPECT_GT(d, 0.0);
+    }
+  }
+}
+
+TEST(FuzzProfilePool, AdversarialModeReachesTheCorners) {
+  // Over enough draws the adversarial archetypes must actually appear:
+  // map-only jobs, single-task jobs, and zeroed durations. A fuzzer that
+  // never leaves the benign region checks nothing extra.
+  const FuzzConfig config;
+  Rng master(3);
+  bool saw_zero_reduce = false;
+  bool saw_single_task = false;
+  bool saw_zero_duration = false;
+  for (int i = 0; i < 300; ++i) {
+    Rng rng = master.Split("corners", static_cast<std::uint64_t>(i));
+    for (const auto& p : FuzzProfilePool(config, rng)) {
+      if (p.num_reduces == 0) saw_zero_reduce = true;
+      if (p.num_maps == 1 && p.num_reduces <= 1) saw_single_task = true;
+      for (const double d : p.map_durations)
+        if (d == 0.0) saw_zero_duration = true;
+    }
+  }
+  EXPECT_TRUE(saw_zero_reduce);
+  EXPECT_TRUE(saw_single_task);
+  EXPECT_TRUE(saw_zero_duration);
+}
+
+TEST(FuzzReplaySpec, DrawsLegalSpecs) {
+  const FuzzConfig config;
+  const std::set<std::string> policies{"fifo", "maxedf", "minedf", "fair",
+                                       "capacity"};
+  Rng master(19);
+  for (int i = 0; i < 200; ++i) {
+    Rng rng = master.Split("spec", static_cast<std::uint64_t>(i));
+    const auto spec = FuzzReplaySpec(config, 3, rng);
+    EXPECT_TRUE(policies.count(spec.policy)) << spec.policy;
+    EXPECT_GE(spec.map_slots, 1);
+    EXPECT_LE(spec.map_slots, 64);
+    EXPECT_GE(spec.reduce_slots, 1);
+    EXPECT_LE(spec.reduce_slots, 64);
+    EXPECT_GE(spec.slowstart, 0.0);
+    EXPECT_LE(spec.slowstart, 1.0);
+    EXPECT_GE(spec.mean_interarrival_s, 0.0);
+    EXPECT_EQ(spec.observer, nullptr);
+  }
+}
+
+TEST(FuzzReplaySpec, RegeneratesBitIdenticallyFromEqualSeeds) {
+  const FuzzConfig config;
+  Rng a(99);
+  Rng b(99);
+  const auto spec_a = FuzzReplaySpec(config, 4, a);
+  const auto spec_b = FuzzReplaySpec(config, 4, b);
+  EXPECT_EQ(spec_a.policy, spec_b.policy);
+  EXPECT_EQ(spec_a.map_slots, spec_b.map_slots);
+  EXPECT_EQ(spec_a.reduce_slots, spec_b.reduce_slots);
+  EXPECT_EQ(spec_a.slowstart, spec_b.slowstart);
+  EXPECT_EQ(spec_a.num_jobs, spec_b.num_jobs);
+  EXPECT_EQ(spec_a.mean_interarrival_s, spec_b.mean_interarrival_s);
+  EXPECT_EQ(spec_a.deadline_factor, spec_b.deadline_factor);
+  EXPECT_EQ(spec_a.seed, spec_b.seed);
+}
+
+}  // namespace
+}  // namespace simmr::fuzz

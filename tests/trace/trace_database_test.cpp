@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
 
 namespace simmr::trace {
 namespace {
@@ -24,7 +27,12 @@ JobProfile Profile(const std::string& app, const std::string& dataset) {
 class TraceDatabaseTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "simmr_tracedb_test";
+    // Per-test directory: ctest runs each TEST as its own process, often
+    // in parallel, and a shared path would let one test's SetUp wipe
+    // another's files mid-run.
+    dir_ = fs::temp_directory_path() /
+           (std::string("simmr_tracedb_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
     fs::remove_all(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }
@@ -122,6 +130,79 @@ TEST_F(TraceDatabaseTest, EmptyDatabaseRoundTrips) {
   db.Save(dir_.string());
   const TraceDatabase loaded = TraceDatabase::Load(dir_.string());
   EXPECT_TRUE(loaded.empty());
+}
+
+TEST_F(TraceDatabaseTest, RoundTripIsBitExactForAwkwardDoubles) {
+  // Durations that have no short decimal form: the persisted profile must
+  // come back bit-identical (Write serializes at max_digits10), which is
+  // what makes fuzzer reproducers and golden comparisons meaningful.
+  JobProfile p = Profile("Awkward", "doubles");
+  p.map_durations = {1.0 / 3.0, 0.1, 5.9386992994495396};
+  p.num_maps = 3;
+  p.typical_shuffle_durations = {0.86704888618407205};
+  p.reduce_durations = {2.5081061374475939};
+
+  TraceDatabase db;
+  db.Put(p);
+  db.Save(dir_.string());
+  const TraceDatabase loaded = TraceDatabase::Load(dir_.string());
+  EXPECT_EQ(loaded.Get(0), p);  // operator== compares doubles exactly
+}
+
+TEST_F(TraceDatabaseTest, ResaveIsByteIdentical) {
+  // Save -> Load -> Save must reproduce the same bytes: the on-disk form
+  // is a fixpoint, so re-persisting a database never churns diffs.
+  TraceDatabase db;
+  JobProfile p = Profile("Fixpoint", "bytes");
+  p.map_durations = {1.0 / 3.0, 2.718281828459045};
+  db.Put(p);
+  db.Save(dir_.string());
+  const auto read_file = [](const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  };
+  const std::string first = read_file(dir_ / "profile_0.trace");
+
+  const TraceDatabase loaded = TraceDatabase::Load(dir_.string());
+  const fs::path second_dir = dir_ / "resave";
+  loaded.Save(second_dir.string());
+  EXPECT_EQ(read_file(second_dir / "profile_0.trace"), first);
+}
+
+TEST_F(TraceDatabaseTest, MapOnlyJobRoundTrips) {
+  JobProfile p;
+  p.app_name = "MapOnly";
+  p.dataset = "noreduce";
+  p.num_maps = 4;
+  p.num_reduces = 0;
+  p.map_durations = {1.0, 2.0, 3.0, 4.0};
+
+  TraceDatabase db;
+  db.Put(p);
+  db.Save(dir_.string());
+  const TraceDatabase loaded = TraceDatabase::Load(dir_.string());
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.Get(0), p);
+  EXPECT_EQ(loaded.Get(0).num_reduces, 0);
+  EXPECT_TRUE(loaded.Get(0).reduce_durations.empty());
+}
+
+TEST_F(TraceDatabaseTest, SingleTaskJobRoundTrips) {
+  JobProfile p;
+  p.app_name = "Tiny";
+  p.dataset = "single";
+  p.num_maps = 1;
+  p.num_reduces = 1;
+  p.map_durations = {0.25};
+  p.first_shuffle_durations = {0.5};
+  p.reduce_durations = {0.125};
+
+  TraceDatabase db;
+  db.Put(p);
+  db.Save(dir_.string());
+  const TraceDatabase loaded = TraceDatabase::Load(dir_.string());
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.Get(0), p);
 }
 
 }  // namespace

@@ -1,0 +1,471 @@
+// simmr_fuzz: property-based differential fuzzer for the SimMR simulators.
+//
+// Every perf/scale PR must be provably behavior-preserving — the paper's
+// headline claim is accuracy, and golden files only catch drift on the
+// handful of scenarios they encode. simmr_fuzz draws randomized workloads
+// (including the adversarial corners: zero-reduce jobs, single-wave
+// stages, massive skew, zero durations), runs each through the full check
+// battery — exact-mode invariant observer, bit-identical differential
+// replays (re-run / observer on-off / record-tasks / serial-vs-parallel),
+// Mumak under causal invariants, the ARIA solo-bounds oracle — and, on a
+// violation, delta-debugs the trace down to a minimal reproducer written
+// as a replayable simmr.repro.v1 file plus its simmr.eventlog.v1 stream.
+//
+// Modes:
+//   simmr_fuzz --iterations=500 --seed=42         # the fuzz loop (CI uses
+//                                                 # --seed=<git sha>)
+//   simmr_fuzz --replay=tests/corpus/foo.repro    # corpus regression
+//   simmr_fuzz --self-test                        # prove the detector +
+//                                                 # shrinker work end-to-end
+//   simmr_fuzz --testbed                          # testbed cross-check:
+//                                                 # profile->FIFO replay
+//                                                 # within tolerance
+//
+// Exit codes: 0 = clean, 1 = usage/runtime error, 2 = failure found
+// (fuzz), detector/shrinker regression (self-test/replay), or accuracy
+// drift (testbed).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "backend/session.h"
+#include "check/invariant_observer.h"
+#include "cluster/app_model.h"
+#include "cluster/cluster_sim.h"
+#include "core/simmr.h"
+#include "fuzz/fault_injection.h"
+#include "fuzz/harness.h"
+#include "fuzz/repro.h"
+#include "fuzz/shrinker.h"
+#include "fuzz/trace_fuzzer.h"
+#include "obs/event_log.h"
+#include "obs/observer.h"
+#include "sched/fifo.h"
+#include "simcore/rng.h"
+#include "tool_common.h"
+#include "trace/mr_profiler.h"
+#include "trace/workload.h"
+
+namespace {
+
+using namespace simmr;
+
+/// --seed accepts either a decimal uint64 or an arbitrary string (a git
+/// SHA, a test name) hashed to one — CI seeds each run from the commit.
+std::uint64_t ResolveSeed(const std::string& text) {
+  if (!text.empty() && text.find_first_not_of("0123456789") ==
+                           std::string::npos && text.size() <= 20) {
+    try {
+      return std::stoull(text);
+    } catch (const std::exception&) {
+      // Falls through to hashing (e.g. > 2^64 digit strings).
+    }
+  }
+  return HashName(text);
+}
+
+fuzz::FaultMode ParseFault(const std::string& name) {
+  for (const fuzz::FaultMode mode :
+       {fuzz::FaultMode::kNone, fuzz::FaultMode::kDropCompletion,
+        fuzz::FaultMode::kDoubleCompletion, fuzz::FaultMode::kClockSkew,
+        fuzz::FaultMode::kPhantomLaunch}) {
+    if (name == fuzz::FaultModeName(mode)) return mode;
+  }
+  throw std::invalid_argument("flag --fault: unknown mode '" + name +
+                              "' (want none | drop-completion | "
+                              "double-completion | clock-skew | "
+                              "phantom-launch)");
+}
+
+/// Re-runs one case with the event-log recorder attached (behind the
+/// fault, so the log documents the corrupted stream the checker saw) and
+/// writes the simmr.eventlog.v1 file next to the reproducer.
+void WriteCaseEventLog(const std::vector<trace::JobProfile>& pool,
+                       backend::ReplaySpec spec, const fuzz::FaultSpec& fault,
+                       const std::string& path, const std::string& scenario) {
+  auto pool_ptr = std::make_shared<const std::vector<trace::JobProfile>>(pool);
+  std::shared_ptr<const std::vector<double>> solos;
+  if (spec.deadline_factor > 0.0) {
+    solos = std::make_shared<const std::vector<double>>(
+        core::MeasureSoloCompletions(pool, core::SimConfig{}));
+  } else {
+    solos = std::make_shared<const std::vector<double>>();
+  }
+  const backend::SimSession session(pool_ptr, solos);
+  obs::EventLogObserver recorder;
+  fuzz::FaultInjectingObserver faulty(fault, &recorder);
+  spec.observer = fault.mode == fuzz::FaultMode::kNone
+                      ? static_cast<obs::SimObserver*>(&recorder)
+                      : &faulty;
+  session.Replay(spec);
+  obs::EventLogHeader header;
+  header.tool = "simmr_fuzz";
+  header.scenario = scenario;
+  header.simulator = "simmr";
+  recorder.WriteFile(path, header);
+}
+
+/// Everything written when a case fails: the shrunk reproducer and its
+/// event log. Returns the reproducer path for the exit message.
+std::string WriteFailureArtifacts(const fuzz::Reproducer& repro,
+                                  const std::string& out_dir,
+                                  const std::string& stem) {
+  std::filesystem::create_directories(out_dir);
+  const std::string repro_path = out_dir + "/" + stem + ".repro";
+  const std::string log_path = out_dir + "/" + stem + ".eventlog.jsonl";
+  fuzz::WriteReproducerFile(repro_path, repro);
+  WriteCaseEventLog(repro.pool, repro.spec, repro.fault, log_path,
+                    "reproducer " + stem);
+  std::printf("reproducer written to %s\n", repro_path.c_str());
+  std::printf("event log written to %s\n", log_path.c_str());
+  return repro_path;
+}
+
+fuzz::BatteryOptions BatteryFor(const fuzz::FaultSpec& fault) {
+  fuzz::BatteryOptions options;
+  options.fault = fault;
+  if (fault.mode != fuzz::FaultMode::kNone) {
+    // Self-test minimizes the *detector's* reaction to the corrupted
+    // stream; the clean differential/oracle layers would only slow the
+    // shrink down without changing what is caught.
+    options.run_differentials = false;
+    options.run_thread_differential = false;
+    options.run_mumak = false;
+    options.run_aria_oracle = false;
+  }
+  return options;
+}
+
+/// The shrink predicate: does the case still trip the battery?
+fuzz::FailurePredicate FailsWith(const fuzz::BatteryOptions& options) {
+  return [options](const std::vector<trace::JobProfile>& pool,
+                   const backend::ReplaySpec& spec) {
+    return !fuzz::RunCheckBattery(pool, spec, options).ok();
+  };
+}
+
+/// The default fuzz loop. Returns the process exit code.
+int RunFuzzLoop(const tools::Flags& flags, std::uint64_t master_seed) {
+  const int iterations = flags.GetInt("iterations");
+  if (iterations <= 0) {
+    std::fprintf(stderr, "error: --iterations must be positive\n");
+    return 1;
+  }
+  fuzz::FuzzConfig config;
+  config.max_jobs = flags.GetInt("max-jobs");
+  config.adversarial = !flags.GetBool("benign");
+  if (config.max_jobs < config.min_jobs) {
+    std::fprintf(stderr, "error: --max-jobs must be >= %d\n", config.min_jobs);
+    return 1;
+  }
+  fuzz::BatteryOptions options;
+  options.run_mumak = !flags.GetBool("skip-mumak");
+  options.run_aria_oracle = !flags.GetBool("skip-aria");
+
+  const Rng master(master_seed);
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::uint64_t callbacks = 0;
+  for (int i = 0; i < iterations; ++i) {
+    // Each case regenerates bit-identically from (master seed, index):
+    // the loop can be re-entered at any index for debugging.
+    Rng case_rng = master.Split("fuzz/case", static_cast<std::uint64_t>(i));
+    const auto pool = fuzz::FuzzProfilePool(config, case_rng);
+    const auto spec = fuzz::FuzzReplaySpec(config, pool.size(), case_rng);
+    const fuzz::BatteryResult result =
+        fuzz::RunCheckBattery(pool, spec, options);
+    callbacks += result.callbacks_seen;
+    if (result.ok()) continue;
+
+    std::fprintf(stderr, "case %d (seed %llu) violated %zu invariant(s):\n%s",
+                 i, static_cast<unsigned long long>(master_seed),
+                 result.violations.size(),
+                 check::FormatViolations(result.violations).c_str());
+    std::fprintf(stderr, "shrinking...\n");
+    const fuzz::ShrinkResult shrunk =
+        fuzz::ShrinkFailure(pool, spec, FailsWith(options));
+    std::fprintf(stderr, "shrunk to %zu job(s) in %d round(s), %llu probes\n",
+                 shrunk.pool.size(), shrunk.rounds,
+                 static_cast<unsigned long long>(shrunk.probes));
+
+    fuzz::Reproducer repro;
+    repro.master_seed = master_seed;
+    repro.spec = shrunk.spec;
+    repro.pool = shrunk.pool;
+    repro.note = check::FormatViolations(
+        {fuzz::RunCheckBattery(shrunk.pool, shrunk.spec, options)
+             .violations.front()});
+    WriteFailureArtifacts(repro, flags.Get("out-dir"),
+                          "case-" + std::to_string(master_seed) + "-" +
+                              std::to_string(i));
+    return 2;
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  std::printf(
+      "fuzz: %d cases clean (seed %llu, %llu callbacks checked) in %.2f s\n",
+      iterations, static_cast<unsigned long long>(master_seed),
+      static_cast<unsigned long long>(callbacks), wall_seconds);
+  return 0;
+}
+
+/// Corpus regression (--replay). A reproducer with no fault captured a
+/// real failure: the invariants must hold now (the bug stays fixed). A
+/// reproducer with a fault is a detector pin: the corruption must still be
+/// caught. Either way exit 0 = good, 2 = regression.
+int RunReplay(const std::string& path) {
+  const fuzz::Reproducer repro = fuzz::ReadReproducerFile(path);
+  const fuzz::BatteryOptions options = BatteryFor(repro.fault);
+  const fuzz::BatteryResult result =
+      fuzz::RunCheckBattery(repro.pool, repro.spec, options);
+  if (!repro.note.empty())
+    std::printf("reproducer note: %s\n", repro.note.c_str());
+  if (repro.fault.mode == fuzz::FaultMode::kNone) {
+    if (result.ok()) {
+      std::printf("replay: %s clean (%llu callbacks)\n", path.c_str(),
+                  static_cast<unsigned long long>(result.callbacks_seen));
+      return 0;
+    }
+    std::fprintf(stderr, "replay: %s REGRESSED:\n%s", path.c_str(),
+                 check::FormatViolations(result.violations).c_str());
+    return 2;
+  }
+  if (!result.ok()) {
+    std::printf("replay: %s fault '%s' still caught (%zu violations)\n",
+                path.c_str(), fuzz::FaultModeName(repro.fault.mode),
+                result.violations.size());
+    return 0;
+  }
+  std::fprintf(stderr,
+               "replay: %s DETECTOR REGRESSION: fault '%s' (trigger %llu) "
+               "no longer caught\n",
+               path.c_str(), fuzz::FaultModeName(repro.fault.mode),
+               static_cast<unsigned long long>(repro.fault.trigger));
+  return 2;
+}
+
+/// --self-test: for every fault class, prove end-to-end that a seeded,
+/// deliberately-broken invariant is (1) caught by the observer, (2) shrunk
+/// to a <= 3-job reproducer, and (3) that the written reproducer replays
+/// deterministically — two reads of the emitted file produce identical
+/// violation reports.
+int RunSelfTest(const tools::Flags& flags, std::uint64_t master_seed) {
+  const Rng master(master_seed);
+  fuzz::FuzzConfig config;
+  config.max_jobs = flags.GetInt("max-jobs");
+  const std::string out_dir = flags.Get("out-dir");
+
+  bool all_ok = true;
+  for (const fuzz::FaultMode mode :
+       {fuzz::FaultMode::kDropCompletion, fuzz::FaultMode::kDoubleCompletion,
+        fuzz::FaultMode::kClockSkew, fuzz::FaultMode::kPhantomLaunch}) {
+    const char* name = fuzz::FaultModeName(mode);
+    Rng case_rng = master.Split("self-test", HashName(name));
+    const auto pool = fuzz::FuzzProfilePool(config, case_rng);
+    const auto spec = fuzz::FuzzReplaySpec(config, pool.size(), case_rng);
+    fuzz::FaultSpec fault;
+    fault.mode = mode;
+    const fuzz::BatteryOptions options = BatteryFor(fault);
+
+    // (1) Caught at all?
+    const fuzz::BatteryResult broken =
+        fuzz::RunCheckBattery(pool, spec, options);
+    if (broken.ok()) {
+      std::fprintf(stderr, "self-test: fault '%s' NOT caught\n", name);
+      all_ok = false;
+      continue;
+    }
+    // ...while the same case without the fault must be clean, or the
+    // detection proves nothing.
+    if (!fuzz::RunCheckBattery(pool, spec, BatteryFor({})).ok()) {
+      std::fprintf(stderr, "self-test: baseline for '%s' not clean\n", name);
+      all_ok = false;
+      continue;
+    }
+
+    // (2) Shrinks to a tiny reproducer?
+    const fuzz::ShrinkResult shrunk =
+        fuzz::ShrinkFailure(pool, spec, FailsWith(options));
+    if (shrunk.pool.size() > 3) {
+      std::fprintf(stderr,
+                   "self-test: fault '%s' shrunk only to %zu jobs (want <=3)\n",
+                   name, shrunk.pool.size());
+      all_ok = false;
+      continue;
+    }
+
+    // (3) The written artifact replays deterministically.
+    fuzz::Reproducer repro;
+    repro.master_seed = master_seed;
+    repro.fault = fault;
+    repro.spec = shrunk.spec;
+    repro.pool = shrunk.pool;
+    const fuzz::BatteryResult shrunk_run =
+        fuzz::RunCheckBattery(shrunk.pool, shrunk.spec, options);
+    repro.note = check::FormatViolations({shrunk_run.violations.front()});
+    const std::string repro_path = WriteFailureArtifacts(
+        repro, out_dir, std::string("self-test-") + name);
+
+    const fuzz::Reproducer read_back = fuzz::ReadReproducerFile(repro_path);
+    const fuzz::BatteryOptions replay_options = BatteryFor(read_back.fault);
+    const std::string report_a = check::FormatViolations(
+        fuzz::RunCheckBattery(read_back.pool, read_back.spec, replay_options)
+            .violations);
+    const std::string report_b = check::FormatViolations(
+        fuzz::RunCheckBattery(read_back.pool, read_back.spec, replay_options)
+            .violations);
+    if (report_a.empty() || report_a != report_b ||
+        report_a != check::FormatViolations(shrunk_run.violations)) {
+      std::fprintf(stderr,
+                   "self-test: fault '%s' reproducer not deterministic\n",
+                   name);
+      all_ok = false;
+      continue;
+    }
+    std::printf(
+        "self-test: fault '%s' caught, shrunk %zu -> %zu job(s), "
+        "replays deterministically\n",
+        name, pool.size(), shrunk.pool.size());
+  }
+  if (!all_ok) return 2;
+  std::printf("self-test: all fault classes caught and shrunk\n");
+  return 0;
+}
+
+/// --testbed: the cross-simulator accuracy differential. Runs the
+/// validation suite on the node-level testbed under a causal-mode
+/// invariant observer, profiles the history log, replays each job's trace
+/// under FIFO, and requires the replay to land within --tolerance of the
+/// testbed ground truth — the paper's Figure 5 methodology as a pass/fail
+/// check (the paper measures <= 2.7% average error; the gate is per-job).
+int RunTestbedCheck(const tools::Flags& flags, std::uint64_t seed) {
+  cluster::TestbedOptions options;
+  options.config.num_nodes = 16;
+  options.seed = seed;
+  check::InvariantOptions causal;
+  causal.strictness = check::Strictness::kCausal;
+  causal.map_slots =
+      options.config.num_nodes * options.config.map_slots_per_node;
+  causal.reduce_slots =
+      options.config.num_nodes * options.config.reduce_slots_per_node;
+  check::InvariantObserver invariants(causal);
+  options.observer = &invariants;
+
+  // Jobs are spaced far apart so each runs alone — Figure 5 measures
+  // single-job accuracy, and the profiles are replayed solo below.
+  std::vector<cluster::SubmittedJob> jobs;
+  double submit = 0.0;
+  for (const cluster::JobSpec& spec : cluster::ValidationSuite()) {
+    jobs.push_back({spec, submit, 0.0});
+    submit += 10000.0;
+  }
+  const cluster::TestbedResult testbed = cluster::RunTestbed(jobs, options);
+  invariants.FinishRun();
+  if (!invariants.ok()) {
+    std::fprintf(stderr, "testbed: invariant violations:\n%s",
+                 invariants.Report().c_str());
+    return 2;
+  }
+
+  core::SimConfig cfg;
+  cfg.map_slots = causal.map_slots;
+  cfg.reduce_slots = causal.reduce_slots;
+  const double tolerance = flags.GetDouble("tolerance");
+  const auto profiles = trace::BuildAllProfiles(testbed.log);
+  bool all_ok = true;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto& record = testbed.log.jobs()[i];
+    const std::string label = profiles[i].app_name + "/" + profiles[i].dataset;
+    const double actual = record.finish_time - record.submit_time;
+    trace::WorkloadTrace w(1);
+    w[0].profile = profiles[i];
+    sched::FifoPolicy fifo;
+    const core::SimResult replayed = core::Replay(w, fifo, cfg);
+    const double simulated = replayed.jobs.at(0).CompletionTime();
+    const double err =
+        actual > 0.0 ? std::abs(simulated - actual) / actual : 0.0;
+    std::printf("testbed: %-22s actual %9.1f s replay %9.1f s (%+5.1f%%)\n",
+                label.c_str(), actual, simulated,
+                100.0 * (simulated - actual) / actual);
+    if (err > tolerance) {
+      std::fprintf(stderr, "testbed: %s error %.1f%% exceeds %.1f%%\n",
+                   label.c_str(), 100.0 * err, 100.0 * tolerance);
+      all_ok = false;
+    }
+  }
+  return all_ok ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<tools::FlagSpec> specs = {
+      {"iterations", "100", "fuzz cases to run"},
+      {"seed", "42",
+       "master seed: a decimal uint64 or any string (hashed), e.g. a git "
+       "SHA"},
+      {"out-dir", ".", "directory for reproducer + event-log artifacts"},
+      {"max-jobs", "6", "largest generated profile pool"},
+      {"benign", "", "disable the adversarial archetypes", true},
+      {"skip-mumak", "", "skip the Mumak causal-invariant pass", true},
+      {"skip-aria", "", "skip the ARIA solo-bounds oracle", true},
+      {"replay", "", "re-run a simmr.repro.v1 file instead of fuzzing"},
+      {"self-test", "",
+       "inject each fault class; assert caught, shrunk to <=3 jobs, and "
+       "deterministic",
+       true},
+      {"testbed", "",
+       "cross-check: testbed run -> profile -> FIFO replay within "
+       "--tolerance",
+       true},
+      {"tolerance", "0.35",
+       "per-job relative error gate for --testbed (paper avg: 0.027)"},
+      {"fault", "none", "manual fault injection for the fuzz loop"},
+      {"trigger", "1", "1-based callback ordinal the fault fires on"},
+      tools::LogLevelFlag(),
+  };
+  const auto flags = tools::Flags::Parse(
+      argc, argv,
+      "Property-based differential fuzzer: randomized traces through the\n"
+      "SimMR engine under an invariant-checking observer, bit-identical\n"
+      "differential replays, Mumak causal checks and the ARIA bounds\n"
+      "oracle; failures shrink to replayable simmr.repro.v1 reproducers.\n"
+      "Exit: 0 clean, 1 usage/runtime error, 2 failure or regression.",
+      std::move(specs));
+  if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+  if (!tools::ApplyLogLevel(*flags)) return 1;
+
+  try {
+    const std::uint64_t master_seed = ResolveSeed(flags->Get("seed"));
+    if (!flags->Get("replay").empty()) return RunReplay(flags->Get("replay"));
+    if (flags->GetBool("self-test")) return RunSelfTest(*flags, master_seed);
+    if (flags->GetBool("testbed")) return RunTestbedCheck(*flags, master_seed);
+    const fuzz::FaultSpec manual{
+        ParseFault(flags->Get("fault")),
+        static_cast<std::uint64_t>(flags->GetInt("trigger"))};
+    if (manual.mode != fuzz::FaultMode::kNone) {
+      // Manual injection: one corrupted case, reported but not shrunk —
+      // a debugging aid for new invariants.
+      const Rng master(master_seed);
+      Rng case_rng = master.Split("fuzz/case", 0);
+      fuzz::FuzzConfig config;
+      config.max_jobs = flags->GetInt("max-jobs");
+      const auto pool = fuzz::FuzzProfilePool(config, case_rng);
+      const auto spec = fuzz::FuzzReplaySpec(config, pool.size(), case_rng);
+      const auto result =
+          fuzz::RunCheckBattery(pool, spec, BatteryFor(manual));
+      std::printf("%s", check::FormatViolations(result.violations).c_str());
+      return result.ok() ? 2 : 0;
+    }
+    return RunFuzzLoop(*flags, master_seed);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
