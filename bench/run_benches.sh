@@ -3,11 +3,17 @@
 # document.
 #
 # Each bench binary prints its exhibit as text and ends with one
-# machine-readable "simmr.telemetry.v1" line (see bench_common.cpp). This
-# harness runs them all, keeps the full text output per binary, and folds
-# the telemetry lines into BENCH_<tag>.json:
+# machine-readable "simmr.telemetry.v1" line (see bench_common.cpp),
+# optionally carrying a "stats" object of median/MAD/bootstrap-CI
+# summaries. This harness runs them all, keeps the full text output per
+# binary, and folds the telemetry lines plus a host fingerprint into
+# BENCH_<tag>.json:
 #
-#   {"schema":"simmr.benchsuite.v1","tag":"...","runs":[<telemetry>, ...]}
+#   {"schema":"simmr.benchsuite.v2","tag":"...","host":{...},
+#    "runs":[<telemetry>, ...]}
+#
+# simmr_analyze perf-diff compares two such documents (it still accepts
+# the v1 layout this script used to emit, minus the fingerprint).
 #
 # Usage: bench/run_benches.sh [tag]
 #   tag             output label (default: local)
@@ -34,6 +40,17 @@ TELEMETRY_TMP="$OUT_DIR/.telemetry_lines.$$"
 : > "$TELEMETRY_TMP"
 trap 'rm -f "$TELEMETRY_TMP"' EXIT
 
+# Host fingerprint: where these numbers came from. Values are stripped of
+# JSON-hostile characters rather than escaped — they are labels, not data.
+json_safe() { printf '%s' "$1" | tr -d '"\\\n' ; }
+CPU_MODEL=$(sed -n 's/^model name[^:]*: //p' /proc/cpuinfo 2>/dev/null | head -n 1)
+[ -n "$CPU_MODEL" ] || CPU_MODEL=unknown
+CORES=$(nproc 2>/dev/null || echo 0)
+COMMIT=$(git -C "$(dirname "$0")" rev-parse --short HEAD 2>/dev/null || echo unknown)
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null | head -n 1)
+[ -n "$BUILD_TYPE" ] || BUILD_TYPE=unknown
+CXX_FLAGS=$(sed -n 's/^CMAKE_CXX_FLAGS:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null | head -n 1)
+
 ran=0
 failed=0
 for bin in "$BENCH_DIR"/*; do
@@ -46,8 +63,9 @@ for bin in "$BENCH_DIR"/*; do
   if "$bin" > "$log" 2>&1; then
     ran=$((ran + 1))
   else
+    status=$?
     failed=$((failed + 1))
-    printf '   FAILED (exit %s), log kept at %s\n' "$?" "$log" >&2
+    printf '   FAILED (exit %s), log kept at %s\n' "$status" "$log" >&2
     continue
   fi
   # The telemetry line is the last simmr.telemetry.v1 object on stdout.
@@ -63,8 +81,11 @@ if [ "$ran" -eq 0 ]; then
 fi
 
 {
-  printf '{"schema":"simmr.benchsuite.v1","tag":"%s","binaries_run":%d,"binaries_failed":%d,"runs":[' \
-    "$TAG" "$ran" "$failed"
+  printf '{"schema":"simmr.benchsuite.v2","tag":"%s"' "$(json_safe "$TAG")"
+  printf ',"host":{"cpu_model":"%s","cores":%s,"commit":"%s","build_type":"%s","cxx_flags":"%s"}' \
+    "$(json_safe "$CPU_MODEL")" "$CORES" "$(json_safe "$COMMIT")" \
+    "$(json_safe "$BUILD_TYPE")" "$(json_safe "$CXX_FLAGS")"
+  printf ',"binaries_run":%d,"binaries_failed":%d,"runs":[' "$ran" "$failed"
   first=1
   while IFS= read -r line; do
     [ "$first" -eq 1 ] || printf ','

@@ -1,0 +1,347 @@
+#include "analysis/perf_diff.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/json_value.h"
+#include "obs/json.h"
+
+namespace simmr::analysis {
+namespace {
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Direction by name: throughput-style metrics count up, costs count down.
+bool HigherIsBetter(const std::string& name) {
+  return EndsWith(name, "_per_second");
+}
+
+void CheckFinite(const std::string& run_key, const std::string& metric,
+                 double value) {
+  if (!std::isfinite(value)) {
+    throw std::runtime_error("perf-diff: non-finite value for metric '" +
+                             metric + "' in run '" + run_key +
+                             "' (NaN or inf cannot be gated)");
+  }
+}
+
+MetricSample PointSample(const std::string& run_key, const std::string& metric,
+                         double value) {
+  CheckFinite(run_key, metric, value);
+  MetricSample sample;
+  sample.value = value;
+  sample.ci_lo = value;
+  sample.ci_hi = value;
+  sample.higher_is_better = HigherIsBetter(metric);
+  return sample;
+}
+
+void AddTelemetryMetric(BenchRun& run, const JsonValue& telemetry,
+                        const char* field) {
+  const JsonValue* value = telemetry.Find(field);
+  if (value == nullptr || !value->IsNumber()) return;
+  run.metrics.emplace_back(field,
+                           PointSample(run.key, field, value->AsNumber()));
+}
+
+void AddStatsMetrics(BenchRun& run, const JsonValue& telemetry) {
+  const JsonValue* stats = telemetry.Find("stats");
+  if (stats == nullptr) return;
+  if (!stats->IsObject()) {
+    throw std::runtime_error("perf-diff: run '" + run.key +
+                             "' has a non-object \"stats\" member");
+  }
+  for (const auto& [name, summary] : stats->AsObject()) {
+    if (!summary.IsObject()) {
+      throw std::runtime_error("perf-diff: stat '" + name + "' in run '" +
+                               run.key + "' is not an object");
+    }
+    const JsonValue* median = summary.Find("median");
+    if (median == nullptr || !median->IsNumber()) {
+      throw std::runtime_error("perf-diff: stat '" + name + "' in run '" +
+                               run.key + "' has no numeric median");
+    }
+    MetricSample sample;
+    sample.value = median->AsNumber();
+    // Degenerate (single-sample / zero-variance) intervals collapse to
+    // the median, making the metric behave like a point value.
+    sample.ci_lo = summary.NumberOr("ci95_lo", sample.value);
+    sample.ci_hi = summary.NumberOr("ci95_hi", sample.value);
+    sample.higher_is_better = HigherIsBetter(name);
+    CheckFinite(run.key, name, sample.value);
+    CheckFinite(run.key, name, sample.ci_lo);
+    CheckFinite(run.key, name, sample.ci_hi);
+    run.metrics.emplace_back(name, sample);
+  }
+}
+
+std::string PercentString(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", 100.0 * fraction);
+  return buf;
+}
+
+std::string ValueString(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchSuite LoadBenchSuite(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("perf-diff: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  JsonValue doc;
+  try {
+    doc = JsonValue::Parse(buffer.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+  if (!doc.IsObject()) {
+    throw std::runtime_error(path + ": document is not a JSON object");
+  }
+
+  BenchSuite suite;
+  const std::string schema = doc.StringOr("schema", "");
+  if (schema == "simmr.benchsuite.v1") {
+    suite.schema_version = 1;
+  } else if (schema == "simmr.benchsuite.v2") {
+    suite.schema_version = 2;
+  } else {
+    throw std::runtime_error(
+        path + ": schema '" + schema +
+        "' is not a bench suite (want simmr.benchsuite.v1 or .v2)");
+  }
+  suite.tag = doc.StringOr("tag", "");
+
+  if (const JsonValue* host = doc.Find("host");
+      host != nullptr && host->IsObject()) {
+    for (const auto& [key, value] : host->AsObject()) {
+      if (value.IsString()) {
+        suite.host[key] = value.AsString();
+      } else if (value.IsNumber()) {
+        suite.host[key] = ValueString(value.AsNumber());
+      }
+    }
+  }
+
+  const JsonValue* runs = doc.Find("runs");
+  if (runs == nullptr || !runs->IsArray()) {
+    throw std::runtime_error(path + ": missing \"runs\" array");
+  }
+  for (const JsonValue& entry : runs->AsArray()) {
+    if (!entry.IsObject()) {
+      throw std::runtime_error(path + ": run entry is not an object");
+    }
+    BenchRun run;
+    run.tool = entry.StringOr("tool", "");
+    run.scenario = entry.StringOr("scenario", "");
+    if (run.tool.empty() && run.scenario.empty()) {
+      throw std::runtime_error(path +
+                               ": run entry has neither tool nor scenario");
+    }
+    run.key = run.tool + "/" + run.scenario;
+    AddTelemetryMetric(run, entry, "wall_seconds");
+    AddTelemetryMetric(run, entry, "events_per_second");
+    AddStatsMetrics(run, entry);
+    suite.runs.push_back(std::move(run));
+  }
+  return suite;
+}
+
+PerfDiffResult DiffBenchSuites(const BenchSuite& baseline,
+                               const BenchSuite& candidate,
+                               const PerfDiffOptions& options) {
+  PerfDiffResult result;
+
+  if (baseline.schema_version == 1 || candidate.schema_version == 1) {
+    result.notes.push_back(
+        "v1 bench suite in use: no host fingerprint and typically no "
+        "\"stats\" intervals; regenerate with bench/run_benches.sh for the "
+        "noise-aware v2 comparison (see docs/FORMATS.md migration note)");
+  }
+  for (const char* key : {"cpu_model", "build_type"}) {
+    const auto base_it = baseline.host.find(key);
+    const auto cand_it = candidate.host.find(key);
+    if (base_it != baseline.host.end() && cand_it != candidate.host.end() &&
+        base_it->second != cand_it->second) {
+      result.notes.push_back(std::string("host mismatch: ") + key + " '" +
+                             base_it->second + "' vs '" + cand_it->second +
+                             "' — deltas may reflect the machine, not the "
+                             "code");
+    }
+  }
+
+  std::map<std::string, const BenchRun*> candidate_by_key;
+  for (const BenchRun& run : candidate.runs) {
+    if (!candidate_by_key.emplace(run.key, &run).second) {
+      result.errors.push_back("duplicate run '" + run.key +
+                              "' in candidate suite");
+    }
+  }
+  std::map<std::string, const BenchRun*> baseline_by_key;
+  for (const BenchRun& run : baseline.runs) {
+    if (!baseline_by_key.emplace(run.key, &run).second) {
+      result.errors.push_back("duplicate run '" + run.key +
+                              "' in baseline suite");
+    }
+  }
+
+  for (const BenchRun& base_run : baseline.runs) {
+    const auto it = candidate_by_key.find(base_run.key);
+    if (it == candidate_by_key.end()) {
+      result.errors.push_back("baseline run '" + base_run.key +
+                              "' is missing from the candidate suite");
+      continue;
+    }
+    const BenchRun& cand_run = *it->second;
+    for (const auto& [metric, base_sample] : base_run.metrics) {
+      const MetricSample* cand_sample = nullptr;
+      for (const auto& [name, sample] : cand_run.metrics) {
+        if (name == metric) {
+          cand_sample = &sample;
+          break;
+        }
+      }
+      if (cand_sample == nullptr) {
+        result.errors.push_back("metric '" + metric + "' of run '" +
+                                base_run.key +
+                                "' is missing from the candidate suite");
+        continue;
+      }
+      if (base_sample.value == 0.0) {
+        result.notes.push_back("skipping metric '" + metric + "' of run '" +
+                               base_run.key +
+                               "': baseline value is zero (relative delta "
+                               "undefined)");
+        continue;
+      }
+
+      MetricDelta delta;
+      delta.run_key = base_run.key;
+      delta.metric = metric;
+      delta.baseline = base_sample;
+      delta.candidate = *cand_sample;
+      const double relative =
+          (cand_sample->value - base_sample.value) / std::abs(base_sample.value);
+      delta.delta_fraction =
+          base_sample.higher_is_better ? -relative : relative;
+      delta.ci_separated = cand_sample->ci_lo > base_sample.ci_hi ||
+                           cand_sample->ci_hi < base_sample.ci_lo;
+      delta.regression =
+          delta.delta_fraction > options.threshold && delta.ci_separated;
+      delta.improvement =
+          delta.delta_fraction < -options.threshold && delta.ci_separated;
+      result.regressions += delta.regression ? 1 : 0;
+      result.improvements += delta.improvement ? 1 : 0;
+      result.deltas.push_back(std::move(delta));
+    }
+  }
+
+  for (const BenchRun& run : candidate.runs) {
+    if (baseline_by_key.find(run.key) == baseline_by_key.end()) {
+      result.notes.push_back("candidate run '" + run.key +
+                             "' has no baseline (new bench?); not gated");
+    }
+  }
+  return result;
+}
+
+std::string RenderPerfDiff(const PerfDiffResult& result,
+                           const PerfDiffOptions& options) {
+  if (options.json) {
+    std::string out = "{\"schema\":\"simmr.perfdiff.v1\"";
+    out += ",\"threshold\":" + obs::JsonNumber(options.threshold);
+    out += ",\"regressions\":" + std::to_string(result.regressions);
+    out += ",\"improvements\":" + std::to_string(result.improvements);
+    out += ",\"errors\":[";
+    for (std::size_t i = 0; i < result.errors.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "\"" + obs::JsonEscape(result.errors[i]) + "\"";
+    }
+    out += "],\"notes\":[";
+    for (std::size_t i = 0; i < result.notes.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "\"" + obs::JsonEscape(result.notes[i]) + "\"";
+    }
+    out += "],\"deltas\":[";
+    for (std::size_t i = 0; i < result.deltas.size(); ++i) {
+      const MetricDelta& d = result.deltas[i];
+      if (i != 0) out += ",";
+      out += "{\"run\":\"" + obs::JsonEscape(d.run_key) + "\"";
+      out += ",\"metric\":\"" + obs::JsonEscape(d.metric) + "\"";
+      out += ",\"baseline\":" + obs::JsonNumber(d.baseline.value);
+      out += ",\"candidate\":" + obs::JsonNumber(d.candidate.value);
+      out += ",\"delta_fraction\":" + obs::JsonNumber(d.delta_fraction);
+      out += std::string(",\"ci_separated\":") +
+             (d.ci_separated ? "true" : "false");
+      out += std::string(",\"regression\":") +
+             (d.regression ? "true" : "false");
+      out += std::string(",\"improvement\":") +
+             (d.improvement ? "true" : "false");
+      out += "}";
+    }
+    out += "]}";
+    return out;
+  }
+
+  std::string out;
+  out += "perf-diff (threshold " + PercentString(options.threshold).substr(1) +
+         ", regression = delta beyond threshold with disjoint 95% CIs)\n";
+  for (const std::string& error : result.errors) {
+    out += "error: " + error + "\n";
+  }
+  for (const std::string& note : result.notes) {
+    out += "note: " + note + "\n";
+  }
+
+  std::string current_run;
+  for (const MetricDelta& d : result.deltas) {
+    if (d.run_key != current_run) {
+      current_run = d.run_key;
+      out += "\n" + current_run + "\n";
+    }
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  %-32s base %-12s cand %-12s %8s", d.metric.c_str(),
+                  ValueString(d.baseline.value).c_str(),
+                  ValueString(d.candidate.value).c_str(),
+                  PercentString(d.delta_fraction).c_str());
+    out += line;
+    if (d.regression) {
+      out += "  REGRESSION";
+    } else if (d.improvement) {
+      out += "  improvement";
+    } else if (!d.ci_separated && d.baseline.value != d.candidate.value) {
+      out += "  (within noise)";
+    }
+    out += "\n";
+  }
+
+  char summary[160];
+  std::snprintf(summary, sizeof(summary),
+                "\nsummary: %zu metrics compared, %d regressions, "
+                "%d improvements, %zu errors\n",
+                result.deltas.size(), result.regressions, result.improvements,
+                result.errors.size());
+  out += summary;
+  return out;
+}
+
+int PerfDiffExitCode(const PerfDiffResult& result) {
+  if (!result.errors.empty()) return 1;
+  if (result.regressions > 0) return 4;
+  return 0;
+}
+
+}  // namespace simmr::analysis

@@ -1,0 +1,101 @@
+// Noise-aware comparison of two bench-suite documents (the perf gate).
+//
+// A bench suite (simmr.benchsuite.v1 or v2, written by
+// bench/run_benches.sh) is a set of runs, each a simmr.telemetry.v1
+// object optionally carrying a "stats" object of median/MAD/bootstrap-CI
+// summaries. perf-diff aligns the two suites by run identity
+// (tool/scenario), extracts comparable metrics from each aligned pair and
+// decides, per metric, whether the candidate regressed:
+//
+//   regression :=  direction-adjusted relative delta > threshold
+//               AND the 95% confidence intervals do not overlap.
+//
+// Metrics without intervals (plain telemetry fields, or "stats" entries
+// from a single sample) are treated as zero-width intervals at the point
+// value, so a large delta on a point metric still trips the gate while a
+// large-but-noisy delta on a measured distribution does not. Direction is
+// inferred from the metric name: *_per_second counts up (higher is
+// better), everything else is a cost (lower is better).
+//
+// Baseline runs missing from the candidate are hard errors — a gate that
+// silently ignores a vanished bench is not a gate. Extra candidate runs,
+// v1 inputs and host-fingerprint mismatches are notes: worth reading,
+// not worth failing the build over.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace simmr::analysis {
+
+/// One comparable measurement: a point estimate plus its 95% interval
+/// (lo == hi == value for metrics without measured spread).
+struct MetricSample {
+  double value = 0.0;
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+  bool higher_is_better = false;
+};
+
+/// One bench run: a telemetry line keyed by "tool/scenario".
+struct BenchRun {
+  std::string key;       // tool + "/" + scenario
+  std::string tool;
+  std::string scenario;
+  // Insertion-ordered so reports list metrics the way the document did.
+  std::vector<std::pair<std::string, MetricSample>> metrics;
+};
+
+/// A parsed simmr.benchsuite.v1/v2 document.
+struct BenchSuite {
+  int schema_version = 0;  // 1 or 2
+  std::string tag;
+  std::map<std::string, std::string> host;  // empty for v1 documents
+  std::vector<BenchRun> runs;
+};
+
+/// Loads and validates a bench-suite JSON file.
+/// Throws std::runtime_error on I/O failure, malformed JSON, an unknown
+/// schema, or a non-finite (NaN/inf) metric value.
+BenchSuite LoadBenchSuite(const std::string& path);
+
+struct PerfDiffOptions {
+  double threshold = 0.10;  // direction-adjusted relative delta to flag
+  bool json = false;
+};
+
+/// One metric compared across the two suites. delta_fraction is
+/// direction-adjusted: positive means the candidate is worse.
+struct MetricDelta {
+  std::string run_key;
+  std::string metric;
+  MetricSample baseline;
+  MetricSample candidate;
+  double delta_fraction = 0.0;
+  bool ci_separated = false;
+  bool regression = false;
+  bool improvement = false;
+};
+
+struct PerfDiffResult {
+  std::vector<MetricDelta> deltas;
+  std::vector<std::string> notes;   // informational (migration, host skew)
+  std::vector<std::string> errors;  // structural problems; gate must fail
+  int regressions = 0;
+  int improvements = 0;
+};
+
+PerfDiffResult DiffBenchSuites(const BenchSuite& baseline,
+                               const BenchSuite& candidate,
+                               const PerfDiffOptions& options);
+
+/// Human report, or a one-line JSON document when options.json is set.
+std::string RenderPerfDiff(const PerfDiffResult& result,
+                           const PerfDiffOptions& options);
+
+/// Tool exit code for a diff result: 1 on structural errors, 4 when any
+/// metric regressed, 0 otherwise.
+int PerfDiffExitCode(const PerfDiffResult& result);
+
+}  // namespace simmr::analysis

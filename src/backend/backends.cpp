@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/simmr.h"
+#include "prof/profiler.h"
 
 namespace simmr::backend {
 
@@ -14,6 +15,7 @@ SimmrBackend::SimmrBackend(core::SimConfig config,
       workload_(std::move(workload)) {}
 
 RunResult SimmrBackend::Run() {
+  const prof::ScopedTimer timer("backend/simmr");
   return FromSimResult(core::Replay(workload_, *policy_, config_));
 }
 
@@ -22,6 +24,7 @@ TestbedBackend::TestbedBackend(std::vector<cluster::SubmittedJob> jobs,
     : jobs_(std::move(jobs)), options_(std::move(options)) {}
 
 RunResult TestbedBackend::Run() {
+  const prof::ScopedTimer timer("backend/testbed");
   return FromTestbedResult(cluster::RunTestbed(jobs_, options_));
 }
 
@@ -29,6 +32,7 @@ MumakBackend::MumakBackend(mumak::RumenTrace trace, mumak::MumakConfig config)
     : trace_(std::move(trace)), config_(config) {}
 
 RunResult MumakBackend::Run() {
+  const prof::ScopedTimer timer("backend/mumak");
   return FromMumakResult(mumak::RunMumak(trace_, config_));
 }
 

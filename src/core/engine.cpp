@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/event_log.h"
+#include "prof/profiler.h"
 #include "simcore/log.h"
 #include "simcore/sim_kernel.h"
 
@@ -94,6 +95,7 @@ class EngineImpl {
 
   void OnJobArrival(JobState& job) {
     job_queue_.push_back(&job);
+    prof::RaiseHighWater(prof::HighWater::kReadySet, job_queue_.size());
     if (obs_ != nullptr) {
       // Size the timing tables up front so the per-launch path below is a
       // plain store (kills in preemptive runs relaunch under the same

@@ -58,9 +58,18 @@ BatteryResult RunCheckBattery(const std::vector<trace::JobProfile>& pool,
   FaultInjectingObserver faulty(options.fault, &invariants);
 
   backend::ReplaySpec observed = spec;
-  observed.observer = options.fault.mode == FaultMode::kNone
-                          ? static_cast<obs::SimObserver*>(&invariants)
-                          : &faulty;
+  obs::SimObserver* primary = options.fault.mode == FaultMode::kNone
+                                  ? static_cast<obs::SimObserver*>(&invariants)
+                                  : &faulty;
+  // Fan out to the caller's sink only when one was given, so the plain
+  // battery keeps its direct (non-multicast) observer path.
+  obs::MulticastObserver fanout;
+  if (options.extra_observer != nullptr) {
+    fanout.Add(primary);
+    fanout.Add(options.extra_observer);
+    primary = &fanout;
+  }
+  observed.observer = primary;
   const backend::RunResult base = session.Replay(observed);
   invariants.FinishRun();
   result.callbacks_seen = invariants.callbacks_seen();

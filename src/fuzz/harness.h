@@ -22,6 +22,7 @@
 #include "check/invariant_observer.h"
 #include "check/oracles.h"
 #include "fuzz/fault_injection.h"
+#include "obs/observer.h"
 #include "trace/job_profile.h"
 
 namespace simmr::fuzz {
@@ -40,6 +41,11 @@ struct BatteryOptions {
   /// ARIA solo-bounds oracle (layer 4); costs one solo replay per profile.
   bool run_aria_oracle = true;
   check::SoloBoundsOptions aria;
+  /// Optional extra sink multicast alongside the invariant observer on the
+  /// primary observed replay (layer 1) — how simmr_fuzz attaches the
+  /// shared --trace-out/--metrics-out/--event-log-out sinks. Null = the
+  /// battery behaves exactly as before.
+  obs::SimObserver* extra_observer = nullptr;
 };
 
 struct BatteryResult {
@@ -51,7 +57,8 @@ struct BatteryResult {
 };
 
 /// Runs the full battery on one case. The spec's observer field is
-/// ignored (the battery wires its own). Throws only on structurally
+/// ignored (the battery wires its own; use BatteryOptions::extra_observer
+/// to listen in). Throws only on structurally
 /// invalid input (empty pool, invalid profile, unknown policy) — engine
 /// misbehavior is reported through violations, never exceptions.
 BatteryResult RunCheckBattery(const std::vector<trace::JobProfile>& pool,

@@ -107,16 +107,34 @@ void TraceExporter::OnJobCompletion(SimTime now, std::int32_t job) {
   events_.push_back(std::move(ev));
 }
 
-void TraceExporter::OnTaskLaunch(SimTime, std::int32_t job, TaskKind kind,
+void TraceExporter::EmitRunningCounter(SimTime now, TaskKind kind) {
+  TraceEvent ev;
+  ev.name = kind == TaskKind::kMap ? "running_maps" : "running_reduces";
+  ev.category = "tasks";
+  ev.phase = 'C';
+  ev.ts_us = ToUs(now);
+  ev.tid = 0;
+  ev.args_json =
+      "{\"running\":" +
+      std::to_string(running_tasks_[kind == TaskKind::kMap ? 0 : 1]) + "}";
+  events_.push_back(std::move(ev));
+}
+
+void TraceExporter::OnTaskLaunch(SimTime now, std::int32_t job, TaskKind kind,
                                  std::int32_t index) {
   const std::int64_t tid = AcquireLane(kind);
   inflight_[{job, static_cast<int>(kind), index}].push_back(tid);
+  ++running_tasks_[kind == TaskKind::kMap ? 0 : 1];
+  EmitRunningCounter(now, kind);
 }
 
-void TraceExporter::OnTaskCompletion(SimTime, std::int32_t job, TaskKind kind,
-                                     std::int32_t index,
+void TraceExporter::OnTaskCompletion(SimTime now, std::int32_t job,
+                                     TaskKind kind, std::int32_t index,
                                      const TaskTiming& timing,
                                      bool succeeded) {
+  std::size_t& running = running_tasks_[kind == TaskKind::kMap ? 0 : 1];
+  if (running > 0) --running;  // guard: observer may be installed mid-run
+  EmitRunningCounter(now, kind);
   const auto key = std::make_tuple(job, static_cast<int>(kind), index);
   std::int64_t tid;
   const auto it = inflight_.find(key);

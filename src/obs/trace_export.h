@@ -10,7 +10,10 @@
 //     boundary is known (TaskTiming.shuffle_end strictly inside the task);
 //   - job arrivals, completions and deadlines are instant events on a
 //     "jobs" track;
-//   - event-queue depth is sampled as a counter track.
+//   - event-queue depth is sampled as a counter track;
+//   - running map/reduce task counts are counter tracks ("running_maps" /
+//     "running_reduces"), updated on every launch and completion, so slot
+//     occupancy is visible as a graph without counting slices.
 //
 // Timestamps are simulated microseconds (Trace Event ts unit); one
 // simulated second = 1e6 ts. Write the result with WriteFile() and open it
@@ -74,6 +77,7 @@ class TraceExporter final : public SimObserver {
   void ReleaseLane(TaskKind kind, std::int64_t tid);
   void EmitTask(std::int64_t tid, std::int32_t job, TaskKind kind,
                 std::int32_t index, const TaskTiming& timing, bool succeeded);
+  void EmitRunningCounter(SimTime now, TaskKind kind);
 
   Options options_;
   std::vector<TraceEvent> events_;
@@ -89,6 +93,7 @@ class TraceExporter final : public SimObserver {
       inflight_;
 
   std::size_t dequeues_since_sample_ = 0;
+  std::size_t running_tasks_[2] = {0, 0};  // [map, reduce] in flight
   std::map<std::int32_t, std::string> job_name_by_id_;
 };
 

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "prof/profiler.h"
 #include "simcore/time.h"
 
 namespace simmr {
@@ -31,6 +32,8 @@ class EventQueue {
     heap_.push_back(Entry{time, next_sequence_++, std::move(payload)});
     std::push_heap(heap_.begin(), heap_.end(), Later);
     ++total_pushed_;
+    prof::Count(prof::Counter::kHeapPushes);
+    prof::RaiseHighWater(prof::HighWater::kQueueDepth, heap_.size());
   }
 
   bool Empty() const { return heap_.empty(); }
@@ -48,6 +51,7 @@ class EventQueue {
     std::pop_heap(heap_.begin(), heap_.end(), Later);
     Entry e = std::move(heap_.back());
     heap_.pop_back();
+    prof::Count(prof::Counter::kHeapPops);
     return e;
   }
 

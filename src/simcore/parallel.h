@@ -9,10 +9,13 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <exception>
 #include <thread>
 #include <vector>
+
+#include "prof/profiler.h"
 
 namespace simmr {
 
@@ -32,8 +35,19 @@ template <typename Fn>
 void ParallelFor(std::size_t n, Fn&& fn, unsigned num_threads = 0) {
   if (n == 0) return;
   if (num_threads == 0) num_threads = DefaultParallelism();
+  // Per-worker busy wall time feeds the profiler when armed — one timing
+  // pair per worker, nothing per iteration.
   if (num_threads <= 1 || n == 1) {
+    const bool profiled = prof::Armed();
+    const auto start = profiled ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
     for (std::size_t i = 0; i < n; ++i) fn(i);
+    if (profiled)
+      prof::RecordThreadBusy(
+          "parallel_for",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count());
     return;
   }
   const std::size_t workers = std::min<std::size_t>(num_threads, n);
@@ -44,11 +58,20 @@ void ParallelFor(std::size_t n, Fn&& fn, unsigned num_threads = 0) {
     const std::size_t begin = n * w / workers;
     const std::size_t end = n * (w + 1) / workers;
     threads.emplace_back([&, w, begin, end] {
+      const bool profiled = prof::Armed();
+      const auto start = profiled ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
       try {
         for (std::size_t i = begin; i < end; ++i) fn(i);
       } catch (...) {
         errors[w] = std::current_exception();
       }
+      if (profiled)
+        prof::RecordThreadBusy(
+            "parallel_for",
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count());
     });
   }
   for (auto& t : threads) t.join();

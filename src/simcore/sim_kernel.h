@@ -21,6 +21,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "prof/profiler.h"
 #include "simcore/event_queue.h"
 #include "simcore/time.h"
 
@@ -86,6 +87,7 @@ class SimKernel {
       auto entry = queue_.Pop();
       now_ = entry.time;
       ++dequeued_;
+      prof::Count(prof::Counter::kEventsDispatched);
       if (obs != nullptr)
         obs->OnEventDequeue(now_, name(entry.payload), queue_.Size());
       dispatch(entry.payload);

@@ -1,0 +1,230 @@
+#include "analysis/perf_diff.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/json_value.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace simmr::analysis {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::string WriteTemp(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+/// A v2 suite with one run carrying a point metric and a stats metric.
+std::string SuiteJson(double wall_seconds, double median, double ci_lo,
+                      double ci_hi) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      R"({"schema":"simmr.benchsuite.v2","tag":"t",)"
+      R"("host":{"cpu_model":"cpu0","cores":8,"build_type":"Release"},)"
+      R"("runs":[{"schema":"simmr.telemetry.v1","tool":"bench",)"
+      R"("scenario":"fig","wall_seconds":%g,"events_per_second":1000,)"
+      R"("stats":{"replay_seconds":{"n":10,"median":%g,"mad":0.01,)"
+      R"("ci95_lo":%g,"ci95_hi":%g}}}]})",
+      wall_seconds, median, ci_lo, ci_hi);
+  return buf;
+}
+
+BenchSuite Load(const std::string& name, const std::string& json) {
+  return LoadBenchSuite(WriteTemp(name, json));
+}
+
+TEST(PerfDiff, IdenticalSuitesAreClean) {
+  const auto base = Load("pd_base.json", SuiteJson(1.0, 0.5, 0.49, 0.51));
+  const auto result = DiffBenchSuites(base, base, PerfDiffOptions{});
+  EXPECT_EQ(result.regressions, 0);
+  EXPECT_EQ(result.improvements, 0);
+  EXPECT_TRUE(result.errors.empty());
+  EXPECT_EQ(PerfDiffExitCode(result), 0);
+}
+
+TEST(PerfDiff, InjectedTwentyPercentSlowdownRegresses) {
+  // The ISSUE acceptance fixture: a >= 20% slowdown with clearly separated
+  // intervals must trip the gate (threshold 10%) and exit nonzero.
+  const auto base = Load("pd_b20.json", SuiteJson(1.0, 0.50, 0.49, 0.51));
+  const auto cand = Load("pd_c20.json", SuiteJson(1.25, 0.62, 0.61, 0.63));
+  const auto result = DiffBenchSuites(base, cand, PerfDiffOptions{});
+  EXPECT_EQ(result.regressions, 2);  // wall_seconds and replay_seconds
+  EXPECT_EQ(PerfDiffExitCode(result), 4);
+  const std::string report = RenderPerfDiff(result, PerfDiffOptions{});
+  EXPECT_TRUE(Contains(report, "REGRESSION"));
+}
+
+TEST(PerfDiff, NoisyDeltaWithOverlappingCIsIsNotARegression) {
+  // 20% median delta but wide, overlapping intervals: noise, not signal.
+  const auto base = Load("pd_bn.json", SuiteJson(1.0, 0.50, 0.40, 0.70));
+  auto cand = Load("pd_cn.json", SuiteJson(1.0, 0.60, 0.45, 0.75));
+  const auto result = DiffBenchSuites(base, cand, PerfDiffOptions{});
+  for (const auto& d : result.deltas) {
+    if (d.metric == "replay_seconds") {
+      EXPECT_FALSE(d.ci_separated);
+      EXPECT_FALSE(d.regression);
+    }
+  }
+  EXPECT_EQ(PerfDiffExitCode(result), 0);
+}
+
+TEST(PerfDiff, HigherIsBetterMetricsUseInvertedDirection) {
+  BenchSuite base, cand;
+  BenchRun run;
+  run.key = "bench/x";
+  MetricSample throughput;
+  throughput.value = 1000.0;
+  throughput.ci_lo = throughput.ci_hi = 1000.0;
+  throughput.higher_is_better = true;
+  run.metrics.emplace_back("events_per_second", throughput);
+  base.runs.push_back(run);
+  run.metrics[0].second.value = 700.0;  // 30% throughput drop
+  run.metrics[0].second.ci_lo = run.metrics[0].second.ci_hi = 700.0;
+  cand.runs.push_back(run);
+  const auto result = DiffBenchSuites(base, cand, PerfDiffOptions{});
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_NEAR(result.deltas[0].delta_fraction, 0.3, 1e-9);
+  EXPECT_TRUE(result.deltas[0].regression);
+  EXPECT_EQ(PerfDiffExitCode(result), 4);
+}
+
+TEST(PerfDiff, MissingBaselineRunIsAHardError) {
+  auto base = Load("pd_bm.json", SuiteJson(1.0, 0.5, 0.49, 0.51));
+  BenchSuite cand = base;
+  cand.runs.clear();  // the candidate lost the bench entirely
+  const auto result = DiffBenchSuites(base, cand, PerfDiffOptions{});
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_TRUE(Contains(result.errors[0], "missing from the candidate"));
+  EXPECT_EQ(PerfDiffExitCode(result), 1);
+}
+
+TEST(PerfDiff, MissingMetricIsAHardError) {
+  auto base = Load("pd_bmm.json", SuiteJson(1.0, 0.5, 0.49, 0.51));
+  BenchSuite cand = base;
+  cand.runs[0].metrics.pop_back();  // drop the stats metric
+  const auto result = DiffBenchSuites(base, cand, PerfDiffOptions{});
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_TRUE(Contains(result.errors[0], "metric 'replay_seconds'"));
+  EXPECT_EQ(PerfDiffExitCode(result), 1);
+}
+
+TEST(PerfDiff, ExtraCandidateRunIsOnlyANote) {
+  auto base = Load("pd_be.json", SuiteJson(1.0, 0.5, 0.49, 0.51));
+  BenchSuite cand = base;
+  BenchRun extra;
+  extra.key = "bench/new";
+  cand.runs.push_back(extra);
+  const auto result = DiffBenchSuites(base, cand, PerfDiffOptions{});
+  EXPECT_TRUE(result.errors.empty());
+  ASSERT_EQ(result.notes.size(), 1u);
+  EXPECT_TRUE(Contains(result.notes[0], "has no baseline"));
+  EXPECT_EQ(PerfDiffExitCode(result), 0);
+}
+
+TEST(PerfDiff, V1SchemaIsAcceptedWithAMigrationNote) {
+  const std::string v1 =
+      R"({"schema":"simmr.benchsuite.v1","tag":"old","runs":[)"
+      R"({"tool":"bench","scenario":"fig","wall_seconds":1.0}]})";
+  const auto base = Load("pd_v1.json", v1);
+  EXPECT_EQ(base.schema_version, 1);
+  EXPECT_TRUE(base.host.empty());
+  const auto result = DiffBenchSuites(base, base, PerfDiffOptions{});
+  ASSERT_FALSE(result.notes.empty());
+  EXPECT_TRUE(Contains(result.notes[0], "v1 bench suite"));
+  EXPECT_EQ(PerfDiffExitCode(result), 0);
+}
+
+TEST(PerfDiff, UnknownSchemaIsRejected) {
+  EXPECT_THROW(Load("pd_bad.json", R"({"schema":"simmr.telemetry.v1"})"),
+               std::runtime_error);
+  EXPECT_THROW(Load("pd_nonobj.json", "[1,2]"), std::runtime_error);
+  EXPECT_THROW(Load("pd_noruns.json",
+                    R"({"schema":"simmr.benchsuite.v2","tag":"t"})"),
+               std::runtime_error);
+  EXPECT_THROW(LoadBenchSuite("/nonexistent/suite.json"),
+               std::runtime_error);
+}
+
+TEST(PerfDiff, NonFiniteMetricIsRejectedAtLoad) {
+  // 1e999 overflows to inf in strtod; a gate cannot compare against it.
+  const std::string inf_suite =
+      R"({"schema":"simmr.benchsuite.v2","tag":"t","runs":[)"
+      R"({"tool":"bench","scenario":"fig","wall_seconds":1e999}]})";
+  EXPECT_THROW(Load("pd_inf.json", inf_suite), std::runtime_error);
+}
+
+TEST(PerfDiff, ZeroVarianceStatsBehaveLikePointValues) {
+  // Degenerate interval (lo == hi == median): equal medians never
+  // regress, a beyond-threshold delta always does.
+  const auto base = Load("pd_bz.json", SuiteJson(1.0, 0.5, 0.5, 0.5));
+  const auto same = DiffBenchSuites(base, base, PerfDiffOptions{});
+  EXPECT_EQ(same.regressions, 0);
+  const auto cand = Load("pd_cz.json", SuiteJson(1.0, 0.65, 0.65, 0.65));
+  const auto result = DiffBenchSuites(base, cand, PerfDiffOptions{});
+  EXPECT_EQ(result.regressions, 1);
+  EXPECT_EQ(PerfDiffExitCode(result), 4);
+}
+
+TEST(PerfDiff, ZeroBaselineMetricIsSkippedWithANote) {
+  BenchSuite base, cand;
+  BenchRun run;
+  run.key = "bench/z";
+  MetricSample zero;
+  zero.value = zero.ci_lo = zero.ci_hi = 0.0;
+  run.metrics.emplace_back("wall_seconds", zero);
+  base.runs.push_back(run);
+  run.metrics[0].second.value = 5.0;
+  cand.runs.push_back(run);
+  const auto result = DiffBenchSuites(base, cand, PerfDiffOptions{});
+  EXPECT_TRUE(result.deltas.empty());
+  ASSERT_EQ(result.notes.size(), 1u);
+  EXPECT_TRUE(Contains(result.notes[0], "baseline value is zero"));
+  EXPECT_EQ(PerfDiffExitCode(result), 0);
+}
+
+TEST(PerfDiff, DuplicateRunKeysAreErrors) {
+  auto base = Load("pd_bd.json", SuiteJson(1.0, 0.5, 0.49, 0.51));
+  BenchSuite cand = base;
+  cand.runs.push_back(cand.runs[0]);
+  const auto result = DiffBenchSuites(base, cand, PerfDiffOptions{});
+  ASSERT_FALSE(result.errors.empty());
+  EXPECT_TRUE(Contains(result.errors[0], "duplicate run"));
+  EXPECT_EQ(PerfDiffExitCode(result), 1);
+}
+
+TEST(PerfDiff, HostMismatchIsNoted) {
+  auto base = Load("pd_bh.json", SuiteJson(1.0, 0.5, 0.49, 0.51));
+  BenchSuite cand = base;
+  cand.host["cpu_model"] = "cpu1";
+  const auto result = DiffBenchSuites(base, cand, PerfDiffOptions{});
+  ASSERT_FALSE(result.notes.empty());
+  EXPECT_TRUE(Contains(result.notes[0], "host mismatch"));
+  EXPECT_EQ(PerfDiffExitCode(result), 0);  // note, not error
+}
+
+TEST(PerfDiff, JsonReportIsParseableAndComplete) {
+  const auto base = Load("pd_bj.json", SuiteJson(1.0, 0.50, 0.49, 0.51));
+  const auto cand = Load("pd_cj.json", SuiteJson(1.3, 0.65, 0.64, 0.66));
+  PerfDiffOptions opt;
+  opt.json = true;
+  const auto result = DiffBenchSuites(base, cand, opt);
+  const std::string json = RenderPerfDiff(result, opt);
+  const auto doc = JsonValue::Parse(json);
+  EXPECT_EQ(doc.StringOr("schema", ""), "simmr.perfdiff.v1");
+  EXPECT_DOUBLE_EQ(doc.NumberOr("regressions", -1), 2.0);
+  ASSERT_NE(doc.Find("deltas"), nullptr);
+  EXPECT_EQ(doc.Find("deltas")->AsArray().size(), 3u);
+}
+
+}  // namespace
+}  // namespace simmr::analysis

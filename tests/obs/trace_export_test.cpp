@@ -26,8 +26,9 @@ TEST(TraceExporter, GoldenSingleJobTrace) {
   t.OnJobCompletion(20.0, 0);
 
   // Instants (arrival, deadline, completion) + map slice + reduce slice
-  // with its two nested phase slices.
-  EXPECT_EQ(t.event_count(), 7u);
+  // with its two nested phase slices + a running-task counter sample per
+  // launch and completion.
+  EXPECT_EQ(t.event_count(), 11u);
 
   const std::string json = t.ToJson();
   EXPECT_EQ(json.substr(0, 41),
@@ -92,8 +93,34 @@ TEST(TraceExporter, CompletionWithoutLaunchStillRenders) {
   TraceExporter t;
   t.OnTaskCompletion(5.0, 2, TaskKind::kReduce, 3, TaskTiming{1.0, 1.0, 5.0},
                      true);
-  EXPECT_EQ(t.event_count(), 1u);
+  // The slice plus one running_reduces counter sample (clamped at zero:
+  // there was no matching launch).
+  EXPECT_EQ(t.event_count(), 2u);
   EXPECT_TRUE(Contains(t.ToJson(), "\"name\":\"reduce 2.3\""));
+  EXPECT_TRUE(Contains(t.ToJson(),
+                       "\"name\":\"running_reduces\",\"cat\":\"tasks\","
+                       "\"ph\":\"C\",\"ts\":5000000,\"pid\":1,\"tid\":0,"
+                       "\"args\":{\"running\":0}"));
+}
+
+TEST(TraceExporter, RunningTaskCountersTrackOccupancy) {
+  TraceExporter t;
+  t.OnTaskLaunch(0.0, 0, TaskKind::kMap, 0);
+  t.OnTaskLaunch(1.0, 0, TaskKind::kMap, 1);
+  t.OnTaskLaunch(1.0, 0, TaskKind::kReduce, 0);
+  t.OnTaskCompletion(5.0, 0, TaskKind::kMap, 0, TaskTiming{0.0, 0.0, 5.0},
+                     true);
+  const std::string json = t.ToJson();
+  // Map occupancy rises 1 -> 2 and falls back to 1; reduces reach 1.
+  EXPECT_TRUE(Contains(json, "\"name\":\"running_maps\",\"cat\":\"tasks\","
+                             "\"ph\":\"C\",\"ts\":0,\"pid\":1,\"tid\":0,"
+                             "\"args\":{\"running\":1}"));
+  EXPECT_TRUE(Contains(json, "\"ts\":1000000,\"pid\":1,\"tid\":0,"
+                             "\"args\":{\"running\":2}"));
+  EXPECT_TRUE(Contains(json, "\"name\":\"running_maps\",\"cat\":\"tasks\","
+                             "\"ph\":\"C\",\"ts\":5000000,\"pid\":1,"
+                             "\"tid\":0,\"args\":{\"running\":1}"));
+  EXPECT_TRUE(Contains(json, "\"name\":\"running_reduces\""));
 }
 
 TEST(TraceExporter, FailedAttemptsAreCategorizedFailed) {

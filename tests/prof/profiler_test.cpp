@@ -1,0 +1,166 @@
+#include "prof/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/simmr.h"
+#include "sched/fifo.h"
+#include "simcore/parallel.h"
+#include "trace/workload.h"
+
+namespace simmr::prof {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// Deterministic workload: 3 jobs of 4 maps / 2 reduces each.
+trace::WorkloadTrace SmallWorkload() {
+  trace::WorkloadTrace w(3);
+  for (int j = 0; j < 3; ++j) {
+    trace::JobProfile p;
+    p.app_name = "prof-test";
+    p.num_maps = 4;
+    p.num_reduces = 2;
+    p.map_durations.assign(4, 10.0);
+    p.first_shuffle_durations.assign(2, 3.0);
+    p.reduce_durations.assign(2, 2.0);
+    w[j].profile = p;
+    w[j].arrival = 5.0 * j;
+  }
+  return w;
+}
+
+core::SimResult ReplayOnce() {
+  core::SimConfig cfg;
+  cfg.map_slots = 4;
+  cfg.reduce_slots = 2;
+  sched::FifoPolicy fifo;
+  return core::Replay(SmallWorkload(), fifo, cfg);
+}
+
+/// Every test leaves the global profiler disarmed and zeroed.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Disarm();
+    Reset();
+  }
+  void TearDown() override {
+    Disarm();
+    Reset();
+  }
+};
+
+TEST_F(ProfilerTest, DisarmedCountersStayZero) {
+  const auto result = ReplayOnce();
+  EXPECT_GT(result.events_processed, 0u);
+  EXPECT_EQ(Value(Counter::kEventsDispatched), 0u);
+  EXPECT_EQ(Value(Counter::kHeapPushes), 0u);
+  EXPECT_EQ(Value(Counter::kHeapPops), 0u);
+  EXPECT_EQ(HighWaterValue(HighWater::kQueueDepth), 0u);
+  EXPECT_EQ(HighWaterValue(HighWater::kReadySet), 0u);
+}
+
+TEST_F(ProfilerTest, ArmedDispatchCountMatchesReplayExactly) {
+  Arm();
+  const auto result = ReplayOnce();
+  Disarm();
+  // The acceptance invariant for --profile-out: the profiler's dispatch
+  // count equals the engine's reported events_processed, exactly.
+  EXPECT_EQ(Value(Counter::kEventsDispatched), result.events_processed);
+  // The engine drains its queue dry, so pushes == pops == dispatches.
+  EXPECT_EQ(Value(Counter::kHeapPushes), result.events_processed);
+  EXPECT_EQ(Value(Counter::kHeapPops), result.events_processed);
+  EXPECT_GT(HighWaterValue(HighWater::kQueueDepth), 0u);
+}
+
+TEST_F(ProfilerTest, ArmingDoesNotChangeSimulationResults) {
+  const auto plain = ReplayOnce();
+  Arm();
+  const auto profiled = ReplayOnce();
+  Disarm();
+  ASSERT_EQ(plain.jobs.size(), profiled.jobs.size());
+  EXPECT_EQ(plain.events_processed, profiled.events_processed);
+  for (std::size_t i = 0; i < plain.jobs.size(); ++i) {
+    // Bit-identical, not approximately equal: observation must not
+    // perturb the simulation.
+    EXPECT_EQ(plain.jobs[i].CompletionTime(),
+              profiled.jobs[i].CompletionTime());
+  }
+}
+
+TEST_F(ProfilerTest, ResetClearsEverything) {
+  Arm();
+  Count(Counter::kEventsDispatched, 7);
+  RaiseHighWater(HighWater::kQueueDepth, 42);
+  { ScopedTimer t("test/reset"); }
+  RecordThreadBusy("pool", 1.0);
+  Disarm();
+  EXPECT_EQ(Value(Counter::kEventsDispatched), 7u);
+  Reset();
+  EXPECT_EQ(Value(Counter::kEventsDispatched), 0u);
+  EXPECT_EQ(HighWaterValue(HighWater::kQueueDepth), 0u);
+  const std::string json = ToJson("t", "s");
+  EXPECT_TRUE(Contains(json, "\"scopes\":[]"));
+  EXPECT_TRUE(Contains(json, "\"thread_pools\":[]"));
+}
+
+TEST_F(ProfilerTest, HighWaterKeepsTheMaximum) {
+  Arm();
+  RaiseHighWater(HighWater::kReadySet, 5);
+  RaiseHighWater(HighWater::kReadySet, 3);
+  RaiseHighWater(HighWater::kReadySet, 9);
+  Disarm();
+  EXPECT_EQ(HighWaterValue(HighWater::kReadySet), 9u);
+}
+
+TEST_F(ProfilerTest, ScopedTimerRecordsOnlyWhileArmed) {
+  { ScopedTimer t("test/disarmed"); }
+  Arm();
+  { ScopedTimer t("test/armed"); }
+  { ScopedTimer t("test/armed"); }
+  Disarm();
+  const std::string json = ToJson("t", "s");
+  EXPECT_FALSE(Contains(json, "test/disarmed"));
+  EXPECT_TRUE(Contains(json, "\"name\":\"test/armed\",\"calls\":2"));
+}
+
+TEST_F(ProfilerTest, ParallelForReportsPerThreadBusyTime) {
+  Arm();
+  std::atomic<int> touched{0};
+  ParallelFor(64, [&](std::size_t) { touched.fetch_add(1); }, 4);
+  Disarm();
+  const std::string json = ToJson("t", "s");
+  EXPECT_EQ(touched.load(), 64);
+  EXPECT_TRUE(Contains(json, "\"name\":\"parallel_for\""));
+  EXPECT_TRUE(Contains(json, "\"workers\":4"));
+}
+
+TEST_F(ProfilerTest, ToJsonCarriesSchemaAndIdentity) {
+  Arm();
+  Count(Counter::kAllocations, 3);
+  Disarm();
+  const std::string json = ToJson("my_tool", "my scenario");
+  EXPECT_TRUE(Contains(json, "\"schema\":\"simmr.profile.v1\""));
+  EXPECT_TRUE(Contains(json, "\"tool\":\"my_tool\""));
+  EXPECT_TRUE(Contains(json, "\"scenario\":\"my scenario\""));
+  EXPECT_TRUE(Contains(json, "\"allocations\":3"));
+  EXPECT_TRUE(Contains(json, "\"compiled\":true"));
+}
+
+TEST_F(ProfilerTest, CountersAccumulateAcrossArmSpans) {
+  Arm();
+  Count(Counter::kHeapPushes, 2);
+  Disarm();
+  Count(Counter::kHeapPushes, 100);  // dropped: disarmed
+  Arm();
+  Count(Counter::kHeapPushes, 3);
+  Disarm();
+  EXPECT_EQ(Value(Counter::kHeapPushes), 5u);
+}
+
+}  // namespace
+}  // namespace simmr::prof

@@ -5,10 +5,12 @@
 //   simmr_analyze critical-path --log=run.jsonl --job=2
 //   simmr_analyze utilization --log=run.jsonl --map-slots=16
 //   simmr_analyze diff --a=run.simmr.jsonl --b=run.mumak.jsonl --json
+//   simmr_analyze perf-diff --baseline=BENCH_main.json --candidate=BENCH_pr.json
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "analysis/perf_diff.h"
 #include "analysis/report.h"
 #include "analysis/run_diff.h"
 #include "analysis/run_record.h"
@@ -26,7 +28,9 @@ void PrintTopUsage() {
       "  critical-path  the task chain that bounded each job's completion\n"
       "  utilization    slot utilization and a phase-occupancy timeline\n"
       "  diff           structural diff of two runs (first divergence,\n"
-      "                 per-job completion deltas, dominant phase)\n\n"
+      "                 per-job completion deltas, dominant phase)\n"
+      "  perf-diff      noise-aware comparison of two bench suites\n"
+      "                 (BENCH_*.json); exits 4 on a regression\n\n"
       "run 'simmr_analyze <subcommand> --help' for the subcommand's flags.\n");
 }
 
@@ -140,6 +144,48 @@ int main(int argc, char** argv) {
       std::fputs(analysis::RenderDiff(diff, opt).c_str(), stdout);
       if (opt.json) std::fputc('\n', stdout);
       return diff.identical ? 0 : 3;
+    }
+
+    if (sub == "perf-diff") {
+      const auto flags = tools::Flags::Parse(
+          argc, argv,
+          "Compares two bench-suite documents (simmr.benchsuite.v1/v2,\n"
+          "written by bench/run_benches.sh). A metric regresses when its\n"
+          "direction-adjusted delta exceeds the threshold AND the 95%\n"
+          "confidence intervals are disjoint; point metrics count as\n"
+          "zero-width intervals. Exits 0 when clean, 4 on any regression,\n"
+          "1 on structural errors (missing runs, NaN metrics, bad input).",
+          {
+              {"baseline", "", "baseline BENCH_*.json path"},
+              {"candidate", "", "candidate BENCH_*.json path"},
+              {"threshold", "0.10",
+               "relative delta that counts as a regression"},
+              JsonFlag(),
+              tools::LogLevelFlag(),
+          });
+      if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+      if (!tools::ApplyLogLevel(*flags)) return 1;
+      if (flags->Get("baseline").empty() || flags->Get("candidate").empty()) {
+        std::fprintf(stderr,
+                     "error: perf-diff needs both --baseline and "
+                     "--candidate\n");
+        return 1;
+      }
+      analysis::PerfDiffOptions opt;
+      opt.threshold = flags->GetDouble("threshold");
+      opt.json = flags->GetBool("json");
+      if (!(opt.threshold > 0.0)) {
+        std::fprintf(stderr, "error: --threshold must be positive\n");
+        return 1;
+      }
+      const auto baseline =
+          analysis::LoadBenchSuite(flags->Get("baseline"));
+      const auto candidate =
+          analysis::LoadBenchSuite(flags->Get("candidate"));
+      const auto result = analysis::DiffBenchSuites(baseline, candidate, opt);
+      std::fputs(analysis::RenderPerfDiff(result, opt).c_str(), stdout);
+      if (opt.json) std::fputc('\n', stdout);
+      return analysis::PerfDiffExitCode(result);
     }
 
     std::fprintf(stderr, "error: unknown subcommand '%s'\n\n", sub.c_str());

@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "obs/metrics_observer.h"
 #include "obs/telemetry.h"
+#include "prof/profiler.h"
 #include "sched/fifo.h"
 #include "tool_common.h"
 #include "trace/mr_profiler.h"
@@ -34,7 +35,8 @@ int main(int argc, char** argv) {
       tools::LogLevelFlag(),
   };
   for (auto& spec : tools::ObservabilityFlagSpecs()) {
-    if (spec.name == "telemetry-out" || spec.name == "event-log-out")
+    if (spec.name == "telemetry-out" || spec.name == "event-log-out" ||
+        spec.name == "profile-out")
       specs.push_back(spec);
   }
   const auto flags = tools::Flags::Parse(
@@ -70,6 +72,11 @@ int main(int argc, char** argv) {
     // per-simulator metrics and reports both a breakdown and the aggregate.
     const std::string telemetry_out = flags->Get("telemetry-out");
     const std::string event_log_out = flags->Get("event-log-out");
+    const std::string profile_out = flags->Get("profile-out");
+    if (!profile_out.empty()) {
+      prof::Reset();
+      prof::Arm();
+    }
     obs::MetricsRegistry simmr_registry, mumak_registry;
     std::unique_ptr<obs::MetricsObserver> simmr_metrics, mumak_metrics;
     std::unique_ptr<obs::EventLogObserver> simmr_log, mumak_log;
@@ -183,6 +190,11 @@ int main(int argc, char** argv) {
                   "events)\n",
                   event_log_out.c_str(), simmr_log->event_count(),
                   mumak_log->event_count());
+    }
+    if (!profile_out.empty()) {
+      prof::Disarm();
+      prof::WriteFile(profile_out, "simmr_compare", scenario);
+      std::printf("profile written to %s\n", profile_out.c_str());
     }
     return 0;
   } catch (const std::exception& e) {

@@ -149,8 +149,12 @@ fuzz::FailurePredicate FailsWith(const fuzz::BatteryOptions& options) {
   };
 }
 
-/// The default fuzz loop. Returns the process exit code.
-int RunFuzzLoop(const tools::Flags& flags, std::uint64_t master_seed) {
+/// The default fuzz loop. Returns the process exit code. The shared
+/// observability sinks (tool_common) listen in on case 0's primary replay
+/// — one representative case keeps the event log a single coherent run —
+/// and are written out when the loop finishes clean.
+int RunFuzzLoop(const tools::Flags& flags, std::uint64_t master_seed,
+                tools::ObservabilitySinks& sinks) {
   const int iterations = flags.GetInt("iterations");
   if (iterations <= 0) {
     std::fprintf(stderr, "error: --iterations must be positive\n");
@@ -176,8 +180,10 @@ int RunFuzzLoop(const tools::Flags& flags, std::uint64_t master_seed) {
     Rng case_rng = master.Split("fuzz/case", static_cast<std::uint64_t>(i));
     const auto pool = fuzz::FuzzProfilePool(config, case_rng);
     const auto spec = fuzz::FuzzReplaySpec(config, pool.size(), case_rng);
+    fuzz::BatteryOptions case_options = options;
+    if (i == 0) case_options.extra_observer = sinks.observer();
     const fuzz::BatteryResult result =
-        fuzz::RunCheckBattery(pool, spec, options);
+        fuzz::RunCheckBattery(pool, spec, case_options);
     callbacks += result.callbacks_seen;
     if (result.ok()) continue;
 
@@ -212,6 +218,15 @@ int RunFuzzLoop(const tools::Flags& flags, std::uint64_t master_seed) {
       "fuzz: %d cases clean (seed %llu, %llu callbacks checked) in %.2f s\n",
       iterations, static_cast<unsigned long long>(master_seed),
       static_cast<unsigned long long>(callbacks), wall_seconds);
+  tools::RunSummary summary;
+  summary.tool = "simmr_fuzz";
+  summary.scenario = "iterations=" + std::to_string(iterations) +
+                     " seed=" + std::to_string(master_seed);
+  summary.simulator = "simmr";
+  summary.wall_seconds = wall_seconds;
+  summary.events_processed =
+      sinks.metrics() != nullptr ? sinks.metrics()->events_dequeued() : 0;
+  sinks.Write(summary);
   return 0;
 }
 
@@ -430,6 +445,9 @@ int main(int argc, char** argv) {
       {"trigger", "1", "1-based callback ordinal the fault fires on"},
       tools::LogLevelFlag(),
   };
+  // Flag parity with the other tools: the shared observability sinks
+  // apply to the fuzz loop (attached to case 0's primary replay).
+  for (auto& spec : tools::ObservabilityFlagSpecs()) specs.push_back(spec);
   const auto flags = tools::Flags::Parse(
       argc, argv,
       "Property-based differential fuzzer: randomized traces through the\n"
@@ -443,6 +461,23 @@ int main(int argc, char** argv) {
 
   try {
     const std::uint64_t master_seed = ResolveSeed(flags->Get("seed"));
+    const bool fuzz_loop_mode = flags->Get("replay").empty() &&
+                                !flags->GetBool("self-test") &&
+                                !flags->GetBool("testbed") &&
+                                flags->Get("fault") == "none";
+    tools::ObservabilitySinks sinks;
+    if (fuzz_loop_mode) {
+      sinks.Init(*flags);
+    } else {
+      for (const char* name : {"trace-out", "metrics-out", "telemetry-out",
+                               "event-log-out", "profile-out"}) {
+        if (!flags->Get(name).empty())
+          std::fprintf(stderr,
+                       "warning: --%s applies to the fuzz loop only; "
+                       "ignored in this mode\n",
+                       name);
+      }
+    }
     if (!flags->Get("replay").empty()) return RunReplay(flags->Get("replay"));
     if (flags->GetBool("self-test")) return RunSelfTest(*flags, master_seed);
     if (flags->GetBool("testbed")) return RunTestbedCheck(*flags, master_seed);
@@ -463,7 +498,7 @@ int main(int argc, char** argv) {
       std::printf("%s", check::FormatViolations(result.violations).c_str());
       return result.ok() ? 2 : 0;
     }
-    return RunFuzzLoop(*flags, master_seed);
+    return RunFuzzLoop(*flags, master_seed, sinks);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/telemetry.h"
+#include "prof/profiler.h"
 #include "simcore/parallel.h"
 
 namespace simmr::tools {
@@ -155,6 +156,8 @@ std::vector<FlagSpec> ObservabilityFlagSpecs() {
       {"telemetry-out", "", "optional run-telemetry JSON path"},
       {"event-log-out", "",
        "optional durable event-log path (simmr.eventlog.v1 JSONL)"},
+      {"profile-out", "",
+       "optional in-process profiler JSON path (simmr.profile.v1)"},
   };
 }
 
@@ -194,6 +197,11 @@ void ObservabilitySinks::Init(const Flags& flags) {
     event_log_ = std::make_unique<obs::EventLogObserver>();
     multicast_.Add(event_log_.get());
   }
+  profile_out_ = flags.Get("profile-out");
+  if (!profile_out_.empty()) {
+    prof::Reset();
+    prof::Arm();
+  }
 }
 
 void ObservabilitySinks::Write(const RunSummary& summary) {
@@ -223,6 +231,11 @@ void ObservabilitySinks::Write(const RunSummary& summary) {
         metrics_ != nullptr ? metrics_->peak_queue_depth() : 0);
     obs::WriteTelemetryFile(telemetry_out_, telemetry);
     std::printf("telemetry written to %s\n", telemetry_out_.c_str());
+  }
+  if (!profile_out_.empty()) {
+    prof::Disarm();
+    prof::WriteFile(profile_out_, summary.tool, summary.scenario);
+    std::printf("profile written to %s\n", profile_out_.c_str());
   }
 }
 

@@ -64,8 +64,9 @@ std::optional<simmr::LogLevel> ParseLogLevel(std::string_view name);
 bool ApplyLogLevel(const Flags& flags);
 
 /// The shared observability output flags: --trace-out, --metrics-out,
-/// --telemetry-out and --event-log-out. Tools append these to their spec
-/// list and hand the parsed flags to ObservabilitySinks::Init.
+/// --telemetry-out, --event-log-out and --profile-out. Tools append these
+/// to their spec list and hand the parsed flags to
+/// ObservabilitySinks::Init.
 std::vector<FlagSpec> ObservabilityFlagSpecs();
 
 /// The shared --threads/-j flag for tools with ParallelFor phases.
@@ -102,7 +103,9 @@ class ObservabilitySinks {
   ObservabilitySinks& operator=(const ObservabilitySinks&) = delete;
 
   /// Reads the ObservabilityFlagSpecs values and builds the requested
-  /// observers.
+  /// observers. When --profile-out is set, resets and arms the in-process
+  /// profiler (prof/profiler.h) — profiling is process-wide, so call this
+  /// right before the measured run.
   void Init(const Flags& flags);
 
   /// The observer to attach, or nullptr when nothing was requested.
@@ -120,6 +123,7 @@ class ObservabilitySinks {
 
  private:
   std::string trace_out_, metrics_out_, telemetry_out_, event_log_out_;
+  std::string profile_out_;
   obs::MetricsRegistry registry_;
   std::unique_ptr<obs::MetricsObserver> metrics_;
   std::unique_ptr<obs::TraceExporter> trace_;
