@@ -1,0 +1,260 @@
+#include "analysis/timeline.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "analysis/json_value.h"
+#include "obs/json.h"
+
+namespace simmr::analysis {
+namespace {
+
+using obs::JsonEscape;
+using obs::JsonNumber;
+
+std::string Fmt(const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+std::uint64_t CountOr(const JsonValue& obj, std::string_view key) {
+  const double v = obj.NumberOr(key, 0.0);
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
+}
+
+TimelineWindow ParseWindow(const JsonValue& obj) {
+  TimelineWindow w;
+  w.index = static_cast<std::int64_t>(obj.NumberOr("window", 0.0));
+  w.t0 = obj.NumberOr("t0", 0.0);
+  w.t1 = obj.NumberOr("t1", 0.0);
+  if (const JsonValue* partial = obj.Find("partial"))
+    w.partial = partial->IsBool() && partial->AsBool();
+  w.events = CountOr(obj, "events");
+  w.queue_depth = obj.NumberOr("queue_depth", 0.0);
+  w.queue_depth_max = obj.NumberOr("queue_depth_max", 0.0);
+  w.jobs_arrived = CountOr(obj, "jobs_arrived");
+  w.jobs_completed = CountOr(obj, "jobs_completed");
+  w.jobs_active = CountOr(obj, "jobs_active");
+  w.running_maps = obj.NumberOr("running_maps", 0.0);
+  w.running_maps_max = obj.NumberOr("running_maps_max", 0.0);
+  w.running_reduces = obj.NumberOr("running_reduces", 0.0);
+  w.running_reduces_max = obj.NumberOr("running_reduces_max", 0.0);
+  w.maps_completed = CountOr(obj, "maps_completed");
+  w.reduces_completed = CountOr(obj, "reduces_completed");
+  w.task_failures = CountOr(obj, "task_failures");
+  if (obj.Find("map_utilization") != nullptr ||
+      obj.Find("reduce_utilization") != nullptr) {
+    w.has_utilization = true;
+    w.map_utilization = obj.NumberOr("map_utilization", 0.0);
+    w.reduce_utilization = obj.NumberOr("reduce_utilization", 0.0);
+  }
+  if (obj.Find("map_duration_p50") != nullptr) {
+    w.has_map_durations = true;
+    w.map_p50 = obj.NumberOr("map_duration_p50", 0.0);
+    w.map_p95 = obj.NumberOr("map_duration_p95", 0.0);
+    w.map_p99 = obj.NumberOr("map_duration_p99", 0.0);
+  }
+  if (obj.Find("reduce_duration_p50") != nullptr) {
+    w.has_reduce_durations = true;
+    w.reduce_p50 = obj.NumberOr("reduce_duration_p50", 0.0);
+    w.reduce_p95 = obj.NumberOr("reduce_duration_p95", 0.0);
+    w.reduce_p99 = obj.NumberOr("reduce_duration_p99", 0.0);
+  }
+  return w;
+}
+
+/// Appends one kind's straggler check for a window.
+void CheckStraggler(const TimelineWindow& w, const char* kind, bool present,
+                    double p50, double p99, std::uint64_t completed,
+                    const TimelineOptions& opt,
+                    std::vector<StragglerWindow>& out) {
+  if (!present || completed < opt.min_completions) return;
+  const double floor_p50 = std::max(p50, 1e-9);
+  const double ratio = p99 / floor_p50;
+  if (p99 < opt.straggler_factor * floor_p50) return;
+  StragglerWindow s;
+  s.window = w.index;
+  s.t0 = w.t0;
+  s.t1 = w.t1;
+  s.kind = kind;
+  s.completed = completed;
+  s.p50 = p50;
+  s.p99 = p99;
+  s.ratio = ratio;
+  out.push_back(std::move(s));
+}
+
+std::string RenderJson(const Timeline& t, const TimelineOptions& opt) {
+  const auto stragglers = FindStragglerWindows(t, opt);
+  std::string out = "{\"schema\":\"simmr.timeline.v1\"";
+  out += ",\"tool\":\"" + JsonEscape(t.tool) + "\"";
+  out += ",\"scenario\":\"" + JsonEscape(t.scenario) + "\"";
+  out += ",\"simulator\":\"" + JsonEscape(t.simulator) + "\"";
+  out += ",\"window_s\":" + JsonNumber(t.window_s);
+  out += ",\"windows\":[";
+  for (std::size_t i = 0; i < t.windows.size(); ++i) {
+    const TimelineWindow& w = t.windows[i];
+    if (i != 0) out += ",";
+    out += "{\"window\":" + JsonNumber(static_cast<double>(w.index));
+    out += ",\"t0\":" + JsonNumber(w.t0);
+    out += ",\"t1\":" + JsonNumber(w.t1);
+    if (w.partial) out += ",\"partial\":true";
+    out += ",\"events\":" + JsonNumber(static_cast<double>(w.events));
+    out += ",\"queue_depth\":" + JsonNumber(w.queue_depth);
+    out += ",\"queue_depth_max\":" + JsonNumber(w.queue_depth_max);
+    out += ",\"jobs_active\":" + JsonNumber(static_cast<double>(w.jobs_active));
+    out += ",\"running_maps\":" + JsonNumber(w.running_maps);
+    out += ",\"running_reduces\":" + JsonNumber(w.running_reduces);
+    out +=
+        ",\"maps_completed\":" + JsonNumber(static_cast<double>(w.maps_completed));
+    out += ",\"reduces_completed\":" +
+           JsonNumber(static_cast<double>(w.reduces_completed));
+    out += ",\"task_failures\":" +
+           JsonNumber(static_cast<double>(w.task_failures));
+    if (w.has_utilization) {
+      out += ",\"map_utilization\":" + JsonNumber(w.map_utilization);
+      out += ",\"reduce_utilization\":" + JsonNumber(w.reduce_utilization);
+    }
+    out += "}";
+  }
+  out += "],\"stragglers\":[";
+  for (std::size_t i = 0; i < stragglers.size(); ++i) {
+    const StragglerWindow& s = stragglers[i];
+    if (i != 0) out += ",";
+    out += "{\"window\":" + JsonNumber(static_cast<double>(s.window));
+    out += ",\"t0\":" + JsonNumber(s.t0);
+    out += ",\"t1\":" + JsonNumber(s.t1);
+    out += ",\"kind\":\"" + JsonEscape(s.kind) + "\"";
+    out += ",\"completed\":" + JsonNumber(static_cast<double>(s.completed));
+    out += ",\"p50\":" + JsonNumber(s.p50);
+    out += ",\"p99\":" + JsonNumber(s.p99);
+    out += ",\"ratio\":" + JsonNumber(s.ratio);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string RenderText(const Timeline& t, const TimelineOptions& opt) {
+  std::string out =
+      Fmt("timeline: tool=%s simulator=%s window=%ss\n  scenario: %s\n\n",
+          t.tool.c_str(), t.simulator.c_str(),
+          JsonNumber(t.window_s).c_str(), t.scenario.c_str());
+  out += Fmt("%-7s %10s %7s %11s %9s %9s %9s %9s %6s\n", "window", "t0_s",
+             "events", "queue(max)", "jobs_act", "run_m", "run_r", "done_m/r",
+             "util%");
+  bool any_util = false;
+  for (const TimelineWindow& w : t.windows) {
+    std::string util = "-";
+    if (w.has_utilization) {
+      any_util = true;
+      util = Fmt("%3.0f/%-3.0f", 100.0 * w.map_utilization,
+                 100.0 * w.reduce_utilization);
+    }
+    const std::string queue =
+        Fmt("%.0f(%.0f)", w.queue_depth, w.queue_depth_max);
+    out += Fmt("%-7lld %10.1f %7llu %11s %9llu %9.1f %9.1f %4llu/%-4llu %6s%s\n",
+               static_cast<long long>(w.index), w.t0,
+               static_cast<unsigned long long>(w.events), queue.c_str(),
+               static_cast<unsigned long long>(w.jobs_active), w.running_maps,
+               w.running_reduces,
+               static_cast<unsigned long long>(w.maps_completed),
+               static_cast<unsigned long long>(w.reduces_completed),
+               util.c_str(), w.partial ? "  (partial)" : "");
+  }
+  if (!any_util)
+    out += "(no utilization columns: the writer did not know the slot "
+           "configuration)\n";
+
+  std::uint64_t failures = 0;
+  for (const TimelineWindow& w : t.windows) failures += w.task_failures;
+  if (failures > 0)
+    out += Fmt("\ntask failures across the run: %llu\n",
+               static_cast<unsigned long long>(failures));
+
+  const auto stragglers = FindStragglerWindows(t, opt);
+  out += Fmt("\nstraggler windows (p99 >= %s x p50, >= %llu completions):\n",
+             JsonNumber(opt.straggler_factor).c_str(),
+             static_cast<unsigned long long>(opt.min_completions));
+  if (stragglers.empty()) {
+    out += "  none — task durations stayed close to the median in every "
+           "window\n";
+  } else {
+    out += Fmt("  %-7s %-7s %12s %10s %10s %7s %6s\n", "window", "kind",
+               "t0_s", "p50_s", "p99_s", "ratio", "tasks");
+    for (const StragglerWindow& s : stragglers) {
+      out += Fmt("  %-7lld %-7s %12.1f %10.2f %10.2f %6.1fx %6llu\n",
+                 static_cast<long long>(s.window), s.kind.c_str(), s.t0,
+                 s.p50, s.p99, s.ratio,
+                 static_cast<unsigned long long>(s.completed));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Timeline LoadTimeline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  Timeline t;
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue obj;
+    try {
+      obj = JsonValue::Parse(line);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(path + ":" + std::to_string(line_no) + ": " +
+                               e.what());
+    }
+    if (!saw_header) {
+      const std::string schema = obj.StringOr("schema", "");
+      if (schema != "simmr.timeseries.v1") {
+        throw std::runtime_error(
+            path + ":" + std::to_string(line_no) +
+            ": expected a simmr.timeseries.v1 header, got schema '" + schema +
+            "'");
+      }
+      t.tool = obj.StringOr("tool", "");
+      t.scenario = obj.StringOr("scenario", "");
+      t.simulator = obj.StringOr("simulator", "");
+      t.window_s = obj.NumberOr("window_s", 0.0);
+      saw_header = true;
+      continue;
+    }
+    t.windows.push_back(ParseWindow(obj));
+  }
+  if (!saw_header)
+    throw std::runtime_error(path + ": empty document (no header line)");
+  return t;
+}
+
+std::vector<StragglerWindow> FindStragglerWindows(const Timeline& timeline,
+                                                  const TimelineOptions& opt) {
+  std::vector<StragglerWindow> out;
+  for (const TimelineWindow& w : timeline.windows) {
+    CheckStraggler(w, "map", w.has_map_durations, w.map_p50, w.map_p99,
+                   w.maps_completed, opt, out);
+    CheckStraggler(w, "reduce", w.has_reduce_durations, w.reduce_p50,
+                   w.reduce_p99, w.reduces_completed, opt, out);
+  }
+  return out;
+}
+
+std::string RenderTimeline(const Timeline& timeline,
+                           const TimelineOptions& opt) {
+  return opt.json ? RenderJson(timeline, opt) : RenderText(timeline, opt);
+}
+
+}  // namespace simmr::analysis

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/event_log.h"
+#include "obs/timeseries.h"
 #include "prof/profiler.h"
 #include "simcore/log.h"
 #include "simcore/sim_kernel.h"
@@ -373,6 +374,13 @@ SimResult SimulatorEngine::Run(const trace::WorkloadTrace& workload) {
   // the generic virtual-dispatch engine.
   if (auto* log = dynamic_cast<obs::EventLogObserver*>(config_.observer)) {
     EngineImpl<obs::EventLogObserver> impl(config_, *policy_, workload, log);
+    return impl.Run();
+  }
+  // Same treatment for a bare TimeSeriesSampler: its hooks are a handful
+  // of adds and compares, which inline once the type is concrete — this
+  // keeps default-window sampling overhead in the low single digits.
+  if (auto* ts = dynamic_cast<obs::TimeSeriesSampler*>(config_.observer)) {
+    EngineImpl<obs::TimeSeriesSampler> impl(config_, *policy_, workload, ts);
     return impl.Run();
   }
   EngineImpl<obs::SimObserver> impl(config_, *policy_, workload,

@@ -1,0 +1,202 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace simmr::obs {
+namespace {
+
+std::string HttpResponse(int status, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // client went away; nothing to clean up
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string ProgressJson(const LiveProgress& p) {
+  std::string out = "{\"schema\":\"simmr.progress.v1\""
+                    ",\"sessions_completed\":" +
+                    std::to_string(p.sessions_completed) +
+                    ",\"sessions_total\":" +
+                    std::to_string(p.sessions_total) +
+                    ",\"events_processed\":" +
+                    std::to_string(p.events_processed) +
+                    ",\"wall_seconds\":" + JsonNumber(p.wall_seconds);
+  out += ",\"eta_seconds\":";
+  out += p.eta_seconds >= 0.0 ? JsonNumber(p.eta_seconds) : "null";
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(TextFn metrics, ProgressFn progress)
+    : MetricsHttpServer(std::move(metrics), std::move(progress), Options()) {}
+
+MetricsHttpServer::MetricsHttpServer(TextFn metrics, ProgressFn progress,
+                                     Options options)
+    : metrics_(std::move(metrics)),
+      progress_(std::move(progress)),
+      options_(std::move(options)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+int MetricsHttpServer::Start() {
+  if (listen_fd_ >= 0)
+    throw std::runtime_error("MetricsHttpServer: already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error(std::string("MetricsHttpServer: socket: ") +
+                             std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("MetricsHttpServer: bad bind address '" +
+                             options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("MetricsHttpServer: bind/listen on " +
+                             options_.bind_address + ":" +
+                             std::to_string(options_.port) + ": " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+  }
+  if (::pipe(wake_fds_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("MetricsHttpServer: pipe: ") +
+                             std::strerror(errno));
+  }
+  stopping_.store(false);
+  thread_ = std::thread([this] { Serve(); });
+  return port_;
+}
+
+void MetricsHttpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true);
+  // Wake the poll loop; the byte's value is irrelevant.
+  const char b = 0;
+  (void)!::write(wake_fds_[1], &b, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  listen_fd_ = -1;
+  wake_fds_[0] = wake_fds_[1] = -1;
+}
+
+void MetricsHttpServer::Serve() {
+  while (!stopping_.load()) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[1].fd = wake_fds_[0];
+    fds[1].events = POLLIN;
+    const int rc = ::poll(fds, 2, /*timeout_ms=*/1000);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // woken by Stop()
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    // Bound how long a slow or stuck client can hold the serving thread.
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int fd) {
+  // Read until the end of the request head; the endpoints take no body.
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16 * 1024 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t sp1 = request.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) {
+    SendAll(fd, HttpResponse(400, "Bad Request", "text/plain",
+                             "bad request\n"));
+    return;
+  }
+  const std::string method = request.substr(0, sp1);
+  std::string path = request.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  if (method != "GET" && method != "HEAD") {
+    SendAll(fd, HttpResponse(405, "Method Not Allowed", "text/plain",
+                             "only GET is supported\n"));
+    return;
+  }
+  std::string response;
+  if (path == "/metrics") {
+    response = HttpResponse(200, "OK",
+                            "text/plain; version=0.0.4; charset=utf-8",
+                            metrics_());
+  } else if (path == "/healthz") {
+    response = HttpResponse(200, "OK", "text/plain", "ok\n");
+  } else if (path == "/progress") {
+    response = HttpResponse(200, "OK", "application/json",
+                            ProgressJson(progress_()) + "\n");
+  } else {
+    response = HttpResponse(
+        404, "Not Found", "text/plain",
+        "not found; endpoints: /metrics /healthz /progress\n");
+  }
+  SendAll(fd, response);
+}
+
+}  // namespace simmr::obs

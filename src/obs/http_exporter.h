@@ -1,0 +1,146 @@
+// Embedded live-metrics HTTP endpoint (--serve-metrics).
+//
+// MetricsHttpServer is a dependency-free HTTP/1.1 server on one background
+// thread, bound to loopback, serving three read-only endpoints while a
+// simulation runs:
+//
+//   /metrics   Prometheus text exposition of the live registry. The body
+//              is produced by a caller-supplied closure, which is expected
+//              to snapshot the registry under the same lock the simulation
+//              thread holds while mutating it (see LockingObserver).
+//   /healthz   "ok" once the server accepts connections.
+//   /progress  JSON (simmr.progress.v1): sessions completed/total, events
+//              processed, wall-clock seconds and an ETA extrapolated from
+//              session throughput.
+//
+// Port 0 asks the kernel for a free port; Start() returns the bound port
+// so tests and scripts can discover it. Stop() (also run by the
+// destructor) wakes the poll loop via a self-pipe and joins the thread, so
+// shutdown is clean and deterministic — no detached threads at exit.
+//
+// The server never touches simulation state directly and the simulators
+// never block on it, so serving cannot perturb a run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/observer.h"
+
+namespace simmr::obs {
+
+/// Snapshot served at /progress. `eta_seconds < 0` means unknown (no
+/// session finished yet).
+struct LiveProgress {
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t sessions_total = 0;
+  std::uint64_t events_processed = 0;
+  double wall_seconds = 0.0;
+  double eta_seconds = -1.0;
+};
+
+class MetricsHttpServer {
+ public:
+  struct Options {
+    /// TCP port; 0 = let the kernel pick a free one.
+    int port = 0;
+    /// Loopback only by default: this is a debugging endpoint, not a
+    /// hardened service.
+    std::string bind_address = "127.0.0.1";
+  };
+
+  using TextFn = std::function<std::string()>;       // /metrics body
+  using ProgressFn = std::function<LiveProgress()>;  // /progress source
+
+  MetricsHttpServer(TextFn metrics, ProgressFn progress);
+  MetricsHttpServer(TextFn metrics, ProgressFn progress, Options options);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds, listens and starts the serving thread. Returns the bound
+  /// port. Throws std::runtime_error when the socket cannot be set up.
+  int Start();
+
+  /// Bound port after Start(), -1 before.
+  int port() const { return port_; }
+
+  /// Wakes the serving thread and joins it. Idempotent.
+  void Stop();
+
+  std::uint64_t requests_served() const { return requests_.load(); }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  TextFn metrics_;
+  ProgressFn progress_;
+  Options options_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [read, write]
+  int port_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+/// Serializes every observer callback under a mutex and counts dequeues
+/// into an atomic — the bridge that makes a live registry safe to snapshot
+/// from the HTTP thread: the simulation thread mutates instruments only
+/// while holding `mu`, and the /metrics closure takes the same mutex.
+class LockingObserver final : public SimObserver {
+ public:
+  LockingObserver(SimObserver* inner, std::mutex* mu,
+                  std::atomic<std::uint64_t>* events_processed)
+      : inner_(inner), mu_(mu), events_(events_processed) {}
+
+  void OnEventDequeue(SimTime now, const char* event_type,
+                      std::size_t queue_depth) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    if (events_ != nullptr) events_->fetch_add(1, std::memory_order_relaxed);
+    inner_->OnEventDequeue(now, event_type, queue_depth);
+  }
+  void OnJobArrival(SimTime now, std::int32_t job, std::string_view name,
+                    double deadline) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    inner_->OnJobArrival(now, job, name, deadline);
+  }
+  void OnJobCompletion(SimTime now, std::int32_t job) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    inner_->OnJobCompletion(now, job);
+  }
+  void OnTaskLaunch(SimTime now, std::int32_t job, TaskKind kind,
+                    std::int32_t index) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    inner_->OnTaskLaunch(now, job, kind, index);
+  }
+  void OnTaskPhaseTransition(SimTime now, std::int32_t job, TaskKind kind,
+                             std::int32_t index, const char* phase) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    inner_->OnTaskPhaseTransition(now, job, kind, index, phase);
+  }
+  void OnTaskCompletion(SimTime now, std::int32_t job, TaskKind kind,
+                        std::int32_t index, const TaskTiming& timing,
+                        bool succeeded) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    inner_->OnTaskCompletion(now, job, kind, index, timing, succeeded);
+  }
+  void OnSchedulerDecision(SimTime now, TaskKind kind,
+                           std::int32_t chosen_job) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    inner_->OnSchedulerDecision(now, kind, chosen_job);
+  }
+
+ private:
+  SimObserver* inner_;
+  std::mutex* mu_;
+  std::atomic<std::uint64_t>* events_;
+};
+
+}  // namespace simmr::obs

@@ -10,6 +10,37 @@
 namespace simmr::obs {
 namespace {
 
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline.
+std::string PrometheusEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Escapes HELP text per the exposition format: backslash and newline
+/// (quotes are legal in help text).
+std::string PrometheusEscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 /// Renders a label set as {k1="v1",k2="v2"} (empty string when no labels).
 /// `extra` appends one more label, used for histogram `le` buckets.
 std::string PrometheusLabels(const LabelSet& labels,
@@ -20,7 +51,7 @@ std::string PrometheusLabels(const LabelSet& labels,
   for (const auto& [key, value] : labels) {
     if (!first) out += ",";
     first = false;
-    out += key + "=\"" + value + "\"";
+    out += key + "=\"" + PrometheusEscapeLabelValue(value) + "\"";
   }
   if (!extra.empty()) {
     if (!first) out += ",";
@@ -61,15 +92,46 @@ std::string U64Text(std::uint64_t v) {
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), counts_(bounds_.size(), 0) {}
 
-void Histogram::Observe(double value) {
-  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
-  if (it == bounds_.end()) {
-    ++overflow_;
-  } else {
-    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+void Histogram::Checkpoint() {
+  mark_counts_ = counts_;
+  mark_total_ = total_count_;
+  mark_sum_ = sum_;
+}
+
+double Histogram::QuantileFromDeltas(double q,
+                                     const std::vector<std::uint64_t>& base,
+                                     std::uint64_t base_total) const {
+  q = std::min(1.0, std::max(0.0, q));
+  const std::uint64_t total = total_count_ - base_total;
+  if (total == 0) return 0.0;
+  // Rank of the target observation, 1-based; walk the per-bucket deltas
+  // until the cumulative count reaches it.
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const std::uint64_t in_bucket =
+        counts_[i] - (base.empty() ? 0 : base[i]);
+    if (in_bucket == 0) continue;
+    const double next = cumulative + static_cast<double>(in_bucket);
+    if (next >= rank) {
+      const double lower = i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double frac =
+          (rank - cumulative) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, frac));
+    }
+    cumulative = next;
   }
-  ++total_count_;
-  sum_ += value;
+  // Target falls in the +Inf bucket: clamp to the last finite bound.
+  return bounds_.back();
+}
+
+double Histogram::Quantile(double q) const {
+  return QuantileFromDeltas(q, {}, 0);
+}
+
+double Histogram::WindowQuantile(double q) const {
+  return QuantileFromDeltas(q, mark_counts_, mark_total_);
 }
 
 MetricsRegistry::Entry& MetricsRegistry::Register(const std::string& name,
@@ -128,6 +190,22 @@ Histogram& MetricsRegistry::AddHistogram(const std::string& name,
   return *entry.histogram;
 }
 
+std::vector<MetricsRegistry::ScalarSample> MetricsRegistry::ScalarSnapshot()
+    const {
+  std::vector<ScalarSample> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    if (entry.type == Type::kHistogram) continue;
+    ScalarSample sample;
+    sample.key = entry.name + PrometheusLabels(entry.labels);
+    sample.value = entry.type == Type::kCounter
+                       ? static_cast<double>(entry.counter->Value())
+                       : entry.gauge->Value();
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
 std::string MetricsRegistry::PrometheusText() const {
   std::string out;
   const std::string* last_family = nullptr;
@@ -147,7 +225,8 @@ std::string MetricsRegistry::PrometheusText() const {
       const char* type_name = entry.type == Type::kCounter ? "counter"
                               : entry.type == Type::kGauge ? "gauge"
                                                            : "histogram";
-      out += "# HELP " + entry.name + " " + entry.help + "\n";
+      out += "# HELP " + entry.name + " " + PrometheusEscapeHelp(entry.help) +
+             "\n";
       out += "# TYPE " + entry.name + " " + std::string(type_name) + "\n";
     }
     last_family = &entry.name;

@@ -11,6 +11,7 @@
 // (metrics_observer.h); nothing in this file is simulator-specific.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -47,12 +48,34 @@ class Gauge {
 /// Fixed-bucket cumulative histogram (Prometheus semantics): bucket i
 /// counts observations <= bounds[i]; an implicit +Inf bucket catches the
 /// rest. Bounds are set at registration and never change.
+///
+/// Windowed-quantile mode: Checkpoint() marks the start of a new window;
+/// the Window*() accessors then cover only observations since that mark,
+/// so time-resolved percentiles (TimeSeriesSampler) come from the same
+/// instrument as the run aggregate. Exposition is unaffected — it always
+/// reports the full run.
 class Histogram {
  public:
   /// `bounds` must be strictly increasing (checked by the registry).
   explicit Histogram(std::vector<double> bounds);
 
-  void Observe(double value);
+  /// Inline: this is the one instrument on a simulator hot path (one
+  /// call per task completion via TimeSeriesSampler/MetricsObserver).
+  /// Branchless linear scan rather than binary search — with a dozen
+  /// bounds and unpredictable values, the search's data-dependent
+  /// branches mispredict; counting compares vectorizes and doesn't.
+  void Observe(double value) {
+    std::size_t idx = 0;
+    for (const double bound : bounds_)
+      idx += static_cast<std::size_t>(bound < value);
+    if (idx == bounds_.size()) {
+      ++overflow_;
+    } else {
+      ++counts_[idx];
+    }
+    ++total_count_;
+    sum_ += value;
+  }
 
   const std::vector<double>& bucket_bounds() const { return bounds_; }
   /// Count of observations <= bounds[i]; size == bounds size. Cumulative
@@ -62,12 +85,35 @@ class Histogram {
   std::uint64_t TotalCount() const { return total_count_; }
   double Sum() const { return sum_; }
 
+  /// Estimated q-quantile (q in [0,1]) of all observations, by linear
+  /// interpolation within the containing bucket (histogram_quantile
+  /// semantics). Observations above the last bound clamp to the last
+  /// bound; an empty histogram reports 0.
+  double Quantile(double q) const;
+
+  /// Starts a new window: subsequent Window*() calls cover only
+  /// observations made after this point.
+  void Checkpoint();
+  std::uint64_t WindowCount() const { return total_count_ - mark_total_; }
+  double WindowSum() const { return sum_ - mark_sum_; }
+  /// Quantile() restricted to observations since the last Checkpoint().
+  double WindowQuantile(double q) const;
+
  private:
+  double QuantileFromDeltas(double q, const std::vector<std::uint64_t>& base,
+                            std::uint64_t base_total) const;
+
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;  // per-bucket (non-cumulative)
   std::uint64_t overflow_ = 0;         // observations above the last bound
   std::uint64_t total_count_ = 0;
   double sum_ = 0.0;
+
+  // State captured at the last Checkpoint(); window views are deltas
+  // against these.
+  std::vector<std::uint64_t> mark_counts_;
+  std::uint64_t mark_total_ = 0;
+  double mark_sum_ = 0.0;
 
   friend class MetricsRegistry;
 };
@@ -89,9 +135,23 @@ class MetricsRegistry {
 
   std::size_t size() const { return entries_.size(); }
 
+  /// One counter/gauge sample: Prometheus-style identity (name{labels})
+  /// and current value.
+  struct ScalarSample {
+    std::string key;
+    double value = 0.0;
+  };
+
+  /// Current counter and gauge values in registration order (histograms
+  /// are skipped — their windowed views are sampled directly). Used by
+  /// TimeSeriesSampler to embed a registry snapshot per window.
+  std::vector<ScalarSample> ScalarSnapshot() const;
+
   /// Prometheus text exposition format (one # HELP / # TYPE block per
   /// metric family, then one sample line per label set; histograms expand
-  /// to _bucket/_sum/_count).
+  /// to _bucket/_sum/_count). Help text and label values are escaped per
+  /// the exposition-format spec (backslash, newline, and for label values
+  /// double-quote).
   std::string PrometheusText() const;
 
   /// JSON snapshot: {"schema":"simmr.metrics.v1","metrics":[...]} with one

@@ -1,0 +1,192 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace simmr::obs {
+namespace {
+
+std::string U64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+TimeSeriesSampler::TimeSeriesSampler() : TimeSeriesSampler(Options{}) {}
+
+TimeSeriesSampler::TimeSeriesSampler(Options options)
+    : options_(options), clock_(options.window_s) {
+  if (!(options_.window_s > 0.0))
+    throw std::invalid_argument(
+        "TimeSeriesSampler: window_s must be positive");
+  window_end_ = clock_.WindowEnd();
+}
+
+void TimeSeriesSampler::CloseWindowsThrough(SimTime now) {
+  while (!finished_ && clock_.CrossesBoundary(now)) {
+    CloseWindow(clock_.WindowEnd(), /*partial=*/false);
+    clock_.AdvanceOne();
+  }
+  window_end_ = clock_.WindowEnd();
+  window_start_ = clock_.WindowStart();
+}
+
+void TimeSeriesSampler::CloseWindow(double t1, bool partial) {
+  WindowRecord r;
+  r.index = clock_.index();
+  r.t0 = clock_.WindowStart();
+  r.t1 = t1;
+  r.partial = partial;
+  r.events = events_in_window_;
+  r.queue_depth = queue_depth_last_;
+  r.queue_depth_max = queue_depth_max_;
+  r.jobs_arrived = jobs_arrived_w_;
+  r.jobs_completed = jobs_completed_w_;
+  r.jobs_active = jobs_arrived_total_ - jobs_completed_total_;
+  r.failures = failures_w_;
+  r.slots[0] = options_.map_slots;
+  r.slots[1] = options_.reduce_slots;
+  const double span = t1 - clock_.WindowStart();
+  for (std::size_t k = 0; k < 2; ++k) {
+    r.running[k] = running_[k];
+    r.running_max[k] = running_max_[k];
+    r.completed[k] = durations_[k].WindowCount();
+    // Settle the ledger: still-running tasks are credited through t1.
+    // The max() guards against a -0.0 / -epsilon from rounding the
+    // per-task +/- pairs; the exact value is always >= 0.
+    r.busy_seconds[k] = std::max(
+        0.0, busy_ledger_[k] + static_cast<double>(running_[k]) * span);
+    if (r.completed[k] > 0) {
+      // Quantiles must be read here: Checkpoint() below resets the
+      // window deltas they are computed from.
+      r.quantiles[k][0] = durations_[k].WindowQuantile(0.50);
+      r.quantiles[k][1] = durations_[k].WindowQuantile(0.95);
+      r.quantiles[k][2] = durations_[k].WindowQuantile(0.99);
+    }
+  }
+  if (options_.registry != nullptr) {
+    r.has_metrics = true;
+    r.metrics = options_.registry->ScalarSnapshot();
+  }
+  records_.push_back(std::move(r));
+
+  events_in_window_ = 0;
+  queue_depth_max_ = queue_depth_last_;
+  running_max_[0] = running_[0];
+  running_max_[1] = running_[1];
+  busy_ledger_[0] = busy_ledger_[1] = 0.0;
+  jobs_arrived_w_ = jobs_completed_w_ = 0;
+  failures_w_ = 0;
+  durations_[0].Checkpoint();
+  durations_[1].Checkpoint();
+}
+
+std::string TimeSeriesSampler::RenderWindow(const WindowRecord& r) const {
+  const double span = r.t1 - r.t0;
+  std::string line = "{\"window\":" + std::to_string(r.index) +
+                     ",\"t0\":" + JsonNumber(r.t0) +
+                     ",\"t1\":" + JsonNumber(r.t1);
+  if (r.partial) line += ",\"partial\":true";
+  line += ",\"events\":" + U64(r.events);
+  line += ",\"events_per_sim_s\":" +
+          JsonNumber(span > 0.0 ? static_cast<double>(r.events) / span : 0.0);
+  line += ",\"queue_depth\":" + U64(r.queue_depth);
+  line += ",\"queue_depth_max\":" + U64(r.queue_depth_max);
+  line += ",\"jobs_arrived\":" + U64(r.jobs_arrived);
+  line += ",\"jobs_completed\":" + U64(r.jobs_completed);
+  line += ",\"jobs_active\":" + U64(r.jobs_active);
+  line += ",\"running_maps\":" + U64(r.running[0]);
+  line += ",\"running_maps_max\":" + U64(r.running_max[0]);
+  line += ",\"running_reduces\":" + U64(r.running[1]);
+  line += ",\"running_reduces_max\":" + U64(r.running_max[1]);
+  line += ",\"maps_completed\":" + U64(r.completed[0]);
+  line += ",\"reduces_completed\":" + U64(r.completed[1]);
+  line += ",\"task_failures\":" + U64(r.failures);
+  line += ",\"map_slot_seconds\":" + JsonNumber(r.busy_seconds[0]);
+  line += ",\"reduce_slot_seconds\":" + JsonNumber(r.busy_seconds[1]);
+  if (r.slots[0] > 0 && span > 0.0) {
+    line += ",\"map_utilization\":" +
+            JsonNumber(r.busy_seconds[0] /
+                       (static_cast<double>(r.slots[0]) * span));
+  }
+  if (r.slots[1] > 0 && span > 0.0) {
+    line += ",\"reduce_utilization\":" +
+            JsonNumber(r.busy_seconds[1] /
+                       (static_cast<double>(r.slots[1]) * span));
+  }
+  for (std::size_t k = 0; k < 2; ++k) {
+    if (r.completed[k] == 0) continue;
+    const char* prefix = k == 0 ? "map" : "reduce";
+    line += std::string(",\"") + prefix + "_duration_p50\":" +
+            JsonNumber(r.quantiles[k][0]);
+    line += std::string(",\"") + prefix + "_duration_p95\":" +
+            JsonNumber(r.quantiles[k][1]);
+    line += std::string(",\"") + prefix + "_duration_p99\":" +
+            JsonNumber(r.quantiles[k][2]);
+  }
+  if (r.has_metrics) {
+    line += ",\"metrics\":{";
+    bool first = true;
+    for (const auto& sample : r.metrics) {
+      if (!first) line += ",";
+      first = false;
+      line += "\"" + JsonEscape(sample.key) + "\":" + JsonNumber(sample.value);
+    }
+    line += "}";
+  }
+  line += "}";
+  return line;
+}
+
+void TimeSeriesSampler::OnTaskCompletion(SimTime now, std::int32_t,
+                                         TaskKind kind, std::int32_t,
+                                         const TaskTiming& timing,
+                                         bool succeeded) {
+  AdvanceTo(now);
+  const std::size_t k = KindIndex(kind);
+  if (running_[k] > 0) {  // guard: observer installed mid-run
+    busy_ledger_[k] += now - window_start_;
+    --running_[k];
+  }
+  if (succeeded) {
+    durations_[k].Observe(std::max(0.0, timing.end - timing.start));
+  } else {
+    ++failures_w_;
+  }
+}
+
+void TimeSeriesSampler::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!observed_) return;
+  // The final (usually partial) window, closed at the last observed time;
+  // CloseWindow settles the ledger for tasks still running at t1.
+  CloseWindow(last_now_, /*partial=*/last_now_ < clock_.WindowEnd());
+}
+
+std::string TimeSeriesSampler::ToJsonl(const TimeSeriesHeader& header) const {
+  std::string out = "{\"schema\":\"simmr.timeseries.v1\",\"tool\":\"" +
+                    JsonEscape(header.tool) + "\",\"scenario\":\"" +
+                    JsonEscape(header.scenario) + "\",\"simulator\":\"" +
+                    JsonEscape(header.simulator) + "\",\"window_s\":" +
+                    JsonNumber(options_.window_s) + "}\n";
+  for (const WindowRecord& r : records_) {
+    out += RenderWindow(r);
+    out += "\n";
+  }
+  return out;
+}
+
+void TimeSeriesSampler::WriteFile(const std::string& path,
+                                  const TimeSeriesHeader& header) {
+  Finish();
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("TimeSeriesSampler: cannot write " + path);
+  out << ToJsonl(header);
+  if (!out)
+    throw std::runtime_error("TimeSeriesSampler: write failed for " + path);
+}
+
+}  // namespace simmr::obs

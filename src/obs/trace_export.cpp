@@ -34,7 +34,10 @@ std::string TaskLabel(std::int32_t job, TaskKind kind, std::int32_t index) {
 TraceExporter::TraceExporter() : TraceExporter(Options{}) {}
 
 TraceExporter::TraceExporter(Options options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  if (options_.queue_depth_window_s > 0.0)
+    window_clock_.emplace(options_.queue_depth_window_s);
+}
 
 std::int64_t TraceExporter::AcquireLane(TaskKind kind) {
   std::vector<bool>& busy = lane_busy_[kind == TaskKind::kMap ? 0 : 1];
@@ -56,17 +59,31 @@ void TraceExporter::ReleaseLane(TaskKind kind, std::int64_t tid) {
 
 void TraceExporter::OnEventDequeue(SimTime now, const char*,
                                    std::size_t queue_depth) {
+  const auto emit = [this](double ts_s, std::size_t depth) {
+    TraceEvent ev;
+    ev.name = "event_queue_depth";
+    ev.category = "queue";
+    ev.phase = 'C';
+    ev.ts_us = ToUs(ts_s);
+    ev.tid = 0;
+    ev.args_json = "{\"depth\":" + std::to_string(depth) + "}";
+    events_.push_back(std::move(ev));
+  };
+  if (window_clock_.has_value()) {
+    // Windowed mode: one sample per closed window, stamped at the window
+    // boundary with the depth after the window's last dequeue — exactly
+    // the queue_depth TimeSeriesSampler reports for that window.
+    while (window_clock_->CrossesBoundary(now)) {
+      emit(window_clock_->WindowEnd(), last_queue_depth_);
+      window_clock_->AdvanceOne();
+    }
+    last_queue_depth_ = queue_depth;
+    return;
+  }
   if (options_.queue_depth_sample_period == 0) return;
   if (++dequeues_since_sample_ < options_.queue_depth_sample_period) return;
   dequeues_since_sample_ = 0;
-  TraceEvent ev;
-  ev.name = "event_queue_depth";
-  ev.category = "queue";
-  ev.phase = 'C';
-  ev.ts_us = ToUs(now);
-  ev.tid = 0;
-  ev.args_json = "{\"depth\":" + std::to_string(queue_depth) + "}";
-  events_.push_back(std::move(ev));
+  emit(now, queue_depth);
 }
 
 void TraceExporter::OnJobArrival(SimTime now, std::int32_t job,

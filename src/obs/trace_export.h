@@ -22,10 +22,12 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/observer.h"
+#include "obs/timeseries.h"
 
 namespace simmr::obs {
 
@@ -37,6 +39,11 @@ class TraceExporter final : public SimObserver {
     /// Emit an event_queue_depth counter sample every N dequeues
     /// (0 disables the counter track).
     std::size_t queue_depth_sample_period = 256;
+    /// When positive, queue-depth samples are instead emitted at sim-time
+    /// window boundaries (the same WindowClock boundaries and values as
+    /// TimeSeriesSampler, so Perfetto and the time series agree);
+    /// queue_depth_sample_period is ignored.
+    double queue_depth_window_s = 0.0;
   };
 
   TraceExporter();
@@ -93,6 +100,8 @@ class TraceExporter final : public SimObserver {
       inflight_;
 
   std::size_t dequeues_since_sample_ = 0;
+  std::optional<WindowClock> window_clock_;  // windowed queue-depth mode
+  std::size_t last_queue_depth_ = 0;
   std::size_t running_tasks_[2] = {0, 0};  // [map, reduce] in flight
   std::map<std::int32_t, std::string> job_name_by_id_;
 };

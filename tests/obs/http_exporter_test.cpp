@@ -1,0 +1,171 @@
+// MetricsHttpServer: the dependency-free /metrics endpoint, exercised
+// through a raw TCP client (no HTTP library on either side).
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+namespace simmr::obs {
+namespace {
+
+/// Sends one request string to 127.0.0.1:port and reads until the server
+/// closes the connection (every response carries Connection: close).
+std::string RawRequest(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+    response.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return response;
+}
+
+std::string Get(int port, const std::string& path) {
+  return RawRequest(port, "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n");
+}
+
+MetricsHttpServer::ProgressFn StaticProgress() {
+  return [] {
+    LiveProgress p;
+    p.sessions_completed = 3;
+    p.sessions_total = 10;
+    p.events_processed = 1234;
+    p.wall_seconds = 1.5;
+    p.eta_seconds = 3.5;
+    return p;
+  };
+}
+
+TEST(MetricsHttpServer, PortZeroPicksAFreePort) {
+  MetricsHttpServer server([] { return std::string("m 1\n"); },
+                           StaticProgress());
+  const int port = server.Start();
+  EXPECT_GT(port, 0);
+  EXPECT_EQ(port, server.port());
+  server.Stop();
+}
+
+TEST(MetricsHttpServer, ServesMetricsTextWithPrometheusContentType) {
+  MetricsHttpServer server(
+      [] { return std::string("# TYPE t counter\nt 42\n"); },
+      StaticProgress());
+  const int port = server.Start();
+  const std::string response = Get(port, "/metrics");
+  server.Stop();
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("# TYPE t counter\nt 42\n"), std::string::npos);
+}
+
+TEST(MetricsHttpServer, HealthzAndProgress) {
+  MetricsHttpServer server([] { return std::string(""); }, StaticProgress());
+  const int port = server.Start();
+  const std::string health = Get(port, "/healthz");
+  const std::string progress = Get(port, "/progress");
+  server.Stop();
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+  EXPECT_NE(progress.find("application/json"), std::string::npos);
+  EXPECT_NE(progress.find("\"schema\":\"simmr.progress.v1\""),
+            std::string::npos);
+  EXPECT_NE(progress.find("\"sessions_completed\":3"), std::string::npos);
+  EXPECT_NE(progress.find("\"sessions_total\":10"), std::string::npos);
+  EXPECT_NE(progress.find("\"events_processed\":1234"), std::string::npos);
+  EXPECT_NE(progress.find("\"eta_seconds\":3.5"), std::string::npos);
+}
+
+TEST(MetricsHttpServer, UnknownEtaSerializesAsNull) {
+  MetricsHttpServer server([] { return std::string(""); }, [] {
+    LiveProgress p;  // eta_seconds stays -1: no sessions finished yet
+    return p;
+  });
+  const int port = server.Start();
+  const std::string progress = Get(port, "/progress");
+  server.Stop();
+  EXPECT_NE(progress.find("\"eta_seconds\":null"), std::string::npos);
+}
+
+TEST(MetricsHttpServer, UnknownPathIs404AndBadMethodIs405) {
+  MetricsHttpServer server([] { return std::string(""); }, StaticProgress());
+  const int port = server.Start();
+  const std::string missing = Get(port, "/nope");
+  const std::string post =
+      RawRequest(port, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  server.Stop();
+  EXPECT_NE(missing.find("404"), std::string::npos);
+  EXPECT_NE(post.find("405"), std::string::npos);
+}
+
+TEST(MetricsHttpServer, QueryStringsAreStripped) {
+  MetricsHttpServer server([] { return std::string("x 1\n"); },
+                           StaticProgress());
+  const int port = server.Start();
+  const std::string response = Get(port, "/metrics?format=text");
+  server.Stop();
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+}
+
+TEST(MetricsHttpServer, LiveTextFnSeesCurrentState) {
+  int value = 0;
+  MetricsHttpServer server(
+      [&value] { return "v " + std::to_string(value) + "\n"; },
+      StaticProgress());
+  const int port = server.Start();
+  value = 7;
+  const std::string response = Get(port, "/metrics");
+  EXPECT_NE(response.find("v 7"), std::string::npos);
+  EXPECT_GE(server.requests_served(), 1u);
+  server.Stop();
+}
+
+TEST(MetricsHttpServer, StopIsIdempotentAndStartAfterStopRejected) {
+  MetricsHttpServer server([] { return std::string(""); }, StaticProgress());
+  server.Start();
+  server.Stop();
+  server.Stop();
+  SUCCEED();
+}
+
+TEST(LockingObserver, CountsDequeuesAndForwards) {
+  class Recorder final : public SimObserver {
+   public:
+    int dequeues = 0;
+    void OnEventDequeue(SimTime, const char*, std::size_t) override {
+      ++dequeues;
+    }
+  };
+  Recorder inner;
+  std::mutex mu;
+  std::atomic<std::uint64_t> events{0};
+  LockingObserver locked(&inner, &mu, &events);
+  locked.OnEventDequeue(1.0, "E", 0);
+  locked.OnEventDequeue(2.0, "E", 0);
+  EXPECT_EQ(inner.dequeues, 2);
+  EXPECT_EQ(events.load(), 2u);
+}
+
+}  // namespace
+}  // namespace simmr::obs

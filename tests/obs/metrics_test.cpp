@@ -127,6 +127,99 @@ TEST(MetricsRegistry, JsonGolden) {
             "]}");
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 10; ++i) h.Observe(1.5);  // all in (1, 2]
+  // Rank q*10 inside the (1, 2] bucket: linear interpolation.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 2.0);
+}
+
+TEST(Histogram, QuantileClampsOverflowToLastBound) {
+  Histogram h({1.0, 2.0});
+  h.Observe(100.0);
+  h.Observe(200.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 2.0);
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(Histogram, WindowedQuantilesOnlySeePostCheckpointValues) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 100; ++i) h.Observe(0.5);
+  h.Checkpoint();
+  EXPECT_EQ(h.WindowCount(), 0u);
+  EXPECT_DOUBLE_EQ(h.WindowQuantile(0.5), 0.0);
+  for (int i = 0; i < 10; ++i) h.Observe(3.0);  // (2, 4] only
+  EXPECT_EQ(h.WindowCount(), 10u);
+  EXPECT_DOUBLE_EQ(h.WindowSum(), 30.0);
+  // The window's median is in (2, 4] even though the run median is 0.5.
+  EXPECT_GT(h.WindowQuantile(0.5), 2.0);
+  EXPECT_LE(h.WindowQuantile(0.5), 4.0);
+  EXPECT_LT(h.Quantile(0.5), 1.0);
+  // A fresh checkpoint resets the view again.
+  h.Checkpoint();
+  EXPECT_EQ(h.WindowCount(), 0u);
+  EXPECT_DOUBLE_EQ(h.WindowSum(), 0.0);
+}
+
+TEST(Histogram, ExpositionUnaffectedByCheckpoints) {
+  Histogram h({1.0});
+  h.Observe(0.5);
+  h.Checkpoint();
+  h.Observe(0.5);
+  EXPECT_EQ(h.TotalCount(), 2u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 1.0);
+}
+
+// The exposition edge cases the Prometheus text format mandates: label
+// values escape backslash, double-quote and newline; HELP text escapes
+// backslash and newline; histogram buckets are cumulative and end with
+// +Inf; every family gets exactly one # TYPE line. Locked as an exact
+// golden so a formatting regression is a diff, not a scrape error.
+TEST(MetricsRegistry, PrometheusTextEscapingGolden) {
+  MetricsRegistry r;
+  r.AddCounter("odd_total", "Help with \\ backslash\nand newline.",
+               {{"path", "C:\\dir\n\"quoted\""}})
+      .Increment(1);
+  Histogram& h = r.AddHistogram("lat", "Latency.", {0.5, 1.0, 2.0});
+  h.Observe(0.25);
+  h.Observe(0.75);
+  h.Observe(0.75);
+  h.Observe(9.0);
+
+  EXPECT_EQ(r.PrometheusText(),
+            "# HELP odd_total Help with \\\\ backslash\\nand newline.\n"
+            "# TYPE odd_total counter\n"
+            "odd_total{path=\"C:\\\\dir\\n\\\"quoted\\\"\"} 1\n"
+            "# HELP lat Latency.\n"
+            "# TYPE lat histogram\n"
+            "lat_bucket{le=\"0.5\"} 1\n"
+            "lat_bucket{le=\"1\"} 3\n"
+            "lat_bucket{le=\"2\"} 3\n"
+            "lat_bucket{le=\"+Inf\"} 4\n"
+            "lat_sum 10.75\n"
+            "lat_count 4\n");
+}
+
+TEST(MetricsRegistry, ScalarSnapshotCoversCountersAndGauges) {
+  MetricsRegistry r;
+  r.AddCounter("c_total", "help").Increment(5);
+  r.AddGauge("g", "help", {{"kind", "map"}}).Set(2.5);
+  r.AddHistogram("h", "help", {1.0}).Observe(0.5);  // skipped
+
+  const auto snapshot = r.ScalarSnapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].key, "c_total");
+  EXPECT_DOUBLE_EQ(snapshot[0].value, 5.0);
+  EXPECT_EQ(snapshot[1].key, "g{kind=\"map\"}");
+  EXPECT_DOUBLE_EQ(snapshot[1].value, 2.5);
+}
+
 TEST(MetricsRegistry, WriteFileRoundTrips) {
   MetricsRegistry r;
   r.AddCounter("c", "help").Increment();

@@ -1,0 +1,284 @@
+// TimeSeriesSampler: window semantics, per-window accumulators and the
+// simmr.timeseries.v1 serialization (the live observability tentpole).
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace simmr::obs {
+namespace {
+
+TimeSeriesHeader Header() {
+  TimeSeriesHeader h;
+  h.tool = "test";
+  h.scenario = "unit";
+  h.simulator = "simmr";
+  return h;
+}
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+TEST(WindowClock, BoundaryEventClosesPriorWindow) {
+  WindowClock clock(10.0);
+  EXPECT_DOUBLE_EQ(clock.WindowStart(), 0.0);
+  EXPECT_DOUBLE_EQ(clock.WindowEnd(), 10.0);
+  EXPECT_FALSE(clock.CrossesBoundary(9.999));
+  // Windows are [k*w, (k+1)*w): an event at exactly t=10 belongs to
+  // window 1, so it closes window 0 first.
+  EXPECT_TRUE(clock.CrossesBoundary(10.0));
+  clock.AdvanceOne();
+  EXPECT_EQ(clock.index(), 1);
+  EXPECT_DOUBLE_EQ(clock.WindowStart(), 10.0);
+  EXPECT_FALSE(clock.CrossesBoundary(10.0));
+}
+
+TEST(TimeSeriesSampler, RejectsNonPositiveWindow) {
+  TimeSeriesSampler::Options opt;
+  opt.window_s = 0.0;
+  EXPECT_THROW(TimeSeriesSampler{opt}, std::invalid_argument);
+  opt.window_s = -1.0;
+  EXPECT_THROW(TimeSeriesSampler{opt}, std::invalid_argument);
+}
+
+TEST(TimeSeriesSampler, HeaderCarriesSchemaAndProvenance) {
+  TimeSeriesSampler::Options opt;
+  opt.window_s = 10.0;
+  TimeSeriesSampler sampler(opt);
+  sampler.OnEventDequeue(1.0, "E", 0);
+  sampler.Finish();
+  const auto lines = Lines(sampler.ToJsonl(Header()));
+  ASSERT_GE(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"schema\":\"simmr.timeseries.v1\""),
+            std::string::npos);
+  EXPECT_NE(lines[0].find("\"tool\":\"test\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"simulator\":\"simmr\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"window_s\":10"), std::string::npos);
+}
+
+TEST(TimeSeriesSampler, EventsLandInTheirWindow) {
+  TimeSeriesSampler::Options opt;
+  opt.window_s = 10.0;
+  TimeSeriesSampler sampler(opt);
+  sampler.OnEventDequeue(1.0, "E", 3);
+  sampler.OnEventDequeue(5.0, "E", 7);
+  // Exactly on the boundary: belongs to window 1, closes window 0.
+  sampler.OnEventDequeue(10.0, "E", 2);
+  sampler.OnEventDequeue(25.0, "E", 1);
+  sampler.Finish();
+
+  ASSERT_EQ(sampler.window_count(), 3u);
+  const auto lines = Lines(sampler.ToJsonl(Header()));
+  ASSERT_EQ(lines.size(), 4u);  // header + 3 windows
+  // Window 0: two events, last queue depth 7.
+  EXPECT_NE(lines[1].find("\"window\":0"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"events\":2"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"queue_depth\":7"), std::string::npos);
+  // Window 1: the boundary event only.
+  EXPECT_NE(lines[2].find("\"window\":1"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"events\":1"), std::string::npos);
+  // Final partial window closed by Finish() at the last observed time.
+  EXPECT_NE(lines[3].find("\"window\":2"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"partial\":true"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"t1\":25"), std::string::npos);
+}
+
+TEST(TimeSeriesSampler, EmptyInteriorWindowsAreStillEmitted) {
+  TimeSeriesSampler::Options opt;
+  opt.window_s = 10.0;
+  TimeSeriesSampler sampler(opt);
+  sampler.OnEventDequeue(1.0, "E", 0);
+  sampler.OnEventDequeue(35.0, "E", 0);  // skips windows 1 and 2
+  sampler.Finish();
+  ASSERT_EQ(sampler.window_count(), 4u);
+  const auto lines = Lines(sampler.ToJsonl(Header()));
+  EXPECT_NE(lines[2].find("\"events\":0"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"events\":0"), std::string::npos);
+}
+
+TEST(TimeSeriesSampler, SlotSecondsIntegrateRunningTasks) {
+  TimeSeriesSampler::Options opt;
+  opt.window_s = 10.0;
+  opt.map_slots = 2;
+  opt.reduce_slots = 2;
+  TimeSeriesSampler sampler(opt);
+  // One map runs [0, 5]: 5 slot-seconds of the window's 20 available.
+  sampler.OnTaskLaunch(0.0, 0, TaskKind::kMap, 0);
+  TaskTiming timing;
+  timing.start = 0.0;
+  timing.shuffle_end = 0.0;
+  timing.end = 5.0;
+  sampler.OnTaskCompletion(5.0, 0, TaskKind::kMap, 0, timing, true);
+  sampler.OnEventDequeue(10.0, "E", 0);  // close window 0
+  sampler.Finish();
+
+  const auto lines = Lines(sampler.ToJsonl(Header()));
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("\"map_slot_seconds\":5"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"map_utilization\":0.25"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"reduce_utilization\":0"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"running_maps_max\":1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"running_maps\":0"), std::string::npos);
+}
+
+TEST(TimeSeriesSampler, RunningTasksCarryAcrossWindows) {
+  TimeSeriesSampler::Options opt;
+  opt.window_s = 10.0;
+  opt.map_slots = 1;
+  TimeSeriesSampler sampler(opt);
+  // A map running [2, 18] spans the boundary: 8 slot-seconds in window
+  // 0, 8 in window 1; still running at the window-0 close.
+  sampler.OnTaskLaunch(2.0, 0, TaskKind::kMap, 0);
+  TaskTiming timing;
+  timing.start = 2.0;
+  timing.shuffle_end = 2.0;
+  timing.end = 18.0;
+  sampler.OnTaskCompletion(18.0, 0, TaskKind::kMap, 0, timing, true);
+  sampler.Finish();
+
+  const auto lines = Lines(sampler.ToJsonl(Header()));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[1].find("\"map_slot_seconds\":8"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"running_maps\":1"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"map_slot_seconds\":8"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"running_maps\":0"), std::string::npos);
+}
+
+TEST(TimeSeriesSampler, DurationPercentilesArePerWindow) {
+  TimeSeriesSampler::Options opt;
+  opt.window_s = 100.0;
+  TimeSeriesSampler sampler(opt);
+  TaskTiming fast;
+  fast.start = 0.0;
+  fast.end = 1.0;
+  // Window 0: short tasks only.
+  for (int i = 0; i < 10; ++i)
+    sampler.OnTaskCompletion(50.0, 0, TaskKind::kMap, i, fast, true);
+  // Window 1: long tasks only — its p50 must not see window 0's.
+  TaskTiming slow;
+  slow.start = 100.0;
+  slow.end = 400.0;
+  for (int i = 0; i < 10; ++i)
+    sampler.OnTaskCompletion(450.0, 0, TaskKind::kMap, i, slow, true);
+  sampler.Finish();
+
+  const auto lines = Lines(sampler.ToJsonl(Header()));
+  ASSERT_GE(lines.size(), 3u);
+  // Window 0 percentile <= 2s (bucket bound above 1s duration).
+  const auto p50_at = lines[1].find("\"map_duration_p50\":");
+  ASSERT_NE(p50_at, std::string::npos);
+  EXPECT_LE(std::stod(lines[1].substr(lines[1].find(':', p50_at) + 1)), 2.0);
+  // Window 1 (index 4 in file order: header, w0, w1(empty at 100..200)...)
+  // find the window containing the slow completions.
+  std::string slow_window;
+  for (const auto& line : lines)
+    if (line.find("\"maps_completed\":10") != std::string::npos &&
+        line.find("\"window\":0") == std::string::npos)
+      slow_window = line;
+  ASSERT_FALSE(slow_window.empty());
+  const auto slow_p50_at = slow_window.find("\"map_duration_p50\":");
+  ASSERT_NE(slow_p50_at, std::string::npos);
+  EXPECT_GE(std::stod(slow_window.substr(
+                slow_window.find(':', slow_p50_at) + 1)),
+            100.0);
+  // Windows with no completions omit the percentile fields.
+  EXPECT_EQ(lines[2].find("map_duration_p50"), std::string::npos);
+}
+
+TEST(TimeSeriesSampler, FailedTasksCountAsFailuresNotDurations) {
+  TimeSeriesSampler::Options opt;
+  opt.window_s = 10.0;
+  TimeSeriesSampler sampler(opt);
+  TaskTiming timing;
+  timing.start = 0.0;
+  timing.end = 3.0;
+  sampler.OnTaskLaunch(0.0, 0, TaskKind::kMap, 0);
+  sampler.OnTaskCompletion(3.0, 0, TaskKind::kMap, 0, timing, false);
+  sampler.Finish();
+  const auto lines = Lines(sampler.ToJsonl(Header()));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("\"task_failures\":1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"maps_completed\":0"), std::string::npos);
+  EXPECT_EQ(lines[1].find("map_duration_p50"), std::string::npos);
+}
+
+TEST(TimeSeriesSampler, JobCountsTrackArrivalsAndCompletions) {
+  TimeSeriesSampler::Options opt;
+  opt.window_s = 10.0;
+  TimeSeriesSampler sampler(opt);
+  sampler.OnJobArrival(1.0, 0, "a", 0.0);
+  sampler.OnJobArrival(2.0, 1, "b", 0.0);
+  sampler.OnJobCompletion(8.0, 0);
+  sampler.OnEventDequeue(15.0, "E", 0);
+  sampler.Finish();
+  const auto lines = Lines(sampler.ToJsonl(Header()));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[1].find("\"jobs_arrived\":2"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"jobs_completed\":1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"jobs_active\":1"), std::string::npos);
+  // Per-window counts reset; the active count is cumulative.
+  EXPECT_NE(lines[2].find("\"jobs_arrived\":0"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"jobs_active\":1"), std::string::npos);
+}
+
+TEST(TimeSeriesSampler, RegistrySnapshotEmbedsScalars) {
+  MetricsRegistry registry;
+  auto& counter = registry.AddCounter("test_total", "help");
+  auto& gauge = registry.AddGauge("test_gauge", "help", {{"kind", "map"}});
+  TimeSeriesSampler::Options opt;
+  opt.window_s = 10.0;
+  opt.registry = &registry;
+  TimeSeriesSampler sampler(opt);
+  counter.Increment(3);
+  gauge.Set(1.5);
+  sampler.OnEventDequeue(12.0, "E", 0);
+  sampler.Finish();
+  const auto lines = Lines(sampler.ToJsonl(Header()));
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"test_total\":3"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"test_gauge{kind=\\\"map\\\"}\":1.5"),
+            std::string::npos);
+}
+
+TEST(TimeSeriesSampler, FinishIsIdempotentAndEmptyRunWritesHeaderOnly) {
+  TimeSeriesSampler::Options opt;
+  opt.window_s = 10.0;
+  TimeSeriesSampler sampler(opt);
+  sampler.Finish();
+  sampler.Finish();
+  EXPECT_EQ(sampler.window_count(), 0u);
+  const auto lines = Lines(sampler.ToJsonl(Header()));
+  EXPECT_EQ(lines.size(), 1u);
+}
+
+TEST(TimeSeriesSampler, WriteFileRoundTrips) {
+  TimeSeriesSampler::Options opt;
+  opt.window_s = 10.0;
+  TimeSeriesSampler sampler(opt);
+  sampler.OnEventDequeue(5.0, "E", 1);
+  const std::string path =
+      testing::TempDir() + "/timeseries_test_roundtrip.jsonl";
+  sampler.WriteFile(path, Header());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_NE(first.find("simmr.timeseries.v1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace simmr::obs

@@ -143,6 +143,27 @@ TEST(TraceExporter, SamplesQueueDepthCounters) {
                        "\"args\":{\"depth\":7}"));
 }
 
+TEST(TraceExporter, WindowedQueueDepthSamplesAtWindowEnds) {
+  TraceExporter::Options options;
+  options.queue_depth_window_s = 10.0;
+  TraceExporter t(options);
+  t.OnEventDequeue(1.0, "EV", 3);
+  t.OnEventDequeue(5.0, "EV", 8);
+  t.OnEventDequeue(25.0, "EV", 2);
+
+  // One counter per closed window, stamped at the window end with the
+  // depth after the window's last dequeue — the same (t1, queue_depth)
+  // pair the TimeSeriesSampler reports, so Perfetto and the time series
+  // agree. Window 0 closes at t=10 with depth 8; window 1 (empty) at
+  // t=20 still 8; the t=25 dequeue sits in the open window 2.
+  EXPECT_EQ(t.event_count(), 2u);
+  const std::string json = t.ToJson();
+  EXPECT_TRUE(Contains(json, "\"ph\":\"C\",\"ts\":10000000,\"pid\":1,"
+                             "\"tid\":0,\"args\":{\"depth\":8}"));
+  EXPECT_TRUE(Contains(json, "\"ph\":\"C\",\"ts\":20000000,\"pid\":1,"
+                             "\"tid\":0,\"args\":{\"depth\":8}"));
+}
+
 /// End-to-end: drive the exporter from a real engine replay and sanity-check
 /// the shape of the result.
 TEST(TraceExporter, EngineReplayProducesConsistentTrace) {

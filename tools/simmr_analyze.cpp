@@ -14,6 +14,7 @@
 #include "analysis/report.h"
 #include "analysis/run_diff.h"
 #include "analysis/run_record.h"
+#include "analysis/timeline.h"
 #include "tool_common.h"
 
 namespace {
@@ -30,7 +31,10 @@ void PrintTopUsage() {
       "  diff           structural diff of two runs (first divergence,\n"
       "                 per-job completion deltas, dominant phase)\n"
       "  perf-diff      noise-aware comparison of two bench suites\n"
-      "                 (BENCH_*.json); exits 4 on a regression\n\n"
+      "                 (BENCH_*.json); exits 4 on a regression\n"
+      "  timeline       per-window utilization / queue-depth / running-task\n"
+      "                 tables and a straggler summary from a\n"
+      "                 simmr.timeseries.v1 file (--timeseries-out)\n\n"
       "run 'simmr_analyze <subcommand> --help' for the subcommand's flags.\n");
 }
 
@@ -186,6 +190,42 @@ int main(int argc, char** argv) {
       std::fputs(analysis::RenderPerfDiff(result, opt).c_str(), stdout);
       if (opt.json) std::fputc('\n', stdout);
       return analysis::PerfDiffExitCode(result);
+    }
+
+    if (sub == "timeline") {
+      const auto flags = tools::Flags::Parse(
+          argc, argv,
+          "Renders a simmr.timeseries.v1 file (--timeseries-out) as\n"
+          "per-window utilization, queue-depth and running-task tables,\n"
+          "plus a straggler summary: windows whose task-duration p99\n"
+          "diverged from the median (a few tasks running far longer than\n"
+          "their peers). --json emits one simmr.timeline.v1 document.",
+          {
+              {"timeseries", "timeseries.jsonl",
+               "input simmr.timeseries.v1 path"},
+              {"straggler-factor", "3",
+               "flag windows where p99 >= factor * p50"},
+              {"min-completions", "5",
+               "ignore windows with fewer task completions than this"},
+              JsonFlag(),
+              tools::LogLevelFlag(),
+          });
+      if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+      if (!tools::ApplyLogLevel(*flags)) return 1;
+      analysis::TimelineOptions opt;
+      opt.json = flags->GetBool("json");
+      opt.straggler_factor = flags->GetDouble("straggler-factor");
+      opt.min_completions =
+          static_cast<std::uint64_t>(flags->GetInt("min-completions"));
+      if (!(opt.straggler_factor >= 1.0)) {
+        std::fprintf(stderr, "error: --straggler-factor must be >= 1\n");
+        return 1;
+      }
+      const auto timeline =
+          analysis::LoadTimeline(flags->Get("timeseries"));
+      std::fputs(analysis::RenderTimeline(timeline, opt).c_str(), stdout);
+      if (opt.json) std::fputc('\n', stdout);
+      return 0;
     }
 
     std::fprintf(stderr, "error: unknown subcommand '%s'\n\n", sub.c_str());

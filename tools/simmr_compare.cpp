@@ -24,9 +24,11 @@
 
 int main(int argc, char** argv) {
   using namespace simmr;
-  // Flag parity: --telemetry-out / --event-log-out are the shared specs
-  // from tool_common (compare treats the event-log path as a prefix, see
-  // the description).
+  // Flag parity: the full shared ObservabilityFlagSpecs table. Every
+  // per-run output (--trace-out, --metrics-out, --event-log-out,
+  // --timeseries-out) is written once per simulator, with ".simmr" /
+  // ".mumak" inserted before the extension (an extensionless prefix gets
+  // the format's extension appended, e.g. "cmp" -> "cmp.simmr.jsonl").
   std::vector<tools::FlagSpec> specs = {
       {"log", "history.log", "input history-log path"},
       {"map-slots", "64", "cluster map slots for the replay"},
@@ -34,19 +36,17 @@ int main(int argc, char** argv) {
       {"mumak-nodes", "64", "node count for the Mumak baseline"},
       tools::LogLevelFlag(),
   };
-  for (auto& spec : tools::ObservabilityFlagSpecs()) {
-    if (spec.name == "telemetry-out" || spec.name == "event-log-out" ||
-        spec.name == "profile-out")
-      specs.push_back(spec);
-  }
+  for (auto& spec : tools::ObservabilityFlagSpecs()) specs.push_back(spec);
   const auto flags = tools::Flags::Parse(
       argc, argv,
       "Replays each job of a history log in SimMR and in the Mumak\n"
       "baseline (FIFO) and reports completion-time accuracy against the\n"
       "log's ground truth — the paper's Figure 5(a) methodology.\n"
       "Telemetry carries an aggregate plus a per-simulator breakdown;\n"
-      "--event-log-out is a prefix, writing <prefix>.simmr.jsonl and\n"
-      "<prefix>.mumak.jsonl.",
+      "the other observability outputs are written per simulator\n"
+      "(<path>.simmr.* / <path>.mumak.*); --serve-metrics exposes the\n"
+      "SimMR-side registry. Jobs replay one at a time at t=0, so\n"
+      "time-series and traces overlay the per-job replays on one axis.",
       std::move(specs));
   if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
   if (!tools::ApplyLogLevel(*flags)) return 1;
@@ -68,35 +68,27 @@ int main(int argc, char** argv) {
     sched::FifoPolicy fifo;
 
     // One observer stack per simulator: summing SimMR and Mumak events into
-    // one blob would hide which side produced them, so the telemetry keeps
-    // per-simulator metrics and reports both a breakdown and the aggregate.
+    // one blob would hide which side produced them, so every per-run
+    // output is written per simulator (variant paths) and the telemetry
+    // reports both a breakdown and the aggregate (written here, not by the
+    // sinks). The SimMR-side sinks own the profiler and the --serve-metrics
+    // endpoint — both are process-wide singletons.
     const std::string telemetry_out = flags->Get("telemetry-out");
-    const std::string event_log_out = flags->Get("event-log-out");
-    const std::string profile_out = flags->Get("profile-out");
-    if (!profile_out.empty()) {
-      prof::Reset();
-      prof::Arm();
-    }
-    obs::MetricsRegistry simmr_registry, mumak_registry;
-    std::unique_ptr<obs::MetricsObserver> simmr_metrics, mumak_metrics;
-    std::unique_ptr<obs::EventLogObserver> simmr_log, mumak_log;
-    obs::MulticastObserver simmr_multicast, mumak_multicast;
-    if (!telemetry_out.empty()) {
-      simmr_metrics = std::make_unique<obs::MetricsObserver>(simmr_registry);
-      mumak_metrics = std::make_unique<obs::MetricsObserver>(mumak_registry);
-      simmr_multicast.Add(simmr_metrics.get());
-      mumak_multicast.Add(mumak_metrics.get());
-    }
-    if (!event_log_out.empty()) {
-      simmr_log = std::make_unique<obs::EventLogObserver>();
-      mumak_log = std::make_unique<obs::EventLogObserver>();
-      simmr_multicast.Add(simmr_log.get());
-      mumak_multicast.Add(mumak_log.get());
-    }
-    if (!simmr_multicast.Empty()) {
-      cfg.observer = &simmr_multicast;
-      mcfg.observer = &mumak_multicast;
-    }
+    tools::ObservabilitySinks simmr_sinks, mumak_sinks;
+    tools::SinkInitOptions simmr_init;
+    simmr_init.variant = "simmr";
+    simmr_init.write_telemetry = false;
+    simmr_sinks.Init(*flags, simmr_init);
+    tools::SinkInitOptions mumak_init;
+    mumak_init.variant = "mumak";
+    mumak_init.arm_profiler = false;
+    mumak_init.serve = false;
+    mumak_init.write_telemetry = false;
+    mumak_sinks.Init(*flags, mumak_init);
+    simmr_sinks.SetSlotConfig(cfg.map_slots, cfg.reduce_slots);
+    cfg.observer = simmr_sinks.observer();
+    mcfg.observer = mumak_sinks.observer();
+    simmr_sinks.live().sessions_total.store(2 * profiles.size());
     const auto wall_start = std::chrono::steady_clock::now();
 
     std::printf("%-12s %-18s %10s %10s %8s %10s %8s\n", "app", "dataset",
@@ -108,9 +100,11 @@ int main(int argc, char** argv) {
 
       // Each iteration replays one job at id 0 / time 0; the offset keeps
       // the combined event logs' job ids aligned with the history log.
-      if (simmr_log != nullptr) {
-        simmr_log->set_job_id_offset(static_cast<std::int32_t>(i));
-        mumak_log->set_job_id_offset(static_cast<std::int32_t>(i));
+      if (simmr_sinks.event_log() != nullptr) {
+        simmr_sinks.event_log()->set_job_id_offset(
+            static_cast<std::int32_t>(i));
+        mumak_sinks.event_log()->set_job_id_offset(
+            static_cast<std::int32_t>(i));
       }
 
       // Both replays flow through the unified RunResult: each simulator's
@@ -128,6 +122,15 @@ int main(int argc, char** argv) {
       const backend::RunResult mumak_result =
           backend::MumakBackend(std::move(one), mcfg).Run();
       const double mumak_t = mumak_result.jobs[0].CompletionTime();
+
+      auto& live = simmr_sinks.live();
+      if (!simmr_sinks.serving()) {
+        live.events_processed.fetch_add(simmr_result.events_processed,
+                                        std::memory_order_relaxed);
+      }
+      live.events_processed.fetch_add(mumak_result.events_processed,
+                                      std::memory_order_relaxed);
+      live.sessions_completed.fetch_add(2, std::memory_order_relaxed);
 
       simmr_acc.Add(actual, simmr_t);
       mumak_acc.Add(actual, mumak_t);
@@ -152,8 +155,31 @@ int main(int argc, char** argv) {
         "jobs=" + std::to_string(profiles.size()) + " mumak-nodes=" +
         std::to_string(mcfg.num_nodes);
 
+    // Per-simulator outputs (variant paths), then the merged telemetry.
+    // The SimMR-side Write() also joins the metrics server and writes the
+    // process-wide profile.
+    tools::RunSummary simmr_summary;
+    simmr_summary.tool = "simmr_compare";
+    simmr_summary.scenario = scenario;
+    simmr_summary.simulator = "simmr";
+    simmr_summary.wall_seconds = wall_seconds;
+    simmr_summary.jobs = profiles.size();
+    if (simmr_sinks.metrics() != nullptr) {
+      simmr_summary.events_processed =
+          simmr_sinks.metrics()->events_dequeued();
+    }
+    simmr_sinks.Write(simmr_summary);
+    tools::RunSummary mumak_summary = simmr_summary;
+    mumak_summary.simulator = "mumak";
+    if (mumak_sinks.metrics() != nullptr) {
+      mumak_summary.events_processed =
+          mumak_sinks.metrics()->events_dequeued();
+    }
+    mumak_sinks.Write(mumak_summary);
+
     if (!telemetry_out.empty()) {
-      simmr_metrics->SetWallStats(wall_seconds);
+      obs::MetricsObserver* simmr_metrics = simmr_sinks.metrics();
+      obs::MetricsObserver* mumak_metrics = mumak_sinks.metrics();
       // Aggregate across both simulators, plus a per-simulator breakdown so
       // the combined event count is attributable (one blob would hide which
       // side produced the events).
@@ -180,21 +206,6 @@ int main(int argc, char** argv) {
       if (!out) throw std::runtime_error("cannot open " + telemetry_out);
       out << json << "\n";
       std::printf("telemetry written to %s\n", telemetry_out.c_str());
-    }
-    if (!event_log_out.empty()) {
-      simmr_log->WriteFile(event_log_out + ".simmr.jsonl",
-                           {"simmr_compare", scenario, "simmr"});
-      mumak_log->WriteFile(event_log_out + ".mumak.jsonl",
-                           {"simmr_compare", scenario, "mumak"});
-      std::printf("event logs written to %s.{simmr,mumak}.jsonl (%zu + %zu "
-                  "events)\n",
-                  event_log_out.c_str(), simmr_log->event_count(),
-                  mumak_log->event_count());
-    }
-    if (!profile_out.empty()) {
-      prof::Disarm();
-      prof::WriteFile(profile_out, "simmr_compare", scenario);
-      std::printf("profile written to %s\n", profile_out.c_str());
     }
     return 0;
   } catch (const std::exception& e) {

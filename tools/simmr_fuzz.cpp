@@ -174,6 +174,8 @@ int RunFuzzLoop(const tools::Flags& flags, std::uint64_t master_seed,
   const Rng master(master_seed);
   const auto wall_start = std::chrono::steady_clock::now();
   std::uint64_t callbacks = 0;
+  sinks.live().sessions_total.store(
+      static_cast<std::uint64_t>(iterations));
   for (int i = 0; i < iterations; ++i) {
     // Each case regenerates bit-identically from (master seed, index):
     // the loop can be re-entered at any index for debugging.
@@ -185,6 +187,7 @@ int RunFuzzLoop(const tools::Flags& flags, std::uint64_t master_seed,
     const fuzz::BatteryResult result =
         fuzz::RunCheckBattery(pool, spec, case_options);
     callbacks += result.callbacks_seen;
+    sinks.live().sessions_completed.fetch_add(1, std::memory_order_relaxed);
     if (result.ok()) continue;
 
     std::fprintf(stderr, "case %d (seed %llu) violated %zu invariant(s):\n%s",
@@ -470,13 +473,18 @@ int main(int argc, char** argv) {
       sinks.Init(*flags);
     } else {
       for (const char* name : {"trace-out", "metrics-out", "telemetry-out",
-                               "event-log-out", "profile-out"}) {
+                               "event-log-out", "profile-out",
+                               "timeseries-out"}) {
         if (!flags->Get(name).empty())
           std::fprintf(stderr,
                        "warning: --%s applies to the fuzz loop only; "
                        "ignored in this mode\n",
                        name);
       }
+      if (flags->Get("serve-metrics") != "-1")
+        std::fprintf(stderr,
+                     "warning: --serve-metrics applies to the fuzz loop "
+                     "only; ignored in this mode\n");
     }
     if (!flags->Get("replay").empty()) return RunReplay(flags->Get("replay"));
     if (flags->GetBool("self-test")) return RunSelfTest(*flags, master_seed);

@@ -68,10 +68,15 @@ int main(int argc, char** argv) {
     // keeps the engine's no-observer fast path.
     tools::ObservabilitySinks sinks;
     sinks.Init(*flags);
+    sinks.SetSlotConfig(spec.map_slots, spec.reduce_slots);
+    sinks.live().sessions_total.store(1);
     spec.observer = sinks.observer();
 
     const auto wall_start = std::chrono::steady_clock::now();
     const backend::RunResult result = session.Replay(spec);
+    sinks.live().sessions_completed.store(1);
+    if (!sinks.serving())
+      sinks.live().events_processed.store(result.events_processed);
     const double wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)

@@ -23,10 +23,11 @@ int main(int argc, char** argv) {
       tools::ThreadsFlag(),
       tools::LogLevelFlag(),
   };
-  // simmr_scale runs no simulation, so --trace-out / --event-log-out yield
-  // empty (but valid) documents; --telemetry-out records wall time and the
-  // profile count. Accepted anyway so scripted pipelines can pass one flag
-  // set to every tool.
+  // simmr_scale runs no simulation, so --trace-out / --event-log-out /
+  // --timeseries-out yield empty (but valid) documents; --telemetry-out
+  // records wall time and the profile count, and --serve-metrics reports
+  // scaling progress. Accepted anyway so scripted pipelines can pass one
+  // flag set to every tool.
   for (auto& spec : tools::ObservabilityFlagSpecs()) specs.push_back(spec);
   const auto flags = tools::Flags::Parse(
       argc, argv,
@@ -62,11 +63,14 @@ int main(int argc, char** argv) {
     // output database is deterministic for a given seed regardless of
     // thread count or which --id subset is scaled.
     std::vector<trace::JobProfile> scaled(ids.size());
+    sinks.live().sessions_total.store(ids.size());
     ParallelFor(
         ids.size(),
         [&](std::size_t i) {
           Rng rng = master.Split("scale", static_cast<std::uint64_t>(ids[i]));
           scaled[i] = trace::ScaleProfile(db.Get(ids[i]), params, rng);
+          sinks.live().sessions_completed.fetch_add(
+              1, std::memory_order_relaxed);
         },
         static_cast<unsigned>(tools::ResolveThreads(*flags)));
 

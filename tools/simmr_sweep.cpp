@@ -279,6 +279,8 @@ int main(int argc, char** argv) {
     // aggregates the whole sweep.
     tools::ObservabilitySinks sinks;
     sinks.Init(*flags);
+    sinks.SetSlotConfig(points.front().map_slots, points.front().reduce_slots);
+    sinks.live().sessions_total.store(points.size());
 
     std::vector<SweepRecord> records(points.size());
     const auto wall_start = std::chrono::steady_clock::now();
@@ -302,6 +304,14 @@ int main(int argc, char** argv) {
           records[i].point = p;
           records[i].summary =
               analysis::Summarize(result, p.map_slots, p.reduce_slots);
+          // Live /progress: session 0's events are already counted by the
+          // serving observer; the others are added as they finish.
+          if (i != 0 || !sinks.serving()) {
+            sinks.live().events_processed.fetch_add(
+                result.events_processed, std::memory_order_relaxed);
+          }
+          sinks.live().sessions_completed.fetch_add(
+              1, std::memory_order_relaxed);
         },
         threads);
     const double wall_seconds =

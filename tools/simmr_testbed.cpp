@@ -76,11 +76,18 @@ int main(int argc, char** argv) {
 
     tools::ObservabilitySinks sinks;
     sinks.Init(*flags);
+    sinks.SetSlotConfig(
+        opts.config.num_nodes * opts.config.map_slots_per_node,
+        opts.config.num_nodes * opts.config.reduce_slots_per_node);
+    sinks.live().sessions_total.store(1);
     opts.observer = sinks.observer();
 
     const auto wall_start = std::chrono::steady_clock::now();
     const backend::RunResult result =
         backend::TestbedBackend(std::move(jobs), opts).Run();
+    sinks.live().sessions_completed.store(1);
+    if (!sinks.serving())
+      sinks.live().events_processed.store(result.events_processed);
     const double wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)

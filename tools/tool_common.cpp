@@ -158,7 +158,26 @@ std::vector<FlagSpec> ObservabilityFlagSpecs() {
        "optional durable event-log path (simmr.eventlog.v1 JSONL)"},
       {"profile-out", "",
        "optional in-process profiler JSON path (simmr.profile.v1)"},
+      {"timeseries-out", "",
+       "optional sim-time time-series path (simmr.timeseries.v1 JSONL)"},
+      {"timeseries-window", "60",
+       "sampling window for --timeseries-out, simulated seconds"},
+      {"serve-metrics", "-1",
+       "serve /metrics /healthz /progress on this HTTP port while the run "
+       "is live (0 = pick a free port and print it; -1 = off)"},
   };
+}
+
+std::string VariantPath(const std::string& path, const std::string& variant,
+                        const std::string& default_ext) {
+  if (variant.empty() || path.empty()) return path;
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + "." + variant + default_ext;
+  }
+  return path.substr(0, dot) + "." + variant + path.substr(dot);
 }
 
 FlagSpec ThreadsFlag() {
@@ -180,17 +199,51 @@ int ResolveThreads(const Flags& flags) {
   return DefaultParallelism();
 }
 
+ObservabilitySinks::~ObservabilitySinks() {
+  if (server_ != nullptr) server_->Stop();
+}
+
 void ObservabilitySinks::Init(const Flags& flags) {
-  trace_out_ = flags.Get("trace-out");
-  metrics_out_ = flags.Get("metrics-out");
+  Init(flags, SinkInitOptions{});
+}
+
+void ObservabilitySinks::Init(const Flags& flags,
+                              const SinkInitOptions& options) {
+  write_telemetry_ = options.write_telemetry;
+  trace_out_ = VariantPath(flags.Get("trace-out"), options.variant, ".json");
+  metrics_out_ = VariantPath(flags.Get("metrics-out"), options.variant);
   telemetry_out_ = flags.Get("telemetry-out");
-  event_log_out_ = flags.Get("event-log-out");
-  if (!metrics_out_.empty() || !telemetry_out_.empty()) {
+  event_log_out_ =
+      VariantPath(flags.Get("event-log-out"), options.variant, ".jsonl");
+  timeseries_out_ =
+      VariantPath(flags.Get("timeseries-out"), options.variant, ".jsonl");
+  const int serve_port = options.serve ? flags.GetInt("serve-metrics") : -1;
+  const double window = flags.GetDouble("timeseries-window");
+
+  // The registry backs --metrics-out, --telemetry-out, the per-window
+  // registry snapshot of --timeseries-out, and the live /metrics page.
+  if (!metrics_out_.empty() || !telemetry_out_.empty() ||
+      !timeseries_out_.empty() || serve_port >= 0) {
     metrics_ = std::make_unique<obs::MetricsObserver>(registry_);
-    multicast_.Add(metrics_.get());
   }
+  if (!timeseries_out_.empty()) {
+    obs::TimeSeriesSampler::Options ts;
+    ts.window_s = window;
+    ts.registry = &registry_;
+    timeseries_ = std::make_unique<obs::TimeSeriesSampler>(ts);
+    // The sampler goes first in the fan-out so its window-close registry
+    // snapshot never includes the boundary-crossing event.
+    multicast_.Add(timeseries_.get());
+  }
+  multicast_.Add(metrics_.get());
   if (!trace_out_.empty()) {
-    trace_ = std::make_unique<obs::TraceExporter>();
+    obs::TraceExporter::Options trace_options;
+    // Align the Perfetto queue-depth counter with the time-series windows
+    // when both are requested, so the two renderings agree sample for
+    // sample.
+    if (timeseries_ != nullptr)
+      trace_options.queue_depth_window_s = window;
+    trace_ = std::make_unique<obs::TraceExporter>(trace_options);
     multicast_.Add(trace_.get());
   }
   if (!event_log_out_.empty()) {
@@ -198,13 +251,63 @@ void ObservabilitySinks::Init(const Flags& flags) {
     multicast_.Add(event_log_.get());
   }
   profile_out_ = flags.Get("profile-out");
-  if (!profile_out_.empty()) {
+  if (!profile_out_.empty() && options.arm_profiler) {
     prof::Reset();
     prof::Arm();
   }
+
+  if (serve_port >= 0) {
+    locked_ = std::make_unique<obs::LockingObserver>(
+        &multicast_, &registry_mu_, &live_.events_processed);
+    obs::MetricsHttpServer::Options server_options;
+    server_options.port = serve_port;
+    server_ = std::make_unique<obs::MetricsHttpServer>(
+        [this] {
+          std::lock_guard<std::mutex> lock(registry_mu_);
+          return registry_.PrometheusText();
+        },
+        [this] { return MakeProgress(); }, server_options);
+    live_.start = std::chrono::steady_clock::now();
+    const int port = server_->Start();
+    // Parsed by the integration tests (port-0 discovery); keep the
+    // format stable and flush past any pipe buffering.
+    std::printf("serving metrics on port %d "
+                "(endpoints: /metrics /healthz /progress)\n",
+                port);
+    std::fflush(stdout);
+  }
+}
+
+obs::LiveProgress ObservabilitySinks::MakeProgress() const {
+  obs::LiveProgress p;
+  p.sessions_completed = live_.sessions_completed.load();
+  p.sessions_total = live_.sessions_total.load();
+  p.events_processed = live_.events_processed.load();
+  p.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    live_.start)
+          .count();
+  if (p.sessions_completed > 0 && p.sessions_total >= p.sessions_completed) {
+    p.eta_seconds = p.wall_seconds *
+                    static_cast<double>(p.sessions_total -
+                                        p.sessions_completed) /
+                    static_cast<double>(p.sessions_completed);
+  }
+  return p;
+}
+
+void ObservabilitySinks::SetSlotConfig(int map_slots, int reduce_slots) {
+  if (timeseries_ != nullptr) timeseries_->set_slots(map_slots, reduce_slots);
 }
 
 void ObservabilitySinks::Write(const RunSummary& summary) {
+  if (server_ != nullptr) {
+    server_->Stop();
+    std::printf("metrics server stopped after %llu requests\n",
+                static_cast<unsigned long long>(server_->requests_served()));
+    server_.reset();
+    locked_.reset();
+  }
   if (metrics_ != nullptr) metrics_->SetWallStats(summary.wall_seconds);
   if (!metrics_out_.empty()) {
     const bool as_json =
@@ -224,7 +327,14 @@ void ObservabilitySinks::Write(const RunSummary& summary) {
     std::printf("event log written to %s (%zu events)\n",
                 event_log_out_.c_str(), event_log_->event_count());
   }
-  if (!telemetry_out_.empty()) {
+  if (timeseries_ != nullptr) {
+    timeseries_->WriteFile(timeseries_out_,
+                           {summary.tool, summary.scenario,
+                            summary.simulator});
+    std::printf("timeseries written to %s (%zu windows)\n",
+                timeseries_out_.c_str(), timeseries_->window_count());
+  }
+  if (!telemetry_out_.empty() && write_telemetry_) {
     const obs::RunTelemetry telemetry = obs::MakeRunTelemetry(
         summary.tool, summary.scenario, summary.wall_seconds,
         summary.events_processed, summary.jobs, summary.makespan,

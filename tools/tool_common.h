@@ -5,17 +5,22 @@
 // defaults and help text; --help prints generated usage.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/event_log.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/metrics_observer.h"
+#include "obs/timeseries.h"
 #include "obs/trace_export.h"
 #include "simcore/log.h"
 
@@ -63,11 +68,19 @@ std::optional<simmr::LogLevel> ParseLogLevel(std::string_view name);
 /// prints to stderr when the value is not a recognized level name.
 bool ApplyLogLevel(const Flags& flags);
 
-/// The shared observability output flags: --trace-out, --metrics-out,
-/// --telemetry-out, --event-log-out and --profile-out. Tools append these
-/// to their spec list and hand the parsed flags to
-/// ObservabilitySinks::Init.
+/// The shared observability flags: --trace-out, --metrics-out,
+/// --telemetry-out, --event-log-out, --profile-out, --timeseries-out,
+/// --timeseries-window and --serve-metrics. Tools append these to their
+/// spec list and hand the parsed flags to ObservabilitySinks::Init.
 std::vector<FlagSpec> ObservabilityFlagSpecs();
+
+/// Inserts ".variant" before `path`'s final extension ("r.json" ->
+/// "r.simmr.json"); an extensionless path gets ".variant" plus
+/// `default_ext` appended ("cmp" -> "cmp.simmr.jsonl"). An empty variant
+/// returns the path unchanged. Used by simmr_compare to derive one output
+/// file per simulator from a single flag value.
+std::string VariantPath(const std::string& path, const std::string& variant,
+                        const std::string& default_ext = "");
 
 /// The shared --threads/-j flag for tools with ParallelFor phases.
 /// Default "0" = auto-detect (see ResolveThreads).
@@ -90,45 +103,115 @@ struct RunSummary {
   double makespan = 0.0;
 };
 
+/// Live-run progress shared between the simulating thread(s) and the
+/// --serve-metrics endpoint: tools bump the atomics as sessions finish;
+/// /progress renders them with a wall clock and a throughput ETA.
+struct LiveRunState {
+  std::atomic<std::uint64_t> sessions_completed{0};
+  std::atomic<std::uint64_t> sessions_total{0};
+  std::atomic<std::uint64_t> events_processed{0};
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+};
+
+/// Per-instance tweaks for ObservabilitySinks::Init, used by tools that
+/// own more than one sinks stack (simmr_compare runs two simulators from
+/// one flag set).
+struct SinkInitOptions {
+  /// Applied to every output path via VariantPath (empty = paths as
+  /// given). --profile-out is exempt: the profiler is process-wide.
+  std::string variant;
+  /// Arm the process-wide profiler for --profile-out. Exactly one sinks
+  /// instance per process should keep this on.
+  bool arm_profiler = true;
+  /// Start the --serve-metrics server from this instance (at most one
+  /// instance per flag value can bind the port).
+  bool serve = true;
+  /// Write --telemetry-out at Write(). simmr_compare disables this and
+  /// writes its own merged two-simulator telemetry instead.
+  bool write_telemetry = true;
+};
+
 /// Owns the observer stack a tool attaches when any observability output
-/// was requested: a MetricsObserver (for --metrics-out / --telemetry-out),
-/// a TraceExporter (--trace-out) and an EventLogObserver (--event-log-out)
+/// was requested: a TimeSeriesSampler (--timeseries-out), a
+/// MetricsObserver (--metrics-out / --telemetry-out / --serve-metrics), a
+/// TraceExporter (--trace-out) and an EventLogObserver (--event-log-out)
 /// fanned out through one MulticastObserver. When no output flag is set,
 /// observer() is nullptr and the simulators keep their no-observer fast
-/// path. Not movable: the registry is referenced by the metrics observer.
+/// path.
+///
+/// With --serve-metrics, Init() also starts a MetricsHttpServer and wraps
+/// the fan-out in a LockingObserver so the HTTP thread can snapshot the
+/// registry under the same mutex; the server is joined by Write() (or the
+/// destructor) before any output file is produced. Not movable: the
+/// registry is referenced by the metrics observer and the server.
 class ObservabilitySinks {
  public:
   ObservabilitySinks() = default;
   ObservabilitySinks(const ObservabilitySinks&) = delete;
   ObservabilitySinks& operator=(const ObservabilitySinks&) = delete;
+  ~ObservabilitySinks();
 
   /// Reads the ObservabilityFlagSpecs values and builds the requested
   /// observers. When --profile-out is set, resets and arms the in-process
   /// profiler (prof/profiler.h) — profiling is process-wide, so call this
-  /// right before the measured run.
+  /// right before the measured run. When --serve-metrics is set, binds
+  /// and starts the HTTP server immediately and prints
+  /// "serving metrics on port <port>" (port 0 = kernel-picked, for
+  /// tests). Throws std::runtime_error / std::invalid_argument on bad
+  /// flag values or socket failure.
   void Init(const Flags& flags);
+  void Init(const Flags& flags, const SinkInitOptions& options);
 
   /// The observer to attach, or nullptr when nothing was requested.
   obs::SimObserver* observer() {
+    if (locked_ != nullptr) return locked_.get();
     return multicast_.Empty() ? nullptr : &multicast_;
   }
 
   obs::MetricsObserver* metrics() { return metrics_.get(); }
   obs::EventLogObserver* event_log() { return event_log_.get(); }
+  obs::TimeSeriesSampler* timeseries() { return timeseries_.get(); }
 
-  /// Writes every requested output file and prints one
-  /// "<kind> written to <path>" line per file to stdout.
-  /// Throws std::runtime_error on I/O failure.
+  /// Progress counters for /progress; tools with session loops update
+  /// sessions_total before and sessions_completed during the run.
+  LiveRunState& live() { return live_; }
+
+  bool serving() const { return server_ != nullptr; }
+  /// Bound port while serving, -1 otherwise.
+  int server_port() const {
+    return server_ != nullptr ? server_->port() : -1;
+  }
+
+  /// Forwards the configured slot counts to the sampler so per-window
+  /// utilization can be emitted. No-op without --timeseries-out.
+  void SetSlotConfig(int map_slots, int reduce_slots);
+
+  /// Joins the metrics server (if any), then writes every requested
+  /// output file and prints one "<kind> written to <path>" line per file
+  /// to stdout. Throws std::runtime_error on I/O failure.
   void Write(const RunSummary& summary);
 
  private:
+  obs::LiveProgress MakeProgress() const;
+
   std::string trace_out_, metrics_out_, telemetry_out_, event_log_out_;
-  std::string profile_out_;
+  std::string profile_out_, timeseries_out_;
+  bool write_telemetry_ = true;
   obs::MetricsRegistry registry_;
   std::unique_ptr<obs::MetricsObserver> metrics_;
   std::unique_ptr<obs::TraceExporter> trace_;
   std::unique_ptr<obs::EventLogObserver> event_log_;
+  std::unique_ptr<obs::TimeSeriesSampler> timeseries_;
   obs::MulticastObserver multicast_;
+
+  // Live serving. The mutex serializes the simulation thread's registry
+  // writes (via locked_) against /metrics snapshots; declared before the
+  // server so the server (and its thread) is destroyed first.
+  std::mutex registry_mu_;
+  LiveRunState live_;
+  std::unique_ptr<obs::LockingObserver> locked_;
+  std::unique_ptr<obs::MetricsHttpServer> server_;
 };
 
 }  // namespace simmr::tools
