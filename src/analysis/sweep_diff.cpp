@@ -1,0 +1,196 @@
+#include "analysis/sweep_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/json_value.h"
+#include "obs/json.h"
+
+namespace simmr::analysis {
+namespace {
+
+double RequireNumber(const JsonValue& cell, const char* key,
+                     const std::string& path) {
+  const JsonValue* value = cell.Find(key);
+  if (value == nullptr || !value->IsNumber())
+    throw std::runtime_error(path + ": sweep cell missing numeric '" +
+                             key + "'");
+  const double number = value->AsNumber();
+  if (std::isnan(number))
+    throw std::runtime_error(path + ": sweep cell '" + std::string(key) +
+                             "' is NaN");
+  return number;
+}
+
+std::string RequireString(const JsonValue& cell, const char* key,
+                          const std::string& path) {
+  const JsonValue* value = cell.Find(key);
+  if (value == nullptr || !value->IsString())
+    throw std::runtime_error(path + ": sweep cell missing string '" + key +
+                             "'");
+  return value->AsString();
+}
+
+/// Relative disagreement between two values; exact zero when both agree
+/// bit-for-bit (including both zero).
+double RelDelta(double a, double b) {
+  if (a == b) return 0.0;
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) / scale;
+}
+
+}  // namespace
+
+std::string SweepCell::Key() const {
+  std::ostringstream key;
+  key << policy << "/" << slots << "/scale=" << arrival_scale;
+  return key.str();
+}
+
+SweepDoc LoadSweepDoc(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open sweep document " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = JsonValue::Parse(buffer.str());
+
+  const std::string version = doc.StringOr("format_version", "");
+  if (version != "simmr.sweep.v1")
+    throw std::runtime_error(path + ": not a simmr.sweep.v1 document (got '" +
+                             version + "')");
+  const JsonValue* cells = doc.Find("cells");
+  if (cells == nullptr || !cells->IsArray() || cells->AsArray().empty())
+    throw std::runtime_error(path + ": sweep document has no cells");
+
+  SweepDoc result;
+  result.path = path;
+  for (const JsonValue& cell : cells->AsArray()) {
+    SweepCell parsed;
+    parsed.policy = RequireString(cell, "policy", path);
+    parsed.slots = RequireString(cell, "slots", path);
+    parsed.arrival_scale = RequireNumber(cell, "arrival_scale", path);
+    parsed.replicates =
+        static_cast<int>(RequireNumber(cell, "replicates", path));
+    parsed.mean_makespan_s = RequireNumber(cell, "mean_makespan_s", path);
+    parsed.mean_completion_s = RequireNumber(cell, "mean_completion_s", path);
+    parsed.mean_deadline_utility =
+        RequireNumber(cell, "mean_deadline_utility", path);
+    parsed.mean_missed_deadlines =
+        RequireNumber(cell, "mean_missed_deadlines", path);
+    result.cells.push_back(std::move(parsed));
+  }
+  return result;
+}
+
+SweepDiffResult DiffSweepDocs(const SweepDoc& baseline,
+                              const SweepDoc& candidate,
+                              const SweepDiffOptions& options) {
+  SweepDiffResult result;
+  std::map<std::string, const SweepCell*> candidate_cells;
+  for (const SweepCell& cell : candidate.cells)
+    candidate_cells[cell.Key()] = &cell;
+
+  std::map<std::string, bool> matched;
+  for (const SweepCell& base : baseline.cells) {
+    const std::string key = base.Key();
+    const auto it = candidate_cells.find(key);
+    if (it == candidate_cells.end()) {
+      result.missing_in_candidate.push_back(key);
+      continue;
+    }
+    matched[key] = true;
+    const SweepCell& cand = *it->second;
+    ++result.cells_compared;
+
+    const struct {
+      const char* name;
+      double baseline;
+      double candidate;
+    } metrics[] = {
+        {"mean_makespan_s", base.mean_makespan_s, cand.mean_makespan_s},
+        {"mean_completion_s", base.mean_completion_s, cand.mean_completion_s},
+        {"mean_deadline_utility", base.mean_deadline_utility,
+         cand.mean_deadline_utility},
+        {"mean_missed_deadlines", base.mean_missed_deadlines,
+         cand.mean_missed_deadlines},
+    };
+    for (const auto& metric : metrics) {
+      const double delta = RelDelta(metric.baseline, metric.candidate);
+      if (delta <= options.threshold) continue;
+      SweepDrift drift;
+      drift.cell = key;
+      drift.metric = metric.name;
+      drift.baseline = metric.baseline;
+      drift.candidate = metric.candidate;
+      drift.rel_delta = delta;
+      result.drifts.push_back(std::move(drift));
+    }
+  }
+  for (const SweepCell& cell : candidate.cells)
+    if (matched.find(cell.Key()) == matched.end())
+      result.missing_in_baseline.push_back(cell.Key());
+  return result;
+}
+
+std::string RenderSweepDiff(const SweepDiffResult& result,
+                            const SweepDiffOptions& options) {
+  if (options.json) {
+    std::string out;
+    out += "{\"format_version\": \"simmr.sweepdiff.v1\"";
+    out += ", \"cells_compared\": " + std::to_string(result.cells_compared);
+    out += ", \"threshold\": " + obs::JsonNumber(options.threshold);
+    out += ", \"drifts\": [";
+    for (std::size_t i = 0; i < result.drifts.size(); ++i) {
+      const SweepDrift& drift = result.drifts[i];
+      if (i != 0) out += ", ";
+      out += "{\"cell\": \"" + obs::JsonEscape(drift.cell) + "\"";
+      out += ", \"metric\": \"" + obs::JsonEscape(drift.metric) + "\"";
+      out += ", \"baseline\": " + obs::JsonNumber(drift.baseline);
+      out += ", \"candidate\": " + obs::JsonNumber(drift.candidate);
+      out += ", \"rel_delta\": " + obs::JsonNumber(drift.rel_delta) + "}";
+    }
+    out += "], \"missing_in_candidate\": [";
+    for (std::size_t i = 0; i < result.missing_in_candidate.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "\"" + obs::JsonEscape(result.missing_in_candidate[i]) + "\"";
+    }
+    out += "], \"missing_in_baseline\": [";
+    for (std::size_t i = 0; i < result.missing_in_baseline.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "\"" + obs::JsonEscape(result.missing_in_baseline[i]) + "\"";
+    }
+    out += "]}";
+    return out;
+  }
+
+  std::ostringstream out;
+  for (const std::string& key : result.missing_in_candidate)
+    out << "sweep-diff: cell " << key << " missing from the candidate\n";
+  for (const std::string& key : result.missing_in_baseline)
+    out << "sweep-diff: cell " << key << " missing from the baseline\n";
+  for (const SweepDrift& drift : result.drifts) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "sweep-diff: DRIFT %s %s: baseline %.6g candidate %.6g "
+                  "(%.2f%%)\n",
+                  drift.cell.c_str(), drift.metric.c_str(), drift.baseline,
+                  drift.candidate, 100.0 * drift.rel_delta);
+    out << line;
+  }
+  out << "sweep-diff: " << result.cells_compared << " cells compared, "
+      << result.drifts.size() << " drifted";
+  if (result.structural_error()) out << ", grids DIFFER";
+  out << "\n";
+  return out.str();
+}
+
+int SweepDiffExitCode(const SweepDiffResult& result) {
+  if (result.structural_error()) return 1;
+  return result.drifts.empty() ? 0 : 4;
+}
+
+}  // namespace simmr::analysis

@@ -1,0 +1,226 @@
+#include "check/policy_properties.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/simmr.h"
+#include "sched/capacity.h"
+#include "sched/fifo.h"
+#include "sched/maxedf.h"
+#include "sched/preemptive_maxedf.h"
+#include "trace/mr_profiler.h"
+
+namespace simmr::check {
+namespace {
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+Violation Violate(const char* property, std::int32_t job, std::string detail,
+                  double at = 0.0) {
+  return {property, std::move(detail), at, job};
+}
+
+core::SimResult ReplayWith(const trace::WorkloadTrace& workload,
+                           core::SchedulerPolicy& policy,
+                           core::SimConfig config) {
+  config.observer = nullptr;
+  return core::Replay(workload, policy, config);
+}
+
+}  // namespace
+
+std::vector<std::string> PolicyPropertyNames() {
+  return {"fifo_capacity_equivalence", "edf_preemption_dominance",
+          "replay_accuracy"};
+}
+
+std::vector<Violation> CheckFifoCapacityEquivalence(
+    const trace::WorkloadTrace& workload, const PropertyOptions& options) {
+  std::vector<Violation> out;
+  if (workload.empty()) return out;
+
+  sched::FifoPolicy fifo;
+  const core::SimResult base = ReplayWith(workload, fifo, options.config);
+
+  std::vector<sched::QueueConfig> queues{{"default", 1.0}};
+  sched::CapacityPolicy::QueueClassifier classifier;
+  if (options.fault == "capacity") {
+    // Self-test fault: two starved half-capacity queues with jobs dealt
+    // alternately — no longer FIFO-equivalent by construction.
+    queues = {{"even", 0.5}, {"odd", 0.5}};
+    classifier = [](const core::JobState& job) {
+      return job.id() % 2 == 0 ? "even" : "odd";
+    };
+  }
+  sched::CapacityPolicy capacity(options.config.map_slots,
+                                 options.config.reduce_slots, queues,
+                                 classifier);
+  const core::SimResult degenerate =
+      ReplayWith(workload, capacity, options.config);
+
+  if (base.jobs.size() != degenerate.jobs.size()) {
+    out.push_back(Violate("fifo_capacity_equivalence", -1,
+                          "job count " + std::to_string(base.jobs.size()) +
+                              " vs " + std::to_string(degenerate.jobs.size())));
+    return out;
+  }
+  for (std::size_t i = 0; i < base.jobs.size(); ++i) {
+    const core::JobResult& a = base.jobs[i];
+    const core::JobResult& b = degenerate.jobs[i];
+    if (a.completion != b.completion || a.first_launch != b.first_launch ||
+        a.map_stage_end != b.map_stage_end) {
+      out.push_back(Violate(
+          "fifo_capacity_equivalence", a.job,
+          "FIFO vs one-queue Capacity diverge: completion " +
+              Num(a.completion) + " vs " + Num(b.completion) +
+              ", first_launch " + Num(a.first_launch) + " vs " +
+              Num(b.first_launch),
+          a.completion));
+    }
+  }
+  if (base.makespan != degenerate.makespan)
+    out.push_back(Violate("fifo_capacity_equivalence", -1,
+                          "makespan " + Num(base.makespan) + " vs " +
+                              Num(degenerate.makespan),
+                          base.makespan));
+  return out;
+}
+
+std::vector<Violation> CheckEdfPreemptionDominance(
+    const trace::WorkloadTrace& workload, const PropertyOptions& options) {
+  std::vector<Violation> out;
+  if (workload.empty()) return out;
+
+  core::SimConfig plain = options.config;
+  plain.allow_filler_preemption = false;
+  sched::MaxEdfPolicy maxedf;
+  const core::SimResult base = ReplayWith(workload, maxedf, plain);
+
+  trace::WorkloadTrace preempt_workload = workload;
+  if (options.fault == "edf") {
+    // Self-test fault: the preemptive run is judged against deadlines ten
+    // times tighter, so it "misses" deadlines the plain run meets.
+    for (trace::TraceJob& job : preempt_workload)
+      if (job.deadline > 0.0)
+        job.deadline =
+            job.arrival + 0.1 * (job.deadline - job.arrival);
+  }
+  core::SimConfig preemptive = options.config;
+  preemptive.allow_filler_preemption = true;
+  sched::PreemptiveMaxEdfPolicy preemptive_maxedf;
+  const core::SimResult improved =
+      ReplayWith(preempt_workload, preemptive_maxedf, preemptive);
+
+  if (base.jobs.size() != improved.jobs.size()) {
+    out.push_back(Violate("edf_preemption_dominance", -1,
+                          "job count " + std::to_string(base.jobs.size()) +
+                              " vs " +
+                              std::to_string(improved.jobs.size())));
+    return out;
+  }
+  for (std::size_t i = 0; i < base.jobs.size(); ++i) {
+    const core::JobResult& a = base.jobs[i];
+    const core::JobResult& b = improved.jobs[i];
+    if (!a.MissedDeadline() && b.MissedDeadline())
+      out.push_back(Violate(
+          "edf_preemption_dominance", a.job,
+          "preemption regressed a met deadline: non-preemptive finished " +
+              Num(a.completion) + " <= " + Num(a.deadline) +
+              " but preemptive finished " + Num(b.completion) + " > " +
+              Num(b.deadline),
+          b.completion));
+  }
+  return out;
+}
+
+std::vector<Violation> CheckReplayAccuracy(
+    const cluster::HistoryLog& log, const trace::WorkloadTrace& workload,
+    const PropertyOptions& options) {
+  std::vector<Violation> out;
+  if (workload.empty()) return out;
+  const double tolerance =
+      options.fault == "replay" ? 0.0 : options.replay_tolerance;
+
+  sched::FifoPolicy fifo;
+  const core::SimResult replayed = ReplayWith(workload, fifo, options.config);
+  if (replayed.jobs.size() != log.jobs().size()) {
+    out.push_back(Violate("replay_accuracy", -1,
+                          "job count " + std::to_string(replayed.jobs.size()) +
+                              " vs " + std::to_string(log.jobs().size())));
+    return out;
+  }
+  for (std::size_t i = 0; i < replayed.jobs.size(); ++i) {
+    const cluster::JobRecord& record = log.jobs()[i];
+    const double actual = record.finish_time - record.submit_time;
+    const double simulated = replayed.jobs[i].CompletionTime();
+    const double err =
+        actual > 0.0 ? std::fabs(simulated - actual) / actual : 0.0;
+    if (err > tolerance)
+      out.push_back(Violate(
+          "replay_accuracy", record.job,
+          record.app_name + "/" + record.dataset + " replay error " +
+              Num(err) + " exceeds " + Num(tolerance) + " (actual " +
+              Num(actual) + " s, replay " + Num(simulated) + " s)",
+          record.finish_time));
+  }
+  return out;
+}
+
+trace::WorkloadTrace PropertyWorkloadFromLog(const cluster::HistoryLog& log,
+                                             const PropertyOptions& options) {
+  const std::vector<trace::JobProfile> profiles =
+      trace::BuildAllProfiles(log);
+  core::SimConfig solo_config = options.config;
+  solo_config.observer = nullptr;
+  const std::vector<double> solo =
+      core::MeasureSoloCompletions(profiles, solo_config);
+
+  trace::WorkloadTrace workload(profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    workload[i].profile = profiles[i];
+    workload[i].arrival = log.jobs()[i].submit_time;
+    workload[i].solo_completion = solo[i];
+    workload[i].deadline =
+        options.deadline_factor > 0.0
+            ? workload[i].arrival + options.deadline_factor * solo[i]
+            : 0.0;
+  }
+  return workload;
+}
+
+std::vector<Violation> RunPolicyProperties(
+    const cluster::HistoryLog& log, const std::vector<std::string>& which,
+    const PropertyOptions& options) {
+  std::vector<std::string> selected =
+      which.empty() ? PolicyPropertyNames() : which;
+  for (const std::string& name : selected) {
+    bool known = false;
+    for (const std::string& candidate : PolicyPropertyNames())
+      known = known || candidate == name;
+    if (!known)
+      throw std::invalid_argument("RunPolicyProperties: unknown property '" +
+                                  name + "'");
+  }
+
+  const trace::WorkloadTrace workload = PropertyWorkloadFromLog(log, options);
+  std::vector<Violation> out;
+  const auto append = [&out](std::vector<Violation> found) {
+    out.insert(out.end(), found.begin(), found.end());
+  };
+  for (const std::string& name : selected) {
+    if (name == "fifo_capacity_equivalence")
+      append(CheckFifoCapacityEquivalence(workload, options));
+    else if (name == "edf_preemption_dominance")
+      append(CheckEdfPreemptionDominance(workload, options));
+    else if (name == "replay_accuracy")
+      append(CheckReplayAccuracy(log, workload, options));
+  }
+  return out;
+}
+
+}  // namespace simmr::check

@@ -1,0 +1,86 @@
+// Cross-policy correctness properties of the replay engine.
+//
+// The invariant observer (invariant_observer.h) checks one run against
+// itself; this suite checks runs against each other. Each property is a
+// semantic claim about the scheduler family that must hold for *every*
+// workload — which is exactly what makes them good oracles for the
+// schedule explorer (src/mc): any legal interleaving of the testbed yields
+// a fresh workload, and the properties must survive all of them.
+//
+//   fifo_capacity_equivalence   A Capacity scheduler with a single queue at
+//                               full capacity degenerates to FIFO: same
+//                               jobs, same completion times, bit-identical.
+//   edf_preemption_dominance    Filler preemption only helps: every
+//                               deadline the non-preemptive MaxEDF meets,
+//                               the preemptive variant meets too.
+//   replay_accuracy             Profiles extracted from a testbed log and
+//                               replayed under the same FIFO discipline
+//                               land within a relative tolerance of the
+//                               testbed ground truth (Figure 5's claim as
+//                               a pass/fail check).
+//
+// Violations reuse check::Violation so FormatViolations and the fuzz/mc
+// artifact plumbing handle them uniformly; `invariant` carries the
+// property name above.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/invariant_observer.h"
+#include "cluster/history_log.h"
+#include "core/engine.h"
+#include "trace/workload.h"
+
+namespace simmr::check {
+
+struct PropertyOptions {
+  /// Engine configuration for every replay (observer is ignored).
+  core::SimConfig config{};
+  /// Per-job relative completion-time error bound for replay_accuracy.
+  double replay_tolerance = 0.35;
+  /// Deadlines for edf_preemption_dominance are set to
+  /// arrival + deadline_factor * T_J (T_J = solo completion time).
+  double deadline_factor = 1.5;
+  /// Detector self-test fault injection: "" (none, the default),
+  /// "capacity" (splits the capacity run into two starved queues),
+  /// "edf" (shrinks the preemptive run's deadlines tenfold), or
+  /// "replay" (forces replay_tolerance to zero). Each fault makes the
+  /// corresponding property report violations on healthy inputs, which is
+  /// how simmr_explore --self-test proves the detectors are alive.
+  std::string fault;
+};
+
+/// Names accepted by RunPolicyProperties (and simmr_explore --property).
+std::vector<std::string> PolicyPropertyNames();
+
+/// FIFO vs single-queue-full-capacity Capacity: exact differential.
+std::vector<Violation> CheckFifoCapacityEquivalence(
+    const trace::WorkloadTrace& workload, const PropertyOptions& options);
+
+/// Preemptive MaxEDF must meet every deadline non-preemptive MaxEDF meets.
+/// Jobs without deadlines are skipped.
+std::vector<Violation> CheckEdfPreemptionDominance(
+    const trace::WorkloadTrace& workload, const PropertyOptions& options);
+
+/// Replays `workload` under FIFO and bounds each job's relative
+/// completion-time error against the testbed log the workload was
+/// profiled from.
+std::vector<Violation> CheckReplayAccuracy(const cluster::HistoryLog& log,
+                                           const trace::WorkloadTrace& workload,
+                                           const PropertyOptions& options);
+
+/// Builds the property workload from a testbed log: one TraceJob per job
+/// record, arrival = submit time, deadline = arrival + deadline_factor *
+/// solo completion (deterministic — no RNG involved).
+trace::WorkloadTrace PropertyWorkloadFromLog(const cluster::HistoryLog& log,
+                                             const PropertyOptions& options);
+
+/// Runs the named properties (every known property when `which` is empty)
+/// against a testbed log. Throws std::invalid_argument on an unknown
+/// property name.
+std::vector<Violation> RunPolicyProperties(const cluster::HistoryLog& log,
+                                           const std::vector<std::string>& which,
+                                           const PropertyOptions& options);
+
+}  // namespace simmr::check

@@ -92,16 +92,26 @@ class TestbedSim {
     }
     const ClusterConfig& cfg = options_.config;
     for (int n = 0; n < cfg.num_nodes; ++n) {
-      const SimTime stagger = cfg.heartbeat_interval *
-                              static_cast<double>(n) /
-                              static_cast<double>(cfg.num_nodes);
-      kernel_.Schedule(stagger, Event{EventKind::kHeartbeat, n});
+      // Staggered (the default): phases spread across the interval, like
+      // daemons that started at different moments. Synchronized: every
+      // tracker beats at the same instants, first beat one full interval
+      // in — so each round is a genuine arrival-order race for the model
+      // checker, without a degenerate all-idle round at t=0.
+      const SimTime first_beat =
+          cfg.heartbeat_stagger ? cfg.heartbeat_interval *
+                                      static_cast<double>(n) /
+                                      static_cast<double>(cfg.num_nodes)
+                                : cfg.heartbeat_interval;
+      kernel_.Schedule(first_beat, Event{EventKind::kHeartbeat, n});
     }
 
-    kernel_.DrainUntil(
+    kernel_.DrainUntilOracle(
         [this] { return finished_jobs_ >= submissions_.size(); }, obs_,
         [](const Event& ev) { return SimEventKindName(ev.kind); },
-        [this](const Event& ev) { Dispatch(ev); });
+        [](const Event& ev) {
+          return ChoiceOption{SimEventKindName(ev.kind), ev.a, ev.b};
+        },
+        [this](const Event& ev) { Dispatch(ev); }, options_.oracle);
     if (finished_jobs_ < submissions_.size())
       throw std::logic_error("TestbedSim: event queue drained early");
 

@@ -21,6 +21,7 @@
 #include "cluster/history_log.h"
 #include "cluster/job.h"
 #include "obs/observer.h"
+#include "simcore/choice.h"
 
 namespace simmr::cluster {
 
@@ -40,6 +41,13 @@ struct TestbedOptions {
   /// Optional live-instrumentation sink (borrowed; must outlive the run).
   /// Null by default — one branch per hook site, nothing else.
   obs::SimObserver* observer = nullptr;
+  /// Optional schedule oracle (borrowed; must outlive the run). When set,
+  /// every tie among same-time pending events — heartbeat arrival order,
+  /// same-instant task completions — is resolved by the oracle instead of
+  /// insertion order. Null keeps the classic deterministic drain. The
+  /// stateless model checker (src/mc) injects this to enumerate every
+  /// legal interleaving of a run.
+  ScheduleOracle* oracle = nullptr;
 };
 
 struct TestbedResult {

@@ -29,6 +29,14 @@ struct ClusterConfig {
   /// task-level replay abstracts away.
   SimDuration heartbeat_interval = 3.0;
 
+  /// Spread the nodes' heartbeat phases evenly across the interval (the
+  /// default, matching a cluster whose daemons started at different
+  /// moments). When false every tracker beats at the same instants, so
+  /// each round's arrival order at the JobTracker is a genuine race — the
+  /// nondeterminism the model checker (src/mc) enumerates through
+  /// TestbedOptions::oracle.
+  bool heartbeat_stagger = true;
+
   /// HDFS block size; determines the number of map tasks per job.
   double block_size_mb = 64.0;
 

@@ -86,4 +86,22 @@ std::vector<check::Violation> CompareRunResults(
   return out;
 }
 
+const std::vector<TestbedToleranceEntry>& TestbedReplayTolerances() {
+  // Bounds = worst per-job error observed across a 10-seed sweep of the
+  // 16-node validation suite (WordCount/WikiTrends/Twitter/Bayes <= 0.2%,
+  // Sort 0.5%, TFIDF 0.7%), widened ~5-10x so seed drift cannot flake the
+  // gate while every bound stays an order of magnitude under the old 35%.
+  static const std::vector<TestbedToleranceEntry> kTable = {
+      {"WordCount", 0.02}, {"WikiTrends", 0.02}, {"Twitter", 0.02},
+      {"Sort", 0.04},      {"TFIDF", 0.05},      {"Bayes", 0.02},
+  };
+  return kTable;
+}
+
+double TestbedReplayTolerance(const std::string& app_name) {
+  for (const TestbedToleranceEntry& entry : TestbedReplayTolerances())
+    if (entry.app == app_name) return entry.rel_tolerance;
+  return 0.35;
+}
+
 }  // namespace simmr::fuzz

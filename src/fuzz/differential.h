@@ -38,4 +38,24 @@ std::vector<check::Violation> CompareRunResults(
     const backend::RunResult& a, const backend::RunResult& b,
     const std::string& label, const CompareOptions& options = {});
 
+/// One validation-suite archetype's engine-vs-testbed accuracy bound.
+struct TestbedToleranceEntry {
+  std::string app;        // cluster::AppModel::name, e.g. "Sort"
+  double rel_tolerance;   // per-job |sim - actual| / actual bound
+};
+
+/// The per-archetype replay-accuracy bounds for the testbed cross-check
+/// (simmr_fuzz --testbed). The original gate was a blanket 35% (the
+/// loosest figure the paper reports); schedule exploration (src/mc)
+/// showed the residual error is modeling error, not interleaving luck —
+/// it stays put under every legal schedule — so each archetype gets a
+/// bound set from its measured worst case across seeds plus a safety
+/// margin. Sort and TFIDF carry the shuffle-heaviest profiles and the
+/// largest residuals.
+const std::vector<TestbedToleranceEntry>& TestbedReplayTolerances();
+
+/// The bound for one archetype; unknown apps fall back to the blanket
+/// 35% (new archetypes start loose until measured).
+double TestbedReplayTolerance(const std::string& app_name);
+
 }  // namespace simmr::fuzz

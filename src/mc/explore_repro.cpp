@@ -1,0 +1,107 @@
+#include "mc/explore_repro.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/mr_profiler.h"
+
+namespace simmr::mc {
+namespace {
+
+/// Reads "key value..." asserting the key; returns the value part.
+std::string ReadTrailerField(std::istream& in, const char* key) {
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error(
+        std::string("explore reproducer: missing trailer field ") + key);
+  const auto space = line.find(' ');
+  const std::string seen = line.substr(0, space);
+  if (seen != key)
+    throw std::runtime_error(std::string("explore reproducer: expected ") +
+                             key + ", got '" + line + "'");
+  return space == std::string::npos ? std::string() : line.substr(space + 1);
+}
+
+}  // namespace
+
+ExploreReproducer MakeExploreReproducer(const Scenario& scenario,
+                                        const ExploreViolation& violation,
+                                        const ExploreOptions& options) {
+  ExploreReproducer repro;
+  repro.scenario = scenario.name;
+  repro.property = violation.property;
+  repro.fault = options.fault;
+  repro.explore_seed = options.seed;
+  repro.schedule = violation.shrunk;
+
+  repro.base.master_seed = options.seed;
+  repro.base.note = "[" + violation.property + "] " + violation.detail;
+  repro.base.spec.policy = "fifo";
+  repro.base.spec.map_slots = scenario.options.config.TotalMapSlots();
+  repro.base.spec.reduce_slots = scenario.options.config.TotalReduceSlots();
+  repro.base.spec.slowstart = scenario.options.config.reduce_slowstart;
+  repro.base.spec.deadline_factor = 0.0;
+  repro.base.spec.seed = scenario.options.seed;
+  // The pool pins the violating interleaving's profiles so the artifact is
+  // self-contained even for plain simmr.repro.v1 readers.
+  const RunOutcome outcome =
+      RunSchedule(scenario, violation.shrunk, options);
+  repro.base.pool = trace::BuildAllProfiles(outcome.result.log);
+  repro.base.spec.num_jobs = static_cast<int>(repro.base.pool.size());
+  return repro;
+}
+
+void WriteExploreReproducer(std::ostream& out,
+                            const ExploreReproducer& repro) {
+  fuzz::WriteReproducer(out, repro.base);
+  out << "scenario " << repro.scenario << '\n';
+  out << "property " << repro.property << '\n';
+  out << "fault " << repro.fault << '\n';
+  out << "explore_seed " << repro.explore_seed << '\n';
+  out << "schedule " << repro.schedule.size();
+  for (const std::size_t pick : repro.schedule) out << ' ' << pick;
+  out << '\n';
+}
+
+ExploreReproducer ReadExploreReproducer(std::istream& in) {
+  ExploreReproducer repro;
+  repro.base = fuzz::ReadReproducer(in);
+  repro.scenario = ReadTrailerField(in, "scenario");
+  repro.property = ReadTrailerField(in, "property");
+  repro.fault = ReadTrailerField(in, "fault");
+  repro.explore_seed = std::stoull(ReadTrailerField(in, "explore_seed"));
+  std::istringstream schedule_in(ReadTrailerField(in, "schedule"));
+  std::size_t count = 0;
+  if (!(schedule_in >> count))
+    throw std::runtime_error("explore reproducer: malformed schedule line");
+  repro.schedule.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(schedule_in >> repro.schedule[i]))
+      throw std::runtime_error(
+          "explore reproducer: schedule shorter than its declared count");
+  }
+  return repro;
+}
+
+void WriteExploreReproducerFile(const std::string& path,
+                                const ExploreReproducer& repro) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("explore reproducer: cannot open " + path);
+  WriteExploreReproducer(out, repro);
+  out.flush();
+  if (!out)
+    throw std::runtime_error("explore reproducer: write failed for " + path);
+}
+
+ExploreReproducer ReadExploreReproducerFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("explore reproducer: cannot open " + path);
+  return ReadExploreReproducer(in);
+}
+
+}  // namespace simmr::mc

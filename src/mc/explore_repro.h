@@ -1,0 +1,61 @@
+// Exploration reproducers: simmr.repro.v1 extended with a schedule.
+//
+// A violation found by the explorer is pinned by (scenario, schedule,
+// property): replaying the recorded picks through a ScriptedOracle
+// re-executes the identical interleaving bit-for-bit. The artifact is the
+// existing simmr.repro.v1 document — the violating run's profiles embedded
+// as the pool, so `simmr_fuzz --replay` still reads it meaningfully — with
+// an exploration trailer appended after the profile blocks:
+//
+//   scenario pair
+//   property invariants
+//   fault invariants
+//   explore_seed 42
+//   schedule 3 0 1 2
+//
+// The v1 reader stops after the declared profile count and ignores
+// trailing content, so the extension is backward compatible; committed
+// files use the .xrepro extension and are replayed by
+// `simmr_explore --replay` in the corpus regression tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fuzz/repro.h"
+#include "mc/explorer.h"
+
+namespace simmr::mc {
+
+struct ExploreReproducer {
+  /// The embedded engine-format reproducer (pool = profiles of the
+  /// violating run; note = first violation detail).
+  fuzz::Reproducer base;
+  std::string scenario;
+  std::string property;
+  /// ExploreOptions::fault active when the violation was found. Empty =
+  /// the artifact pins a real failure (replay must be clean once fixed);
+  /// non-empty = a detector pin (replay must still catch the fault).
+  std::string fault;
+  std::uint64_t explore_seed = 0;
+  Schedule schedule;
+};
+
+/// Builds the artifact for one violation found while exploring `scenario`.
+ExploreReproducer MakeExploreReproducer(const Scenario& scenario,
+                                        const ExploreViolation& violation,
+                                        const ExploreOptions& options);
+
+/// Writes the extended text form (round-trips bit-exactly).
+void WriteExploreReproducer(std::ostream& out, const ExploreReproducer& repro);
+
+/// Parses an extended reproducer. Throws std::runtime_error on malformed
+/// input, a missing trailer, or an unknown schedule encoding.
+ExploreReproducer ReadExploreReproducer(std::istream& in);
+
+/// File wrappers; the writer throws std::runtime_error on I/O failure.
+void WriteExploreReproducerFile(const std::string& path,
+                                const ExploreReproducer& repro);
+ExploreReproducer ReadExploreReproducerFile(const std::string& path);
+
+}  // namespace simmr::mc

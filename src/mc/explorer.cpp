@@ -1,0 +1,472 @@
+#include "mc/explorer.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "prof/profiler.h"
+#include "simcore/parallel.h"
+
+namespace simmr::mc {
+namespace {
+
+constexpr std::size_t kNoPick = static_cast<std::size_t>(-1);
+
+std::set<std::string> AllPropertyNames() {
+  std::set<std::string> names{"invariants"};
+  for (const std::string& name : check::PolicyPropertyNames())
+    names.insert(name);
+  return names;
+}
+
+/// Splits the selection into the observer-backed part and the
+/// policy-property part; validates names.
+struct PropertySelection {
+  bool invariants = false;
+  std::vector<std::string> policy;
+};
+
+PropertySelection SelectProperties(const ExploreOptions& options) {
+  PropertySelection selection;
+  if (options.properties.empty()) {
+    selection.invariants = true;
+    selection.policy = check::PolicyPropertyNames();
+    return selection;
+  }
+  const std::set<std::string> known = AllPropertyNames();
+  for (const std::string& name : options.properties) {
+    if (known.find(name) == known.end())
+      throw std::invalid_argument("Explore: unknown property '" + name +
+                                  "'");
+    if (name == "invariants")
+      selection.invariants = true;
+    else
+      selection.policy.push_back(name);
+  }
+  return selection;
+}
+
+check::PropertyOptions MakePropertyOptions(const Scenario& scenario,
+                                           const ExploreOptions& options) {
+  check::PropertyOptions prop;
+  prop.config.map_slots = scenario.options.config.TotalMapSlots();
+  prop.config.reduce_slots = scenario.options.config.TotalReduceSlots();
+  prop.config.min_map_percent_completed =
+      scenario.options.config.reduce_slowstart;
+  prop.replay_tolerance = scenario.replay_tolerance;
+  prop.deadline_factor = scenario.deadline_factor;
+  if (options.fault != "invariants") prop.fault = options.fault;
+  return prop;
+}
+
+check::InvariantOptions MakeInvariantOptions(const Scenario& scenario,
+                                             const ExploreOptions& options) {
+  check::InvariantOptions causal;
+  causal.strictness = check::Strictness::kCausal;
+  causal.map_slots = scenario.options.config.TotalMapSlots();
+  causal.reduce_slots = scenario.options.config.TotalReduceSlots();
+  if (options.fault == "invariants") {
+    // Self-test fault: claim half the real capacity, so healthy runs look
+    // oversubscribed to the observer.
+    causal.map_slots = std::max(1, causal.map_slots / 2);
+    causal.reduce_slots = std::max(1, causal.reduce_slots / 2);
+  }
+  return causal;
+}
+
+/// One scenario execution under an arbitrary oracle, with the invariant
+/// observer attached and the policy properties evaluated on the log.
+RunOutcome ExecuteWith(const Scenario& scenario, ScheduleOracle* oracle,
+                       const PropertySelection& selection,
+                       const check::PropertyOptions& prop,
+                       const check::InvariantOptions& causal) {
+  cluster::TestbedOptions run_options = scenario.options;
+  check::InvariantObserver invariants(causal);
+  run_options.observer = &invariants;
+  run_options.oracle = oracle;
+
+  RunOutcome outcome;
+  outcome.result = cluster::RunTestbed(scenario.jobs, run_options);
+  invariants.FinishRun();
+  outcome.fingerprint = FingerprintLog(outcome.result.log);
+
+  if (selection.invariants && !invariants.ok()) {
+    for (check::Violation violation : invariants.violations()) {
+      violation.detail =
+          "[" + violation.invariant + "] " + violation.detail;
+      violation.invariant = "invariants";
+      outcome.violations.push_back(std::move(violation));
+    }
+  }
+  if (!selection.policy.empty()) {
+    std::vector<check::Violation> found = check::RunPolicyProperties(
+        outcome.result.log, selection.policy, prop);
+    outcome.violations.insert(outcome.violations.end(), found.begin(),
+                              found.end());
+  }
+  return outcome;
+}
+
+/// Depth-first schedule enumeration with sleep-set pruning. Stateless: the
+/// scenario is re-executed per schedule; the DFS stack holds one entry per
+/// choice point of the current path.
+class DfsExplorer {
+ public:
+  DfsExplorer(const Scenario& scenario, const ExploreOptions& options,
+              const PropertySelection& selection,
+              const check::PropertyOptions& prop,
+              const check::InvariantOptions& causal, ExploreStats* stats)
+      : scenario_(scenario),
+        options_(options),
+        selection_(selection),
+        prop_(prop),
+        causal_(causal),
+        stats_(stats),
+        seed_rng_(options.seed) {}
+
+  /// Runs the DFS phase; invokes `on_outcome` for every executed schedule.
+  template <typename OutcomeFn>
+  void Run(OutcomeFn&& on_outcome) {
+    bool first = true;
+    while (first || !stack_.empty()) {
+      first = false;
+      if (stats_->dfs_executions >= options_.budget) return;  // not exhausted
+      on_outcome(ExecuteOnce());
+      ++stats_->dfs_executions;
+      prof::Count(prof::Counter::kExploreExecutions);
+      Backtrack();
+    }
+    stats_->exhausted = true;
+  }
+
+ private:
+  struct StackNode {
+    SimTime time = 0.0;
+    std::vector<ChoiceOption> options;
+    std::vector<ActionSig> sigs;
+    std::set<ActionSig> sleep;  // on entry, fixed at creation
+    std::set<ActionSig> done;   // sigs of explored alternatives
+    std::vector<bool> tried;    // per alternative index
+    std::size_t chosen = 0;
+  };
+
+  RunOutcome ExecuteOnce() {
+    cp_index_ = 0;
+    running_sleep_.clear();
+    trail_.clear();
+    tail_rng_ = seed_rng_.Split("tail", stats_->dfs_executions);
+
+    CallbackOracle oracle(
+        [this](SimTime now, const std::vector<ChoiceOption>& options) {
+          return ChooseAt(now, options);
+        },
+        [this](SimTime, const ChoiceOption& dispatched) {
+          WakeDependents(SigOf(dispatched));
+        });
+    RunOutcome outcome =
+        ExecuteWith(scenario_, &oracle, selection_, prop_, causal_);
+    outcome.trail = trail_;
+    return outcome;
+  }
+
+  std::size_t ChooseAt(SimTime now, const std::vector<ChoiceOption>& options) {
+    ++stats_->choice_points;
+    prof::Count(prof::Counter::kExploreChoicePoints);
+    stats_->deepest_tie = std::max<std::uint64_t>(stats_->deepest_tie,
+                                                  options.size());
+    std::vector<ActionSig> sigs;
+    sigs.reserve(options.size());
+    for (const ChoiceOption& option : options) sigs.push_back(SigOf(option));
+
+    const std::size_t index = cp_index_++;
+    std::size_t pick = 0;
+    if (index < stack_.size()) {
+      StackNode& node = stack_[index];
+      if (sigs != node.sigs)
+        throw std::logic_error(
+            "DfsExplorer: schedule replay diverged at choice point " +
+            std::to_string(index) + " — the scenario is nondeterministic");
+      pick = node.chosen;
+      running_sleep_ = node.sleep;
+      running_sleep_.insert(node.done.begin(), node.done.end());
+    } else if (index < static_cast<std::size_t>(options_.max_depth)) {
+      StackNode node;
+      node.time = now;
+      node.options = options;
+      node.sigs = sigs;
+      node.sleep = running_sleep_;
+      node.tried.assign(options.size(), false);
+      pick = GreedyPick(node);
+      node.chosen = pick;
+      stack_.push_back(std::move(node));
+      ++stats_->transitions_explored;
+      stats_->frontier_high_water =
+          std::max<std::uint64_t>(stats_->frontier_high_water, stack_.size());
+      prof::RaiseHighWater(prof::HighWater::kExploreFrontier, stack_.size());
+      StackNode& placed = stack_.back();
+      running_sleep_ = placed.sleep;  // done is empty on creation
+    } else {
+      // Beyond the exhaustive horizon: seeded random tail. Not a stack
+      // node — these picks are sampled, not enumerated.
+      pick = static_cast<std::size_t>(tail_rng_.NextBounded(options.size()));
+      // running_sleep_ keeps filtering via WakeDependents on dispatch.
+    }
+    trail_.push_back(ChoiceRecord{now, options, pick});
+    return pick;
+  }
+
+  /// First alternative not asleep on entry; slept ones are marked tried
+  /// and counted as pruned. When everything is asleep the run is
+  /// redundant but must still finish: force index 0.
+  std::size_t GreedyPick(StackNode& node) {
+    std::size_t pick = kNoPick;
+    for (std::size_t k = 0; k < node.sigs.size(); ++k) {
+      if (options_.prune && node.sleep.count(node.sigs[k]) != 0) {
+        node.tried[k] = true;
+        ++stats_->transitions_pruned;
+        prof::Count(prof::Counter::kExplorePruned);
+        continue;
+      }
+      pick = k;
+      break;
+    }
+    if (pick == kNoPick) {
+      ++stats_->sleep_blocked;
+      node.tried.assign(node.sigs.size(), true);  // nothing left to explore
+      pick = 0;
+    }
+    return pick;
+  }
+
+  void WakeDependents(const ActionSig& dispatched) {
+    for (auto it = running_sleep_.begin(); it != running_sleep_.end();) {
+      if (!IndependentActions(*it, dispatched))
+        it = running_sleep_.erase(it);
+      else
+        ++it;
+    }
+  }
+
+  void Backtrack() {
+    while (!stack_.empty()) {
+      StackNode& node = stack_.back();
+      node.done.insert(node.sigs[node.chosen]);
+      node.tried[node.chosen] = true;
+      std::size_t next = kNoPick;
+      for (std::size_t k = 0; k < node.sigs.size(); ++k) {
+        if (node.tried[k]) continue;
+        if (node.done.count(node.sigs[k]) != 0) {
+          node.tried[k] = true;  // duplicate signature, already covered
+          continue;
+        }
+        if (options_.prune && node.sleep.count(node.sigs[k]) != 0) {
+          node.tried[k] = true;
+          ++stats_->transitions_pruned;
+          prof::Count(prof::Counter::kExplorePruned);
+          continue;
+        }
+        next = k;
+        break;
+      }
+      if (next != kNoPick) {
+        node.chosen = next;
+        ++stats_->transitions_explored;
+        return;
+      }
+      stack_.pop_back();
+    }
+  }
+
+  const Scenario& scenario_;
+  const ExploreOptions& options_;
+  const PropertySelection& selection_;
+  const check::PropertyOptions& prop_;
+  const check::InvariantOptions& causal_;
+  ExploreStats* stats_;
+  Rng seed_rng_;
+  Rng tail_rng_{0};
+
+  std::vector<StackNode> stack_;
+  std::set<ActionSig> running_sleep_;
+  std::vector<ChoiceRecord> trail_;
+  std::size_t cp_index_ = 0;
+};
+
+/// True when `outcome` still violates `property`.
+bool Violates(const RunOutcome& outcome, const std::string& property) {
+  for (const check::Violation& violation : outcome.violations)
+    if (violation.invariant == property) return true;
+  return false;
+}
+
+void StripTrailingDefaults(Schedule* schedule) {
+  while (!schedule->empty() && schedule->back() == 0) schedule->pop_back();
+}
+
+}  // namespace
+
+std::uint64_t FingerprintLog(const cluster::HistoryLog& log) {
+  std::ostringstream serialized;
+  log.Write(serialized);
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(serialized.str());
+  while (std::getline(in, line)) lines.push_back(line);
+  // Canonical order: independent-event reorderings may permute record
+  // order without changing the execution's substance.
+  std::sort(lines.begin(), lines.end());
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a 64 offset basis
+  for (const std::string& sorted_line : lines) {
+    for (const char c : sorted_line) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ULL;
+    }
+    hash ^= static_cast<unsigned char>('\n');
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+RunOutcome RunSchedule(const Scenario& scenario, const Schedule& schedule,
+                       const ExploreOptions& options) {
+  const PropertySelection selection = SelectProperties(options);
+  const check::PropertyOptions prop = MakePropertyOptions(scenario, options);
+  const check::InvariantOptions causal =
+      MakeInvariantOptions(scenario, options);
+  ScriptedOracle oracle(schedule);
+  RunOutcome outcome =
+      ExecuteWith(scenario, &oracle, selection, prop, causal);
+  outcome.trail = oracle.trail();
+  return outcome;
+}
+
+Schedule ShrinkSchedule(const Scenario& scenario, const Schedule& schedule,
+                        const std::string& property,
+                        const ExploreOptions& options,
+                        std::uint64_t* probes) {
+  std::uint64_t probe_count = 0;
+  const auto fails = [&](const Schedule& candidate) {
+    ++probe_count;
+    return Violates(RunSchedule(scenario, candidate, options), property);
+  };
+
+  Schedule current = schedule;
+  StripTrailingDefaults(&current);
+  if (!fails(current)) {
+    // The violation does not reproduce under its own schedule — report the
+    // input unshrunk rather than minimize a different failure.
+    if (probes != nullptr) *probes = probe_count;
+    return schedule;
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Zero out chunks of non-default picks, largest chunks first
+    // (ddmin-style: a reduction is kept only if the violation survives).
+    for (std::size_t chunk = current.size(); chunk >= 1; chunk /= 2) {
+      for (std::size_t start = 0; start < current.size(); start += chunk) {
+        const std::size_t end = std::min(start + chunk, current.size());
+        bool any_nonzero = false;
+        for (std::size_t i = start; i < end; ++i)
+          any_nonzero = any_nonzero || current[i] != 0;
+        if (!any_nonzero) continue;
+        Schedule candidate = current;
+        for (std::size_t i = start; i < end; ++i) candidate[i] = 0;
+        StripTrailingDefaults(&candidate);
+        if (fails(candidate)) {
+          current = candidate;
+          changed = true;
+        }
+      }
+      if (chunk == 1) break;
+    }
+    // Decrement surviving picks toward the default.
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      while (current[i] > 0) {
+        Schedule candidate = current;
+        --candidate[i];
+        StripTrailingDefaults(&candidate);
+        if (!fails(candidate)) break;
+        current = candidate;
+        changed = true;
+        if (i >= current.size()) break;
+      }
+      if (i >= current.size()) break;
+    }
+    StripTrailingDefaults(&current);
+  }
+  if (probes != nullptr) *probes = probe_count;
+  return current;
+}
+
+ExploreResult Explore(const Scenario& scenario,
+                      const ExploreOptions& options) {
+  if (options.budget == 0)
+    throw std::invalid_argument("Explore: budget must be positive");
+  if (options.max_depth <= 0)
+    throw std::invalid_argument("Explore: depth must be positive");
+  const PropertySelection selection = SelectProperties(options);
+  const check::PropertyOptions prop = MakePropertyOptions(scenario, options);
+  const check::InvariantOptions causal =
+      MakeInvariantOptions(scenario, options);
+
+  ExploreResult result;
+  std::set<std::uint64_t> fingerprints;
+  std::set<std::string> seen_properties;
+
+  const auto record_outcome = [&](const RunOutcome& outcome) {
+    fingerprints.insert(outcome.fingerprint);
+    if (outcome.violations.empty()) return;
+    for (const check::Violation& violation : outcome.violations) {
+      if (result.violations.size() >= options.max_violations) break;
+      // One artifact per property: every schedule of a broken detector
+      // violates, and a thousand copies of the same finding help nobody.
+      if (!seen_properties.insert(violation.invariant).second) continue;
+      ExploreViolation found;
+      found.property = violation.invariant;
+      found.detail = violation.detail;
+      found.schedule = ScheduleOfTrail(outcome.trail);
+      found.fingerprint = outcome.fingerprint;
+      found.shrunk = ShrinkSchedule(scenario, found.schedule, found.property,
+                                    options, &found.shrink_probes);
+      result.violations.push_back(std::move(found));
+    }
+  };
+
+  // Phase 1: exhaustive DFS with sleep sets up to max_depth.
+  DfsExplorer dfs(scenario, options, selection, prop, causal, &result.stats);
+  dfs.Run(record_outcome);
+
+  // Phase 2: seeded random sampling, deterministically merged by index so
+  // the result is identical for every thread count.
+  if (options.random_executions > 0) {
+    const Rng seed_rng(options.seed);
+    std::vector<RunOutcome> outcomes(options.random_executions);
+    ParallelFor(
+        options.random_executions,
+        [&](std::size_t i) {
+          RandomOracle oracle(seed_rng.Split("random", i).seed() ^
+                              HashName("mc-random") ^ i);
+          outcomes[i] =
+              ExecuteWith(scenario, &oracle, selection, prop, causal);
+          outcomes[i].trail = oracle.trail();
+        },
+        options.threads);
+    for (const RunOutcome& outcome : outcomes) {
+      ++result.stats.random_executions;
+      prof::Count(prof::Counter::kExploreExecutions);
+      record_outcome(outcome);
+    }
+  }
+
+  result.stats.executions =
+      result.stats.dfs_executions + result.stats.random_executions;
+  result.stats.distinct_terminals = fingerprints.size();
+  result.fingerprints.assign(fingerprints.begin(), fingerprints.end());
+  return result;
+}
+
+}  // namespace simmr::mc

@@ -1,0 +1,133 @@
+// Stateless model checker for scheduler interleavings.
+//
+// The testbed emulator is deterministic except where events tie at the
+// same simulated instant; there the dispatch order is a free choice
+// (simcore/choice.h). This explorer enumerates those choices
+// depth-first, re-executing the scenario from scratch per schedule — no
+// state capture, the schedule prefix IS the state — with sleep-set
+// pruning in the DPOR family: once an alternative `a` has been explored
+// at a choice point, sibling subtrees reached via actions independent of
+// `a` (mc/oracles.h's IndependentActions) need not re-explore `a`, so it
+// is put to sleep there. Sleeping actions that become the sole runnable
+// event are force-dispatched: that only costs pruning, never coverage.
+//
+// Choice points beyond `max_depth` are resolved by a per-execution seeded
+// random tail, and an optional post-DFS phase samples `random_executions`
+// fully random schedules — the exhaustive core stays tractable while the
+// deep tail still gets coverage. Every execution runs under a causal-mode
+// invariant observer plus the check::PolicyProperties suite; violations
+// are ddmin-shrunk to a minimal schedule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/invariant_observer.h"
+#include "check/policy_properties.h"
+#include "mc/oracles.h"
+#include "mc/scenario.h"
+
+namespace simmr::mc {
+
+struct ExploreOptions {
+  /// Choice points enumerated exhaustively per run; deeper ones are
+  /// resolved by the seeded random tail.
+  int max_depth = 64;
+  /// Maximum executions across the DFS phase. Throws when zero — a
+  /// zero-budget exploration can make no claim at all.
+  std::uint64_t budget = 20000;
+  /// Seeds the random tails and the random sampling phase.
+  std::uint64_t seed = 42;
+  /// Extra fully-random executions after the DFS phase.
+  std::uint64_t random_executions = 0;
+  /// Sleep-set pruning; off = naive full enumeration (the baseline the
+  /// pruning tests compare against).
+  bool prune = true;
+  /// Worker threads for the random phase (the DFS phase is inherently
+  /// sequential). Results are merged in index order, so the outcome is
+  /// identical for every thread count.
+  unsigned threads = 1;
+  /// Property subset to check (check::PolicyPropertyNames() plus
+  /// "invariants"); empty = all. Unknown names throw.
+  std::vector<std::string> properties;
+  /// Keep at most this many violations (each is shrunk, which re-executes
+  /// many schedules).
+  std::size_t max_violations = 8;
+  /// Detector self-test fault, forwarded to check::PropertyOptions::fault;
+  /// additionally "invariants" halves the slot counts the invariant
+  /// observer is told about, so healthy runs appear to oversubscribe.
+  std::string fault;
+};
+
+/// One property violation found during exploration, with the schedule
+/// that triggers it and its ddmin-minimized form.
+struct ExploreViolation {
+  std::string property;  // "invariants" or a policy property name
+  std::string detail;    // first violation detail from the checker
+  Schedule schedule;     // full pick trail of the violating execution
+  Schedule shrunk;       // minimal schedule still violating `property`
+  std::uint64_t fingerprint = 0;  // terminal fingerprint of the violating run
+  std::uint64_t shrink_probes = 0;
+};
+
+struct ExploreStats {
+  std::uint64_t executions = 0;        // total (DFS + random phase)
+  std::uint64_t dfs_executions = 0;
+  std::uint64_t random_executions = 0;
+  std::uint64_t choice_points = 0;     // oracle consultations, all runs
+  std::uint64_t transitions_explored = 0;  // alternatives descended into
+  std::uint64_t transitions_pruned = 0;    // sleep-set skips
+  std::uint64_t sleep_blocked = 0;     // forced picks with every option asleep
+  std::uint64_t frontier_high_water = 0;   // deepest DFS stack
+  std::uint64_t deepest_tie = 0;       // widest single choice point
+  std::uint64_t distinct_terminals = 0;    // |{terminal fingerprints}|
+  /// True when the DFS enumerated every schedule within max_depth without
+  /// hitting the budget.
+  bool exhausted = false;
+};
+
+struct ExploreResult {
+  ExploreStats stats;
+  std::vector<ExploreViolation> violations;
+  /// Sorted distinct terminal-state fingerprints — the explorer's notion
+  /// of "behaviours reached". Two explorations cover the same behaviour
+  /// set iff these vectors are equal.
+  std::vector<std::uint64_t> fingerprints;
+};
+
+/// Order-insensitive 64-bit fingerprint of a testbed execution log:
+/// FNV-1a over the canonically sorted serialization lines, so benign
+/// record-order permutations from reordering independent events hash
+/// equal while any timing or structural difference hashes apart.
+std::uint64_t FingerprintLog(const cluster::HistoryLog& log);
+
+/// Outcome of one scenario execution under one schedule.
+struct RunOutcome {
+  cluster::TestbedResult result;
+  std::vector<ChoiceRecord> trail;
+  std::uint64_t fingerprint = 0;
+  /// Violations with property names in Violation::invariant (empty = run
+  /// is clean under the selected properties).
+  std::vector<check::Violation> violations;
+};
+
+/// Executes the scenario once under `schedule` (picks beyond its end
+/// default to 0) and evaluates the selected properties — the replay path
+/// behind `simmr_explore --replay` and the brute-force cross-check tests.
+RunOutcome RunSchedule(const Scenario& scenario, const Schedule& schedule,
+                       const ExploreOptions& options);
+
+/// ddmin over a violating schedule: zeroes pick chunks (largest first),
+/// truncates default tails and decrements surviving picks, keeping each
+/// reduction only if a violation of `property` persists. Returns the
+/// minimal schedule; `probes` counts re-executions spent.
+Schedule ShrinkSchedule(const Scenario& scenario, const Schedule& schedule,
+                        const std::string& property,
+                        const ExploreOptions& options, std::uint64_t* probes);
+
+/// Explores the scenario's interleavings. Throws std::invalid_argument on
+/// zero budget, nonpositive depth, or unknown property names.
+ExploreResult Explore(const Scenario& scenario, const ExploreOptions& options);
+
+}  // namespace simmr::mc

@@ -1,0 +1,84 @@
+#include "mc/oracles.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace simmr::mc {
+
+ActionSig SigOf(const ChoiceOption& option) {
+  const std::optional<SimEventKind> kind = ParseSimEventKind(option.kind);
+  if (!kind)
+    throw std::logic_error(std::string("SigOf: unknown event kind '") +
+                           option.kind + "'");
+  return ActionSig{*kind, option.a, option.b};
+}
+
+bool IndependentActions(const ActionSig& x, const ActionSig& y) {
+  if (x == y) return false;  // an action never commutes with itself
+  // Fetch checks carry a generation stamp and no-op when superseded;
+  // ScheduleFetchCheck bumps the generation before every schedule, so at
+  // most one of any set of pending checks is live and reordering them
+  // commutes. Reordering a check against anything else does not: a
+  // completion can bump the generation and stale the check.
+  if (x.kind == SimEventKind::kFetchCheck &&
+      y.kind == SimEventKind::kFetchCheck)
+    return true;
+  const auto global = [](SimEventKind kind) {
+    // Heartbeats mutate assignment state for every job; fetch checks
+    // rebuild the shared shuffle-flow schedule and can be invalidated by
+    // any completion that bumps the generation. Treat them as dependent
+    // with everything else.
+    return kind == SimEventKind::kHeartbeat ||
+           kind == SimEventKind::kOobHeartbeat ||
+           kind == SimEventKind::kFetchCheck;
+  };
+  if (global(x.kind) || global(y.kind)) return false;
+  // Job-id assignment order is observable state: arrivals don't commute.
+  if (x.kind == SimEventKind::kJobArrival &&
+      y.kind == SimEventKind::kJobArrival)
+    return false;
+  const auto completion = [](SimEventKind kind) {
+    return kind == SimEventKind::kMapDataReady ||
+           kind == SimEventKind::kReduceDone;
+  };
+  const auto local = [&](SimEventKind kind) {
+    return kind == SimEventKind::kJobArrival || completion(kind);
+  };
+  // Distinct task completions touch disjoint task/slot state; an arrival
+  // only appends a job the next heartbeat will consider.
+  return local(x.kind) && local(y.kind);
+}
+
+ScriptedOracle::ScriptedOracle(Schedule prefix) : prefix_(std::move(prefix)) {}
+
+std::size_t ScriptedOracle::Choose(SimTime now,
+                                   const std::vector<ChoiceOption>& options) {
+  const std::size_t index = trail_.size();
+  std::size_t pick = index < prefix_.size() ? prefix_[index] : 0;
+  if (pick >= options.size())
+    throw std::logic_error("ScriptedOracle: pick " + std::to_string(pick) +
+                           " at choice point " + std::to_string(index) +
+                           " exceeds " + std::to_string(options.size()) +
+                           " alternatives");
+  trail_.push_back(ChoiceRecord{now, options, pick});
+  return pick;
+}
+
+RandomOracle::RandomOracle(std::uint64_t seed) : rng_(seed) {}
+
+std::size_t RandomOracle::Choose(SimTime now,
+                                 const std::vector<ChoiceOption>& options) {
+  const std::size_t pick =
+      static_cast<std::size_t>(rng_.NextBounded(options.size()));
+  trail_.push_back(ChoiceRecord{now, options, pick});
+  return pick;
+}
+
+Schedule ScheduleOfTrail(const std::vector<ChoiceRecord>& trail) {
+  Schedule schedule;
+  schedule.reserve(trail.size());
+  for (const ChoiceRecord& record : trail) schedule.push_back(record.chosen);
+  return schedule;
+}
+
+}  // namespace simmr::mc

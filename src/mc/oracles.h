@@ -1,0 +1,125 @@
+// Schedule oracles: concrete drivers for the kernel's choice points.
+//
+// A Schedule is the explorer's native representation of one interleaving:
+// the pick index taken at each choice point, in order. An empty schedule is
+// the kernel's default (insertion-order) run; any run can be reproduced
+// bit-for-bit by replaying its recorded picks through a ScriptedOracle.
+// Every oracle here records the full trail of choice points it resolved,
+// which is what failure artifacts and the determinism tests consume.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "simcore/choice.h"
+#include "simcore/event_names.h"
+#include "simcore/rng.h"
+
+namespace simmr::mc {
+
+/// Pick index per choice point, in encounter order. Picks beyond the
+/// vector's end default to 0 (the kernel's insertion-order choice).
+using Schedule = std::vector<std::size_t>;
+
+/// Canonical identity of one schedulable alternative. Two options with the
+/// same signature are the same logical event for scheduling purposes;
+/// signatures are what sleep sets and recorded schedules store.
+struct ActionSig {
+  SimEventKind kind = SimEventKind::kJobArrival;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+
+  friend bool operator==(const ActionSig& x, const ActionSig& y) {
+    return x.kind == y.kind && x.a == y.a && x.b == y.b;
+  }
+  friend bool operator<(const ActionSig& x, const ActionSig& y) {
+    if (x.kind != y.kind) return x.kind < y.kind;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  }
+};
+
+/// Parses an option's kind name back to its enum. Throws std::logic_error
+/// on a name outside the canonical vocabulary (a simulator bug).
+ActionSig SigOf(const ChoiceOption& option);
+
+/// The explorer's independence relation, deliberately conservative: an
+/// action pair commutes only when reordering them provably reaches the
+/// same state. Heartbeats (regular and out-of-band) drive task assignment
+/// and completion visibility, so they are dependent with everything; job
+/// arrivals are dependent with each other (job-id assignment order);
+/// fetch checks interact with the global shuffle-flow schedule, so they
+/// are dependent with everything too. What remains independent: map/reduce
+/// completion bookkeeping for distinct tasks, and arrivals vs completions.
+bool IndependentActions(const ActionSig& x, const ActionSig& y);
+
+/// One resolved choice point, as recorded by every oracle below.
+struct ChoiceRecord {
+  SimTime time = 0.0;
+  std::vector<ChoiceOption> options;  // insertion order, kind ptrs static
+  std::size_t chosen = 0;
+};
+
+/// Replays a fixed pick prefix, then picks index 0 (the kernel default)
+/// at every later choice point. Out-of-range prefix picks throw
+/// std::logic_error at the offending choice point.
+class ScriptedOracle final : public ScheduleOracle {
+ public:
+  explicit ScriptedOracle(Schedule prefix);
+
+  std::size_t Choose(SimTime now,
+                     const std::vector<ChoiceOption>& options) override;
+
+  const std::vector<ChoiceRecord>& trail() const { return trail_; }
+
+ private:
+  Schedule prefix_;
+  std::vector<ChoiceRecord> trail_;
+};
+
+/// Uniform seeded random pick at every choice point — the exploration
+/// tail beyond the exhaustive depth, and the post-DFS sampling phase.
+class RandomOracle final : public ScheduleOracle {
+ public:
+  explicit RandomOracle(std::uint64_t seed);
+
+  std::size_t Choose(SimTime now,
+                     const std::vector<ChoiceOption>& options) override;
+
+  const std::vector<ChoiceRecord>& trail() const { return trail_; }
+
+ private:
+  Rng rng_;
+  std::vector<ChoiceRecord> trail_;
+};
+
+/// Delegates every choice to a callable — how the DFS explorer steers a
+/// run from its stack state without subclassing per strategy.
+class CallbackOracle final : public ScheduleOracle {
+ public:
+  using Chooser =
+      std::function<std::size_t(SimTime, const std::vector<ChoiceOption>&)>;
+  using DispatchFn = std::function<void(SimTime, const ChoiceOption&)>;
+
+  explicit CallbackOracle(Chooser chooser, DispatchFn on_dispatch = nullptr)
+      : chooser_(std::move(chooser)), on_dispatch_(std::move(on_dispatch)) {}
+
+  std::size_t Choose(SimTime now,
+                     const std::vector<ChoiceOption>& options) override {
+    return chooser_(now, options);
+  }
+
+  void OnDispatch(SimTime now, const ChoiceOption& dispatched) override {
+    if (on_dispatch_) on_dispatch_(now, dispatched);
+  }
+
+ private:
+  Chooser chooser_;
+  DispatchFn on_dispatch_;
+};
+
+/// The schedule a trail encodes: one pick per record.
+Schedule ScheduleOfTrail(const std::vector<ChoiceRecord>& trail);
+
+}  // namespace simmr::mc

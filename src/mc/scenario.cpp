@@ -1,0 +1,94 @@
+#include "mc/scenario.h"
+
+#include <stdexcept>
+
+namespace simmr::mc {
+namespace {
+
+/// Noise-free application model: every duration is a pure function of the
+/// input size, so equal jobs produce equal task durations and genuine
+/// event-time ties. Costs are scaled down to keep makespans (and hence
+/// heartbeat-round counts, the dominant choice-point source) small.
+cluster::AppModel DeterministicApp() {
+  cluster::AppModel app;
+  app.name = "mcdet";
+  app.map_cost_s_per_mb = 0.05;
+  app.map_startup_s = 1.0;
+  app.map_sigma = 0.0;
+  app.map_selectivity = 0.15;
+  app.merge_cost_s_per_mb = 0.01;
+  app.reduce_cost_s_per_mb = 0.05;
+  app.reduce_startup_s = 1.0;
+  app.reduce_sigma = 0.0;
+  return app;
+}
+
+cluster::ClusterConfig DeterministicCluster(int nodes) {
+  cluster::ClusterConfig config;
+  config.num_nodes = nodes;
+  config.num_racks = 1;
+  config.map_slots_per_node = 1;
+  config.reduce_slots_per_node = 1;
+  config.heartbeat_stagger = false;  // simultaneous beats => real races
+  config.node_speed_sigma = 0.0;
+  config.task_failure_prob = 0.0;
+  config.speculative_execution = false;
+  config.model_locality = false;
+  return config;
+}
+
+cluster::SubmittedJob Job(double input_mb, int reduces, double submit) {
+  cluster::JobSpec spec;
+  spec.app = DeterministicApp();
+  spec.dataset_label = "mc-" + std::to_string(static_cast<int>(input_mb)) +
+                       "mb";
+  spec.input_mb = input_mb;
+  spec.num_reduces = reduces;
+  return {spec, submit, 0.0};
+}
+
+}  // namespace
+
+std::vector<std::string> ScenarioNames() { return {"pair", "pair2", "smoke3"}; }
+
+Scenario MakeScenario(const std::string& name) {
+  Scenario scenario;
+  scenario.name = name;
+  if (name == "pair") {
+    // Two identical single-map single-reduce jobs arriving together on two
+    // trackers: a two-way arrival tie, then a two-way heartbeat tie per
+    // round, then completion-report ties. Small enough for exhaustive
+    // enumeration.
+    scenario.options.config = DeterministicCluster(2);
+    scenario.options.seed = 7;
+    scenario.jobs = {Job(64.0, 1, 0.0), Job(64.0, 1, 0.0)};
+    scenario.replay_tolerance = 0.75;
+  } else if (name == "pair2") {
+    // Like "pair" but with two map tasks per job, so the two jobs genuinely
+    // contend for map slots. That contention is what makes queue starvation
+    // observable: the capacity detector self-test needs a workload where
+    // two half-capacity queues actually schedule differently from FIFO,
+    // which single-map jobs (one slot each, no queue ever waits) cannot.
+    scenario.options.config = DeterministicCluster(2);
+    scenario.options.seed = 7;
+    scenario.jobs = {Job(128.0, 1, 0.0), Job(128.0, 1, 0.0)};
+    scenario.replay_tolerance = 0.75;
+  } else if (name == "smoke3") {
+    // Three identical jobs on three trackers: three-way heartbeat races
+    // every round and three-way completion-report ties — the scenario
+    // where sleep-set pruning pays. Arrivals are separated (no arrival
+    // ties) and out-of-band heartbeats are off, which keeps the
+    // dependent-tie branching factor low enough to enumerate.
+    scenario.options.config = DeterministicCluster(3);
+    scenario.options.config.out_of_band_heartbeat = false;
+    scenario.options.seed = 7;
+    scenario.jobs = {Job(64.0, 1, 0.0), Job(64.0, 1, 0.1), Job(64.0, 1, 0.2)};
+    scenario.replay_tolerance = 0.75;
+  } else {
+    throw std::invalid_argument("MakeScenario: unknown scenario '" + name +
+                                "' (try: pair, pair2, smoke3)");
+  }
+  return scenario;
+}
+
+}  // namespace simmr::mc

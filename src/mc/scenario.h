@@ -1,0 +1,50 @@
+// Exploration scenarios: tiny, noise-free testbed workloads whose only
+// nondeterminism is schedule order.
+//
+// The explorer re-executes a scenario once per interleaving, so scenarios
+// must be (a) small enough that exhaustive enumeration terminates in test
+// time, and (b) free of stochastic noise (zero duration sigmas, zero node
+// speed spread, no failure injection) so that identical tasks genuinely
+// tie at identical instants — otherwise there are no races to explore and
+// a replayed schedule would not be deterministic. Heartbeat staggering is
+// disabled so all trackers beat at the same instants, making each round's
+// arrival order at the JobTracker a real choice point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_sim.h"
+
+namespace simmr::mc {
+
+/// One named exploration workload: a testbed configuration plus its job
+/// submissions and the property-suite parameters appropriate to its scale.
+struct Scenario {
+  std::string name;
+  cluster::TestbedOptions options;  // observer/oracle left null
+  std::vector<cluster::SubmittedJob> jobs;
+  /// Per-job relative error bound for the replay_accuracy property. Wider
+  /// than the fuzzer's solo-job gate: these jobs contend on a 2-3 node
+  /// cluster where heartbeat quantization is a large fraction of the
+  /// (tiny) job durations.
+  double replay_tolerance = 0.0;
+  /// Deadline factor for the EDF dominance property.
+  double deadline_factor = 1.5;
+};
+
+/// Names accepted by MakeScenario (and simmr_explore --scenario):
+///   "pair"    2 identical 1-map/1-reduce jobs on 2 trackers — small enough
+///             to enumerate exhaustively and cross-check against brute
+///             force.
+///   "pair2"   2 identical 2-map jobs on 2 trackers — the jobs contend for
+///             map slots, which makes capacity-queue starvation observable
+///             (the capacity detector self-test workload).
+///   "smoke3"  3 identical jobs on 3 trackers — the pruning benchmark.
+std::vector<std::string> ScenarioNames();
+
+/// Builds a scenario by name. Throws std::invalid_argument on unknown
+/// names.
+Scenario MakeScenario(const std::string& name);
+
+}  // namespace simmr::mc

@@ -84,6 +84,12 @@ const char* CounterName(Counter counter) {
       return "heap_pops";
     case Counter::kAllocations:
       return "allocations";
+    case Counter::kExploreExecutions:
+      return "explore_executions";
+    case Counter::kExploreChoicePoints:
+      return "explore_choice_points";
+    case Counter::kExplorePruned:
+      return "explore_pruned";
     case Counter::kCount_:
       break;
   }
@@ -96,6 +102,8 @@ const char* HighWaterName(HighWater mark) {
       return "queue_depth";
     case HighWater::kReadySet:
       return "ready_set";
+    case HighWater::kExploreFrontier:
+      return "explore_frontier";
     case HighWater::kCount_:
       break;
   }

@@ -38,13 +38,17 @@ enum class Counter : int {
   kHeapPushes,            // EventQueue::Push
   kHeapPops,              // EventQueue::Pop
   kAllocations,           // global operator new (alloc_hook.cpp)
+  kExploreExecutions,     // model checker: schedules executed (mc/explorer)
+  kExploreChoicePoints,   // model checker: tie points encountered
+  kExplorePruned,         // model checker: transitions skipped by sleep sets
   kCount_,
 };
 
 /// High-water-mark slots (atomic max).
 enum class HighWater : int {
-  kQueueDepth = 0,  // pending events after a push
-  kReadySet,        // engine job queue length
+  kQueueDepth = 0,   // pending events after a push
+  kReadySet,         // engine job queue length
+  kExploreFrontier,  // model checker: deepest DFS stack (mc/explorer)
   kCount_,
 };
 

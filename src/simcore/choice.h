@@ -1,0 +1,60 @@
+// Schedule choice points: the kernel's tie-breaking made controllable.
+//
+// A discrete-event simulation is deterministic except where several events
+// share the earliest pending time — there the pop order is a free choice
+// that EventQueue normally resolves by insertion sequence. Real systems
+// resolve it by race outcomes (which TaskTracker's heartbeat arrives
+// first, which of two same-instant completions the JobTracker sees first),
+// so "insertion order" is just one of many legal schedules. A
+// ScheduleOracle makes that choice injectable: the stateless model checker
+// (src/mc) drives it to enumerate every legal interleaving, a seeded
+// random oracle samples them, and a null oracle keeps the classic
+// deterministic default.
+//
+// simcore sits at the bottom of the layering, so the oracle sees events
+// only as opaque (kind name, operand a, operand b) triples — the same
+// shape every simulator's payload already reduces to for event naming.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simcore/time.h"
+
+namespace simmr {
+
+/// One schedulable alternative at a choice point: the event's kind name
+/// (a static string from the simulator's event vocabulary) and its two
+/// payload operands. Together these identify the event for scheduling
+/// purposes; they are what a recorded schedule stores.
+struct ChoiceOption {
+  const char* kind = "";
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+};
+
+/// Decides which of several same-time events is dispatched next.
+///
+/// Choose() is called only when at least two events tie at the earliest
+/// pending time. `options` is ordered by insertion sequence, so index 0 is
+/// the default the kernel would have taken; the returned index must be
+/// < options.size() (the kernel throws std::logic_error otherwise, so a
+/// buggy oracle fails loudly instead of corrupting the run).
+class ScheduleOracle {
+ public:
+  virtual ~ScheduleOracle() = default;
+  virtual std::size_t Choose(SimTime now,
+                             const std::vector<ChoiceOption>& options) = 0;
+
+  /// Notified once per dispatched event — tied or not, after Choose() for
+  /// tied ones. Sleep-set explorers need to see untied dispatches too: a
+  /// solo event dependent with a sleeping one must wake it, or pruning
+  /// would skip reachable states. Default: ignore.
+  virtual void OnDispatch(SimTime now, const ChoiceOption& dispatched) {
+    (void)now;
+    (void)dispatched;
+  }
+};
+
+}  // namespace simmr

@@ -55,6 +55,53 @@ class EventQueue {
     return e;
   }
 
+  /// Number of pending entries that share the earliest time (ties the
+  /// kernel's tie-break choice ranges over). O(n) scan — used only on the
+  /// oracle-controlled drain path, never in the default hot loop.
+  std::size_t EarliestCount() const {
+    if (heap_.empty()) return 0;
+    const SimTime front = heap_.front().time;
+    std::size_t count = 0;
+    for (const Entry& e : heap_)
+      if (e.time == front) ++count;
+    return count;
+  }
+
+  /// Pointers to the earliest-time entries, ordered by insertion sequence
+  /// (index 0 = the default Pop() choice). Valid until the next mutation.
+  std::vector<const Entry*> EarliestEntries() const {
+    std::vector<const Entry*> group;
+    if (heap_.empty()) return group;
+    const SimTime front = heap_.front().time;
+    for (const Entry& e : heap_)
+      if (e.time == front) group.push_back(&e);
+    std::sort(group.begin(), group.end(),
+              [](const Entry* a, const Entry* b) {
+                return a->sequence < b->sequence;
+              });
+    return group;
+  }
+
+  /// Removes and returns the k-th earliest-time entry in insertion order —
+  /// PopAmongEarliest(0) is exactly Pop(). Rebuilds the heap, so this is
+  /// O(n); the oracle-controlled drain accepts that cost for small
+  /// exploration scenarios. Throws std::logic_error when k is out of
+  /// range.
+  Entry PopAmongEarliest(std::size_t k) {
+    if (k == 0) return Pop();
+    const std::vector<const Entry*> group = EarliestEntries();
+    if (k >= group.size())
+      throw std::logic_error("EventQueue::PopAmongEarliest: index beyond tie");
+    const std::size_t pos =
+        static_cast<std::size_t>(group[k] - heap_.data());
+    Entry e = std::move(heap_[pos]);
+    heap_[pos] = std::move(heap_.back());
+    heap_.pop_back();
+    std::make_heap(heap_.begin(), heap_.end(), Later);
+    prof::Count(prof::Counter::kHeapPops);
+    return e;
+  }
+
   /// Lifetime count of pushed events — the simulators report this as their
   /// processed-event count for the events/second throughput claim.
   std::uint64_t TotalPushed() const { return total_pushed_; }

@@ -22,6 +22,7 @@
 #include <cstdint>
 
 #include "prof/profiler.h"
+#include "simcore/choice.h"
 #include "simcore/event_queue.h"
 #include "simcore/time.h"
 
@@ -98,6 +99,45 @@ class SimKernel {
   template <typename TObs, typename NameFn, typename DispatchFn>
   void Drain(TObs* obs, NameFn&& name, DispatchFn&& dispatch) {
     DrainUntil([] { return false; }, obs, name, dispatch);
+  }
+
+  /// DrainUntil with oracle-controlled tie-breaking: whenever two or more
+  /// events share the earliest pending time, `option(payload)` describes
+  /// each alternative (insertion order) and the oracle picks which one
+  /// dispatches next. A null oracle is exactly DrainUntil. The non-tied
+  /// fast path is unchanged; ties pay an O(n) queue scan, which only the
+  /// model checker's small scenarios ever do.
+  template <typename TObs, typename StopFn, typename NameFn,
+            typename OptionFn, typename DispatchFn>
+  void DrainUntilOracle(StopFn&& stop, TObs* obs, NameFn&& name,
+                        OptionFn&& option, DispatchFn&& dispatch,
+                        ScheduleOracle* oracle) {
+    if (oracle == nullptr) {
+      DrainUntil(stop, obs, name, dispatch);
+      return;
+    }
+    while (!queue_.Empty() && !stop()) {
+      std::size_t pick = 0;
+      const std::size_t tied = queue_.EarliestCount();
+      if (tied > 1) {
+        std::vector<ChoiceOption> options;
+        options.reserve(tied);
+        for (const auto* entry : queue_.EarliestEntries())
+          options.push_back(option(entry->payload));
+        pick = oracle->Choose(queue_.PeekTime(), options);
+        if (pick >= options.size())
+          throw std::logic_error(
+              "SimKernel: oracle chose an out-of-range alternative");
+      }
+      auto entry = queue_.PopAmongEarliest(pick);
+      now_ = entry.time;
+      ++dequeued_;
+      prof::Count(prof::Counter::kEventsDispatched);
+      oracle->OnDispatch(now_, option(entry.payload));
+      if (obs != nullptr)
+        obs->OnEventDequeue(now_, name(entry.payload), queue_.Size());
+      dispatch(entry.payload);
+    }
   }
 
  private:

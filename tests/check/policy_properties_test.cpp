@@ -1,0 +1,144 @@
+#include "check/policy_properties.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cluster/cluster_sim.h"
+
+namespace simmr::check {
+namespace {
+
+// A tiny noise-free testbed workload, runnable directly under ctest with no
+// explorer involved: two identical 2-map jobs contending on a 2-tracker
+// cluster. Contention matters — with one map per job every queue split is
+// trivially FIFO-equivalent and the capacity fault would have nothing to
+// detect.
+cluster::TestbedResult RunDeterministicTestbed() {
+  cluster::AppModel app;
+  app.name = "propdet";
+  app.map_cost_s_per_mb = 0.05;
+  app.map_startup_s = 1.0;
+  app.map_sigma = 0.0;
+  app.map_selectivity = 0.15;
+  app.merge_cost_s_per_mb = 0.01;
+  app.reduce_cost_s_per_mb = 0.05;
+  app.reduce_startup_s = 1.0;
+  app.reduce_sigma = 0.0;
+
+  cluster::JobSpec spec;
+  spec.app = app;
+  spec.dataset_label = "prop-128mb";
+  spec.input_mb = 128.0;
+  spec.num_reduces = 1;
+
+  cluster::TestbedOptions options;
+  options.config.num_nodes = 2;
+  options.config.num_racks = 1;
+  options.config.map_slots_per_node = 1;
+  options.config.reduce_slots_per_node = 1;
+  options.config.node_speed_sigma = 0.0;
+  options.config.task_failure_prob = 0.0;
+  options.config.speculative_execution = false;
+  options.config.model_locality = false;
+  options.seed = 7;
+  return cluster::RunTestbed({{spec, 0.0, 0.0}, {spec, 0.0, 0.0}}, options);
+}
+
+PropertyOptions Options() {
+  PropertyOptions options;
+  options.config.map_slots = 2;
+  options.config.reduce_slots = 2;
+  // Contended micro-jobs on a heartbeat-quantized testbed replay with a
+  // large relative error; the mc scenarios use the same bound.
+  options.replay_tolerance = 0.75;
+  return options;
+}
+
+const cluster::HistoryLog& SharedLog() {
+  static const cluster::TestbedResult result = RunDeterministicTestbed();
+  return result.log;
+}
+
+TEST(PolicyProperties, NamesTheThreeProperties) {
+  const auto names = PolicyPropertyNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "fifo_capacity_equivalence");
+  EXPECT_EQ(names[1], "edf_preemption_dominance");
+  EXPECT_EQ(names[2], "replay_accuracy");
+}
+
+TEST(PolicyProperties, HealthyTestbedLogPassesEveryProperty) {
+  const auto violations = RunPolicyProperties(SharedLog(), {}, Options());
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+}
+
+TEST(PolicyProperties, UnknownPropertyNameThrows) {
+  EXPECT_THROW(RunPolicyProperties(SharedLog(), {"no_such_property"},
+                                   Options()),
+               std::invalid_argument);
+}
+
+TEST(PolicyProperties, WorkloadDeadlinesFollowTheFactor) {
+  PropertyOptions options = Options();
+  options.deadline_factor = 1.5;
+  const trace::WorkloadTrace workload =
+      PropertyWorkloadFromLog(SharedLog(), options);
+  ASSERT_EQ(workload.size(), 2u);
+  for (const trace::TraceJob& job : workload) {
+    EXPECT_GT(job.solo_completion, 0.0);
+    EXPECT_DOUBLE_EQ(job.deadline,
+                     job.arrival + 1.5 * job.solo_completion);
+  }
+
+  options.deadline_factor = 0.0;  // deadline-free workloads stay that way
+  for (const trace::TraceJob& job :
+       PropertyWorkloadFromLog(SharedLog(), options))
+    EXPECT_EQ(job.deadline, 0.0);
+}
+
+TEST(PolicyProperties, EmptyWorkloadIsVacuouslyClean) {
+  const trace::WorkloadTrace empty;
+  EXPECT_TRUE(CheckFifoCapacityEquivalence(empty, Options()).empty());
+  EXPECT_TRUE(CheckEdfPreemptionDominance(empty, Options()).empty());
+  EXPECT_TRUE(CheckReplayAccuracy(SharedLog(), empty, Options()).empty());
+}
+
+// Each seeded fault must trip exactly its own detector: the fault makes a
+// healthy log report violations, and every violation carries the right
+// property name.
+void ExpectFaultTrips(const std::string& fault, const std::string& property) {
+  PropertyOptions options = Options();
+  options.fault = fault;
+  const auto violations =
+      RunPolicyProperties(SharedLog(), {property}, options);
+  ASSERT_FALSE(violations.empty())
+      << "fault '" << fault << "' not detected by " << property;
+  for (const Violation& violation : violations)
+    EXPECT_EQ(violation.invariant, property);
+
+  // The other two properties stay clean under this fault.
+  for (const std::string& other : PolicyPropertyNames()) {
+    if (other == property) continue;
+    const auto unaffected =
+        RunPolicyProperties(SharedLog(), {other}, options);
+    EXPECT_TRUE(unaffected.empty())
+        << "fault '" << fault << "' leaked into " << other << ":\n"
+        << FormatViolations(unaffected);
+  }
+}
+
+TEST(PolicyProperties, CapacityFaultTripsFifoEquivalence) {
+  ExpectFaultTrips("capacity", "fifo_capacity_equivalence");
+}
+
+TEST(PolicyProperties, EdfFaultTripsPreemptionDominance) {
+  ExpectFaultTrips("edf", "edf_preemption_dominance");
+}
+
+TEST(PolicyProperties, ReplayFaultTripsAccuracy) {
+  ExpectFaultTrips("replay", "replay_accuracy");
+}
+
+}  // namespace
+}  // namespace simmr::check

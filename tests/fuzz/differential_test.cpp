@@ -144,5 +144,31 @@ TEST(CompareRunResults, SharedInfinitiesAgree) {
   EXPECT_TRUE(CompareRunResults(a, b, "inf").empty());
 }
 
+// The per-archetype testbed replay gates are load-bearing CI thresholds:
+// pin each bound so a loosened table cannot slip through unnoticed.
+TEST(TestbedReplayTolerances, PinsEveryArchetypeBound) {
+  EXPECT_DOUBLE_EQ(TestbedReplayTolerance("WordCount"), 0.02);
+  EXPECT_DOUBLE_EQ(TestbedReplayTolerance("WikiTrends"), 0.02);
+  EXPECT_DOUBLE_EQ(TestbedReplayTolerance("Twitter"), 0.02);
+  EXPECT_DOUBLE_EQ(TestbedReplayTolerance("Bayes"), 0.02);
+  // The shuffle-heavy archetypes carry the largest modeling residual.
+  EXPECT_DOUBLE_EQ(TestbedReplayTolerance("Sort"), 0.04);
+  EXPECT_DOUBLE_EQ(TestbedReplayTolerance("TFIDF"), 0.05);
+}
+
+TEST(TestbedReplayTolerances, UnknownArchetypesFallBackToTheBlanketBound) {
+  EXPECT_DOUBLE_EQ(TestbedReplayTolerance("BrandNewApp"), 0.35);
+  EXPECT_DOUBLE_EQ(TestbedReplayTolerance(""), 0.35);
+}
+
+TEST(TestbedReplayTolerances, EveryBoundIsTighterThanTheOldBlanketGate) {
+  const auto& table = TestbedReplayTolerances();
+  ASSERT_EQ(table.size(), 6u);  // one entry per validation-suite archetype
+  for (const TestbedToleranceEntry& entry : table) {
+    EXPECT_GT(entry.rel_tolerance, 0.0) << entry.app;
+    EXPECT_LT(entry.rel_tolerance, 0.35) << entry.app;
+  }
+}
+
 }  // namespace
 }  // namespace simmr::fuzz

@@ -1,0 +1,205 @@
+#include "mc/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+
+#include "mc/oracles.h"
+#include "mc/scenario.h"
+
+namespace simmr::mc {
+namespace {
+
+/// Options tuned for unit-test speed: the invariant observer is the only
+/// per-execution check (the policy properties replay the whole workload
+/// several times per execution, which the exhaustiveness arguments below
+/// don't need — fingerprints are property-independent).
+ExploreOptions FastOptions() {
+  ExploreOptions options;
+  options.properties = {"invariants"};
+  return options;
+}
+
+/// Reference enumerator: walks the schedule tree with no pruning and no
+/// explorer machinery, re-executing from scratch per prefix. A prefix is a
+/// leaf when the run consults no choice point beyond it; otherwise it
+/// branches over every alternative of the first uncovered choice point.
+struct BruteForce {
+  const Scenario& scenario;
+  const ExploreOptions& options;
+  std::set<std::uint64_t> fingerprints;
+  std::uint64_t leaves = 0;
+
+  void Enumerate(const Schedule& prefix) {
+    const RunOutcome outcome = RunSchedule(scenario, prefix, options);
+    ASSERT_GE(outcome.trail.size(), prefix.size());
+    if (outcome.trail.size() == prefix.size()) {
+      ++leaves;
+      fingerprints.insert(outcome.fingerprint);
+      return;
+    }
+    const std::size_t fanout = outcome.trail[prefix.size()].options.size();
+    ASSERT_GE(fanout, 2u);  // choice points exist only at real ties
+    for (std::size_t pick = 0; pick < fanout; ++pick) {
+      Schedule next = prefix;
+      next.push_back(pick);
+      Enumerate(next);
+    }
+  }
+};
+
+// The acceptance cross-check: on the 2-job/2-tracker scenario the explorer
+// must reach exactly the behaviours the brute-force enumeration reaches —
+// with pruning off, execution-for-execution; with pruning on, the same
+// terminal-state set from strictly fewer executions.
+TEST(Explore, PairMatchesBruteForceEnumeration) {
+  const Scenario scenario = MakeScenario("pair");
+  const ExploreOptions base = FastOptions();
+
+  BruteForce brute{scenario, base};
+  brute.Enumerate({});
+  ASSERT_GT(brute.leaves, 0u);
+
+  ExploreOptions naive = base;
+  naive.prune = false;
+  const ExploreResult full = Explore(scenario, naive);
+  EXPECT_TRUE(full.stats.exhausted);
+  EXPECT_EQ(full.stats.dfs_executions, brute.leaves);
+  EXPECT_EQ(std::set<std::uint64_t>(full.fingerprints.begin(),
+                                    full.fingerprints.end()),
+            brute.fingerprints);
+
+  const ExploreResult pruned = Explore(scenario, base);
+  EXPECT_TRUE(pruned.stats.exhausted);
+  EXPECT_LT(pruned.stats.dfs_executions, full.stats.dfs_executions);
+  EXPECT_GT(pruned.stats.transitions_pruned, 0u);
+  EXPECT_EQ(pruned.fingerprints, full.fingerprints);
+  EXPECT_EQ(pruned.stats.distinct_terminals, pruned.fingerprints.size());
+}
+
+// The pruning acceptance bound: on the 3-job smoke scenario sleep sets must
+// cut at least 30% of the transitions the naive enumeration descends into,
+// without losing a single terminal state.
+TEST(Explore, Smoke3PrunesAtLeastThirtyPercentOfTransitions) {
+  const Scenario scenario = MakeScenario("smoke3");
+  ExploreOptions base = FastOptions();
+  base.budget = 100000;  // naive exhaustion needs ~47k executions
+
+  ExploreOptions naive = base;
+  naive.prune = false;
+  const ExploreResult full = Explore(scenario, naive);
+  const ExploreResult pruned = Explore(scenario, base);
+
+  ASSERT_TRUE(full.stats.exhausted);
+  ASSERT_TRUE(pruned.stats.exhausted);
+  EXPECT_EQ(pruned.fingerprints, full.fingerprints);
+  EXPECT_LE(pruned.stats.transitions_explored,
+            (full.stats.transitions_explored * 7) / 10)
+      << "pruned " << pruned.stats.transitions_explored << " vs naive "
+      << full.stats.transitions_explored;
+}
+
+TEST(Explore, ResultIsIdenticalForEveryThreadCount) {
+  const Scenario scenario = MakeScenario("pair");
+  ExploreOptions options = FastOptions();
+  options.max_depth = 12;
+  options.budget = 200;
+  options.random_executions = 50;
+
+  options.threads = 1;
+  const ExploreResult serial = Explore(scenario, options);
+  options.threads = 4;
+  const ExploreResult parallel = Explore(scenario, options);
+
+  EXPECT_EQ(serial.fingerprints, parallel.fingerprints);
+  EXPECT_EQ(serial.stats.executions, parallel.stats.executions);
+  EXPECT_EQ(serial.stats.random_executions, parallel.stats.random_executions);
+  EXPECT_EQ(serial.stats.choice_points, parallel.stats.choice_points);
+  EXPECT_EQ(serial.stats.distinct_terminals,
+            parallel.stats.distinct_terminals);
+  EXPECT_EQ(serial.violations.size(), parallel.violations.size());
+}
+
+TEST(Explore, BudgetCapsExecutionsWithoutExhausting) {
+  const Scenario scenario = MakeScenario("pair");
+  ExploreOptions options = FastOptions();
+  options.budget = 5;
+  const ExploreResult result = Explore(scenario, options);
+  EXPECT_FALSE(result.stats.exhausted);
+  EXPECT_LE(result.stats.dfs_executions, 5u);
+}
+
+TEST(Explore, RejectsDegenerateOptions) {
+  const Scenario scenario = MakeScenario("pair");
+  ExploreOptions options = FastOptions();
+  options.budget = 0;
+  EXPECT_THROW(Explore(scenario, options), std::invalid_argument);
+  options = FastOptions();
+  options.max_depth = 0;
+  EXPECT_THROW(Explore(scenario, options), std::invalid_argument);
+  options = FastOptions();
+  options.properties = {"no_such_property"};
+  EXPECT_THROW(Explore(scenario, options), std::invalid_argument);
+}
+
+TEST(MakeScenario, RejectsUnknownNames) {
+  EXPECT_THROW(MakeScenario("nonesuch"), std::invalid_argument);
+  for (const std::string& name : ScenarioNames())
+    EXPECT_EQ(MakeScenario(name).name, name);
+}
+
+TEST(RunSchedule, ReplaysBitIdentically) {
+  const Scenario scenario = MakeScenario("pair");
+  const ExploreOptions options = FastOptions();
+  const Schedule schedule = {1, 0, 1};
+  const RunOutcome a = RunSchedule(scenario, schedule, options);
+  const RunOutcome b = RunSchedule(scenario, schedule, options);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+  ASSERT_GE(a.trail.size(), schedule.size());
+  for (std::size_t i = 0; i < schedule.size(); ++i)
+    EXPECT_EQ(a.trail[i].chosen, schedule[i]);
+  EXPECT_TRUE(a.violations.empty());
+}
+
+TEST(RunSchedule, ScheduleOrderChangesTheFingerprintSomewhere) {
+  // "pair" has exactly two terminal states, so some pick flip must move
+  // the fingerprint (if none did, the explorer would have nothing to do).
+  const Scenario scenario = MakeScenario("pair");
+  const ExploreOptions options = FastOptions();
+  const std::uint64_t base = RunSchedule(scenario, {}, options).fingerprint;
+  bool moved = false;
+  for (std::size_t i = 0; i < 8 && !moved; ++i) {
+    Schedule schedule(i + 1, 0);
+    schedule[i] = 1;
+    moved = RunSchedule(scenario, schedule, options).fingerprint != base;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(Explore, SeededFaultIsCaughtAndShrunkToAViolatingSchedule) {
+  const Scenario scenario = MakeScenario("pair");
+  ExploreOptions options = FastOptions();
+  options.budget = 4;
+  options.fault = "invariants";
+
+  // Sanity: the same property is clean without the fault.
+  EXPECT_TRUE(RunSchedule(scenario, {}, FastOptions()).violations.empty());
+
+  const ExploreResult result = Explore(scenario, options);
+  ASSERT_FALSE(result.violations.empty());
+  const ExploreViolation& violation = result.violations.front();
+  EXPECT_EQ(violation.property, "invariants");
+  EXPECT_LE(violation.shrunk.size(), violation.schedule.size());
+
+  const RunOutcome replay = RunSchedule(scenario, violation.shrunk, options);
+  bool still_violates = false;
+  for (const check::Violation& v : replay.violations)
+    still_violates = still_violates || v.invariant == violation.property;
+  EXPECT_TRUE(still_violates);
+}
+
+}  // namespace
+}  // namespace simmr::mc

@@ -1,0 +1,151 @@
+#include "mc/oracles.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "simcore/event_names.h"
+
+namespace simmr::mc {
+namespace {
+
+ActionSig Sig(SimEventKind kind, std::int32_t a = 0, std::int32_t b = 0) {
+  return ActionSig{kind, a, b};
+}
+
+TEST(SigOf, ParsesKindNameAndOperands) {
+  const ActionSig sig = SigOf(ChoiceOption{"HEARTBEAT", 3, 7});
+  EXPECT_EQ(sig.kind, SimEventKind::kHeartbeat);
+  EXPECT_EQ(sig.a, 3);
+  EXPECT_EQ(sig.b, 7);
+}
+
+TEST(SigOf, RoundTripsEveryKindName) {
+  for (int k = 0; k < kNumSimEventKinds; ++k) {
+    const auto kind = static_cast<SimEventKind>(k);
+    EXPECT_EQ(SigOf(ChoiceOption{SimEventKindName(kind), 1, 2}).kind, kind);
+  }
+}
+
+TEST(SigOf, ThrowsOnUnknownKindName) {
+  EXPECT_THROW(SigOf(ChoiceOption{"NOT_A_KIND", 0, 0}), std::logic_error);
+}
+
+TEST(ActionSig, EqualityAndOrderingAreOperandSensitive) {
+  const ActionSig a = Sig(SimEventKind::kMapDataReady, 0, 1);
+  const ActionSig b = Sig(SimEventKind::kMapDataReady, 0, 2);
+  EXPECT_TRUE(a == a);
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(IndependentActions, NothingCommutesWithItself) {
+  for (int k = 0; k < kNumSimEventKinds; ++k) {
+    const ActionSig sig = Sig(static_cast<SimEventKind>(k), 1, 2);
+    EXPECT_FALSE(IndependentActions(sig, sig));
+  }
+}
+
+TEST(IndependentActions, DistinctFetchChecksCommute) {
+  // Generation-stamped: at most one pending check is live, so their
+  // relative order is unobservable.
+  EXPECT_TRUE(IndependentActions(Sig(SimEventKind::kFetchCheck, 0, 1),
+                                 Sig(SimEventKind::kFetchCheck, 0, 2)));
+}
+
+TEST(IndependentActions, HeartbeatsAreGloballyDependent) {
+  const ActionSig hb = Sig(SimEventKind::kHeartbeat, 0);
+  EXPECT_FALSE(IndependentActions(hb, Sig(SimEventKind::kHeartbeat, 1)));
+  EXPECT_FALSE(IndependentActions(hb, Sig(SimEventKind::kMapDataReady, 1)));
+  EXPECT_FALSE(IndependentActions(hb, Sig(SimEventKind::kJobArrival, 1)));
+  EXPECT_FALSE(IndependentActions(hb, Sig(SimEventKind::kOobHeartbeat, 1)));
+}
+
+TEST(IndependentActions, FetchChecksDependOnEverythingElse) {
+  const ActionSig fc = Sig(SimEventKind::kFetchCheck, 0, 1);
+  EXPECT_FALSE(IndependentActions(fc, Sig(SimEventKind::kMapDataReady, 2)));
+  EXPECT_FALSE(IndependentActions(fc, Sig(SimEventKind::kReduceDone, 2)));
+  EXPECT_FALSE(IndependentActions(Sig(SimEventKind::kJobArrival, 2), fc));
+}
+
+TEST(IndependentActions, ArrivalsDoNotCommuteWithEachOther) {
+  // Job-id assignment order is observable state.
+  EXPECT_FALSE(IndependentActions(Sig(SimEventKind::kJobArrival, 0),
+                                  Sig(SimEventKind::kJobArrival, 1)));
+}
+
+TEST(IndependentActions, DistinctCompletionsAndArrivalsCommute) {
+  const ActionSig map0 = Sig(SimEventKind::kMapDataReady, 0, 0);
+  const ActionSig map1 = Sig(SimEventKind::kMapDataReady, 1, 0);
+  const ActionSig red = Sig(SimEventKind::kReduceDone, 0, 1);
+  const ActionSig arrival = Sig(SimEventKind::kJobArrival, 2);
+  EXPECT_TRUE(IndependentActions(map0, map1));
+  EXPECT_TRUE(IndependentActions(map0, red));
+  EXPECT_TRUE(IndependentActions(arrival, map0));
+  EXPECT_TRUE(IndependentActions(red, arrival));
+}
+
+TEST(IndependentActions, RelationIsSymmetric) {
+  const ActionSig sigs[] = {
+      Sig(SimEventKind::kHeartbeat, 0),    Sig(SimEventKind::kJobArrival, 1),
+      Sig(SimEventKind::kMapDataReady, 2), Sig(SimEventKind::kReduceDone, 3),
+      Sig(SimEventKind::kFetchCheck, 4),   Sig(SimEventKind::kOobHeartbeat, 5),
+  };
+  for (const ActionSig& x : sigs)
+    for (const ActionSig& y : sigs)
+      EXPECT_EQ(IndependentActions(x, y), IndependentActions(y, x));
+}
+
+std::vector<ChoiceOption> ThreeOptions() {
+  return {{"HEARTBEAT", 0, 0}, {"HEARTBEAT", 1, 0}, {"HEARTBEAT", 2, 0}};
+}
+
+TEST(ScriptedOracle, ReplaysPrefixThenDefaultsToZero) {
+  ScriptedOracle oracle({2, 1});
+  const auto options = ThreeOptions();
+  EXPECT_EQ(oracle.Choose(1.0, options), 2u);
+  EXPECT_EQ(oracle.Choose(2.0, options), 1u);
+  EXPECT_EQ(oracle.Choose(3.0, options), 0u);  // past the prefix
+  ASSERT_EQ(oracle.trail().size(), 3u);
+  EXPECT_DOUBLE_EQ(oracle.trail()[0].time, 1.0);
+  EXPECT_EQ(oracle.trail()[0].chosen, 2u);
+  EXPECT_EQ(oracle.trail()[2].chosen, 0u);
+  EXPECT_EQ(oracle.trail()[1].options.size(), 3u);
+}
+
+TEST(ScriptedOracle, ThrowsOnOutOfRangePick) {
+  ScriptedOracle oracle({3});
+  EXPECT_THROW(oracle.Choose(0.0, ThreeOptions()), std::logic_error);
+}
+
+TEST(RandomOracle, SameSeedSamePicksAndAllInRange) {
+  RandomOracle a(99);
+  RandomOracle b(99);
+  const auto options = ThreeOptions();
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t pick = a.Choose(i, options);
+    EXPECT_LT(pick, options.size());
+    EXPECT_EQ(pick, b.Choose(i, options));
+  }
+}
+
+TEST(RandomOracle, DifferentSeedsDiverge) {
+  RandomOracle a(1);
+  RandomOracle b(2);
+  const auto options = ThreeOptions();
+  bool diverged = false;
+  for (int i = 0; i < 50; ++i)
+    diverged = diverged || a.Choose(i, options) != b.Choose(i, options);
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ScheduleOfTrail, ExtractsThePicks) {
+  ScriptedOracle oracle({1, 0, 2});
+  const auto options = ThreeOptions();
+  for (int i = 0; i < 4; ++i) (void)oracle.Choose(i, options);
+  EXPECT_EQ(ScheduleOfTrail(oracle.trail()), (Schedule{1, 0, 2, 0}));
+}
+
+}  // namespace
+}  // namespace simmr::mc

@@ -111,6 +111,65 @@ TEST(EventQueue, InterleavedPushPopKeepsOrdering) {
   EXPECT_EQ(q.Pop().payload, 1);
 }
 
+TEST(EventQueue, EarliestCountSpansOnlyTheFrontTie) {
+  EventQueue<int> q;
+  EXPECT_EQ(q.EarliestCount(), 0u);
+  q.Push(2.0, 0);
+  q.Push(1.0, 1);
+  q.Push(1.0, 2);
+  q.Push(1.0, 3);
+  EXPECT_EQ(q.EarliestCount(), 3u);  // the 2.0 entry is not part of the tie
+  (void)q.Pop();
+  EXPECT_EQ(q.EarliestCount(), 2u);
+}
+
+TEST(EventQueue, EarliestEntriesOrderByInsertionSequence) {
+  EventQueue<int> q;
+  q.Push(5.0, 10);
+  q.Push(3.0, 20);
+  q.Push(3.0, 21);
+  q.Push(3.0, 22);
+  const auto group = q.EarliestEntries();
+  ASSERT_EQ(group.size(), 3u);
+  EXPECT_EQ(group[0]->payload, 20);  // index 0 = the default Pop() choice
+  EXPECT_EQ(group[1]->payload, 21);
+  EXPECT_EQ(group[2]->payload, 22);
+}
+
+TEST(EventQueue, PopAmongEarliestZeroIsExactlyPop) {
+  EventQueue<int> a;
+  EventQueue<int> b;
+  for (int i = 0; i < 5; ++i) {
+    a.Push(1.0, i);
+    b.Push(1.0, i);
+  }
+  while (!a.Empty()) EXPECT_EQ(a.PopAmongEarliest(0).payload, b.Pop().payload);
+}
+
+TEST(EventQueue, PopAmongEarliestSelectsByTieIndexAndKeepsOrdering) {
+  EventQueue<int> q;
+  q.Push(1.0, 0);
+  q.Push(1.0, 1);
+  q.Push(1.0, 2);
+  q.Push(2.0, 9);
+  EXPECT_EQ(q.PopAmongEarliest(2).payload, 2);
+  EXPECT_EQ(q.PopAmongEarliest(1).payload, 1);
+  // The remaining drain is still time-then-insertion ordered.
+  EXPECT_EQ(q.Pop().payload, 0);
+  EXPECT_EQ(q.Pop().payload, 9);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueue, PopAmongEarliestThrowsBeyondTheTie) {
+  EventQueue<int> q;
+  q.Push(1.0, 0);
+  q.Push(1.0, 1);
+  q.Push(2.0, 2);  // later time: not a legal pick even though it is queued
+  EXPECT_THROW(q.PopAmongEarliest(2), std::logic_error);
+  EventQueue<int> empty;
+  EXPECT_THROW(empty.PopAmongEarliest(1), std::logic_error);
+}
+
 TEST(EventQueue, MovesPayloadOut) {
   EventQueue<std::unique_ptr<int>> q;
   q.Push(1.0, std::make_unique<int>(42));

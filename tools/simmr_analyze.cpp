@@ -6,14 +6,20 @@
 //   simmr_analyze utilization --log=run.jsonl --map-slots=16
 //   simmr_analyze diff --a=run.simmr.jsonl --b=run.mumak.jsonl --json
 //   simmr_analyze perf-diff --baseline=BENCH_main.json --candidate=BENCH_pr.json
+//   simmr_analyze sweep-diff --baseline=sweep_a.json --candidate=sweep_b.json
+//   simmr_analyze explore --summary=explore.json
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "analysis/json_value.h"
 #include "analysis/perf_diff.h"
 #include "analysis/report.h"
 #include "analysis/run_diff.h"
 #include "analysis/run_record.h"
+#include "analysis/sweep_diff.h"
 #include "analysis/timeline.h"
 #include "tool_common.h"
 
@@ -34,7 +40,11 @@ void PrintTopUsage() {
       "                 (BENCH_*.json); exits 4 on a regression\n"
       "  timeline       per-window utilization / queue-depth / running-task\n"
       "                 tables and a straggler summary from a\n"
-      "                 simmr.timeseries.v1 file (--timeseries-out)\n\n"
+      "                 simmr.timeseries.v1 file (--timeseries-out)\n"
+      "  sweep-diff     behaviour-drift gate over two simmr.sweep.v1\n"
+      "                 documents; exits 4 on drift, 1 on grid mismatch\n"
+      "  explore        summary of a simmr.explore.v1 document\n"
+      "                 (simmr_explore --out)\n\n"
       "run 'simmr_analyze <subcommand> --help' for the subcommand's flags.\n");
 }
 
@@ -225,6 +235,121 @@ int main(int argc, char** argv) {
           analysis::LoadTimeline(flags->Get("timeseries"));
       std::fputs(analysis::RenderTimeline(timeline, opt).c_str(), stdout);
       if (opt.json) std::fputc('\n', stdout);
+      return 0;
+    }
+
+    if (sub == "sweep-diff") {
+      const auto flags = tools::Flags::Parse(
+          argc, argv,
+          "Compares two simmr.sweep.v1 documents cell-by-cell. Cell\n"
+          "aggregates are deterministic sim-time quantities, so the\n"
+          "default threshold is exact: any per-metric relative delta\n"
+          "beyond --threshold is behaviour drift. Exits 0 when clean, 4 on\n"
+          "drift, 1 on structural errors (mismatched grids, bad input).",
+          {
+              {"baseline", "", "baseline simmr.sweep.v1 path"},
+              {"candidate", "", "candidate simmr.sweep.v1 path"},
+              {"threshold", "0",
+               "max relative per-metric delta that still passes (0 = exact)"},
+              JsonFlag(),
+              tools::LogLevelFlag(),
+          });
+      if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+      if (!tools::ApplyLogLevel(*flags)) return 1;
+      if (flags->Get("baseline").empty() || flags->Get("candidate").empty()) {
+        std::fprintf(stderr,
+                     "error: sweep-diff needs both --baseline and "
+                     "--candidate\n");
+        return 1;
+      }
+      analysis::SweepDiffOptions opt;
+      opt.threshold = flags->GetDouble("threshold");
+      opt.json = flags->GetBool("json");
+      if (opt.threshold < 0.0) {
+        std::fprintf(stderr, "error: --threshold must be >= 0\n");
+        return 1;
+      }
+      const auto baseline = analysis::LoadSweepDoc(flags->Get("baseline"));
+      const auto candidate = analysis::LoadSweepDoc(flags->Get("candidate"));
+      const auto result = analysis::DiffSweepDocs(baseline, candidate, opt);
+      std::fputs(analysis::RenderSweepDiff(result, opt).c_str(), stdout);
+      if (opt.json) std::fputc('\n', stdout);
+      return analysis::SweepDiffExitCode(result);
+    }
+
+    if (sub == "explore") {
+      const auto flags = tools::Flags::Parse(
+          argc, argv,
+          "Summarizes a simmr.explore.v1 document (simmr_explore --out):\n"
+          "coverage, pruning effectiveness and any recorded violations.",
+          {
+              {"summary", "explore.json", "input simmr.explore.v1 path"},
+              tools::LogLevelFlag(),
+          });
+      if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+      if (!tools::ApplyLogLevel(*flags)) return 1;
+      std::ifstream in(flags->Get("summary"));
+      if (!in) {
+        std::fprintf(stderr, "error: cannot open %s\n",
+                     flags->Get("summary").c_str());
+        return 1;
+      }
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      const analysis::JsonValue doc =
+          analysis::JsonValue::Parse(buffer.str());
+      if (doc.StringOr("format_version", "") != "simmr.explore.v1") {
+        std::fprintf(stderr, "error: %s is not a simmr.explore.v1 document\n",
+                     flags->Get("summary").c_str());
+        return 1;
+      }
+      const analysis::JsonValue* stats = doc.Find("stats");
+      const analysis::JsonValue* options = doc.Find("options");
+      if (stats == nullptr || options == nullptr) {
+        std::fprintf(stderr, "error: explore document missing stats\n");
+        return 1;
+      }
+      const double explored = stats->NumberOr("transitions_explored", 0);
+      const double pruned = stats->NumberOr("transitions_pruned", 0);
+      const double considered = explored + pruned;
+      const analysis::JsonValue* exhausted = stats->Find("exhausted");
+      std::printf("exploration of scenario '%s' (seed %.0f, depth %.0f, "
+                  "budget %.0f)\n",
+                  doc.StringOr("scenario", "?").c_str(),
+                  options->NumberOr("seed", 0),
+                  options->NumberOr("depth", 0),
+                  options->NumberOr("budget", 0));
+      std::printf("  executions:      %.0f (dfs %.0f, random %.0f), %s\n",
+                  stats->NumberOr("executions", 0),
+                  stats->NumberOr("dfs_executions", 0),
+                  stats->NumberOr("random_executions", 0),
+                  exhausted != nullptr && exhausted->IsBool() &&
+                          exhausted->AsBool()
+                      ? "exhausted"
+                      : "budget reached");
+      std::printf("  choice points:   %.0f (widest tie %.0f, frontier high "
+                  "water %.0f)\n",
+                  stats->NumberOr("choice_points", 0),
+                  stats->NumberOr("deepest_tie", 0),
+                  stats->NumberOr("frontier_high_water", 0));
+      std::printf("  transitions:     %.0f explored, %.0f pruned (%.1f%%), "
+                  "%.0f sleep-blocked\n",
+                  explored, pruned,
+                  considered > 0 ? 100.0 * pruned / considered : 0.0,
+                  stats->NumberOr("sleep_blocked", 0));
+      std::printf("  terminal states: %.0f distinct\n",
+                  stats->NumberOr("distinct_terminals", 0));
+      const analysis::JsonValue* violations = doc.Find("violations");
+      const std::size_t violation_count =
+          violations != nullptr && violations->IsArray()
+              ? violations->AsArray().size()
+              : 0;
+      std::printf("  violations:      %zu\n", violation_count);
+      if (violation_count != 0) {
+        for (const analysis::JsonValue& v : violations->AsArray())
+          std::printf("    [%s] %s\n", v.StringOr("property", "?").c_str(),
+                      v.StringOr("detail", "?").c_str());
+      }
       return 0;
     }
 

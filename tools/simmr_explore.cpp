@@ -1,0 +1,520 @@
+// simmr_explore: stateless model checker for scheduler interleavings.
+//
+// The fuzzer (simmr_fuzz) samples schedules randomly; this tool enumerates
+// them. Each testbed scenario's nondeterministic choice points — heartbeat
+// arrival order among task trackers, tie-broken completions at equal
+// sim-time — are resolved by a controllable ScheduleOracle, and the
+// explorer walks the choice tree depth-first with sleep-set (DPOR-style)
+// pruning up to --depth, resolving deeper choice points with a seeded
+// random tail. Every execution runs under the causal-mode invariant
+// observer plus the check::PolicyProperties suite; a violation is
+// ddmin-shrunk to a minimal schedule and written as a replayable
+// simmr.repro.v1 file with an exploration trailer (.xrepro).
+//
+// Modes:
+//   simmr_explore --scenario=pair --depth=64        # exhaustive exploration
+//   simmr_explore --replay=tests/corpus/foo.xrepro  # corpus regression
+//   simmr_explore --self-test                       # prove every property
+//                                                   # detector + the shrinker
+//                                                   # work end-to-end
+//
+// Exit codes: 0 = clean, 1 = usage/runtime error, 2 = violation found
+// (explore), regression (replay), or detector failure (self-test).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/invariant_observer.h"
+#include "check/policy_properties.h"
+#include "cluster/cluster_sim.h"
+#include "mc/explore_repro.h"
+#include "mc/explorer.h"
+#include "mc/oracles.h"
+#include "mc/scenario.h"
+#include "obs/json.h"
+#include "tool_common.h"
+
+namespace {
+
+using namespace simmr;
+
+/// --seed accepts either a decimal uint64 or an arbitrary string (a git
+/// SHA, a test name) hashed to one — CI seeds each run from the commit.
+std::uint64_t ResolveSeed(const std::string& text) {
+  if (!text.empty() && text.find_first_not_of("0123456789") ==
+                           std::string::npos && text.size() <= 20) {
+    try {
+      return std::stoull(text);
+    } catch (const std::exception&) {
+      // Falls through to hashing (e.g. > 2^64 digit strings).
+    }
+  }
+  return HashName(text);
+}
+
+std::vector<std::string> SplitList(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// True when `outcome` violates `property`.
+bool Violates(const mc::RunOutcome& outcome, const std::string& property) {
+  for (const check::Violation& violation : outcome.violations)
+    if (violation.invariant == property) return true;
+  return false;
+}
+
+void ValidateFault(const std::string& fault) {
+  for (const char* known : {"", "invariants", "capacity", "edf", "replay"})
+    if (fault == known) return;
+  throw std::invalid_argument(
+      "flag --fault: unknown fault '" + fault +
+      "' (want invariants | capacity | edf | replay)");
+}
+
+mc::ExploreOptions OptionsFrom(const tools::Flags& flags) {
+  mc::ExploreOptions options;
+  options.max_depth = flags.GetInt("depth");
+  const int budget = flags.GetInt("budget");
+  if (budget < 0)
+    throw std::invalid_argument("flag --budget: must be >= 0");
+  options.budget = static_cast<std::uint64_t>(budget);
+  options.seed = ResolveSeed(flags.Get("seed"));
+  const int random = flags.GetInt("random");
+  if (random < 0)
+    throw std::invalid_argument("flag --random: must be >= 0");
+  options.random_executions = static_cast<std::uint64_t>(random);
+  options.prune = !flags.GetBool("no-prune");
+  options.threads = static_cast<unsigned>(tools::ResolveThreads(flags));
+  options.properties = SplitList(flags.Get("property"));
+  options.fault = flags.Get("fault");
+  ValidateFault(options.fault);
+  return options;
+}
+
+/// The property names the exploration actually checked (the resolved form
+/// of an empty --property).
+std::vector<std::string> ResolvedProperties(const mc::ExploreOptions& options) {
+  if (!options.properties.empty()) return options.properties;
+  std::vector<std::string> all{"invariants"};
+  for (const std::string& name : check::PolicyPropertyNames())
+    all.push_back(name);
+  return all;
+}
+
+std::string HexFingerprint(std::uint64_t fingerprint) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+std::string ScheduleJson(const mc::Schedule& schedule) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(schedule[i]);
+  }
+  return out + "]";
+}
+
+/// The simmr.explore.v1 document. Deliberately excludes wall-clock time
+/// and the thread count: the document must be bit-identical for a given
+/// (scenario, seed, depth, budget) whatever machine or -j value produced
+/// it — that determinism is gated by a ctest.
+void WriteExploreJson(const std::string& path, const mc::Scenario& scenario,
+                      const mc::ExploreOptions& options,
+                      const mc::ExploreResult& result) {
+  const mc::ExploreStats& s = result.stats;
+  std::string out;
+  out += "{\n  \"format_version\": \"simmr.explore.v1\",\n";
+  out += "  \"tool\": \"simmr_explore\",\n";
+  out += "  \"scenario\": \"" + obs::JsonEscape(scenario.name) + "\",\n";
+  out += "  \"options\": {\"depth\": " + std::to_string(options.max_depth);
+  out += ", \"budget\": " + std::to_string(options.budget);
+  out += ", \"seed\": " + std::to_string(options.seed);
+  out += ", \"random_executions\": " +
+         std::to_string(options.random_executions);
+  out += std::string(", \"prune\": ") + (options.prune ? "true" : "false");
+  out += ", \"fault\": \"" + obs::JsonEscape(options.fault) + "\"";
+  out += ", \"properties\": [";
+  const std::vector<std::string> properties = ResolvedProperties(options);
+  for (std::size_t i = 0; i < properties.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + obs::JsonEscape(properties[i]) + "\"";
+  }
+  out += "]},\n";
+  out += "  \"stats\": {\"executions\": " + std::to_string(s.executions);
+  out += ", \"dfs_executions\": " + std::to_string(s.dfs_executions);
+  out += ", \"random_executions\": " + std::to_string(s.random_executions);
+  out += ", \"choice_points\": " + std::to_string(s.choice_points);
+  out += ", \"transitions_explored\": " +
+         std::to_string(s.transitions_explored);
+  out += ", \"transitions_pruned\": " + std::to_string(s.transitions_pruned);
+  out += ", \"sleep_blocked\": " + std::to_string(s.sleep_blocked);
+  out += ", \"frontier_high_water\": " +
+         std::to_string(s.frontier_high_water);
+  out += ", \"deepest_tie\": " + std::to_string(s.deepest_tie);
+  out += ", \"distinct_terminals\": " + std::to_string(s.distinct_terminals);
+  out += std::string(", \"exhausted\": ") +
+         (s.exhausted ? "true" : "false") + "},\n";
+  out += "  \"fingerprints\": [";
+  for (std::size_t i = 0; i < result.fingerprints.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + HexFingerprint(result.fingerprints[i]) + "\"";
+  }
+  out += "],\n  \"violations\": [";
+  for (std::size_t i = 0; i < result.violations.size(); ++i) {
+    const mc::ExploreViolation& v = result.violations[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"property\": \"" + obs::JsonEscape(v.property) + "\"";
+    out += ", \"detail\": \"" + obs::JsonEscape(v.detail) + "\"";
+    out += ", \"fingerprint\": \"" + HexFingerprint(v.fingerprint) + "\"";
+    out += ", \"schedule\": " + ScheduleJson(v.schedule);
+    out += ", \"shrunk\": " + ScheduleJson(v.shrunk);
+    out += ", \"shrink_probes\": " + std::to_string(v.shrink_probes) + "}";
+  }
+  out += result.violations.empty() ? "]\n}\n" : "\n  ]\n}\n";
+
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("simmr_explore: cannot open " + path);
+  file << out;
+  file.flush();
+  if (!file)
+    throw std::runtime_error("simmr_explore: write failed for " + path);
+  std::printf("exploration summary written to %s\n", path.c_str());
+}
+
+/// Everything written when a violation is found: the .xrepro artifact and
+/// the violating interleaving's testbed history log.
+std::string WriteViolationArtifacts(const mc::Scenario& scenario,
+                                    const mc::ExploreViolation& violation,
+                                    const mc::ExploreOptions& options,
+                                    const std::string& out_dir) {
+  std::filesystem::create_directories(out_dir);
+  const std::string stem =
+      "explore-" + scenario.name + "-" + violation.property;
+  const std::string repro_path = out_dir + "/" + stem + ".xrepro";
+  const mc::ExploreReproducer repro =
+      mc::MakeExploreReproducer(scenario, violation, options);
+  mc::WriteExploreReproducerFile(repro_path, repro);
+  std::printf("reproducer written to %s\n", repro_path.c_str());
+
+  const std::string log_path = out_dir + "/" + stem + ".history.log";
+  const mc::RunOutcome outcome =
+      mc::RunSchedule(scenario, violation.shrunk, options);
+  std::ofstream log_file(log_path);
+  if (log_file) {
+    outcome.result.log.Write(log_file);
+    std::printf("history log written to %s\n", log_path.c_str());
+  }
+  return repro_path;
+}
+
+void PrintStats(const mc::ExploreStats& s) {
+  std::printf("explore: %llu executions (dfs %llu, random %llu), %s\n",
+              static_cast<unsigned long long>(s.executions),
+              static_cast<unsigned long long>(s.dfs_executions),
+              static_cast<unsigned long long>(s.random_executions),
+              s.exhausted ? "exhausted" : "budget reached");
+  std::printf(
+      "explore: %llu choice points (widest tie %llu), frontier high water "
+      "%llu\n",
+      static_cast<unsigned long long>(s.choice_points),
+      static_cast<unsigned long long>(s.deepest_tie),
+      static_cast<unsigned long long>(s.frontier_high_water));
+  std::printf(
+      "explore: transitions %llu explored, %llu pruned, %llu forced "
+      "sleep-blocked picks\n",
+      static_cast<unsigned long long>(s.transitions_explored),
+      static_cast<unsigned long long>(s.transitions_pruned),
+      static_cast<unsigned long long>(s.sleep_blocked));
+  std::printf("explore: %llu distinct terminal states\n",
+              static_cast<unsigned long long>(s.distinct_terminals));
+}
+
+/// The default exploration mode. The shared observability sinks listen in
+/// on one representative execution (the default schedule) after the
+/// exploration — the exploration itself must stay observer-free so its
+/// outcome is identical with and without --trace-out and friends.
+int RunExplore(const tools::Flags& flags, tools::ObservabilitySinks& sinks) {
+  const mc::Scenario scenario = mc::MakeScenario(flags.Get("scenario"));
+  const mc::ExploreOptions options = OptionsFrom(flags);
+  std::printf("explore: scenario %s seed %llu depth %d budget %llu prune %s\n",
+              scenario.name.c_str(),
+              static_cast<unsigned long long>(options.seed),
+              options.max_depth,
+              static_cast<unsigned long long>(options.budget),
+              options.prune ? "on" : "off");
+
+  const mc::ExploreResult result = mc::Explore(scenario, options);
+  PrintStats(result.stats);
+
+  for (const mc::ExploreViolation& violation : result.violations) {
+    std::fprintf(stderr, "explore: VIOLATION [%s] %s\n",
+                 violation.property.c_str(), violation.detail.c_str());
+    std::fprintf(stderr,
+                 "explore:   schedule %zu picks, shrunk to %zu (%llu "
+                 "probes)\n",
+                 violation.schedule.size(), violation.shrunk.size(),
+                 static_cast<unsigned long long>(violation.shrink_probes));
+    WriteViolationArtifacts(scenario, violation, options,
+                            flags.Get("out-dir"));
+  }
+  if (result.violations.empty())
+    std::printf("explore: clean — no property violations\n");
+
+  if (!flags.Get("out").empty())
+    WriteExploreJson(flags.Get("out"), scenario, options, result);
+
+  // Representative run for the observer-based sinks (--trace-out,
+  // --event-log-out, ...): the scenario's default schedule.
+  if (sinks.observer() != nullptr) {
+    cluster::TestbedOptions run_options = scenario.options;
+    run_options.observer = sinks.observer();
+    cluster::RunTestbed(scenario.jobs, run_options);
+  }
+  tools::RunSummary summary;
+  summary.tool = "simmr_explore";
+  summary.scenario = "scenario=" + scenario.name +
+                     " seed=" + std::to_string(options.seed) +
+                     " depth=" + std::to_string(options.max_depth);
+  summary.simulator = "testbed";
+  summary.events_processed = result.stats.choice_points;
+  summary.jobs = scenario.jobs.size();
+  sinks.Write(summary);
+  return result.violations.empty() ? 0 : 2;
+}
+
+/// Corpus regression (--replay). An artifact with no fault pinned a real
+/// interleaving failure: the property must hold now (the bug stays
+/// fixed). One with a fault is a detector pin: re-injecting the fault
+/// must still trip the property. Exit 0 = good, 2 = regression.
+int RunReplay(const std::string& path) {
+  const mc::ExploreReproducer repro = mc::ReadExploreReproducerFile(path);
+  const mc::Scenario scenario = mc::MakeScenario(repro.scenario);
+  mc::ExploreOptions options;
+  options.properties = {repro.property};
+  options.fault = repro.fault;
+  options.seed = repro.explore_seed;
+  if (!repro.base.note.empty())
+    std::printf("reproducer note: %s\n", repro.base.note.c_str());
+
+  const mc::RunOutcome outcome =
+      mc::RunSchedule(scenario, repro.schedule, options);
+  bool violated = false;
+  for (const check::Violation& violation : outcome.violations)
+    violated = violated || violation.invariant == repro.property;
+
+  if (repro.fault.empty()) {
+    if (!violated) {
+      std::printf("replay: %s clean (%zu choice points)\n", path.c_str(),
+                  outcome.trail.size());
+      return 0;
+    }
+    std::fprintf(stderr, "replay: %s REGRESSED:\n%s", path.c_str(),
+                 check::FormatViolations(outcome.violations).c_str());
+    return 2;
+  }
+  if (violated) {
+    std::printf("replay: %s fault '%s' still caught by property '%s'\n",
+                path.c_str(), repro.fault.c_str(), repro.property.c_str());
+    return 0;
+  }
+  std::fprintf(stderr,
+               "replay: %s DETECTOR REGRESSION: fault '%s' no longer trips "
+               "property '%s'\n",
+               path.c_str(), repro.fault.c_str(), repro.property.c_str());
+  return 2;
+}
+
+/// --self-test: for every property detector, prove end-to-end that a
+/// seeded fault is (1) caught by exploration while the un-faulted baseline
+/// is clean, (2) ddmin-shrunk to a schedule that still trips it, and
+/// (3) written as an .xrepro artifact that replays deterministically —
+/// two runs of the read-back file produce identical violation reports.
+int RunSelfTest(const tools::Flags& flags) {
+  const std::string out_dir = flags.Get("out-dir");
+  std::filesystem::create_directories(out_dir);
+
+  struct FaultCase {
+    const char* fault;
+    const char* property;
+    /// Empty = the --scenario flag. The capacity fault needs jobs that
+    /// contend for map slots (pair2): with one map per job, two starved
+    /// half-capacity queues still get a slot each and stay FIFO-equivalent,
+    /// so the fault would be undetectable by construction.
+    const char* scenario;
+  };
+  const FaultCase cases[] = {
+      {"invariants", "invariants", ""},
+      {"capacity", "fifo_capacity_equivalence", "pair2"},
+      {"edf", "edf_preemption_dominance", ""},
+      {"replay", "replay_accuracy", ""},
+  };
+
+  bool all_ok = true;
+  for (const FaultCase& fault_case : cases) {
+    const mc::Scenario scenario = mc::MakeScenario(
+        fault_case.scenario[0] != '\0' ? fault_case.scenario
+                                       : flags.Get("scenario"));
+    mc::ExploreOptions options;
+    options.max_depth = flags.GetInt("depth");
+    // A seeded fault trips on every schedule, so a handful of executions
+    // is plenty; the point is the catch/shrink/replay loop, not coverage.
+    options.budget = 8;
+    options.seed = ResolveSeed(flags.Get("seed"));
+    options.properties = {fault_case.property};
+    options.fault = fault_case.fault;
+
+    // The same property without the fault must be clean, or the detection
+    // proves nothing.
+    mc::ExploreOptions baseline = options;
+    baseline.fault.clear();
+    if (!mc::RunSchedule(scenario, {}, baseline).violations.empty()) {
+      std::fprintf(stderr, "self-test: baseline for '%s' not clean\n",
+                   fault_case.fault);
+      all_ok = false;
+      continue;
+    }
+
+    const mc::ExploreResult result = mc::Explore(scenario, options);
+    const mc::ExploreViolation* found = nullptr;
+    for (const mc::ExploreViolation& violation : result.violations)
+      if (violation.property == fault_case.property) found = &violation;
+    if (found == nullptr) {
+      std::fprintf(stderr, "self-test: fault '%s' NOT caught\n",
+                   fault_case.fault);
+      all_ok = false;
+      continue;
+    }
+    if (!Violates(mc::RunSchedule(scenario, found->shrunk, options),
+                  fault_case.property)) {
+      std::fprintf(stderr,
+                   "self-test: fault '%s' shrunk schedule no longer "
+                   "violates\n",
+                   fault_case.fault);
+      all_ok = false;
+      continue;
+    }
+
+    const std::string repro_path = WriteViolationArtifacts(
+        scenario, *found, options, out_dir);
+    const mc::ExploreReproducer read_back =
+        mc::ReadExploreReproducerFile(repro_path);
+    mc::ExploreOptions replay_options;
+    replay_options.properties = {read_back.property};
+    replay_options.fault = read_back.fault;
+    replay_options.seed = read_back.explore_seed;
+    const std::string report_a = check::FormatViolations(
+        mc::RunSchedule(scenario, read_back.schedule, replay_options)
+            .violations);
+    const std::string report_b = check::FormatViolations(
+        mc::RunSchedule(scenario, read_back.schedule, replay_options)
+            .violations);
+    if (report_a.empty() || report_a != report_b) {
+      std::fprintf(stderr,
+                   "self-test: fault '%s' reproducer not deterministic\n",
+                   fault_case.fault);
+      all_ok = false;
+      continue;
+    }
+    std::printf(
+        "self-test: fault '%s' caught by '%s', shrunk %zu -> %zu pick(s), "
+        "replays deterministically\n",
+        fault_case.fault, fault_case.property, found->schedule.size(),
+        found->shrunk.size());
+  }
+  if (!all_ok) return 2;
+  std::printf("self-test: all property detectors caught and shrunk\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<tools::FlagSpec> specs = {
+      {"scenario", "pair", "exploration scenario (pair | pair2 | smoke3)"},
+      {"depth", "64",
+       "choice points enumerated exhaustively; deeper ones get the seeded "
+       "random tail"},
+      {"budget", "20000", "maximum DFS executions"},
+      {"seed", "42",
+       "seed for random tails and the random phase: a decimal uint64 or "
+       "any string (hashed), e.g. a git SHA"},
+      {"random", "0", "extra fully-random executions after the DFS phase"},
+      {"property", "",
+       "comma-separated property subset (invariants, "
+       "fifo_capacity_equivalence, edf_preemption_dominance, "
+       "replay_accuracy); empty = all"},
+      {"fault", "",
+       "detector self-test fault to inject (invariants | capacity | edf | "
+       "replay)"},
+      {"no-prune", "",
+       "disable sleep-set pruning (naive full enumeration)", true},
+      {"out", "", "optional simmr.explore.v1 JSON output path"},
+      {"out-dir", ".", "directory for .xrepro + history-log artifacts"},
+      {"replay", "",
+       "re-run an .xrepro exploration reproducer instead of exploring"},
+      {"self-test", "",
+       "inject each property fault; assert caught, shrunk, and "
+       "deterministic",
+       true},
+      tools::ThreadsFlag(),
+      tools::LogLevelFlag(),
+  };
+  // Flag parity with the other tools: the shared observability sinks
+  // apply to the exploration mode (a representative default-schedule run).
+  for (auto& spec : tools::ObservabilityFlagSpecs()) specs.push_back(spec);
+  const auto flags = tools::Flags::Parse(
+      argc, argv,
+      "Stateless model checker: enumerates the testbed's scheduler\n"
+      "interleavings (heartbeat order, tie-broken completions) depth-first\n"
+      "with sleep-set pruning, checking causal invariants and the\n"
+      "cross-policy properties on every execution; violations shrink to\n"
+      "replayable .xrepro artifacts.\n"
+      "Exit: 0 clean, 1 usage/runtime error, 2 violation or regression.",
+      std::move(specs));
+  if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+  if (!tools::ApplyLogLevel(*flags)) return 1;
+
+  try {
+    const bool explore_mode =
+        flags->Get("replay").empty() && !flags->GetBool("self-test");
+    tools::ObservabilitySinks sinks;
+    if (explore_mode) {
+      sinks.Init(*flags);
+    } else {
+      for (const char* name : {"trace-out", "metrics-out", "telemetry-out",
+                               "event-log-out", "profile-out",
+                               "timeseries-out"}) {
+        if (!flags->Get(name).empty())
+          std::fprintf(stderr,
+                       "warning: --%s applies to exploration only; ignored "
+                       "in this mode\n",
+                       name);
+      }
+      if (flags->Get("serve-metrics") != "-1")
+        std::fprintf(stderr,
+                     "warning: --serve-metrics applies to exploration "
+                     "only; ignored in this mode\n");
+    }
+    if (!flags->Get("replay").empty()) return RunReplay(flags->Get("replay"));
+    if (flags->GetBool("self-test")) return RunSelfTest(*flags);
+    return RunExplore(*flags, sinks);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

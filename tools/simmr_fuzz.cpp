@@ -38,6 +38,7 @@
 #include "cluster/app_model.h"
 #include "cluster/cluster_sim.h"
 #include "core/simmr.h"
+#include "fuzz/differential.h"
 #include "fuzz/fault_injection.h"
 #include "fuzz/harness.h"
 #include "fuzz/repro.h"
@@ -394,7 +395,7 @@ int RunTestbedCheck(const tools::Flags& flags, std::uint64_t seed) {
   core::SimConfig cfg;
   cfg.map_slots = causal.map_slots;
   cfg.reduce_slots = causal.reduce_slots;
-  const double tolerance = flags.GetDouble("tolerance");
+  const double tolerance_override = flags.GetDouble("tolerance");
   const auto profiles = trace::BuildAllProfiles(testbed.log);
   bool all_ok = true;
   for (std::size_t i = 0; i < profiles.size(); ++i) {
@@ -408,9 +409,14 @@ int RunTestbedCheck(const tools::Flags& flags, std::uint64_t seed) {
     const double simulated = replayed.jobs.at(0).CompletionTime();
     const double err =
         actual > 0.0 ? std::abs(simulated - actual) / actual : 0.0;
-    std::printf("testbed: %-22s actual %9.1f s replay %9.1f s (%+5.1f%%)\n",
+    const double tolerance =
+        tolerance_override >= 0.0
+            ? tolerance_override
+            : fuzz::TestbedReplayTolerance(profiles[i].app_name);
+    std::printf("testbed: %-22s actual %9.1f s replay %9.1f s (%+5.1f%%, "
+                "gate %.0f%%)\n",
                 label.c_str(), actual, simulated,
-                100.0 * (simulated - actual) / actual);
+                100.0 * (simulated - actual) / actual, 100.0 * tolerance);
     if (err > tolerance) {
       std::fprintf(stderr, "testbed: %s error %.1f%% exceeds %.1f%%\n",
                    label.c_str(), 100.0 * err, 100.0 * tolerance);
@@ -442,8 +448,9 @@ int main(int argc, char** argv) {
        "cross-check: testbed run -> profile -> FIFO replay within "
        "--tolerance",
        true},
-      {"tolerance", "0.35",
-       "per-job relative error gate for --testbed (paper avg: 0.027)"},
+      {"tolerance", "-1",
+       "per-job relative error gate for --testbed; -1 = per-archetype "
+       "bounds (fuzz::TestbedReplayTolerances, paper avg: 0.027)"},
       {"fault", "none", "manual fault injection for the fuzz loop"},
       {"trigger", "1", "1-based callback ordinal the fault fires on"},
       tools::LogLevelFlag(),
