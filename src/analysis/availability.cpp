@@ -1,0 +1,218 @@
+#include "analysis/availability.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+#include "obs/json.h"
+
+namespace simmr::analysis {
+namespace {
+
+std::string Num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void Line(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+AvailabilityReport BuildAvailabilityReport(const RunRecord& run,
+                                           const RunRecord* baseline) {
+  AvailabilityReport report;
+  report.makespan = run.makespan;
+
+  // Per-node downtime from the LOST/RESTORED alternation, in log order.
+  // The invariant observer enforces strict alternation, so an open window
+  // at the end of the log means the node stayed down: charge it through
+  // the makespan.
+  std::map<std::int32_t, NodeDowntime> nodes;
+  std::map<std::int32_t, double> down_since;
+  for (const FaultRecord& fault : run.faults) {
+    if (fault.fault == "NODE_LOST") {
+      ++report.node_losses;
+      if (fault.node >= 0) {
+        NodeDowntime& entry = nodes[fault.node];
+        entry.node = fault.node;
+        ++entry.losses;
+        down_since[fault.node] = fault.t;
+      }
+    } else if (fault.fault == "NODE_RESTORED") {
+      ++report.node_restores;
+      const auto it = down_since.find(fault.node);
+      if (it != down_since.end()) {
+        nodes[fault.node].down_seconds += fault.t - it->second;
+        down_since.erase(it);
+      }
+    } else if (fault.fault == "ATTEMPT_KILLED") {
+      ++report.attempt_kills;
+    } else if (fault.fault == "TASK_REEXECUTED") {
+      ++report.task_reexecutions;
+    }
+  }
+  for (const auto& [node, since] : down_since)
+    nodes[node].down_seconds += run.makespan - since;
+  for (auto& [node, entry] : nodes) report.nodes.push_back(entry);
+
+  // Re-execution records per job (attempt kills are counted from the
+  // jobs' own attempt histories below, which also carry the timings).
+  std::map<std::int32_t, std::uint64_t> reexecuted;
+  for (const FaultRecord& fault : run.faults)
+    if (fault.fault == "TASK_REEXECUTED" && fault.job >= 0)
+      ++reexecuted[fault.job];
+
+  for (const JobRun& job : run.jobs) {
+    JobAvailability entry;
+    entry.name = job.name;
+    entry.id = job.id;
+    entry.killed_maps = job.kills[0];
+    entry.killed_reduces = job.kills[1];
+    const auto it = reexecuted.find(job.id);
+    entry.reexecuted_tasks = it != reexecuted.end() ? it->second : 0;
+    for (const TaskExec& task : job.tasks)
+      if (!task.succeeded)
+        entry.wasted_seconds +=
+            std::max(0.0, task.timing.end - task.timing.start);
+    entry.completed = job.completed;
+    entry.completion = job.completed ? job.CompletionTime() : 0.0;
+    if (!job.completed) ++report.jobs_unfinished;
+
+    if (baseline != nullptr) {
+      const JobRun* other = baseline->FindJob(job.id);
+      if (other != nullptr && other->completed && job.completed) {
+        entry.has_baseline = true;
+        entry.baseline_completion = other->CompletionTime();
+        entry.penalty_seconds = entry.completion - entry.baseline_completion;
+      }
+    }
+    report.total_wasted_seconds += entry.wasted_seconds;
+    report.total_killed += entry.killed_maps + entry.killed_reduces;
+    report.jobs.push_back(std::move(entry));
+  }
+
+  if (baseline != nullptr) {
+    report.has_baseline = true;
+    report.baseline_makespan = baseline->makespan;
+    report.makespan_penalty = report.makespan - report.baseline_makespan;
+  }
+  return report;
+}
+
+std::string RenderAvailability(const AvailabilityReport& report,
+                               const AnalyzeOptions& opt) {
+  if (opt.json) {
+    std::string out =
+        "{\"schema\":\"simmr.analysis.v1\",\"kind\":\"availability\"";
+    out += ",\"node_losses\":" + std::to_string(report.node_losses);
+    out += ",\"node_restores\":" + std::to_string(report.node_restores);
+    out += ",\"attempt_kills\":" + std::to_string(report.attempt_kills);
+    out +=
+        ",\"task_reexecutions\":" + std::to_string(report.task_reexecutions);
+    out += ",\"makespan\":" + Num(report.makespan);
+    out += ",\"jobs_unfinished\":" + std::to_string(report.jobs_unfinished);
+    out += ",\"total_wasted_seconds\":" + Num(report.total_wasted_seconds);
+    out += ",\"total_killed\":" + std::to_string(report.total_killed);
+    if (report.has_baseline) {
+      out += ",\"baseline_makespan\":" + Num(report.baseline_makespan);
+      out += ",\"makespan_penalty\":" + Num(report.makespan_penalty);
+    }
+    out += ",\"nodes\":[";
+    for (std::size_t i = 0; i < report.nodes.size(); ++i) {
+      const NodeDowntime& node = report.nodes[i];
+      if (i != 0) out += ',';
+      out += "{\"node\":" + std::to_string(node.node);
+      out += ",\"losses\":" + std::to_string(node.losses);
+      out += ",\"down_seconds\":" + Num(node.down_seconds) + '}';
+    }
+    out += "],\"jobs\":[";
+    bool first = true;
+    for (const JobAvailability& job : report.jobs) {
+      if (opt.job >= 0 && job.id != opt.job) continue;
+      if (!first) out += ',';
+      first = false;
+      out += "{\"job\":" + std::to_string(job.id);
+      out += ",\"name\":\"" + obs::JsonEscape(job.name) + "\"";
+      out += ",\"killed_maps\":" + std::to_string(job.killed_maps);
+      out += ",\"killed_reduces\":" + std::to_string(job.killed_reduces);
+      out += ",\"reexecuted_tasks\":" + std::to_string(job.reexecuted_tasks);
+      out += ",\"wasted_seconds\":" + Num(job.wasted_seconds);
+      out += std::string(",\"completed\":") +
+             (job.completed ? "true" : "false");
+      if (job.completed) out += ",\"completion\":" + Num(job.completion);
+      if (job.has_baseline) {
+        out += ",\"baseline_completion\":" + Num(job.baseline_completion);
+        out += ",\"penalty_seconds\":" + Num(job.penalty_seconds);
+      }
+      out += '}';
+    }
+    out += "]}";
+    return out;
+  }
+
+  std::string out;
+  Line(out,
+       "availability: %llu node loss(es), %llu restore(s), %llu attempt "
+       "kill(s), %llu re-execution(s)\n",
+       static_cast<unsigned long long>(report.node_losses),
+       static_cast<unsigned long long>(report.node_restores),
+       static_cast<unsigned long long>(report.attempt_kills),
+       static_cast<unsigned long long>(report.task_reexecutions));
+  for (const NodeDowntime& node : report.nodes)
+    Line(out, "  node %-4d down %8.1f s across %d loss(es)\n", node.node,
+         node.down_seconds, node.losses);
+
+  Line(out, "\n%-20s %6s %6s %6s %10s %12s", "job", "killsM", "killsR",
+       "reexec", "wasted_s", "completion_s");
+  if (report.has_baseline) Line(out, " %12s %9s", "baseline_s", "penalty");
+  out += '\n';
+  for (const JobAvailability& job : report.jobs) {
+    if (opt.job >= 0 && job.id != opt.job) continue;
+    std::string name = job.name.empty() ? "job#" + std::to_string(job.id)
+                                        : job.name;
+    Line(out, "%-20s %6llu %6llu %6llu %10.1f ", name.c_str(),
+         static_cast<unsigned long long>(job.killed_maps),
+         static_cast<unsigned long long>(job.killed_reduces),
+         static_cast<unsigned long long>(job.reexecuted_tasks),
+         job.wasted_seconds);
+    if (job.completed) {
+      Line(out, "%12.1f", job.completion);
+    } else {
+      Line(out, "%12s", "FAILED");
+    }
+    if (job.has_baseline)
+      Line(out, " %12.1f %8.1f%%", job.baseline_completion,
+           job.baseline_completion > 0.0
+               ? 100.0 * job.penalty_seconds / job.baseline_completion
+               : 0.0);
+    out += '\n';
+  }
+
+  Line(out,
+       "\ntotals: %llu killed attempt(s), %.1f attempt-seconds wasted, "
+       "%llu job(s) unfinished\n",
+       static_cast<unsigned long long>(report.total_killed),
+       report.total_wasted_seconds,
+       static_cast<unsigned long long>(report.jobs_unfinished));
+  if (report.has_baseline) {
+    Line(out, "makespan: %.1f s vs %.1f s fault-free (%+.1f s, %+.1f%%)\n",
+         report.makespan, report.baseline_makespan, report.makespan_penalty,
+         report.baseline_makespan > 0.0
+             ? 100.0 * report.makespan_penalty / report.baseline_makespan
+             : 0.0);
+  } else {
+    Line(out, "makespan: %.1f s (no baseline given)\n", report.makespan);
+  }
+  return out;
+}
+
+}  // namespace simmr::analysis

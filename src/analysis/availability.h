@@ -1,0 +1,84 @@
+// Availability what-ifs: what a fault plan cost a run.
+//
+// Folds the fault-lifecycle records of one event log (NODE_LOST,
+// NODE_RESTORED, ATTEMPT_KILLED, TASK_REEXECUTED) into per-node downtime
+// windows and per-job damage — killed attempts, wasted attempt-seconds,
+// re-executed tasks — and, when a fault-free baseline log of the same
+// workload is given, attributes each job's completion-time penalty and
+// the makespan penalty to the faults. The instrument behind
+// `simmr_analyze availability`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "analysis/run_record.h"
+
+namespace simmr::analysis {
+
+/// Downtime of one node over the run, from its NODE_LOST/NODE_RESTORED
+/// alternation. A loss the log never closes counts as down until the
+/// run's makespan.
+struct NodeDowntime {
+  std::int32_t node = -1;
+  int losses = 0;
+  double down_seconds = 0.0;
+};
+
+/// Fault damage attributed to one job, with its baseline join when a
+/// fault-free run of the same workload was provided.
+struct JobAvailability {
+  std::string name;
+  std::int32_t id = -1;
+  std::uint64_t killed_maps = 0;
+  std::uint64_t killed_reduces = 0;
+  /// TASK_REEXECUTED records: completed map outputs lost with a node and
+  /// run again (distinct from killed running attempts).
+  std::uint64_t reexecuted_tasks = 0;
+  /// Attempt-seconds of work thrown away: sum of (end - start) over
+  /// failed attempts.
+  double wasted_seconds = 0.0;
+  double completion = 0.0;  // relative completion time
+  bool completed = false;
+
+  bool has_baseline = false;
+  double baseline_completion = 0.0;
+  /// completion - baseline_completion (only meaningful with a baseline;
+  /// positive = the faults delayed the job).
+  double penalty_seconds = 0.0;
+};
+
+struct AvailabilityReport {
+  /// Run-wide fault-record counts by kind.
+  std::uint64_t node_losses = 0;
+  std::uint64_t node_restores = 0;
+  std::uint64_t attempt_kills = 0;
+  std::uint64_t task_reexecutions = 0;
+
+  std::vector<NodeDowntime> nodes;  // node-scoped records only, node order
+  std::vector<JobAvailability> jobs;  // job-id order
+
+  double makespan = 0.0;
+  std::uint64_t jobs_unfinished = 0;  // never completed (failed/aborted)
+  double total_wasted_seconds = 0.0;
+  std::uint64_t total_killed = 0;
+
+  bool has_baseline = false;
+  double baseline_makespan = 0.0;
+  double makespan_penalty = 0.0;  // makespan - baseline_makespan
+};
+
+/// Builds the report. `baseline` may be null (no what-if join); when
+/// given, jobs are aligned by id — the intended use is the same workload
+/// replayed with and without a fault plan, where ids coincide.
+AvailabilityReport BuildAvailabilityReport(const RunRecord& run,
+                                           const RunRecord* baseline);
+
+/// `availability`: text table, or one simmr.analysis.v1 JSON document
+/// when opt.json is set. Honors opt.job (-1 = all jobs).
+std::string RenderAvailability(const AvailabilityReport& report,
+                               const AnalyzeOptions& opt);
+
+}  // namespace simmr::analysis

@@ -96,6 +96,17 @@ RunRecord RunRecord::FromLog(const obs::EventLog& log) {
         ++(ev.job >= 0 ? record.decisions_chosen
                        : record.decisions_idle)[KindIndex(ev.task_kind)];
         break;
+      case obs::LogEvent::Kind::kFault: {
+        FaultRecord fault;
+        fault.fault = ev.fault_name;
+        fault.t = ev.t;
+        fault.node = ev.node;
+        fault.job = ev.job;
+        fault.kind = ev.task_kind;
+        fault.index = ev.index;
+        record.faults.push_back(std::move(fault));
+        break;
+      }
     }
   }
 

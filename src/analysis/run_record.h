@@ -61,10 +61,25 @@ struct JobRun {
   std::size_t SucceededCount(obs::TaskKind kind) const;
 };
 
+/// One recorded fault-lifecycle transition ("fault" log records, written
+/// by OnFaultEvent). `fault` is the FaultEventKindName wire name; `node`
+/// is -1 for the slot-level engine; job/index are -1 for node-scoped
+/// events.
+struct FaultRecord {
+  std::string fault;
+  double t = 0.0;
+  std::int32_t node = -1;
+  std::int32_t job = -1;
+  obs::TaskKind kind = obs::TaskKind::kMap;
+  std::int32_t index = -1;
+};
+
 /// One reconstructed run.
 struct RunRecord {
   obs::EventLogHeader header;
   std::vector<JobRun> jobs;  // ordered by job id
+  /// Fault-lifecycle records in log order (empty for fault-free runs).
+  std::vector<FaultRecord> faults;
 
   std::uint64_t dequeues = 0;
   std::uint64_t peak_queue_depth = 0;

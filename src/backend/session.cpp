@@ -78,6 +78,7 @@ RunResult SimSession::Replay(const ReplaySpec& spec) const {
   config.min_map_percent_completed = spec.slowstart;
   config.record_tasks = spec.record_tasks;
   config.observer = spec.observer;
+  config.fault_plan = spec.fault_plan;
 
   const auto policy =
       MakePolicy(spec.policy, spec.map_slots, spec.reduce_slots);

@@ -50,6 +50,10 @@ struct ReplaySpec {
   /// Borrowed live-instrumentation sink; null keeps the engine's
   /// no-observer fast path.
   obs::SimObserver* observer = nullptr;
+  /// Borrowed deterministic fault plan forwarded to
+  /// core::SimConfig::fault_plan (see the geometry contract there); null
+  /// keeps the fault-free fast path.
+  const fault::FaultPlan* fault_plan = nullptr;
 };
 
 class SimSession {

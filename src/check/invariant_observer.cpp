@@ -33,6 +33,7 @@ InvariantObserver::InvariantObserver(InvariantOptions options)
 void InvariantObserver::Reset() {
   violations_.clear();
   jobs_.clear();
+  lost_nodes_.clear();
   last_now_ = 0.0;
   saw_callback_ = false;
   finished_ = false;
@@ -79,6 +80,9 @@ InvariantObserver::JobState* InvariantObserver::RequireOpenJob(
     return nullptr;
   }
   if (it->second.completed) {
+    // An aborted job's in-flight attempts drain after the completion
+    // callback; their reports are the contract, not a bug.
+    if (it->second.aborted) return &it->second;
     Violate("task-lifecycle", now, job,
             std::string(what) + " after the job completed");
     return nullptr;
@@ -224,13 +228,25 @@ void InvariantObserver::OnJobCompletion(SimTime now, std::int32_t job) {
   CheckClock(now, "job completion");
   JobState* state = RequireOpenJob(now, job, "job completion");
   if (state == nullptr) return;
+  if (state->completed) {
+    // RequireOpenJob lets aborted jobs through for the drain; a second
+    // completion callback is still illegal.
+    Violate("job-accounting", now, job, "job completed twice");
+    return;
+  }
   state->completed = true;
   state->completion = now;
 
   if (state->running_tasks > 0) {
-    Violate("job-accounting", now, job,
-            "job completed with " + std::to_string(state->running_tasks) +
-                " task(s) still running");
+    if (options_.allow_job_abort) {
+      // JobTracker abort (max_attempts exhausted): in-flight attempts are
+      // left to drain and report after this callback.
+      state->aborted = true;
+    } else {
+      Violate("job-accounting", now, job,
+              "job completed with " + std::to_string(state->running_tasks) +
+                  " task(s) still running");
+    }
   }
   const bool had_tasks = state->max_departure >= 0.0;
   const double tol = options_.time_tolerance;
@@ -307,6 +323,58 @@ void InvariantObserver::OnSchedulerDecision(SimTime now, obs::TaskKind kind,
   } else if (it->second.completed) {
     Violate("task-lifecycle", now, chosen_job,
             "scheduler chose a job that already completed");
+  }
+}
+
+void InvariantObserver::OnFaultEvent(SimTime now, obs::FaultEventKind kind,
+                                     std::int32_t node, std::int32_t job,
+                                     obs::TaskKind task_kind,
+                                     std::int32_t index) {
+  CheckClock(now, "fault event");
+  switch (kind) {
+    case obs::FaultEventKind::kNodeLost:
+      if (node < 0) {
+        Violate("fault-lifecycle", now, -1, "NODE_LOST without a node id");
+      } else if (!lost_nodes_.insert(node).second) {
+        Violate("fault-lifecycle", now, -1,
+                "node " + std::to_string(node) +
+                    " lost twice without a restore");
+      }
+      break;
+    case obs::FaultEventKind::kNodeRestored:
+      if (node < 0 || lost_nodes_.erase(node) == 0) {
+        Violate("fault-lifecycle", now, -1,
+                "node " + std::to_string(node) +
+                    " restored without being lost");
+      }
+      break;
+    case obs::FaultEventKind::kAttemptKilled:
+      // The kill's slot release arrives as a failed OnTaskCompletion
+      // (checked there); here the event need only name an arrived job.
+      if (job < 0 || jobs_.find(job) == jobs_.end()) {
+        Violate("fault-lifecycle", now, job,
+                "ATTEMPT_KILLED for a job that never arrived");
+      }
+      break;
+    case obs::FaultEventKind::kTaskReexecuted: {
+      JobState* state = RequireOpenJob(now, job, "task re-execution");
+      if (state == nullptr) return;
+      TaskState& task = task_kind == obs::TaskKind::kMap
+                            ? state->maps[index]
+                            : state->reduces[index];
+      if (!task.completed) {
+        Violate("fault-lifecycle", now, job,
+                std::string(KindName(task_kind)) + " task " +
+                    std::to_string(index) +
+                    " re-executed without a prior successful completion");
+        return;
+      }
+      // The completed output is void (its node is gone): the lifecycle
+      // legally reopens so a fresh attempt may launch and complete again.
+      task.completed = false;
+      task.timing = obs::TaskTiming{};
+      break;
+    }
   }
 }
 

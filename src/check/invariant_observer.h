@@ -13,6 +13,10 @@
 //  * task lifecycle legality — tasks belong to an arrived job, launch
 //    before they complete, never complete twice, and only relaunch after a
 //    failed/killed attempt;
+//  * fault lifecycle legality — nodes alternate NODE_LOST/NODE_RESTORED,
+//    attempt kills name arrived jobs, and a task re-executes only after a
+//    prior successful completion (its output voided by a lost node), which
+//    legally reopens its lifecycle;
 //  * shuffle-model causality — a first-wave (filler) reduce's shuffle can
 //    only end at or after its job's map stage completes (the paper's
 //    non-overlapping first-shuffle model), later waves shuffle after their
@@ -33,6 +37,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "obs/observer.h"
@@ -64,6 +69,11 @@ struct InvariantOptions {
   /// Recording stops after this many violations (the stream stays
   /// consistent; this only bounds report size on badly broken runs).
   std::size_t max_violations = 64;
+  /// Accept JobTracker-style job aborts (ClusterConfig::max_attempts): a
+  /// job may complete while attempts are still in flight, and those
+  /// attempts may legally report afterwards as they drain. Off by default —
+  /// fault-free runs must balance exactly.
+  bool allow_job_abort = false;
 };
 
 /// One detected inconsistency.
@@ -97,6 +107,9 @@ class InvariantObserver final : public obs::SimObserver {
                         bool succeeded) override;
   void OnSchedulerDecision(SimTime now, obs::TaskKind kind,
                            std::int32_t chosen_job) override;
+  void OnFaultEvent(SimTime now, obs::FaultEventKind kind, std::int32_t node,
+                    std::int32_t job, obs::TaskKind task_kind,
+                    std::int32_t index) override;
 
   /// End-of-run invariants: all occupied slots released, every arrived job
   /// completed. Call once after the simulator returns; idempotent per run.
@@ -123,6 +136,9 @@ class InvariantObserver final : public obs::SimObserver {
   struct JobState {
     bool arrived = false;
     bool completed = false;
+    /// Completed while attempts were still in flight (allow_job_abort):
+    /// later task events for this job are the legal drain, not a bug.
+    bool aborted = false;
     SimTime arrival = 0.0;
     SimTime completion = 0.0;
     SimTime max_departure = -1.0;  // max successful TaskTiming::end
@@ -143,6 +159,8 @@ class InvariantObserver final : public obs::SimObserver {
   InvariantOptions options_;
   std::vector<Violation> violations_;
   std::unordered_map<std::int32_t, JobState> jobs_;
+  /// Nodes currently reported lost (fault-lifecycle alternation check).
+  std::unordered_set<std::int32_t> lost_nodes_;
   double last_now_ = 0.0;
   bool saw_callback_ = false;
   bool finished_ = false;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "cluster/testbed_scheduler.h"
 #include "simcore/distributions.h"
@@ -18,11 +19,14 @@ namespace {
 // simmr::SimEventKind table, so its dequeue names match the other
 // simulators' durable logs by construction. Operand use per kind:
 //   kJobArrival    a = job index in the submission list
-//   kHeartbeat     a = node id (regular, self-rearming)
+//   kHeartbeat     a = node id, b = node heartbeat epoch (self-rearming;
+//                  the epoch orphans chains that predate a crash/restore)
 //   kOobHeartbeat  a = node id (out-of-band, fired on task completion)
 //   kMapDataReady  a = job id, b = map task index (exact map end time)
 //   kReduceDone    a = job id, b = reduce task index (exact reduce end)
 //   kFetchCheck    b = generation stamp of the shuffle schedule
+//   kFaultAction   a = index into the run's fault-action list
+//   kTrackerExpiry a = node id (JobTracker-side lost-tracker check)
 using EventKind = SimEventKind;
 
 struct Event {
@@ -39,10 +43,14 @@ struct NodeTask {
   JobId job = kInvalidJob;
   TaskKind kind = TaskKind::kMap;
   TaskIndex index = kInvalidTask;
-  bool speculative = false;  // maps only
-  bool failing = false;      // maps only
-  SimTime start = 0.0;       // maps only
-  SimTime end = 0.0;         // maps only
+  bool speculative = false;    // maps only
+  bool failing = false;        // maps only
+  bool drawn_failure = false;  // maps only: a genuine drawn failure, as
+                               // opposed to a killed speculative duplicate
+                               // (only the former counts toward node
+                               // blacklisting)
+  SimTime start = 0.0;         // maps only
+  SimTime end = 0.0;           // maps only
 };
 
 struct NodeState {
@@ -51,6 +59,26 @@ struct NodeState {
   SlotPool slots;
   // Attempts currently occupying slots on this node, reported on heartbeat.
   std::vector<NodeTask> running;
+
+  // --- fault-injection state (inert without a fault plan) ---
+  bool down = false;         // daemon not running (crash, or declared lost)
+  bool lost = false;         // the JobTracker declared this tracker lost
+  bool blacklisted = false;  // no new assignments (heartbeats still report)
+  int failed_attempts = 0;   // genuine failures observed by the JobTracker
+  double fault_slowdown = 1.0;        // speed multiplier from kNodeSlowdown
+  SimTime hb_suppressed_until = 0.0;  // heartbeat-loss window end
+  SimTime last_heartbeat = 0.0;       // JobTracker-side last-seen time
+  std::int32_t hb_epoch = 0;  // bumps on crash/restore to orphan the
+                              // in-flight self-rearming heartbeat chain
+};
+
+/// A map-output landing annulled by a node death before it fired. Matched
+/// by exact scheduled time, which is safe because the event was scheduled
+/// with that same double.
+struct CancelledMapData {
+  JobId job = kInvalidJob;
+  TaskIndex index = kInvalidTask;
+  SimTime at = 0.0;
 };
 
 class TestbedSim {
@@ -71,6 +99,27 @@ class TestbedSim {
     for (const auto& s : submissions_) {
       if (s.spec.input_mb <= 0.0)
         throw std::invalid_argument("RunTestbed: job with nonpositive input");
+    }
+    if (options.fault_plan != nullptr) {
+      const fault::FaultPlan& plan = *options.fault_plan;
+      std::string err = fault::ValidateFaultPlan(plan);
+      if (err.empty() && plan.num_nodes != 0 &&
+          plan.num_nodes != options.config.num_nodes)
+        err = "plan authored for " + std::to_string(plan.num_nodes) +
+              " nodes, cluster has " +
+              std::to_string(options.config.num_nodes);
+      if (err.empty() && plan.num_nodes == 0) {
+        for (const auto& a : plan.actions) {
+          if (a.node >= options.config.num_nodes) {
+            err = "geometry-free plan targets node " + std::to_string(a.node) +
+                  " beyond the cluster";
+            break;
+          }
+        }
+      }
+      if (!err.empty())
+        throw std::invalid_argument("RunTestbed: invalid fault plan: " + err);
+      fault_actions_ = fault::SortedActions(plan);
     }
     failure_rng_ = master_rng_.Split("failures");
     speculation_rng_ = master_rng_.Split("speculation");
@@ -103,6 +152,10 @@ class TestbedSim {
                                       static_cast<double>(cfg.num_nodes)
                                 : cfg.heartbeat_interval;
       kernel_.Schedule(first_beat, Event{EventKind::kHeartbeat, n});
+    }
+    for (std::size_t i = 0; i < fault_actions_.size(); ++i) {
+      kernel_.Schedule(fault_actions_[i].time,
+                  Event{EventKind::kFaultAction, static_cast<std::int32_t>(i)});
     }
 
     kernel_.DrainUntilOracle(
@@ -160,26 +213,40 @@ class TestbedSim {
         OnJobArrival(ev.a);
         break;
       case EventKind::kHeartbeat:
-        OnHeartbeat(ev.a, /*rearm=*/true);
+        OnHeartbeat(ev.a, /*rearm=*/true, ev.b);
         break;
       case EventKind::kOobHeartbeat:
-        OnHeartbeat(ev.a, /*rearm=*/false);
+        OnHeartbeat(ev.a, /*rearm=*/false, 0);
         break;
       case EventKind::kMapDataReady:
         OnMapDataReady(ev.a, ev.b);
         break;
-      case EventKind::kReduceDone:
+      case EventKind::kReduceDone: {
         // Exact completion instant: with out-of-band heartbeats enabled the
         // node reports immediately instead of waiting for its next beat.
-        if (options_.config.out_of_band_heartbeat) {
-          JobRuntime& job = *jobs_[ev.a];
-          kernel_.Schedule(now(), Event{EventKind::kOobHeartbeat,
-                                  job.reduces()[ev.b].node});
+        // The staleness gate drops events whose attempt was killed by a
+        // fault (the reset pushed r.end away from this instant).
+        JobRuntime& job = *jobs_[ev.a];
+        const ReduceTaskRt& r = job.reduces()[ev.b];
+        if (options_.config.out_of_band_heartbeat &&
+            r.state == TaskState::kRunning &&
+            r.phase == ReducePhase::kMergeAndReduce &&
+            r.end <= now() + kTimeEpsilon) {
+          kernel_.Schedule(now(), Event{EventKind::kOobHeartbeat, r.node});
         }
         break;
+      }
       case EventKind::kFetchCheck:
         OnFetchCheck(ev.b);
         break;
+      case EventKind::kFaultAction:
+        OnFaultAction(ev.a);
+        break;
+      case EventKind::kTrackerExpiry:
+        OnTrackerExpiry(ev.a);
+        break;
+      default:
+        throw std::logic_error("TestbedSim: unexpected event kind");
     }
   }
 
@@ -197,18 +264,28 @@ class TestbedSim {
                 << submission.spec.FullName() << ") arrived";
   }
 
-  void OnHeartbeat(NodeId node_id, bool rearm) {
-    shuffle_.Advance(now());
-    ProcessFetchCompletions();
-
-    ReportFinishedTasks(node_id);
-    AssignTasks(node_id);
+  void OnHeartbeat(NodeId node_id, bool rearm, std::int32_t epoch) {
+    NodeState& node = nodes_[node_id];
+    if (rearm && epoch != node.hb_epoch) return;  // chain from before a fault
+    if (node.down) return;  // daemon dead: no beat, and the chain ends here
+    // During a heartbeat-loss window the daemon keeps its cadence but the
+    // JobTracker never sees the beat: nothing is reported or assigned, yet
+    // the chain re-arms (the node itself is healthy).
+    const bool suppressed = now() < node.hb_suppressed_until;
+    if (!suppressed) {
+      node.last_heartbeat = now();
+      shuffle_.Advance(now());
+      ProcessFetchCompletions();
+      ReportFinishedTasks(node_id);
+      // Blacklisted trackers keep reporting but receive no new work.
+      if (!node.blacklisted) AssignTasks(node_id);
+    }
 
     // Hadoop TaskTrackers heartbeat for as long as the daemon runs; we stop
     // re-arming once nothing can ever need this node again.
     if (rearm && finished_jobs_ < submissions_.size()) {
       kernel_.Schedule(now() + options_.config.heartbeat_interval,
-                  Event{EventKind::kHeartbeat, node_id});
+                  Event{EventKind::kHeartbeat, node_id, node.hb_epoch});
     }
   }
 
@@ -247,9 +324,14 @@ class TestbedSim {
           ++node.slots.free_maps;
           --job.running_maps;
           --m.active_attempts;
+          if (entry.drawn_failure) CountNodeFailure(node_id);
           if (winner) {
             m.state = TaskState::kDone;
             m.reported = true;
+            // Attribute the completion to the winning attempt's node: this
+            // is where the output lives, which is what lost-node map
+            // re-execution keys on.
+            m.node = node_id;
             ++job.maps_reported;
             job.completed_map_duration_sum += entry.end - entry.start;
             ++job.completed_map_count;
@@ -257,7 +339,8 @@ class TestbedSim {
           } else if (!m.reported && m.active_attempts == 0) {
             // Every attempt failed: the task goes back to pending.
             m.state = TaskState::kPending;
-            job.RequeueMap(index);
+            m.speculated = false;
+            RequeueMapChecked(job, index);
           }
           done = true;
         }
@@ -284,12 +367,13 @@ class TestbedSim {
           ++node.slots.free_reduces;
           --job.running_reduces;
           if (r.attempt_failing) {
+            CountNodeFailure(node_id);
             r.attempt_failing = false;
             r.state = TaskState::kPending;
             r.phase = ReducePhase::kFetch;
             r.flow = -1;
             r.end = kTimeInfinity;
-            job.RequeueReduce(index);
+            RequeueReduceChecked(job, index);
           } else {
             r.state = TaskState::kDone;
             r.reported = true;
@@ -319,7 +403,31 @@ class TestbedSim {
     if (obs_ != nullptr) obs_->OnJobCompletion(now(), job.id());
     job_queue_.erase(
         std::find(job_queue_.begin(), job_queue_.end(), &job));
+    EmitJobRecord(job);
+    SIMMR_DEBUG << "t=" << now() << " job " << job.id() << " finished";
+  }
 
+  /// JobTracker-side abort: a task exhausted ClusterConfig::max_attempts.
+  /// The job leaves the scheduling queue and counts as finished (failed).
+  /// In-flight attempts are left to drain naturally — they are logged when
+  /// they report and their slots return then; Hadoop actively kills them,
+  /// but the difference is bounded by one attempt length and keeps the
+  /// reaping logic non-reentrant.
+  void FailJob(JobRuntime& job) {
+    if (job.Finished()) return;
+    job.failed = true;
+    job.finish_time = now();
+    makespan_ = std::max(makespan_, now());
+    ++finished_jobs_;
+    if (obs_ != nullptr) obs_->OnJobCompletion(now(), job.id());
+    job_queue_.erase(
+        std::find(job_queue_.begin(), job_queue_.end(), &job));
+    EmitJobRecord(job);
+    SIMMR_DEBUG << "t=" << now() << " job " << job.id()
+                << " FAILED (max_attempts exhausted)";
+  }
+
+  void EmitJobRecord(const JobRuntime& job) {
     JobRecord rec;
     rec.job = job.id();
     rec.app_name = job.spec().app.name;
@@ -332,8 +440,44 @@ class TestbedSim {
     rec.finish_time = job.finish_time;
     rec.maps_done_time = job.maps_done_time;
     rec.deadline = job.deadline();
+    rec.failed = job.failed;
     log_.AddJob(std::move(rec));
-    SIMMR_DEBUG << "t=" << now() << " job " << job.id() << " finished";
+  }
+
+  /// Requeues a task for re-execution, or fails the job when the attempt
+  /// budget is exhausted.
+  void RequeueMapChecked(JobRuntime& job, TaskIndex index) {
+    if (job.Finished()) return;
+    const int max = options_.config.max_attempts;
+    if (max > 0 && job.maps()[index].attempts >= max) {
+      FailJob(job);
+      return;
+    }
+    job.RequeueMap(index);
+  }
+
+  void RequeueReduceChecked(JobRuntime& job, TaskIndex index) {
+    if (job.Finished()) return;
+    const int max = options_.config.max_attempts;
+    if (max > 0 && job.reduces()[index].attempts >= max) {
+      FailJob(job);
+      return;
+    }
+    job.RequeueReduce(index);
+  }
+
+  /// Counts a genuine attempt failure against the node and blacklists it
+  /// once ClusterConfig::node_blacklist_failures is reached.
+  void CountNodeFailure(NodeId node_id) {
+    NodeState& node = nodes_[node_id];
+    ++node.failed_attempts;
+    const int limit = options_.config.node_blacklist_failures;
+    if (limit > 0 && !node.blacklisted && node.failed_attempts >= limit) {
+      node.blacklisted = true;
+      SIMMR_DEBUG << "t=" << now() << " node " << node_id
+                  << " blacklisted after " << node.failed_attempts
+                  << " failed attempts";
+    }
   }
 
   /// The winning attempt kills the still-running duplicate (if any): its
@@ -345,10 +489,13 @@ class TestbedSim {
         if (other.job != job_id || other.kind != TaskKind::kMap ||
             other.index != index || other.end <= now() + kTimeEpsilon)
           continue;
+        // The twin's pending output landing must not fire.
+        if (!other.failing)
+          cancelled_map_data_.push_back({job_id, index, other.end});
         other.end = now();
         other.failing = true;  // it will be logged as not-succeeded
         if (static_cast<NodeId>(n) != winner_node &&
-            options_.config.out_of_band_heartbeat) {
+            !nodes_[n].down && options_.config.out_of_band_heartbeat) {
           kernel_.Schedule(now(), Event{EventKind::kOobHeartbeat,
                                   static_cast<NodeId>(n)});
         }
@@ -380,6 +527,25 @@ class TestbedSim {
     }
   }
 
+  /// Per-attempt RNG stream keyed by (job, kind, index, attempt ordinal).
+  /// Every attempt's stochastic draws — failure decision, death fraction,
+  /// retry duration noise — are independent of scheduling order: a retry
+  /// re-runs with a fresh sample no matter when or where it launches, and
+  /// the fuzzer's re-run differential stays bit-exact.
+  Rng AttemptRng(JobId job, TaskKind kind, TaskIndex index,
+                 int attempt) const {
+    std::uint64_t key = static_cast<std::uint64_t>(job);
+    key = key * 0x100000001B3ULL ^ (kind == TaskKind::kMap ? 1u : 2u);
+    key = key * 0x100000001B3ULL ^ static_cast<std::uint64_t>(index);
+    key = key * 0x100000001B3ULL ^ static_cast<std::uint64_t>(attempt);
+    return failure_rng_.Split("attempt", key);
+  }
+
+  static double MeanOneLogNormal(Rng& rng, double sigma) {
+    if (sigma <= 0.0) return 1.0;
+    return std::exp(sigma * rng.NextGaussian() - 0.5 * sigma * sigma);
+  }
+
   void LaunchMap(JobRuntime& job, NodeId node_id) {
     const TaskIndex index =
         options_.config.model_locality &&
@@ -390,7 +556,15 @@ class TestbedSim {
     MapTaskRt& m = job.maps()[index];
     m.state = TaskState::kRunning;
     m.node = node_id;
-    LaunchMapAttempt(job, index, node_id, /*speculative=*/false, m.noise);
+    // A retry is a new run, not a replay of the doomed sample: it draws
+    // fresh duration noise from its attempt-keyed stream.
+    double noise = m.noise;
+    if (m.attempts > 0) {
+      Rng rng = AttemptRng(job.id(), TaskKind::kMap, index, m.attempts)
+                    .Split("noise");
+      noise = MeanOneLogNormal(rng, job.spec().app.map_sigma);
+    }
+    LaunchMapAttempt(job, index, node_id, /*speculative=*/false, noise);
     m.start = now();
     m.end = node_last_attempt_end_;
   }
@@ -404,12 +578,14 @@ class TestbedSim {
     const AppModel& app = job.spec().app;
     double duration =
         (app.map_startup_s + m.input_mb * app.map_cost_s_per_mb * noise) /
-        node.speed +
+        (node.speed * node.fault_slowdown) +
         MapReadPenalty(options_.config, m, node_id);
-    const bool failing = DrawFailure();
+    Rng attempt_rng =
+        AttemptRng(job.id(), TaskKind::kMap, index, m.attempts);
+    const bool failing = DrawFailure(attempt_rng);
     if (failing) {
       // The attempt dies partway through; the slot is wasted until then.
-      duration *= failure_rng_.NextDouble(0.05, 0.95);
+      duration *= attempt_rng.NextDouble(0.05, 0.95);
     }
     ++m.attempts;
     ++m.active_attempts;
@@ -421,6 +597,7 @@ class TestbedSim {
     entry.index = index;
     entry.speculative = speculative;
     entry.failing = failing;
+    entry.drawn_failure = failing;
     entry.start = now();
     entry.end = now() + duration;
     node.running.push_back(entry);
@@ -484,6 +661,7 @@ class TestbedSim {
     NodeState& node = nodes_[node_id];
     const TaskIndex index = job.PopPendingReduce();
     ReduceTaskRt& r = job.reduces()[index];
+    const int attempt = r.attempts;
     r.state = TaskState::kRunning;
     r.node = node_id;
     r.start = now();
@@ -499,19 +677,29 @@ class TestbedSim {
       obs_->OnTaskLaunch(now(), job.id(), obs::TaskKind::kReduce, index);
     if (job.launch_time < 0.0) job.launch_time = now();
 
-    r.attempt_failing = DrawFailure();
+    const AppModel& app = job.spec().app;
+    if (attempt > 0) {
+      // Retries draw fresh phase noise (same sigmas JobRuntime used for the
+      // first attempt) from the attempt-keyed stream.
+      Rng rng = AttemptRng(job.id(), TaskKind::kReduce, index, attempt)
+                    .Split("noise");
+      r.merge_noise = MeanOneLogNormal(rng, 0.08);
+      r.reduce_noise = MeanOneLogNormal(rng, app.reduce_sigma);
+    }
+    Rng attempt_rng =
+        AttemptRng(job.id(), TaskKind::kReduce, index, attempt);
+    r.attempt_failing = DrawFailure(attempt_rng);
     if (r.attempt_failing) {
       // The attempt dies during its run; approximate the point of death as
       // a uniform fraction of the attempt's nominal span. It holds the
       // slot but fetches nothing (its partial fetch is discarded anyway).
-      const AppModel& app = job.spec().app;
       const double nominal = r.bytes_mb / MakePerFlowCap(options_.config) +
                              r.bytes_mb * app.merge_cost_s_per_mb +
                              app.reduce_startup_s +
                              r.bytes_mb * app.reduce_cost_s_per_mb;
       r.phase = ReducePhase::kMergeAndReduce;  // no flow to manage
       r.end = now() + std::max(0.1, nominal) *
-                         failure_rng_.NextDouble(0.05, 0.95);
+                         attempt_rng.NextDouble(0.05, 0.95);
       r.shuffle_end = r.end;
       if (options_.config.out_of_band_heartbeat) {
         kernel_.Schedule(r.end, Event{EventKind::kOobHeartbeat, node_id});
@@ -528,20 +716,38 @@ class TestbedSim {
     ScheduleFetchCheck();
   }
 
-  bool DrawFailure() {
+  bool DrawFailure(Rng& attempt_rng) {
     const double p = options_.config.task_failure_prob;
-    return p > 0.0 && failure_rng_.NextDouble() < p;
+    return p > 0.0 && attempt_rng.NextDouble() < p;
   }
 
   void OnMapDataReady(JobId job_id, TaskIndex map_index) {
+    // Annulled by a node death: the attempt's output never landed.
+    for (std::size_t i = 0; i < cancelled_map_data_.size(); ++i) {
+      const CancelledMapData& c = cancelled_map_data_[i];
+      if (c.job == job_id && c.index == map_index && c.at == now()) {
+        cancelled_map_data_[i] = cancelled_map_data_.back();
+        cancelled_map_data_.pop_back();
+        return;
+      }
+    }
     JobRuntime& job = *jobs_[job_id];
     MapTaskRt& m = job.maps()[map_index];
     if (m.data_ready) return;  // a faster (speculative) twin already landed
     m.data_ready = true;
     ++job.maps_data_ready;
+    if (job.AllMapsDataReady()) job.maps_done_time = now();
+    if (m.rerun) {
+      // Re-execution after output loss: the bytes were already counted when
+      // the original attempt landed, and whatever the reduces fetched
+      // survives — recovery costs recompute time, not re-shuffle volume.
+      if (options_.config.out_of_band_heartbeat) {
+        kernel_.Schedule(now(), Event{EventKind::kOobHeartbeat, m.node});
+      }
+      return;
+    }
     const double out_mb = m.input_mb * job.spec().app.map_selectivity;
     job.produced_mb += out_mb;
-    if (job.AllMapsDataReady()) job.maps_done_time = now();
 
     shuffle_.Advance(now());
     for (const auto& [fj, fr] : fetching_) {
@@ -575,8 +781,10 @@ class TestbedSim {
         continue;
       }
       shuffle_.Retire(r.flow);
+      r.flow = -1;
       const AppModel& app = job.spec().app;
-      const double speed = nodes_[r.node].speed;
+      const NodeState& rnode = nodes_[r.node];
+      const double speed = rnode.speed * rnode.fault_slowdown;
       const double merge_dur =
           r.bytes_mb * app.merge_cost_s_per_mb * r.merge_noise / speed;
       const double reduce_dur =
@@ -605,6 +813,327 @@ class TestbedSim {
     }
   }
 
+  // --- fault injection -------------------------------------------------
+
+  void OnFaultAction(std::int32_t action_index) {
+    const fault::FaultAction a = fault_actions_[action_index];
+    switch (a.kind) {
+      case fault::FaultActionKind::kNodeCrash:
+        CrashNode(a.node);
+        break;
+      case fault::FaultActionKind::kNodeRestore:
+        RestoreNode(a.node);
+        break;
+      case fault::FaultActionKind::kHeartbeatLoss: {
+        NodeState& node = nodes_[a.node];
+        if (node.down) break;  // a dead daemon has no heartbeats to lose
+        node.hb_suppressed_until =
+            std::max(node.hb_suppressed_until, a.end_time);
+        // If the silence outlasts the expiry interval the JobTracker will
+        // declare the tracker lost while the node is still alive.
+        kernel_.Schedule(
+            std::max(now(), node.last_heartbeat +
+                                options_.config.tasktracker_expiry_interval),
+            Event{EventKind::kTrackerExpiry, a.node});
+        break;
+      }
+      case fault::FaultActionKind::kNodeSlowdown:
+        nodes_[a.node].fault_slowdown *= a.factor;
+        break;
+      case fault::FaultActionKind::kKillAttempt:
+        KillTargetedAttempt(a);
+        break;
+    }
+  }
+
+  /// Node-side death: heartbeats stop, in-flight map outputs never land,
+  /// running fetches stop pulling bandwidth. The JobTracker only notices
+  /// at expiry time (or when a restore brings the tracker back first).
+  void CrashNode(NodeId node_id) {
+    NodeState& node = nodes_[node_id];
+    if (node.down) return;
+    node.down = true;
+    ++node.hb_epoch;  // orphan the in-flight heartbeat chain
+    shuffle_.Advance(now());
+    bool retired = false;
+    for (const NodeTask& entry : node.running) CancelAttemptIo(entry, &retired);
+    if (retired) {
+      ProcessFetchCompletions();
+      ScheduleFetchCheck();
+    }
+    kernel_.Schedule(
+        std::max(now(), node.last_heartbeat +
+                            options_.config.tasktracker_expiry_interval),
+        Event{EventKind::kTrackerExpiry, node_id});
+    SIMMR_DEBUG << "t=" << now() << " node " << node_id << " crashed ("
+                << node.running.size() << " attempts stranded)";
+  }
+
+  /// JobTracker-side lost-tracker check, armed whenever a node goes silent.
+  void OnTrackerExpiry(NodeId node_id) {
+    NodeState& node = nodes_[node_id];
+    if (node.lost) return;
+    // Stale check: the tracker has been heard from since this was armed.
+    if (now() + kTimeEpsilon <
+        node.last_heartbeat + options_.config.tasktracker_expiry_interval)
+      return;
+    const bool silent = node.down || now() < node.hb_suppressed_until;
+    if (!silent) return;
+    DeclareNodeLost(node_id);
+  }
+
+  void DeclareNodeLost(NodeId node_id) {
+    NodeState& node = nodes_[node_id];
+    node.lost = true;
+    if (!node.down) {
+      // The daemon is alive but unreachable (heartbeat loss): from the
+      // JobTracker's point of view it is gone. Model the declaration as a
+      // node death with an automatic rejoin when the window closes.
+      node.down = true;
+      ++node.hb_epoch;
+      shuffle_.Advance(now());
+      bool retired = false;
+      for (const NodeTask& entry : node.running)
+        CancelAttemptIo(entry, &retired);
+      if (retired) {
+        ProcessFetchCompletions();
+        ScheduleFetchCheck();
+      }
+      if (node.hb_suppressed_until > now()) {
+        fault::FaultAction rejoin;
+        rejoin.kind = fault::FaultActionKind::kNodeRestore;
+        rejoin.time = node.hb_suppressed_until;
+        rejoin.node = node_id;
+        const auto idx = static_cast<std::int32_t>(fault_actions_.size());
+        fault_actions_.push_back(rejoin);
+        kernel_.Schedule(rejoin.time, Event{EventKind::kFaultAction, idx});
+      }
+    }
+    if (obs_ != nullptr)
+      obs_->OnFaultEvent(now(), obs::FaultEventKind::kNodeLost, node_id, -1,
+                         obs::TaskKind::kMap, -1);
+    SIMMR_DEBUG << "t=" << now() << " node " << node_id << " declared lost";
+    ReapNodeAttempts(node_id);
+    ReexecuteLostMapOutputs(node_id);
+  }
+
+  /// A crashed node rejoins with empty slots; its local disk is treated as
+  /// wiped, so if the JobTracker had not yet declared it lost the stranded
+  /// attempts are reaped and its completed map outputs re-executed now.
+  void RestoreNode(NodeId node_id) {
+    NodeState& node = nodes_[node_id];
+    if (!node.down) return;
+    if (!node.lost) {
+      ReapNodeAttempts(node_id);
+      ReexecuteLostMapOutputs(node_id);
+    }
+    node.running.clear();
+    node.down = false;
+    node.lost = false;
+    node.hb_suppressed_until = 0.0;
+    node.slots.free_maps = options_.config.map_slots_per_node;
+    node.slots.free_reduces = options_.config.reduce_slots_per_node;
+    node.last_heartbeat = now();
+    ++node.hb_epoch;
+    if (obs_ != nullptr)
+      obs_->OnFaultEvent(now(), obs::FaultEventKind::kNodeRestored, node_id,
+                         -1, obs::TaskKind::kMap, -1);
+    SIMMR_DEBUG << "t=" << now() << " node " << node_id << " restored";
+    if (finished_jobs_ < submissions_.size()) {
+      kernel_.Schedule(now(),
+                  Event{EventKind::kHeartbeat, node_id, node.hb_epoch});
+    }
+  }
+
+  /// Kills every attempt stranded on a dead node and resets its slots.
+  /// Node-side IO was already cancelled at the down transition.
+  void ReapNodeAttempts(NodeId node_id) {
+    NodeState& node = nodes_[node_id];
+    const std::vector<NodeTask> stranded = std::move(node.running);
+    node.running.clear();
+    for (const NodeTask& entry : stranded)
+      KillAttemptEntry(node_id, entry, /*free_slot=*/false,
+                       /*cancel_io=*/false);
+    node.slots.free_maps = options_.config.map_slots_per_node;
+    node.slots.free_reduces = options_.config.reduce_slots_per_node;
+  }
+
+  /// A lost node's local disk is gone: every completed map whose output
+  /// lived there must re-execute for jobs whose reduces still need it.
+  /// Data the reduces already fetched survives (MapTaskRt::rerun).
+  void ReexecuteLostMapOutputs(NodeId node_id) {
+    for (const auto& job_ptr : jobs_) {
+      JobRuntime& job = *job_ptr;
+      if (job.Finished() || job.num_reduces() == 0) continue;
+      for (TaskIndex i = 0; i < job.num_maps(); ++i) {
+        MapTaskRt& m = job.maps()[i];
+        if (!m.reported || m.node != node_id) continue;
+        m.reported = false;
+        --job.maps_reported;
+        if (m.data_ready) {
+          m.data_ready = false;
+          --job.maps_data_ready;
+        }
+        m.rerun = true;
+        m.state = TaskState::kPending;
+        m.speculated = false;
+        job.RequeueMap(i);
+        if (obs_ != nullptr)
+          obs_->OnFaultEvent(now(), obs::FaultEventKind::kTaskReexecuted,
+                             node_id, job.id(), obs::TaskKind::kMap, i);
+        SIMMR_DEBUG << "t=" << now() << " job " << job.id() << " map " << i
+                    << " re-executed (output lost with node " << node_id
+                    << ")";
+      }
+    }
+  }
+
+  /// Targeted fault-plan kill: every running attempt of the named task is
+  /// killed immediately and the task requeued. No-op when the task is not
+  /// running (the plan's timing missed).
+  void KillTargetedAttempt(const fault::FaultAction& a) {
+    if (a.job < 0 || a.job >= static_cast<JobId>(jobs_.size())) return;
+    JobRuntime& job = *jobs_[a.job];
+    if (job.Finished()) return;
+    const TaskKind kind = a.task_kind == obs::TaskKind::kMap
+                              ? TaskKind::kMap
+                              : TaskKind::kReduce;
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      NodeState& node = nodes_[n];
+      if (node.down) continue;  // stranded entries are handled at expiry
+      for (std::size_t i = 0; i < node.running.size();) {
+        if (node.running[i].job != a.job || node.running[i].kind != kind ||
+            node.running[i].index != a.index) {
+          ++i;
+          continue;
+        }
+        const NodeTask entry = node.running[i];
+        node.running[i] = node.running.back();
+        node.running.pop_back();
+        KillAttemptEntry(static_cast<NodeId>(n), entry, /*free_slot=*/true,
+                         /*cancel_io=*/true);
+        if (options_.config.out_of_band_heartbeat) {
+          kernel_.Schedule(now(), Event{EventKind::kOobHeartbeat,
+                                  static_cast<NodeId>(n)});
+        }
+      }
+    }
+  }
+
+  /// Node-side cancellation of an attempt's pending IO: the map-output
+  /// landing event is annulled and a running fetch stops consuming
+  /// bandwidth. The caller must have Advance()d the shuffle model; sets
+  /// *retired when a flow was removed so the caller can re-run the fetch
+  /// bookkeeping once.
+  void CancelAttemptIo(const NodeTask& entry, bool* retired) {
+    if (entry.kind == TaskKind::kMap) {
+      if (!entry.failing && entry.end > now() + kTimeEpsilon)
+        cancelled_map_data_.push_back({entry.job, entry.index, entry.end});
+    } else {
+      ReduceTaskRt& r = jobs_[entry.job]->reduces()[entry.index];
+      if (r.phase == ReducePhase::kFetch && r.flow >= 0) {
+        for (std::size_t i = 0; i < fetching_.size(); ++i) {
+          if (fetching_[i].first == entry.job &&
+              fetching_[i].second == entry.index) {
+            fetching_[i] = fetching_.back();
+            fetching_.pop_back();
+            break;
+          }
+        }
+        shuffle_.Retire(r.flow);
+        r.flow = -1;
+        *retired = true;
+      }
+    }
+  }
+
+  /// Reaps one running attempt: logs it as not-succeeded, notifies
+  /// observers, releases JobTracker-side accounting and requeues the task
+  /// (or fails the job when the attempt budget is exhausted). The caller
+  /// removes the entry from its node's running list.
+  void KillAttemptEntry(NodeId node_id, const NodeTask& entry, bool free_slot,
+                        bool cancel_io) {
+    JobRuntime& job = *jobs_[entry.job];
+    if (cancel_io) {
+      shuffle_.Advance(now());
+      bool retired = false;
+      CancelAttemptIo(entry, &retired);
+      if (retired) {
+        ProcessFetchCompletions();
+        ScheduleFetchCheck();
+      }
+    }
+    if (entry.kind == TaskKind::kMap) {
+      MapTaskRt& m = job.maps()[entry.index];
+      TaskAttemptRecord rec;
+      rec.job = entry.job;
+      rec.kind = TaskKind::kMap;
+      rec.index = entry.index;
+      rec.node = node_id;
+      rec.start = entry.start;
+      rec.shuffle_end = entry.start;
+      rec.end = now();
+      rec.input_mb = m.input_mb;
+      rec.succeeded = false;
+      log_.AddTask(rec);
+      if (obs_ != nullptr) {
+        obs_->OnTaskCompletion(now(), entry.job, obs::TaskKind::kMap,
+                               entry.index,
+                               obs::TaskTiming{entry.start, entry.start,
+                                               now()},
+                               false);
+        obs_->OnFaultEvent(now(), obs::FaultEventKind::kAttemptKilled,
+                           node_id, entry.job, obs::TaskKind::kMap,
+                           entry.index);
+      }
+      --job.running_maps;
+      --m.active_attempts;
+      if (free_slot) ++nodes_[node_id].slots.free_maps;
+      if (m.data_ready && !m.reported) {
+        // The output landed on this node's disk but was never reported;
+        // it dies with the node.
+        m.data_ready = false;
+        --job.maps_data_ready;
+        m.rerun = true;
+      }
+      if (!m.reported && m.active_attempts == 0) {
+        m.state = TaskState::kPending;
+        m.speculated = false;
+        RequeueMapChecked(job, entry.index);
+      }
+    } else {
+      ReduceTaskRt& r = job.reduces()[entry.index];
+      TaskAttemptRecord rec;
+      rec.job = entry.job;
+      rec.kind = TaskKind::kReduce;
+      rec.index = entry.index;
+      rec.node = node_id;
+      rec.start = r.start;
+      rec.shuffle_end = now();
+      rec.end = now();
+      rec.input_mb = r.bytes_mb;
+      rec.succeeded = false;
+      log_.AddTask(rec);
+      if (obs_ != nullptr) {
+        obs_->OnTaskCompletion(now(), entry.job, obs::TaskKind::kReduce,
+                               entry.index,
+                               obs::TaskTiming{r.start, now(), now()}, false);
+        obs_->OnFaultEvent(now(), obs::FaultEventKind::kAttemptKilled,
+                           node_id, entry.job, obs::TaskKind::kReduce,
+                           entry.index);
+      }
+      --job.running_reduces;
+      if (free_slot) ++nodes_[node_id].slots.free_reduces;
+      r.attempt_failing = false;
+      r.state = TaskState::kPending;
+      r.phase = ReducePhase::kFetch;
+      r.flow = -1;
+      r.shuffle_end = 0.0;
+      r.end = kTimeInfinity;
+      RequeueReduceChecked(job, entry.index);
+    }
+  }
+
   const std::vector<SubmittedJob>& submissions_;
   const TestbedOptions& options_;
   Rng master_rng_;
@@ -618,6 +1147,10 @@ class TestbedSim {
   std::vector<std::unique_ptr<JobRuntime>> jobs_;
   std::vector<const JobRuntime*> job_queue_;
   std::vector<std::pair<JobId, TaskIndex>> fetching_;
+  // Sorted plan actions; grows when a lost-but-alive tracker's automatic
+  // rejoin is scheduled as a synthetic restore.
+  std::vector<fault::FaultAction> fault_actions_;
+  std::vector<CancelledMapData> cancelled_map_data_;
   SimKernel<Event> kernel_;
   HistoryLog log_;
   SimTime makespan_ = 0.0;

@@ -20,6 +20,7 @@
 #include "cluster/config.h"
 #include "cluster/history_log.h"
 #include "cluster/job.h"
+#include "fault/fault_plan.h"
 #include "obs/observer.h"
 #include "simcore/choice.h"
 
@@ -48,6 +49,12 @@ struct TestbedOptions {
   /// stateless model checker (src/mc) injects this to enumerate every
   /// legal interleaving of a run.
   ScheduleOracle* oracle = nullptr;
+  /// Optional deterministic fault plan (borrowed; must outlive the run).
+  /// Actions are injected as ordinary queue events, so a faulted run is
+  /// exactly as deterministic as a healthy one. The plan must pass
+  /// fault::ValidateFaultPlan against this config's geometry; RunTestbed
+  /// throws std::invalid_argument otherwise.
+  const fault::FaultPlan* fault_plan = nullptr;
 };
 
 struct TestbedResult {

@@ -68,6 +68,27 @@ struct ClusterConfig {
   /// of the attempt's nominal duration and are logged with succeeded=false.
   double task_failure_prob = 0.0;
 
+  /// How long a TaskTracker's heartbeat may go unseen before the
+  /// JobTracker declares the node lost (Hadoop's
+  /// mapred.tasktracker.expiry.interval, default 600 s). A lost node's
+  /// running attempts are killed and rescheduled, and its completed map
+  /// outputs — which lived on its local disk — are re-executed for jobs
+  /// whose reduces still need them. Only exercised when a fault plan
+  /// silences a node (TestbedOptions::fault_plan).
+  SimDuration tasktracker_expiry_interval = 600.0;
+
+  /// Per-task attempt budget (Hadoop's mapred.map/reduce.max.attempts,
+  /// default 4). When a task accumulates this many failed or killed
+  /// attempts the whole job is failed. 0 = unlimited (the pre-fault
+  /// behaviour, kept as the default so pure failure-injection runs never
+  /// abort jobs).
+  int max_attempts = 0;
+
+  /// JobTracker-side blacklisting: a node that accumulates this many
+  /// failed attempts stops receiving new work (its heartbeats still
+  /// report). 0 disables (the default).
+  int node_blacklist_failures = 0;
+
   /// Speculative execution of straggler map tasks (the paper's testbed ran
   /// with speculation *disabled*, hence the default). When a node has a
   /// free map slot and no pending map exists, a backup attempt is launched

@@ -80,7 +80,11 @@ void HistoryLog::Write(std::ostream& out) const {
     out << "JOB\t" << j.job << '\t' << j.app_name << '\t' << j.dataset << '\t'
         << j.num_maps << '\t' << j.num_reduces << '\t' << j.input_mb << '\t'
         << j.submit_time << '\t' << j.launch_time << '\t' << j.finish_time
-        << '\t' << j.maps_done_time << '\t' << j.deadline << '\n';
+        << '\t' << j.maps_done_time << '\t' << j.deadline;
+    // The failed column is appended only when set, so fault-free logs stay
+    // byte-identical to what pre-fault versions wrote.
+    if (j.failed) out << "\t1";
+    out << '\n';
   }
   for (const auto& t : tasks_) {
     out << "TASK\t" << t.job << '\t' << TaskKindName(t.kind) << '\t' << t.index
@@ -106,7 +110,7 @@ HistoryLog HistoryLog::Read(std::istream& in) {
     if (line.empty()) continue;
     const auto f = SplitTabs(line);
     if (f[0] == "JOB") {
-      if (f.size() != 12)
+      if (f.size() != 12 && f.size() != 13)
         throw std::runtime_error("HistoryLog: JOB line needs 12 fields");
       JobRecord j;
       j.job = ParseInt(f[1], "job id");
@@ -120,6 +124,7 @@ HistoryLog HistoryLog::Read(std::istream& in) {
       j.finish_time = ParseDouble(f[9], "finish_time");
       j.maps_done_time = ParseDouble(f[10], "maps_done_time");
       j.deadline = ParseDouble(f[11], "deadline");
+      j.failed = f.size() == 13 && ParseInt(f[12], "failed") != 0;
       log.AddJob(std::move(j));
     } else if (f[0] == "TASK") {
       if (f.size() != 10)

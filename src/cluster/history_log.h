@@ -34,6 +34,10 @@ struct JobRecord {
   SimTime finish_time = 0.0;   // JobTracker-observed completion
   SimTime maps_done_time = 0.0;  // end of the map stage (last map finish)
   double deadline = 0.0;       // absolute; 0 when none was set
+  /// True when the JobTracker aborted the job (a task exhausted
+  /// ClusterConfig::max_attempts); finish_time is then the abort time.
+  /// Serialized as a trailing column that older logs simply lack.
+  bool failed = false;
 };
 
 /// Per-task-attempt record. For maps, shuffle_end == start (no shuffle

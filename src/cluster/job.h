@@ -53,6 +53,11 @@ struct MapTaskRt {
   bool data_ready = false;  // output written (exact end time passed)
   bool reported = false;    // completion seen by the JobTracker (heartbeat)
   bool speculated = false;  // a backup attempt has been launched
+  /// The task is being re-executed after its output was lost with a dead
+  /// node. A re-run's output is recomputed but not re-shuffled: data the
+  /// reduces already fetched survives, so the re-run must not add to
+  /// produced_mb or flow availability a second time.
+  bool rerun = false;
   int attempts = 0;         // attempts launched so far (retries + backups)
   int active_attempts = 0;  // attempts currently holding a slot
   /// HDFS replica placement of the input block (distinct nodes; fewer when
@@ -115,6 +120,9 @@ class JobRuntime {
   SimTime launch_time = -1.0;
   SimTime maps_done_time = -1.0;  // exact end of the last map task
   SimTime finish_time = -1.0;
+  /// Set when a task exhausted ClusterConfig::max_attempts and the
+  /// JobTracker aborted the job (finish_time is the abort time).
+  bool failed = false;
 
   bool Finished() const { return finish_time >= 0.0; }
   bool AllMapsDataReady() const { return maps_data_ready == num_maps(); }

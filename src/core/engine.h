@@ -16,6 +16,7 @@
 
 #include "core/metrics.h"
 #include "core/scheduler.h"
+#include "fault/fault_plan.h"
 #include "obs/observer.h"
 #include "trace/workload.h"
 
@@ -45,6 +46,26 @@ struct SimConfig {
   /// paper's schedulers never preempt (Section V-B discusses the
   /// consequences).
   bool allow_filler_preemption = false;
+
+  /// Optional deterministic fault plan (borrowed; must outlive the run).
+  /// The engine has no node identity, so node faults translate into slot
+  /// terms: a crash removes the plan's per-node slot counts from the
+  /// cluster capacity and kills the most recently launched attempt per
+  /// lost slot (requeued with a fresh profile-sampled duration — work is
+  /// lost, not replayed); a restore returns the capacity. A heartbeat-loss
+  /// window at least tasktracker_expiry_interval long behaves as
+  /// crash+restore, shorter windows are invisible at task granularity,
+  /// and node slowdowns are ignored (the engine has no node speeds) —
+  /// both deliberate abstractions whose cost `simmr_analyze availability`
+  /// quantifies against the testbed. Plans with geometry must satisfy
+  /// num_nodes * slots_per_node == the engine slot totals; geometry-free
+  /// plans (num_nodes == 0) may only contain kill_attempt actions. Run()
+  /// throws std::invalid_argument otherwise.
+  const fault::FaultPlan* fault_plan = nullptr;
+
+  /// Heartbeat-loss windows at least this long count as node loss,
+  /// mirroring ClusterConfig::tasktracker_expiry_interval on the testbed.
+  double tasktracker_expiry_interval = 600.0;
 };
 
 class SimulatorEngine {

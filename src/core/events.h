@@ -18,7 +18,9 @@ inline constexpr JobId kInvalidJob = -1;
 
 /// The engine's seven event types, declared in the same order as the first
 /// seven entries of the canonical simmr::SimEventKind vocabulary so the
-/// static_cast in EventTypeName is the identity mapping.
+/// static_cast in EventTypeName is the identity mapping. kFaultAction (the
+/// fault-injection subsystem's injection point, SimConfig::fault_plan) is
+/// pinned to its SimEventKind slot explicitly for the same reason.
 enum class EventType : std::uint8_t {
   kJobArrival,
   kJobDeparture,
@@ -27,6 +29,7 @@ enum class EventType : std::uint8_t {
   kReduceTaskArrival,  // a job crossed the reduce slowstart gate
   kReduceTaskDeparture,
   kMapStageDone,       // all of a job's map tasks completed
+  kFaultAction = static_cast<int>(SimEventKind::kFaultAction),
 };
 
 inline constexpr int kNumEventTypes = 7;
@@ -40,11 +43,15 @@ inline const char* EventTypeName(EventType type) {
 }
 
 /// The paper's event triplet. `aux` carries the task index for departures
-/// (an implementation detail the triplet form leaves implicit).
+/// (an implementation detail the triplet form leaves implicit). `epoch`
+/// guards against stale departures of fault-killed attempts: a kill bumps
+/// the task's attempt epoch, so the doomed attempt's already-queued
+/// departure no longer matches. Always 0 when fault injection is off.
 struct Event {
   EventType type = EventType::kJobArrival;
   JobId job = kInvalidJob;
   std::int32_t aux = 0;
+  std::int32_t epoch = 0;
 };
 
 }  // namespace simmr::core

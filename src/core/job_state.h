@@ -75,14 +75,31 @@ class JobState {
 
   std::vector<PendingFiller> pending_fillers;
 
-  bool HasPendingMap() const { return maps_launched < num_maps(); }
-  bool HasPendingReduce() const { return reduces_launched < num_reduces(); }
+  /// Task indexes returned to the pending pool by a fault kill (or a
+  /// filler preemption). Relaunches pop from the back and draw a fresh
+  /// duration sample; maps_launched/reduces_launched stay monotone
+  /// fresh-index cursors.
+  std::vector<std::int32_t> requeued_maps;
+  std::vector<std::int32_t> requeued_reduces;
+
+  bool HasPendingMap() const {
+    return maps_launched < num_maps() || !requeued_maps.empty();
+  }
+  bool HasPendingReduce() const {
+    return reduces_launched < num_reduces() || !requeued_reduces.empty();
+  }
   bool MapsDone() const { return maps_completed == num_maps(); }
   bool Done() const {
     return MapsDone() && reduces_completed == num_reduces();
   }
-  int RunningMaps() const { return maps_launched - maps_completed; }
-  int RunningReduces() const { return reduces_launched - reduces_completed; }
+  int RunningMaps() const {
+    return maps_launched - maps_completed -
+           static_cast<int>(requeued_maps.size());
+  }
+  int RunningReduces() const {
+    return reduces_launched - reduces_completed -
+           static_cast<int>(requeued_reduces.size());
+  }
 
   /// Reduce slowstart threshold in completed-map count for a gate fraction.
   int ReduceGateThreshold(double min_map_fraction) const;

@@ -1,0 +1,99 @@
+#include "fault/fault_gen.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "simcore/rng.h"
+
+namespace simmr::fault {
+
+FaultPlan GenerateFaultPlan(std::uint64_t seed, const FaultGenOptions& opts) {
+  FaultPlan plan;
+  plan.num_nodes = opts.num_nodes;
+  plan.map_slots_per_node = opts.map_slots_per_node;
+  plan.reduce_slots_per_node = opts.reduce_slots_per_node;
+  plan.seed = seed;
+  if (opts.num_nodes <= 0 || opts.horizon <= 0.0) return plan;
+
+  const Rng master(seed);
+
+  // Crashes hit a random prefix of a seeded node permutation so no node is
+  // crashed twice (ValidateFaultPlan rejects un-restored double crashes).
+  // Leave at least one node up so workloads can always finish.
+  Rng crash_rng = master.Split("fault-crash");
+  std::vector<std::int32_t> nodes(static_cast<std::size_t>(opts.num_nodes));
+  for (std::int32_t i = 0; i < opts.num_nodes; ++i)
+    nodes[static_cast<std::size_t>(i)] = i;
+  for (std::size_t i = nodes.size(); i > 1; --i)
+    std::swap(nodes[i - 1], nodes[crash_rng.NextBounded(i)]);
+  const int crash_cap =
+      std::min(opts.max_crashes, std::max(0, opts.num_nodes - 1));
+  const int num_crashes =
+      crash_cap > 0
+          ? static_cast<int>(crash_rng.NextBounded(
+                static_cast<std::uint64_t>(crash_cap) + 1))
+          : 0;
+  for (int i = 0; i < num_crashes; ++i) {
+    FaultAction crash;
+    crash.kind = FaultActionKind::kNodeCrash;
+    crash.node = nodes[static_cast<std::size_t>(i)];
+    crash.time = crash_rng.NextDouble(0.0, 0.7 * opts.horizon);
+    plan.actions.push_back(crash);
+    if (crash_rng.NextDouble() < 0.5) {
+      FaultAction restore;
+      restore.kind = FaultActionKind::kNodeRestore;
+      restore.node = crash.node;
+      restore.time =
+          crash.time + crash_rng.NextDouble(0.05, 0.3) * opts.horizon;
+      plan.actions.push_back(restore);
+    }
+  }
+
+  Rng hb_rng = master.Split("fault-heartbeat-loss");
+  const int num_hb = static_cast<int>(hb_rng.NextBounded(
+      static_cast<std::uint64_t>(std::max(0, opts.max_heartbeat_losses)) +
+      1));
+  for (int i = 0; i < num_hb; ++i) {
+    FaultAction loss;
+    loss.kind = FaultActionKind::kHeartbeatLoss;
+    loss.node = static_cast<std::int32_t>(
+        hb_rng.NextBounded(static_cast<std::uint64_t>(opts.num_nodes)));
+    loss.time = hb_rng.NextDouble(0.0, 0.8 * opts.horizon);
+    loss.end_time = loss.time + hb_rng.NextDouble(0.01, 0.25) * opts.horizon;
+    plan.actions.push_back(loss);
+  }
+
+  Rng slow_rng = master.Split("fault-slowdown");
+  const int num_slow = static_cast<int>(slow_rng.NextBounded(
+      static_cast<std::uint64_t>(std::max(0, opts.max_slowdowns)) + 1));
+  for (int i = 0; i < num_slow; ++i) {
+    FaultAction slow;
+    slow.kind = FaultActionKind::kNodeSlowdown;
+    slow.node = static_cast<std::int32_t>(
+        slow_rng.NextBounded(static_cast<std::uint64_t>(opts.num_nodes)));
+    slow.time = slow_rng.NextDouble(0.0, 0.8 * opts.horizon);
+    slow.factor = slow_rng.NextDouble(0.2, 0.9);
+    plan.actions.push_back(slow);
+  }
+
+  Rng kill_rng = master.Split("fault-kill");
+  const int num_kills = static_cast<int>(kill_rng.NextBounded(
+      static_cast<std::uint64_t>(std::max(0, opts.max_kills)) + 1));
+  for (int i = 0; i < num_kills && opts.kill_jobs > 0 && opts.kill_tasks > 0;
+       ++i) {
+    FaultAction kill;
+    kill.kind = FaultActionKind::kKillAttempt;
+    kill.job = static_cast<std::int32_t>(
+        kill_rng.NextBounded(static_cast<std::uint64_t>(opts.kill_jobs)));
+    kill.task_kind = kill_rng.NextDouble() < 0.75 ? obs::TaskKind::kMap
+                                                  : obs::TaskKind::kReduce;
+    kill.index = static_cast<std::int32_t>(
+        kill_rng.NextBounded(static_cast<std::uint64_t>(opts.kill_tasks)));
+    kill.time = kill_rng.NextDouble(0.0, 0.9 * opts.horizon);
+    plan.actions.push_back(kill);
+  }
+
+  return plan;
+}
+
+}  // namespace simmr::fault

@@ -1,0 +1,40 @@
+// Seeded fault-plan generation.
+//
+// One seed → one FaultPlan, bit-identically on every platform (the same
+// contract as the trace fuzzer's workload generator). The generator only
+// emits plans that pass ValidateFaultPlan: crashes target distinct nodes,
+// every crash may be paired with a later restore, heartbeat-loss windows
+// are non-empty, slowdown factors are positive. Used by the fuzzer's fault
+// archetypes and by the CI smoke step (which seeds from the commit SHA).
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_plan.h"
+
+namespace simmr::fault {
+
+struct FaultGenOptions {
+  /// Cluster geometry copied into the generated plan.
+  std::int32_t num_nodes = 8;
+  std::int32_t map_slots_per_node = 2;
+  std::int32_t reduce_slots_per_node = 2;
+  /// Actions are drawn inside [0, horizon). Pick roughly the expected
+  /// makespan of the workload the plan will be injected into.
+  double horizon = 600.0;
+  /// Upper bounds on how many of each action family to draw (actual
+  /// counts are uniform in [0, max]). Kill targets are drawn over
+  /// [0, kill_jobs) x [0, kill_tasks) and may name attempts that never
+  /// run — such kills are no-ops by contract.
+  int max_crashes = 2;
+  int max_heartbeat_losses = 1;
+  int max_slowdowns = 2;
+  int max_kills = 2;
+  std::int32_t kill_jobs = 4;
+  std::int32_t kill_tasks = 16;
+};
+
+/// Draws a valid plan from (seed, options). plan.seed records the seed.
+FaultPlan GenerateFaultPlan(std::uint64_t seed, const FaultGenOptions& opts);
+
+}  // namespace simmr::fault

@@ -1,0 +1,132 @@
+// simmr.faultplan.v1: a seeded, deterministic fault plan.
+//
+// A fault plan is a list of sim-time-stamped actions — node crashes and
+// restores, transient heartbeat-loss windows, per-node slowdown factors,
+// and targeted task-attempt kills — that a simulator injects into its own
+// event queue before a run starts. Because the actions are ordinary queue
+// events, a faulted run stays fully deterministic: same plan + same seed
+// = bit-identical results, which is what lets the fuzzer re-run faulted
+// workloads differentially and lets ctest pin committed plans.
+//
+// The plan carries the cluster geometry it was authored against
+// (num_nodes, slots per node) so the slot-level SimMR engine — which has
+// no node identity — can translate node faults into slot-capacity deltas,
+// and so validation can reject out-of-range targets up front.
+//
+// The text format mirrors simmr.repro.v1: a version magic, "key value"
+// header lines, then one line per action. Doubles are serialized at
+// max_digits10 so plans round-trip bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/observer.h"
+
+namespace simmr::fault {
+
+enum class FaultActionKind : std::uint8_t {
+  /// Node goes silent at `time`: heartbeats stop, running attempts are
+  /// stranded until the JobTracker's expiry interval declares it lost.
+  kNodeCrash,
+  /// A crashed node rejoins at `time` with empty slots and no local map
+  /// output (its disk is treated as wiped).
+  kNodeRestore,
+  /// Heartbeats from `node` are suppressed during [time, end_time). If
+  /// the window is shorter than the expiry interval the cluster never
+  /// notices; if longer, it behaves like a crash+restore.
+  kHeartbeatLoss,
+  /// Node speed is multiplied by `factor` from `time` onward. Applies to
+  /// attempts launched after the action fires (running attempts keep
+  /// their committed durations).
+  kNodeSlowdown,
+  /// The running attempt of (job, task_kind, index), if any, is killed at
+  /// `time` and the task is requeued.
+  kKillAttempt,
+};
+
+/// Wire name ("node_crash", "kill_attempt", ...); static storage.
+const char* FaultActionKindName(FaultActionKind kind);
+std::optional<FaultActionKind> ParseFaultActionKind(std::string_view name);
+
+struct FaultAction {
+  FaultActionKind kind = FaultActionKind::kNodeCrash;
+  /// Sim-time the action fires.
+  double time = 0.0;
+  /// kHeartbeatLoss only: end of the suppression window.
+  double end_time = 0.0;
+  /// Target node for node-scoped actions; ignored by kKillAttempt.
+  std::int32_t node = -1;
+  /// kNodeSlowdown only: speed multiplier in (0, +inf).
+  double factor = 1.0;
+  /// kKillAttempt only: the targeted attempt.
+  std::int32_t job = -1;
+  obs::TaskKind task_kind = obs::TaskKind::kMap;
+  std::int32_t index = -1;
+
+  friend bool operator==(const FaultAction& a, const FaultAction& b) {
+    return a.kind == b.kind && a.time == b.time && a.end_time == b.end_time &&
+           a.node == b.node && a.factor == b.factor && a.job == b.job &&
+           a.task_kind == b.task_kind && a.index == b.index;
+  }
+};
+
+struct FaultPlan {
+  /// Geometry the plan was authored against. num_nodes == 0 means the
+  /// plan is geometry-free (engine-only plans with kill_attempt actions).
+  std::int32_t num_nodes = 0;
+  std::int32_t map_slots_per_node = 0;
+  std::int32_t reduce_slots_per_node = 0;
+  /// Provenance: the generator seed the plan was drawn from (0 = written
+  /// by hand). Replays never re-derive anything from it.
+  std::uint64_t seed = 0;
+  std::vector<FaultAction> actions;
+
+  bool Empty() const { return actions.empty(); }
+
+  friend bool operator==(const FaultPlan& a, const FaultPlan& b) {
+    return a.num_nodes == b.num_nodes &&
+           a.map_slots_per_node == b.map_slots_per_node &&
+           a.reduce_slots_per_node == b.reduce_slots_per_node &&
+           a.seed == b.seed && a.actions == b.actions;
+  }
+};
+
+/// Structural validation: non-negative times, nodes within [0, num_nodes)
+/// when the plan has geometry, node-scoped actions only in plans WITH
+/// geometry (num_nodes == 0 allows kill_attempt alone), positive slowdown
+/// factors, well-formed heartbeat-loss windows, crash/restore alternation
+/// per node (no double crash without an intervening restore). Returns an
+/// empty string when the plan is valid, else a one-line description of the
+/// first problem.
+std::string ValidateFaultPlan(const FaultPlan& plan);
+
+/// Actions sorted by (time, original position) — the injection order every
+/// simulator uses, so same-instant actions fire identically everywhere.
+std::vector<FaultAction> SortedActions(const FaultPlan& plan);
+
+/// The format's version line, exported so containers (simmr.repro.v1)
+/// can recognize an embedded plan by peeking one line.
+inline constexpr const char* kFaultPlanMagic = "simmr.faultplan.v1";
+
+/// Writes the versioned text form (round-trips bit-exactly).
+void WriteFaultPlan(std::ostream& out, const FaultPlan& plan);
+
+/// Parses a plan. Throws std::runtime_error on malformed input, including
+/// an unknown version line. Does not run ValidateFaultPlan.
+FaultPlan ReadFaultPlan(std::istream& in);
+
+/// Parses the fields after the version line — for containers that already
+/// consumed the magic while peeking.
+FaultPlan ReadFaultPlanBody(std::istream& in);
+
+/// File wrappers; both throw std::runtime_error when the path cannot be
+/// opened (or, for writes, when the stream fails).
+void WriteFaultPlanFile(const std::string& path, const FaultPlan& plan);
+FaultPlan ReadFaultPlanFile(const std::string& path);
+
+}  // namespace simmr::fault

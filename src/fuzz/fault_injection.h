@@ -95,6 +95,11 @@ class FaultInjectingObserver final : public obs::SimObserver {
                            std::int32_t chosen_job) override {
     inner_->OnSchedulerDecision(Skew(now), kind, chosen_job);
   }
+  void OnFaultEvent(SimTime now, obs::FaultEventKind kind, std::int32_t node,
+                    std::int32_t job, obs::TaskKind task_kind,
+                    std::int32_t index) override {
+    inner_->OnFaultEvent(Skew(now), kind, node, job, task_kind, index);
+  }
 
  private:
   /// Counts a matching callback; true exactly once, on the trigger-th.

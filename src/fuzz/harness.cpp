@@ -70,6 +70,7 @@ BatteryResult RunCheckBattery(const std::vector<trace::JobProfile>& pool,
     primary = &fanout;
   }
   observed.observer = primary;
+  observed.fault_plan = options.fault_plan;
   const backend::RunResult base = session.Replay(observed);
   invariants.FinishRun();
   result.callbacks_seen = invariants.callbacks_seen();
@@ -81,6 +82,7 @@ BatteryResult RunCheckBattery(const std::vector<trace::JobProfile>& pool,
   if (options.run_differentials) {
     backend::ReplaySpec plain = spec;
     plain.observer = nullptr;
+    plain.fault_plan = options.fault_plan;
     const backend::RunResult detached = session.Replay(plain);
     Append(result.violations,
            CompareRunResults(base, detached, "observer-on/off"));
@@ -104,6 +106,7 @@ BatteryResult RunCheckBattery(const std::vector<trace::JobProfile>& pool,
   if (options.run_thread_differential) {
     backend::ReplaySpec plain = spec;
     plain.observer = nullptr;
+    plain.fault_plan = options.fault_plan;
     const backend::RunResult serial = session.Replay(plain);
     constexpr std::size_t kConcurrent = 3;
     std::vector<backend::RunResult> parallel(kConcurrent);
@@ -121,8 +124,20 @@ BatteryResult RunCheckBattery(const std::vector<trace::JobProfile>& pool,
   // heartbeat visibility lags, but clock/slot/lifecycle laws still bind.
   if (options.run_mumak) {
     mumak::MumakConfig mumak_config;
+    // A geometry-carrying fault plan defines the cluster shape for the
+    // whole battery; Mumak adopts it so its slot totals (and so the causal
+    // checker's capacity laws) agree with the engine runs above.
+    if (options.fault_plan != nullptr && options.fault_plan->num_nodes > 0) {
+      mumak_config.num_nodes = options.fault_plan->num_nodes;
+      mumak_config.map_slots_per_node =
+          options.fault_plan->map_slots_per_node;
+      mumak_config.reduce_slots_per_node =
+          options.fault_plan->reduce_slots_per_node;
+    }
+    mumak_config.fault_plan = options.fault_plan;
     check::InvariantOptions causal;
     causal.strictness = check::Strictness::kCausal;
+    causal.allow_job_abort = options.fault_plan != nullptr;
     // Mumak harvests completions within kTimeEpsilon of a heartbeat (so
     // boundary-coincident ends don't slip a full period to rounding), which
     // lets timing.end exceed the callback time by up to that epsilon. The
@@ -144,7 +159,9 @@ BatteryResult RunCheckBattery(const std::vector<trace::JobProfile>& pool,
   }
 
   // Layer 4: the ARIA analytic oracle over every profile in the pool.
-  if (options.run_aria_oracle) {
+  // Skipped under a fault plan — the solo upper bound assumes a
+  // fault-free cluster, and a crash can legitimately push past it.
+  if (options.run_aria_oracle && options.fault_plan == nullptr) {
     Append(result.violations,
            check::VerifySoloAriaBounds(pool, options.aria));
   }

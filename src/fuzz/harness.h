@@ -21,6 +21,7 @@
 #include "backend/session.h"
 #include "check/invariant_observer.h"
 #include "check/oracles.h"
+#include "fault/fault_plan.h"
 #include "fuzz/fault_injection.h"
 #include "obs/observer.h"
 #include "trace/job_profile.h"
@@ -46,6 +47,13 @@ struct BatteryOptions {
   /// shared --trace-out/--metrics-out/--event-log-out sinks. Null = the
   /// battery behaves exactly as before.
   obs::SimObserver* extra_observer = nullptr;
+  /// Optional simulator-level fault plan (borrowed): injected into every
+  /// engine replay of layers 1-2 (the runs stay deterministic, so the
+  /// bit-identity differentials still bind) and into the Mumak pass when
+  /// the plan carries geometry (Mumak adopts it). The ARIA oracle is
+  /// skipped — its upper bound assumes a fault-free cluster. The plan's
+  /// geometry must match the spec's slot totals (engine contract).
+  const fault::FaultPlan* fault_plan = nullptr;
 };
 
 struct BatteryResult {

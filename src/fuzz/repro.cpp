@@ -71,6 +71,8 @@ void WriteReproducer(std::ostream& out, const Reproducer& repro) {
   out << "note " << note << '\n';
   out << "jobs " << repro.pool.size() << '\n';
   for (const auto& profile : repro.pool) profile.Write(out);
+  if (!repro.fault_plan.Empty())
+    fault::WriteFaultPlan(out, repro.fault_plan);
 }
 
 Reproducer ReadReproducer(std::istream& in) {
@@ -106,6 +108,25 @@ Reproducer ReadReproducer(std::istream& in) {
   repro.pool.reserve(static_cast<std::size_t>(num_jobs));
   for (int i = 0; i < num_jobs; ++i)
     repro.pool.push_back(trace::JobProfile::Read(in));
+  // Optional trailer: an embedded fault plan (fault-archetype cases).
+  // Peek non-destructively — containers like the explore-reproducer
+  // format append their own trailer fields after this block, and they
+  // must find the stream exactly where the pool ended.
+  std::streampos pos = in.tellg();
+  while (std::getline(in, line)) {
+    if (line.empty()) {  // tolerate blank padding between sections
+      pos = in.tellg();
+      continue;
+    }
+    if (line == fault::kFaultPlanMagic) {
+      repro.fault_plan = fault::ReadFaultPlanBody(in);
+    } else {
+      in.clear();
+      in.seekg(pos);
+    }
+    break;
+  }
+  if (in.eof()) in.clear();  // a trailer is optional; EOF here is clean
   return repro;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "backend/session.h"
+#include "fault/fault_plan.h"
 #include "fuzz/fault_injection.h"
 #include "trace/job_profile.h"
 
@@ -30,6 +31,11 @@ struct Reproducer {
   std::vector<trace::JobProfile> pool;
   /// First violation the case triggered, for the reader ("[clock] ...").
   std::string note;
+  /// Simulator-level fault plan of the case (fault archetypes); written as
+  /// an embedded simmr.faultplan.v1 block after the profiles when
+  /// non-empty. Older reproducers simply end after the profiles, so the
+  /// field is fully backward compatible.
+  fault::FaultPlan fault_plan;
 };
 
 /// Writes the versioned text form (round-trips bit-exactly).

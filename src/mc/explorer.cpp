@@ -67,6 +67,9 @@ check::InvariantOptions MakeInvariantOptions(const Scenario& scenario,
   causal.strictness = check::Strictness::kCausal;
   causal.map_slots = scenario.options.config.TotalMapSlots();
   causal.reduce_slots = scenario.options.config.TotalReduceSlots();
+  // Under a fault plan a job may be aborted with attempts still in flight
+  // (max_attempts exhaustion); that is legal recovery, not a violation.
+  causal.allow_job_abort = !scenario.fault_plan.Empty();
   if (options.fault == "invariants") {
     // Self-test fault: claim half the real capacity, so healthy runs look
     // oversubscribed to the observer.
@@ -86,6 +89,8 @@ RunOutcome ExecuteWith(const Scenario& scenario, ScheduleOracle* oracle,
   check::InvariantObserver invariants(causal);
   run_options.observer = &invariants;
   run_options.oracle = oracle;
+  if (!scenario.fault_plan.Empty())
+    run_options.fault_plan = &scenario.fault_plan;
 
   RunOutcome outcome;
   outcome.result = cluster::RunTestbed(scenario.jobs, run_options);

@@ -49,7 +49,9 @@ cluster::SubmittedJob Job(double input_mb, int reduces, double submit) {
 
 }  // namespace
 
-std::vector<std::string> ScenarioNames() { return {"pair", "pair2", "smoke3"}; }
+std::vector<std::string> ScenarioNames() {
+  return {"pair", "pair2", "smoke3", "lostnode"};
+}
 
 Scenario MakeScenario(const std::string& name) {
   Scenario scenario;
@@ -84,9 +86,37 @@ Scenario MakeScenario(const std::string& name) {
     scenario.options.seed = 7;
     scenario.jobs = {Job(64.0, 1, 0.0), Job(64.0, 1, 0.1), Job(64.0, 1, 0.2)};
     scenario.replay_tolerance = 0.75;
+  } else if (name == "lostnode") {
+    // Two two-map jobs on three trackers; node 2 crashes during the first
+    // map wave and rejoins later. The schedule decides which job's
+    // attempts and completed map outputs sit on the dead node when the
+    // (shortened) expiry declares it lost, so interleavings genuinely
+    // diverge in *what* gets killed and re-executed — exactly the
+    // recovery paths the explorer should enumerate. The crash and restore
+    // fire at fixed sim-times, so each schedule still replays
+    // deterministically. The replay tolerance is wide: the testbed ground
+    // truth includes the expiry wait and re-execution that the fault-free
+    // engine replay cannot see.
+    scenario.options.config = DeterministicCluster(3);
+    scenario.options.config.tasktracker_expiry_interval = 9.0;
+    scenario.options.seed = 7;
+    scenario.jobs = {Job(128.0, 1, 0.0), Job(128.0, 1, 0.1)};
+    fault::FaultAction crash;
+    crash.kind = fault::FaultActionKind::kNodeCrash;
+    crash.time = 2.0;
+    crash.node = 2;
+    fault::FaultAction restore;
+    restore.kind = fault::FaultActionKind::kNodeRestore;
+    restore.time = 30.0;
+    restore.node = 2;
+    scenario.fault_plan.num_nodes = 3;
+    scenario.fault_plan.map_slots_per_node = 1;
+    scenario.fault_plan.reduce_slots_per_node = 1;
+    scenario.fault_plan.actions = {crash, restore};
+    scenario.replay_tolerance = 2.0;
   } else {
     throw std::invalid_argument("MakeScenario: unknown scenario '" + name +
-                                "' (try: pair, pair2, smoke3)");
+                                "' (try: pair, pair2, smoke3, lostnode)");
   }
   return scenario;
 }

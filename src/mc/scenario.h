@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cluster/cluster_sim.h"
+#include "fault/fault_plan.h"
 
 namespace simmr::mc {
 
@@ -31,6 +32,11 @@ struct Scenario {
   double replay_tolerance = 0.0;
   /// Deadline factor for the EDF dominance property.
   double deadline_factor = 1.5;
+  /// Owned deterministic fault plan injected into every execution (the
+  /// "lostnode" scenario). Deterministic faults keep schedules replayable:
+  /// the plan fires at fixed sim-times, so the only nondeterminism is
+  /// still the dispatch order at ties. Empty = fault-free.
+  fault::FaultPlan fault_plan;
 };
 
 /// Names accepted by MakeScenario (and simmr_explore --scenario):
@@ -41,6 +47,12 @@ struct Scenario {
 ///             map slots, which makes capacity-queue starvation observable
 ///             (the capacity detector self-test workload).
 ///   "smoke3"  3 identical jobs on 3 trackers — the pruning benchmark.
+///   "lostnode" 2 two-map jobs on 3 trackers with a fault plan that
+///             crashes a node mid-run and restores it later. The schedule
+///             decides which attempts and map outputs are on the dead node
+///             when the (shortened) expiry fires, so interleavings diverge
+///             in what gets re-executed — the recovery paths under
+///             exploration.
 std::vector<std::string> ScenarioNames();
 
 /// Builds a scenario by name. Throws std::invalid_argument on unknown

@@ -11,13 +11,15 @@ namespace simmr::mumak {
 namespace {
 
 // Mumak's vocabulary is the heartbeat-driven subset of the canonical
-// simmr::SimEventKind table (kJobArrival / kHeartbeat / kOobHeartbeat), so
-// its dequeue names match the other simulators' logs by construction.
+// simmr::SimEventKind table (kJobArrival / kHeartbeat / kOobHeartbeat,
+// plus kFaultAction when a plan is installed), so its dequeue names match
+// the other simulators' logs by construction.
 using EventKind = SimEventKind;
 
 struct Event {
   EventKind kind;
-  std::int32_t a = 0;  // job index or node id
+  std::int32_t a = 0;  // job index, node id, or fault-action index
+  std::int32_t b = 0;  // kHeartbeat: the node's heartbeat-chain epoch
 };
 
 struct RunningTask {
@@ -41,6 +43,11 @@ struct MumakJobState {
   SimTime all_maps_finished = -1.0;  // JobTracker-observed
   SimTime finish = -1.0;
 
+  /// Task indexes returned by a fault kill; relaunches pop from the back
+  /// while maps_launched/reduces_launched stay fresh-index cursors.
+  std::vector<std::int32_t> requeued_maps;
+  std::vector<std::int32_t> requeued_reduces;
+
   bool MapsDone() const { return maps_completed == trace->num_maps; }
   bool Done() const {
     return MapsDone() && reduces_completed == trace->num_reduces;
@@ -54,6 +61,10 @@ struct MumakJobState {
 struct NodeState {
   SlotPool slots;
   std::vector<RunningTask> running;
+  /// Fault state: a down node's heartbeats are dropped and its chain is
+  /// broken; hb_epoch guards against double chains across crash/restore.
+  bool down = false;
+  std::int32_t hb_epoch = 0;
 };
 
 class MumakSim {
@@ -73,6 +84,24 @@ class MumakSim {
     jobs_.resize(trace.jobs.size());
     for (std::size_t i = 0; i < trace.jobs.size(); ++i)
       jobs_[i].trace = &trace.jobs[i];
+    if (config.fault_plan != nullptr) {
+      const fault::FaultPlan& plan = *config.fault_plan;
+      std::string err = fault::ValidateFaultPlan(plan);
+      if (err.empty() && plan.num_nodes > 0 &&
+          plan.num_nodes != config.num_nodes)
+        err = "plan node count does not match MumakConfig::num_nodes";
+      if (err.empty() && plan.num_nodes == 0) {
+        for (const auto& a : plan.actions) {
+          if (a.kind != fault::FaultActionKind::kKillAttempt) {
+            err = "geometry-free plan has node-scoped actions";
+            break;
+          }
+        }
+      }
+      if (!err.empty())
+        throw std::invalid_argument("RunMumak: invalid fault plan: " + err);
+      faults_enabled_ = true;
+    }
   }
 
   MumakResult Run() {
@@ -86,6 +115,7 @@ class MumakSim {
                               static_cast<double>(config_.num_nodes);
       kernel_.Schedule(stagger, Event{EventKind::kHeartbeat, n});
     }
+    if (faults_enabled_) ScheduleFaultActions();
 
     kernel_.DrainUntil(
         [this] { return finished_ >= jobs_.size(); }, obs_,
@@ -119,23 +149,30 @@ class MumakSim {
                              /*deadline=*/0.0);
         break;
       case EventKind::kHeartbeat:
-        OnHeartbeat(ev.a, /*rearm=*/true);
+        OnHeartbeat(ev.a, /*rearm=*/true, ev.b);
         break;
       case EventKind::kOobHeartbeat:
-        OnHeartbeat(ev.a, /*rearm=*/false);
+        OnHeartbeat(ev.a, /*rearm=*/false, 0);
+        break;
+      case EventKind::kFaultAction:
+        OnFaultAction(ev.a);
         break;
       default:
         break;
     }
   }
 
-  void OnHeartbeat(std::int32_t node_id, bool rearm) {
+  void OnHeartbeat(std::int32_t node_id, bool rearm, std::int32_t epoch) {
     NodeState& node = nodes_[node_id];
+    // A crash bumps hb_epoch, so the pre-crash chain's queued beat no
+    // longer matches and the restore-scheduled chain is the only live one.
+    if (rearm && epoch != node.hb_epoch) return;
+    if (node.down) return;
     ReportFinished(node);
     AssignTasks(node, node_id);
     if (rearm && finished_ < jobs_.size()) {
       kernel_.Schedule(now() + config_.heartbeat_interval,
-                  Event{EventKind::kHeartbeat, node_id});
+                  Event{EventKind::kHeartbeat, node_id, node.hb_epoch});
     }
   }
 
@@ -224,8 +261,16 @@ class MumakSim {
     if (node.slots.free_maps > 0) {
       for (const std::int32_t job_index : job_queue_) {
         MumakJobState& job = jobs_[job_index];
-        if (job.maps_launched >= job.trace->num_maps) continue;
-        const std::int32_t index = job.maps_launched++;
+        std::int32_t index;
+        if (!job.requeued_maps.empty()) {
+          // Fault-killed map re-executing under its original index.
+          index = job.requeued_maps.back();
+          job.requeued_maps.pop_back();
+        } else if (job.maps_launched < job.trace->num_maps) {
+          index = job.maps_launched++;
+        } else {
+          continue;
+        }
         --node.slots.free_maps;
         const SimTime end = now() + MapDuration(job, index);
         node.running.push_back(
@@ -241,9 +286,16 @@ class MumakSim {
     if (node.slots.free_reduces > 0) {
       for (const std::int32_t job_index : job_queue_) {
         MumakJobState& job = jobs_[job_index];
-        if (job.reduces_launched >= job.trace->num_reduces) continue;
         if (!job.ReduceGateOpen(config_.reduce_slowstart)) continue;
-        const std::int32_t index = job.reduces_launched++;
+        std::int32_t index;
+        if (!job.requeued_reduces.empty()) {
+          index = job.requeued_reduces.back();
+          job.requeued_reduces.pop_back();
+        } else if (job.reduces_launched < job.trace->num_reduces) {
+          index = job.reduces_launched++;
+        } else {
+          continue;
+        }
         --node.slots.free_reduces;
         // Before AllMapsFinished the reduce just occupies its slot; after,
         // it runs for exactly the recorded reduce phase.
@@ -262,6 +314,143 @@ class MumakSim {
     }
   }
 
+  // --- fault injection (MumakConfig::fault_plan) ---
+
+  void ScheduleFaultActions() {
+    const fault::FaultPlan& plan = *config_.fault_plan;
+    for (const fault::FaultAction& a : fault::SortedActions(plan)) {
+      switch (a.kind) {
+        case fault::FaultActionKind::kNodeSlowdown:
+          break;  // durations come from the trace, not node speed
+        case fault::FaultActionKind::kHeartbeatLoss:
+          if (a.end_time - a.time >= config_.tasktracker_expiry_interval) {
+            fault::FaultAction crash = a;
+            crash.kind = fault::FaultActionKind::kNodeCrash;
+            ScheduleFaultAction(crash);
+            fault::FaultAction restore = a;
+            restore.kind = fault::FaultActionKind::kNodeRestore;
+            restore.time = a.end_time;
+            ScheduleFaultAction(restore);
+          }
+          break;
+        default:
+          ScheduleFaultAction(a);
+          break;
+      }
+    }
+  }
+
+  void ScheduleFaultAction(const fault::FaultAction& action) {
+    const auto idx = static_cast<std::int32_t>(fault_actions_.size());
+    fault_actions_.push_back(action);
+    kernel_.Schedule(action.time, Event{EventKind::kFaultAction, idx});
+  }
+
+  void OnFaultAction(std::int32_t idx) {
+    const fault::FaultAction action =
+        fault_actions_[static_cast<std::size_t>(idx)];
+    switch (action.kind) {
+      case fault::FaultActionKind::kNodeCrash:
+        CrashNode(action.node);
+        break;
+      case fault::FaultActionKind::kNodeRestore:
+        RestoreNode(action.node);
+        break;
+      case fault::FaultActionKind::kKillAttempt:
+        KillAttempt(action);
+        break;
+      default:
+        break;  // slowdown / heartbeat-loss never reach the queue
+    }
+  }
+
+  /// Node loss: the heartbeat chain breaks and every running attempt is
+  /// requeued. Completed map outputs are NOT re-executed — Mumak has no
+  /// shuffle, so nothing downstream ever re-fetches them.
+  void CrashNode(std::int32_t node_id) {
+    if (node_id < 0 || node_id >= static_cast<std::int32_t>(nodes_.size()))
+      return;
+    NodeState& node = nodes_[static_cast<std::size_t>(node_id)];
+    if (node.down) return;
+    node.down = true;
+    ++node.hb_epoch;
+    if (obs_ != nullptr)
+      obs_->OnFaultEvent(now(), obs::FaultEventKind::kNodeLost, node_id,
+                         /*job=*/-1, obs::TaskKind::kMap, /*index=*/-1);
+    for (const RunningTask& task : node.running)
+      RequeueKilled(task, node_id);
+    node.running.clear();
+    node.slots.free_maps = 0;
+    node.slots.free_reduces = 0;
+  }
+
+  void RestoreNode(std::int32_t node_id) {
+    if (node_id < 0 || node_id >= static_cast<std::int32_t>(nodes_.size()))
+      return;
+    NodeState& node = nodes_[static_cast<std::size_t>(node_id)];
+    if (!node.down) return;
+    node.down = false;
+    node.slots.free_maps = config_.map_slots_per_node;
+    node.slots.free_reduces = config_.reduce_slots_per_node;
+    if (obs_ != nullptr)
+      obs_->OnFaultEvent(now(), obs::FaultEventKind::kNodeRestored, node_id,
+                         /*job=*/-1, obs::TaskKind::kMap, /*index=*/-1);
+    kernel_.Schedule(now(),
+                     Event{EventKind::kHeartbeat, node_id, node.hb_epoch});
+  }
+
+  /// Targeted attempt kill: finds the attempt wherever it runs, requeues
+  /// it, and frees the slot (picked up at the node's next heartbeat).
+  /// Silently skips attempts that are not running.
+  void KillAttempt(const fault::FaultAction& action) {
+    if (action.job < 0 ||
+        action.job >= static_cast<std::int32_t>(jobs_.size()))
+      return;
+    const cluster::TaskKind kind = action.task_kind == obs::TaskKind::kMap
+                                       ? cluster::TaskKind::kMap
+                                       : cluster::TaskKind::kReduce;
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      NodeState& node = nodes_[n];
+      if (node.down) continue;
+      for (std::size_t i = 0; i < node.running.size(); ++i) {
+        const RunningTask task = node.running[i];
+        if (task.job != action.job || task.kind != kind ||
+            task.index != action.index)
+          continue;
+        node.running[i] = node.running.back();
+        node.running.pop_back();
+        if (kind == cluster::TaskKind::kMap)
+          ++node.slots.free_maps;
+        else
+          ++node.slots.free_reduces;
+        RequeueKilled(task, static_cast<std::int32_t>(n));
+        return;
+      }
+    }
+  }
+
+  void RequeueKilled(const RunningTask& task, std::int32_t node_id) {
+    MumakJobState& job = jobs_[task.job];
+    const bool is_map = task.kind == cluster::TaskKind::kMap;
+    if (is_map)
+      job.requeued_maps.push_back(task.index);
+    else
+      job.requeued_reduces.push_back(task.index);
+    if (obs_ != nullptr) {
+      const obs::TaskKind kind =
+          is_map ? obs::TaskKind::kMap : obs::TaskKind::kReduce;
+      obs_->OnTaskCompletion(
+          now(), task.job, kind, task.index,
+          obs::TaskTiming{task.start,
+                          is_map ? task.start
+                                 : std::max(task.start, task.phase_start),
+                          now()},
+          /*succeeded=*/false);
+      obs_->OnFaultEvent(now(), obs::FaultEventKind::kAttemptKilled, node_id,
+                         task.job, kind, task.index);
+    }
+  }
+
   const RumenTrace& trace_;
   const MumakConfig& config_;
   std::vector<MumakJobState> jobs_;
@@ -270,6 +459,8 @@ class MumakSim {
   SimKernel<Event> kernel_;
   std::size_t finished_ = 0;
   obs::SimObserver* obs_;
+  bool faults_enabled_ = false;
+  std::vector<fault::FaultAction> fault_actions_;
 };
 
 }  // namespace

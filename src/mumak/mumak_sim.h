@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "mumak/rumen.h"
 #include "obs/observer.h"
 #include "simcore/time.h"
@@ -44,6 +45,22 @@ struct MumakConfig {
   /// Optional live-instrumentation sink (borrowed; must outlive the run).
   /// Null by default — one branch per hook site, nothing else.
   obs::SimObserver* observer = nullptr;
+
+  /// Optional deterministic fault plan (borrowed; must outlive the run).
+  /// Mumak keeps the model minimal, matching its own simplicity: a crash
+  /// silences the node's heartbeats and requeues its running attempts
+  /// (completed map outputs are NOT re-executed — Mumak has no shuffle to
+  /// starve); a restore rejoins with empty slots; heartbeat-loss windows
+  /// at least tasktracker_expiry_interval long act as crash+restore and
+  /// shorter ones are invisible; slowdowns are ignored (durations are
+  /// replayed from the trace, not computed from node speed). Plans with
+  /// geometry must have num_nodes == MumakConfig::num_nodes; geometry-free
+  /// plans (num_nodes == 0) may only contain kill_attempt actions. Run()
+  /// throws std::invalid_argument otherwise.
+  const fault::FaultPlan* fault_plan = nullptr;
+
+  /// Heartbeat-loss windows at least this long count as node loss.
+  double tasktracker_expiry_interval = 600.0;
 };
 
 struct MumakJobResult {

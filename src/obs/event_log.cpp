@@ -38,6 +38,9 @@ bool LogEvent::operator==(const LogEvent& other) const {
       return timing.start == other.timing.start &&
              timing.shuffle_end == other.timing.shuffle_end &&
              timing.end == other.timing.end && succeeded == other.succeeded;
+    case Kind::kFault:
+      return std::strcmp(fault_name, other.fault_name) == 0 &&
+             node == other.node;
     case Kind::kJobCompletion:
     case Kind::kTaskLaunch:
     case Kind::kSchedulerDecision:
@@ -53,10 +56,10 @@ namespace {
 /// one table, so the names cannot drift apart.
 constexpr const char* kLogEventKindNames[] = {
     "dequeue", "job_arrival", "job_done",  "launch",
-    "phase",   "task_done",   "decision",
+    "phase",   "task_done",   "decision",  "fault",
 };
 constexpr int kNumLogEventKinds =
-    static_cast<int>(LogEvent::Kind::kSchedulerDecision) + 1;
+    static_cast<int>(LogEvent::Kind::kFault) + 1;
 static_assert(std::size(kLogEventKindNames) == kNumLogEventKinds);
 
 }  // namespace
@@ -185,6 +188,18 @@ void AppendEventLine(std::string& out, const LogEvent& ev) {
       out += TaskKindName(ev.task_kind);
       out += "\",\"job\":";
       out += std::to_string(ev.job);
+      break;
+    case LogEvent::Kind::kFault:
+      out += ",\"fault\":\"";
+      out += JsonEscape(ev.fault_name);
+      out += "\",\"node\":";
+      out += std::to_string(ev.node);
+      out += ",\"job\":";
+      out += std::to_string(ev.job);
+      out += ",\"kind\":\"";
+      out += TaskKindName(ev.task_kind);
+      out += "\",\"index\":";
+      out += std::to_string(ev.index);
       break;
   }
   out += "}\n";
@@ -437,6 +452,13 @@ EventLog ParseEventLog(std::istream& in) {
       case LogEvent::Kind::kSchedulerDecision:
         ev.task_kind = ParseTaskKind(obj.GetString("kind"), line_no);
         ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
+        break;
+      case LogEvent::Kind::kFault:
+        ev.fault_name = log.Intern(obj.GetString("fault"));
+        ev.node = static_cast<std::int32_t>(obj.GetNumber("node"));
+        ev.job = static_cast<std::int32_t>(obj.GetNumber("job"));
+        ev.task_kind = ParseTaskKind(obj.GetString("kind"), line_no);
+        ev.index = static_cast<std::int32_t>(obj.GetNumber("index"));
         break;
     }
     log.events.push_back(std::move(ev));

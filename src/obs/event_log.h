@@ -46,6 +46,7 @@ struct LogEvent {
     kPhaseTransition,
     kTaskCompletion,
     kSchedulerDecision,
+    kFault,
   };
 
   Kind kind = Kind::kDequeue;
@@ -65,6 +66,10 @@ struct LogEvent {
       double deadline;   // kJobArrival only (absolute; 0 = none)
     };
     TaskTiming timing;  // kTaskCompletion only
+    struct {
+      const char* fault_name;  // kFault only: FaultEventKindName (static)
+      std::int32_t node;       // kFault only: affected node (-1 = none)
+    };
   };
 
   LogEvent() : detail(""), queue_depth(0) {}
@@ -203,6 +208,17 @@ class EventLogObserver final : public SimObserver {
     LogEvent& ev = Append(LogEvent::Kind::kSchedulerDecision, now);
     ev.task_kind = kind;
     ev.job = chosen_job >= 0 ? chosen_job + job_id_offset_ : chosen_job;
+  }
+
+  void OnFaultEvent(SimTime now, FaultEventKind kind, std::int32_t node,
+                    std::int32_t job, TaskKind task_kind,
+                    std::int32_t index) override {
+    LogEvent& ev = Append(LogEvent::Kind::kFault, now);
+    ev.job = job >= 0 ? job + job_id_offset_ : job;
+    ev.task_kind = task_kind;
+    ev.index = index;
+    ev.fault_name = FaultEventKindName(kind);
+    ev.node = node;
   }
 
  private:

@@ -143,7 +143,10 @@ void MetricsHttpServer::Serve() {
     if (conn < 0) continue;
     // Bound how long a slow or stuck client can hold the serving thread.
     timeval tv{};
-    tv.tv_sec = 2;
+    tv.tv_sec = static_cast<time_t>(options_.io_timeout_seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (options_.io_timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;  // 0 = no bound
     ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     HandleConnection(conn);
@@ -153,25 +156,37 @@ void MetricsHttpServer::Serve() {
 
 void MetricsHttpServer::HandleConnection(int fd) {
   // Read until the end of the request head; the endpoints take no body.
+  constexpr std::size_t kMaxHeadBytes = 16 * 1024;
   std::string request;
   char buf[2048];
-  while (request.size() < 16 * 1024 &&
+  while (request.size() < kMaxHeadBytes &&
          request.find("\r\n\r\n") == std::string::npos) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
+    if (n <= 0) break;  // disconnect or SO_RCVTIMEO expiry
     request.append(buf, static_cast<std::size_t>(n));
   }
-  const std::size_t sp1 = request.find(' ');
+  if (request.size() >= kMaxHeadBytes &&
+      request.find("\r\n\r\n") == std::string::npos) {
+    SendAll(fd, HttpResponse(431, "Request Header Fields Too Large",
+                             "text/plain", "request head too large\n"));
+    return;
+  }
+  // Parse strictly the first line as `METHOD SP target SP HTTP/x.y`; a
+  // space found in a later header line must not rescue a malformed one.
+  const std::size_t eol = request.find("\r\n");
+  const std::string line =
+      eol == std::string::npos ? request : request.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
   const std::size_t sp2 =
-      sp1 == std::string::npos ? std::string::npos
-                               : request.find(' ', sp1 + 1);
-  if (sp2 == std::string::npos) {
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == 0 || sp2 == std::string::npos || sp2 == sp1 + 1 ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
     SendAll(fd, HttpResponse(400, "Bad Request", "text/plain",
                              "bad request\n"));
     return;
   }
-  const std::string method = request.substr(0, sp1);
-  std::string path = request.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
   const std::size_t query = path.find('?');
   if (query != std::string::npos) path.resize(query);
   requests_.fetch_add(1, std::memory_order_relaxed);

@@ -51,6 +51,10 @@ class MetricsHttpServer {
     /// Loopback only by default: this is a debugging endpoint, not a
     /// hardened service.
     std::string bind_address = "127.0.0.1";
+    /// Per-connection SO_RCVTIMEO/SO_SNDTIMEO: bounds how long a slow or
+    /// stuck client can hold the single serving thread. Requests whose
+    /// head has not fully arrived when it expires are answered 400.
+    double io_timeout_seconds = 2.0;
   };
 
   using TextFn = std::function<std::string()>;       // /metrics body
@@ -135,6 +139,12 @@ class LockingObserver final : public SimObserver {
                            std::int32_t chosen_job) override {
     std::lock_guard<std::mutex> lock(*mu_);
     inner_->OnSchedulerDecision(now, kind, chosen_job);
+  }
+  void OnFaultEvent(SimTime now, FaultEventKind kind, std::int32_t node,
+                    std::int32_t job, TaskKind task_kind,
+                    std::int32_t index) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    inner_->OnFaultEvent(now, kind, node, job, task_kind, index);
   }
 
  private:

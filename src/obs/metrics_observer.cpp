@@ -49,6 +49,13 @@ MetricsObserver::MetricsObserver(MetricsRegistry& registry)
         "Completed task duration, simulated seconds", kTaskDurationBounds,
         labels);
   }
+  for (const FaultEventKind kind :
+       {FaultEventKind::kNodeLost, FaultEventKind::kNodeRestored,
+        FaultEventKind::kAttemptKilled, FaultEventKind::kTaskReexecuted}) {
+    fault_events_[static_cast<std::size_t>(kind)] = &registry.AddCounter(
+        "simmr_fault_events_total", "Fault-lifecycle transitions by kind",
+        {{"fault", FaultEventKindName(kind)}});
+  }
   queue_depth_ = &registry.AddGauge(
       "simmr_event_queue_depth", "Pending events after the last dequeue");
   queue_depth_peak_ = &registry.AddGauge(
@@ -122,6 +129,11 @@ void MetricsObserver::OnSchedulerDecision(SimTime, TaskKind kind,
                                           std::int32_t chosen_job) {
   const std::size_t k = KindIndex(kind);
   (chosen_job >= 0 ? decisions_chosen_[k] : decisions_idle_[k])->Increment();
+}
+
+void MetricsObserver::OnFaultEvent(SimTime, FaultEventKind kind, std::int32_t,
+                                   std::int32_t, TaskKind, std::int32_t) {
+  fault_events_[static_cast<std::size_t>(kind)]->Increment();
 }
 
 }  // namespace simmr::obs

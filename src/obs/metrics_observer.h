@@ -12,6 +12,7 @@
 //   simmr_slots_busy{kind=...}              currently occupied slots
 //   simmr_slots_busy_peak{kind=...}         high-water mark of the above
 //   simmr_scheduler_decisions_total{kind=...,outcome=chosen|idle}
+//   simmr_fault_events_total{fault=...}     fault-lifecycle transitions
 //   simmr_task_duration_seconds{kind=...}   completed-task duration histogram
 //   simmr_wall_seconds, simmr_wall_events_per_second  (via SetWallStats)
 //
@@ -55,6 +56,9 @@ class MetricsObserver final : public SimObserver {
                         bool succeeded) override;
   void OnSchedulerDecision(SimTime now, TaskKind kind,
                            std::int32_t chosen_job) override;
+  void OnFaultEvent(SimTime now, FaultEventKind kind, std::int32_t node,
+                    std::int32_t job, TaskKind task_kind,
+                    std::int32_t index) override;
 
  private:
   MetricsRegistry* registry_;
@@ -70,6 +74,8 @@ class MetricsObserver final : public SimObserver {
   double slots_busy_high_[2] = {0.0, 0.0};
   Counter* decisions_chosen_[2];
   Counter* decisions_idle_[2];
+  /// Indexed by FaultEventKind's underlying value.
+  Counter* fault_events_[4];
   Histogram* task_duration_[2];
   Gauge* queue_depth_;
   Gauge* queue_depth_peak_;

@@ -30,6 +30,27 @@ inline const char* TaskKindName(TaskKind kind) {
   return kind == TaskKind::kMap ? "map" : "reduce";
 }
 
+/// Fault-lifecycle transitions reported through SimObserver::OnFaultEvent.
+/// These mirror the SimEventKind vocabulary (NODE_LOST, NODE_RESTORED,
+/// ATTEMPT_KILLED, TASK_REEXECUTED) but carry resolved arguments: which
+/// node, and — for attempt-level events — which task attempt.
+enum class FaultEventKind : std::uint8_t {
+  kNodeLost,
+  kNodeRestored,
+  kAttemptKilled,
+  kTaskReexecuted,
+};
+
+inline const char* FaultEventKindName(FaultEventKind kind) {
+  switch (kind) {
+    case FaultEventKind::kNodeLost: return "NODE_LOST";
+    case FaultEventKind::kNodeRestored: return "NODE_RESTORED";
+    case FaultEventKind::kAttemptKilled: return "ATTEMPT_KILLED";
+    case FaultEventKind::kTaskReexecuted: return "TASK_REEXECUTED";
+  }
+  return "?";
+}
+
 /// Resolved timing of one finished task attempt. For maps
 /// `shuffle_end == start`; for reduces `[start, shuffle_end]` is the
 /// shuffle (fetch+merge) phase and `[shuffle_end, end]` the reduce phase —
@@ -99,6 +120,18 @@ class SimObserver {
                                    std::int32_t chosen_job) {
     (void)now, (void)kind, (void)chosen_job;
   }
+
+  /// A fault-lifecycle transition (src/fault/ plans and the JobTracker
+  /// recovery they exercise). `node` is the affected node, or -1 for the
+  /// slot-level engine which has no node identity. For kNodeLost /
+  /// kNodeRestored the task arguments are `job = -1, index = -1`; for
+  /// kAttemptKilled / kTaskReexecuted they name the affected attempt.
+  virtual void OnFaultEvent(SimTime now, FaultEventKind kind,
+                            std::int32_t node, std::int32_t job,
+                            TaskKind task_kind, std::int32_t index) {
+    (void)now, (void)kind, (void)node, (void)job, (void)task_kind,
+        (void)index;
+  }
 };
 
 /// Fans every callback out to several sinks, in registration order.
@@ -146,6 +179,12 @@ class MulticastObserver final : public SimObserver {
                            std::int32_t chosen_job) override {
     for (SimObserver* s : sinks_) s->OnSchedulerDecision(now, kind,
                                                          chosen_job);
+  }
+  void OnFaultEvent(SimTime now, FaultEventKind kind, std::int32_t node,
+                    std::int32_t job, TaskKind task_kind,
+                    std::int32_t index) override {
+    for (SimObserver* s : sinks_)
+      s->OnFaultEvent(now, kind, node, job, task_kind, index);
   }
 
  private:

@@ -124,6 +124,27 @@ void TraceExporter::OnJobCompletion(SimTime now, std::int32_t job) {
   events_.push_back(std::move(ev));
 }
 
+void TraceExporter::OnFaultEvent(SimTime now, FaultEventKind kind,
+                                 std::int32_t node, std::int32_t job,
+                                 TaskKind task_kind, std::int32_t index) {
+  TraceEvent ev;
+  ev.name = FaultEventKindName(kind);
+  ev.category = "fault";
+  ev.phase = 'i';
+  ev.ts_us = ToUs(now);
+  ev.tid = kJobsTid;
+  std::string args = "{\"node\":" + std::to_string(node);
+  if (job >= 0) {
+    args += ",\"job\":" + std::to_string(job);
+    args += ",\"kind\":\"";
+    args += TaskKindName(task_kind);
+    args += "\",\"index\":" + std::to_string(index);
+  }
+  args += "}";
+  ev.args_json = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
 void TraceExporter::EmitRunningCounter(SimTime now, TaskKind kind) {
   TraceEvent ev;
   ev.name = kind == TaskKind::kMap ? "running_maps" : "running_reduces";

@@ -68,6 +68,9 @@ class TraceExporter final : public SimObserver {
   void OnTaskCompletion(SimTime now, std::int32_t job, TaskKind kind,
                         std::int32_t index, const TaskTiming& timing,
                         bool succeeded) override;
+  void OnFaultEvent(SimTime now, FaultEventKind kind, std::int32_t node,
+                    std::int32_t job, TaskKind task_kind,
+                    std::int32_t index) override;
 
  private:
   struct TraceEvent {

@@ -17,6 +17,12 @@ constexpr const char* kNames[kNumSimEventKinds] = {
     "MAP_DATA_READY",
     "REDUCE_DONE",
     "FETCH_CHECK",
+    "FAULT_ACTION",
+    "TRACKER_EXPIRY",
+    "NODE_LOST",
+    "NODE_RESTORED",
+    "ATTEMPT_KILLED",
+    "TASK_REEXECUTED",
 };
 
 }  // namespace

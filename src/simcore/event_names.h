@@ -32,9 +32,18 @@ enum class SimEventKind : std::uint8_t {
   kMapDataReady,
   kReduceDone,
   kFetchCheck,
+  // Fault-injection subsystem (src/fault/): a scheduled fault-plan action
+  // firing, the JobTracker's periodic expiry sweep, and the recovery
+  // lifecycle events it produces. Shared by all three simulators.
+  kFaultAction,
+  kTrackerExpiry,
+  kNodeLost,
+  kNodeRestored,
+  kAttemptKilled,
+  kTaskReexecuted,
 };
 
-inline constexpr int kNumSimEventKinds = 12;
+inline constexpr int kNumSimEventKinds = 18;
 
 /// Wire name of a kind ("JOB_ARRIVAL", "HEARTBEAT", ...). The returned
 /// pointer is a static string, so hook sites may keep it without copying.

@@ -3,7 +3,10 @@
 // emulator implements Hadoop's mechanism so that claim can be examined.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "cluster/cluster_sim.h"
+#include "fault/fault_plan.h"
 #include "trace/mr_profiler.h"
 
 namespace simmr::cluster {
@@ -92,6 +95,115 @@ TEST(Speculation, DeterministicGivenSeed) {
   const auto b = RunTestbed(jobs, Options(true));
   EXPECT_EQ(a.log.tasks().size(), b.log.tasks().size());
   EXPECT_DOUBLE_EQ(a.log.jobs()[0].finish_time, b.log.jobs()[0].finish_time);
+}
+
+// --- speculation x task failure / fault injection -------------------------
+//
+// Backups, probabilistic attempt failures, and deterministic fault plans
+// all create extra attempts for the same task; these tests pin down that
+// the accounting stays consistent when the mechanisms overlap.
+
+TEST(Speculation, FailuresStillYieldOneWinnerPerTask) {
+  const std::vector<SubmittedJob> jobs{{StragglySpec(24, 4), 0.0, 0.0}};
+  TestbedOptions opts = Options(true);
+  opts.config.task_failure_prob = 0.2;
+  const auto result = RunTestbed(jobs, opts);
+  int map_winners = 0, reduce_winners = 0;
+  for (const auto& t : result.log.tasks()) {
+    if (!t.succeeded) continue;
+    if (t.kind == TaskKind::kMap) ++map_winners;
+    else ++reduce_winners;
+  }
+  // Failed attempts retry and speculated losers are killed, but each task
+  // must succeed exactly once.
+  EXPECT_EQ(map_winners, 24);
+  EXPECT_EQ(reduce_winners, 4);
+}
+
+TEST(Speculation, FailureOfOriginalLetsBackupWin) {
+  // With aggressive speculation and a high failure rate, some task's
+  // first attempt fails while a backup is in flight; the job must still
+  // finish with valid profiles (winners only, one duration per task).
+  const std::vector<SubmittedJob> jobs{{StragglySpec(24, 4), 0.0, 0.0}};
+  TestbedOptions opts = Options(true, 8, 1.1);
+  opts.config.task_failure_prob = 0.3;
+  const auto result = RunTestbed(jobs, opts);
+  const auto profile = trace::BuildProfile(result.log, 0);
+  EXPECT_TRUE(profile.Validate().empty()) << profile.Validate();
+  EXPECT_EQ(static_cast<int>(profile.map_durations.size()), 24);
+}
+
+TEST(Speculation, DeterministicUnderFailures) {
+  // Retry draws come from per-attempt keyed RNG streams, so the whole
+  // speculation x failure interleaving replays bit-identically.
+  const std::vector<SubmittedJob> jobs{{StragglySpec(24, 4), 0.0, 0.0}};
+  TestbedOptions opts = Options(true);
+  opts.config.task_failure_prob = 0.25;
+  const auto a = RunTestbed(jobs, opts);
+  const auto b = RunTestbed(jobs, opts);
+  ASSERT_EQ(a.log.tasks().size(), b.log.tasks().size());
+  for (std::size_t i = 0; i < a.log.tasks().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.log.tasks()[i].end, b.log.tasks()[i].end);
+    EXPECT_EQ(a.log.tasks()[i].node, b.log.tasks()[i].node);
+    EXPECT_EQ(a.log.tasks()[i].succeeded, b.log.tasks()[i].succeeded);
+  }
+}
+
+TEST(Speculation, SurvivesNodeCrashFaultPlan) {
+  // A deterministic node crash under speculation: stranded originals and
+  // backups are reaped together, and every task still succeeds once.
+  const std::vector<SubmittedJob> jobs{{StragglySpec(24, 4), 0.0, 0.0}};
+  fault::FaultPlan plan;
+  plan.num_nodes = 8;
+  plan.map_slots_per_node = 2;
+  plan.reduce_slots_per_node = 2;
+  fault::FaultAction crash;
+  crash.kind = fault::FaultActionKind::kNodeCrash;
+  crash.time = 30.0;
+  crash.node = 2;
+  plan.actions = {crash};
+  TestbedOptions opts = Options(true);
+  opts.config.tasktracker_expiry_interval = 10.0;
+  opts.fault_plan = &plan;
+  const auto result = RunTestbed(jobs, opts);
+  ASSERT_EQ(result.log.jobs().size(), 1u);
+  EXPECT_GT(result.log.jobs()[0].finish_time, 0.0);
+  // A map that completed on node 2 before the crash legitimately succeeds
+  // twice (its output was lost and re-executed), so count distinct winning
+  // task indices, not winning attempts.
+  std::set<TaskIndex> won;
+  for (const auto& t : result.log.tasks())
+    if (t.kind == TaskKind::kMap && t.succeeded) won.insert(t.index);
+  EXPECT_EQ(static_cast<int>(won.size()), 24);
+  // Nothing may ever be scheduled on the dead node after the crash.
+  for (const auto& t : result.log.tasks())
+    if (t.node == 2) EXPECT_LE(t.start, 30.0);
+}
+
+TEST(Speculation, TargetedKillOfSpeculatedTaskKeepsAccounting) {
+  // Kill a map's attempts mid-run via the fault plan while speculation is
+  // eager enough to also race backups for it: the task re-runs and wins
+  // exactly once, and profiles stay valid.
+  const std::vector<SubmittedJob> jobs{{StragglySpec(24, 4), 0.0, 0.0}};
+  fault::FaultPlan plan;
+  fault::FaultAction kill;
+  kill.kind = fault::FaultActionKind::kKillAttempt;
+  kill.time = 25.0;
+  kill.job = 0;
+  kill.task_kind = obs::TaskKind::kMap;
+  kill.index = 3;
+  plan.actions = {kill};
+  TestbedOptions opts = Options(true, 8, 1.1);
+  opts.fault_plan = &plan;
+  const auto result = RunTestbed(jobs, opts);
+  const auto profile = trace::BuildProfile(result.log, 0);
+  EXPECT_TRUE(profile.Validate().empty()) << profile.Validate();
+  EXPECT_EQ(static_cast<int>(profile.map_durations.size()), 24);
+  int winners_of_3 = 0;
+  for (const auto& t : result.log.tasks())
+    if (t.kind == TaskKind::kMap && t.index == 3 && t.succeeded)
+      ++winners_of_3;
+  EXPECT_EQ(winners_of_3, 1);
 }
 
 TEST(Speculation, HigherThresholdSpeculatesLess) {

@@ -257,6 +257,11 @@ TEST(EventLog, JobIdOffsetShiftsEveryJobScopedEvent) {
         break;
       case LogEvent::Kind::kDequeue:
         break;
+      case LogEvent::Kind::kFault:
+        if (ev.job >= 0) {
+          EXPECT_EQ(ev.job, 100);
+        }
+        break;
     }
   }
 }

@@ -141,6 +141,101 @@ TEST(MetricsHttpServer, LiveTextFnSeesCurrentState) {
   server.Stop();
 }
 
+TEST(MetricsHttpServer, MalformedRequestLinesGet400) {
+  MetricsHttpServer server([] { return std::string("m 1\n"); },
+                           StaticProgress());
+  const int port = server.Start();
+  // No spaces at all; missing target; missing HTTP version; a version
+  // token that is not HTTP/; a leading space. A space inside a later
+  // header line must not rescue any of them.
+  const std::string no_spaces = RawRequest(port, "GARBAGE\r\nA: b c\r\n\r\n");
+  const std::string no_target = RawRequest(port, "GET \r\nHost: x\r\n\r\n");
+  const std::string no_version =
+      RawRequest(port, "GET /metrics\r\nHost: x y\r\n\r\n");
+  const std::string bad_version =
+      RawRequest(port, "GET /metrics JUNK/1.1\r\nHost: x\r\n\r\n");
+  const std::string leading_space =
+      RawRequest(port, " GET /metrics HTTP/1.1\r\n\r\n");
+  server.Stop();
+  for (const std::string* r : {&no_spaces, &no_target, &no_version,
+                               &bad_version, &leading_space}) {
+    EXPECT_NE(r->find("400 Bad Request"), std::string::npos) << *r;
+  }
+}
+
+TEST(MetricsHttpServer, OversizedHeadGets431) {
+  MetricsHttpServer server([] { return std::string("m 1\n"); },
+                           StaticProgress());
+  const int port = server.Start();
+  // A never-terminated request head larger than the 16 KiB cap.
+  std::string huge = "GET /metrics HTTP/1.1\r\n";
+  huge += "X-Padding: " + std::string(20 * 1024, 'a') + "\r\n";
+  const std::string response = RawRequest(port, huge);
+  // The server must stay healthy for the next client.
+  const std::string after = Get(port, "/healthz");
+  server.Stop();
+  EXPECT_NE(response.find("431 Request Header Fields Too Large"),
+            std::string::npos);
+  EXPECT_NE(after.find("200 OK"), std::string::npos);
+}
+
+TEST(MetricsHttpServer, ClientDisconnectMidRequestDoesNotWedgeServer) {
+  MetricsHttpServer server([] { return std::string("m 1\n"); },
+                           StaticProgress());
+  const int port = server.Start();
+  // Connect, send half a request line, and slam the connection shut.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  (void)!::send(fd, "GET /met", 8, 0);
+  ::close(fd);
+  // Likewise a client that disappears before reading the response
+  // (mid-write disconnect: SendAll must swallow EPIPE, not raise it).
+  const int fd2 = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd2, 0);
+  ASSERT_EQ(::connect(fd2, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  (void)!::send(fd2, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n", 35, 0);
+  ::close(fd2);  // gone before the response is written
+  const std::string after = Get(port, "/healthz");
+  server.Stop();
+  EXPECT_NE(after.find("200 OK"), std::string::npos);
+}
+
+TEST(MetricsHttpServer, SlowClientIsCutOffByIoTimeout) {
+  MetricsHttpServer::Options opts;
+  opts.io_timeout_seconds = 0.2;
+  MetricsHttpServer server([] { return std::string("m 1\n"); },
+                           StaticProgress(), opts);
+  const int port = server.Start();
+  // Send an incomplete head and then stall: SO_RCVTIMEO must unblock the
+  // serving thread, which answers 400 for the truncated request.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  (void)!::send(fd, "GET /met", 8, 0);
+  std::string response;
+  char buf[256];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+    response.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  const std::string after = Get(port, "/healthz");
+  server.Stop();
+  EXPECT_NE(response.find("400 Bad Request"), std::string::npos);
+  EXPECT_NE(after.find("200 OK"), std::string::npos);
+}
+
 TEST(MetricsHttpServer, StopIsIdempotentAndStartAfterStopRejected) {
   MetricsHttpServer server([] { return std::string(""); }, StaticProgress());
   server.Start();

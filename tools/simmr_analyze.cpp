@@ -5,6 +5,7 @@
 //   simmr_analyze critical-path --log=run.jsonl --job=2
 //   simmr_analyze utilization --log=run.jsonl --map-slots=16
 //   simmr_analyze diff --a=run.simmr.jsonl --b=run.mumak.jsonl --json
+//   simmr_analyze availability --log=faulted.jsonl --baseline=clean.jsonl
 //   simmr_analyze perf-diff --baseline=BENCH_main.json --candidate=BENCH_pr.json
 //   simmr_analyze sweep-diff --baseline=sweep_a.json --candidate=sweep_b.json
 //   simmr_analyze explore --summary=explore.json
@@ -14,6 +15,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/availability.h"
 #include "analysis/json_value.h"
 #include "analysis/perf_diff.h"
 #include "analysis/report.h"
@@ -36,6 +38,9 @@ void PrintTopUsage() {
       "  utilization    slot utilization and a phase-occupancy timeline\n"
       "  diff           structural diff of two runs (first divergence,\n"
       "                 per-job completion deltas, dominant phase)\n"
+      "  availability   fault-plan damage report: node downtime, killed\n"
+      "                 and re-executed work, per-job completion penalty\n"
+      "                 vs an optional fault-free --baseline log\n"
       "  perf-diff      noise-aware comparison of two bench suites\n"
       "                 (BENCH_*.json); exits 4 on a regression\n"
       "  timeline       per-window utilization / queue-depth / running-task\n"
@@ -127,6 +132,38 @@ int main(int argc, char** argv) {
       const auto record = analysis::RunRecord::Load(flags->Get("log"));
       const auto opt = OptionsFrom(*flags, /*with_slots=*/true);
       std::fputs(analysis::RenderUtilization(record, opt).c_str(), stdout);
+      if (opt.json) std::fputc('\n', stdout);
+      return 0;
+    }
+
+    if (sub == "availability") {
+      const auto flags = tools::Flags::Parse(
+          argc, argv,
+          "Reports what a fault plan cost a run: per-node downtime from\n"
+          "the NODE_LOST/NODE_RESTORED records, killed attempts and\n"
+          "wasted attempt-seconds, re-executed map outputs, and — when a\n"
+          "fault-free event log of the same workload is given via\n"
+          "--baseline — each job's completion-time penalty and the\n"
+          "makespan penalty.",
+          {
+              {"log", "run.jsonl", "faulted event-log path"},
+              {"baseline", "",
+               "optional fault-free event log of the same workload"},
+              {"job", "-1", "restrict to this job id (-1 = all)"},
+              JsonFlag(),
+              tools::LogLevelFlag(),
+          });
+      if (!flags) return tools::Flags::LastParseFailed() ? 1 : 0;
+      if (!tools::ApplyLogLevel(*flags)) return 1;
+      const auto record = analysis::RunRecord::Load(flags->Get("log"));
+      analysis::RunRecord baseline;
+      const bool with_baseline = !flags->Get("baseline").empty();
+      if (with_baseline)
+        baseline = analysis::RunRecord::Load(flags->Get("baseline"));
+      const auto report = analysis::BuildAvailabilityReport(
+          record, with_baseline ? &baseline : nullptr);
+      const auto opt = OptionsFrom(*flags, /*with_slots=*/false);
+      std::fputs(analysis::RenderAvailability(report, opt).c_str(), stdout);
       if (opt.json) std::fputc('\n', stdout);
       return 0;
     }

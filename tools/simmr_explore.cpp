@@ -41,19 +41,7 @@ namespace {
 
 using namespace simmr;
 
-/// --seed accepts either a decimal uint64 or an arbitrary string (a git
-/// SHA, a test name) hashed to one — CI seeds each run from the commit.
-std::uint64_t ResolveSeed(const std::string& text) {
-  if (!text.empty() && text.find_first_not_of("0123456789") ==
-                           std::string::npos && text.size() <= 20) {
-    try {
-      return std::stoull(text);
-    } catch (const std::exception&) {
-      // Falls through to hashing (e.g. > 2^64 digit strings).
-    }
-  }
-  return HashName(text);
-}
+using tools::ResolveSeed;
 
 std::vector<std::string> SplitList(const std::string& csv) {
   std::vector<std::string> out;

@@ -38,6 +38,8 @@
 #include "cluster/app_model.h"
 #include "cluster/cluster_sim.h"
 #include "core/simmr.h"
+#include "fault/fault_gen.h"
+#include "fault/fault_plan.h"
 #include "fuzz/differential.h"
 #include "fuzz/fault_injection.h"
 #include "fuzz/harness.h"
@@ -55,20 +57,6 @@
 namespace {
 
 using namespace simmr;
-
-/// --seed accepts either a decimal uint64 or an arbitrary string (a git
-/// SHA, a test name) hashed to one — CI seeds each run from the commit.
-std::uint64_t ResolveSeed(const std::string& text) {
-  if (!text.empty() && text.find_first_not_of("0123456789") ==
-                           std::string::npos && text.size() <= 20) {
-    try {
-      return std::stoull(text);
-    } catch (const std::exception&) {
-      // Falls through to hashing (e.g. > 2^64 digit strings).
-    }
-  }
-  return HashName(text);
-}
 
 fuzz::FaultMode ParseFault(const std::string& name) {
   for (const fuzz::FaultMode mode :
@@ -88,7 +76,8 @@ fuzz::FaultMode ParseFault(const std::string& name) {
 /// writes the simmr.eventlog.v1 file next to the reproducer.
 void WriteCaseEventLog(const std::vector<trace::JobProfile>& pool,
                        backend::ReplaySpec spec, const fuzz::FaultSpec& fault,
-                       const std::string& path, const std::string& scenario) {
+                       const fault::FaultPlan& plan, const std::string& path,
+                       const std::string& scenario) {
   auto pool_ptr = std::make_shared<const std::vector<trace::JobProfile>>(pool);
   std::shared_ptr<const std::vector<double>> solos;
   if (spec.deadline_factor > 0.0) {
@@ -103,6 +92,7 @@ void WriteCaseEventLog(const std::vector<trace::JobProfile>& pool,
   spec.observer = fault.mode == fuzz::FaultMode::kNone
                       ? static_cast<obs::SimObserver*>(&recorder)
                       : &faulty;
+  if (!plan.Empty()) spec.fault_plan = &plan;
   session.Replay(spec);
   obs::EventLogHeader header;
   header.tool = "simmr_fuzz";
@@ -120,8 +110,8 @@ std::string WriteFailureArtifacts(const fuzz::Reproducer& repro,
   const std::string repro_path = out_dir + "/" + stem + ".repro";
   const std::string log_path = out_dir + "/" + stem + ".eventlog.jsonl";
   fuzz::WriteReproducerFile(repro_path, repro);
-  WriteCaseEventLog(repro.pool, repro.spec, repro.fault, log_path,
-                    "reproducer " + stem);
+  WriteCaseEventLog(repro.pool, repro.spec, repro.fault, repro.fault_plan,
+                    log_path, "reproducer " + stem);
   std::printf("reproducer written to %s\n", repro_path.c_str());
   std::printf("event log written to %s\n", log_path.c_str());
   return repro_path;
@@ -182,8 +172,26 @@ int RunFuzzLoop(const tools::Flags& flags, std::uint64_t master_seed,
     // the loop can be re-entered at any index for debugging.
     Rng case_rng = master.Split("fuzz/case", static_cast<std::uint64_t>(i));
     const auto pool = fuzz::FuzzProfilePool(config, case_rng);
-    const auto spec = fuzz::FuzzReplaySpec(config, pool.size(), case_rng);
+    backend::ReplaySpec spec = fuzz::FuzzReplaySpec(config, pool.size(),
+                                                    case_rng);
+    // Fault archetype: ~1 case in 4 also runs under a generated fault
+    // plan. Drawn after the pool and spec so fault-free cases regenerate
+    // exactly the pre-fault streams (old corpus seeds stay meaningful).
+    fault::FaultPlan plan;
+    if (case_rng.NextBounded(4) == 0) {
+      fault::FaultGenOptions fault_gen;
+      fault_gen.kill_jobs = static_cast<std::int32_t>(pool.size());
+      plan = fault::GenerateFaultPlan(case_rng.Split("fault-plan").seed(),
+                                      fault_gen);
+      if (!plan.Empty()) {
+        // The engine requires the spec's slot totals to match the plan's
+        // geometry (node faults become slot-capacity deltas).
+        spec.map_slots = plan.num_nodes * plan.map_slots_per_node;
+        spec.reduce_slots = plan.num_nodes * plan.reduce_slots_per_node;
+      }
+    }
     fuzz::BatteryOptions case_options = options;
+    if (!plan.Empty()) case_options.fault_plan = &plan;
     if (i == 0) case_options.extra_observer = sinks.observer();
     const fuzz::BatteryResult result =
         fuzz::RunCheckBattery(pool, spec, case_options);
@@ -196,8 +204,13 @@ int RunFuzzLoop(const tools::Flags& flags, std::uint64_t master_seed,
                  result.violations.size(),
                  check::FormatViolations(result.violations).c_str());
     std::fprintf(stderr, "shrinking...\n");
+    // The shrink predicate keeps the fault plan (but not case 0's extra
+    // sinks); the shrinker never mutates slots, so the plan's geometry
+    // stays valid on every probe.
+    fuzz::BatteryOptions shrink_options = options;
+    shrink_options.fault_plan = case_options.fault_plan;
     const fuzz::ShrinkResult shrunk =
-        fuzz::ShrinkFailure(pool, spec, FailsWith(options));
+        fuzz::ShrinkFailure(pool, spec, FailsWith(shrink_options));
     std::fprintf(stderr, "shrunk to %zu job(s) in %d round(s), %llu probes\n",
                  shrunk.pool.size(), shrunk.rounds,
                  static_cast<unsigned long long>(shrunk.probes));
@@ -206,8 +219,9 @@ int RunFuzzLoop(const tools::Flags& flags, std::uint64_t master_seed,
     repro.master_seed = master_seed;
     repro.spec = shrunk.spec;
     repro.pool = shrunk.pool;
+    repro.fault_plan = plan;
     repro.note = check::FormatViolations(
-        {fuzz::RunCheckBattery(shrunk.pool, shrunk.spec, options)
+        {fuzz::RunCheckBattery(shrunk.pool, shrunk.spec, shrink_options)
              .violations.front()});
     WriteFailureArtifacts(repro, flags.Get("out-dir"),
                           "case-" + std::to_string(master_seed) + "-" +
@@ -240,7 +254,8 @@ int RunFuzzLoop(const tools::Flags& flags, std::uint64_t master_seed,
 /// caught. Either way exit 0 = good, 2 = regression.
 int RunReplay(const std::string& path) {
   const fuzz::Reproducer repro = fuzz::ReadReproducerFile(path);
-  const fuzz::BatteryOptions options = BatteryFor(repro.fault);
+  fuzz::BatteryOptions options = BatteryFor(repro.fault);
+  if (!repro.fault_plan.Empty()) options.fault_plan = &repro.fault_plan;
   const fuzz::BatteryResult result =
       fuzz::RunCheckBattery(repro.pool, repro.spec, options);
   if (!repro.note.empty())
@@ -470,7 +485,7 @@ int main(int argc, char** argv) {
   if (!tools::ApplyLogLevel(*flags)) return 1;
 
   try {
-    const std::uint64_t master_seed = ResolveSeed(flags->Get("seed"));
+    const std::uint64_t master_seed = tools::ResolveSeed(flags->Get("seed"));
     const bool fuzz_loop_mode = flags->Get("replay").empty() &&
                                 !flags->GetBool("self-test") &&
                                 !flags->GetBool("testbed") &&

@@ -13,6 +13,7 @@
 #include "analysis/result_stats.h"
 #include "backend/session.h"
 #include "core/sim_log.h"
+#include "fault/fault_plan.h"
 #include "tool_common.h"
 
 int main(int argc, char** argv) {
@@ -27,6 +28,10 @@ int main(int argc, char** argv) {
           {"jobs", "0", "number of jobs (0 = one instance of each profile)"},
           {"slowstart", "0.05", "minMapPercentCompleted gate"},
           {"seed", "42", "workload randomization seed"},
+          {"fault-plan", "",
+           "optional simmr.faultplan.v1 file; node faults become "
+           "slot-capacity deltas, so the plan's geometry must match "
+           "--map-slots/--reduce-slots (or be geometry-free)"},
           {"out-log", "", "optional simulation output-log path"},
           tools::LogLevelFlag(),
       };
@@ -51,6 +56,12 @@ int main(int argc, char** argv) {
     spec.mean_interarrival_s = flags->GetDouble("mean-interarrival");
     spec.deadline_factor = flags->GetDouble("deadline-factor");
     spec.seed = static_cast<std::uint64_t>(flags->GetInt("seed"));
+
+    fault::FaultPlan fault_plan;
+    if (!flags->Get("fault-plan").empty()) {
+      fault_plan = fault::ReadFaultPlanFile(flags->Get("fault-plan"));
+      spec.fault_plan = &fault_plan;
+    }
 
     // Resolve the policy up front: its display name labels the report, and
     // an unknown --policy fails before the solo-completion measurement.

@@ -10,6 +10,8 @@
 
 #include "backend/backends.h"
 #include "cluster/cluster_sim.h"
+#include "fault/fault_gen.h"
+#include "fault/fault_plan.h"
 #include "tool_common.h"
 
 int main(int argc, char** argv) {
@@ -26,6 +28,19 @@ int main(int argc, char** argv) {
       {"failure-prob", "0", "task attempt failure probability"},
       {"gap", "10000", "submission gap between jobs, seconds"},
       {"seed", "42", "master seed"},
+      {"fault-plan", "",
+       "optional simmr.faultplan.v1 file (its geometry must match "
+       "--nodes and the per-node slot flags)"},
+      {"fault-seed", "",
+       "generate a fault plan from this seed (decimal or any string, "
+       "e.g. a git SHA) against the configured geometry; mutually "
+       "exclusive with --fault-plan"},
+      {"fault-plan-out", "",
+       "write the active fault plan here (handy for archiving a "
+       "--fault-seed draw as a CI artifact or corpus pin)"},
+      {"expiry", "600",
+       "tasktracker expiry interval, s (how long a silent node survives "
+       "before the JobTracker declares it lost)"},
       tools::LogLevelFlag(),
   };
   for (auto& spec : tools::ObservabilityFlagSpecs()) flag_specs.push_back(spec);
@@ -64,7 +79,31 @@ int main(int argc, char** argv) {
     opts.config.reduce_slots_per_node =
         flags->GetInt("reduce-slots-per-node");
     opts.config.task_failure_prob = flags->GetDouble("failure-prob");
+    opts.config.tasktracker_expiry_interval = flags->GetDouble("expiry");
     opts.seed = static_cast<std::uint64_t>(flags->GetInt("seed"));
+    fault::FaultPlan fault_plan;
+    if (!flags->Get("fault-plan").empty() &&
+        !flags->Get("fault-seed").empty()) {
+      std::fprintf(stderr,
+                   "error: --fault-plan and --fault-seed are mutually "
+                   "exclusive\n");
+      return 1;
+    }
+    if (!flags->Get("fault-plan").empty()) {
+      fault_plan = fault::ReadFaultPlanFile(flags->Get("fault-plan"));
+      opts.fault_plan = &fault_plan;
+    } else if (!flags->Get("fault-seed").empty()) {
+      fault::FaultGenOptions gen;
+      gen.num_nodes = opts.config.num_nodes;
+      gen.map_slots_per_node = opts.config.map_slots_per_node;
+      gen.reduce_slots_per_node = opts.config.reduce_slots_per_node;
+      gen.kill_jobs = static_cast<std::int32_t>(specs.size());
+      fault_plan = fault::GenerateFaultPlan(
+          tools::ResolveSeed(flags->Get("fault-seed")), gen);
+      opts.fault_plan = &fault_plan;
+    }
+    if (!flags->Get("fault-plan-out").empty())
+      fault::WriteFaultPlanFile(flags->Get("fault-plan-out"), fault_plan);
     const std::string scheduler = flags->Get("scheduler");
     if (scheduler == "edf") {
       opts.scheduler = cluster::SchedulerKind::kEdf;

@@ -7,6 +7,7 @@
 #include "obs/telemetry.h"
 #include "prof/profiler.h"
 #include "simcore/parallel.h"
+#include "simcore/rng.h"
 
 namespace simmr::tools {
 namespace {
@@ -197,6 +198,19 @@ int ResolveThreads(const Flags& flags) {
     if (parsed > 0) return parsed;
   }
   return DefaultParallelism();
+}
+
+std::uint64_t ResolveSeed(const std::string& text) {
+  if (!text.empty() &&
+      text.find_first_not_of("0123456789") == std::string::npos &&
+      text.size() <= 20) {
+    try {
+      return std::stoull(text);
+    } catch (const std::exception&) {
+      // Falls through to hashing (e.g. > 2^64 digit strings).
+    }
+  }
+  return HashName(text);
 }
 
 ObservabilitySinks::~ObservabilitySinks() {

@@ -92,6 +92,11 @@ FlagSpec ThreadsFlag();
 /// std::invalid_argument on a negative flag value.
 int ResolveThreads(const Flags& flags);
 
+/// Seed-flag convention shared by the seeded tools: a decimal uint64 is
+/// used as-is, anything else (a git SHA, a test name) is FNV-1a-hashed to
+/// one — CI seeds each run from the commit.
+std::uint64_t ResolveSeed(const std::string& text);
+
 /// Facts about a finished run that the sinks need at write-out time.
 struct RunSummary {
   std::string tool;       // producing binary, e.g. "simmr_replay"
